@@ -1,0 +1,120 @@
+//! Criterion benchmarks for the full lifecycle: end-to-end experiment cost
+//! under different component configurations — including the DESIGN.md
+//! ablations (intervention overhead relative to the no-intervention
+//! baseline, and untuned vs tuned learners).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fairprep_core::experiment::Experiment;
+use fairprep_core::learners::{DecisionTreeLearner, LogisticRegressionLearner};
+use fairprep_datasets::{generate_german, generate_payment};
+use fairprep_fairness::postprocess::RejectOptionClassification;
+use fairprep_fairness::preprocess::{DisparateImpactRemover, Reweighing};
+use fairprep_impute::ModelBasedImputer;
+
+fn bench_baseline_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifecycle_german_500");
+    group.sample_size(10);
+    group.bench_function("untuned_lr_no_intervention", |b| {
+        b.iter(|| {
+            Experiment::builder("german", generate_german(500, 1).unwrap())
+                .seed(black_box(7))
+                .learner(LogisticRegressionLearner { tuned: false })
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+    group.bench_function("untuned_lr_reweighing", |b| {
+        b.iter(|| {
+            Experiment::builder("german", generate_german(500, 1).unwrap())
+                .seed(black_box(7))
+                .preprocessor(Reweighing)
+                .learner(LogisticRegressionLearner { tuned: false })
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+    group.bench_function("untuned_lr_di_remover", |b| {
+        b.iter(|| {
+            Experiment::builder("german", generate_german(500, 1).unwrap())
+                .seed(black_box(7))
+                .preprocessor(DisparateImpactRemover::new(1.0))
+                .learner(LogisticRegressionLearner { tuned: false })
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+    group.bench_function("untuned_lr_reject_option", |b| {
+        b.iter(|| {
+            Experiment::builder("german", generate_german(500, 1).unwrap())
+                .seed(black_box(7))
+                .learner(LogisticRegressionLearner { tuned: false })
+                .postprocessor(RejectOptionClassification::default())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_tuning_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifecycle_tuning_german_400");
+    group.sample_size(10);
+    group.bench_function("lr_untuned", |b| {
+        b.iter(|| {
+            Experiment::builder("german", generate_german(400, 2).unwrap())
+                .seed(3)
+                .learner(LogisticRegressionLearner { tuned: false })
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+    group.bench_function("lr_tuned_12_candidates_5fold", |b| {
+        b.iter(|| {
+            Experiment::builder("german", generate_german(400, 2).unwrap())
+                .seed(3)
+                .learner(LogisticRegressionLearner { tuned: true })
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_imputation_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifecycle_payment_800");
+    group.sample_size(10);
+    group.bench_function("model_based_imputation_tree", |b| {
+        b.iter(|| {
+            Experiment::builder("payment", generate_payment(800, 3).unwrap())
+                .seed(5)
+                .missing_value_handler(ModelBasedImputer::default())
+                .learner(DecisionTreeLearner { tuned: false })
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_baseline_lifecycle,
+    bench_tuning_cost,
+    bench_imputation_lifecycle
+);
+criterion_main!(benches);

@@ -1,0 +1,238 @@
+//! Criterion micro-benchmarks for the substrate components: models,
+//! transforms, interventions, imputation, metrics, and splitting.
+//!
+//! These quantify the per-component costs that dominate the figure sweeps,
+//! and serve as the ablation benches DESIGN.md calls out (grid-search cost
+//! vs grid size, imputer cost, seed derivation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fairprep_data::rng::derive_seed;
+use fairprep_data::split::train_val_test_split;
+use fairprep_datasets::{generate_adult, generate_german, AdultProtected};
+use fairprep_fairness::metrics::{MetricsReport, ReportInputs};
+use fairprep_fairness::preprocess::{DisparateImpactRemover, Preprocessor, Reweighing};
+use fairprep_impute::{MissingValueHandler, ModeImputer, ModelBasedImputer};
+use fairprep_ml::model::{Classifier, DecisionTree, LogisticRegressionSgd};
+use fairprep_ml::selection::{logistic_regression_grid, GridSearchCv};
+use fairprep_ml::transform::{FittedFeaturizer, ScalerSpec};
+
+use fairprep_data::split::SplitSpec;
+
+fn bench_models(c: &mut Criterion) {
+    let ds = generate_german(1000, 1).unwrap();
+    let featurizer = FittedFeaturizer::fit(&ds, ScalerSpec::Standard).unwrap();
+    let x = featurizer.transform(&ds).unwrap();
+    let y = ds.labels().to_vec();
+    let w = vec![1.0; y.len()];
+
+    let mut group = c.benchmark_group("model_fit");
+    group.bench_function("logistic_sgd_1000x50", |b| {
+        b.iter(|| {
+            LogisticRegressionSgd::default()
+                .fit(black_box(&x), black_box(&y), &w, 7)
+                .unwrap()
+        })
+    });
+    group.bench_function("decision_tree_1000x50", |b| {
+        b.iter(|| {
+            DecisionTree::default()
+                .fit(black_box(&x), black_box(&y), &w, 7)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_ensembles_and_knn(c: &mut Criterion) {
+    use fairprep_ml::model::{KNearestNeighbors, RandomForest, RandomForestConfig};
+    let ds = generate_german(600, 7).unwrap();
+    let featurizer = FittedFeaturizer::fit(&ds, ScalerSpec::Standard).unwrap();
+    let x = featurizer.transform(&ds).unwrap();
+    let y = ds.labels().to_vec();
+    let w = vec![1.0; y.len()];
+
+    let mut group = c.benchmark_group("extension_models");
+    group.sample_size(10);
+    group.bench_function("random_forest_25_trees_600x50", |b| {
+        let forest = RandomForest::new(RandomForestConfig { n_trees: 25, ..Default::default() });
+        b.iter(|| forest.fit(black_box(&x), &y, &w, 3).unwrap())
+    });
+    group.bench_function("knn_predict_600x50", |b| {
+        let model = KNearestNeighbors::default().fit(&x, &y, &w, 0).unwrap();
+        b.iter(|| model.predict_proba(black_box(&x)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_fair_learners(c: &mut Criterion) {
+    use fairprep_fairness::inprocess::{
+        AdversarialDebiasing, InProcessor, LearnedFairRepresentations,
+    };
+    let ds = generate_german(500, 8).unwrap();
+    let featurizer = FittedFeaturizer::fit(&ds, ScalerSpec::Standard).unwrap();
+    let x = featurizer.transform(&ds).unwrap();
+    let y = ds.labels().to_vec();
+    let w = vec![1.0; y.len()];
+    let mask = ds.privileged_mask().to_vec();
+
+    let mut group = c.benchmark_group("fair_learners");
+    group.sample_size(10);
+    group.bench_function("adversarial_debiasing_500x50", |b| {
+        b.iter(|| {
+            AdversarialDebiasing::default()
+                .fit(black_box(&x), &y, &w, &mask, 2)
+                .unwrap()
+        })
+    });
+    group.bench_function("lfr_k10_500x50", |b| {
+        let lfr = LearnedFairRepresentations { iterations: 50, ..Default::default() };
+        b.iter(|| lfr.fit(black_box(&x), &y, &w, &mask, 2).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_grid_search(c: &mut Criterion) {
+    let ds = generate_german(500, 2).unwrap();
+    let featurizer = FittedFeaturizer::fit(&ds, ScalerSpec::Standard).unwrap();
+    let x = featurizer.transform(&ds).unwrap();
+    let y = ds.labels().to_vec();
+    let w = vec![1.0; y.len()];
+
+    let mut group = c.benchmark_group("grid_search");
+    group.sample_size(10);
+    for &n_candidates in &[1usize, 4, 12] {
+        group.bench_with_input(
+            BenchmarkId::new("lr_5fold", n_candidates),
+            &n_candidates,
+            |b, &n| {
+                let candidates: Vec<_> =
+                    logistic_regression_grid().into_iter().take(n).collect();
+                b.iter(|| {
+                    GridSearchCv::new(5)
+                        .search(black_box(&candidates), &x, &y, &w, 3)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_featurizer(c: &mut Criterion) {
+    let ds = generate_german(1000, 3).unwrap();
+    let featurizer = FittedFeaturizer::fit(&ds, ScalerSpec::Standard).unwrap();
+    let mut group = c.benchmark_group("featurizer");
+    group.bench_function("fit_german_1000", |b| {
+        b.iter(|| FittedFeaturizer::fit(black_box(&ds), ScalerSpec::Standard).unwrap())
+    });
+    group.bench_function("transform_german_1000", |b| {
+        b.iter(|| featurizer.transform(black_box(&ds)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_interventions(c: &mut Criterion) {
+    let ds = generate_german(1000, 4).unwrap();
+    let mut group = c.benchmark_group("interventions");
+    group.bench_function("reweighing_fit_transform_1000", |b| {
+        b.iter(|| {
+            Reweighing
+                .fit(black_box(&ds), 0)
+                .unwrap()
+                .transform_train(&ds)
+                .unwrap()
+        })
+    });
+    group.bench_function("di_remover_fit_transform_1000", |b| {
+        b.iter(|| {
+            DisparateImpactRemover::new(1.0)
+                .fit(black_box(&ds), 0)
+                .unwrap()
+                .transform_train(&ds)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_imputation(c: &mut Criterion) {
+    let ds = generate_adult(2000, 5, AdultProtected::Race).unwrap();
+    let mut group = c.benchmark_group("imputation");
+    group.sample_size(10);
+    group.bench_function("mode_fit_handle_adult_2000", |b| {
+        b.iter(|| {
+            ModeImputer
+                .fit(black_box(&ds), 1)
+                .unwrap()
+                .handle_missing(&ds)
+                .unwrap()
+        })
+    });
+    group.bench_function("model_based_fit_handle_adult_2000", |b| {
+        b.iter(|| {
+            ModelBasedImputer::default()
+                .fit(black_box(&ds), 1)
+                .unwrap()
+                .handle_missing(&ds)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let n = 10_000;
+    let y: Vec<f64> = (0..n).map(|i| f64::from(u8::from(i % 3 == 0))).collect();
+    let p: Vec<f64> = (0..n).map(|i| f64::from(u8::from(i % 2 == 0))).collect();
+    let s: Vec<f64> = (0..n).map(|i| (i % 100) as f64 / 100.0).collect();
+    let mask: Vec<bool> = (0..n).map(|i| i % 5 != 0).collect();
+    c.bench_function("metrics_report_10000", |b| {
+        b.iter(|| {
+            MetricsReport::compute(ReportInputs {
+                y_true: black_box(&y),
+                y_pred: &p,
+                scores: Some(&s),
+                privileged_mask: &mask,
+                incomplete_mask: None,
+            })
+            .unwrap()
+        })
+    });
+}
+
+fn bench_split_and_seed(c: &mut Criterion) {
+    let ds = generate_adult(10_000, 6, AdultProtected::Race).unwrap();
+    let mut group = c.benchmark_group("data_ops");
+    group.sample_size(20);
+    group.bench_function("train_val_test_split_adult_10000", |b| {
+        b.iter(|| {
+            train_val_test_split(black_box(&ds), SplitSpec::paper_default(), 9).unwrap()
+        })
+    });
+    group.bench_function("derive_seed", |b| {
+        b.iter(|| derive_seed(black_box(42), black_box("learner/logistic_sgd")))
+    });
+    group.bench_function("stratified_split_adult_10000", |b| {
+        use fairprep_data::split::stratified_train_val_test_split;
+        b.iter(|| {
+            stratified_train_val_test_split(black_box(&ds), SplitSpec::paper_default(), 9)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_models,
+    bench_ensembles_and_knn,
+    bench_fair_learners,
+    bench_grid_search,
+    bench_featurizer,
+    bench_interventions,
+    bench_imputation,
+    bench_metrics,
+    bench_split_and_seed,
+);
+criterion_main!(benches);

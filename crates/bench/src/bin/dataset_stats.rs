@@ -1,0 +1,109 @@
+//! **E7** — In-text dataset statistics (§2.4 / §5.3) of the adult
+//! generator, checked against the paper's reported values.
+//!
+//! "In the commonly-used Adult Income dataset, there is a four times higher
+//! chance for the native-country attribute to be missing for non-white than
+//! for white persons." (§2.4)
+//!
+//! "The positive class label (high income) occurs with 24% probability
+//! among the complete records, but only with 14% probability in the records
+//! with missing values. Additionally, married individuals are in the vast
+//! majority in the complete records, while the most frequent marital-status
+//! among the incomplete records is never-married." (§5.3)
+//!
+//! ```text
+//! cargo run --release -p fairprep-bench --bin dataset_stats
+//! ```
+
+use fairprep_bench::HarnessArgs;
+use fairprep_data::stats::{completeness_label_rates, group_missingness, value_counts};
+use fairprep_datasets::{
+    generate_adult, generate_compas, generate_german, generate_ricci, AdultProtected,
+    CompasProtected, ADULT_FULL_SIZE, COMPAS_FULL_SIZE, GERMAN_FULL_SIZE, RICCI_FULL_SIZE,
+};
+
+fn check(name: &str, measured: f64, paper: f64, tolerance: f64) {
+    let ok = (measured - paper).abs() <= tolerance;
+    println!(
+        "  {:<52} measured {:>7.3}  paper {:>7.3}  {}",
+        name,
+        measured,
+        paper,
+        if ok { "OK" } else { "MISMATCH" }
+    );
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = if args.full { ADULT_FULL_SIZE } else { 16_000 };
+
+    println!("=== adult (synthetic, n = {n}) vs. paper-documented statistics ===");
+    let adult = generate_adult(n, 20_19, AdultProtected::Race).unwrap();
+
+    let white_frac = adult.privileged_mask().iter().filter(|&&p| p).count() as f64
+        / adult.n_rows() as f64;
+    check("fraction White (privileged group, §5.3: 85%)", white_frac, 0.85, 0.02);
+
+    let gm = group_missingness(&adult, "native-country").unwrap();
+    check(
+        "native-country missingness ratio non-white/white (§2.4: 4x)",
+        gm.disparity_ratio(),
+        4.0,
+        1.2,
+    );
+
+    let rates = completeness_label_rates(&adult);
+    check(">50K rate among complete records (§5.3: 24%)", rates.complete_rate, 0.24, 0.03);
+    check(">50K rate among incomplete records (§5.3: 14%)", rates.incomplete_rate, 0.14, 0.05);
+
+    let incomplete_frac = rates.incomplete_count as f64 / adult.n_rows() as f64;
+    check(
+        "fraction of incomplete rows (real data: 2399/32561 = 7.4%)",
+        incomplete_frac,
+        0.074,
+        0.03,
+    );
+
+    // Marital status of incomplete records: "the most frequent
+    // marital-status among the incomplete records is never-married".
+    let incomplete_rows = adult.incomplete_rows();
+    let incomplete = adult.take(&incomplete_rows);
+    let (marital_counts, _) =
+        value_counts(incomplete.frame().column("marital-status").unwrap()).unwrap();
+    let top_marital = marital_counts
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(name, _)| name.clone())
+        .unwrap_or_default();
+    println!(
+        "  most frequent marital-status among incomplete records       = {top_marital} \
+         (paper: Never-married) {}",
+        if top_marital == "Never-married" { "OK" } else { "MISMATCH" }
+    );
+
+    println!("\n=== germancredit (synthetic, n = {GERMAN_FULL_SIZE}) ===");
+    let german = generate_german(GERMAN_FULL_SIZE, 20_19).unwrap();
+    check("good-credit rate (real: 70%)", german.base_rate(None), 0.70, 0.05);
+    println!("  missing cells = {} (paper: complete)", german.frame().missing_cells());
+
+    println!("\n=== propublica/compas (synthetic, n = {COMPAS_FULL_SIZE}) ===");
+    let compas = generate_compas(COMPAS_FULL_SIZE, 20_19, CompasProtected::Race).unwrap();
+    check("two-year recidivism rate (real: ~45%)", 1.0 - compas.base_rate(None), 0.45, 0.06);
+    check(
+        "Caucasian fraction (real: ~34%)",
+        compas.privileged_mask().iter().filter(|&&p| p).count() as f64
+            / compas.n_rows() as f64,
+        0.34,
+        0.04,
+    );
+
+    println!("\n=== ricci (synthetic, n = {RICCI_FULL_SIZE}) ===");
+    let ricci = generate_ricci(RICCI_FULL_SIZE, 20_19).unwrap();
+    println!(
+        "  rows = {}, promotion rate = {:.3}, priv-unpriv promotion gap = {:+.3}",
+        ricci.n_rows(),
+        ricci.base_rate(None),
+        ricci.base_rate(Some(true)) - ricci.base_rate(Some(false)),
+    );
+    println!("  label is threshold(combine >= 70): re-derived for every row at generation");
+}

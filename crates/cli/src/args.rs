@@ -1,0 +1,104 @@
+//! Command-line argument parsing (hand-rolled; no external dependency).
+
+use std::collections::BTreeMap;
+
+/// Parsed invocation: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The subcommand (`run`, `sweep`, `audit`, `help`).
+    pub command: String,
+    /// `--key value` options.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parses raw arguments (without the program name).
+///
+/// Grammar: `<command> (--key value)*`. Repeated keys keep the last value.
+/// A trailing `--key` without a value is an error.
+pub fn parse(args: &[String]) -> Result<Invocation, String> {
+    let mut iter = args.iter();
+    let command = iter.next().cloned().unwrap_or_else(|| "help".to_string());
+    let mut options = BTreeMap::new();
+    while let Some(arg) = iter.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("expected --option, found `{arg}`"));
+        };
+        let Some(value) = iter.next() else {
+            return Err(format!("option --{key} is missing a value"));
+        };
+        options.insert(key.to_string(), value.clone());
+    }
+    Ok(Invocation { command, options })
+}
+
+impl Invocation {
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Optional string option with a default.
+    #[must_use]
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map_or(default, String::as_str)
+    }
+
+    /// Optional parsed option with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) =>
+
+                raw.parse().map_err(|_| format!("option --{key}: cannot parse `{raw}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let inv = parse(&argv("run --dataset german --seed 7")).unwrap();
+        assert_eq!(inv.command, "run");
+        assert_eq!(inv.require("dataset").unwrap(), "german");
+        assert_eq!(inv.parse_or::<u64>("seed", 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn empty_invocation_is_help() {
+        assert_eq!(parse(&[]).unwrap().command, "help");
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse(&argv("run --dataset")).is_err());
+    }
+
+    #[test]
+    fn positional_after_command_is_error() {
+        assert!(parse(&argv("run german")).is_err());
+    }
+
+    #[test]
+    fn defaults_and_parse_errors() {
+        let inv = parse(&argv("run --n abc")).unwrap();
+        assert_eq!(inv.get_or("learner", "lr"), "lr");
+        assert!(inv.parse_or::<usize>("n", 5).is_err());
+        assert_eq!(inv.parse_or::<usize>("missing", 5).unwrap(), 5);
+    }
+
+    #[test]
+    fn repeated_keys_keep_last() {
+        let inv = parse(&argv("run --seed 1 --seed 2")).unwrap();
+        assert_eq!(inv.parse_or::<u64>("seed", 0).unwrap(), 2);
+    }
+}

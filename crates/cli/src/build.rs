@@ -1,0 +1,382 @@
+//! Translating CLI option strings into experiment components.
+
+use fairprep_core::experiment::{Experiment, ExperimentBuilder};
+use fairprep_core::learners::{
+    DecisionTreeLearner, InProcessLearner, LogisticRegressionLearner, NaiveBayesLearner,
+    RandomForestLearner,
+};
+use fairprep_data::dataset::BinaryLabelDataset;
+use fairprep_data::error::Result as FpResult;
+use fairprep_datasets::{
+    generate_adult, generate_compas, generate_german, generate_payment, generate_ricci,
+    AdultProtected, CompasProtected, ADULT_FULL_SIZE, COMPAS_FULL_SIZE, GERMAN_FULL_SIZE,
+    RICCI_FULL_SIZE,
+};
+use fairprep_fairness::inprocess::{
+    AdversarialDebiasing, LearnedFairRepresentations, PrejudiceRemover,
+};
+use fairprep_fairness::postprocess::{
+    CalibratedEqOdds, EqOddsPostprocessing, GroupThresholdOptimizer,
+    RejectOptionClassification,
+};
+use fairprep_fairness::preprocess::{
+    DisparateImpactRemover, Massaging, PreferentialSampling, Reweighing,
+};
+use fairprep_impute::{CompleteCaseAnalysis, MeanModeImputer, ModeImputer, ModelBasedImputer};
+use fairprep_ml::transform::ScalerSpec;
+
+/// Dataset names accepted by `--dataset`.
+pub const DATASETS: &[&str] = &["adult", "german", "compas", "ricci", "payment"];
+/// Learner names accepted by `--learner`.
+pub const LEARNERS: &[&str] = &[
+    "lr",
+    "lr-tuned",
+    "dt",
+    "dt-tuned",
+    "nb",
+    "forest",
+    "adversarial",
+    "prejudice-remover",
+    "lfr",
+];
+/// Missing-value handler names accepted by `--missing`.
+pub const MISSING_HANDLERS: &[&str] = &["complete-case", "mode", "mean-mode", "model-based"];
+/// Pre-processor names accepted by `--preprocessor`.
+pub const PREPROCESSORS: &[&str] = &[
+    "none",
+    "reweighing",
+    "di-remover-0.5",
+    "di-remover-1.0",
+    "massaging",
+    "preferential-sampling",
+];
+/// Post-processor names accepted by `--postprocessor`.
+pub const POSTPROCESSORS: &[&str] =
+    &["none", "reject-option", "cal-eq-odds", "eq-odds", "group-thresholds"];
+/// Scaler names accepted by `--scaler`.
+pub const SCALERS: &[&str] = &["standard", "min-max", "none"];
+
+/// Builds a benchmark dataset by name. `n = 0` uses the dataset's full size.
+pub fn load_dataset(name: &str, n: usize, gen_seed: u64) -> Result<BinaryLabelDataset, String> {
+    let pick = |full: usize| if n == 0 { full } else { n };
+    let result: FpResult<BinaryLabelDataset> = match name {
+        "adult" => generate_adult(pick(ADULT_FULL_SIZE), gen_seed, AdultProtected::Race),
+        "german" => generate_german(pick(GERMAN_FULL_SIZE), gen_seed),
+        "compas" => generate_compas(pick(COMPAS_FULL_SIZE), gen_seed, CompasProtected::Race),
+        "ricci" => generate_ricci(pick(RICCI_FULL_SIZE), gen_seed),
+        "payment" => generate_payment(pick(2000), gen_seed),
+        other => {
+            return Err(format!("unknown dataset `{other}` (expected one of {DATASETS:?})"))
+        }
+    };
+    result.map_err(|e| e.to_string())
+}
+
+/// Applies `--learner`, `--missing`, `--preprocessor`, `--postprocessor`,
+/// and `--scaler` option values to a builder.
+pub fn configure(
+    mut builder: ExperimentBuilder,
+    learner: &str,
+    missing: &str,
+    preprocessor: &str,
+    postprocessor: &str,
+    scaler: &str,
+) -> Result<Experiment, String> {
+    builder = match learner {
+        "lr" => builder.learner(LogisticRegressionLearner { tuned: false }),
+        "lr-tuned" => builder.learner(LogisticRegressionLearner { tuned: true }),
+        "dt" => builder.learner(DecisionTreeLearner { tuned: false }),
+        "dt-tuned" => builder.learner(DecisionTreeLearner { tuned: true }),
+        "nb" => builder.learner(NaiveBayesLearner),
+        "forest" => builder.learner(RandomForestLearner::default()),
+        "adversarial" => {
+            builder.learner(InProcessLearner::new(AdversarialDebiasing::default()))
+        }
+        "prejudice-remover" => {
+            builder.learner(InProcessLearner::new(PrejudiceRemover::default()))
+        }
+        "lfr" => {
+            builder.learner(InProcessLearner::new(LearnedFairRepresentations::default()))
+        }
+        other => return Err(format!("unknown learner `{other}` (expected {LEARNERS:?})")),
+    };
+    builder = match missing {
+        "complete-case" => builder.missing_value_handler(CompleteCaseAnalysis),
+        "mode" => builder.missing_value_handler(ModeImputer),
+        "mean-mode" => builder.missing_value_handler(MeanModeImputer),
+        "model-based" => builder.missing_value_handler(ModelBasedImputer::default()),
+        other => {
+            return Err(format!(
+                "unknown missing-value handler `{other}` (expected {MISSING_HANDLERS:?})"
+            ))
+        }
+    };
+    builder = match preprocessor {
+        "none" => builder,
+        "reweighing" => builder.preprocessor(Reweighing),
+        "di-remover-0.5" => builder.preprocessor(DisparateImpactRemover::new(0.5)),
+        "di-remover-1.0" => builder.preprocessor(DisparateImpactRemover::new(1.0)),
+        "massaging" => builder.preprocessor(Massaging),
+        "preferential-sampling" => builder.preprocessor(PreferentialSampling),
+        other => {
+            return Err(format!(
+                "unknown preprocessor `{other}` (expected {PREPROCESSORS:?})"
+            ))
+        }
+    };
+    builder = match postprocessor {
+        "none" => builder,
+        "reject-option" => builder.postprocessor(RejectOptionClassification::default()),
+        "cal-eq-odds" => builder.postprocessor(CalibratedEqOdds::default()),
+        "eq-odds" => builder.postprocessor(EqOddsPostprocessing::default()),
+        "group-thresholds" => builder.postprocessor(GroupThresholdOptimizer::default()),
+        other => {
+            return Err(format!(
+                "unknown postprocessor `{other}` (expected {POSTPROCESSORS:?})"
+            ))
+        }
+    };
+    builder = match scaler {
+        "standard" => builder.scaler(ScalerSpec::Standard),
+        "min-max" => builder.scaler(ScalerSpec::MinMax),
+        "none" => builder.scaler(ScalerSpec::NoScaling),
+        other => return Err(format!("unknown scaler `{other}` (expected {SCALERS:?})")),
+    };
+    builder.build().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairprep_core::experiment::Experiment as Exp;
+
+    #[test]
+    fn all_datasets_load_small() {
+        for name in DATASETS {
+            let ds = load_dataset(name, 120, 1).unwrap();
+            assert_eq!(ds.n_rows(), 120, "{name}");
+        }
+        assert!(load_dataset("nope", 10, 1).is_err());
+    }
+
+    #[test]
+    fn full_size_is_the_documented_default() {
+        let ds = load_dataset("ricci", 0, 1).unwrap();
+        assert_eq!(ds.n_rows(), RICCI_FULL_SIZE);
+    }
+
+    #[test]
+    fn every_component_name_configures() {
+        for learner in LEARNERS {
+            for missing in MISSING_HANDLERS {
+                let ds = load_dataset("german", 60, 1).unwrap();
+                let exp = configure(
+                    Exp::builder("g", ds),
+                    learner,
+                    missing,
+                    "none",
+                    "none",
+                    "standard",
+                );
+                assert!(exp.is_ok(), "learner {learner} missing {missing}");
+            }
+        }
+        for pre in PREPROCESSORS {
+            for post in POSTPROCESSORS {
+                let ds = load_dataset("german", 60, 1).unwrap();
+                let exp =
+                    configure(Exp::builder("g", ds), "dt", "mode", pre, post, "standard");
+                assert!(exp.is_ok(), "pre {pre} post {post}");
+            }
+        }
+        for scaler in SCALERS {
+            let ds = load_dataset("german", 60, 1).unwrap();
+            assert!(configure(Exp::builder("g", ds), "dt", "mode", "none", "none", scaler)
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn unknown_component_names_error() {
+        let mk = || Exp::builder("g", load_dataset("german", 60, 1).unwrap());
+        assert!(configure(mk(), "zzz", "mode", "none", "none", "standard").is_err());
+        assert!(configure(mk(), "dt", "zzz", "none", "none", "standard").is_err());
+        assert!(configure(mk(), "dt", "mode", "zzz", "none", "standard").is_err());
+        assert!(configure(mk(), "dt", "mode", "none", "zzz", "standard").is_err());
+        assert!(configure(mk(), "dt", "mode", "none", "none", "zzz").is_err());
+    }
+}
+
+/// Loads a user-supplied CSV as a [`BinaryLabelDataset`] — the path for
+/// running FairPrep on *real* data (e.g. the actual UCI adult file).
+///
+/// * `numeric` / `categorical` — comma-separated feature column names;
+/// * `label` — the class-label column;
+/// * `favorable` — the label value meaning the favorable outcome;
+/// * `protected` — the sensitive-attribute column (kept out of the
+///   features, as in the paper's experiments);
+/// * `privileged` — comma-separated values of `protected` that define the
+///   privileged group.
+pub fn load_csv_dataset(
+    path: &str,
+    numeric: &str,
+    categorical: &str,
+    label: &str,
+    favorable: &str,
+    protected: &str,
+    privileged: &str,
+) -> Result<BinaryLabelDataset, String> {
+    use fairprep_data::column::ColumnKind;
+    use fairprep_data::csv::{read_csv, DEFAULT_MISSING_TOKENS};
+    use fairprep_data::schema::{ProtectedAttribute, Schema};
+
+    let split_list = |s: &str| -> Vec<String> {
+        s.split(',')
+            .map(str::trim)
+            .filter(|v| !v.is_empty())
+            .map(ToString::to_string)
+            .collect()
+    };
+    let numeric_cols = split_list(numeric);
+    let categorical_cols = split_list(categorical);
+    let privileged_values = split_list(privileged);
+    if numeric_cols.is_empty() && categorical_cols.is_empty() {
+        return Err("at least one feature column is required".to_string());
+    }
+    if privileged_values.is_empty() {
+        return Err("--privileged needs at least one value".to_string());
+    }
+
+    let mut kinds: Vec<(&str, ColumnKind)> = Vec::new();
+    for c in &numeric_cols {
+        kinds.push((c, ColumnKind::Numeric));
+    }
+    for c in &categorical_cols {
+        kinds.push((c, ColumnKind::Categorical));
+    }
+    if !numeric_cols.iter().chain(&categorical_cols).any(|c| c == protected) {
+        kinds.push((protected, ColumnKind::Categorical));
+    }
+    kinds.push((label, ColumnKind::Categorical));
+
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let frame = read_csv(std::io::BufReader::new(file), &kinds, DEFAULT_MISSING_TOKENS)
+        .map_err(|e| e.to_string())?;
+
+    let mut schema = Schema::new();
+    for c in &numeric_cols {
+        if c == protected {
+            continue; // declared as metadata below
+        }
+        schema = schema.numeric_feature(c);
+    }
+    for c in &categorical_cols {
+        if c == protected {
+            continue;
+        }
+        schema = schema.categorical_feature(c);
+    }
+    schema = schema.metadata(protected, ColumnKind::Categorical).label(label);
+
+    let privileged_refs: Vec<&str> =
+        privileged_values.iter().map(String::as_str).collect();
+    BinaryLabelDataset::new(
+        frame,
+        schema,
+        ProtectedAttribute::categorical(protected, &privileged_refs),
+        favorable,
+    )
+    .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    fn write_fixture() -> std::path::PathBuf {
+        let path = std::env::temp_dir().join("fairprep_cli_fixture.csv");
+        let mut csv = String::from("age,job,sex,income\n");
+        for i in 0..120 {
+            let male = i % 2 == 0;
+            let age = 20 + (i * 3) % 45;
+            let job = if i % 3 == 0 { "clerk" } else { "chef" };
+            // Missing age sometimes.
+            let age_field =
+                if i % 10 == 0 { String::new() } else { age.to_string() };
+            let income = if age + i32::from(male) * 10 > 45 { "high" } else { "low" };
+            csv.push_str(&format!(
+                "{age_field},{job},{},{income}\n",
+                if male { "m" } else { "f" }
+            ));
+        }
+        std::fs::write(&path, csv).unwrap();
+        path
+    }
+
+    #[test]
+    fn loads_csv_with_schema() {
+        let path = write_fixture();
+        let ds = load_csv_dataset(
+            path.to_str().unwrap(),
+            "age",
+            "job",
+            "income",
+            "high",
+            "sex",
+            "m",
+        )
+        .unwrap();
+        assert_eq!(ds.n_rows(), 120);
+        assert_eq!(ds.schema().feature_names(), vec!["age", "job"]);
+        assert!(ds.incomplete_rows().len() > 5);
+        assert!(ds.privileged_mask().iter().any(|&p| p));
+        assert!(ds.privileged_mask().iter().any(|&p| !p));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_dataset_runs_through_the_lifecycle() {
+        let path = write_fixture();
+        let ds = load_csv_dataset(
+            path.to_str().unwrap(),
+            "age",
+            "job",
+            "income",
+            "high",
+            "sex",
+            "m",
+        )
+        .unwrap();
+        let result = configure(
+            Experiment::builder("csv", ds),
+            "dt",
+            "mode",
+            "reweighing",
+            "none",
+            "standard",
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(result.test_report.overall.accuracy > 0.5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_errors_are_informative() {
+        assert!(load_csv_dataset("/no/such/file.csv", "a", "", "y", "p", "g", "x")
+            .unwrap_err()
+            .contains("/no/such/file.csv"));
+        let path = write_fixture();
+        // No features.
+        assert!(load_csv_dataset(path.to_str().unwrap(), "", "", "income", "high", "sex", "m")
+            .is_err());
+        // No privileged values.
+        assert!(load_csv_dataset(path.to_str().unwrap(), "age", "", "income", "high", "sex", "")
+            .is_err());
+        // Unknown column.
+        assert!(load_csv_dataset(path.to_str().unwrap(), "zzz", "", "income", "high", "sex", "m")
+            .is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

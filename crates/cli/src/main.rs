@@ -1,0 +1,356 @@
+//! `fairprep` — the command-line interface of the FairPrep framework.
+//!
+//! ```text
+//! fairprep run   --dataset german --learner lr-tuned --preprocessor reweighing --seed 46947
+//! fairprep sweep --dataset compas --learner dt-tuned --seeds 8 --preprocessor di-remover-1.0
+//! fairprep audit --dataset adult
+//! fairprep help
+//! ```
+//!
+//! `run` executes one lifecycle run and writes the full metric report;
+//! `sweep` repeats a configuration across seeds and prints the metric
+//! distributions (§2.2's variability quantification); `audit` prints
+//! dataset-level fairness statistics before any model is trained.
+
+mod args;
+mod build;
+
+use std::process::ExitCode;
+
+use fairprep_core::aggregate::{metric_across_runs, repeated_evaluation};
+use fairprep_core::experiment::Experiment;
+use fairprep_data::stats::{completeness_label_rates, missing_rates};
+use fairprep_fairness::metrics::DatasetMetrics;
+
+use crate::args::Invocation;
+
+const HELP: &str = "\
+fairprep — a data-first evaluation framework for fairness-enhancing interventions
+
+USAGE:
+  fairprep run   --dataset <name> [options]   execute one experiment
+  fairprep sweep --dataset <name> [options]   repeat across seeds, report distributions
+  fairprep audit --dataset <name> [--rows N]  dataset-level fairness statistics
+  fairprep help                               this message
+
+OPTIONS (run / sweep / audit):
+  --dataset        adult | german | compas | ricci | payment       (required*)
+  --csv PATH       use a real CSV instead of a generator; requires
+                   --label, --favorable, --protected, --privileged
+                   plus --numeric and/or --categorical column lists
+  --learner        lr | lr-tuned | dt | dt-tuned | nb | forest |
+                   adversarial | prejudice-remover | lfr           [lr-tuned]
+  --missing        complete-case | mode | mean-mode | model-based  [complete-case]
+  --preprocessor   none | reweighing | di-remover-0.5 |
+                   di-remover-1.0 | massaging | preferential-sampling [none]
+  --postprocessor  none | reject-option | cal-eq-odds | eq-odds |
+                   group-thresholds                                [none]
+  --scaler         standard | min-max | none                       [standard]
+  --seed           master seed (run)                               [46947]
+  --seeds          seed count (sweep)                              [8]
+  --rows           dataset rows, 0 = full documented size          [0]
+  --threads        sweep worker threads                            [4]
+  --out            metric CSV path (run)                           [-]
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match execute(&raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `fairprep help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn execute(raw: &[String]) -> Result<(), String> {
+    let inv = args::parse(raw)?;
+    match inv.command.as_str() {
+        "run" => cmd_run(&inv),
+        "sweep" => cmd_sweep(&inv),
+        "audit" => cmd_audit(&inv),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Loads the dataset named by `--dataset`, or a user CSV when `--csv` is
+/// given (with `--numeric/--categorical/--label/--favorable/--protected/
+/// --privileged` describing its schema).
+fn load_any_dataset(
+    inv: &Invocation,
+) -> Result<(String, fairprep_data::dataset::BinaryLabelDataset), String> {
+    if let Ok(path) = inv.require("csv") {
+        let dataset = build::load_csv_dataset(
+            path,
+            inv.get_or("numeric", ""),
+            inv.get_or("categorical", ""),
+            inv.require("label")?,
+            inv.require("favorable")?,
+            inv.require("protected")?,
+            inv.require("privileged")?,
+        )?;
+        Ok((format!("csv:{path}"), dataset))
+    } else {
+        let dataset_name = inv.require("dataset")?;
+        let rows = inv.parse_or::<usize>("rows", 0)?;
+        Ok((dataset_name.to_string(), build::load_dataset(dataset_name, rows, 20_19)?))
+    }
+}
+
+fn build_experiment(inv: &Invocation, seed: u64) -> Result<Experiment, String> {
+    let (dataset_name, dataset) = load_any_dataset(inv)?;
+    let builder = Experiment::builder(&dataset_name, dataset).seed(seed);
+    build::configure(
+        builder,
+        inv.get_or("learner", "lr-tuned"),
+        inv.get_or("missing", "complete-case"),
+        inv.get_or("preprocessor", "none"),
+        inv.get_or("postprocessor", "none"),
+        inv.get_or("scaler", "standard"),
+    )
+}
+
+fn cmd_run(inv: &Invocation) -> Result<(), String> {
+    let seed = inv.parse_or::<u64>("seed", 46947)?;
+    let experiment = build_experiment(inv, seed)?;
+    let result = experiment.run().map_err(|e| e.to_string())?;
+
+    let t = &result.test_report;
+    println!("experiment      : {}", result.metadata.experiment);
+    println!("seed            : {}", result.metadata.seed);
+    println!("selected model  : {}", result.metadata.candidates[result.metadata.selected]);
+    println!(
+        "partitions      : train {} / validation {} / test {}",
+        result.metadata.partition_sizes.0,
+        result.metadata.partition_sizes.1,
+        result.metadata.partition_sizes.2
+    );
+    println!("test accuracy   : {:.4}", t.overall.accuracy);
+    println!("  privileged    : {:.4}", t.privileged.accuracy);
+    println!("  unprivileged  : {:.4}", t.unprivileged.accuracy);
+    println!("disparate impact: {:.4}", t.differences.disparate_impact);
+    println!("SPD / EOD / AOD : {:+.4} / {:+.4} / {:+.4}",
+        t.differences.statistical_parity_difference,
+        t.differences.equal_opportunity_difference,
+        t.differences.average_odds_difference);
+    if let Some(inc) = &t.incomplete_records {
+        println!("imputed records : {} (accuracy {:.4})", inc.n_instances, inc.accuracy);
+    }
+
+    match inv.get_or("out", "-") {
+        "-" => {}
+        path => {
+            let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            result.write_csv(&mut file).map_err(|e| e.to_string())?;
+            println!("full report     : {path}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
+    let n_seeds = inv.parse_or::<usize>("seeds", 8)?;
+    let threads = inv.parse_or::<usize>("threads", 4)?;
+    let base = [46947u64, 71735, 94246, 31807, 12663, 56480, 83928, 40621];
+    let seeds: Vec<u64> = (0..n_seeds)
+        .map(|i| {
+            if i < base.len() {
+                base[i]
+            } else {
+                fairprep_data::rng::derive_seed(base[i % base.len()], &format!("seed/{i}"))
+            }
+        })
+        .collect();
+
+    println!("sweeping {n_seeds} seeds on {threads} threads...");
+    let results = repeated_evaluation(
+        |seed| {
+            build_experiment(inv, seed)
+                .map_err(|m| fairprep_data::error::Error::InvalidParameter {
+                    name: "cli",
+                    message: m,
+                })
+        },
+        &seeds,
+        threads,
+    );
+    let failures = results.iter().filter(|r| r.is_err()).count();
+    if failures == results.len() {
+        let first = results
+            .into_iter()
+            .find_map(std::result::Result::err)
+            .expect("at least one error");
+        return Err(first.to_string());
+    }
+
+    println!(
+        "\n{:<34} {:>8} {:>8} {:>8} {:>8} {:>4}",
+        "metric", "mean", "std", "min", "max", "n"
+    );
+    for metric in [
+        "overall_accuracy",
+        "privileged_accuracy",
+        "unprivileged_accuracy",
+        "disparate_impact",
+        "statistical_parity_difference",
+        "equal_opportunity_difference",
+        "false_negative_rate_difference",
+        "false_positive_rate_difference",
+        "theil_index",
+    ] {
+        let d = metric_across_runs(&results, metric);
+        println!(
+            "{:<34} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>4}",
+            metric, d.mean, d.std, d.min, d.max, d.n
+        );
+    }
+    if failures > 0 {
+        println!("\n({failures} run(s) failed and were skipped)");
+    }
+    Ok(())
+}
+
+fn cmd_audit(inv: &Invocation) -> Result<(), String> {
+    let (dataset_name, dataset) = load_any_dataset(inv)?;
+    let dataset_name = dataset_name.as_str();
+
+    println!("dataset          : {dataset_name} ({} rows)", dataset.n_rows());
+    let m = DatasetMetrics::compute(&dataset).map_err(|e| e.to_string())?;
+    println!("privileged rows  : {} ({:.1}%)", m.n_privileged,
+        100.0 * m.n_privileged as f64 / m.n_instances as f64);
+    println!("base rate        : {:.4}", m.base_rate);
+    println!("  privileged     : {:.4}", m.privileged_base_rate);
+    println!("  unprivileged   : {:.4}", m.unprivileged_base_rate);
+    println!("label DI         : {:.4}", m.disparate_impact);
+    println!("label SPD        : {:+.4}", m.statistical_parity_difference);
+
+    let rates = missing_rates(dataset.frame());
+    let with_missing: Vec<&(String, f64)> =
+        rates.iter().filter(|(_, r)| *r > 0.0).collect();
+    if with_missing.is_empty() {
+        println!("missing values   : none");
+    } else {
+        println!("missing values   :");
+        for (name, rate) in with_missing {
+            println!("  {name:<22} {:.2}%", rate * 100.0);
+        }
+        let c = completeness_label_rates(&dataset);
+        println!(
+            "completeness     : {} complete (base rate {:.3}) / {} incomplete (base rate {:.3})",
+            c.complete_count, c.complete_rate, c.incomplete_count, c.incomplete_rate
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert!(execute(&argv("help")).is_ok());
+        assert!(execute(&[]).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(execute(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn run_requires_dataset() {
+        assert!(execute(&argv("run")).is_err());
+    }
+
+    #[test]
+    fn small_run_executes() {
+        execute(&argv(
+            "run --dataset german --rows 200 --learner dt --preprocessor reweighing --seed 7",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn small_sweep_executes() {
+        execute(&argv(
+            "sweep --dataset german --rows 150 --learner dt --seeds 3 --threads 2",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn audit_executes_for_every_dataset() {
+        for name in crate::build::DATASETS {
+            execute(&argv(&format!("audit --dataset {name} --rows 200"))).unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_component_name_is_reported() {
+        let err = execute(&argv("run --dataset german --rows 100 --learner zzz"))
+            .unwrap_err();
+        assert!(err.contains("unknown learner"));
+    }
+
+    #[test]
+    fn run_writes_output_file() {
+        let path = std::env::temp_dir().join("fairprep_cli_test_out.csv");
+        let cmd = format!(
+            "run --dataset german --rows 200 --learner dt --seed 9 --out {}",
+            path.display()
+        );
+        execute(&argv(&cmd)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("overall_accuracy"));
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(test)]
+mod csv_cli_tests {
+    use super::*;
+
+    #[test]
+    fn run_on_a_user_csv() {
+        let path = std::env::temp_dir().join("fairprep_cli_run_csv.csv");
+        let mut csv = String::from("score,group,outcome\n");
+        for i in 0..150 {
+            let g = if i % 2 == 0 { "x" } else { "y" };
+            let score = 30 + (i * 7) % 60;
+            let outcome = if score + (i % 2) * 10 > 60 { "good" } else { "bad" };
+            csv.push_str(&format!("{score},{g},{outcome}\n"));
+        }
+        std::fs::write(&path, csv).unwrap();
+        let cmd = format!(
+            "run --csv {} --numeric score --label outcome --favorable good \
+             --protected group --privileged x --learner dt --seed 5",
+            path.display()
+        );
+        let argv: Vec<String> = cmd.split_whitespace().map(ToString::to_string).collect();
+        execute(&argv).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_requires_schema_options() {
+        let err = execute(
+            &"run --csv /tmp/whatever.csv"
+                .split_whitespace()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--label"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Test-set isolation: the vault.
+//!
+//! "Due to data isolation concerns, the user never gets direct access to
+//! the test set" (§3). The [`TestSetVault`] owns the held-out partition;
+//! its data is accessible only inside `fairprep-core` (the lifecycle), an
+//! instance of the *inversion of control* pattern the paper cites:
+//! components are handed data by the framework, they never fetch it.
+//!
+//! User code can observe only aggregate facts (row count, group counts) —
+//! enough for sanity checks and run accounting, never enough to leak
+//! feature values, labels, or per-row information into model selection.
+
+use fairprep_data::dataset::BinaryLabelDataset;
+
+/// The held-out test partition, sealed away from user code.
+pub struct TestSetVault {
+    data: BinaryLabelDataset,
+    /// Incompleteness of each test row, recorded before any imputation.
+    incomplete_mask: Vec<bool>,
+}
+
+impl TestSetVault {
+    /// Seals a test partition. Only the lifecycle constructs vaults.
+    pub(crate) fn seal(data: BinaryLabelDataset) -> Self {
+        let incomplete_mask: Vec<bool> =
+            (0..data.n_rows()).map(|i| data.frame().row_has_missing(i)).collect();
+        TestSetVault { data, incomplete_mask }
+    }
+
+    /// Number of held-out instances (aggregate — safe to expose).
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.data.n_rows()
+    }
+
+    /// Number of held-out instances in the privileged group (aggregate).
+    #[must_use]
+    pub fn n_privileged(&self) -> usize {
+        self.data.privileged_mask().iter().filter(|&&p| p).count()
+    }
+
+    /// Number of held-out instances with missing values (aggregate).
+    #[must_use]
+    pub fn n_incomplete(&self) -> usize {
+        self.incomplete_mask.iter().filter(|&&m| m).count()
+    }
+
+    /// Raw access for the lifecycle — deliberately `pub(crate)`.
+    pub(crate) fn data(&self) -> &BinaryLabelDataset {
+        &self.data
+    }
+
+    /// Pre-imputation incompleteness mask — deliberately `pub(crate)`.
+    pub(crate) fn incomplete_mask(&self) -> &[bool] {
+        &self.incomplete_mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairprep_datasets::generate_payment;
+
+    #[test]
+    fn vault_exposes_only_aggregates() {
+        let ds = generate_payment(200, 1).unwrap();
+        let n = ds.n_rows();
+        let n_priv = ds.privileged_mask().iter().filter(|&&p| p).count();
+        let n_inc = ds.incomplete_rows().len();
+        let vault = TestSetVault::seal(ds);
+        assert_eq!(vault.n_rows(), n);
+        assert_eq!(vault.n_privileged(), n_priv);
+        assert_eq!(vault.n_incomplete(), n_inc);
+        // The only data accessors are pub(crate): this test (same crate)
+        // can call them; downstream crates cannot — enforced by the
+        // compiler, exercised by the `isolation` integration test.
+        assert_eq!(vault.data().n_rows(), n);
+        assert_eq!(vault.incomplete_mask().len(), n);
+    }
+}

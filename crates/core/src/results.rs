@@ -1,0 +1,269 @@
+//! Run results and metric output files.
+//!
+//! "Every experiment writes an output file with these metrics by default"
+//! (§4). A [`RunResult`] carries everything a run produced: the metadata
+//! identifying the configuration, the per-candidate validation reports
+//! (phase 2), and the final held-out test report (phase 3). Results
+//! flatten to `name → value` maps and serialize to CSV for downstream
+//! analysis (the paper's "explored via a jupyter notebook" step).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use fairprep_data::error::Result;
+use fairprep_fairness::metrics::MetricsReport;
+
+/// Identifying metadata of one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetadata {
+    /// Experiment name (e.g. the dataset).
+    pub experiment: String,
+    /// Master random seed.
+    pub seed: u64,
+    /// Resampler component name.
+    pub resampler: String,
+    /// Missing-value handler component name.
+    pub missing_handler: String,
+    /// Numeric scaler name.
+    pub scaler: String,
+    /// Pre-processing intervention name.
+    pub preprocessor: String,
+    /// Post-processing intervention name (or `"none"`).
+    pub postprocessor: String,
+    /// Names of the candidate learners (phase-1 grid).
+    pub candidates: Vec<String>,
+    /// Index of the candidate chosen in phase 2.
+    pub selected: usize,
+    /// Sizes of the three partitions.
+    pub partition_sizes: (usize, usize, usize),
+    /// Ordered audit trail of the lifecycle steps the run executed
+    /// (§1.1: reproducibility supports "auditing for correctness and
+    /// legal compliance"). Each entry is `phase: action [detail]`.
+    pub lineage: Vec<String>,
+}
+
+/// Phase-1/2 evaluation of one candidate model.
+#[derive(Debug, Clone)]
+pub struct CandidateEvaluation {
+    /// The candidate learner's name.
+    pub learner: String,
+    /// Metrics of the candidate on the (transformed) training set.
+    pub train_report: MetricsReport,
+    /// Metrics of the candidate on the validation set.
+    pub validation_report: MetricsReport,
+}
+
+/// The complete outcome of one lifecycle run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Configuration identification.
+    pub metadata: RunMetadata,
+    /// Phase-2 evaluations, one per candidate learner.
+    pub candidates: Vec<CandidateEvaluation>,
+    /// Phase-3 metrics of the selected model on the held-out test set.
+    pub test_report: MetricsReport,
+}
+
+impl RunResult {
+    /// The selected candidate's evaluation.
+    #[must_use]
+    pub fn selected_candidate(&self) -> &CandidateEvaluation {
+        &self.candidates[self.metadata.selected]
+    }
+
+    /// Flattens the test report plus metadata into `name → value` pairs
+    /// (metadata values are stringified separately by [`RunResult::write_csv`]).
+    #[must_use]
+    pub fn test_metrics(&self) -> BTreeMap<String, f64> {
+        self.test_report.to_map()
+    }
+
+    /// Writes a single-run output file: one `metric,value` row per metric,
+    /// preceded by `# key=value` metadata comments.
+    pub fn write_csv<W: Write>(&self, writer: &mut W) -> Result<()> {
+        let m = &self.metadata;
+        writeln!(writer, "# experiment={}", m.experiment)?;
+        writeln!(writer, "# seed={}", m.seed)?;
+        writeln!(writer, "# resampler={}", m.resampler)?;
+        writeln!(writer, "# missing_handler={}", m.missing_handler)?;
+        writeln!(writer, "# scaler={}", m.scaler)?;
+        writeln!(writer, "# preprocessor={}", m.preprocessor)?;
+        writeln!(writer, "# postprocessor={}", m.postprocessor)?;
+        writeln!(writer, "# selected_learner={}", m.candidates[m.selected])?;
+        writeln!(
+            writer,
+            "# partitions=train:{}/validation:{}/test:{}",
+            m.partition_sizes.0, m.partition_sizes.1, m.partition_sizes.2
+        )?;
+        for (i, step) in m.lineage.iter().enumerate() {
+            writeln!(writer, "# lineage[{i}]={step}")?;
+        }
+        writeln!(writer, "metric,value")?;
+        for (k, v) in self.test_metrics() {
+            writeln!(writer, "{k},{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Accumulates many runs into one wide CSV (one row per run), keeping only
+/// the requested metric columns — the sweep-output format the benchmark
+/// harnesses use.
+pub struct SweepWriter {
+    metric_columns: Vec<String>,
+    rows: Vec<String>,
+}
+
+impl SweepWriter {
+    /// Creates a writer that records the given test metrics per run.
+    #[must_use]
+    pub fn new(metric_columns: &[&str]) -> Self {
+        SweepWriter {
+            metric_columns: metric_columns.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one run.
+    pub fn add(&mut self, result: &RunResult) {
+        let metrics = result.test_metrics();
+        let m = &result.metadata;
+        let mut row = format!(
+            "{},{},{},{},{},{},{}",
+            m.experiment,
+            m.seed,
+            m.missing_handler,
+            m.scaler,
+            m.preprocessor,
+            m.postprocessor,
+            m.candidates[m.selected],
+        );
+        for col in &self.metric_columns {
+            let v = metrics.get(col).copied().unwrap_or(f64::NAN);
+            row.push_str(&format!(",{v}"));
+        }
+        self.rows.push(row);
+    }
+
+    /// Number of recorded runs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no runs were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Writes the header plus all rows.
+    pub fn write<W: Write>(&self, writer: &mut W) -> Result<()> {
+        write!(
+            writer,
+            "experiment,seed,missing_handler,scaler,preprocessor,postprocessor,learner"
+        )?;
+        for col in &self.metric_columns {
+            write!(writer, ",{col}")?;
+        }
+        writeln!(writer)?;
+        for row in &self.rows {
+            writeln!(writer, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairprep_fairness::metrics::ReportInputs;
+
+    fn report() -> MetricsReport {
+        MetricsReport::compute(ReportInputs {
+            y_true: &[1.0, 0.0, 1.0, 0.0],
+            y_pred: &[1.0, 0.0, 0.0, 0.0],
+            scores: None,
+            privileged_mask: &[true, true, false, false],
+            incomplete_mask: None,
+        })
+        .unwrap()
+    }
+
+    fn result() -> RunResult {
+        let r = report();
+        RunResult {
+            metadata: RunMetadata {
+                experiment: "toy".into(),
+                seed: 42,
+                resampler: "no_resampling".into(),
+                missing_handler: "complete_case_analysis".into(),
+                scaler: "standard_scaler".into(),
+                preprocessor: "no_intervention".into(),
+                postprocessor: "none".into(),
+                candidates: vec!["lr".into(), "dt".into()],
+                selected: 1,
+                partition_sizes: (70, 10, 20),
+                lineage: vec!["phase1: split".into(), "phase3: evaluate test".into()],
+            },
+            candidates: vec![
+                CandidateEvaluation {
+                    learner: "lr".into(),
+                    train_report: r.clone(),
+                    validation_report: r.clone(),
+                },
+                CandidateEvaluation {
+                    learner: "dt".into(),
+                    train_report: r.clone(),
+                    validation_report: r.clone(),
+                },
+            ],
+            test_report: r,
+        }
+    }
+
+    #[test]
+    fn selected_candidate_indexing() {
+        let res = result();
+        assert_eq!(res.selected_candidate().learner, "dt");
+    }
+
+    #[test]
+    fn single_run_csv_format() {
+        let res = result();
+        let mut out = Vec::new();
+        res.write_csv(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("# seed=42"));
+        assert!(text.contains("# selected_learner=dt"));
+        assert!(text.contains("metric,value"));
+        assert!(text.contains("# lineage[0]=phase1: split"));
+        assert!(text.contains("overall_accuracy,0.75"));
+        assert!(text.contains("disparate_impact,"));
+    }
+
+    #[test]
+    fn sweep_writer_collects_rows() {
+        let mut w = SweepWriter::new(&["overall_accuracy", "disparate_impact"]);
+        assert!(w.is_empty());
+        w.add(&result());
+        w.add(&result());
+        assert_eq!(w.len(), 2);
+        let mut out = Vec::new();
+        w.write(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].ends_with("overall_accuracy,disparate_impact"));
+        assert!(lines[1].starts_with("toy,42,"));
+    }
+
+    #[test]
+    fn sweep_writer_unknown_metric_is_nan() {
+        let mut w = SweepWriter::new(&["no_such_metric"]);
+        w.add(&result());
+        let mut out = Vec::new();
+        w.write(&mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("NaN"));
+    }
+}

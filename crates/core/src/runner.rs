@@ -1,0 +1,131 @@
+//! Parallel sweep execution.
+//!
+//! The paper's experiments execute hundreds to thousands of runs (1,344 in
+//! §5.1; 216 in §5.2; 530 in §5.3). [`run_parallel`] distributes
+//! independent experiment jobs over a fixed-size pool of scoped threads —
+//! no extra dependency needed — and returns results in submission order.
+//! Each job owns its configuration (experiments are built inside the job
+//! closure), so runs cannot share mutable state by construction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fairprep_data::error::Result;
+
+use crate::results::RunResult;
+
+/// A boxed experiment job: builds and runs one experiment.
+pub type Job = Box<dyn FnOnce() -> Result<RunResult> + Send>;
+
+/// Runs `jobs` on up to `threads` worker threads; results come back in
+/// submission order. Failed runs are reported as errors in their slot —
+/// a sweep records the failure and continues.
+#[must_use]
+pub fn run_parallel(jobs: Vec<Job>, threads: usize) -> Vec<Result<RunResult>> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+
+    let queue: Mutex<Vec<Option<Job>>> =
+        Mutex::new(jobs.into_iter().map(Some).collect());
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<RunResult>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                if ix >= n {
+                    break;
+                }
+                let job = {
+                    let mut q = queue.lock().expect("queue poisoned");
+                    q[ix].take().expect("job taken once")
+                };
+                let outcome = job();
+                *results[ix].lock().expect("slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot poisoned").expect("job ran"))
+        .collect()
+}
+
+/// Convenience: total number of successful runs in a sweep outcome.
+#[must_use]
+pub fn count_ok(results: &[Result<RunResult>]) -> usize {
+    results.iter().filter(|r| r.is_ok()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use crate::learners::DecisionTreeLearner;
+    use fairprep_datasets::generate_german;
+
+    fn job(seed: u64) -> Job {
+        Box::new(move || {
+            Experiment::builder("german", generate_german(120, 3)?)
+                .seed(seed)
+                .learner(DecisionTreeLearner { tuned: false })
+                .build()?
+                .run()
+        })
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seeds = [1u64, 2, 3, 4, 5, 6];
+        let sequential: Vec<_> =
+            run_parallel(seeds.iter().map(|&s| job(s)).collect(), 1);
+        let parallel: Vec<_> = run_parallel(seeds.iter().map(|&s| job(s)).collect(), 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.metadata.seed, b.metadata.seed);
+            // NaN-aware equality (undefined metrics like a NaN F1 must not
+            // fail the comparison).
+            let (ma, mb) = (a.test_report.to_map(), b.test_report.to_map());
+            assert_eq!(ma.len(), mb.len());
+            for (k, va) in &ma {
+                let vb = mb[k];
+                assert!(
+                    (va.is_nan() && vb.is_nan()) || va == &vb,
+                    "metric {k}: {va} vs {vb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failures_are_reported_in_place() {
+        let jobs: Vec<Job> = vec![
+            job(1),
+            Box::new(|| {
+                Err(fairprep_data::error::Error::EmptyData("boom".to_string()))
+            }),
+            job(2),
+        ];
+        let results = run_parallel(jobs, 2);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        assert_eq!(count_ok(&results), 2);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        assert!(run_parallel(Vec::new(), 4).is_empty());
+    }
+}

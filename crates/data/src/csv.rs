@@ -1,0 +1,278 @@
+//! Minimal CSV reading/writing for frames.
+//!
+//! Experiments "write an output file with these metrics by default" (§4) and
+//! datasets are commonly distributed as CSV. The parser supports RFC-4180
+//! style quoting, configurable missing-value tokens, and typed ingestion
+//! driven by a column-kind specification.
+
+use std::io::{BufRead, Write};
+
+use crate::column::{ColumnKind, OwnedValue, Value};
+use crate::error::{Error, Result};
+use crate::frame::{DataFrame, FrameBuilder};
+
+/// Tokens interpreted as missing values when reading (compared after
+/// trimming surrounding whitespace).
+pub const DEFAULT_MISSING_TOKENS: &[&str] = &["", "?", "NA", "N/A", "null", "NULL"];
+
+/// Splits one CSV record into fields, honoring double-quote escaping.
+fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(Error::Csv {
+                            line: line_no,
+                            message: "quote inside unquoted field".to_string(),
+                        });
+                    }
+                }
+                ',' => fields.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::Csv { line: line_no, message: "unterminated quote".to_string() });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Reads a typed frame from CSV text.
+///
+/// The first record must be a header; `kinds` maps each header name to the
+/// column type to ingest. Header columns absent from `kinds` are skipped.
+/// Cells matching one of `missing_tokens` become missing values.
+pub fn read_csv<R: BufRead>(
+    reader: R,
+    kinds: &[(&str, ColumnKind)],
+    missing_tokens: &[&str],
+) -> Result<DataFrame> {
+    let mut lines = reader.lines().enumerate();
+    let header = match lines.next() {
+        Some((_, line)) => parse_record(&line?, 1)?,
+        None => return Err(Error::Csv { line: 1, message: "empty input".to_string() }),
+    };
+    // For each requested column, find its position in the header.
+    let mut positions = Vec::with_capacity(kinds.len());
+    for (name, kind) in kinds {
+        let pos = header
+            .iter()
+            .position(|h| h.trim() == *name)
+            .ok_or_else(|| Error::ColumnNotFound((*name).to_string()))?;
+        positions.push((pos, *name, *kind));
+    }
+
+    let mut builder = FrameBuilder::new(
+        &positions.iter().map(|(_, n, k)| (*n, *k)).collect::<Vec<_>>(),
+    );
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = parse_record(&line, line_no)?;
+        if record.len() != header.len() {
+            return Err(Error::Csv {
+                line: line_no,
+                message: format!("expected {} fields, got {}", header.len(), record.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(positions.len());
+        for (pos, name, kind) in &positions {
+            let raw = record[*pos].trim();
+            if missing_tokens.contains(&raw) {
+                row.push(OwnedValue::Missing);
+                continue;
+            }
+            match kind {
+                ColumnKind::Numeric => {
+                    let v: f64 = raw.parse().map_err(|_| Error::Csv {
+                        line: line_no,
+                        message: format!("column {name}: `{raw}` is not numeric"),
+                    })?;
+                    row.push(OwnedValue::Numeric(v));
+                }
+                ColumnKind::Categorical => row.push(OwnedValue::Categorical(raw.to_string())),
+            }
+        }
+        builder.push_row(row)?;
+    }
+    builder.finish()
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Writes a frame as CSV (header + records). Missing cells become empty
+/// fields.
+pub fn write_csv<W: Write>(frame: &DataFrame, writer: &mut W) -> Result<()> {
+    let header: Vec<String> =
+        frame.column_names().iter().map(|n| escape(n)).collect();
+    writeln!(writer, "{}", header.join(","))?;
+    let mut record = String::new();
+    for i in 0..frame.n_rows() {
+        record.clear();
+        for (j, name) in frame.column_names().iter().enumerate() {
+            if j > 0 {
+                record.push(',');
+            }
+            match frame.column(name).expect("column exists").get(i) {
+                Value::Numeric(v) => record.push_str(&format_float(v)),
+                Value::Categorical(s) => record.push_str(&escape(s)),
+                Value::Missing => {}
+            }
+        }
+        writeln!(writer, "{record}")?;
+    }
+    Ok(())
+}
+
+/// Formats a float with full roundtrip precision but without unnecessary
+/// trailing digits.
+fn format_float(v: f64) -> String {
+    let s = format!("{v}");
+    // `{}` on f64 already uses the shortest representation that roundtrips.
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "age,job,income\n25,clerk,low\n?,\"cook, senior\",high\n40,,low\n";
+
+    fn kinds() -> Vec<(&'static str, ColumnKind)> {
+        vec![
+            ("age", ColumnKind::Numeric),
+            ("job", ColumnKind::Categorical),
+            ("income", ColumnKind::Categorical),
+        ]
+    }
+
+    #[test]
+    fn reads_typed_columns_with_missing() {
+        let df =
+            read_csv(Cursor::new(SAMPLE), &kinds(), DEFAULT_MISSING_TOKENS).unwrap();
+        assert_eq!(df.n_rows(), 3);
+        assert_eq!(df.value(0, "age").unwrap(), Value::Numeric(25.0));
+        assert_eq!(df.value(1, "age").unwrap(), Value::Missing);
+        assert_eq!(df.value(1, "job").unwrap(), Value::Categorical("cook, senior"));
+        assert_eq!(df.value(2, "job").unwrap(), Value::Missing);
+    }
+
+    #[test]
+    fn column_subset_can_be_requested() {
+        let df = read_csv(
+            Cursor::new(SAMPLE),
+            &[("income", ColumnKind::Categorical)],
+            DEFAULT_MISSING_TOKENS,
+        )
+        .unwrap();
+        assert_eq!(df.n_cols(), 1);
+        assert_eq!(df.value(1, "income").unwrap(), Value::Categorical("high"));
+    }
+
+    #[test]
+    fn missing_header_column_is_error() {
+        let err = read_csv(
+            Cursor::new(SAMPLE),
+            &[("salary", ColumnKind::Numeric)],
+            DEFAULT_MISSING_TOKENS,
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::ColumnNotFound("salary".to_string()));
+    }
+
+    #[test]
+    fn malformed_number_is_error_with_line() {
+        let bad = "x\nhello\n";
+        let err =
+            read_csv(Cursor::new(bad), &[("x", ColumnKind::Numeric)], &[]).unwrap_err();
+        match err {
+            Error::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_record_is_error() {
+        let bad = "a,b\n1\n";
+        let err = read_csv(Cursor::new(bad), &[("a", ColumnKind::Numeric)], &[]).unwrap_err();
+        assert!(matches!(err, Error::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let bad = "a\n\"oops\n";
+        let err =
+            read_csv(Cursor::new(bad), &[("a", ColumnKind::Categorical)], &[]).unwrap_err();
+        assert!(matches!(err, Error::Csv { .. }));
+    }
+
+    #[test]
+    fn quoted_quote_roundtrips() {
+        let csv = "a\n\"he said \"\"hi\"\"\"\n";
+        let df = read_csv(Cursor::new(csv), &[("a", ColumnKind::Categorical)], &[]).unwrap();
+        assert_eq!(df.value(0, "a").unwrap(), Value::Categorical("he said \"hi\""));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let df =
+            read_csv(Cursor::new(SAMPLE), &kinds(), DEFAULT_MISSING_TOKENS).unwrap();
+        let mut out = Vec::new();
+        write_csv(&df, &mut out).unwrap();
+        let back = read_csv(Cursor::new(out), &kinds(), DEFAULT_MISSING_TOKENS).unwrap();
+        assert_eq!(back.n_rows(), df.n_rows());
+        for name in df.column_names() {
+            for i in 0..df.n_rows() {
+                assert_eq!(
+                    back.value(i, name).unwrap(),
+                    df.value(i, name).unwrap(),
+                    "mismatch in {name} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "a\n1\n\n2\n";
+        let df = read_csv(Cursor::new(csv), &[("a", ColumnKind::Numeric)], &[]).unwrap();
+        assert_eq!(df.n_rows(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let err = read_csv(Cursor::new(""), &[("a", ColumnKind::Numeric)], &[]).unwrap_err();
+        assert!(matches!(err, Error::Csv { line: 1, .. }));
+    }
+}

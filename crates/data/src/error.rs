@@ -1,0 +1,154 @@
+//! Error types shared across the FairPrep workspace.
+//!
+//! The framework is designed to surface data problems (schema mismatches,
+//! empty groups, missing columns) as typed errors rather than panics, so that
+//! experiment sweeps can record a failed configuration and continue.
+
+use std::fmt;
+
+/// The error type used throughout the FairPrep crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A column name was referenced that does not exist in the frame.
+    ColumnNotFound(String),
+    /// A column already exists and cannot be added again.
+    DuplicateColumn(String),
+    /// An operation expected a numeric column but found a categorical one
+    /// (or vice versa).
+    ColumnTypeMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// What the operation expected, e.g. `"numeric"`.
+        expected: &'static str,
+    },
+    /// Two columns (or a column and the frame) have different lengths.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// The dataset (or one of its splits / groups) is empty where data is
+    /// required.
+    EmptyData(String),
+    /// A component was used before being fitted.
+    NotFitted(&'static str),
+    /// Split fractions do not form a valid partition.
+    InvalidSplit(String),
+    /// A label value outside `{0, 1}` was encountered in a binary-label
+    /// dataset.
+    InvalidLabel(f64),
+    /// A protected-group specification did not match any rows.
+    EmptyGroup {
+        /// `true` for the privileged group.
+        privileged: bool,
+    },
+    /// A parameter value was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Wrapper for I/O failures (stringified to keep `Error: Clone + PartialEq`).
+    Io(String),
+    /// A model failed to converge or produced non-finite parameters.
+    ModelFailure(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            Error::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            Error::ColumnTypeMismatch { column, expected } => {
+                write!(f, "column {column} is not {expected}")
+            }
+            Error::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            Error::EmptyData(what) => write!(f, "empty data: {what}"),
+            Error::NotFitted(component) => {
+                write!(f, "{component} must be fitted before use")
+            }
+            Error::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
+            Error::InvalidLabel(v) => write!(f, "invalid binary label: {v}"),
+            Error::EmptyGroup { privileged } => {
+                let g = if *privileged { "privileged" } else { "unprivileged" };
+                write!(f, "{g} group matches no rows")
+            }
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            Error::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            Error::Io(msg) => write!(f, "io error: {msg}"),
+            Error::ModelFailure(msg) => write!(f, "model failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::ColumnNotFound("age".into()), "column not found: age"),
+            (Error::DuplicateColumn("age".into()), "duplicate column: age"),
+            (
+                Error::ColumnTypeMismatch { column: "age".into(), expected: "numeric" },
+                "column age is not numeric",
+            ),
+            (
+                Error::LengthMismatch { expected: 3, actual: 2 },
+                "length mismatch: expected 3, got 2",
+            ),
+            (Error::EmptyData("train set".into()), "empty data: train set"),
+            (Error::NotFitted("StandardScaler"), "StandardScaler must be fitted before use"),
+            (Error::InvalidLabel(2.0), "invalid binary label: 2"),
+            (Error::EmptyGroup { privileged: true }, "privileged group matches no rows"),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let err: Error = io.into();
+        assert!(matches!(err, Error::Io(_)));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::ColumnNotFound("x".into()),
+            Error::ColumnNotFound("x".into())
+        );
+        assert_ne!(
+            Error::ColumnNotFound("x".into()),
+            Error::ColumnNotFound("y".into())
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Dataset schemas: which attributes are features, labels, or protected.
+//!
+//! Integrating a custom dataset with FairPrep "only requires users to load
+//! the data as a pandas dataframe and configure several class variables that
+//! denote which attributes to use as numeric and categorical features, which
+//! attribute to use as the class label, and how to identify the protected
+//! groups" (§4). [`Schema`] is the Rust equivalent of those class variables.
+
+use crate::column::ColumnKind;
+use crate::error::{Error, Result};
+
+/// The role an attribute plays in an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Used as a numeric model feature (scaled by the featurizer).
+    NumericFeature,
+    /// Used as a categorical model feature (one-hot encoded).
+    CategoricalFeature,
+    /// The binary class label.
+    Label,
+    /// Carried through for bookkeeping but not fed to the model
+    /// (e.g. a sensitive attribute excluded from the feature set).
+    Metadata,
+}
+
+/// Membership test for the privileged group of a protected attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupSpec {
+    /// Privileged iff the (categorical) attribute equals one of these values.
+    CategoryIn(Vec<String>),
+    /// Privileged iff the (numeric) attribute is `>=` this threshold.
+    NumericAtLeast(f64),
+}
+
+/// A protected attribute together with its privileged-group definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtectedAttribute {
+    /// Column name of the sensitive attribute (e.g. `"race"`).
+    pub name: String,
+    /// Which values count as privileged (e.g. `race == "White"`).
+    pub privileged: GroupSpec,
+}
+
+impl ProtectedAttribute {
+    /// Convenience constructor for the common "privileged iff value in set"
+    /// case.
+    #[must_use]
+    pub fn categorical(name: &str, privileged_values: &[&str]) -> Self {
+        ProtectedAttribute {
+            name: name.to_string(),
+            privileged: GroupSpec::CategoryIn(
+                privileged_values.iter().map(ToString::to_string).collect(),
+            ),
+        }
+    }
+}
+
+/// One attribute's declaration in a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Physical type of the column.
+    pub kind: ColumnKind,
+    /// Experiment role.
+    pub role: Role,
+}
+
+/// The declared structure of a dataset.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    #[must_use]
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Adds a numeric feature attribute.
+    #[must_use]
+    pub fn numeric_feature(mut self, name: &str) -> Self {
+        self.fields.push(Field {
+            name: name.to_string(),
+            kind: ColumnKind::Numeric,
+            role: Role::NumericFeature,
+        });
+        self
+    }
+
+    /// Adds a categorical feature attribute.
+    #[must_use]
+    pub fn categorical_feature(mut self, name: &str) -> Self {
+        self.fields.push(Field {
+            name: name.to_string(),
+            kind: ColumnKind::Categorical,
+            role: Role::CategoricalFeature,
+        });
+        self
+    }
+
+    /// Declares the (categorical) binary label attribute.
+    #[must_use]
+    pub fn label(mut self, name: &str) -> Self {
+        self.fields.push(Field {
+            name: name.to_string(),
+            kind: ColumnKind::Categorical,
+            role: Role::Label,
+        });
+        self
+    }
+
+    /// Adds a metadata attribute (kept, not featurized) of the given kind.
+    #[must_use]
+    pub fn metadata(mut self, name: &str, kind: ColumnKind) -> Self {
+        self.fields.push(Field { name: name.to_string(), kind, role: Role::Metadata });
+        self
+    }
+
+    /// All declared fields, in declaration order.
+    #[must_use]
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Looks up a field by name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Names of all numeric feature attributes.
+    #[must_use]
+    pub fn numeric_features(&self) -> Vec<&str> {
+        self.by_role(Role::NumericFeature)
+    }
+
+    /// Names of all categorical feature attributes.
+    #[must_use]
+    pub fn categorical_features(&self) -> Vec<&str> {
+        self.by_role(Role::CategoricalFeature)
+    }
+
+    /// Names of all feature attributes (numeric then categorical,
+    /// declaration order within each).
+    #[must_use]
+    pub fn feature_names(&self) -> Vec<&str> {
+        let mut out = self.numeric_features();
+        out.extend(self.categorical_features());
+        out
+    }
+
+    /// Name of the label attribute.
+    pub fn label_name(&self) -> Result<&str> {
+        self.by_role(Role::Label)
+            .first()
+            .copied()
+            .ok_or_else(|| Error::InvalidParameter {
+                name: "schema",
+                message: "no label attribute declared".to_string(),
+            })
+    }
+
+    /// Validates internal consistency: unique names, exactly one label.
+    pub fn validate(&self) -> Result<()> {
+        for (i, f) in self.fields.iter().enumerate() {
+            if self.fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(Error::DuplicateColumn(f.name.clone()));
+            }
+        }
+        let labels = self.by_role(Role::Label);
+        if labels.len() != 1 {
+            return Err(Error::InvalidParameter {
+                name: "schema",
+                message: format!("expected exactly one label attribute, found {}", labels.len()),
+            });
+        }
+        Ok(())
+    }
+
+    fn by_role(&self, role: Role) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.role == role)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new()
+            .numeric_feature("age")
+            .numeric_feature("hours")
+            .categorical_feature("workclass")
+            .metadata("race", ColumnKind::Categorical)
+            .label("income")
+    }
+
+    #[test]
+    fn role_queries() {
+        let s = sample();
+        assert_eq!(s.numeric_features(), vec!["age", "hours"]);
+        assert_eq!(s.categorical_features(), vec!["workclass"]);
+        assert_eq!(s.feature_names(), vec!["age", "hours", "workclass"]);
+        assert_eq!(s.label_name().unwrap(), "income");
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_names() {
+        let s = Schema::new().numeric_feature("x").categorical_feature("x").label("y");
+        assert!(matches!(s.validate(), Err(Error::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn validate_rejects_missing_label() {
+        let s = Schema::new().numeric_feature("x");
+        assert!(s.validate().is_err());
+        assert!(s.label_name().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_two_labels() {
+        let s = Schema::new().label("a").label("b");
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let s = sample();
+        assert_eq!(s.field("age").unwrap().role, Role::NumericFeature);
+        assert!(s.field("nope").is_none());
+    }
+
+    #[test]
+    fn protected_attribute_constructor() {
+        let p = ProtectedAttribute::categorical("race", &["White"]);
+        assert_eq!(p.name, "race");
+        assert_eq!(p.privileged, GroupSpec::CategoryIn(vec!["White".to_string()]));
+    }
+}

@@ -1,0 +1,355 @@
+//! Synthetic stand-in for the UCI Adult Income dataset.
+//!
+//! "The Adult Income dataset contains information about individuals from
+//! the 1994 U.S. census, with sensitive attributes race and sex, as well as
+//! instances with missing values. The task is to predict if an individual
+//! earns more or less than $50,000 per year." (§4)
+//!
+//! The generator reproduces the statistics the paper's §2.4/§5.3 analysis
+//! relies on:
+//!
+//! * 32,561 instances, 14 attributes, sensitive attributes `race`/`sex`;
+//! * privileged group White ≈ 85% of records, non-white ≈ 15%;
+//! * three attributes with missing values — `workclass`, `occupation`,
+//!   `native-country`;
+//! * `native-country` missing ≈ 4× more often for non-white persons;
+//! * positive label (`>50K`) ≈ 24% among complete records but only ≈ 14%
+//!   among incomplete records (missingness is *not* at random);
+//! * incomplete records skew towards `never-married` marital status.
+
+use fairprep_data::column::ColumnKind;
+use fairprep_data::column::OwnedValue;
+use fairprep_data::dataset::BinaryLabelDataset;
+use fairprep_data::error::Result;
+use fairprep_data::frame::FrameBuilder;
+use fairprep_data::rng::component_rng;
+use fairprep_data::schema::{ProtectedAttribute, Schema};
+
+use crate::gen::{bernoulli, clipped_normal, logistic, weighted_choice};
+
+/// Number of rows in the original UCI adult training split.
+pub const ADULT_FULL_SIZE: usize = 32_561;
+
+/// Which sensitive attribute defines the protected groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdultProtected {
+    /// Privileged = White (the §5.3 setup).
+    Race,
+    /// Privileged = Male.
+    Sex,
+}
+
+/// Generates the synthetic adult dataset with `n` rows.
+pub fn generate_adult(n: usize, seed: u64, protected: AdultProtected) -> Result<BinaryLabelDataset> {
+    let mut rng = component_rng(seed, "datasets/adult");
+
+    let workclasses: &[(&str, f64)] = &[
+        ("Private", 0.75),
+        ("Self-emp-not-inc", 0.08),
+        ("Local-gov", 0.07),
+        ("State-gov", 0.04),
+        ("Self-emp-inc", 0.04),
+        ("Federal-gov", 0.02),
+    ];
+    let occupations: &[(&str, f64)] = &[
+        ("Prof-specialty", 0.13),
+        ("Craft-repair", 0.13),
+        ("Exec-managerial", 0.13),
+        ("Adm-clerical", 0.12),
+        ("Sales", 0.12),
+        ("Other-service", 0.11),
+        ("Machine-op-inspct", 0.07),
+        ("Transport-moving", 0.05),
+        ("Handlers-cleaners", 0.05),
+        ("Farming-fishing", 0.03),
+        ("Tech-support", 0.03),
+        ("Protective-serv", 0.02),
+        ("Priv-house-serv", 0.01),
+    ];
+    let educations: &[(&str, f64, f64)] = &[
+        // (name, weight, education-num)
+        ("HS-grad", 0.32, 9.0),
+        ("Some-college", 0.22, 10.0),
+        ("Bachelors", 0.16, 13.0),
+        ("Masters", 0.05, 14.0),
+        ("Assoc-voc", 0.04, 11.0),
+        ("11th", 0.04, 7.0),
+        ("Assoc-acdm", 0.03, 12.0),
+        ("10th", 0.03, 6.0),
+        ("7th-8th", 0.02, 4.0),
+        ("Prof-school", 0.02, 15.0),
+        ("9th", 0.02, 5.0),
+        ("Doctorate", 0.01, 16.0),
+        ("12th", 0.01, 8.0),
+        ("5th-6th", 0.01, 3.0),
+        ("1st-4th", 0.01, 2.0),
+        ("Preschool", 0.01, 1.0),
+    ];
+    let relationships: &[(&str, f64)] = &[
+        ("Husband", 0.40),
+        ("Not-in-family", 0.26),
+        ("Own-child", 0.16),
+        ("Unmarried", 0.10),
+        ("Wife", 0.05),
+        ("Other-relative", 0.03),
+    ];
+    let countries: &[(&str, f64)] = &[
+        ("United-States", 0.91),
+        ("Mexico", 0.02),
+        ("Philippines", 0.01),
+        ("Germany", 0.01),
+        ("Canada", 0.01),
+        ("Other", 0.04),
+    ];
+
+    let mut builder = FrameBuilder::new(&[
+        ("age", ColumnKind::Numeric),
+        ("workclass", ColumnKind::Categorical),
+        ("fnlwgt", ColumnKind::Numeric),
+        ("education", ColumnKind::Categorical),
+        ("education-num", ColumnKind::Numeric),
+        ("marital-status", ColumnKind::Categorical),
+        ("occupation", ColumnKind::Categorical),
+        ("relationship", ColumnKind::Categorical),
+        ("race", ColumnKind::Categorical),
+        ("sex", ColumnKind::Categorical),
+        ("capital-gain", ColumnKind::Numeric),
+        ("capital-loss", ColumnKind::Numeric),
+        ("hours-per-week", ColumnKind::Numeric),
+        ("native-country", ColumnKind::Categorical),
+        ("income", ColumnKind::Categorical),
+    ]);
+
+    for _ in 0..n {
+        let white = bernoulli(&mut rng, 0.85);
+        let male = bernoulli(&mut rng, 0.67);
+        let age = clipped_normal(&mut rng, 38.6, 13.6, 17.0, 90.0).round();
+        let (education, edu_num) = {
+            let weights: Vec<f64> = educations.iter().map(|(_, w, _)| *w).collect();
+            let ix = crate::gen::weighted_index(&mut rng, &weights);
+            (educations[ix].0, educations[ix].2)
+        };
+        let hours = clipped_normal(&mut rng, 40.4, 12.3, 1.0, 99.0).round();
+        let fnlwgt = clipped_normal(&mut rng, 189_778.0, 105_550.0, 12_285.0, 1_484_705.0).round();
+
+        // Married status correlates with age; married people have far higher
+        // positive rates in the real data.
+        let married_p = logistic((age - 28.0) / 8.0) * 0.75;
+        let married = bernoulli(&mut rng, married_p);
+        let marital = if married {
+            "Married-civ-spouse"
+        } else {
+            weighted_choice(
+                &mut rng,
+                &[("Never-married", 0.62), ("Divorced", 0.26), ("Widowed", 0.06), ("Separated", 0.06)],
+            )
+        };
+        let relationship = if married {
+            if male {
+                "Husband"
+            } else {
+                "Wife"
+            }
+        } else {
+            weighted_choice(&mut rng, relationships)
+        };
+        let workclass = weighted_choice(&mut rng, workclasses);
+        let occupation = weighted_choice(&mut rng, occupations);
+        let country = weighted_choice(&mut rng, countries);
+
+        // Capital gains: rare spikes, strongly predictive of high income.
+        let capital_gain = if bernoulli(&mut rng, 0.08) {
+            clipped_normal(&mut rng, 8000.0, 6000.0, 114.0, 99_999.0).round()
+        } else {
+            0.0
+        };
+        let capital_loss = if bernoulli(&mut rng, 0.047) {
+            clipped_normal(&mut rng, 1870.0, 380.0, 155.0, 4356.0).round()
+        } else {
+            0.0
+        };
+
+        // Income model: calibrated so the overall positive rate lands near
+        // the real 24%, with the real data's group gaps (male > female,
+        // white > non-white, married ≫ unmarried).
+        let z = -6.05
+            + 0.30 * edu_num
+            + 0.022 * (age - 38.0)
+            + 0.030 * (hours - 40.0)
+            + 1.45 * f64::from(u8::from(married))
+            + 0.55 * f64::from(u8::from(male))
+            + 0.35 * f64::from(u8::from(white))
+            + 0.00012 * capital_gain
+            + 0.0004 * capital_loss;
+        let high_income = bernoulli(&mut rng, logistic(z));
+
+        // Missingness (§2.4/§5.3): workclass+occupation go missing together;
+        // never-married and low-income records are more likely incomplete;
+        // native-country is missing ~4× more often for non-white persons.
+        let employment_missing_base = if high_income { 0.025 } else { 0.048 };
+        let employment_missing_p = if marital == "Never-married" {
+            employment_missing_base * 2.8
+        } else {
+            employment_missing_base
+        };
+        let employment_missing = bernoulli(&mut rng, employment_missing_p);
+        let country_missing_p = if white { 0.012 } else { 0.048 };
+        let country_missing = bernoulli(&mut rng, country_missing_p);
+
+        builder.push_row(vec![
+            OwnedValue::Numeric(age),
+            if employment_missing {
+                OwnedValue::Missing
+            } else {
+                OwnedValue::Categorical(workclass.to_string())
+            },
+            OwnedValue::Numeric(fnlwgt),
+            OwnedValue::Categorical(education.to_string()),
+            OwnedValue::Numeric(edu_num),
+            OwnedValue::Categorical(marital.to_string()),
+            if employment_missing {
+                OwnedValue::Missing
+            } else {
+                OwnedValue::Categorical(occupation.to_string())
+            },
+            OwnedValue::Categorical(relationship.to_string()),
+            OwnedValue::Categorical(if white { "White" } else { "Non-white" }.to_string()),
+            OwnedValue::Categorical(if male { "Male" } else { "Female" }.to_string()),
+            OwnedValue::Numeric(capital_gain),
+            OwnedValue::Numeric(capital_loss),
+            OwnedValue::Numeric(hours),
+            if country_missing {
+                OwnedValue::Missing
+            } else {
+                OwnedValue::Categorical(country.to_string())
+            },
+            OwnedValue::Categorical(if high_income { ">50K" } else { "<=50K" }.to_string()),
+        ])?;
+    }
+
+    let frame = builder.finish()?;
+    let schema = Schema::new()
+        .numeric_feature("age")
+        .categorical_feature("workclass")
+        .numeric_feature("fnlwgt")
+        .categorical_feature("education")
+        .numeric_feature("education-num")
+        .categorical_feature("marital-status")
+        .categorical_feature("occupation")
+        .categorical_feature("relationship")
+        .metadata("race", ColumnKind::Categorical)
+        .metadata("sex", ColumnKind::Categorical)
+        .numeric_feature("capital-gain")
+        .numeric_feature("capital-loss")
+        .numeric_feature("hours-per-week")
+        .categorical_feature("native-country")
+        .label("income");
+
+    let protected_attr = match protected {
+        AdultProtected::Race => ProtectedAttribute::categorical("race", &["White"]),
+        AdultProtected::Sex => ProtectedAttribute::categorical("sex", &["Male"]),
+    };
+    BinaryLabelDataset::new(frame, schema, protected_attr, ">50K")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairprep_data::stats::{completeness_label_rates, group_missingness};
+
+    fn sample() -> BinaryLabelDataset {
+        generate_adult(8000, 42, AdultProtected::Race).unwrap()
+    }
+
+    #[test]
+    fn shape_and_schema() {
+        let ds = sample();
+        assert_eq!(ds.n_rows(), 8000);
+        assert_eq!(ds.frame().n_cols(), 15); // 14 attributes + label
+        assert_eq!(ds.schema().feature_names().len(), 12);
+        assert_eq!(ds.favorable_label(), ">50K");
+    }
+
+    #[test]
+    fn group_proportions_match_documentation() {
+        let ds = sample();
+        let white_frac =
+            ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / ds.n_rows() as f64;
+        assert!((white_frac - 0.85).abs() < 0.02, "white fraction {white_frac}");
+    }
+
+    #[test]
+    fn overall_positive_rate_near_24_percent() {
+        let ds = sample();
+        let rates = completeness_label_rates(&ds);
+        assert!(
+            (rates.complete_rate - 0.24).abs() < 0.04,
+            "complete-record rate {}",
+            rates.complete_rate
+        );
+    }
+
+    #[test]
+    fn incomplete_records_have_lower_positive_rate() {
+        let ds = sample();
+        let rates = completeness_label_rates(&ds);
+        assert!(rates.incomplete_count > 0);
+        assert!(
+            rates.incomplete_rate < rates.complete_rate - 0.04,
+            "incomplete {} vs complete {}",
+            rates.incomplete_rate,
+            rates.complete_rate
+        );
+        assert!(
+            (rates.incomplete_rate - 0.14).abs() < 0.06,
+            "incomplete rate {}",
+            rates.incomplete_rate
+        );
+    }
+
+    #[test]
+    fn native_country_missing_4x_more_for_non_white() {
+        let ds = sample();
+        let gm = group_missingness(&ds, "native-country").unwrap();
+        let ratio = gm.disparity_ratio();
+        assert!((2.5..=6.0).contains(&ratio), "disparity ratio {ratio}");
+    }
+
+    #[test]
+    fn only_documented_columns_have_missing_values() {
+        let ds = sample();
+        for name in ds.frame().column_names() {
+            let missing = ds.frame().column(name).unwrap().missing_count();
+            let expected_missing =
+                matches!(name.as_str(), "workclass" | "occupation" | "native-country");
+            assert_eq!(missing > 0, expected_missing, "column {name}: {missing} missing");
+        }
+    }
+
+    #[test]
+    fn incompleteness_fraction_is_realistic() {
+        // Real adult: 2399 / 32561 ≈ 7.4% incomplete rows.
+        let ds = sample();
+        let frac = ds.incomplete_rows().len() as f64 / ds.n_rows() as f64;
+        assert!((0.04..=0.12).contains(&frac), "incomplete fraction {frac}");
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = generate_adult(500, 7, AdultProtected::Race).unwrap();
+        let b = generate_adult(500, 7, AdultProtected::Race).unwrap();
+        assert_eq!(a.frame(), b.frame());
+        let c = generate_adult(500, 8, AdultProtected::Race).unwrap();
+        assert_ne!(a.frame(), c.frame());
+    }
+
+    #[test]
+    fn sex_protected_variant() {
+        let ds = generate_adult(2000, 1, AdultProtected::Sex).unwrap();
+        let male_frac =
+            ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / 2000.0;
+        assert!((male_frac - 0.67).abs() < 0.04, "male fraction {male_frac}");
+        // Income gap by sex must favor the privileged group.
+        assert!(ds.base_rate(Some(true)) > ds.base_rate(Some(false)) + 0.05);
+    }
+}

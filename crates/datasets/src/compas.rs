@@ -1,0 +1,208 @@
+//! Synthetic stand-in for the ProPublica COMPAS dataset.
+//!
+//! "The ProPublica dataset includes data such as criminal history, jail and
+//! prison time, demographics and COMPAS risk scores for defendants from
+//! Broward County, Florida. It includes the sensitive attributes race and
+//! sex. The prediction concerns a binary 'recidivism' outcome." (§4)
+//!
+//! The generator reproduces the documented structure of the two-year
+//! recidivism cohort (~6,100 defendants): race composition (~51%
+//! African-American, ~34% Caucasian, rest other), overall recidivism ≈ 45%,
+//! a higher observed recidivism rate for the unprivileged group, and
+//! prior-count / age / charge-degree as the main predictive features.
+
+use rand::Rng;
+
+use fairprep_data::column::{ColumnKind, OwnedValue};
+use fairprep_data::dataset::BinaryLabelDataset;
+use fairprep_data::error::Result;
+use fairprep_data::frame::FrameBuilder;
+use fairprep_data::rng::component_rng;
+use fairprep_data::schema::{ProtectedAttribute, Schema};
+
+use crate::gen::{bernoulli, clipped_normal, logistic, weighted_choice};
+
+/// Number of rows in the standard two-year-recidivism cohort.
+pub const COMPAS_FULL_SIZE: usize = 6167;
+
+/// Which sensitive attribute defines the protected groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompasProtected {
+    /// Privileged = Caucasian.
+    Race,
+    /// Privileged = Female (the convention of Friedler et al.).
+    Sex,
+}
+
+/// Generates the synthetic COMPAS dataset with `n` rows.
+pub fn generate_compas(
+    n: usize,
+    seed: u64,
+    protected: CompasProtected,
+) -> Result<BinaryLabelDataset> {
+    let mut rng = component_rng(seed, "datasets/compas");
+
+    let mut builder = FrameBuilder::new(&[
+        ("sex", ColumnKind::Categorical),
+        ("age", ColumnKind::Numeric),
+        ("age-cat", ColumnKind::Categorical),
+        ("race", ColumnKind::Categorical),
+        ("juv-fel-count", ColumnKind::Numeric),
+        ("juv-misd-count", ColumnKind::Numeric),
+        ("priors-count", ColumnKind::Numeric),
+        ("charge-degree", ColumnKind::Categorical),
+        ("decile-score", ColumnKind::Numeric),
+        ("two-year-recid", ColumnKind::Categorical),
+    ]);
+
+    for _ in 0..n {
+        let race = weighted_choice(
+            &mut rng,
+            &[("African-American", 0.51), ("Caucasian", 0.34), ("Hispanic", 0.09), ("Other", 0.06)],
+        );
+        let caucasian = race == "Caucasian";
+        let male = bernoulli(&mut rng, 0.81);
+        let age = clipped_normal(&mut rng, 34.8, 11.9, 18.0, 96.0).round();
+        let age_cat = if age < 25.0 {
+            "Less than 25"
+        } else if age <= 45.0 {
+            "25 - 45"
+        } else {
+            "Greater than 45"
+        };
+
+        // Priors: geometric-ish, heavier tail for the unprivileged group
+        // (this is a property of the observed data, not an assumption of
+        // ours — the COMPAS debate is precisely about it).
+        let priors_mean = if caucasian { 1.9 } else { 4.3 };
+        let priors = (-priors_mean * (rng.random::<f64>().max(1e-9)).ln())
+            .round()
+            .clamp(0.0, 38.0);
+        let juv_fel = if bernoulli(&mut rng, 0.06) { f64::from(rng.random_range(1..=3)) } else { 0.0 };
+        let juv_misd =
+            if bernoulli(&mut rng, 0.08) { f64::from(rng.random_range(1..=3)) } else { 0.0 };
+        let felony = bernoulli(&mut rng, 0.64);
+
+        // Recidivism model: priors and youth dominate.
+        let z = -0.95 + 0.17 * priors + 0.35 * juv_fel + 0.25 * juv_misd
+            - 0.028 * (age - 35.0)
+            + 0.12 * f64::from(u8::from(felony))
+            + 0.18 * f64::from(u8::from(male));
+        let recid = bernoulli(&mut rng, logistic(z));
+
+        // COMPAS decile score: noisy monotone function of the same factors.
+        let decile = (1.0 + 9.0 * logistic(1.5 * z)
+            + crate::gen::normal(&mut rng, 0.0, 1.0))
+        .round()
+        .clamp(1.0, 10.0);
+
+        builder.push_row(vec![
+            OwnedValue::Categorical(if male { "Male" } else { "Female" }.to_string()),
+            OwnedValue::Numeric(age),
+            OwnedValue::Categorical(age_cat.to_string()),
+            OwnedValue::Categorical(race.to_string()),
+            OwnedValue::Numeric(juv_fel),
+            OwnedValue::Numeric(juv_misd),
+            OwnedValue::Numeric(priors),
+            OwnedValue::Categorical(if felony { "F" } else { "M" }.to_string()),
+            OwnedValue::Numeric(decile),
+            OwnedValue::Categorical(if recid { "recid" } else { "no-recid" }.to_string()),
+        ])?;
+    }
+
+    let frame = builder.finish()?;
+    let schema = Schema::new()
+        .metadata("sex", ColumnKind::Categorical)
+        .numeric_feature("age")
+        .categorical_feature("age-cat")
+        .metadata("race", ColumnKind::Categorical)
+        .numeric_feature("juv-fel-count")
+        .numeric_feature("juv-misd-count")
+        .numeric_feature("priors-count")
+        .categorical_feature("charge-degree")
+        .numeric_feature("decile-score")
+        .label("two-year-recid");
+    let protected_attr = match protected {
+        CompasProtected::Race => ProtectedAttribute::categorical("race", &["Caucasian"]),
+        CompasProtected::Sex => ProtectedAttribute::categorical("sex", &["Female"]),
+    };
+    // NOTE: for recidivism, the *favorable* outcome is NOT reoffending.
+    BinaryLabelDataset::new(frame, schema, protected_attr, "no-recid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BinaryLabelDataset {
+        generate_compas(COMPAS_FULL_SIZE, 9, CompasProtected::Race).unwrap()
+    }
+
+    #[test]
+    fn shape_and_labels() {
+        let ds = sample();
+        assert_eq!(ds.n_rows(), COMPAS_FULL_SIZE);
+        assert_eq!(ds.frame().n_cols(), 10);
+        assert_eq!(ds.favorable_label(), "no-recid");
+        assert_eq!(ds.frame().missing_cells(), 0);
+    }
+
+    #[test]
+    fn recidivism_rate_near_45_percent() {
+        let ds = sample();
+        // base_rate counts the favorable (no-recid) outcome.
+        let recid_rate = 1.0 - ds.base_rate(None);
+        assert!((recid_rate - 0.45).abs() < 0.06, "recid rate {recid_rate}");
+    }
+
+    #[test]
+    fn unprivileged_group_has_higher_observed_recidivism() {
+        let ds = sample();
+        let recid_priv = 1.0 - ds.base_rate(Some(true));
+        let recid_unpriv = 1.0 - ds.base_rate(Some(false));
+        assert!(
+            recid_unpriv > recid_priv + 0.05,
+            "priv {recid_priv} unpriv {recid_unpriv}"
+        );
+    }
+
+    #[test]
+    fn race_composition() {
+        let ds = sample();
+        let caucasian =
+            ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / ds.n_rows() as f64;
+        assert!((caucasian - 0.34).abs() < 0.03, "caucasian fraction {caucasian}");
+    }
+
+    #[test]
+    fn decile_score_tracks_recidivism() {
+        let ds = sample();
+        let decile = ds.frame().column("decile-score").unwrap().as_numeric().unwrap();
+        let labels = ds.labels();
+        let mean = |recid: bool| {
+            let xs: Vec<f64> = decile
+                .iter()
+                .zip(labels)
+                .filter(|(_, &y)| (y == 0.0) == recid)
+                .map(|(v, _)| v.unwrap())
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean(true) > mean(false) + 1.0);
+    }
+
+    #[test]
+    fn sex_protected_variant() {
+        let ds = generate_compas(2000, 2, CompasProtected::Sex).unwrap();
+        let female =
+            ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / 2000.0;
+        assert!((female - 0.19).abs() < 0.04, "female fraction {female}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate_compas(300, 4, CompasProtected::Race).unwrap();
+        let b = generate_compas(300, 4, CompasProtected::Race).unwrap();
+        assert_eq!(a.frame(), b.frame());
+    }
+}

@@ -1,0 +1,104 @@
+//! Shared machinery for the synthetic dataset generators.
+//!
+//! The real benchmark datasets (UCI adult, UCI German credit, ProPublica
+//! COMPAS, Ricci v. DeStefano) cannot be downloaded in this environment, so
+//! `fairprep-datasets` generates synthetic stand-ins that reproduce the
+//! *documented* statistical structure the paper's experiments depend on:
+//! sizes, group proportions, group-conditional base rates, feature–label
+//! correlations, and missingness patterns (see DESIGN.md for the
+//! substitution rationale). All generators are fully seeded.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn normal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+/// Samples a normal clipped to `[lo, hi]`.
+pub fn clipped_normal(rng: &mut StdRng, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, std).clamp(lo, hi)
+}
+
+/// Samples an index from unnormalized weights.
+pub fn weighted_index(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Samples a category from `(value, weight)` pairs.
+pub fn weighted_choice<'a>(rng: &mut StdRng, options: &[(&'a str, f64)]) -> &'a str {
+    let weights: Vec<f64> = options.iter().map(|(_, w)| *w).collect();
+    options[weighted_index(rng, &weights)].0
+}
+
+/// Bernoulli draw.
+pub fn bernoulli(rng: &mut StdRng, p: f64) -> bool {
+    rng.random::<f64>() < p
+}
+
+/// Logistic function for label models.
+pub fn logistic(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairprep_data::rng::component_rng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = component_rng(1, "gen/test");
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn clipping_respected() {
+        let mut rng = component_rng(2, "gen/test");
+        for _ in 0..1000 {
+            let x = clipped_normal(&mut rng, 0.0, 100.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_choice_matches_weights() {
+        let mut rng = component_rng(3, "gen/test");
+        let opts = [("a", 0.8), ("b", 0.2)];
+        let n = 10_000;
+        let a_count = (0..n).filter(|_| weighted_choice(&mut rng, &opts) == "a").count();
+        let frac = a_count as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn weighted_index_degenerate() {
+        let mut rng = component_rng(4, "gen/test");
+        assert_eq!(weighted_index(&mut rng, &[1.0]), 0);
+        // All mass on the last option.
+        assert_eq!(weighted_index(&mut rng, &[0.0, 0.0, 1.0]), 2);
+    }
+
+    #[test]
+    fn logistic_range() {
+        assert!((logistic(0.0) - 0.5).abs() < 1e-12);
+        assert!(logistic(100.0) > 0.999);
+        assert!(logistic(-100.0) < 0.001);
+    }
+}

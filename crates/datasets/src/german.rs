@@ -1,0 +1,306 @@
+//! Synthetic stand-in for the UCI German Credit dataset.
+//!
+//! "The German Credit dataset contains demographic and financial data about
+//! people, as well as the sensitive attribute sex. The task is to predict
+//! an individual's credit risk." (§4) — 1,000 people, 20 attributes
+//! (7 numeric, 13 categorical), 70% good / 30% bad credit, no missing
+//! values. This is the dataset of the §5.1 hyperparameter-tuning experiment
+//! (Figure 2).
+
+use rand::Rng;
+
+use fairprep_data::column::{ColumnKind, OwnedValue};
+use fairprep_data::dataset::BinaryLabelDataset;
+use fairprep_data::error::Result;
+use fairprep_data::frame::FrameBuilder;
+use fairprep_data::rng::component_rng;
+use fairprep_data::schema::{ProtectedAttribute, Schema};
+
+use crate::gen::{bernoulli, clipped_normal, logistic, weighted_choice};
+
+/// Number of rows in the original dataset.
+pub const GERMAN_FULL_SIZE: usize = 1000;
+
+/// Which sensitive attribute defines the protected groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GermanProtected {
+    /// Privileged = male (the paper's §5.1 setup).
+    Sex,
+    /// Privileged = age > 25 (the AIF360 convention, via a numeric
+    /// threshold group spec).
+    Age,
+}
+
+/// Generates the synthetic German credit dataset with `n` rows and the
+/// default (sex) protected attribute.
+pub fn generate_german(n: usize, seed: u64) -> Result<BinaryLabelDataset> {
+    generate_german_with(n, seed, GermanProtected::Sex)
+}
+
+/// Generates the synthetic German credit dataset with an explicit protected
+/// attribute.
+pub fn generate_german_with(
+    n: usize,
+    seed: u64,
+    protected: GermanProtected,
+) -> Result<BinaryLabelDataset> {
+    let mut rng = component_rng(seed, "datasets/german");
+
+    let mut builder = FrameBuilder::new(&[
+        ("checking-status", ColumnKind::Categorical),
+        ("duration", ColumnKind::Numeric),
+        ("credit-history", ColumnKind::Categorical),
+        ("purpose", ColumnKind::Categorical),
+        ("credit-amount", ColumnKind::Numeric),
+        ("savings", ColumnKind::Categorical),
+        ("employment", ColumnKind::Categorical),
+        ("installment-rate", ColumnKind::Numeric),
+        ("sex", ColumnKind::Categorical),
+        ("other-debtors", ColumnKind::Categorical),
+        ("residence-since", ColumnKind::Numeric),
+        ("property", ColumnKind::Categorical),
+        ("age", ColumnKind::Numeric),
+        ("other-installments", ColumnKind::Categorical),
+        ("housing", ColumnKind::Categorical),
+        ("existing-credits", ColumnKind::Numeric),
+        ("job", ColumnKind::Categorical),
+        ("liable-people", ColumnKind::Numeric),
+        ("telephone", ColumnKind::Categorical),
+        ("foreign-worker", ColumnKind::Categorical),
+        ("credit", ColumnKind::Categorical),
+    ]);
+
+    for _ in 0..n {
+        let male = bernoulli(&mut rng, 0.69);
+        let age = clipped_normal(&mut rng, 35.5, 11.4, 19.0, 75.0).round();
+        let duration = clipped_normal(&mut rng, 20.9, 12.1, 4.0, 72.0).round();
+        let amount = clipped_normal(&mut rng, 3271.0, 2822.0, 250.0, 18_424.0).round();
+
+        // Creditworthiness signal: a latent score driving the categorical
+        // quality attributes and the label jointly.
+        let latent = crate::gen::normal(&mut rng, 0.0, 1.0);
+
+        let checking = if latent > 0.5 {
+            weighted_choice(&mut rng, &[("no-account", 0.6), (">=200", 0.25), ("0-200", 0.15)])
+        } else {
+            weighted_choice(&mut rng, &[("<0", 0.45), ("0-200", 0.40), ("no-account", 0.15)])
+        };
+        let history = if latent > 0.0 {
+            weighted_choice(
+                &mut rng,
+                &[("existing-paid", 0.55), ("all-paid", 0.25), ("critical", 0.20)],
+            )
+        } else {
+            weighted_choice(
+                &mut rng,
+                &[("existing-paid", 0.45), ("delayed", 0.30), ("critical", 0.25)],
+            )
+        };
+        let savings = if latent > 0.3 {
+            weighted_choice(&mut rng, &[(">=1000", 0.35), ("500-1000", 0.25), ("<100", 0.4)])
+        } else {
+            weighted_choice(&mut rng, &[("<100", 0.7), ("100-500", 0.2), ("unknown", 0.1)])
+        };
+        let employment = if latent > 0.0 {
+            weighted_choice(&mut rng, &[(">=7years", 0.35), ("4-7years", 0.30), ("1-4years", 0.35)])
+        } else {
+            weighted_choice(&mut rng, &[("<1year", 0.35), ("1-4years", 0.40), ("unemployed", 0.25)])
+        };
+        let purpose = weighted_choice(
+            &mut rng,
+            &[
+                ("radio-tv", 0.28),
+                ("new-car", 0.23),
+                ("furniture", 0.18),
+                ("used-car", 0.10),
+                ("business", 0.10),
+                ("education", 0.06),
+                ("repairs", 0.05),
+            ],
+        );
+        let installment_rate = f64::from(rng.random_range(1..=4));
+        let residence = f64::from(rng.random_range(1..=4));
+        let property = weighted_choice(
+            &mut rng,
+            &[("real-estate", 0.28), ("building-society", 0.23), ("car", 0.33), ("unknown", 0.16)],
+        );
+        let other_debtors = weighted_choice(
+            &mut rng,
+            &[("none", 0.91), ("guarantor", 0.05), ("co-applicant", 0.04)],
+        );
+        let other_installments =
+            weighted_choice(&mut rng, &[("none", 0.81), ("bank", 0.14), ("stores", 0.05)]);
+        let housing =
+            weighted_choice(&mut rng, &[("own", 0.71), ("rent", 0.18), ("free", 0.11)]);
+        let existing_credits = f64::from(rng.random_range(1..=4));
+        let job = weighted_choice(
+            &mut rng,
+            &[
+                ("skilled", 0.63),
+                ("unskilled-resident", 0.20),
+                ("management", 0.15),
+                ("unemployed-non-resident", 0.02),
+            ],
+        );
+        let liable = f64::from(rng.random_range(1..=2));
+        let telephone = weighted_choice(&mut rng, &[("none", 0.60), ("yes", 0.40)]);
+        let foreign = weighted_choice(&mut rng, &[("yes", 0.96), ("no", 0.04)]);
+
+        // Label model: calibrated near the real 70% good rate, with a modest
+        // advantage for the privileged group (as in the real data).
+        let z = 1.05 + 1.3 * latent - 0.018 * (duration - 21.0) - 0.00006 * (amount - 3270.0)
+            + 0.012 * (age - 35.0)
+            + 0.25 * f64::from(u8::from(male));
+        let good = bernoulli(&mut rng, logistic(z));
+
+        builder.push_row(vec![
+            OwnedValue::Categorical(checking.to_string()),
+            OwnedValue::Numeric(duration),
+            OwnedValue::Categorical(history.to_string()),
+            OwnedValue::Categorical(purpose.to_string()),
+            OwnedValue::Numeric(amount),
+            OwnedValue::Categorical(savings.to_string()),
+            OwnedValue::Categorical(employment.to_string()),
+            OwnedValue::Numeric(installment_rate),
+            OwnedValue::Categorical(if male { "male" } else { "female" }.to_string()),
+            OwnedValue::Categorical(other_debtors.to_string()),
+            OwnedValue::Numeric(residence),
+            OwnedValue::Categorical(property.to_string()),
+            OwnedValue::Numeric(age),
+            OwnedValue::Categorical(other_installments.to_string()),
+            OwnedValue::Categorical(housing.to_string()),
+            OwnedValue::Numeric(existing_credits),
+            OwnedValue::Categorical(job.to_string()),
+            OwnedValue::Numeric(liable),
+            OwnedValue::Categorical(telephone.to_string()),
+            OwnedValue::Categorical(foreign.to_string()),
+            OwnedValue::Categorical(if good { "good" } else { "bad" }.to_string()),
+        ])?;
+    }
+
+    let frame = builder.finish()?;
+    let schema = Schema::new()
+        .categorical_feature("checking-status")
+        .numeric_feature("duration")
+        .categorical_feature("credit-history")
+        .categorical_feature("purpose")
+        .numeric_feature("credit-amount")
+        .categorical_feature("savings")
+        .categorical_feature("employment")
+        .numeric_feature("installment-rate")
+        .metadata("sex", ColumnKind::Categorical)
+        .categorical_feature("other-debtors")
+        .numeric_feature("residence-since")
+        .categorical_feature("property")
+        .numeric_feature("age")
+        .categorical_feature("other-installments")
+        .categorical_feature("housing")
+        .numeric_feature("existing-credits")
+        .categorical_feature("job")
+        .numeric_feature("liable-people")
+        .categorical_feature("telephone")
+        .categorical_feature("foreign-worker")
+        .label("credit");
+    let protected_attr = match protected {
+        GermanProtected::Sex => ProtectedAttribute::categorical("sex", &["male"]),
+        GermanProtected::Age => ProtectedAttribute {
+            name: "age".to_string(),
+            privileged: fairprep_data::schema::GroupSpec::NumericAtLeast(26.0),
+        },
+    };
+    BinaryLabelDataset::new(frame, schema, protected_attr, "good")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BinaryLabelDataset {
+        generate_german(GERMAN_FULL_SIZE, 3).unwrap()
+    }
+
+    #[test]
+    fn shape_matches_original() {
+        let ds = sample();
+        assert_eq!(ds.n_rows(), 1000);
+        assert_eq!(ds.frame().n_cols(), 21); // 20 attributes + label
+        assert_eq!(ds.schema().feature_names().len(), 19);
+    }
+
+    #[test]
+    fn no_missing_values() {
+        // The paper: "do not handle missing values (as the data is complete
+        // already)".
+        assert_eq!(sample().frame().missing_cells(), 0);
+    }
+
+    #[test]
+    fn good_rate_near_70_percent() {
+        let ds = sample();
+        let rate = ds.base_rate(None);
+        assert!((rate - 0.70).abs() < 0.05, "good rate {rate}");
+    }
+
+    #[test]
+    fn privileged_group_has_advantage() {
+        let ds = sample();
+        assert!(ds.base_rate(Some(true)) > ds.base_rate(Some(false)));
+    }
+
+    #[test]
+    fn male_fraction_realistic() {
+        let ds = sample();
+        let male = ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / 1000.0;
+        assert!((male - 0.69).abs() < 0.05, "male fraction {male}");
+    }
+
+    #[test]
+    fn label_is_learnable_from_features() {
+        // Sanity: checking-status should correlate with the label (the
+        // latent drives both).
+        let ds = sample();
+        let col = ds.frame().column("checking-status").unwrap();
+        let cat = col.as_categorical().unwrap();
+        let labels = ds.labels();
+        let mut good_no_account = (0usize, 0usize);
+        let mut good_below_zero = (0usize, 0usize);
+        for (i, code) in cat.codes().iter().enumerate() {
+            let name = cat.category_of(code.unwrap()).unwrap();
+            if name == "no-account" {
+                good_no_account.0 += usize::from(labels[i] == 1.0);
+                good_no_account.1 += 1;
+            } else if name == "<0" {
+                good_below_zero.0 += usize::from(labels[i] == 1.0);
+                good_below_zero.1 += 1;
+            }
+        }
+        let rate_no_acct = good_no_account.0 as f64 / good_no_account.1 as f64;
+        let rate_neg = good_below_zero.0 as f64 / good_below_zero.1 as f64;
+        assert!(rate_no_acct > rate_neg + 0.1, "{rate_no_acct} vs {rate_neg}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate_german(200, 5).unwrap();
+        let b = generate_german(200, 5).unwrap();
+        assert_eq!(a.frame(), b.frame());
+    }
+
+    #[test]
+    fn age_protected_variant_uses_numeric_threshold() {
+        let ds = generate_german_with(1000, 3, GermanProtected::Age).unwrap();
+        let ages = ds.frame().column("age").unwrap().as_numeric().unwrap();
+        for (i, age) in ages.iter().enumerate() {
+            assert_eq!(
+                ds.privileged_mask()[i],
+                age.unwrap() >= 26.0,
+                "row {i}: age {:?}",
+                age
+            );
+        }
+        // Age > 25 is the large majority (clipped normal around 35.5).
+        let privileged =
+            ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / 1000.0;
+        assert!((0.7..0.95).contains(&privileged), "privileged fraction {privileged}");
+    }
+}

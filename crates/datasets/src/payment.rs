@@ -1,0 +1,158 @@
+//! Ann's payment-options dataset — the running example of §1.1.
+//!
+//! "Consider Ann, a data scientist at an online retail company who wishes
+//! to develop a classifier for deciding which payment options to offer to
+//! customers. ... Ann ... observes that the value of the attribute age is
+//! missing far more frequently for female users than for male users.
+//! Further, she compares age distributions by gender, and notices
+//! differences starting from the mid-thirties."
+//!
+//! This generator produces exactly that situation: customer demographics +
+//! purchase history, a gender-dependent age distribution (diverging from
+//! the mid-thirties), age missing far more often for female customers, and
+//! a payment-risk label in which age is an important feature — so that
+//! dropping or badly imputing it hurts the unprivileged group most.
+
+use rand::Rng;
+
+use fairprep_data::column::{ColumnKind, OwnedValue};
+use fairprep_data::dataset::BinaryLabelDataset;
+use fairprep_data::error::Result;
+use fairprep_data::frame::FrameBuilder;
+use fairprep_data::rng::component_rng;
+use fairprep_data::schema::{ProtectedAttribute, Schema};
+
+use crate::gen::{bernoulli, clipped_normal, logistic, weighted_choice};
+
+/// Generates Ann's payment-options dataset with `n` rows.
+pub fn generate_payment(n: usize, seed: u64) -> Result<BinaryLabelDataset> {
+    let mut rng = component_rng(seed, "datasets/payment");
+
+    let mut builder = FrameBuilder::new(&[
+        ("age", ColumnKind::Numeric),
+        ("gender", ColumnKind::Categorical),
+        ("n-purchases", ColumnKind::Numeric),
+        ("avg-basket", ColumnKind::Numeric),
+        ("returns-rate", ColumnKind::Numeric),
+        ("customer-since-years", ColumnKind::Numeric),
+        ("channel", ColumnKind::Categorical),
+        ("offer-invoice", ColumnKind::Categorical),
+    ]);
+
+    for _ in 0..n {
+        let male = bernoulli(&mut rng, 0.5);
+        // Age distributions diverge from the mid-thirties (§1.1).
+        let age = if male {
+            clipped_normal(&mut rng, 41.0, 12.0, 18.0, 85.0).round()
+        } else {
+            clipped_normal(&mut rng, 33.0, 9.0, 18.0, 85.0).round()
+        };
+        let purchases = (-8.0 * (rng.random::<f64>().max(1e-9)).ln()).round().min(200.0);
+        let basket = clipped_normal(&mut rng, 55.0, 30.0, 5.0, 400.0);
+        let returns = (rng.random::<f64>() * 0.4).min(0.4);
+        let tenure = (rng.random::<f64>() * 10.0).round();
+        let channel = weighted_choice(&mut rng, &[("web", 0.6), ("app", 0.3), ("store", 0.1)]);
+
+        // Label: offer the invoice (pay-later) option. Age is an important
+        // feature, as Ann hypothesizes.
+        let z = -1.1 + 0.045 * (age - 35.0) + 0.06 * purchases.min(30.0)
+            + 0.25 * tenure
+            - 4.0 * returns
+            + 0.004 * (basket - 55.0);
+        let offer = bernoulli(&mut rng, logistic(z));
+
+        // Age missing far more often for female customers.
+        let age_missing = bernoulli(&mut rng, if male { 0.03 } else { 0.22 });
+
+        builder.push_row(vec![
+            if age_missing { OwnedValue::Missing } else { OwnedValue::Numeric(age) },
+            OwnedValue::Categorical(if male { "male" } else { "female" }.to_string()),
+            OwnedValue::Numeric(purchases),
+            OwnedValue::Numeric(basket),
+            OwnedValue::Numeric(returns),
+            OwnedValue::Numeric(tenure),
+            OwnedValue::Categorical(channel.to_string()),
+            OwnedValue::Categorical(if offer { "offer" } else { "no-offer" }.to_string()),
+        ])?;
+    }
+
+    let frame = builder.finish()?;
+    let schema = Schema::new()
+        .numeric_feature("age")
+        .metadata("gender", ColumnKind::Categorical)
+        .numeric_feature("n-purchases")
+        .numeric_feature("avg-basket")
+        .numeric_feature("returns-rate")
+        .numeric_feature("customer-since-years")
+        .categorical_feature("channel")
+        .label("offer-invoice");
+    BinaryLabelDataset::new(
+        frame,
+        schema,
+        ProtectedAttribute::categorical("gender", &["male"]),
+        "offer",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairprep_data::stats::group_missingness;
+
+    fn sample() -> BinaryLabelDataset {
+        generate_payment(4000, 11).unwrap()
+    }
+
+    #[test]
+    fn age_missing_mostly_for_women() {
+        let ds = sample();
+        let gm = group_missingness(&ds, "age").unwrap();
+        assert!(
+            gm.unprivileged_rate > 4.0 * gm.privileged_rate,
+            "priv {} unpriv {}",
+            gm.privileged_rate,
+            gm.unprivileged_rate
+        );
+    }
+
+    #[test]
+    fn age_distributions_diverge() {
+        let ds = sample();
+        let ages = ds.frame().column("age").unwrap().as_numeric().unwrap();
+        let mask = ds.privileged_mask();
+        let mean = |privileged: bool| {
+            let xs: Vec<f64> = ages
+                .iter()
+                .zip(mask)
+                .filter(|(a, &m)| a.is_some() && m == privileged)
+                .map(|(a, _)| a.unwrap())
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean(true) > mean(false) + 4.0);
+    }
+
+    #[test]
+    fn age_matters_for_the_label() {
+        let ds = sample();
+        let ages = ds.frame().column("age").unwrap().as_numeric().unwrap();
+        let labels = ds.labels();
+        let mean_age = |offered: bool| {
+            let xs: Vec<f64> = ages
+                .iter()
+                .zip(labels)
+                .filter(|(a, &y)| a.is_some() && (y == 1.0) == offered)
+                .map(|(a, _)| a.unwrap())
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean_age(true) > mean_age(false) + 2.0);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate_payment(200, 3).unwrap();
+        let b = generate_payment(200, 3).unwrap();
+        assert_eq!(a.frame(), b.frame());
+    }
+}

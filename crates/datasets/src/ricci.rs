@@ -1,0 +1,140 @@
+//! Synthetic stand-in for the Ricci v. DeStefano dataset.
+//!
+//! "The Ricci dataset contains promotion data about firefighters, used as
+//! part of a Supreme court case dealing with racial discrimination. The
+//! dataset contains the sensitive attribute race. The task is to predict
+//! the promotion decision. The original promotion decision (assignment to
+//! the positive class) was made by a threshold of achieving at least a
+//! score of 70 on the combined exam outcome." (§4)
+//!
+//! Structure reproduced: 118 candidates, 5 attributes (position, oral,
+//! written, combine, race), `combine = 0.6·written + 0.4·oral`, label =
+//! `combine ≥ 70`, and the score-distribution shift between White and
+//! non-white candidates that made the case famous.
+//!
+//! Crucially for §5.2 / Figure 3: the exam scores live on a 0–100 scale, so
+//! *unscaled* features hand SGD-trained logistic regression inputs two
+//! orders of magnitude larger than it expects — the failure the experiment
+//! demonstrates.
+
+use fairprep_data::column::{ColumnKind, OwnedValue};
+use fairprep_data::dataset::BinaryLabelDataset;
+use fairprep_data::error::Result;
+use fairprep_data::frame::FrameBuilder;
+use fairprep_data::rng::component_rng;
+use fairprep_data::schema::{ProtectedAttribute, Schema};
+
+use crate::gen::{bernoulli, clipped_normal};
+
+/// Number of candidates in the original exam data.
+pub const RICCI_FULL_SIZE: usize = 118;
+
+/// Generates the synthetic Ricci dataset with `n` rows.
+pub fn generate_ricci(n: usize, seed: u64) -> Result<BinaryLabelDataset> {
+    let mut rng = component_rng(seed, "datasets/ricci");
+
+    let mut builder = FrameBuilder::new(&[
+        ("position", ColumnKind::Categorical),
+        ("oral", ColumnKind::Numeric),
+        ("written", ColumnKind::Numeric),
+        ("combine", ColumnKind::Numeric),
+        ("race", ColumnKind::Categorical),
+        ("promotion", ColumnKind::Categorical),
+    ]);
+
+    for _ in 0..n {
+        let white = bernoulli(&mut rng, 0.58);
+        let lieutenant = bernoulli(&mut rng, 0.65);
+        // The documented disparity: White candidates scored markedly higher
+        // on the written exam.
+        let (w_mean, o_mean) = if white { (74.0, 66.0) } else { (62.0, 63.0) };
+        let written = clipped_normal(&mut rng, w_mean, 11.0, 40.0, 100.0);
+        let oral = clipped_normal(&mut rng, o_mean, 9.0, 40.0, 100.0);
+        let combine = 0.6 * written + 0.4 * oral;
+        let promoted = combine >= 70.0;
+
+        builder.push_row(vec![
+            OwnedValue::Categorical(
+                if lieutenant { "Lieutenant" } else { "Captain" }.to_string(),
+            ),
+            OwnedValue::Numeric((oral * 100.0).round() / 100.0),
+            OwnedValue::Numeric((written * 100.0).round() / 100.0),
+            OwnedValue::Numeric((combine * 100.0).round() / 100.0),
+            OwnedValue::Categorical(if white { "W" } else { "NW" }.to_string()),
+            OwnedValue::Categorical(if promoted { "Promotion" } else { "No promotion" }.to_string()),
+        ])?;
+    }
+
+    let frame = builder.finish()?;
+    let schema = Schema::new()
+        .categorical_feature("position")
+        .numeric_feature("oral")
+        .numeric_feature("written")
+        .numeric_feature("combine")
+        .metadata("race", ColumnKind::Categorical)
+        .label("promotion");
+    BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("race", &["W"]), "Promotion")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BinaryLabelDataset {
+        generate_ricci(RICCI_FULL_SIZE, 5).unwrap()
+    }
+
+    #[test]
+    fn shape_matches_original() {
+        let ds = sample();
+        assert_eq!(ds.n_rows(), 118);
+        assert_eq!(ds.frame().n_cols(), 6); // 5 attributes + label
+        assert_eq!(ds.frame().missing_cells(), 0);
+    }
+
+    #[test]
+    fn label_is_deterministic_in_combine() {
+        let ds = sample();
+        let combine = ds.frame().column("combine").unwrap().as_numeric().unwrap();
+        for (i, c) in combine.iter().enumerate() {
+            let expected = f64::from(u8::from(c.unwrap() >= 70.0));
+            assert_eq!(ds.labels()[i], expected, "row {i}");
+        }
+    }
+
+    #[test]
+    fn combine_is_the_documented_blend() {
+        let ds = sample();
+        let oral = ds.frame().column("oral").unwrap().as_numeric().unwrap();
+        let written = ds.frame().column("written").unwrap().as_numeric().unwrap();
+        let combine = ds.frame().column("combine").unwrap().as_numeric().unwrap();
+        for i in 0..ds.n_rows() {
+            let expected = 0.6 * written[i].unwrap() + 0.4 * oral[i].unwrap();
+            assert!((combine[i].unwrap() - expected).abs() < 0.02, "row {i}");
+        }
+    }
+
+    #[test]
+    fn privileged_group_has_higher_promotion_rate() {
+        // With n = 118 the gap is noisy; check on a larger sample.
+        let ds = generate_ricci(2000, 7).unwrap();
+        let gap = ds.base_rate(Some(true)) - ds.base_rate(Some(false));
+        assert!(gap > 0.15, "promotion-rate gap {gap}");
+    }
+
+    #[test]
+    fn features_are_on_the_raw_exam_scale() {
+        // The §5.2 experiment depends on unscaled features being large.
+        let ds = sample();
+        let written = ds.frame().column("written").unwrap();
+        let mean = written.mean().unwrap();
+        assert!(mean > 40.0, "written mean {mean} — must stay on the 0–100 scale");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate_ricci(118, 13).unwrap();
+        let b = generate_ricci(118, 13).unwrap();
+        assert_eq!(a.frame(), b.frame());
+    }
+}

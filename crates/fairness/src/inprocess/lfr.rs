@@ -1,0 +1,334 @@
+//! Learning Fair Representations [Zemel et al., ICML 2013] — an extension
+//! intervention (paper future work §7: "feature transformations (such as
+//! embeddings of the input data)").
+//!
+//! LFR maps each example onto a soft assignment over `K` prototypes via a
+//! distance softmax `M_ik ∝ exp(−‖x_i − v_k‖²)`, and learns prototypes `v`
+//! plus per-prototype label weights `w` to jointly minimize
+//!
+//! * `L_y` — prediction loss of `ŷ_i = σ(Σ_k M_ik w_k)`,
+//! * `L_z` — group parity of the prototype occupation
+//!   `Σ_k |mean_priv M_·k − mean_unpriv M_·k|` (the fairness term), and
+//! * `L_x` — reconstruction `mean_i ‖x_i − Σ_k M_ik v_k‖²` (keeps the
+//!   prototypes on the data manifold).
+//!
+//! The original is a preprocessor producing transformed features; AIF360's
+//! implementation is most commonly used end-to-end through its built-in
+//! predictions, which is exactly how it integrates here: as an
+//! [`InProcessor`] whose fitted model predicts through the fair
+//! representation. Optimization is full-batch gradient descent with
+//! hand-derived gradients (for `L_x`, the standard practice of dropping the
+//! through-softmax term is followed).
+
+use rand::Rng;
+
+use fairprep_data::error::{Error, Result};
+use fairprep_data::rng::component_rng;
+use fairprep_ml::matrix::{sigmoid, Matrix};
+use fairprep_ml::model::FittedClassifier;
+
+use crate::inprocess::InProcessor;
+
+/// The LFR learner.
+#[derive(Debug, Clone, Copy)]
+pub struct LearnedFairRepresentations {
+    /// Number of prototypes `K`.
+    pub n_prototypes: usize,
+    /// Weight of the prediction loss `L_y`.
+    pub a_y: f64,
+    /// Weight of the group-parity loss `L_z`.
+    pub a_z: f64,
+    /// Weight of the reconstruction loss `L_x`.
+    pub a_x: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for LearnedFairRepresentations {
+    fn default() -> Self {
+        LearnedFairRepresentations {
+            n_prototypes: 10,
+            a_y: 1.0,
+            a_z: 4.0,
+            a_x: 0.01,
+            iterations: 300,
+            learning_rate: 0.5,
+        }
+    }
+}
+
+impl InProcessor for LearnedFairRepresentations {
+    fn name(&self) -> String {
+        format!("lfr(k={},az={})", self.n_prototypes, self.a_z)
+    }
+
+    fn fit(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        weights: &[f64],
+        privileged: &[bool],
+        seed: u64,
+    ) -> Result<Box<dyn FittedClassifier>> {
+        let n = x.n_rows();
+        let d = x.n_cols();
+        if n == 0 {
+            return Err(Error::EmptyData("LFR training set".to_string()));
+        }
+        if y.len() != n || weights.len() != n || privileged.len() != n {
+            return Err(Error::LengthMismatch { expected: n, actual: y.len() });
+        }
+        if self.n_prototypes < 2 {
+            return Err(Error::InvalidParameter {
+                name: "n_prototypes",
+                message: "LFR needs at least 2 prototypes".to_string(),
+            });
+        }
+        let k = self.n_prototypes;
+        let n_priv = privileged.iter().filter(|&&p| p).count();
+        let n_unpriv = n - n_priv;
+        if n_priv == 0 || n_unpriv == 0 {
+            return Err(Error::EmptyGroup { privileged: n_priv == 0 });
+        }
+
+        // Initialize prototypes from randomly-chosen training rows (with a
+        // little jitter so duplicates split), weights at 0.
+        let mut rng = component_rng(seed, "learner/lfr");
+        let mut prototypes = vec![vec![0.0_f64; d]; k];
+        for proto in &mut prototypes {
+            let row = x.row(rng.random_range(0..n));
+            for (p, &v) in proto.iter_mut().zip(row) {
+                *p = v + 0.01 * (rng.random::<f64>() - 0.5);
+            }
+        }
+        let mut w = vec![0.0_f64; k];
+
+        let total_weight: f64 = weights.iter().sum();
+        let mut m = vec![vec![0.0_f64; k]; n]; // soft assignments
+        let mut scores = vec![0.0_f64; n];
+
+        for _iter in 0..self.iterations.max(1) {
+            // ---- forward: softmax over negative squared distances ----
+            for (i, row) in x.rows_iter().enumerate() {
+                let mut z_max = f64::NEG_INFINITY;
+                let mut zs = vec![0.0_f64; k];
+                for (kk, proto) in prototypes.iter().enumerate() {
+                    let dist2: f64 =
+                        row.iter().zip(proto).map(|(a, b)| (a - b).powi(2)).sum();
+                    zs[kk] = -dist2;
+                    z_max = z_max.max(zs[kk]);
+                }
+                let mut total = 0.0;
+                for (kk, z) in zs.iter().enumerate() {
+                    m[i][kk] = (z - z_max).exp();
+                    total += m[i][kk];
+                }
+                for mik in &mut m[i] {
+                    *mik /= total;
+                }
+                scores[i] = m[i].iter().zip(&w).map(|(a, b)| a * b).sum();
+            }
+
+            // Group means of the prototype occupation.
+            let mut mean_priv = vec![0.0_f64; k];
+            let mut mean_unpriv = vec![0.0_f64; k];
+            for i in 0..n {
+                let target = if privileged[i] { &mut mean_priv } else { &mut mean_unpriv };
+                for kk in 0..k {
+                    target[kk] += m[i][kk];
+                }
+            }
+            for kk in 0..k {
+                mean_priv[kk] /= n_priv as f64;
+                mean_unpriv[kk] /= n_unpriv as f64;
+            }
+
+            // ---- backward ----
+            // dL/dz_ik accumulates contributions of L_y and L_z through the
+            // softmax; L_x's direct term goes straight to the prototypes.
+            let mut grad_w = vec![0.0_f64; k];
+            let mut grad_v = vec![vec![0.0_f64; d]; k];
+
+            for (i, row) in x.rows_iter().enumerate() {
+                let p_i = sigmoid(scores[i]);
+                // L_y: d/ds = A_y · weight · (p − y) / total_weight.
+                let g_y = self.a_y * weights[i] * (p_i - y[i]) / total_weight;
+                // dL_z/dM_ik = A_z · sign(mean_priv_k − mean_unpriv_k) · (±1/n_group).
+                let group_scale = if privileged[i] {
+                    1.0 / n_priv as f64
+                } else {
+                    -1.0 / n_unpriv as f64
+                };
+
+                // dL/dM_ij for each prototype j.
+                let mut dl_dm = vec![0.0_f64; k];
+                for kk in 0..k {
+                    let sign = (mean_priv[kk] - mean_unpriv[kk]).signum();
+                    dl_dm[kk] = g_y * w[kk] + self.a_z * sign * group_scale;
+                    // L_y gradient wrt w is direct.
+                    grad_w[kk] += g_y * m[i][kk];
+                }
+                // Chain through the softmax: dL/dz_ik = M_ik (dl_dm_k − Σ_j dl_dm_j M_ij).
+                let inner: f64 = dl_dm.iter().zip(&m[i]).map(|(a, b)| a * b).sum();
+                // Reconstruction x̂_i (for L_x's direct term).
+                let mut recon = vec![0.0_f64; d];
+                if self.a_x > 0.0 {
+                    for kk in 0..k {
+                        for (r, &v) in recon.iter_mut().zip(&prototypes[kk]) {
+                            *r += m[i][kk] * v;
+                        }
+                    }
+                }
+                for kk in 0..k {
+                    let dz = m[i][kk] * (dl_dm[kk] - inner);
+                    // dz_ik/dv_k = 2(x_i − v_k).
+                    for (gv, (&xj, &vj)) in
+                        grad_v[kk].iter_mut().zip(row.iter().zip(&prototypes[kk]))
+                    {
+                        *gv += dz * 2.0 * (xj - vj);
+                    }
+                    if self.a_x > 0.0 {
+                        // Direct L_x term: 2 (x̂ − x) M_ik / n.
+                        for (gv, (&rj, &xj)) in
+                            grad_v[kk].iter_mut().zip(recon.iter().zip(row))
+                        {
+                            *gv += self.a_x * 2.0 * (rj - xj) * m[i][kk] / n as f64;
+                        }
+                    }
+                }
+            }
+
+            for kk in 0..k {
+                w[kk] -= self.learning_rate * grad_w[kk];
+                for (vj, gj) in prototypes[kk].iter_mut().zip(&grad_v[kk]) {
+                    *vj -= self.learning_rate * gj;
+                }
+            }
+        }
+
+        Ok(Box::new(FittedLfr { prototypes, w }))
+    }
+}
+
+/// A fitted LFR model: prototypes plus per-prototype label weights.
+pub struct FittedLfr {
+    prototypes: Vec<Vec<f64>>,
+    w: Vec<f64>,
+}
+
+impl FittedClassifier for FittedLfr {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let d = self.prototypes.first().map_or(0, Vec::len);
+        if x.n_cols() != d {
+            return Err(Error::LengthMismatch { expected: d, actual: x.n_cols() });
+        }
+        Ok(x.rows_iter()
+            .map(|row| {
+                let mut z_max = f64::NEG_INFINITY;
+                let zs: Vec<f64> = self
+                    .prototypes
+                    .iter()
+                    .map(|proto| {
+                        let dist2: f64 =
+                            row.iter().zip(proto).map(|(a, b)| (a - b).powi(2)).sum();
+                        let z = -dist2;
+                        z_max = z_max.max(z);
+                        z
+                    })
+                    .collect();
+                let mut total = 0.0;
+                let mut score = 0.0;
+                for (z, &wk) in zs.iter().zip(&self.w) {
+                    let e = (z - z_max).exp();
+                    total += e;
+                    score += e * wk;
+                }
+                sigmoid(score / total)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inprocess::test_support::{proxy_dataset, selection_gap};
+
+    #[test]
+    fn learns_the_task() {
+        let (x, y, w, mask) = proxy_dataset(800, 31);
+        let lfr = LearnedFairRepresentations { a_z: 0.5, ..Default::default() };
+        let model = lfr.fit(&x, &y, &w, &mask, 3).unwrap();
+        let preds = model.predict(&x).unwrap();
+        let acc =
+            preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.6, "accuracy {acc}");
+    }
+
+    #[test]
+    fn stronger_parity_weight_shrinks_the_gap() {
+        let (x, y, w, mask) = proxy_dataset(1200, 32);
+        let loose = LearnedFairRepresentations { a_z: 0.0, ..Default::default() };
+        let strict = LearnedFairRepresentations { a_z: 30.0, ..Default::default() };
+        let gap = |lfr: &LearnedFairRepresentations| {
+            let preds = lfr.fit(&x, &y, &w, &mask, 7).unwrap().predict(&x).unwrap();
+            selection_gap(&preds, &mask).abs()
+        };
+        let g_loose = gap(&loose);
+        let g_strict = gap(&strict);
+        assert!(
+            g_strict < g_loose + 1e-9,
+            "a_z=0 gap {g_loose}, a_z=30 gap {g_strict}"
+        );
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let (x, y, w, mask) = proxy_dataset(200, 33);
+        let lfr = LearnedFairRepresentations {
+            iterations: 40,
+            ..Default::default()
+        };
+        let a = lfr.fit(&x, &y, &w, &mask, 1).unwrap().predict_proba(&x).unwrap();
+        let b = lfr.fit(&x, &y, &w, &mask, 1).unwrap().predict_proba(&x).unwrap();
+        assert_eq!(a, b);
+        let c = lfr.fit(&x, &y, &w, &mask, 2).unwrap().predict_proba(&x).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (x, y, w, mask) = proxy_dataset(300, 34);
+        let model =
+            LearnedFairRepresentations::default().fit(&x, &y, &w, &mask, 5).unwrap();
+        for p in model.predict_proba(&x).unwrap() {
+            assert!((0.0..=1.0).contains(&p) && p.is_finite());
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (x, y, w, mask) = proxy_dataset(20, 35);
+        let lfr = LearnedFairRepresentations::default();
+        assert!(lfr.fit(&x, &y[..10], &w, &mask, 0).is_err());
+        let one_proto =
+            LearnedFairRepresentations { n_prototypes: 1, ..Default::default() };
+        assert!(one_proto.fit(&x, &y, &w, &mask, 0).is_err());
+        let one_group = vec![true; 20];
+        assert!(lfr.fit(&x, &y, &w, &one_group, 0).is_err());
+    }
+
+    #[test]
+    fn predict_checks_dimensionality() {
+        let (x, y, w, mask) = proxy_dataset(50, 36);
+        let model = LearnedFairRepresentations {
+            iterations: 10,
+            ..Default::default()
+        }
+        .fit(&x, &y, &w, &mask, 0)
+        .unwrap();
+        assert!(model.predict_proba(&Matrix::zeros(1, 9)).is_err());
+    }
+}

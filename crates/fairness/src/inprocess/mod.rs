@@ -1,0 +1,85 @@
+//! In-processing fairness interventions.
+//!
+//! In-processing methods "learn a specialized model" and plug into the
+//! lifecycle as learners (§4). An [`InProcessor`] is like a
+//! `fairprep_ml::model::Classifier` but additionally receives the
+//! protected-group mask of the training instances.
+
+pub mod adversarial;
+pub mod lfr;
+pub mod prejudice_remover;
+
+use fairprep_data::error::Result;
+use fairprep_ml::matrix::Matrix;
+use fairprep_ml::model::FittedClassifier;
+
+pub use adversarial::AdversarialDebiasing;
+pub use lfr::LearnedFairRepresentations;
+pub use prejudice_remover::PrejudiceRemover;
+
+/// A fairness-aware learning algorithm.
+pub trait InProcessor: Send + Sync {
+    /// Stable name (with parameters) for run metadata.
+    fn name(&self) -> String;
+
+    /// Trains on features, labels, instance weights, and the protected-group
+    /// mask, deriving all randomness from `seed`.
+    fn fit(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        weights: &[f64],
+        privileged: &[bool],
+        seed: u64,
+    ) -> Result<Box<dyn FittedClassifier>>;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use fairprep_ml::matrix::Matrix;
+    use rand::Rng;
+
+    /// A dataset where the label is predictable from feature 0, and feature 1
+    /// encodes the protected group almost perfectly (the "leaky proxy").
+    /// A plain learner exploits the proxy; a debiased learner should not.
+    pub(crate) fn proxy_dataset(
+        n: usize,
+        seed: u64,
+    ) -> (Matrix, Vec<f64>, Vec<f64>, Vec<bool>) {
+        let mut rng = fairprep_data::rng::component_rng(seed, "test/proxy");
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        let mut mask = Vec::with_capacity(n);
+        for _ in 0..n {
+            let privileged = rng.random::<f64>() < 0.5;
+            // Labels are biased: privileged mostly positive.
+            let label = if privileged {
+                f64::from(u8::from(rng.random::<f64>() < 0.8))
+            } else {
+                f64::from(u8::from(rng.random::<f64>() < 0.2))
+            };
+            // Feature 0: genuine (weak) signal. Feature 1: group proxy.
+            let signal = label * 1.0 + rng.random::<f64>() - 0.5;
+            let proxy = if privileged { 1.0 } else { -1.0 };
+            rows.push(vec![signal, proxy]);
+            y.push(label);
+            mask.push(privileged);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let w = vec![1.0; n];
+        (x, y, w, mask)
+    }
+
+    /// Selection-rate difference (unprivileged − privileged) of predictions.
+    pub(crate) fn selection_gap(preds: &[f64], mask: &[bool]) -> f64 {
+        let rate = |keep: bool| {
+            let (s, n) = preds
+                .iter()
+                .zip(mask)
+                .filter(|(_, &m)| m == keep)
+                .fold((0.0, 0usize), |(s, n), (&v, _)| (s + v, n + 1));
+            s / n as f64
+        };
+        rate(false) - rate(true)
+    }
+}

@@ -1,0 +1,179 @@
+//! Prejudice-remover-style regularized logistic regression — an extension
+//! intervention (paper future work, §7).
+//!
+//! Kamishima et al.'s prejudice remover penalizes the mutual information
+//! between predictions and the protected attribute. This implementation
+//! uses the closely-related (and computationally simpler) *covariance
+//! penalty* of Zafar et al.: full-batch gradient descent on
+//!
+//! `L = weighted log loss + η · (mean(ŷ | unprivileged) − mean(ŷ | privileged))²`
+//!
+//! which directly drives the statistical-parity gap of the scores to zero
+//! as η grows.
+
+use fairprep_data::error::{Error, Result};
+use fairprep_ml::matrix::{dot, sigmoid, Matrix};
+use fairprep_ml::model::logistic::FittedLogisticRegression;
+use fairprep_ml::model::FittedClassifier;
+
+use crate::inprocess::InProcessor;
+
+/// Fairness-regularized logistic regression.
+#[derive(Debug, Clone, Copy)]
+pub struct PrejudiceRemover {
+    /// Fairness-penalty strength η.
+    pub eta: f64,
+    /// Full-batch gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub alpha: f64,
+}
+
+impl Default for PrejudiceRemover {
+    fn default() -> Self {
+        PrejudiceRemover { eta: 1.0, iterations: 300, learning_rate: 0.5, alpha: 1e-4 }
+    }
+}
+
+impl InProcessor for PrejudiceRemover {
+    fn name(&self) -> String {
+        format!("prejudice_remover(eta={})", self.eta)
+    }
+
+    fn fit(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        weights: &[f64],
+        privileged: &[bool],
+        _seed: u64,
+    ) -> Result<Box<dyn FittedClassifier>> {
+        if x.n_rows() != y.len() || x.n_rows() != privileged.len() || x.n_rows() != weights.len()
+        {
+            return Err(Error::LengthMismatch { expected: x.n_rows(), actual: y.len() });
+        }
+        if x.n_rows() == 0 {
+            return Err(Error::EmptyData("prejudice remover training set".to_string()));
+        }
+        if !(self.eta.is_finite() && self.eta >= 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "eta",
+                message: format!("{} must be finite and >= 0", self.eta),
+            });
+        }
+        let n = x.n_rows();
+        let d = x.n_cols();
+        let n_priv = privileged.iter().filter(|&&p| p).count();
+        let n_unpriv = n - n_priv;
+        if n_priv == 0 || n_unpriv == 0 {
+            return Err(Error::EmptyGroup { privileged: n_priv == 0 });
+        }
+
+        let total_weight: f64 = weights.iter().sum();
+        let mut w = vec![0.0_f64; d];
+        let mut b = 0.0_f64;
+        let mut probs = vec![0.0_f64; n];
+        let mut dp_dz = vec![0.0_f64; n];
+
+        for _iter in 0..self.iterations.max(1) {
+            // Forward pass.
+            let mut mean_priv = 0.0;
+            let mut mean_unpriv = 0.0;
+            for (i, row) in x.rows_iter().enumerate() {
+                let p = sigmoid(dot(&w, row) + b);
+                probs[i] = p;
+                dp_dz[i] = p * (1.0 - p);
+                if privileged[i] {
+                    mean_priv += p;
+                } else {
+                    mean_unpriv += p;
+                }
+            }
+            mean_priv /= n_priv as f64;
+            mean_unpriv /= n_unpriv as f64;
+            let gap = mean_unpriv - mean_priv;
+
+            // Backward pass: per-example dL/dz.
+            let mut grad_w = vec![0.0_f64; d];
+            let mut grad_b = 0.0_f64;
+            for (i, row) in x.rows_iter().enumerate() {
+                // Log-loss term (normalized by total weight).
+                let g_ll = weights[i] * (probs[i] - y[i]) / total_weight;
+                // Penalty term: d/dz [η·gap²] = 2η·gap · (±1/n_g) · dp/dz.
+                let sign = if privileged[i] {
+                    -1.0 / n_priv as f64
+                } else {
+                    1.0 / n_unpriv as f64
+                };
+                let g_pen = 2.0 * self.eta * gap * sign * dp_dz[i];
+                let g = g_ll + g_pen;
+                for (gw, &xj) in grad_w.iter_mut().zip(row) {
+                    *gw += g * xj;
+                }
+                grad_b += g;
+            }
+            for (wj, gw) in w.iter_mut().zip(&grad_w) {
+                *wj -= self.learning_rate * (gw + self.alpha * *wj);
+            }
+            b -= self.learning_rate * grad_b;
+        }
+
+        Ok(Box::new(FittedLogisticRegression { weights: w, intercept: b }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inprocess::test_support::{proxy_dataset, selection_gap};
+
+    #[test]
+    fn penalty_shrinks_score_gap() {
+        let (x, y, w, mask) = proxy_dataset(1500, 21);
+        let plain = PrejudiceRemover { eta: 0.0, ..Default::default() };
+        let fair = PrejudiceRemover { eta: 10.0, ..Default::default() };
+
+        let plain_preds = plain.fit(&x, &y, &w, &mask, 0).unwrap().predict(&x).unwrap();
+        let fair_preds = fair.fit(&x, &y, &w, &mask, 0).unwrap().predict(&x).unwrap();
+
+        let gap_plain = selection_gap(&plain_preds, &mask).abs();
+        let gap_fair = selection_gap(&fair_preds, &mask).abs();
+        assert!(
+            gap_fair < gap_plain,
+            "penalty did not reduce gap: plain {gap_plain}, fair {gap_fair}"
+        );
+    }
+
+    #[test]
+    fn zero_eta_is_plain_logistic_regression_quality() {
+        let (x, y, w, mask) = proxy_dataset(1000, 22);
+        let model = PrejudiceRemover { eta: 0.0, ..Default::default() }
+            .fit(&x, &y, &w, &mask, 0)
+            .unwrap();
+        let preds = model.predict(&x).unwrap();
+        let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(correct as f64 / y.len() as f64 > 0.75);
+    }
+
+    #[test]
+    fn deterministic_regardless_of_seed() {
+        // Full-batch GD has no randomness: seed must not matter.
+        let (x, y, w, mask) = proxy_dataset(200, 23);
+        let learner = PrejudiceRemover::default();
+        let a = learner.fit(&x, &y, &w, &mask, 1).unwrap().predict_proba(&x).unwrap();
+        let b = learner.fit(&x, &y, &w, &mask, 2).unwrap().predict_proba(&x).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (x, y, w, mask) = proxy_dataset(10, 0);
+        assert!(PrejudiceRemover::default().fit(&x, &y[..4], &w, &mask, 0).is_err());
+        let bad = PrejudiceRemover { eta: f64::NAN, ..Default::default() };
+        assert!(bad.fit(&x, &y, &w, &mask, 0).is_err());
+        let one_group = vec![true; 10];
+        assert!(PrejudiceRemover::default().fit(&x, &y, &w, &one_group, 0).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Dataset-level fairness metrics — properties of the *labels*, computed
+//! before any model is trained (AIF360's `BinaryLabelDatasetMetric`
+//! equivalent).
+//!
+//! These audit the raw data the way Ann explores her dataset in §1.1:
+//! group base rates, label disparate impact, statistical parity of the
+//! labels, and the kNN-based *consistency* measure of Zemel et al. (how
+//! similar the labels of similar individuals are).
+
+use fairprep_data::dataset::BinaryLabelDataset;
+use fairprep_data::error::{Error, Result};
+use fairprep_ml::matrix::Matrix;
+
+/// Label-level fairness metrics of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetMetrics {
+    /// Number of instances.
+    pub n_instances: usize,
+    /// Number of privileged instances.
+    pub n_privileged: usize,
+    /// Number of unprivileged instances.
+    pub n_unprivileged: usize,
+    /// Overall favorable-label rate.
+    pub base_rate: f64,
+    /// Favorable rate within the privileged group.
+    pub privileged_base_rate: f64,
+    /// Favorable rate within the unprivileged group.
+    pub unprivileged_base_rate: f64,
+    /// `unprivileged_base_rate / privileged_base_rate` — the label-level
+    /// disparate impact (the four-fifths-rule quantity).
+    pub disparate_impact: f64,
+    /// `unprivileged_base_rate − privileged_base_rate`.
+    pub statistical_parity_difference: f64,
+    /// Weighted variants of the group rates (instance weights applied) —
+    /// these reveal what reweighing-style interventions changed.
+    pub weighted_privileged_base_rate: f64,
+    /// Weighted unprivileged favorable rate.
+    pub weighted_unprivileged_base_rate: f64,
+}
+
+impl DatasetMetrics {
+    /// Computes the metric block from a dataset.
+    pub fn compute(dataset: &BinaryLabelDataset) -> Result<DatasetMetrics> {
+        let n = dataset.n_rows();
+        if n == 0 {
+            return Err(Error::EmptyData("dataset metrics input".to_string()));
+        }
+        let labels = dataset.labels();
+        let mask = dataset.privileged_mask();
+        let weights = dataset.instance_weights();
+
+        let mut counts = [0usize; 2];
+        let mut pos = [0.0_f64; 2];
+        let mut w_total = [0.0_f64; 2];
+        let mut w_pos = [0.0_f64; 2];
+        for i in 0..n {
+            let g = usize::from(mask[i]);
+            counts[g] += 1;
+            pos[g] += labels[i];
+            w_total[g] += weights[i];
+            w_pos[g] += weights[i] * labels[i];
+        }
+        let rate = |g: usize| pos[g] / counts[g] as f64;
+        let w_rate = |g: usize| {
+            if w_total[g] > 0.0 {
+                w_pos[g] / w_total[g]
+            } else {
+                f64::NAN
+            }
+        };
+        Ok(DatasetMetrics {
+            n_instances: n,
+            n_privileged: counts[1],
+            n_unprivileged: counts[0],
+            base_rate: labels.iter().sum::<f64>() / n as f64,
+            privileged_base_rate: rate(1),
+            unprivileged_base_rate: rate(0),
+            disparate_impact: rate(0) / rate(1),
+            statistical_parity_difference: rate(0) - rate(1),
+            weighted_privileged_base_rate: w_rate(1),
+            weighted_unprivileged_base_rate: w_rate(0),
+        })
+    }
+}
+
+/// Consistency [Zemel et al., ICML'13]: `1 − mean_i |y_i − mean_{j∈kNN(i)} y_j|`
+/// over the featurized dataset — 1.0 when similar individuals always share
+/// a label. `x` must be the featurized (complete, scaled) view of the rows
+/// whose `labels` are given.
+pub fn consistency(x: &Matrix, labels: &[f64], k: usize) -> Result<f64> {
+    let n = x.n_rows();
+    if n != labels.len() {
+        return Err(Error::LengthMismatch { expected: n, actual: labels.len() });
+    }
+    if k == 0 || k >= n {
+        return Err(Error::InvalidParameter {
+            name: "k",
+            message: format!("k must be in [1, {}), got {k}", n),
+        });
+    }
+    let mut total_dev = 0.0;
+    let mut dists: Vec<(f64, usize)> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        dists.clear();
+        let xi = x.row(i);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d: f64 = xi
+                .iter()
+                .zip(x.row(j))
+                .map(|(a, b)| (a - b).powi(2))
+                .sum();
+            dists.push((d, j));
+        }
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let neighbor_mean: f64 =
+            dists[..k].iter().map(|&(_, j)| labels[j]).sum::<f64>() / k as f64;
+        total_dev += (labels[i] - neighbor_mean).abs();
+    }
+    Ok(1.0 - total_dev / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairprep_data::column::{Column, ColumnKind};
+    use fairprep_data::frame::DataFrame;
+    use fairprep_data::schema::{ProtectedAttribute, Schema};
+
+    fn biased(n: usize) -> BinaryLabelDataset {
+        let frame = DataFrame::new()
+            .with_column("x", Column::from_f64((0..n).map(|i| i as f64)))
+            .unwrap()
+            .with_column(
+                "g",
+                Column::from_strs((0..n).map(|i| if i % 2 == 0 { "a" } else { "b" })),
+            )
+            .unwrap()
+            .with_column(
+                "y",
+                // Privileged ("a", even i): 75% positive; unprivileged: 25%.
+                Column::from_strs((0..n).map(|i| {
+                    let positive = if i % 2 == 0 { i % 8 != 0 } else { i % 8 == 1 };
+                    if positive {
+                        "p"
+                    } else {
+                        "n"
+                    }
+                })),
+            )
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("x")
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
+        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p")
+            .unwrap()
+    }
+
+    #[test]
+    fn base_rates_and_disparity() {
+        let ds = biased(80);
+        let m = DatasetMetrics::compute(&ds).unwrap();
+        assert_eq!(m.n_instances, 80);
+        assert_eq!(m.n_privileged + m.n_unprivileged, 80);
+        assert!(m.privileged_base_rate > m.unprivileged_base_rate);
+        assert!(m.disparate_impact < 1.0);
+        assert!(m.statistical_parity_difference < 0.0);
+        assert!(
+            (m.disparate_impact - m.unprivileged_base_rate / m.privileged_base_rate).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn weighted_rates_reflect_reweighing() {
+        use crate::preprocess::{Preprocessor, Reweighing};
+        let ds = biased(80);
+        let reweighed = Reweighing.fit(&ds, 0).unwrap().transform_train(&ds).unwrap();
+        let m = DatasetMetrics::compute(&reweighed).unwrap();
+        // Unweighted rates unchanged; weighted rates equalized.
+        assert!(m.privileged_base_rate > m.unprivileged_base_rate);
+        assert!(
+            (m.weighted_privileged_base_rate - m.weighted_unprivileged_base_rate).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn consistency_is_one_for_locally_constant_labels() {
+        // Two tight clusters with uniform labels.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![if i < 10 { 0.0 } else { 10.0 } + (i % 10) as f64 * 0.01])
+            .collect();
+        let labels: Vec<f64> = (0..20).map(|i| f64::from(u8::from(i >= 10))).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let c = consistency(&x, &labels, 3).unwrap();
+        assert!((c - 1.0).abs() < 1e-12, "consistency {c}");
+    }
+
+    #[test]
+    fn consistency_drops_for_label_noise() {
+        // Same cluster geometry, alternating labels within each cluster.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![if i < 10 { 0.0 } else { 10.0 } + (i % 10) as f64 * 0.01])
+            .collect();
+        let labels: Vec<f64> = (0..20).map(|i| f64::from(u8::from(i % 2 == 0))).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let c = consistency(&x, &labels, 3).unwrap();
+        assert!(c < 0.8, "consistency {c}");
+    }
+
+    #[test]
+    fn consistency_validates_inputs() {
+        let x = Matrix::zeros(5, 1);
+        let y = vec![0.0; 5];
+        assert!(consistency(&x, &y, 0).is_err());
+        assert!(consistency(&x, &y, 5).is_err());
+        assert!(consistency(&x, &y[..3], 2).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        // Constructing an empty BinaryLabelDataset is impossible (group
+        // checks), so only the consistency path needs the n=0 guard — the
+        // DatasetMetrics guard is defensive.
+        let ds = biased(8);
+        assert!(DatasetMetrics::compute(&ds).is_ok());
+    }
+}

@@ -1,0 +1,255 @@
+//! Group-difference ("global") fairness metrics.
+//!
+//! FairPrep computes "22 different global metrics that measure the effects
+//! between the privileged and the unprivileged groups" (§4). The AIF360
+//! sign conventions apply: differences are `unprivileged − privileged`,
+//! ratios are `unprivileged / privileged`, so a disparate impact of 1.0 and
+//! differences of 0.0 are the fair points.
+
+use std::collections::BTreeMap;
+
+use fairprep_data::error::{Error, Result};
+
+use crate::metrics::group::{gei_of_benefits, ratio, GroupMetrics};
+
+/// The 22 between-group metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DifferenceMetrics {
+    /// Selection-rate ratio `unpriv / priv` — "DI" in Figures 2–5.
+    pub disparate_impact: f64,
+    /// Selection-rate difference.
+    pub statistical_parity_difference: f64,
+    /// TPR difference (equal opportunity).
+    pub equal_opportunity_difference: f64,
+    /// Mean of TPR and FPR differences.
+    pub average_odds_difference: f64,
+    /// Mean of |TPR difference| and |FPR difference|.
+    pub average_abs_odds_difference: f64,
+    /// FNR difference — "FNRD" in Figure 2.
+    pub false_negative_rate_difference: f64,
+    /// FNR ratio.
+    pub false_negative_rate_ratio: f64,
+    /// FPR difference — "FPRD" in Figure 2.
+    pub false_positive_rate_difference: f64,
+    /// FPR ratio.
+    pub false_positive_rate_ratio: f64,
+    /// TNR difference.
+    pub true_negative_rate_difference: f64,
+    /// Error-rate difference.
+    pub error_rate_difference: f64,
+    /// Error-rate ratio.
+    pub error_rate_ratio: f64,
+    /// Accuracy difference.
+    pub accuracy_difference: f64,
+    /// Balanced-accuracy difference.
+    pub balanced_accuracy_difference: f64,
+    /// Precision (PPV) difference.
+    pub precision_difference: f64,
+    /// F1 difference.
+    pub f1_difference: f64,
+    /// Base-rate (label) difference — a dataset property.
+    pub base_rate_difference: f64,
+    /// Theil index (GEI α = 1) over the pooled benefit vector.
+    pub theil_index: f64,
+    /// GEI (α = 2) over the pooled benefit vector.
+    pub generalized_entropy_index: f64,
+    /// Coefficient of variation `sqrt(2 · GEI₂)`.
+    pub coefficient_of_variation: f64,
+    /// Between-group GEI (α = 2): each instance's benefit replaced by its
+    /// group mean.
+    pub between_group_generalized_entropy_index: f64,
+    /// Between-group Theil index.
+    pub between_group_theil_index: f64,
+}
+
+impl DifferenceMetrics {
+    /// Computes the block from pooled labels/predictions plus the
+    /// per-group metric blocks.
+    pub fn compute(
+        y_true: &[f64],
+        y_pred: &[f64],
+        privileged_mask: &[bool],
+        privileged: &GroupMetrics,
+        unprivileged: &GroupMetrics,
+    ) -> Result<DifferenceMetrics> {
+        if y_true.len() != y_pred.len() || y_true.len() != privileged_mask.len() {
+            return Err(Error::LengthMismatch {
+                expected: y_true.len(),
+                actual: y_pred.len().min(privileged_mask.len()),
+            });
+        }
+        let benefits: Vec<f64> =
+            y_pred.iter().zip(y_true).map(|(&p, &t)| p - t + 1.0).collect();
+
+        // Between-group benefit vector: group means in place of values.
+        let mut group_sums = [0.0_f64; 2];
+        let mut group_counts = [0usize; 2];
+        for (&b, &m) in benefits.iter().zip(privileged_mask) {
+            let g = usize::from(m);
+            group_sums[g] += b;
+            group_counts[g] += 1;
+        }
+        let group_means = [
+            if group_counts[0] > 0 { group_sums[0] / group_counts[0] as f64 } else { 0.0 },
+            if group_counts[1] > 0 { group_sums[1] / group_counts[1] as f64 } else { 0.0 },
+        ];
+        let between: Vec<f64> =
+            privileged_mask.iter().map(|&m| group_means[usize::from(m)]).collect();
+
+        let d = |u: f64, p: f64| u - p;
+        Ok(DifferenceMetrics {
+            disparate_impact: ratio(unprivileged.selection_rate, privileged.selection_rate),
+            statistical_parity_difference: d(
+                unprivileged.selection_rate,
+                privileged.selection_rate,
+            ),
+            equal_opportunity_difference: d(unprivileged.tpr, privileged.tpr),
+            average_odds_difference: 0.5
+                * (d(unprivileged.tpr, privileged.tpr) + d(unprivileged.fpr, privileged.fpr)),
+            average_abs_odds_difference: 0.5
+                * (d(unprivileged.tpr, privileged.tpr).abs()
+                    + d(unprivileged.fpr, privileged.fpr).abs()),
+            false_negative_rate_difference: d(unprivileged.fnr, privileged.fnr),
+            false_negative_rate_ratio: ratio(unprivileged.fnr, privileged.fnr),
+            false_positive_rate_difference: d(unprivileged.fpr, privileged.fpr),
+            false_positive_rate_ratio: ratio(unprivileged.fpr, privileged.fpr),
+            true_negative_rate_difference: d(unprivileged.tnr, privileged.tnr),
+            error_rate_difference: d(unprivileged.error_rate, privileged.error_rate),
+            error_rate_ratio: ratio(unprivileged.error_rate, privileged.error_rate),
+            accuracy_difference: d(unprivileged.accuracy, privileged.accuracy),
+            balanced_accuracy_difference: d(
+                unprivileged.balanced_accuracy,
+                privileged.balanced_accuracy,
+            ),
+            precision_difference: d(unprivileged.precision, privileged.precision),
+            f1_difference: d(unprivileged.f1, privileged.f1),
+            base_rate_difference: d(unprivileged.base_rate, privileged.base_rate),
+            theil_index: gei_of_benefits(&benefits, 1.0),
+            generalized_entropy_index: gei_of_benefits(&benefits, 2.0),
+            coefficient_of_variation: (2.0 * gei_of_benefits(&benefits, 2.0)).sqrt(),
+            between_group_generalized_entropy_index: gei_of_benefits(&between, 2.0),
+            between_group_theil_index: gei_of_benefits(&between, 1.0),
+        })
+    }
+
+    /// All 22 metrics as a name → value map (stable iteration order).
+    #[must_use]
+    pub fn to_map(&self) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert("disparate_impact".into(), self.disparate_impact);
+        m.insert("statistical_parity_difference".into(), self.statistical_parity_difference);
+        m.insert("equal_opportunity_difference".into(), self.equal_opportunity_difference);
+        m.insert("average_odds_difference".into(), self.average_odds_difference);
+        m.insert("average_abs_odds_difference".into(), self.average_abs_odds_difference);
+        m.insert(
+            "false_negative_rate_difference".into(),
+            self.false_negative_rate_difference,
+        );
+        m.insert("false_negative_rate_ratio".into(), self.false_negative_rate_ratio);
+        m.insert(
+            "false_positive_rate_difference".into(),
+            self.false_positive_rate_difference,
+        );
+        m.insert("false_positive_rate_ratio".into(), self.false_positive_rate_ratio);
+        m.insert("true_negative_rate_difference".into(), self.true_negative_rate_difference);
+        m.insert("error_rate_difference".into(), self.error_rate_difference);
+        m.insert("error_rate_ratio".into(), self.error_rate_ratio);
+        m.insert("accuracy_difference".into(), self.accuracy_difference);
+        m.insert("balanced_accuracy_difference".into(), self.balanced_accuracy_difference);
+        m.insert("precision_difference".into(), self.precision_difference);
+        m.insert("f1_difference".into(), self.f1_difference);
+        m.insert("base_rate_difference".into(), self.base_rate_difference);
+        m.insert("theil_index".into(), self.theil_index);
+        m.insert("generalized_entropy_index".into(), self.generalized_entropy_index);
+        m.insert("coefficient_of_variation".into(), self.coefficient_of_variation);
+        m.insert(
+            "between_group_generalized_entropy_index".into(),
+            self.between_group_generalized_entropy_index,
+        );
+        m.insert("between_group_theil_index".into(), self.between_group_theil_index);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::group::select_by_mask;
+
+    /// Biased setup: privileged group (first 4) gets selected at 75%,
+    /// unprivileged (last 4) at 25%.
+    fn setup() -> (Vec<f64>, Vec<f64>, Vec<bool>) {
+        let y = vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let p = vec![1.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+        let mask = vec![true, true, true, true, false, false, false, false];
+        (y, p, mask)
+    }
+
+    fn compute(y: &[f64], p: &[f64], mask: &[bool]) -> DifferenceMetrics {
+        let yp = select_by_mask(y, mask, true);
+        let pp = select_by_mask(p, mask, true);
+        let yu = select_by_mask(y, mask, false);
+        let pu = select_by_mask(p, mask, false);
+        let gp = GroupMetrics::compute(&yp, &pp, None).unwrap();
+        let gu = GroupMetrics::compute(&yu, &pu, None).unwrap();
+        DifferenceMetrics::compute(y, p, mask, &gp, &gu).unwrap()
+    }
+
+    #[test]
+    fn disparate_impact_and_spd() {
+        let (y, p, mask) = setup();
+        let d = compute(&y, &p, &mask);
+        assert!((d.disparate_impact - (0.25 / 0.75)).abs() < 1e-12);
+        assert!((d.statistical_parity_difference - (0.25 - 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odds_differences() {
+        let (y, p, mask) = setup();
+        let d = compute(&y, &p, &mask);
+        // Priv: TPR = 1.0, FPR = 0.5. Unpriv: TPR = 0.5, FPR = 0.0.
+        assert!((d.equal_opportunity_difference - (0.5 - 1.0)).abs() < 1e-12);
+        assert!((d.false_positive_rate_difference - (0.0 - 0.5)).abs() < 1e-12);
+        assert!((d.average_odds_difference - (-0.5)).abs() < 1e-12);
+        assert!((d.average_abs_odds_difference - 0.5).abs() < 1e-12);
+        assert!((d.false_negative_rate_difference - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_fair_predictions_have_neutral_values() {
+        // Same behaviour for both groups: predict exactly the label.
+        let y = vec![1.0, 0.0, 1.0, 0.0];
+        let p = y.clone();
+        let mask = vec![true, true, false, false];
+        let d = compute(&y, &p, &mask);
+        assert!((d.disparate_impact - 1.0).abs() < 1e-12);
+        assert!(d.statistical_parity_difference.abs() < 1e-12);
+        assert!(d.equal_opportunity_difference.abs() < 1e-12);
+        assert!(d.theil_index.abs() < 1e-12);
+        assert!(d.between_group_theil_index.abs() < 1e-12);
+    }
+
+    #[test]
+    fn between_group_index_ignores_within_group_variation() {
+        // Both groups have the same mean benefit, but high internal spread:
+        // between-group inequality must be ~0, overall must be > 0.
+        let y = vec![1.0, 0.0, 1.0, 0.0];
+        let p = vec![0.0, 1.0, 0.0, 1.0]; // benefits: 0, 2, 0, 2
+        let mask = vec![true, true, false, false];
+        let d = compute(&y, &p, &mask);
+        assert!(d.generalized_entropy_index > 0.0);
+        assert!(d.between_group_generalized_entropy_index.abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_has_22_entries() {
+        let (y, p, mask) = setup();
+        assert_eq!(compute(&y, &p, &mask).to_map().len(), 22);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let g = GroupMetrics::compute(&[1.0, 0.0], &[1.0, 0.0], None).unwrap();
+        assert!(DifferenceMetrics::compute(&[1.0], &[1.0, 0.0], &[true], &g, &g).is_err());
+    }
+}

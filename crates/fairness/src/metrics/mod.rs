@@ -1,0 +1,14 @@
+//! Fairness metrics: per-group blocks, between-group differences, and the
+//! combined per-run report.
+
+pub mod dataset;
+pub mod difference;
+pub mod group;
+pub mod report;
+
+pub use dataset::{consistency, DatasetMetrics};
+pub use difference::DifferenceMetrics;
+pub use group::{
+    coefficient_of_variation, generalized_entropy_index, theil_index, GroupMetrics,
+};
+pub use report::{MetricsReport, ReportInputs};

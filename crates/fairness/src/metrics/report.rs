@@ -1,0 +1,260 @@
+//! The combined metrics report an experiment emits for each evaluated split.
+//!
+//! "Every experiment writes an output file with these metrics by default"
+//! (§4). A [`MetricsReport`] is one such block: the 25 per-population
+//! metrics for the overall population and for each protected group, plus
+//! the 22 between-group metrics — and, when the lifecycle tracks record
+//! completeness (§5.3), separate accuracy blocks for originally-complete
+//! and originally-incomplete records.
+
+use std::collections::BTreeMap;
+
+use fairprep_data::error::{Error, Result};
+
+use crate::metrics::difference::DifferenceMetrics;
+use crate::metrics::group::{select_by_mask, GroupMetrics};
+
+/// Full metric block for one evaluated split.
+///
+/// # Examples
+///
+/// ```
+/// use fairprep_fairness::metrics::{MetricsReport, ReportInputs};
+///
+/// let report = MetricsReport::compute(ReportInputs {
+///     y_true: &[1.0, 0.0, 1.0, 0.0],
+///     y_pred: &[1.0, 0.0, 0.0, 0.0],
+///     scores: None,
+///     privileged_mask: &[true, true, false, false],
+///     incomplete_mask: None,
+/// }).unwrap();
+/// assert_eq!(report.overall.n_instances, 4);
+/// assert!((report.overall.accuracy - 0.75).abs() < 1e-12);
+/// assert_eq!(report.to_map().len(), 97); // 3 x 25 per-group + 22 differences
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Metrics over all instances.
+    pub overall: GroupMetrics,
+    /// Metrics over the privileged group.
+    pub privileged: GroupMetrics,
+    /// Metrics over the unprivileged group.
+    pub unprivileged: GroupMetrics,
+    /// The 22 between-group metrics.
+    pub differences: DifferenceMetrics,
+    /// Metrics restricted to originally-complete records, when the
+    /// lifecycle tracked completeness.
+    pub complete_records: Option<GroupMetrics>,
+    /// Metrics restricted to originally-incomplete (imputed) records.
+    pub incomplete_records: Option<GroupMetrics>,
+}
+
+/// Inputs for building a [`MetricsReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReportInputs<'a> {
+    /// Ground-truth binary labels.
+    pub y_true: &'a [f64],
+    /// Hard predictions.
+    pub y_pred: &'a [f64],
+    /// Probabilistic scores (optional).
+    pub scores: Option<&'a [f64]>,
+    /// Privileged-group mask.
+    pub privileged_mask: &'a [bool],
+    /// `true` where the record originally had missing values (optional).
+    pub incomplete_mask: Option<&'a [bool]>,
+}
+
+impl MetricsReport {
+    /// Computes the full report.
+    pub fn compute(inputs: ReportInputs<'_>) -> Result<MetricsReport> {
+        let ReportInputs { y_true, y_pred, scores, privileged_mask, incomplete_mask } = inputs;
+        if y_true.len() != privileged_mask.len() {
+            return Err(Error::LengthMismatch {
+                expected: y_true.len(),
+                actual: privileged_mask.len(),
+            });
+        }
+        let overall = GroupMetrics::compute(y_true, y_pred, scores)?;
+
+        let split = |keep: bool| -> Result<GroupMetrics> {
+            let y = select_by_mask(y_true, privileged_mask, keep);
+            let p = select_by_mask(y_pred, privileged_mask, keep);
+            let s = scores.map(|s| select_by_mask(s, privileged_mask, keep));
+            GroupMetrics::compute(&y, &p, s.as_deref())
+        };
+        let privileged = split(true)?;
+        let unprivileged = split(false)?;
+        let differences = DifferenceMetrics::compute(
+            y_true,
+            y_pred,
+            privileged_mask,
+            &privileged,
+            &unprivileged,
+        )?;
+
+        let (complete_records, incomplete_records) = match incomplete_mask {
+            Some(mask) => {
+                if mask.len() != y_true.len() {
+                    return Err(Error::LengthMismatch {
+                        expected: y_true.len(),
+                        actual: mask.len(),
+                    });
+                }
+                let by = |keep_incomplete: bool| -> Option<GroupMetrics> {
+                    let y = select_by_mask(y_true, mask, keep_incomplete);
+                    if y.is_empty() {
+                        return None;
+                    }
+                    let p = select_by_mask(y_pred, mask, keep_incomplete);
+                    let s = scores.map(|s| select_by_mask(s, mask, keep_incomplete));
+                    GroupMetrics::compute(&y, &p, s.as_deref()).ok()
+                };
+                (by(false), by(true))
+            }
+            None => (None, None),
+        };
+
+        Ok(MetricsReport {
+            overall,
+            privileged,
+            unprivileged,
+            differences,
+            complete_records,
+            incomplete_records,
+        })
+    }
+
+    /// Flattens the report into `prefix_metric → value` pairs — the format
+    /// of the per-run output file.
+    #[must_use]
+    pub fn to_map(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        type Block<'a> = Option<&'a GroupMetrics>;
+        let blocks: [(&str, Block<'_>); 5] = [
+            ("overall", Some(&self.overall)),
+            ("privileged", Some(&self.privileged)),
+            ("unprivileged", Some(&self.unprivileged)),
+            ("complete_records", self.complete_records.as_ref()),
+            ("incomplete_records", self.incomplete_records.as_ref()),
+        ];
+        for (prefix, block) in blocks {
+            if let Some(block) = block {
+                for (k, v) in block.to_map() {
+                    out.insert(format!("{prefix}_{k}"), v);
+                }
+            }
+        }
+        for (k, v) in self.differences.to_map() {
+            out.insert(k, v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type TestInputs = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<bool>, Vec<bool>);
+
+    fn inputs() -> TestInputs {
+        let y = vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let p = vec![1.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let s = vec![0.9, 0.2, 0.8, 0.6, 0.4, 0.1];
+        let mask = vec![true, true, true, false, false, false];
+        let inc = vec![false, false, true, false, true, true];
+        (y, p, s, mask, inc)
+    }
+
+    #[test]
+    fn full_report_structure() {
+        let (y, p, s, mask, inc) = inputs();
+        let r = MetricsReport::compute(ReportInputs {
+            y_true: &y,
+            y_pred: &p,
+            scores: Some(&s),
+            privileged_mask: &mask,
+            incomplete_mask: Some(&inc),
+        })
+        .unwrap();
+        assert_eq!(r.overall.n_instances, 6);
+        assert_eq!(r.privileged.n_instances, 3);
+        assert_eq!(r.unprivileged.n_instances, 3);
+        assert!(r.complete_records.is_some());
+        assert!(r.incomplete_records.is_some());
+        assert_eq!(r.complete_records.as_ref().unwrap().n_instances, 3);
+        assert_eq!(r.incomplete_records.as_ref().unwrap().n_instances, 3);
+    }
+
+    #[test]
+    fn flattened_map_has_expected_size() {
+        let (y, p, s, mask, inc) = inputs();
+        let r = MetricsReport::compute(ReportInputs {
+            y_true: &y,
+            y_pred: &p,
+            scores: Some(&s),
+            privileged_mask: &mask,
+            incomplete_mask: Some(&inc),
+        })
+        .unwrap();
+        // 5 populations × 25 + 22 differences = 147.
+        assert_eq!(r.to_map().len(), 147);
+        // Without completeness tracking: 3 × 25 + 22 = 97.
+        let r2 = MetricsReport::compute(ReportInputs {
+            y_true: &y,
+            y_pred: &p,
+            scores: Some(&s),
+            privileged_mask: &mask,
+            incomplete_mask: None,
+        })
+        .unwrap();
+        assert_eq!(r2.to_map().len(), 97);
+    }
+
+    #[test]
+    fn all_complete_yields_no_incomplete_block() {
+        let (y, p, s, mask, _) = inputs();
+        let all_complete = vec![false; 6];
+        let r = MetricsReport::compute(ReportInputs {
+            y_true: &y,
+            y_pred: &p,
+            scores: Some(&s),
+            privileged_mask: &mask,
+            incomplete_mask: Some(&all_complete),
+        })
+        .unwrap();
+        assert!(r.complete_records.is_some());
+        assert!(r.incomplete_records.is_none());
+    }
+
+    #[test]
+    fn group_blocks_match_manual_selection() {
+        let (y, p, _, mask, _) = inputs();
+        let r = MetricsReport::compute(ReportInputs {
+            y_true: &y,
+            y_pred: &p,
+            scores: None,
+            privileged_mask: &mask,
+            incomplete_mask: None,
+        })
+        .unwrap();
+        // Privileged: y = [1,0,1], p = [1,0,1] → perfect.
+        assert!((r.privileged.accuracy - 1.0).abs() < 1e-12);
+        // Unprivileged: y = [0,1,0], p = [1,0,0] → 1/3 correct.
+        assert!((r.unprivileged.accuracy - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.differences.accuracy_difference - (1.0 / 3.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_length_mismatch_rejected() {
+        let (y, p, _, _, _) = inputs();
+        assert!(MetricsReport::compute(ReportInputs {
+            y_true: &y,
+            y_pred: &p,
+            scores: None,
+            privileged_mask: &[true],
+            incomplete_mask: None,
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! Calibrated equalized odds [Pleiss et al., NeurIPS 2017].
+//!
+//! Calibration and equalized odds cannot hold simultaneously in general;
+//! Pleiss et al. instead equalize one *generalized cost* (generalized FNR,
+//! generalized FPR, or a weighted mix) while keeping scores calibrated, by
+//! randomly replacing a fraction of the lower-cost group's scores with that
+//! group's base rate. The mixing fraction has the closed form
+//! `p = (cost_other − cost_self) / (cost_trivial_self − cost_self)`.
+//!
+//! The randomization is seeded at fit time so adjustment is reproducible.
+
+use rand::Rng;
+
+use fairprep_data::error::Result;
+use fairprep_data::rng::component_rng;
+
+use crate::postprocess::{validate_fit_inputs, FittedPostprocessor, Postprocessor};
+
+/// Which generalized cost to equalize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostConstraint {
+    /// Equalize generalized false-negative rates.
+    FalseNegativeRate,
+    /// Equalize generalized false-positive rates.
+    FalsePositiveRate,
+    /// Equalize the sum of both.
+    Weighted,
+}
+
+impl CostConstraint {
+    fn name(self) -> &'static str {
+        match self {
+            CostConstraint::FalseNegativeRate => "fnr",
+            CostConstraint::FalsePositiveRate => "fpr",
+            CostConstraint::Weighted => "weighted",
+        }
+    }
+}
+
+/// The calibrated-equalized-odds intervention ("cal_eq_odds" in Figure 2).
+#[derive(Debug, Clone, Copy)]
+pub struct CalibratedEqOdds {
+    /// The cost to equalize between groups.
+    pub constraint: CostConstraint,
+}
+
+impl Default for CalibratedEqOdds {
+    fn default() -> Self {
+        CalibratedEqOdds { constraint: CostConstraint::FalseNegativeRate }
+    }
+}
+
+/// Per-group calibration statistics measured on the validation set.
+#[derive(Debug, Clone, Copy)]
+struct GroupStats {
+    base_rate: f64,
+    /// Generalized FNR: mean of `1 − s` over positive instances.
+    gfnr: f64,
+    /// Generalized FPR: mean of `s` over negative instances.
+    gfpr: f64,
+}
+
+impl GroupStats {
+    fn measure(scores: &[f64], labels: &[f64]) -> GroupStats {
+        let n = scores.len() as f64;
+        let pos: f64 = labels.iter().sum();
+        let neg = n - pos;
+        let base_rate = pos / n;
+        let gfnr = if pos > 0.0 {
+            scores
+                .iter()
+                .zip(labels)
+                .filter(|(_, &y)| y == 1.0)
+                .map(|(&s, _)| 1.0 - s)
+                .sum::<f64>()
+                / pos
+        } else {
+            f64::NAN
+        };
+        let gfpr = if neg > 0.0 {
+            scores
+                .iter()
+                .zip(labels)
+                .filter(|(_, &y)| y == 0.0)
+                .map(|(&s, _)| s)
+                .sum::<f64>()
+                / neg
+        } else {
+            f64::NAN
+        };
+        GroupStats { base_rate, gfnr, gfpr }
+    }
+
+    fn cost(&self, constraint: CostConstraint) -> f64 {
+        match constraint {
+            CostConstraint::FalseNegativeRate => self.gfnr,
+            CostConstraint::FalsePositiveRate => self.gfpr,
+            CostConstraint::Weighted => self.gfnr + self.gfpr,
+        }
+    }
+
+    /// Cost of the trivial predictor that outputs the base rate for every
+    /// instance of the group.
+    fn trivial_cost(&self, constraint: CostConstraint) -> f64 {
+        match constraint {
+            CostConstraint::FalseNegativeRate => 1.0 - self.base_rate,
+            CostConstraint::FalsePositiveRate => self.base_rate,
+            CostConstraint::Weighted => 1.0,
+        }
+    }
+}
+
+impl CalibratedEqOdds {
+    /// Fits the intervention, returning the concrete fitted type (the trait
+    /// method boxes this).
+    pub fn fit_concrete(
+        &self,
+        val_scores: &[f64],
+        val_labels: &[f64],
+        val_privileged: &[bool],
+        seed: u64,
+    ) -> Result<FittedCalEqOdds> {
+        validate_fit_inputs(val_scores, val_labels, val_privileged)?;
+
+        let split = |keep: bool| -> (Vec<f64>, Vec<f64>) {
+            let s: Vec<f64> = val_scores
+                .iter()
+                .zip(val_privileged)
+                .filter(|(_, &p)| p == keep)
+                .map(|(&v, _)| v)
+                .collect();
+            let y: Vec<f64> = val_labels
+                .iter()
+                .zip(val_privileged)
+                .filter(|(_, &p)| p == keep)
+                .map(|(&v, _)| v)
+                .collect();
+            (s, y)
+        };
+        let (sp, yp) = split(true);
+        let (su, yu) = split(false);
+        let stats_priv = GroupStats::measure(&sp, &yp);
+        let stats_unpriv = GroupStats::measure(&su, &yu);
+
+        let cost_p = stats_priv.cost(self.constraint);
+        let cost_u = stats_unpriv.cost(self.constraint);
+
+        // The group with the LOWER cost is degraded towards its trivial
+        // predictor until costs match.
+        let (degrade_privileged, self_stats, other_cost) = if cost_p <= cost_u {
+            (true, stats_priv, cost_u)
+        } else {
+            (false, stats_unpriv, cost_p)
+        };
+        let self_cost = self_stats.cost(self.constraint);
+        let trivial = self_stats.trivial_cost(self.constraint);
+        let denom = trivial - self_cost;
+        let mix_rate = if denom.abs() < 1e-12 || !denom.is_finite() {
+            0.0
+        } else {
+            ((other_cost - self_cost) / denom).clamp(0.0, 1.0)
+        };
+
+        Ok(FittedCalEqOdds {
+            degrade_privileged,
+            mix_rate,
+            base_rate: self_stats.base_rate,
+            seed,
+        })
+    }
+}
+
+impl Postprocessor for CalibratedEqOdds {
+    fn name(&self) -> String {
+        format!("cal_eq_odds({})", self.constraint.name())
+    }
+
+    fn fit(
+        &self,
+        val_scores: &[f64],
+        val_labels: &[f64],
+        val_privileged: &[bool],
+        seed: u64,
+    ) -> Result<Box<dyn FittedPostprocessor>> {
+        Ok(Box::new(self.fit_concrete(val_scores, val_labels, val_privileged, seed)?))
+    }
+}
+
+/// The fitted intervention: mix one group's scores with its base rate.
+#[derive(Debug, Clone, Copy)]
+pub struct FittedCalEqOdds {
+    /// Which group is degraded.
+    pub degrade_privileged: bool,
+    /// Probability of replacing a score with the base rate.
+    pub mix_rate: f64,
+    /// Replacement value (the degraded group's validation base rate).
+    pub base_rate: f64,
+    seed: u64,
+}
+
+impl FittedPostprocessor for FittedCalEqOdds {
+    fn adjust(&self, scores: &[f64], privileged: &[bool]) -> Result<Vec<f64>> {
+        let mut rng = component_rng(self.seed, "cal_eq_odds/adjust");
+        Ok(scores
+            .iter()
+            .zip(privileged)
+            .map(|(&s, &p)| {
+                let draw: f64 = rng.random();
+                let score = if p == self.degrade_privileged && draw < self.mix_rate {
+                    self.base_rate
+                } else {
+                    s
+                };
+                f64::from(u8::from(score > 0.5))
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postprocess::test_support::biased_scores;
+
+    fn gfnr(scores: &[f64], labels: &[f64]) -> f64 {
+        GroupStats::measure(scores, labels).gfnr
+    }
+
+    #[test]
+    fn mix_rate_is_valid_probability() {
+        let (scores, labels, mask) = biased_scores(500, 3);
+        for constraint in [
+            CostConstraint::FalseNegativeRate,
+            CostConstraint::FalsePositiveRate,
+            CostConstraint::Weighted,
+        ] {
+            let fitted = CalibratedEqOdds { constraint }
+                .fit(&scores, &labels, &mask, 0)
+                .unwrap();
+            let _ = fitted.adjust(&scores, &mask).unwrap();
+        }
+    }
+
+    #[test]
+    fn reduces_generalized_fnr_gap() {
+        let (scores, labels, mask) = biased_scores(2000, 5);
+        // Measure the pre-adjustment gFNR gap.
+        let sel = |keep: bool, v: &[f64]| -> Vec<f64> {
+            v.iter().zip(&mask).filter(|(_, &p)| p == keep).map(|(&x, _)| x).collect()
+        };
+        let gap_before =
+            (gfnr(&sel(true, &scores), &sel(true, &labels))
+                - gfnr(&sel(false, &scores), &sel(false, &labels)))
+            .abs();
+
+        // Simulate the adjusted *scores* (mixing towards base rate) to verify
+        // the cost-equalization property the hard predictions inherit.
+        let fitted = CalibratedEqOdds::default().fit_concrete(&scores, &labels, &mask, 1).unwrap();
+        let mut rng = fairprep_data::rng::component_rng(1, "cal_eq_odds/adjust");
+        let mixed: Vec<f64> = scores
+            .iter()
+            .zip(&mask)
+            .map(|(&s, &p)| {
+                let draw: f64 = rng.random();
+                if p == fitted.degrade_privileged && draw < fitted.mix_rate {
+                    fitted.base_rate
+                } else {
+                    s
+                }
+            })
+            .collect();
+        let gap_after = (gfnr(&sel(true, &mixed), &sel(true, &labels))
+            - gfnr(&sel(false, &mixed), &sel(false, &labels)))
+        .abs();
+        assert!(
+            gap_after < gap_before,
+            "gFNR gap before {gap_before}, after {gap_after}"
+        );
+    }
+
+    #[test]
+    fn adjustment_is_reproducible() {
+        let (scores, labels, mask) = biased_scores(300, 7);
+        let fitted = CalibratedEqOdds::default().fit(&scores, &labels, &mask, 9).unwrap();
+        let a = fitted.adjust(&scores, &mask).unwrap();
+        let b = fitted.adjust(&scores, &mask).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_mix_rate_when_costs_equal() {
+        // Symmetric inputs: identical score/label patterns in both groups.
+        let scores = vec![0.8, 0.2, 0.8, 0.2];
+        let labels = vec![1.0, 0.0, 1.0, 0.0];
+        let mask = vec![true, true, false, false];
+        let fitted = CalibratedEqOdds::default().fit_concrete(&scores, &labels, &mask, 0).unwrap();
+        assert!(fitted.mix_rate.abs() < 1e-9);
+        // Adjustment reduces to plain thresholding.
+        assert_eq!(fitted.adjust(&scores, &mask).unwrap(), vec![1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn name_mentions_constraint() {
+        assert_eq!(CalibratedEqOdds::default().name(), "cal_eq_odds(fnr)");
+        assert_eq!(
+            CalibratedEqOdds { constraint: CostConstraint::Weighted }.name(),
+            "cal_eq_odds(weighted)"
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(CalibratedEqOdds::default()
+            .fit(&[0.5, 0.5], &[1.0, 0.0], &[true, true], 0)
+            .is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Post-processing fairness interventions.
+//!
+//! A [`Postprocessor`] is fitted on *validation* predictions (scores,
+//! ground-truth labels, and group membership) — never on the test set — and
+//! then adjusts the hard predictions of any later split. This is the
+//! "final (optional) step" of lifecycle phase 1 (§3).
+
+pub mod calibrated_eq_odds;
+pub mod eq_odds;
+pub mod group_thresholds;
+pub mod reject_option;
+
+use fairprep_data::error::{Error, Result};
+
+pub use calibrated_eq_odds::{CalibratedEqOdds, CostConstraint};
+pub use eq_odds::EqOddsPostprocessing;
+pub use group_thresholds::{GroupThresholdOptimizer, ThresholdConstraint};
+pub use reject_option::RejectOptionClassification;
+
+/// A post-processing fairness-enhancing intervention.
+pub trait Postprocessor: Send + Sync {
+    /// Stable name (with parameters) for run metadata.
+    fn name(&self) -> String;
+
+    /// Fits the adjustment on validation-set predictions.
+    fn fit(
+        &self,
+        val_scores: &[f64],
+        val_labels: &[f64],
+        val_privileged: &[bool],
+        seed: u64,
+    ) -> Result<Box<dyn FittedPostprocessor>>;
+}
+
+/// A fitted post-processing intervention.
+pub trait FittedPostprocessor: Send + Sync {
+    /// Produces adjusted hard predictions (0/1) from probabilistic scores
+    /// and group membership. Must be deterministic for fixed inputs (any
+    /// internal randomization is seeded at fit time).
+    fn adjust(&self, scores: &[f64], privileged: &[bool]) -> Result<Vec<f64>>;
+}
+
+/// Validates the common `(scores, labels, mask)` fit inputs.
+pub(crate) fn validate_fit_inputs(
+    scores: &[f64],
+    labels: &[f64],
+    privileged: &[bool],
+) -> Result<()> {
+    if scores.len() != labels.len() || scores.len() != privileged.len() {
+        return Err(Error::LengthMismatch {
+            expected: scores.len(),
+            actual: labels.len().min(privileged.len()),
+        });
+    }
+    if scores.is_empty() {
+        return Err(Error::EmptyData("postprocessor fit inputs".to_string()));
+    }
+    if !privileged.iter().any(|&p| p) || privileged.iter().all(|&p| p) {
+        return Err(Error::EmptyGroup { privileged: !privileged.iter().any(|&p| p) });
+    }
+    Ok(())
+}
+
+/// The identity postprocessor (no adjustment).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPostprocessing;
+
+impl Postprocessor for NoPostprocessing {
+    fn name(&self) -> String {
+        "no_postprocessing".to_string()
+    }
+
+    fn fit(
+        &self,
+        _val_scores: &[f64],
+        _val_labels: &[f64],
+        _val_privileged: &[bool],
+        _seed: u64,
+    ) -> Result<Box<dyn FittedPostprocessor>> {
+        Ok(Box::new(FittedThreshold))
+    }
+}
+
+struct FittedThreshold;
+
+impl FittedPostprocessor for FittedThreshold {
+    fn adjust(&self, scores: &[f64], _privileged: &[bool]) -> Result<Vec<f64>> {
+        Ok(scores.iter().map(|&s| f64::from(u8::from(s > 0.5))).collect())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use rand::Rng;
+
+    /// Synthetic validation predictions with a group gap: privileged scores
+    /// are shifted up. Returns (scores, labels, privileged mask).
+    pub(crate) fn biased_scores(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<bool>) {
+        let mut rng = fairprep_data::rng::component_rng(seed, "test/biased_scores");
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut mask = Vec::with_capacity(n);
+        for i in 0..n {
+            let privileged = i % 2 == 0;
+            let y = f64::from(u8::from(rng.random::<f64>() < 0.5));
+            let signal = 0.25 * y + if privileged { 0.2 } else { 0.0 };
+            let s: f64 = (0.3 + signal + 0.3 * rng.random::<f64>()).clamp(0.01, 0.99);
+            scores.push(s);
+            labels.push(y);
+            mask.push(privileged);
+        }
+        (scores, labels, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_postprocessing_thresholds() {
+        let fitted = NoPostprocessing
+            .fit(&[0.4, 0.6], &[0.0, 1.0], &[true, false], 0)
+            .unwrap();
+        assert_eq!(
+            fitted.adjust(&[0.3, 0.51, 0.5], &[true, false, true]).unwrap(),
+            vec![0.0, 1.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn fit_inputs_validated() {
+        assert!(validate_fit_inputs(&[0.5], &[1.0, 0.0], &[true, false]).is_err());
+        assert!(validate_fit_inputs(&[], &[], &[]).is_err());
+        assert!(validate_fit_inputs(&[0.5, 0.6], &[1.0, 0.0], &[true, true]).is_err());
+        assert!(validate_fit_inputs(&[0.5, 0.6], &[1.0, 0.0], &[true, false]).is_ok());
+    }
+}

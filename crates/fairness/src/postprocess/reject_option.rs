@@ -1,0 +1,175 @@
+//! Reject-option classification [Kamiran, Karim & Zhang, ICDM 2012].
+//!
+//! Predictions whose posterior is close to the decision boundary (the
+//! "critical region" `|s − 0.5| < θ`) carry the most uncertainty; the
+//! intervention resolves them in favour of the unprivileged group
+//! (unprivileged → favorable, privileged → unfavorable). The band width θ
+//! is selected on the validation set: the widest-accuracy θ whose absolute
+//! statistical parity difference is below a bound, falling back to the θ
+//! with the smallest disparity when no candidate satisfies the bound.
+
+use fairprep_data::error::Result;
+use fairprep_ml::eval::ConfusionMatrix;
+
+use crate::postprocess::{validate_fit_inputs, FittedPostprocessor, Postprocessor};
+
+/// The reject-option-classification intervention.
+#[derive(Debug, Clone, Copy)]
+pub struct RejectOptionClassification {
+    /// Upper bound on the absolute statistical parity difference the
+    /// selected band must achieve on the validation set.
+    pub metric_bound: f64,
+    /// Number of candidate band widths evaluated between 0 and 0.5.
+    pub n_candidates: usize,
+}
+
+impl Default for RejectOptionClassification {
+    fn default() -> Self {
+        RejectOptionClassification { metric_bound: 0.05, n_candidates: 50 }
+    }
+}
+
+impl Postprocessor for RejectOptionClassification {
+    fn name(&self) -> String {
+        format!("reject_option(bound={})", self.metric_bound)
+    }
+
+    fn fit(
+        &self,
+        val_scores: &[f64],
+        val_labels: &[f64],
+        val_privileged: &[bool],
+        _seed: u64,
+    ) -> Result<Box<dyn FittedPostprocessor>> {
+        validate_fit_inputs(val_scores, val_labels, val_privileged)?;
+
+        let mut best_feasible: Option<(f64, f64)> = None; // (theta, accuracy)
+        let mut best_fallback: Option<(f64, f64)> = None; // (theta, |spd|)
+        for k in 0..=self.n_candidates {
+            let theta = 0.5 * k as f64 / self.n_candidates as f64;
+            let preds = apply_band(val_scores, val_privileged, theta);
+            let (spd, acc) = spd_and_accuracy(&preds, val_labels, val_privileged)?;
+            if spd.abs() <= self.metric_bound
+                && best_feasible.is_none_or(|(_, a)| acc > a)
+            {
+                best_feasible = Some((theta, acc));
+            }
+            if best_fallback.is_none_or(|(_, s)| spd.abs() < s) {
+                best_fallback = Some((theta, spd.abs()));
+            }
+        }
+        let theta = best_feasible
+            .map(|(t, _)| t)
+            .or(best_fallback.map(|(t, _)| t))
+            .unwrap_or(0.0);
+        Ok(Box::new(FittedRejectOption { theta }))
+    }
+}
+
+/// The fitted intervention: a fixed critical-region width.
+#[derive(Debug, Clone, Copy)]
+pub struct FittedRejectOption {
+    /// Selected critical-region half-width θ.
+    pub theta: f64,
+}
+
+impl FittedPostprocessor for FittedRejectOption {
+    fn adjust(&self, scores: &[f64], privileged: &[bool]) -> Result<Vec<f64>> {
+        Ok(apply_band(scores, privileged, self.theta))
+    }
+}
+
+fn apply_band(scores: &[f64], privileged: &[bool], theta: f64) -> Vec<f64> {
+    scores
+        .iter()
+        .zip(privileged)
+        .map(|(&s, &p)| {
+            if (s - 0.5).abs() < theta {
+                // Critical region: favor the unprivileged group.
+                f64::from(u8::from(!p))
+            } else {
+                f64::from(u8::from(s > 0.5))
+            }
+        })
+        .collect()
+}
+
+fn spd_and_accuracy(preds: &[f64], labels: &[f64], privileged: &[bool]) -> Result<(f64, f64)> {
+    let acc = ConfusionMatrix::compute(labels, preds, None)?.accuracy();
+    let rate = |keep: bool| -> f64 {
+        let (sel, n) = preds
+            .iter()
+            .zip(privileged)
+            .filter(|(_, &p)| p == keep)
+            .fold((0.0, 0usize), |(s, n), (&v, _)| (s + v, n + 1));
+        if n == 0 {
+            f64::NAN
+        } else {
+            sel / n as f64
+        }
+    };
+    Ok((rate(false) - rate(true), acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postprocess::test_support::biased_scores;
+
+    #[test]
+    fn reduces_statistical_parity_difference() {
+        let (scores, labels, mask) = biased_scores(600, 1);
+        // Disparity of plain thresholding.
+        let plain: Vec<f64> = scores.iter().map(|&s| f64::from(u8::from(s > 0.5))).collect();
+        let (spd_before, _) = spd_and_accuracy(&plain, &labels, &mask).unwrap();
+
+        let fitted = RejectOptionClassification::default()
+            .fit(&scores, &labels, &mask, 0)
+            .unwrap();
+        let adjusted = fitted.adjust(&scores, &mask).unwrap();
+        let (spd_after, _) = spd_and_accuracy(&adjusted, &labels, &mask).unwrap();
+        assert!(
+            spd_after.abs() < spd_before.abs(),
+            "spd before {spd_before}, after {spd_after}"
+        );
+        assert!(spd_after.abs() <= 0.08, "spd after {spd_after}");
+    }
+
+    #[test]
+    fn zero_band_is_plain_thresholding() {
+        let fitted = FittedRejectOption { theta: 0.0 };
+        let preds = fitted.adjust(&[0.3, 0.7], &[true, false]).unwrap();
+        assert_eq!(preds, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn inside_band_follows_group() {
+        let fitted = FittedRejectOption { theta: 0.2 };
+        // Both scores are inside the band.
+        let preds = fitted.adjust(&[0.45, 0.55], &[true, false]).unwrap();
+        assert_eq!(preds, vec![0.0, 1.0]); // priv → 0, unpriv → 1
+        // Outside the band, the score decides.
+        let outside = fitted.adjust(&[0.9, 0.1], &[true, false]).unwrap();
+        assert_eq!(outside, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let (scores, labels, mask) = biased_scores(300, 2);
+        let roc = RejectOptionClassification::default();
+        let a = roc.fit(&scores, &labels, &mask, 0).unwrap().adjust(&scores, &mask).unwrap();
+        let b = roc.fit(&scores, &labels, &mask, 7).unwrap().adjust(&scores, &mask).unwrap();
+        assert_eq!(a, b); // seed-independent: the search is exhaustive
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let roc = RejectOptionClassification::default();
+        assert!(roc.fit(&[0.5], &[1.0, 0.0], &[true, false], 0).is_err());
+    }
+
+    #[test]
+    fn name_mentions_bound() {
+        assert!(RejectOptionClassification::default().name().contains("0.05"));
+    }
+}

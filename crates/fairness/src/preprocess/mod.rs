@@ -1,0 +1,130 @@
+//! Pre-processing fairness interventions.
+//!
+//! A [`Preprocessor`] is fitted on the training set only; the fitted form
+//! then transforms the training set (possibly changing instance weights,
+//! labels, or feature values) and — for feature-repairing techniques — the
+//! evaluation splits. FairPrep "provides information about protected and
+//! unprotected groups in the dataset to the preprocessing intervention"
+//! (§4): interventions read the group mask directly off the dataset.
+
+pub mod di_remover;
+pub mod massaging;
+pub mod preferential_sampling;
+pub mod reweighing;
+
+use fairprep_data::dataset::BinaryLabelDataset;
+use fairprep_data::error::Result;
+
+pub use di_remover::DisparateImpactRemover;
+pub use massaging::Massaging;
+pub use preferential_sampling::PreferentialSampling;
+pub use reweighing::Reweighing;
+
+/// A pre-processing fairness-enhancing intervention.
+pub trait Preprocessor: Send + Sync {
+    /// Stable name (with parameters) for run metadata.
+    fn name(&self) -> String;
+
+    /// Learns the intervention's statistics from the **training** set.
+    fn fit(&self, train: &BinaryLabelDataset, seed: u64) -> Result<Box<dyn FittedPreprocessor>>;
+}
+
+/// A fitted pre-processing intervention.
+pub trait FittedPreprocessor: Send + Sync {
+    /// Transforms the training set. May edit instance weights (reweighing),
+    /// labels (massaging), or feature values (disparate-impact removal).
+    fn transform_train(&self, train: &BinaryLabelDataset) -> Result<BinaryLabelDataset>;
+
+    /// Transforms an evaluation split (validation/test). Only feature
+    /// edits are legal here — labels and weights of held-out data must never
+    /// change. The default is the identity.
+    fn transform_eval(&self, data: &BinaryLabelDataset) -> Result<BinaryLabelDataset> {
+        Ok(data.clone())
+    }
+}
+
+/// The no-op intervention (the "no intervention" arm of every figure).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoIntervention;
+
+impl Preprocessor for NoIntervention {
+    fn name(&self) -> String {
+        "no_intervention".to_string()
+    }
+
+    fn fit(&self, _train: &BinaryLabelDataset, _seed: u64) -> Result<Box<dyn FittedPreprocessor>> {
+        Ok(Box::new(FittedNoIntervention))
+    }
+}
+
+struct FittedNoIntervention;
+
+impl FittedPreprocessor for FittedNoIntervention {
+    fn transform_train(&self, train: &BinaryLabelDataset) -> Result<BinaryLabelDataset> {
+        Ok(train.clone())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use fairprep_data::column::{Column, ColumnKind};
+    use fairprep_data::dataset::BinaryLabelDataset;
+    use fairprep_data::frame::DataFrame;
+    use fairprep_data::schema::{ProtectedAttribute, Schema};
+
+    /// A biased dataset: the privileged group ("m") has a much higher
+    /// positive rate and systematically higher scores.
+    pub(crate) fn biased_dataset(n: usize) -> BinaryLabelDataset {
+        let mut scores = Vec::with_capacity(n);
+        let mut sexes = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let privileged = i % 2 == 0;
+            // Deterministic pseudo-noise.
+            let noise = ((i * 37) % 13) as f64 / 13.0;
+            let score = if privileged { 60.0 + 30.0 * noise } else { 30.0 + 30.0 * noise };
+            let positive = if privileged { noise > 0.25 } else { noise > 0.75 };
+            scores.push(score);
+            sexes.push(if privileged { "m" } else { "f" });
+            labels.push(if positive { "yes" } else { "no" });
+        }
+        let frame = DataFrame::new()
+            .with_column("score", Column::from_f64(scores))
+            .unwrap()
+            .with_column("sex", Column::from_strs(sexes))
+            .unwrap()
+            .with_column("y", Column::from_strs(labels))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("score")
+            .metadata("sex", ColumnKind::Categorical)
+            .label("y");
+        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("sex", &["m"]), "yes")
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::biased_dataset;
+    use super::*;
+
+    #[test]
+    fn no_intervention_is_identity() {
+        let ds = biased_dataset(20);
+        let fitted = NoIntervention.fit(&ds, 0).unwrap();
+        let train = fitted.transform_train(&ds).unwrap();
+        assert_eq!(train.frame(), ds.frame());
+        assert_eq!(train.instance_weights(), ds.instance_weights());
+        let eval = fitted.transform_eval(&ds).unwrap();
+        assert_eq!(eval.frame(), ds.frame());
+    }
+
+    #[test]
+    fn biased_fixture_is_actually_biased() {
+        let ds = biased_dataset(100);
+        let priv_rate = ds.base_rate(Some(true));
+        let unpriv_rate = ds.base_rate(Some(false));
+        assert!(priv_rate > unpriv_rate + 0.3, "priv {priv_rate} unpriv {unpriv_rate}");
+    }
+}

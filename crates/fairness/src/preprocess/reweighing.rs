@@ -1,0 +1,209 @@
+//! Reweighing [Kamiran & Calders, KAIS 2012].
+//!
+//! Assigns each training instance the weight
+//! `w(g, y) = P(g) · P(y) / P(g, y)`, which makes group membership and label
+//! statistically independent in the weighted training distribution. Only
+//! the training set is touched — evaluation data keeps unit weights.
+
+use fairprep_data::dataset::BinaryLabelDataset;
+use fairprep_data::error::{Error, Result};
+
+use crate::preprocess::{FittedPreprocessor, Preprocessor};
+
+/// The reweighing intervention.
+///
+/// # Examples
+///
+/// ```
+/// use fairprep_data::prelude::*;
+/// use fairprep_fairness::preprocess::{Preprocessor, Reweighing};
+///
+/// // A biased toy set: the privileged group "a" is always positive.
+/// let frame = DataFrame::new()
+///     .with_column("x", Column::from_f64([1.0, 2.0, 3.0, 4.0])).unwrap()
+///     .with_column("g", Column::from_strs(["a", "a", "b", "b"])).unwrap()
+///     .with_column("y", Column::from_strs(["p", "p", "p", "n"])).unwrap();
+/// let schema = Schema::new()
+///     .numeric_feature("x")
+///     .metadata("g", ColumnKind::Categorical)
+///     .label("y");
+/// let train = BinaryLabelDataset::new(
+///     frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p",
+/// ).unwrap();
+///
+/// let reweighed = Reweighing.fit(&train, 0).unwrap().transform_train(&train).unwrap();
+/// // Over-represented privileged positives are down-weighted.
+/// assert!(reweighed.instance_weights()[0] < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reweighing;
+
+impl Preprocessor for Reweighing {
+    fn name(&self) -> String {
+        "reweighing".to_string()
+    }
+
+    fn fit(&self, train: &BinaryLabelDataset, _seed: u64) -> Result<Box<dyn FittedPreprocessor>> {
+        let n = train.n_rows();
+        if n == 0 {
+            return Err(Error::EmptyData("reweighing training set".to_string()));
+        }
+        let labels = train.labels();
+        let mask = train.privileged_mask();
+
+        // Joint counts over (group, label) cells.
+        let mut cell = [[0usize; 2]; 2]; // [group][label]
+        for i in 0..n {
+            cell[usize::from(mask[i])][usize::from(labels[i] == 1.0)] += 1;
+        }
+        let group_totals = [cell[0][0] + cell[0][1], cell[1][0] + cell[1][1]];
+        let label_totals = [cell[0][0] + cell[1][0], cell[0][1] + cell[1][1]];
+
+        let nf = n as f64;
+        let mut weights = [[1.0_f64; 2]; 2];
+        for g in 0..2 {
+            for y in 0..2 {
+                if cell[g][y] > 0 {
+                    weights[g][y] = (group_totals[g] as f64 / nf)
+                        * (label_totals[y] as f64 / nf)
+                        / (cell[g][y] as f64 / nf);
+                }
+                // Empty cells keep weight 1.0; no instance uses them anyway.
+            }
+        }
+        Ok(Box::new(FittedReweighing { weights }))
+    }
+}
+
+/// Reweighing with the four `(group, label)` weights fixed from training
+/// statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct FittedReweighing {
+    /// `weights[group][label]`, `group`/`label` ∈ {0, 1}.
+    pub weights: [[f64; 2]; 2],
+}
+
+impl FittedPreprocessor for FittedReweighing {
+    fn transform_train(&self, train: &BinaryLabelDataset) -> Result<BinaryLabelDataset> {
+        let labels = train.labels().to_vec();
+        let mask = train.privileged_mask().to_vec();
+        let base = train.instance_weights().to_vec();
+        let mut out = train.clone();
+        let new_weights: Vec<f64> = (0..train.n_rows())
+            .map(|i| base[i] * self.weights[usize::from(mask[i])][usize::from(labels[i] == 1.0)])
+            .collect();
+        out.set_instance_weights(new_weights)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::test_support::biased_dataset;
+
+    #[test]
+    fn weights_remove_group_label_dependence() {
+        let ds = biased_dataset(200);
+        let fitted = Reweighing.fit(&ds, 0).unwrap();
+        let out = fitted.transform_train(&ds).unwrap();
+        let w = out.instance_weights();
+        let y = out.labels();
+        let m = out.privileged_mask();
+
+        // In the weighted distribution, P(y=1 | privileged) must equal
+        // P(y=1 | unprivileged) (both equal the overall base rate).
+        let weighted_rate = |privileged: bool| -> f64 {
+            let (pos, tot) = (0..out.n_rows())
+                .filter(|&i| m[i] == privileged)
+                .fold((0.0, 0.0), |(p, t), i| (p + w[i] * y[i], t + w[i]));
+            pos / tot
+        };
+        let rp = weighted_rate(true);
+        let ru = weighted_rate(false);
+        assert!((rp - ru).abs() < 1e-9, "weighted rates differ: {rp} vs {ru}");
+    }
+
+    #[test]
+    fn weighted_total_mass_is_preserved() {
+        let ds = biased_dataset(200);
+        let out = Reweighing.fit(&ds, 0).unwrap().transform_train(&ds).unwrap();
+        let total: f64 = out.instance_weights().iter().sum();
+        assert!((total - 200.0).abs() < 1e-6, "total mass {total}");
+    }
+
+    #[test]
+    fn favored_cells_are_downweighted() {
+        // Privileged-positive and unprivileged-negative cells are
+        // over-represented in a biased dataset → weight < 1. The other two
+        // cells get weight > 1.
+        let ds = biased_dataset(200);
+        let fitted = Reweighing.fit(&ds, 0).unwrap();
+        let out = fitted.transform_train(&ds).unwrap();
+        let y = out.labels();
+        let m = out.privileged_mask();
+        let w = out.instance_weights();
+        for i in 0..out.n_rows() {
+            match (m[i], y[i] == 1.0) {
+                (true, true) | (false, false) => assert!(w[i] < 1.0, "row {i}: {}", w[i]),
+                (true, false) | (false, true) => assert!(w[i] > 1.0, "row {i}: {}", w[i]),
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_split_is_untouched() {
+        let ds = biased_dataset(50);
+        let fitted = Reweighing.fit(&ds, 0).unwrap();
+        let eval = fitted.transform_eval(&ds).unwrap();
+        assert_eq!(eval.instance_weights(), ds.instance_weights());
+        assert_eq!(eval.frame(), ds.frame());
+    }
+
+    #[test]
+    fn composes_with_existing_weights() {
+        let mut ds = biased_dataset(8);
+        ds.set_instance_weights(vec![2.0; 8]).unwrap();
+        let fitted = Reweighing.fit(&ds, 0).unwrap();
+        let out = fitted.transform_train(&ds).unwrap();
+        // Every output weight must be exactly 2 × the reweighing factor.
+        let fresh = {
+            let mut clean = biased_dataset(8);
+            clean.set_instance_weights(vec![1.0; 8]).unwrap();
+            fitted.transform_train(&clean).unwrap()
+        };
+        for (a, b) in out.instance_weights().iter().zip(fresh.instance_weights()) {
+            assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn balanced_data_gets_unit_weights() {
+        // Build a dataset where group ⫫ label already holds.
+        use fairprep_data::column::{Column, ColumnKind};
+        use fairprep_data::frame::DataFrame;
+        use fairprep_data::schema::{ProtectedAttribute, Schema};
+        let frame = DataFrame::new()
+            .with_column("x", Column::from_f64([1.0, 2.0, 3.0, 4.0]))
+            .unwrap()
+            .with_column("g", Column::from_strs(["a", "a", "b", "b"]))
+            .unwrap()
+            .with_column("y", Column::from_strs(["p", "n", "p", "n"]))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("x")
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
+        let ds = BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "p",
+        )
+        .unwrap();
+        let out = Reweighing.fit(&ds, 0).unwrap().transform_train(&ds).unwrap();
+        for &w in out.instance_weights() {
+            assert!((w - 1.0).abs() < 1e-12);
+        }
+    }
+}

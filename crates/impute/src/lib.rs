@@ -1,0 +1,339 @@
+//! # fairprep-impute
+//!
+//! Missing-value handling for the FairPrep lifecycle.
+//!
+//! "FairPrep offers a set of predefined strategies such as 'complete case
+//! analysis' (removal of records with missing values) or different
+//! imputation algorithms, ranging from simple strategies that fill in the
+//! most frequent value of an attribute, to more sophisticated strategies
+//! that learn a model tailored to the data for imputation. Note that
+//! FairPrep enforces that imputation models are learned on the training
+//! data only." (§3)
+//!
+//! The strategies:
+//!
+//! * [`CompleteCaseAnalysis`] — drop incomplete records (what previous
+//!   studies did implicitly, §2.4),
+//! * [`ModeImputer`] — fill with the most frequent training value,
+//! * [`MeanModeImputer`] — mean for numeric, mode for categorical,
+//! * [`ModelBasedImputer`] — the Datawig substitute: one learned model per
+//!   target column, trained on the remaining feature columns (never the
+//!   class label).
+//!
+//! [`inject`] provides MCAR/MAR missingness injection so any complete
+//! dataset can participate in imputation studies.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod inject;
+pub mod model_based;
+
+use fairprep_data::column::{Column, OwnedValue};
+use fairprep_data::dataset::BinaryLabelDataset;
+use fairprep_data::error::{Error, Result};
+
+pub use model_based::ModelBasedImputer;
+
+/// A strategy for treating records with missing values.
+///
+/// Mirrors the paper's `MissingValueHandler` interface (§4): `fit` sees only
+/// the training data; the fitted handler is later applied by the framework
+/// to the validation and test sets.
+pub trait MissingValueHandler: Send + Sync {
+    /// Stable strategy name for run metadata.
+    fn name(&self) -> String;
+
+    /// Learns any statistics/models required for imputation from the
+    /// **training** dataset only.
+    fn fit(
+        &self,
+        train: &BinaryLabelDataset,
+        seed: u64,
+    ) -> Result<Box<dyn FittedMissingValueHandler>>;
+}
+
+/// A fitted missing-value handler, applicable to any split.
+pub trait FittedMissingValueHandler: Send + Sync {
+    /// Produces a dataset without missing feature values. Depending on the
+    /// strategy this either completes records (imputation) or removes them
+    /// (complete-case analysis).
+    fn handle_missing(&self, data: &BinaryLabelDataset) -> Result<BinaryLabelDataset>;
+
+    /// `true` when the strategy removes records instead of completing them
+    /// (the lifecycle uses this to keep imputed-vs-complete bookkeeping
+    /// meaningful).
+    fn removes_records(&self) -> bool {
+        false
+    }
+}
+
+/// Removal of records with missing values ("complete case analysis").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompleteCaseAnalysis;
+
+impl MissingValueHandler for CompleteCaseAnalysis {
+    fn name(&self) -> String {
+        "complete_case_analysis".to_string()
+    }
+
+    fn fit(
+        &self,
+        _train: &BinaryLabelDataset,
+        _seed: u64,
+    ) -> Result<Box<dyn FittedMissingValueHandler>> {
+        Ok(Box::new(FittedCompleteCase))
+    }
+}
+
+struct FittedCompleteCase;
+
+impl FittedMissingValueHandler for FittedCompleteCase {
+    fn handle_missing(&self, data: &BinaryLabelDataset) -> Result<BinaryLabelDataset> {
+        let keep: Vec<usize> = (0..data.n_rows())
+            .filter(|&i| !data.frame().row_has_missing(i))
+            .collect();
+        if keep.is_empty() {
+            return Err(Error::EmptyData(
+                "complete-case analysis removed every record".to_string(),
+            ));
+        }
+        Ok(data.take(&keep))
+    }
+
+    fn removes_records(&self) -> bool {
+        true
+    }
+}
+
+/// Fills every missing value with the most frequent training value of its
+/// attribute (scikit-learn's most-frequent `SimpleImputer`, the paper's
+/// `ModeImputer`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModeImputer;
+
+impl MissingValueHandler for ModeImputer {
+    fn name(&self) -> String {
+        "mode_imputation".to_string()
+    }
+
+    fn fit(
+        &self,
+        train: &BinaryLabelDataset,
+        _seed: u64,
+    ) -> Result<Box<dyn FittedMissingValueHandler>> {
+        Ok(Box::new(FittedFillImputer { fills: column_fills(train, FillStrategy::Mode)? }))
+    }
+}
+
+/// Mean imputation for numeric attributes, mode for categorical ones (the
+/// scikit-learn default interpolation Ann starts with in §1.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanModeImputer;
+
+impl MissingValueHandler for MeanModeImputer {
+    fn name(&self) -> String {
+        "mean_mode_imputation".to_string()
+    }
+
+    fn fit(
+        &self,
+        train: &BinaryLabelDataset,
+        _seed: u64,
+    ) -> Result<Box<dyn FittedMissingValueHandler>> {
+        Ok(Box::new(FittedFillImputer { fills: column_fills(train, FillStrategy::MeanMode)? }))
+    }
+}
+
+#[derive(Clone, Copy)]
+pub(crate) enum FillStrategy {
+    Mode,
+    MeanMode,
+}
+
+/// Computes the per-feature-column fill values on the training data.
+pub(crate) fn column_fills(
+    train: &BinaryLabelDataset,
+    strategy: FillStrategy,
+) -> Result<Vec<(String, OwnedValue)>> {
+    let label = train.schema().label_name()?.to_string();
+    let mut fills = Vec::new();
+    for name in train.frame().column_names() {
+        if *name == label {
+            continue;
+        }
+        let col = train.frame().column(name)?;
+        if col.missing_count() == col.len() {
+            return Err(Error::EmptyData(format!(
+                "column {name} is entirely missing in the training data"
+            )));
+        }
+        let fill = match (strategy, col) {
+            (FillStrategy::MeanMode, Column::Numeric(_)) => {
+                OwnedValue::Numeric(col.mean().expect("non-empty numeric column"))
+            }
+            _ => col.mode().expect("non-empty column"),
+        };
+        fills.push((name.clone(), fill));
+    }
+    Ok(fills)
+}
+
+/// A fitted constant-fill imputer (mode or mean/mode).
+struct FittedFillImputer {
+    fills: Vec<(String, OwnedValue)>,
+}
+
+impl FittedMissingValueHandler for FittedFillImputer {
+    fn handle_missing(&self, data: &BinaryLabelDataset) -> Result<BinaryLabelDataset> {
+        let mut out = data.clone();
+        for (name, fill) in &self.fills {
+            let col = out.frame().column(name)?;
+            let missing_rows: Vec<usize> =
+                (0..col.len()).filter(|&i| col.is_missing(i)).collect();
+            if missing_rows.is_empty() {
+                continue;
+            }
+            let frame = out.frame_mut();
+            for i in missing_rows {
+                frame.set_value(i, name, fill.clone())?;
+            }
+        }
+        out.refresh_caches()?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairprep_data::column::{ColumnKind, Value};
+    use fairprep_data::frame::DataFrame;
+    use fairprep_data::schema::{ProtectedAttribute, Schema};
+
+    pub(crate) fn dataset_with_missing() -> BinaryLabelDataset {
+        let frame = DataFrame::new()
+            .with_column(
+                "age",
+                Column::from_optional_f64([Some(20.0), None, Some(40.0), Some(60.0), None]),
+            )
+            .unwrap()
+            .with_column(
+                "job",
+                Column::from_optional_strs([
+                    Some("clerk"),
+                    Some("clerk"),
+                    None,
+                    Some("chef"),
+                    Some("clerk"),
+                ]),
+            )
+            .unwrap()
+            .with_column("g", Column::from_strs(["a", "b", "a", "b", "a"]))
+            .unwrap()
+            .with_column("y", Column::from_strs(["p", "n", "p", "n", "p"]))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("age")
+            .categorical_feature("job")
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
+        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p")
+            .unwrap()
+    }
+
+    #[test]
+    fn complete_case_removes_incomplete_rows() {
+        let ds = dataset_with_missing();
+        let fitted = CompleteCaseAnalysis.fit(&ds, 0).unwrap();
+        let out = fitted.handle_missing(&ds).unwrap();
+        assert_eq!(out.n_rows(), 2); // rows 0 and 3 are complete
+        assert_eq!(out.frame().missing_cells(), 0);
+        assert!(fitted.removes_records());
+        assert_eq!(out.labels(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn complete_case_errors_when_nothing_survives() {
+        let ds = dataset_with_missing();
+        let all_incomplete = ds.take(&[1, 2, 4]);
+        let fitted = CompleteCaseAnalysis.fit(&all_incomplete, 0).unwrap();
+        assert!(fitted.handle_missing(&all_incomplete).is_err());
+    }
+
+    #[test]
+    fn mode_imputation_fills_with_train_modes() {
+        let ds = dataset_with_missing();
+        let fitted = ModeImputer.fit(&ds, 0).unwrap();
+        let out = fitted.handle_missing(&ds).unwrap();
+        assert_eq!(out.n_rows(), 5);
+        assert_eq!(out.frame().missing_cells(), 0);
+        assert!(!fitted.removes_records());
+        assert_eq!(out.frame().value(2, "job").unwrap(), Value::Categorical("clerk"));
+    }
+
+    #[test]
+    fn mean_mode_uses_mean_for_numeric() {
+        let ds = dataset_with_missing();
+        let fitted = MeanModeImputer.fit(&ds, 0).unwrap();
+        let out = fitted.handle_missing(&ds).unwrap();
+        // Mean of {20, 40, 60} = 40.
+        assert_eq!(out.frame().value(1, "age").unwrap(), Value::Numeric(40.0));
+        assert_eq!(out.frame().value(4, "age").unwrap(), Value::Numeric(40.0));
+        // Categorical still mode-filled.
+        assert_eq!(out.frame().value(2, "job").unwrap(), Value::Categorical("clerk"));
+    }
+
+    #[test]
+    fn fitted_on_train_applies_train_statistics_to_test() {
+        // Train mean is 40; missing test cells must receive the *train*
+        // mean (isolation, §2.1).
+        let ds = dataset_with_missing();
+        let train = ds.take(&[0, 2, 3]); // ages 20, 40, 60 → mean 40
+        let test = ds.take(&[1, 4]); // both missing age
+        let fitted = MeanModeImputer.fit(&train, 0).unwrap();
+        let out = fitted.handle_missing(&test).unwrap();
+        assert_eq!(out.frame().value(0, "age").unwrap(), Value::Numeric(40.0));
+        assert_eq!(out.frame().value(1, "age").unwrap(), Value::Numeric(40.0));
+    }
+
+    #[test]
+    fn label_column_is_never_touched() {
+        let ds = dataset_with_missing();
+        let fitted = ModeImputer.fit(&ds, 0).unwrap();
+        let out = fitted.handle_missing(&ds).unwrap();
+        assert_eq!(out.labels(), ds.labels());
+        assert_eq!(out.favorable_label(), ds.favorable_label());
+    }
+
+    #[test]
+    fn all_missing_training_column_is_error() {
+        let frame = DataFrame::new()
+            .with_column("x", Column::from_optional_f64([None, None]))
+            .unwrap()
+            .with_column("g", Column::from_strs(["a", "b"]))
+            .unwrap()
+            .with_column("y", Column::from_strs(["p", "n"]))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("x")
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
+        let ds = BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "p",
+        )
+        .unwrap();
+        assert!(ModeImputer.fit(&ds, 0).is_err());
+        assert!(MeanModeImputer.fit(&ds, 0).is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(CompleteCaseAnalysis.name(), "complete_case_analysis");
+        assert_eq!(ModeImputer.name(), "mode_imputation");
+        assert_eq!(MeanModeImputer.name(), "mean_mode_imputation");
+    }
+}

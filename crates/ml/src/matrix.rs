@@ -1,0 +1,216 @@
+//! A small dense, row-major matrix — the "numpy view" of a dataset.
+//!
+//! FairPrep datasets can be viewed "in relational form (as a pandas
+//! dataframe) or in matrix form (e.g., features as numpy matrix)" (§4).
+//! This type is the matrix form: complete (no missing values), numeric,
+//! row-major for cache-friendly per-example access during SGD.
+
+use fairprep_data::error::{Error, Result};
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Creates a matrix from row-major data.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::LengthMismatch { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * n_cols);
+        for row in rows {
+            if row.len() != n_cols {
+                return Err(Error::LengthMismatch { expected: n_cols, actual: row.len() });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { data, rows: rows.len(), cols: n_cols })
+    }
+
+    /// Number of rows (examples).
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    #[must_use]
+    pub fn n_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The value at (`i`, `j`).
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the value at (`i`, `j`).
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Copies column `j` into a new vector.
+    #[must_use]
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Iterates over rows.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Materializes the rows at `indices` into a new matrix.
+    #[must_use]
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix { data, rows: indices.len(), cols: self.cols }
+    }
+
+    /// Materializes the columns at `indices` into a new matrix (used by
+    /// random-subspace ensembles).
+    #[must_use]
+    pub fn select_columns(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(self.rows * indices.len());
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for &j in indices {
+                data.push(row[j]);
+            }
+        }
+        Matrix { data, rows: self.rows, cols: indices.len() }
+    }
+
+    /// `true` when every entry is finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Raw row-major data.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Numerically-stable logistic sigmoid.
+#[must_use]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.column(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_checks_raggedness() {
+        assert!(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 1, 9.0);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m.get(0, 1), 9.0);
+        assert_eq!(m.get(1, 0), 7.0);
+    }
+
+    #[test]
+    fn take_rows_duplicates_allowed() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let t = m.take_rows(&[2, 2, 0]);
+        assert_eq!(t.column(0), vec![3.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn rows_iter_yields_all() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let rows: Vec<&[f64]> = m.rows_iter().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let mut m = Matrix::zeros(1, 2);
+        assert!(m.is_finite());
+        m.set(0, 0, f64::NAN);
+        assert!(!m.is_finite());
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+}

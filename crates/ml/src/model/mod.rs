@@ -1,0 +1,111 @@
+//! Learning algorithms: the classifier interface and its implementations.
+//!
+//! FairPrep "exposes a simple interface for learning algorithms, to allow
+//! the integration of many different models with low effort" (§4). A
+//! [`Classifier`] receives the feature matrix, binary labels, per-instance
+//! weights (so that reweighing-style interventions work with every model),
+//! and the run's random seed (so that training is reproducible).
+
+use fairprep_data::error::{Error, Result};
+
+use crate::matrix::Matrix;
+
+pub mod forest;
+pub mod knn;
+pub mod logistic;
+pub mod naive_bayes;
+pub mod tree;
+
+pub use forest::{RandomForest, RandomForestConfig};
+pub use knn::KNearestNeighbors;
+pub use logistic::{LogisticRegressionConfig, LogisticRegressionSgd, Penalty};
+pub use naive_bayes::GaussianNaiveBayes;
+pub use tree::{DecisionTree, DecisionTreeConfig, SplitCriterion};
+
+/// An unfitted classifier configuration.
+pub trait Classifier: Send + Sync {
+    /// Stable algorithm name for run metadata.
+    fn name(&self) -> &'static str;
+
+    /// A short description of the configuration (hyperparameter values),
+    /// used to label grid-search candidates.
+    fn describe(&self) -> String;
+
+    /// Trains on `(x, y)` with per-instance `weights`, deriving all
+    /// randomness from `seed`.
+    fn fit(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        weights: &[f64],
+        seed: u64,
+    ) -> Result<Box<dyn FittedClassifier>>;
+}
+
+/// A trained model.
+pub trait FittedClassifier: Send + Sync {
+    /// Probability of the favorable class for every row of `x`.
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>>;
+
+    /// Hard predictions at the 0.5 threshold.
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| f64::from(u8::from(p > 0.5)))
+            .collect())
+    }
+}
+
+/// Validates the common `(x, y, weights)` training inputs.
+pub(crate) fn validate_training_inputs(x: &Matrix, y: &[f64], weights: &[f64]) -> Result<()> {
+    if x.n_rows() == 0 {
+        return Err(Error::EmptyData("training matrix".to_string()));
+    }
+    if y.len() != x.n_rows() {
+        return Err(Error::LengthMismatch { expected: x.n_rows(), actual: y.len() });
+    }
+    if weights.len() != x.n_rows() {
+        return Err(Error::LengthMismatch { expected: x.n_rows(), actual: weights.len() });
+    }
+    if let Some(bad) = y.iter().find(|v| **v != 0.0 && **v != 1.0) {
+        return Err(Error::InvalidLabel(*bad));
+    }
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(Error::InvalidParameter {
+            name: "weights",
+            message: "weights must be finite and non-negative".to_string(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstantModel(f64);
+    impl FittedClassifier for ConstantModel {
+        fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+            Ok(vec![self.0; x.n_rows()])
+        }
+    }
+
+    #[test]
+    fn default_predict_thresholds_at_half() {
+        let x = Matrix::zeros(3, 1);
+        assert_eq!(ConstantModel(0.7).predict(&x).unwrap(), vec![1.0, 1.0, 1.0]);
+        assert_eq!(ConstantModel(0.5).predict(&x).unwrap(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(ConstantModel(0.2).predict(&x).unwrap(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn input_validation() {
+        let x = Matrix::zeros(2, 1);
+        assert!(validate_training_inputs(&x, &[0.0, 1.0], &[1.0, 1.0]).is_ok());
+        assert!(validate_training_inputs(&x, &[0.0], &[1.0, 1.0]).is_err());
+        assert!(validate_training_inputs(&x, &[0.0, 2.0], &[1.0, 1.0]).is_err());
+        assert!(validate_training_inputs(&x, &[0.0, 1.0], &[1.0, -1.0]).is_err());
+        assert!(validate_training_inputs(&Matrix::zeros(0, 1), &[], &[]).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Gaussian naive Bayes — an additional baseline model.
+//!
+//! The paper lists "integrating additional ... models" as future work (§7);
+//! this learner extends the baseline pool beyond logistic regression and
+//! decision trees. It models each feature as a per-class Gaussian with
+//! weighted maximum-likelihood estimates, which works well on the one-hot +
+//! scaled-numeric matrices the featurizer produces.
+
+use fairprep_data::error::Result;
+
+use crate::matrix::Matrix;
+use crate::model::{validate_training_inputs, Classifier, FittedClassifier};
+
+/// Gaussian naive Bayes learner.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GaussianNaiveBayes {
+    /// Additive variance smoothing (relative to the largest feature
+    /// variance), guarding against zero-variance features. `0.0` uses the
+    /// default `1e-9`.
+    pub var_smoothing: f64,
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn name(&self) -> &'static str {
+        "gaussian_naive_bayes"
+    }
+
+    fn describe(&self) -> String {
+        format!("var_smoothing={}", self.effective_smoothing())
+    }
+
+    fn fit(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        weights: &[f64],
+        _seed: u64,
+    ) -> Result<Box<dyn FittedClassifier>> {
+        validate_training_inputs(x, y, weights)?;
+        let d = x.n_cols();
+
+        let mut stats = [ClassStats::new(d), ClassStats::new(d)];
+        for (i, row) in x.rows_iter().enumerate() {
+            let c = usize::from(y[i] == 1.0);
+            stats[c].accumulate(row, weights[i]);
+        }
+        let total_weight: f64 = stats[0].weight + stats[1].weight;
+        // A class with no training mass gets a vanishing prior and neutral
+        // Gaussians — the model then always predicts the observed class.
+        let mut params = Vec::with_capacity(2);
+        let mut max_var = 0.0_f64;
+        for s in &stats {
+            let (means, vars) = s.finalize();
+            for &v in &vars {
+                max_var = max_var.max(v);
+            }
+            params.push((means, vars));
+        }
+        let eps = self.effective_smoothing() * max_var.max(1.0);
+        for (_, vars) in &mut params {
+            for v in vars {
+                *v += eps;
+            }
+        }
+
+        Ok(Box::new(FittedGaussianNb {
+            log_prior: [
+                ((stats[0].weight / total_weight).max(1e-300)).ln(),
+                ((stats[1].weight / total_weight).max(1e-300)).ln(),
+            ],
+            params,
+            n_features: d,
+        }))
+    }
+}
+
+impl GaussianNaiveBayes {
+    fn effective_smoothing(&self) -> f64 {
+        if self.var_smoothing > 0.0 {
+            self.var_smoothing
+        } else {
+            1e-9
+        }
+    }
+}
+
+struct ClassStats {
+    weight: f64,
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+}
+
+impl ClassStats {
+    fn new(d: usize) -> Self {
+        ClassStats { weight: 0.0, sum: vec![0.0; d], sum_sq: vec![0.0; d] }
+    }
+
+    fn accumulate(&mut self, row: &[f64], w: f64) {
+        self.weight += w;
+        for ((s, ss), &v) in self.sum.iter_mut().zip(&mut self.sum_sq).zip(row) {
+            *s += w * v;
+            *ss += w * v * v;
+        }
+    }
+
+    fn finalize(&self) -> (Vec<f64>, Vec<f64>) {
+        let w = self.weight.max(1e-12);
+        let means: Vec<f64> = self.sum.iter().map(|s| s / w).collect();
+        let vars: Vec<f64> = self
+            .sum_sq
+            .iter()
+            .zip(&means)
+            .map(|(ss, m)| (ss / w - m * m).max(0.0))
+            .collect();
+        (means, vars)
+    }
+}
+
+/// A trained Gaussian naive Bayes model.
+struct FittedGaussianNb {
+    log_prior: [f64; 2],
+    params: Vec<(Vec<f64>, Vec<f64>)>,
+    n_features: usize,
+}
+
+impl FittedClassifier for FittedGaussianNb {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if x.n_cols() != self.n_features {
+            return Err(fairprep_data::error::Error::LengthMismatch {
+                expected: self.n_features,
+                actual: x.n_cols(),
+            });
+        }
+        Ok(x.rows_iter()
+            .map(|row| {
+                let mut log_like = [self.log_prior[0], self.log_prior[1]];
+                for (c, ll) in log_like.iter_mut().enumerate() {
+                    let (means, vars) = &self.params[c];
+                    for ((&v, &m), &var) in row.iter().zip(means).zip(vars) {
+                        *ll += -0.5 * ((v - m).powi(2) / var + var.ln());
+                    }
+                }
+                // P(y=1 | x) via a stable log-sum-exp over the two classes.
+                let m = log_like[0].max(log_like[1]);
+                let e0 = (log_like[0] - m).exp();
+                let e1 = (log_like[1] - m).exp();
+                e1 / (e0 + e1)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_blobs() -> (Matrix, Vec<f64>) {
+        // Class 0 around -2, class 1 around +2, small deterministic jitter.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let jitter = ((i * 13) % 7) as f64 / 10.0 - 0.3;
+            if i % 2 == 0 {
+                rows.push(vec![-2.0 + jitter, 0.0]);
+                y.push(0.0);
+            } else {
+                rows.push(vec![2.0 + jitter, 0.0]);
+                y.push(1.0);
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let (x, y) = gaussian_blobs();
+        let model =
+            GaussianNaiveBayes::default().fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        assert_eq!(model.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn constant_feature_is_safe() {
+        // Second feature has zero variance in both classes; smoothing must
+        // prevent division by zero.
+        let (x, y) = gaussian_blobs();
+        let model =
+            GaussianNaiveBayes::default().fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        let probas = model.predict_proba(&x).unwrap();
+        assert!(probas.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn weights_shift_the_prior() {
+        // Identical features, conflicting labels: prediction follows the
+        // heavier class.
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0]]).unwrap();
+        let y = vec![1.0, 0.0];
+        let heavy_pos =
+            GaussianNaiveBayes::default().fit(&x, &y, &[9.0, 1.0], 0).unwrap();
+        let p = heavy_pos.predict_proba(&x).unwrap();
+        assert!(p[0] > 0.5);
+        let heavy_neg =
+            GaussianNaiveBayes::default().fit(&x, &y, &[1.0, 9.0], 0).unwrap();
+        let q = heavy_neg.predict_proba(&x).unwrap();
+        assert!(q[0] < 0.5);
+    }
+
+    #[test]
+    fn predict_checks_dimensionality() {
+        let (x, y) = gaussian_blobs();
+        let model =
+            GaussianNaiveBayes::default().fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        assert!(model.predict_proba(&Matrix::zeros(1, 5)).is_err());
+    }
+
+    #[test]
+    fn describe_and_name() {
+        let nb = GaussianNaiveBayes::default();
+        assert_eq!(nb.name(), "gaussian_naive_bayes");
+        assert!(nb.describe().contains("var_smoothing"));
+    }
+}

@@ -1,0 +1,497 @@
+//! CART-style decision-tree classifier.
+//!
+//! The paper's second baseline model ("decision trees from scikit-learn",
+//! §4), with the hyperparameters its §5.1 grid sweeps: split criterion
+//! (gini / entropy), maximum depth, minimum samples per leaf, and minimum
+//! samples per split. Supports per-instance weights so that reweighing-style
+//! interventions influence tree construction, and is — like all tree
+//! learners — insensitive to monotone feature scaling (the §5.2 / Figure 3
+//! contrast with logistic regression).
+
+use fairprep_data::error::{Error, Result};
+
+use crate::matrix::Matrix;
+use crate::model::{validate_training_inputs, Classifier, FittedClassifier};
+
+/// Split-quality criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SplitCriterion {
+    /// Gini impurity.
+    Gini,
+    /// Shannon entropy.
+    Entropy,
+}
+
+impl SplitCriterion {
+    /// Stable name for metadata.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SplitCriterion::Gini => "gini",
+            SplitCriterion::Entropy => "entropy",
+        }
+    }
+
+    /// Impurity of a node with weighted positive mass `pos` out of total
+    /// weighted mass `total`.
+    fn impurity(self, pos: f64, total: f64) -> f64 {
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let p = (pos / total).clamp(0.0, 1.0);
+        match self {
+            SplitCriterion::Gini => 2.0 * p * (1.0 - p),
+            SplitCriterion::Entropy => {
+                let mut h = 0.0;
+                for q in [p, 1.0 - p] {
+                    if q > 0.0 {
+                        h -= q * q.log2();
+                    }
+                }
+                h
+            }
+        }
+    }
+}
+
+/// Hyperparameters of [`DecisionTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionTreeConfig {
+    /// Split-quality criterion.
+    pub criterion: SplitCriterion,
+    /// Maximum tree depth (`None` = unbounded).
+    pub max_depth: Option<usize>,
+    /// Minimum number of samples required in each leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        DecisionTreeConfig {
+            criterion: SplitCriterion::Gini,
+            max_depth: None,
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+        }
+    }
+}
+
+/// CART decision-tree learner.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DecisionTree {
+    /// Hyperparameter configuration.
+    pub config: DecisionTreeConfig,
+}
+
+impl DecisionTree {
+    /// Creates a learner with the given configuration.
+    #[must_use]
+    pub fn new(config: DecisionTreeConfig) -> Self {
+        DecisionTree { config }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        proba: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A trained decision tree (nodes stored in an arena; index 0 is the root).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedDecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl FittedDecisionTree {
+    /// Number of nodes (splits + leaves).
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (a lone leaf has depth 0).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+
+    fn proba_one(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { proba } => return *proba,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+impl FittedClassifier for FittedDecisionTree {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if x.n_cols() != self.n_features {
+            return Err(Error::LengthMismatch { expected: self.n_features, actual: x.n_cols() });
+        }
+        Ok(x.rows_iter().map(|row| self.proba_one(row)).collect())
+    }
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    w: &'a [f64],
+    config: DecisionTreeConfig,
+    nodes: Vec<Node>,
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+impl Builder<'_> {
+    fn build(&mut self, indices: &mut [usize], depth: usize) -> usize {
+        let (pos, total) = self.weighted_counts(indices);
+        let node_impurity = self.config.criterion.impurity(pos, total);
+        let proba = if total > 0.0 { pos / total } else { 0.5 };
+
+        let depth_ok = self.config.max_depth.is_none_or(|d| depth < d);
+        let can_split = depth_ok
+            && indices.len() >= self.config.min_samples_split
+            && indices.len() >= 2 * self.config.min_samples_leaf
+            && node_impurity > 1e-12;
+
+        let best = if can_split { self.best_split(indices, node_impurity, total) } else { None };
+
+        match best {
+            None => {
+                self.nodes.push(Node::Leaf { proba });
+                self.nodes.len() - 1
+            }
+            Some(split) => {
+                // Partition indices in place around the threshold.
+                let mid = partition(indices, |i| {
+                    self.x.get(i, split.feature) <= split.threshold
+                });
+                // Reserve our slot before recursing so the root is node 0.
+                self.nodes.push(Node::Leaf { proba });
+                let me = self.nodes.len() - 1;
+                let (left_ix, right_ix) = indices.split_at_mut(mid);
+                let left = self.build(left_ix, depth + 1);
+                let right = self.build(right_ix, depth + 1);
+                self.nodes[me] =
+                    Node::Split { feature: split.feature, threshold: split.threshold, left, right };
+                me
+            }
+        }
+    }
+
+    fn weighted_counts(&self, indices: &[usize]) -> (f64, f64) {
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for &i in indices {
+            total += self.w[i];
+            pos += self.w[i] * self.y[i];
+        }
+        (pos, total)
+    }
+
+    fn best_split(
+        &self,
+        indices: &[usize],
+        node_impurity: f64,
+        total_weight: f64,
+    ) -> Option<BestSplit> {
+        let min_leaf = self.config.min_samples_leaf;
+        let mut best: Option<BestSplit> = None;
+        let mut order: Vec<usize> = Vec::with_capacity(indices.len());
+
+        for feature in 0..self.x.n_cols() {
+            order.clear();
+            order.extend_from_slice(indices);
+            order.sort_unstable_by(|&a, &b| {
+                self.x.get(a, feature).total_cmp(&self.x.get(b, feature))
+            });
+
+            let mut left_pos = 0.0;
+            let mut left_total = 0.0;
+            let (all_pos, all_total) = self.weighted_counts(indices);
+            for k in 0..order.len() - 1 {
+                let i = order[k];
+                left_pos += self.w[i] * self.y[i];
+                left_total += self.w[i];
+                let xv = self.x.get(i, feature);
+                let xn = self.x.get(order[k + 1], feature);
+                if xv == xn {
+                    continue; // cannot split between equal values
+                }
+                let n_left = k + 1;
+                let n_right = order.len() - n_left;
+                if n_left < min_leaf || n_right < min_leaf {
+                    continue;
+                }
+                let right_pos = all_pos - left_pos;
+                let right_total = all_total - left_total;
+                let imp_l = self.config.criterion.impurity(left_pos, left_total);
+                let imp_r = self.config.criterion.impurity(right_pos, right_total);
+                let weighted_child =
+                    (left_total * imp_l + right_total * imp_r) / total_weight.max(1e-12);
+                // Like scikit-learn with `min_impurity_decrease = 0`, zero-gain
+                // splits are admissible (this is what lets greedy CART solve
+                // XOR-shaped problems); ties keep the first (lowest-feature)
+                // candidate for determinism.
+                let gain = node_impurity - weighted_child;
+                if gain >= 0.0 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                    best = Some(BestSplit {
+                        feature,
+                        threshold: midpoint(xv, xn),
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Midpoint that is guaranteed to satisfy `lo <= mid < hi` for `lo < hi`.
+fn midpoint(lo: f64, hi: f64) -> f64 {
+    let mid = lo + (hi - lo) / 2.0;
+    if mid >= hi {
+        lo
+    } else {
+        mid
+    }
+}
+
+/// Stable-ish partition: moves elements satisfying `pred` to the front,
+/// returns the boundary index.
+fn partition(indices: &mut [usize], pred: impl Fn(usize) -> bool) -> usize {
+    let mut store = 0usize;
+    for k in 0..indices.len() {
+        if pred(indices[k]) {
+            indices.swap(store, k);
+            store += 1;
+        }
+    }
+    store
+}
+
+impl Classifier for DecisionTree {
+    fn name(&self) -> &'static str {
+        "decision_tree"
+    }
+
+    fn describe(&self) -> String {
+        let c = &self.config;
+        format!(
+            "criterion={} max_depth={} min_leaf={} min_split={}",
+            c.criterion.name(),
+            c.max_depth.map_or_else(|| "none".to_string(), |d| d.to_string()),
+            c.min_samples_leaf,
+            c.min_samples_split
+        )
+    }
+
+    fn fit(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        weights: &[f64],
+        _seed: u64,
+    ) -> Result<Box<dyn FittedClassifier>> {
+        validate_training_inputs(x, y, weights)?;
+        if self.config.min_samples_leaf == 0 || self.config.min_samples_split < 2 {
+            return Err(Error::InvalidParameter {
+                name: "decision_tree",
+                message: "min_samples_leaf >= 1 and min_samples_split >= 2 required".to_string(),
+            });
+        }
+        let mut indices: Vec<usize> = (0..x.n_rows()).collect();
+        let mut builder =
+            Builder { x, y, w: weights, config: self.config, nodes: Vec::new() };
+        builder.build(&mut indices, 0);
+        Ok(Box::new(FittedDecisionTree { nodes: builder.nodes, n_features: x.n_cols() }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<f64>) {
+        // XOR needs depth >= 2 — not linearly separable.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..10 {
+            for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                rows.push(vec![a, b]);
+                y.push(f64::from(u8::from((a == 1.0) != (b == 1.0))));
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let model = DecisionTree::default().fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        let preds = model.predict(&x).unwrap();
+        assert_eq!(preds, y);
+    }
+
+    #[test]
+    fn max_depth_limits_tree() {
+        let (x, y) = xor_data();
+        let tree = DecisionTree::new(DecisionTreeConfig {
+            max_depth: Some(1),
+            ..Default::default()
+        });
+        let model = tree.fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        // With depth 1, XOR cannot be solved: accuracy stays at 50%.
+        let preds = model.predict(&x).unwrap();
+        let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(correct <= y.len() / 2 + 4);
+    }
+
+    #[test]
+    fn depth_zero_is_single_leaf_base_rate() {
+        let (x, y) = xor_data();
+        let tree = DecisionTree::new(DecisionTreeConfig {
+            max_depth: Some(0),
+            ..Default::default()
+        });
+        let model = tree.fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        let probas = model.predict_proba(&x).unwrap();
+        for p in probas {
+            assert!((p - 0.5).abs() < 1e-12); // XOR base rate
+        }
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
+        let y: Vec<f64> = (0..10).map(|i| f64::from(u8::from(i >= 9))).collect();
+        let tree = DecisionTree::new(DecisionTreeConfig {
+            min_samples_leaf: 3,
+            ..Default::default()
+        });
+        let x = Matrix::from_rows(&rows).unwrap();
+        let model = tree.fit(&x, &y, &[1.0; 10], 0).unwrap();
+        // The pure split (9 vs 1) is forbidden; the tree must compromise.
+        // Verify no leaf captured fewer than 3 samples by checking the split
+        // structure indirectly: prediction for the lone positive cannot be
+        // fully confident.
+        let proba = model.predict_proba(&x).unwrap();
+        assert!(proba[9] < 1.0);
+    }
+
+    #[test]
+    fn weights_shift_leaf_probabilities() {
+        // Same feature value, conflicting labels: leaf probability must be
+        // the weighted positive fraction.
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let y = vec![1.0, 0.0];
+        let model = DecisionTree::default().fit(&x, &y, &[3.0, 1.0], 0).unwrap();
+        let proba = model.predict_proba(&x).unwrap();
+        assert!((proba[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariance_of_predictions() {
+        // Multiply a feature by 1000: the tree's predictions are unchanged
+        // (the §5.2 robustness property).
+        let (x, y) = xor_data();
+        let scaled_rows: Vec<Vec<f64>> =
+            x.rows_iter().map(|r| vec![r[0] * 1000.0, r[1] * 1000.0]).collect();
+        let xs = Matrix::from_rows(&scaled_rows).unwrap();
+        let w = vec![1.0; y.len()];
+        let m1 = DecisionTree::default().fit(&x, &y, &w, 0).unwrap();
+        let m2 = DecisionTree::default().fit(&xs, &y, &w, 0).unwrap();
+        assert_eq!(m1.predict(&x).unwrap(), m2.predict(&xs).unwrap());
+    }
+
+    #[test]
+    fn entropy_criterion_also_learns() {
+        let (x, y) = xor_data();
+        let tree = DecisionTree::new(DecisionTreeConfig {
+            criterion: SplitCriterion::Entropy,
+            ..Default::default()
+        });
+        let model = tree.fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        assert_eq!(model.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn predict_checks_dimensionality() {
+        let (x, y) = xor_data();
+        let model = DecisionTree::default().fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        assert!(model.predict(&Matrix::zeros(1, 5)).is_err());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (x, y) = xor_data();
+        let w = vec![1.0; y.len()];
+        let bad = DecisionTree::new(DecisionTreeConfig {
+            min_samples_leaf: 0,
+            ..Default::default()
+        });
+        assert!(bad.fit(&x, &y, &w, 0).is_err());
+        let bad2 = DecisionTree::new(DecisionTreeConfig {
+            min_samples_split: 1,
+            ..Default::default()
+        });
+        assert!(bad2.fit(&x, &y, &w, 0).is_err());
+    }
+
+    #[test]
+    fn impurity_functions() {
+        assert_eq!(SplitCriterion::Gini.impurity(0.0, 10.0), 0.0);
+        assert_eq!(SplitCriterion::Gini.impurity(10.0, 10.0), 0.0);
+        assert!((SplitCriterion::Gini.impurity(5.0, 10.0) - 0.5).abs() < 1e-12);
+        assert!((SplitCriterion::Entropy.impurity(5.0, 10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(SplitCriterion::Entropy.impurity(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn tree_structure_accessors() {
+        let (x, y) = xor_data();
+        let boxed = DecisionTree::default().fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        // Downcast via re-fit to the concrete type for structural checks.
+        let mut indices: Vec<usize> = (0..x.n_rows()).collect();
+        let mut b = Builder {
+            x: &x,
+            y: &y,
+            w: &vec![1.0; y.len()],
+            config: DecisionTreeConfig::default(),
+            nodes: Vec::new(),
+        };
+        b.build(&mut indices, 0);
+        let tree = FittedDecisionTree { nodes: b.nodes, n_features: 2 };
+        assert!(tree.depth() >= 2);
+        assert!(tree.n_nodes() >= 5);
+        assert_eq!(tree.predict(&x).unwrap(), boxed.predict(&x).unwrap());
+    }
+}

@@ -1,0 +1,389 @@
+//! Seeded k-fold cross-validation and grid search.
+//!
+//! §2.1 of the paper documents that the study of Friedler et al. selected
+//! hyperparameters *on the test set* — a strong isolation violation. Here,
+//! cross-validated grid search operates strictly on the data it is given
+//! (the lifecycle hands it the training partition only), scores candidates
+//! by mean validation-fold accuracy, and refits the winning candidate on
+//! the full training data.
+
+use fairprep_data::error::{Error, Result};
+use fairprep_data::split::k_fold_indices;
+
+use crate::eval::ConfusionMatrix;
+use crate::matrix::Matrix;
+use crate::model::{Classifier, FittedClassifier};
+
+/// Per-candidate cross-validation outcome.
+#[derive(Debug, Clone)]
+pub struct CandidateScore {
+    /// Index into the candidate list.
+    pub candidate: usize,
+    /// The candidate's `describe()` string.
+    pub description: String,
+    /// Mean accuracy across validation folds.
+    pub mean_score: f64,
+    /// Standard deviation of the fold accuracies — k-fold CV quantifies
+    /// "the variability of the estimated prediction error" (§2.2).
+    pub std_score: f64,
+    /// The individual fold accuracies.
+    pub fold_scores: Vec<f64>,
+}
+
+/// The outcome of a grid search: the refitted best model plus the full
+/// score table.
+pub struct GridSearchOutcome {
+    /// The winning candidate refitted on all training data.
+    pub best_model: Box<dyn FittedClassifier>,
+    /// Index of the winning candidate.
+    pub best_candidate: usize,
+    /// `describe()` of the winning candidate.
+    pub best_description: String,
+    /// Scores for every candidate (same order as the candidate list).
+    pub scores: Vec<CandidateScore>,
+}
+
+/// Cross-validated grid search over fully-configured classifier candidates.
+///
+/// # Examples
+///
+/// ```
+/// use fairprep_ml::matrix::Matrix;
+/// use fairprep_ml::model::{Classifier, DecisionTree, DecisionTreeConfig};
+/// use fairprep_ml::selection::GridSearchCv;
+///
+/// let x = Matrix::from_rows(
+///     &(0..40).map(|i| vec![f64::from(i % 2)]).collect::<Vec<_>>(),
+/// ).unwrap();
+/// let y: Vec<f64> = (0..40).map(|i| f64::from(i % 2)).collect();
+/// let candidates: Vec<Box<dyn Classifier>> = vec![
+///     Box::new(DecisionTree::new(DecisionTreeConfig { max_depth: Some(0), ..Default::default() })),
+///     Box::new(DecisionTree::new(DecisionTreeConfig { max_depth: Some(2), ..Default::default() })),
+/// ];
+/// let outcome = GridSearchCv::new(5)
+///     .search(&candidates, &x, &y, &vec![1.0; 40], 7)
+///     .unwrap();
+/// assert_eq!(outcome.best_candidate, 1); // depth 2 can learn the task
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GridSearchCv {
+    /// Number of folds (the paper uses 5).
+    pub k: usize,
+}
+
+impl Default for GridSearchCv {
+    fn default() -> Self {
+        GridSearchCv { k: 5 }
+    }
+}
+
+impl GridSearchCv {
+    /// Creates a grid search with `k` folds.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        GridSearchCv { k }
+    }
+
+    /// Scores one candidate by k-fold cross-validation. Folds are derived
+    /// from `seed`, so every candidate sees identical folds.
+    pub fn score_candidate(
+        &self,
+        candidate: &dyn Classifier,
+        x: &Matrix,
+        y: &[f64],
+        weights: &[f64],
+        seed: u64,
+    ) -> Result<(f64, f64, Vec<f64>)> {
+        let folds = k_fold_indices(x.n_rows(), self.k, seed)?;
+        let mut fold_scores = Vec::with_capacity(folds.len());
+        for (train_ix, val_ix) in &folds {
+            let x_train = x.take_rows(train_ix);
+            let y_train: Vec<f64> = train_ix.iter().map(|&i| y[i]).collect();
+            let w_train: Vec<f64> = train_ix.iter().map(|&i| weights[i]).collect();
+            let model = candidate.fit(&x_train, &y_train, &w_train, seed)?;
+
+            let x_val = x.take_rows(val_ix);
+            let y_val: Vec<f64> = val_ix.iter().map(|&i| y[i]).collect();
+            let preds = model.predict(&x_val)?;
+            fold_scores.push(ConfusionMatrix::compute(&y_val, &preds, None)?.accuracy());
+        }
+        let n = fold_scores.len() as f64;
+        let mean = fold_scores.iter().sum::<f64>() / n;
+        let var = fold_scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        Ok((mean, var.sqrt(), fold_scores))
+    }
+
+    /// Runs the full search: CV-scores every candidate, picks the best mean
+    /// accuracy (ties break to the earlier candidate for determinism), and
+    /// refits the winner on all of `(x, y, weights)`.
+    pub fn search(
+        &self,
+        candidates: &[Box<dyn Classifier>],
+        x: &Matrix,
+        y: &[f64],
+        weights: &[f64],
+        seed: u64,
+    ) -> Result<GridSearchOutcome> {
+        if candidates.is_empty() {
+            return Err(Error::EmptyData("grid-search candidate list".to_string()));
+        }
+        let mut scores = Vec::with_capacity(candidates.len());
+        for (i, candidate) in candidates.iter().enumerate() {
+            let (mean_score, std_score, fold_scores) =
+                self.score_candidate(candidate.as_ref(), x, y, weights, seed)?;
+            scores.push(CandidateScore {
+                candidate: i,
+                description: candidate.describe(),
+                mean_score,
+                std_score,
+                fold_scores,
+            });
+        }
+        let best_candidate = scores
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.mean_score
+                    .partial_cmp(&b.mean_score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ib.cmp(ia)) // earlier index wins ties
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let best_model = candidates[best_candidate].fit(x, y, weights, seed)?;
+        Ok(GridSearchOutcome {
+            best_model,
+            best_candidate,
+            best_description: candidates[best_candidate].describe(),
+            scores,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DecisionTree, DecisionTreeConfig};
+
+    /// y = 1 iff x0 > 0.5; one candidate can learn it (depth 2), one cannot
+    /// (depth 0 → a single base-rate leaf).
+    fn data() -> (Matrix, Vec<f64>, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![f64::from(i % 2)]).collect();
+        let y: Vec<f64> = (0..40).map(|i| f64::from(i % 2)).collect();
+        let w = vec![1.0; 40];
+        (Matrix::from_rows(&rows).unwrap(), y, w)
+    }
+
+    fn candidates() -> Vec<Box<dyn Classifier>> {
+        vec![
+            Box::new(DecisionTree::new(DecisionTreeConfig {
+                max_depth: Some(0),
+                ..Default::default()
+            })),
+            Box::new(DecisionTree::new(DecisionTreeConfig {
+                max_depth: Some(2),
+                ..Default::default()
+            })),
+        ]
+    }
+
+    #[test]
+    fn search_picks_the_learnable_candidate() {
+        let (x, y, w) = data();
+        let outcome = GridSearchCv::new(5).search(&candidates(), &x, &y, &w, 3).unwrap();
+        assert_eq!(outcome.best_candidate, 1);
+        assert!(outcome.scores[1].mean_score > outcome.scores[0].mean_score);
+        // The refit model is perfect on the training data.
+        let preds = outcome.best_model.predict(&x).unwrap();
+        assert_eq!(preds, y);
+    }
+
+    #[test]
+    fn fold_scores_quantify_variability() {
+        let (x, y, w) = data();
+        let outcome = GridSearchCv::new(4).search(&candidates(), &x, &y, &w, 3).unwrap();
+        for s in &outcome.scores {
+            assert_eq!(s.fold_scores.len(), 4);
+            assert!(s.std_score >= 0.0);
+            assert!(s.mean_score >= 0.0 && s.mean_score <= 1.0);
+        }
+        // Perfect candidate has zero variance.
+        assert!(outcome.scores[1].std_score < 1e-12);
+    }
+
+    #[test]
+    fn search_is_seed_deterministic() {
+        let (x, y, w) = data();
+        let gs = GridSearchCv::default();
+        let a = gs.search(&candidates(), &x, &y, &w, 9).unwrap();
+        let b = gs.search(&candidates(), &x, &y, &w, 9).unwrap();
+        assert_eq!(a.best_candidate, b.best_candidate);
+        for (sa, sb) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(sa.fold_scores, sb.fold_scores);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let (x, y, w) = data();
+        assert!(GridSearchCv::default().search(&[], &x, &y, &w, 0).is_err());
+    }
+
+    #[test]
+    fn too_few_rows_for_folds_rejected() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![0.0]]).unwrap();
+        let y = vec![1.0, 0.0];
+        let w = vec![1.0, 1.0];
+        assert!(GridSearchCv::new(5).search(&candidates(), &x, &y, &w, 0).is_err());
+    }
+
+    #[test]
+    fn tie_breaks_to_earlier_candidate() {
+        let (x, y, w) = data();
+        // Two identical candidates: the first must win.
+        let same: Vec<Box<dyn Classifier>> = vec![
+            Box::new(DecisionTree::default()),
+            Box::new(DecisionTree::default()),
+        ];
+        let outcome = GridSearchCv::default().search(&same, &x, &y, &w, 1).unwrap();
+        assert_eq!(outcome.best_candidate, 0);
+    }
+}
+
+/// Randomized hyperparameter search: cross-validates a seeded random subset
+/// of the candidate list instead of the full grid — the standard budget
+/// lever when a grid is large (e.g. the 72-candidate decision-tree grid).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomizedSearchCv {
+    /// Number of folds.
+    pub k: usize,
+    /// Number of candidates to sample (without replacement).
+    pub n_iter: usize,
+}
+
+impl RandomizedSearchCv {
+    /// Creates a randomized search with `k` folds and `n_iter` sampled
+    /// candidates.
+    #[must_use]
+    pub fn new(k: usize, n_iter: usize) -> Self {
+        RandomizedSearchCv { k, n_iter }
+    }
+
+    /// Samples `n_iter` candidates (seeded, without replacement), scores
+    /// them with [`GridSearchCv`], and refits the winner. The outcome's
+    /// candidate indices refer to the ORIGINAL candidate list.
+    pub fn search(
+        &self,
+        candidates: &[Box<dyn Classifier>],
+        x: &Matrix,
+        y: &[f64],
+        weights: &[f64],
+        seed: u64,
+    ) -> Result<GridSearchOutcome> {
+        if candidates.is_empty() {
+            return Err(Error::EmptyData("randomized-search candidate list".to_string()));
+        }
+        use rand::seq::SliceRandom;
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        let mut rng = fairprep_data::rng::component_rng(seed, "randomized_search");
+        order.shuffle(&mut rng);
+        order.truncate(self.n_iter.clamp(1, candidates.len()));
+        order.sort_unstable(); // deterministic scoring order
+
+        let grid = GridSearchCv::new(self.k);
+        let mut scores = Vec::with_capacity(order.len());
+        for &ix in &order {
+            let (mean_score, std_score, fold_scores) =
+                grid.score_candidate(candidates[ix].as_ref(), x, y, weights, seed)?;
+            scores.push(CandidateScore {
+                candidate: ix,
+                description: candidates[ix].describe(),
+                mean_score,
+                std_score,
+                fold_scores,
+            });
+        }
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.mean_score
+                    .partial_cmp(&b.mean_score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ib.cmp(ia))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let best_candidate = scores[best].candidate;
+        let best_model = candidates[best_candidate].fit(x, y, weights, seed)?;
+        Ok(GridSearchOutcome {
+            best_model,
+            best_candidate,
+            best_description: candidates[best_candidate].describe(),
+            scores,
+        })
+    }
+}
+
+#[cfg(test)]
+mod randomized_tests {
+    use super::*;
+    use crate::model::{DecisionTree, DecisionTreeConfig};
+    use crate::selection::decision_tree_grid;
+
+    fn data() -> (Matrix, Vec<f64>, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![f64::from(i % 2)]).collect();
+        let y: Vec<f64> = (0..60).map(|i| f64::from(i % 2)).collect();
+        (Matrix::from_rows(&rows).unwrap(), y, vec![1.0; 60])
+    }
+
+    #[test]
+    fn samples_the_requested_budget() {
+        let (x, y, w) = data();
+        let candidates = decision_tree_grid();
+        let outcome =
+            RandomizedSearchCv::new(3, 10).search(&candidates, &x, &y, &w, 5).unwrap();
+        assert_eq!(outcome.scores.len(), 10);
+        assert!(outcome.best_candidate < candidates.len());
+        // Every scored index is unique (sampling without replacement).
+        let mut seen: Vec<usize> = outcome.scores.iter().map(|s| s.candidate).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn oversized_budget_clamps_to_full_grid() {
+        let (x, y, w) = data();
+        let candidates: Vec<Box<dyn Classifier>> = vec![
+            Box::new(DecisionTree::new(DecisionTreeConfig {
+                max_depth: Some(0),
+                ..Default::default()
+            })),
+            Box::new(DecisionTree::default()),
+        ];
+        let outcome =
+            RandomizedSearchCv::new(3, 99).search(&candidates, &x, &y, &w, 1).unwrap();
+        assert_eq!(outcome.scores.len(), 2);
+        assert_eq!(outcome.best_candidate, 1); // only the unbounded tree learns
+    }
+
+    #[test]
+    fn seeded_sampling_is_deterministic() {
+        let (x, y, w) = data();
+        let candidates = decision_tree_grid();
+        let search = RandomizedSearchCv::new(3, 8);
+        let a = search.search(&candidates, &x, &y, &w, 7).unwrap();
+        let b = search.search(&candidates, &x, &y, &w, 7).unwrap();
+        let ixs = |o: &GridSearchOutcome| o.scores.iter().map(|s| s.candidate).collect::<Vec<_>>();
+        assert_eq!(ixs(&a), ixs(&b));
+        let c = search.search(&candidates, &x, &y, &w, 8).unwrap();
+        assert_ne!(ixs(&a), ixs(&c));
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let (x, y, w) = data();
+        assert!(RandomizedSearchCv::new(3, 4).search(&[], &x, &y, &w, 0).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Hyperparameter grids.
+//!
+//! The §4 code listing defines the paper's logistic-regression grid
+//! (3 penalties × 4 alphas, "60 different settings" with 5-fold CV) and the
+//! §5.1 setup defines the decision-tree grid (2 criteria × 3 depths ×
+//! 4 min-samples-leaf × 3 min-samples-split). [`ParamGrid`] provides the
+//! generic cartesian-product machinery and this module ships both paper
+//! grids as ready-made candidate lists.
+
+use std::collections::BTreeMap;
+
+use crate::model::{
+    Classifier, DecisionTree, DecisionTreeConfig, LogisticRegressionConfig,
+    LogisticRegressionSgd, Penalty, SplitCriterion,
+};
+
+/// A single hyperparameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Floating-point parameter.
+    Float(f64),
+    /// Integer parameter.
+    Int(i64),
+    /// String/enumeration parameter.
+    Str(String),
+}
+
+impl std::fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamValue::Float(v) => write!(f, "{v}"),
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One point of a hyperparameter grid: parameter name → value.
+pub type ParamPoint = BTreeMap<String, ParamValue>;
+
+/// A named hyperparameter grid (parameter name → candidate values).
+#[derive(Debug, Clone, Default)]
+pub struct ParamGrid {
+    axes: Vec<(String, Vec<ParamValue>)>,
+}
+
+impl ParamGrid {
+    /// Creates an empty grid (its product is the single empty point).
+    #[must_use]
+    pub fn new() -> Self {
+        ParamGrid::default()
+    }
+
+    /// Adds an axis with its candidate values.
+    #[must_use]
+    pub fn axis(mut self, name: &str, values: Vec<ParamValue>) -> Self {
+        self.axes.push((name.to_string(), values));
+        self
+    }
+
+    /// Number of points in the cartesian product.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|(_, v)| v.len()).product()
+    }
+
+    /// `true` when the product is empty (an axis with no values).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates the cartesian product in a stable order.
+    #[must_use]
+    pub fn points(&self) -> Vec<ParamPoint> {
+        let mut out: Vec<ParamPoint> = vec![BTreeMap::new()];
+        for (name, values) in &self.axes {
+            let mut next = Vec::with_capacity(out.len() * values.len());
+            for point in &out {
+                for v in values {
+                    let mut p = point.clone();
+                    p.insert(name.clone(), v.clone());
+                    next.push(p);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+/// The paper's logistic-regression grid (§4 listing): penalties
+/// {l2, l1, elasticnet} × alphas {5e-5, 1e-4, 5e-3, 1e-3}, yielding the
+/// 12 parameter combinations which, with 5-fold cross-validation, produce
+/// the "60 different settings" of the paper.
+#[must_use]
+pub fn logistic_regression_grid() -> Vec<Box<dyn Classifier>> {
+    let penalties = [Penalty::L2, Penalty::L1, Penalty::ElasticNet { l1_ratio: 0.5 }];
+    let alphas = [5e-5, 1e-4, 5e-3, 1e-3];
+    let mut out: Vec<Box<dyn Classifier>> = Vec::with_capacity(penalties.len() * alphas.len());
+    for &penalty in &penalties {
+        for &alpha in &alphas {
+            out.push(Box::new(LogisticRegressionSgd::new(LogisticRegressionConfig {
+                penalty,
+                alpha,
+                ..Default::default()
+            })));
+        }
+    }
+    out
+}
+
+/// The paper's decision-tree grid (§5.1): 2 split criteria × 3 depth
+/// parameters × 4 min-samples-per-leaf parameters × 3 min-samples-per-split
+/// parameters = 72 candidates.
+#[must_use]
+pub fn decision_tree_grid() -> Vec<Box<dyn Classifier>> {
+    let criteria = [SplitCriterion::Gini, SplitCriterion::Entropy];
+    let depths = [Some(3), Some(5), Some(10)];
+    let min_leaves = [1usize, 2, 5, 10];
+    let min_splits = [2usize, 5, 10];
+    let mut out: Vec<Box<dyn Classifier>> = Vec::with_capacity(72);
+    for &criterion in &criteria {
+        for &max_depth in &depths {
+            for &min_samples_leaf in &min_leaves {
+                for &min_samples_split in &min_splits {
+                    out.push(Box::new(DecisionTree::new(DecisionTreeConfig {
+                        criterion,
+                        max_depth,
+                        min_samples_leaf,
+                        min_samples_split,
+                    })));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_product_counts() {
+        let grid = ParamGrid::new()
+            .axis("a", vec![ParamValue::Int(1), ParamValue::Int(2)])
+            .axis("b", vec![ParamValue::Str("x".into()), ParamValue::Str("y".into()), ParamValue::Str("z".into())]);
+        assert_eq!(grid.len(), 6);
+        let points = grid.points();
+        assert_eq!(points.len(), 6);
+        // All points distinct.
+        for (i, p) in points.iter().enumerate() {
+            for q in &points[i + 1..] {
+                assert_ne!(p, q);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_grid_has_one_point() {
+        let grid = ParamGrid::new();
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid.points(), vec![BTreeMap::new()]);
+    }
+
+    #[test]
+    fn axis_with_no_values_empties_product() {
+        let grid = ParamGrid::new().axis("a", vec![]);
+        assert!(grid.is_empty());
+        assert!(grid.points().is_empty());
+    }
+
+    #[test]
+    fn paper_lr_grid_is_12_times_5fold_60() {
+        let grid = logistic_regression_grid();
+        assert_eq!(grid.len(), 12);
+        assert_eq!(grid.len() * 5, 60); // the paper's "60 different settings"
+        // All descriptions distinct.
+        let descs: Vec<String> = grid.iter().map(|c| c.describe()).collect();
+        for (i, d) in descs.iter().enumerate() {
+            assert!(!descs[i + 1..].contains(d), "duplicate candidate {d}");
+        }
+    }
+
+    #[test]
+    fn paper_dt_grid_is_72() {
+        let grid = decision_tree_grid();
+        assert_eq!(grid.len(), 72);
+        let descs: Vec<String> = grid.iter().map(|c| c.describe()).collect();
+        for (i, d) in descs.iter().enumerate() {
+            assert!(!descs[i + 1..].contains(d), "duplicate candidate {d}");
+        }
+    }
+
+    #[test]
+    fn param_value_display() {
+        assert_eq!(ParamValue::Float(0.5).to_string(), "0.5");
+        assert_eq!(ParamValue::Int(3).to_string(), "3");
+        assert_eq!(ParamValue::Str("gini".into()).to_string(), "gini");
+    }
+}

@@ -1,0 +1,7 @@
+//! Model selection: hyperparameter grids and cross-validated grid search.
+
+pub mod cv;
+pub mod grid;
+
+pub use cv::{CandidateScore, GridSearchCv, GridSearchOutcome, RandomizedSearchCv};
+pub use grid::{decision_tree_grid, logistic_regression_grid, ParamGrid, ParamPoint, ParamValue};

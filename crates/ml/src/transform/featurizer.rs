@@ -1,0 +1,243 @@
+//! The featurizer: converts a relational dataset into the matrix form
+//! consumed by learners.
+//!
+//! "After imputation on the raw training data, FairPrep applies feature
+//! transformations to convert the data into a numeric format suitable for
+//! learning algorithms. By default, the framework scales numeric features
+//! with a user-chosen strategy, and one-hot encodes categorical values. If
+//! the feature transformers require aggregate statistics from the data, we
+//! again ensure that these are only computed on the training dataset. The
+//! 'fitted' feature transformers are stored in memory afterwards, in order
+//! to be applied to the validation set and test set in later phases." (§3)
+
+use fairprep_data::column::Value;
+use fairprep_data::dataset::BinaryLabelDataset;
+use fairprep_data::error::{Error, Result};
+
+use crate::matrix::Matrix;
+use crate::transform::onehot::OneHotEncoder;
+use crate::transform::scaler::{FittedScaler, ScalerSpec};
+
+/// A featurizer fitted on a training set; applies identically to any later
+/// split of the same schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedFeaturizer {
+    numeric_names: Vec<String>,
+    categorical_names: Vec<String>,
+    scaler: FittedScaler,
+    encoders: Vec<OneHotEncoder>,
+    feature_names: Vec<String>,
+}
+
+impl FittedFeaturizer {
+    /// Fits scaling statistics and one-hot dictionaries on the **training**
+    /// dataset only.
+    ///
+    /// Numeric feature columns must be complete (run the missing-value
+    /// handler first); categorical training cells may be missing and are
+    /// skipped when collecting categories.
+    pub fn fit(train: &BinaryLabelDataset, scaler: ScalerSpec) -> Result<FittedFeaturizer> {
+        let schema = train.schema();
+        let numeric_names: Vec<String> =
+            schema.numeric_features().iter().map(ToString::to_string).collect();
+        let categorical_names: Vec<String> =
+            schema.categorical_features().iter().map(ToString::to_string).collect();
+
+        // Collect complete numeric training columns for the scaler.
+        let mut numeric_columns = Vec::with_capacity(numeric_names.len());
+        for name in &numeric_names {
+            let col = train.frame().column(name)?;
+            let values = col.as_numeric()?;
+            let complete: Vec<f64> = values.iter().flatten().copied().collect();
+            if complete.len() != values.len() {
+                return Err(Error::EmptyData(format!(
+                    "numeric feature {name} still has missing values at featurization; \
+                     run a missing-value handler first"
+                )));
+            }
+            numeric_columns.push(complete);
+        }
+        let fitted_scaler = scaler.fit(&numeric_columns)?;
+
+        let mut encoders = Vec::with_capacity(categorical_names.len());
+        for name in &categorical_names {
+            encoders.push(OneHotEncoder::fit(train.frame().column(name)?)?);
+        }
+
+        let mut feature_names = numeric_names.clone();
+        for (name, enc) in categorical_names.iter().zip(&encoders) {
+            feature_names.extend(enc.feature_names(name));
+        }
+
+        Ok(FittedFeaturizer {
+            numeric_names,
+            categorical_names,
+            scaler: fitted_scaler,
+            encoders,
+            feature_names,
+        })
+    }
+
+    /// Names of the produced matrix columns.
+    #[must_use]
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// The scaling strategy used for numeric features.
+    #[must_use]
+    pub fn scaler_spec(&self) -> ScalerSpec {
+        self.scaler.spec()
+    }
+
+    /// Transforms any split (train/validation/test) of the schema the
+    /// featurizer was fitted on into a feature matrix.
+    pub fn transform(&self, dataset: &BinaryLabelDataset) -> Result<Matrix> {
+        let n = dataset.n_rows();
+        let d = self.n_features();
+        let mut out = Matrix::zeros(n, d);
+
+        // Numeric block.
+        for (j, name) in self.numeric_names.iter().enumerate() {
+            let col = dataset.frame().column(name)?;
+            let values = col.as_numeric()?;
+            for (i, v) in values.iter().enumerate() {
+                match v {
+                    Some(x) => out.set(i, j, self.scaler.transform_value(j, *x)?),
+                    None => {
+                        return Err(Error::EmptyData(format!(
+                            "numeric feature {name} missing at row {i} during transform"
+                        )))
+                    }
+                }
+            }
+        }
+
+        // Categorical blocks.
+        let mut offset = self.numeric_names.len();
+        for (name, enc) in self.categorical_names.iter().zip(&self.encoders) {
+            let col = dataset.frame().column(name)?;
+            let width = enc.width();
+            for i in 0..n {
+                let value = match col.get(i) {
+                    Value::Categorical(s) => Some(s.to_string()),
+                    Value::Missing => None,
+                    Value::Numeric(_) => {
+                        return Err(Error::ColumnTypeMismatch {
+                            column: name.clone(),
+                            expected: "categorical",
+                        })
+                    }
+                };
+                enc.encode_into(value.as_deref(), &mut out.row_mut(i)[offset..offset + width])?;
+            }
+            offset += width;
+        }
+
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairprep_data::column::{Column, ColumnKind};
+    use fairprep_data::frame::DataFrame;
+    use fairprep_data::schema::{ProtectedAttribute, Schema};
+
+    fn dataset(jobs: &[&str], ages: &[f64]) -> BinaryLabelDataset {
+        let n = jobs.len();
+        let frame = DataFrame::new()
+            .with_column("age", Column::from_f64(ages.iter().copied()))
+            .unwrap()
+            .with_column("job", Column::from_strs(jobs.iter().copied()))
+            .unwrap()
+            .with_column(
+                "g",
+                Column::from_strs((0..n).map(|i| if i % 2 == 0 { "a" } else { "b" })),
+            )
+            .unwrap()
+            .with_column(
+                "y",
+                Column::from_strs((0..n).map(|i| if i % 2 == 0 { "p" } else { "n" })),
+            )
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("age")
+            .categorical_feature("job")
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
+        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p")
+            .unwrap()
+    }
+
+    #[test]
+    fn fit_transform_shapes_and_names() {
+        let train = dataset(&["clerk", "chef", "clerk", "nurse"], &[20.0, 30.0, 40.0, 50.0]);
+        let f = FittedFeaturizer::fit(&train, ScalerSpec::Standard).unwrap();
+        // 1 numeric + (3 categories + unseen) = 5.
+        assert_eq!(f.n_features(), 5);
+        assert_eq!(
+            f.feature_names(),
+            &["age", "job=clerk", "job=chef", "job=nurse", "job=<unseen>"]
+        );
+        let m = f.transform(&train).unwrap();
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.n_cols(), 5);
+        assert!(m.is_finite());
+    }
+
+    #[test]
+    fn numeric_scaling_uses_train_statistics_only() {
+        let train = dataset(&["a", "a", "a", "a"], &[0.0, 10.0, 0.0, 10.0]);
+        let test = dataset(&["a", "a", "a", "a"], &[20.0, 20.0, 20.0, 20.0]);
+        let f = FittedFeaturizer::fit(&train, ScalerSpec::MinMax).unwrap();
+        let m = f.transform(&test).unwrap();
+        // Train range was [0, 10], so test value 20 maps to 2.0 — proof the
+        // test data did not influence the fit.
+        assert_eq!(m.get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn unseen_test_category_routes_to_unseen_slot() {
+        let train = dataset(&["clerk", "chef", "clerk", "chef"], &[1.0, 2.0, 3.0, 4.0]);
+        let test = dataset(&["pilot", "clerk", "pilot", "clerk"], &[1.0, 2.0, 3.0, 4.0]);
+        let f = FittedFeaturizer::fit(&train, ScalerSpec::NoScaling).unwrap();
+        let m = f.transform(&test).unwrap();
+        let names = f.feature_names();
+        let unseen_ix = names.iter().position(|n| n == "job=<unseen>").unwrap();
+        assert_eq!(m.get(0, unseen_ix), 1.0);
+        assert_eq!(m.get(1, unseen_ix), 0.0);
+    }
+
+    #[test]
+    fn missing_numeric_rejected_at_fit_and_transform() {
+        let mut ds = dataset(&["a", "b", "a", "b"], &[1.0, 2.0, 3.0, 4.0]);
+        ds.frame_mut()
+            .replace_column(
+                "age",
+                Column::from_optional_f64([Some(1.0), None, Some(3.0), Some(4.0)]),
+            )
+            .unwrap();
+        assert!(FittedFeaturizer::fit(&ds, ScalerSpec::Standard).is_err());
+
+        let train = dataset(&["a", "b", "a", "b"], &[1.0, 2.0, 3.0, 4.0]);
+        let f = FittedFeaturizer::fit(&train, ScalerSpec::Standard).unwrap();
+        assert!(f.transform(&ds).is_err());
+    }
+
+    #[test]
+    fn transform_is_deterministic() {
+        let train = dataset(&["x", "y", "x", "y"], &[5.0, 6.0, 7.0, 8.0]);
+        let f = FittedFeaturizer::fit(&train, ScalerSpec::Standard).unwrap();
+        let a = f.transform(&train).unwrap();
+        let b = f.transform(&train).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,10 @@
+//! Feature transformation: scaling, one-hot encoding, and the featurizer
+//! that turns relational datasets into feature matrices.
+
+pub mod featurizer;
+pub mod onehot;
+pub mod scaler;
+
+pub use featurizer::FittedFeaturizer;
+pub use onehot::OneHotEncoder;
+pub use scaler::{FittedScaler, ScalerSpec};

@@ -1,0 +1,224 @@
+//! Numeric feature scaling with fit-on-train-only semantics.
+//!
+//! The paper (§2.3) observes that existing fairness frameworks do not scale
+//! numeric features, which makes SGD-trained models fail outright (§5.2,
+//! Figure 3). FairPrep therefore ships standardisation and min-max scaling,
+//! plus an explicit [`ScalerSpec::NoScaling`] variant "for studying the
+//! effect of this preprocessing step" (§4).
+//!
+//! All three strategies are affine maps, so a fitted scaler stores one
+//! `(offset, scale)` pair per feature. `fit` must only ever be called with
+//! training data — the lifecycle enforces this.
+
+use fairprep_data::error::{Error, Result};
+
+/// The scaling strategy to apply to numeric features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalerSpec {
+    /// z-score standardisation: `(x - mean) / std`.
+    Standard,
+    /// Min-max scaling to `[0, 1]`: `(x - min) / (max - min)`.
+    MinMax,
+    /// Identity — keeps features on their original scale
+    /// ("which might be dangerous", §4).
+    NoScaling,
+}
+
+impl ScalerSpec {
+    /// Stable name for run metadata.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalerSpec::Standard => "standard_scaler",
+            ScalerSpec::MinMax => "min_max_scaler",
+            ScalerSpec::NoScaling => "no_scaling",
+        }
+    }
+
+    /// Fits per-column affine parameters on training values.
+    ///
+    /// `columns` holds the training values of each numeric feature. Columns
+    /// must be non-empty. Constant columns scale to `0.0` (scale factor 0)
+    /// rather than dividing by zero.
+    pub fn fit(self, columns: &[Vec<f64>]) -> Result<FittedScaler> {
+        let mut params = Vec::with_capacity(columns.len());
+        for (j, xs) in columns.iter().enumerate() {
+            if xs.is_empty() {
+                return Err(Error::EmptyData(format!("scaler fit: feature {j} has no values")));
+            }
+            if xs.iter().any(|v| !v.is_finite()) {
+                return Err(Error::InvalidParameter {
+                    name: "scaler",
+                    message: format!("feature {j} contains non-finite values"),
+                });
+            }
+            let p = match self {
+                ScalerSpec::Standard => {
+                    let n = xs.len() as f64;
+                    let mean = xs.iter().sum::<f64>() / n;
+                    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+                    let std = var.sqrt();
+                    Affine { offset: mean, scale: if std > 0.0 { 1.0 / std } else { 0.0 } }
+                }
+                ScalerSpec::MinMax => {
+                    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+                    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let range = max - min;
+                    Affine { offset: min, scale: if range > 0.0 { 1.0 / range } else { 0.0 } }
+                }
+                ScalerSpec::NoScaling => Affine { offset: 0.0, scale: 1.0 },
+            };
+            params.push(p);
+        }
+        Ok(FittedScaler { spec: self, params })
+    }
+}
+
+/// Per-feature affine transform `(x - offset) * scale`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Affine {
+    offset: f64,
+    scale: f64,
+}
+
+/// A scaler whose parameters were fitted on the training set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedScaler {
+    spec: ScalerSpec,
+    params: Vec<Affine>,
+}
+
+impl FittedScaler {
+    /// The strategy this scaler was fitted with.
+    #[must_use]
+    pub fn spec(&self) -> ScalerSpec {
+        self.spec
+    }
+
+    /// Number of features the scaler was fitted on.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Scales feature `j` of a single value.
+    pub fn transform_value(&self, j: usize, x: f64) -> Result<f64> {
+        let p = self.params.get(j).ok_or(Error::LengthMismatch {
+            expected: self.params.len(),
+            actual: j + 1,
+        })?;
+        Ok((x - p.offset) * p.scale)
+    }
+
+    /// Inverse of [`FittedScaler::transform_value`]. For constant training
+    /// columns (scale factor 0) the inverse returns the training constant.
+    pub fn inverse_value(&self, j: usize, y: f64) -> Result<f64> {
+        let p = self.params.get(j).ok_or(Error::LengthMismatch {
+            expected: self.params.len(),
+            actual: j + 1,
+        })?;
+        if p.scale == 0.0 {
+            Ok(p.offset)
+        } else {
+            Ok(y / p.scale + p.offset)
+        }
+    }
+
+    /// Scales a full example in place (`row.len()` must equal
+    /// [`FittedScaler::n_features`]).
+    pub fn transform_row(&self, row: &mut [f64]) -> Result<()> {
+        if row.len() != self.params.len() {
+            return Err(Error::LengthMismatch {
+                expected: self.params.len(),
+                actual: row.len(),
+            });
+        }
+        for (x, p) in row.iter_mut().zip(&self.params) {
+            *x = (*x - p.offset) * p.scale;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let fitted = ScalerSpec::Standard.fit(&[vec![2.0, 4.0, 6.0]]).unwrap();
+        let scaled: Vec<f64> =
+            [2.0, 4.0, 6.0].iter().map(|&x| fitted.transform_value(0, x).unwrap()).collect();
+        let mean: f64 = scaled.iter().sum::<f64>() / 3.0;
+        let var: f64 = scaled.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_maps_train_range_to_unit() {
+        let fitted = ScalerSpec::MinMax.fit(&[vec![10.0, 20.0, 30.0]]).unwrap();
+        assert_eq!(fitted.transform_value(0, 10.0).unwrap(), 0.0);
+        assert_eq!(fitted.transform_value(0, 30.0).unwrap(), 1.0);
+        assert_eq!(fitted.transform_value(0, 20.0).unwrap(), 0.5);
+        // Out-of-train-range values extrapolate, as in scikit-learn.
+        assert_eq!(fitted.transform_value(0, 40.0).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn no_scaling_is_identity() {
+        let fitted = ScalerSpec::NoScaling.fit(&[vec![1.0, 100.0]]).unwrap();
+        assert_eq!(fitted.transform_value(0, 42.5).unwrap(), 42.5);
+    }
+
+    #[test]
+    fn constant_column_is_safe() {
+        for spec in [ScalerSpec::Standard, ScalerSpec::MinMax] {
+            let fitted = spec.fit(&[vec![5.0, 5.0, 5.0]]).unwrap();
+            assert_eq!(fitted.transform_value(0, 5.0).unwrap(), 0.0);
+            assert_eq!(fitted.transform_value(0, 7.0).unwrap(), 0.0);
+            assert_eq!(fitted.inverse_value(0, 0.0).unwrap(), 5.0);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        for spec in [ScalerSpec::Standard, ScalerSpec::MinMax, ScalerSpec::NoScaling] {
+            let fitted = spec.fit(&[vec![1.0, 3.0, 9.0]]).unwrap();
+            for x in [1.0, 2.0, 9.0, -4.0] {
+                let y = fitted.transform_value(0, x).unwrap();
+                let back = fitted.inverse_value(0, y).unwrap();
+                assert!((back - x).abs() < 1e-9, "{spec:?} failed roundtrip at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_row_scales_all_features() {
+        let fitted =
+            ScalerSpec::MinMax.fit(&[vec![0.0, 10.0], vec![0.0, 2.0]]).unwrap();
+        let mut row = vec![5.0, 1.0];
+        fitted.transform_row(&mut row).unwrap();
+        assert_eq!(row, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn transform_row_checks_arity() {
+        let fitted = ScalerSpec::Standard.fit(&[vec![1.0, 2.0]]).unwrap();
+        let mut row = vec![1.0, 2.0];
+        assert!(fitted.transform_row(&mut row).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_empty_or_nonfinite() {
+        assert!(ScalerSpec::Standard.fit(&[vec![]]).is_err());
+        assert!(ScalerSpec::Standard.fit(&[vec![1.0, f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ScalerSpec::Standard.name(), "standard_scaler");
+        assert_eq!(ScalerSpec::MinMax.name(), "min_max_scaler");
+        assert_eq!(ScalerSpec::NoScaling.name(), "no_scaling");
+    }
+}

@@ -1,0 +1,76 @@
+//! Controlled missingness study: inject → impute → measure.
+//!
+//! Previous studies "are unable to investigate the effects of fairness
+//! enhancing interventions on records with missing values" (§2.4).
+//! FairPrep closes that loop. This example takes the *complete*
+//! germancredit dataset, injects group-dependent (MAR) missingness at
+//! increasing rates — mimicking the documented adult pattern where the
+//! unprivileged group loses data 4× more often — and measures how each
+//! missing-value strategy copes, overall and for the unprivileged group.
+//!
+//! ```text
+//! cargo run --release --example missingness_study
+//! ```
+
+use fairprep::prelude::*;
+use fairprep_fairness::metrics::DatasetMetrics;
+use fairprep_impute::inject::{Mechanism, MissingnessInjector};
+
+fn main() -> Result<()> {
+    let base = generate_german(1000, 20_19)?;
+    println!("germancredit: {} rows, initially complete", base.n_rows());
+    let dm = DatasetMetrics::compute(&base)?;
+    println!(
+        "label audit: base rate {:.3}, label DI {:.3}, label SPD {:+.3}\n",
+        dm.base_rate, dm.disparate_impact, dm.statistical_parity_difference
+    );
+
+    println!(
+        "{:<10} {:<26} {:>9} {:>10} {:>9} {:>8}",
+        "miss rate", "strategy", "acc", "acc_unpr", "acc_imp", "DI"
+    );
+
+    for &unpriv_rate in &[0.1, 0.25, 0.4] {
+        // The unprivileged group loses data 4x more often (the §2.4 adult
+        // pattern).
+        let injector = MissingnessInjector::new(
+            &["credit-amount", "employment", "savings"],
+            Mechanism::MarByGroup {
+                privileged_rate: unpriv_rate / 4.0,
+                unprivileged_rate: unpriv_rate,
+            },
+        );
+        let injected = injector.inject(&base, 7)?;
+        let incomplete = injected.incomplete_rows().len();
+
+        for strategy in ["complete_case", "mode", "model_based"] {
+            let builder = Experiment::builder("german_missing", injected.clone())
+                .seed(46947)
+                .learner(LogisticRegressionLearner { tuned: true });
+            let builder = match strategy {
+                "complete_case" => builder.missing_value_handler(CompleteCaseAnalysis),
+                "mode" => builder.missing_value_handler(ModeImputer),
+                _ => builder.missing_value_handler(ModelBasedImputer::default()),
+            };
+            let result = builder.build()?.run()?;
+            let t = &result.test_report;
+            println!(
+                "{:<10.2} {:<26} {:>9.3} {:>10.3} {:>9.3} {:>8.3}",
+                unpriv_rate,
+                format!("{strategy} ({incomplete} inc.)"),
+                t.overall.accuracy,
+                t.unprivileged.accuracy,
+                t.incomplete_records.as_ref().map_or(f64::NAN, |g| g.accuracy),
+                t.differences.disparate_impact,
+            );
+        }
+    }
+
+    println!(
+        "\nComplete-case analysis silently evaluates fewer (and different)\n\
+         records as the missingness rate grows — and the records it drops\n\
+         come disproportionately from the unprivileged group. The imputation\n\
+         strategies keep every record in the study."
+    );
+    Ok(())
+}

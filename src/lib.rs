@@ -1,0 +1,44 @@
+//! # FairPrep (Rust)
+//!
+//! A reproduction of **"FairPrep: Promoting Data to a First-Class Citizen
+//! in Studies on Fairness-Enhancing Interventions"** (Schelter, He,
+//! Khilnani, Stoyanovich — EDBT 2020) as a self-contained Rust workspace.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`data`] | columns, frames, [`data::dataset::BinaryLabelDataset`], splits, resampling, CSV, stats |
+//! | [`ml`] | matrix, scalers/one-hot/featurizer, logistic regression, decision tree, naive Bayes, grid search + k-fold CV |
+//! | [`impute`] | complete-case analysis, mode / mean-mode imputation, learned per-column imputation (Datawig substitute), missingness injection |
+//! | [`fairness`] | 25 per-group + 22 between-group metrics; reweighing, DI remover, massaging; adversarial debiasing, prejudice remover; reject-option, calibrated equalized odds, equalized odds |
+//! | [`datasets`] | seeded synthetic adult / germancredit / propublica / ricci / payment generators |
+//! | [`core`] | the three-phase lifecycle: experiments, isolation vault, learners, parallel sweeps, result files |
+//!
+//! See the `examples/` directory for runnable walkthroughs (start with
+//! `cargo run --example quickstart`).
+
+#![warn(missing_docs)]
+
+pub use fairprep_core as core;
+pub use fairprep_data as data;
+pub use fairprep_datasets as datasets;
+pub use fairprep_fairness as fairness;
+pub use fairprep_impute as impute;
+pub use fairprep_ml as ml;
+
+/// One-stop import for applications.
+pub mod prelude {
+    pub use fairprep_core::prelude::*;
+    pub use fairprep_data::prelude::*;
+    pub use fairprep_datasets::{
+        generate_adult, generate_compas, generate_german, generate_german_with,
+        generate_payment, generate_ricci, AdultProtected, CompasProtected, GermanProtected,
+    };
+    pub use fairprep_fairness::prelude::*;
+    pub use fairprep_impute::{
+        CompleteCaseAnalysis, MeanModeImputer, MissingValueHandler, ModeImputer,
+        ModelBasedImputer,
+    };
+    pub use fairprep_ml::prelude::*;
+}

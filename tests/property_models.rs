@@ -1,0 +1,198 @@
+//! Property-based tests over models, interventions, and post-processors.
+
+use proptest::prelude::*;
+
+use fairprep::prelude::*;
+use fairprep_ml::matrix::Matrix;
+
+/// Strategy: a small binary-classification problem with both classes
+/// present.
+fn problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    prop::collection::vec((prop::collection::vec(-10.0f64..10.0, 3), any::<bool>()), 10..60)
+        .prop_filter("both classes", |rows| {
+            rows.iter().any(|(_, y)| *y) && rows.iter().any(|(_, y)| !*y)
+        })
+        .prop_map(|rows| {
+            let x: Vec<Vec<f64>> = rows.iter().map(|(r, _)| r.clone()).collect();
+            let y: Vec<f64> = rows.iter().map(|(_, y)| f64::from(u8::from(*y))).collect();
+            (x, y)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every classifier produces probabilities in [0, 1] on its own
+    /// training data, for arbitrary inputs and seeds.
+    #[test]
+    fn classifiers_emit_valid_probabilities((rows, y) in problem(), seed in any::<u64>()) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let w = vec![1.0; y.len()];
+        let models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(LogisticRegressionSgd::default()),
+            Box::new(DecisionTree::default()),
+            Box::new(GaussianNaiveBayes::default()),
+            Box::new(KNearestNeighbors { k: 3 }),
+            Box::new(RandomForest::new(RandomForestConfig {
+                n_trees: 7,
+                ..Default::default()
+            })),
+        ];
+        for model in models {
+            let fitted = model.fit(&x, &y, &w, seed).unwrap();
+            for p in fitted.predict_proba(&x).unwrap() {
+                prop_assert!((0.0..=1.0).contains(&p) && p.is_finite(),
+                    "{}: proba {p}", model.name());
+            }
+        }
+    }
+
+    /// Classifier training is a pure function of (data, weights, seed).
+    #[test]
+    fn classifier_training_is_deterministic((rows, y) in problem(), seed in any::<u64>()) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let w = vec![1.0; y.len()];
+        for model in [
+            Box::new(LogisticRegressionSgd::default()) as Box<dyn Classifier>,
+            Box::new(RandomForest::new(RandomForestConfig { n_trees: 5, ..Default::default() })),
+        ] {
+            let a = model.fit(&x, &y, &w, seed).unwrap().predict_proba(&x).unwrap();
+            let b = model.fit(&x, &y, &w, seed).unwrap().predict_proba(&x).unwrap();
+            prop_assert_eq!(a, b, "{} not deterministic", model.name());
+        }
+    }
+
+    /// Post-processor outputs are always hard 0/1 labels of the right length.
+    #[test]
+    fn postprocessors_emit_hard_labels(
+        raw in prop::collection::vec((0.01f64..0.99, any::<bool>(), any::<bool>()), 16..80),
+        seed in any::<u64>(),
+    ) {
+        let scores: Vec<f64> = raw.iter().map(|(s, _, _)| *s).collect();
+        let labels: Vec<f64> = raw.iter().map(|(_, y, _)| f64::from(u8::from(*y))).collect();
+        let mask: Vec<bool> = raw.iter().map(|(_, _, g)| *g).collect();
+        prop_assume!(mask.iter().any(|&m| m) && mask.iter().any(|&m| !m));
+        let posts: Vec<Box<dyn Postprocessor>> = vec![
+            Box::new(NoPostprocessing),
+            Box::new(RejectOptionClassification::default()),
+            Box::new(CalibratedEqOdds::default()),
+            Box::new(EqOddsPostprocessing { steps: 4 }),
+            Box::new(GroupThresholdOptimizer { steps: 8, ..Default::default() }),
+        ];
+        for post in posts {
+            let fitted = post.fit(&scores, &labels, &mask, seed).unwrap();
+            let adjusted = fitted.adjust(&scores, &mask).unwrap();
+            prop_assert_eq!(adjusted.len(), scores.len());
+            prop_assert!(adjusted.iter().all(|&v| v == 0.0 || v == 1.0),
+                "{} emitted a non-binary prediction", post.name());
+            // Adjustment is deterministic for a fixed fitted state.
+            prop_assert_eq!(&adjusted, &fitted.adjust(&scores, &mask).unwrap());
+        }
+    }
+
+    /// DI-remover with λ=0 is the identity on any dataset (not just the
+    /// biased fixture).
+    #[test]
+    fn di_remover_zero_lambda_identity(values in prop::collection::vec(-50.0f64..50.0, 6..40)) {
+        let n = values.len();
+        let frame = DataFrame::new()
+            .with_column("v", Column::from_f64(values.iter().copied()))
+            .unwrap()
+            .with_column("g", Column::from_strs((0..n).map(|i| if i % 2 == 0 { "a" } else { "b" })))
+            .unwrap()
+            .with_column("y", Column::from_strs((0..n).map(|i| if i % 3 == 0 { "p" } else { "n" })))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("v")
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
+        let ds = BinaryLabelDataset::new(
+            frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p",
+        ).unwrap();
+        let out = DisparateImpactRemover::new(0.0)
+            .fit(&ds, 0).unwrap().transform_train(&ds).unwrap();
+        prop_assert_eq!(out.frame(), ds.frame());
+    }
+
+    /// Massaging preserves the total number of positive labels for any
+    /// group/label pattern with all four cells occupied.
+    #[test]
+    fn massaging_preserves_positive_count(
+        pattern in prop::collection::vec((any::<bool>(), any::<bool>()), 12..80),
+    ) {
+        let has = |g: bool, y: bool| pattern.iter().any(|&(pg, py)| pg == g && py == y);
+        prop_assume!(has(true, true) && has(true, false));
+        prop_assume!(has(false, true) && has(false, false));
+        let n = pattern.len();
+        let frame = DataFrame::new()
+            .with_column("x", Column::from_f64((0..n).map(|i| (i % 7) as f64)))
+            .unwrap()
+            .with_column("g", Column::from_strs(pattern.iter().map(|&(g, _)| if g { "a" } else { "b" })))
+            .unwrap()
+            .with_column("y", Column::from_strs(pattern.iter().map(|&(_, y)| if y { "p" } else { "n" })))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("x")
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
+        let ds = BinaryLabelDataset::new(
+            frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p",
+        ).unwrap();
+        let out = Massaging.fit(&ds, 0).unwrap().transform_train(&ds).unwrap();
+        let before: f64 = ds.labels().iter().sum();
+        let after: f64 = out.labels().iter().sum();
+        prop_assert!((before - after).abs() < 1e-9);
+    }
+
+    /// The stratified split, like the plain split, partitions all rows.
+    #[test]
+    fn stratified_split_partitions(
+        pattern in prop::collection::vec((any::<bool>(), any::<bool>()), 20..120),
+        seed in any::<u64>(),
+    ) {
+        let has = |g: bool, y: bool| pattern.iter().any(|&(pg, py)| pg == g && py == y);
+        prop_assume!(pattern.iter().any(|&(g, _)| g) && pattern.iter().any(|&(g, _)| !g));
+        prop_assume!(has(true, true) || has(false, true));
+        prop_assume!(has(true, false) || has(false, false));
+        let n = pattern.len();
+        let frame = DataFrame::new()
+            .with_column("x", Column::from_f64((0..n).map(|i| i as f64)))
+            .unwrap()
+            .with_column("g", Column::from_strs(pattern.iter().map(|&(g, _)| if g { "a" } else { "b" })))
+            .unwrap()
+            .with_column("y", Column::from_strs(pattern.iter().map(|&(_, y)| if y { "p" } else { "n" })))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("x")
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
+        let ds = BinaryLabelDataset::new(
+            frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p",
+        ).unwrap();
+        let split = stratified_train_val_test_split(&ds, SplitSpec::paper_default(), seed).unwrap();
+        let mut all: Vec<usize> = split.indices.train.iter()
+            .chain(&split.indices.validation)
+            .chain(&split.indices.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        // Every (label, group) cell with >= 2 members reaches the test set.
+        for y in [0.0, 1.0] {
+            for g in [false, true] {
+                let cell = (0..n)
+                    .filter(|&i| ds.labels()[i] == y && ds.privileged_mask()[i] == g)
+                    .count();
+                if cell >= 2 {
+                    let in_test = (0..split.test.n_rows())
+                        .filter(|&i| {
+                            split.test.labels()[i] == y
+                                && split.test.privileged_mask()[i] == g
+                        })
+                        .count();
+                    prop_assert!(in_test >= 1, "cell (y={y}, g={g}) missing from test");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests for §2.5: reproducibility.
+//!
+//! "A major factor ... is to fix the seeds for pseudo-random number
+//! generators throughout the evaluation run, and provide the fixed seed to
+//! all components (data splitters, learning algorithms, feature
+//! transformations)."
+
+use std::collections::BTreeMap;
+
+use fairprep::prelude::*;
+
+fn maps_equal(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|((ka, va), (kb, vb))| ka == kb && ((va.is_nan() && vb.is_nan()) || va == vb))
+}
+
+fn full_pipeline_run(seed: u64) -> fairprep_core::results::RunResult {
+    // Exercise every randomized component at once: resampling, learned
+    // imputation, DI repair, SGD training, calibrated-eq-odds mixing.
+    let dataset = generate_payment(800, 13).unwrap();
+    Experiment::builder("payment", dataset)
+        .seed(seed)
+        .resampler(Bootstrap { fraction: 1.0 })
+        .missing_value_handler(ModelBasedImputer::default())
+        .preprocessor(DisparateImpactRemover::new(0.8))
+        .learner(LogisticRegressionLearner { tuned: false })
+        .postprocessor(CalibratedEqOdds::default())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn identical_seeds_give_bitwise_identical_runs() {
+    let a = full_pipeline_run(42);
+    let b = full_pipeline_run(42);
+    assert!(maps_equal(&a.test_report.to_map(), &b.test_report.to_map()));
+    for (ca, cb) in a.candidates.iter().zip(&b.candidates) {
+        assert!(maps_equal(
+            &ca.validation_report.to_map(),
+            &cb.validation_report.to_map()
+        ));
+    }
+    assert_eq!(a.metadata.selected, b.metadata.selected);
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let a = full_pipeline_run(1);
+    let b = full_pipeline_run(2);
+    assert!(!maps_equal(&a.test_report.to_map(), &b.test_report.to_map()));
+}
+
+#[test]
+fn seed_is_threaded_to_all_components_not_just_the_splitter() {
+    // Two datasets with identical content; the only difference between runs
+    // is the seed. If only the splitter were seeded, bootstrap/model
+    // training would consume ambient randomness and repeated runs would
+    // diverge — covered by `identical_seeds...`. Here we additionally check
+    // that the *candidate* seeds differ per candidate: two identical
+    // learners in one run may produce different models (independent
+    // streams), which is the documented per-candidate seed derivation.
+    let dataset = generate_german(300, 9).unwrap();
+    let result = Experiment::builder("german", dataset)
+        .seed(7)
+        .learner(LogisticRegressionLearner { tuned: false })
+        .learner(LogisticRegressionLearner { tuned: false })
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    // Same learner, same data — but independent random streams. SGD
+    // shuffling differs, so the validation metrics are extremely unlikely
+    // to coincide bitwise on every metric.
+    let a = result.candidates[0].validation_report.to_map();
+    let b = result.candidates[1].validation_report.to_map();
+    assert!(!maps_equal(&a, &b), "candidate seeds are not independent");
+}
+
+#[test]
+fn sweeps_are_reproducible_under_parallelism() {
+    use fairprep_core::runner::{run_parallel, Job};
+    let make_jobs = || -> Vec<Job> {
+        (0..6)
+            .map(|i| {
+                Box::new(move || {
+                    Experiment::builder("german", generate_german(150, 2)?)
+                        .seed(100 + i)
+                        .learner(DecisionTreeLearner { tuned: false })
+                        .build()?
+                        .run()
+                }) as Job
+            })
+            .collect()
+    };
+    let serial = run_parallel(make_jobs(), 1);
+    let parallel = run_parallel(make_jobs(), 4);
+    for (a, b) in serial.iter().zip(&parallel) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert!(maps_equal(&a.test_report.to_map(), &b.test_report.to_map()));
+    }
+}
