@@ -55,7 +55,10 @@ fn bench_ensembles_and_knn(c: &mut Criterion) {
     let mut group = c.benchmark_group("extension_models");
     group.sample_size(10);
     group.bench_function("random_forest_25_trees_600x50", |b| {
-        let forest = RandomForest::new(RandomForestConfig { n_trees: 25, ..Default::default() });
+        let forest = RandomForest::new(RandomForestConfig {
+            n_trees: 25,
+            ..Default::default()
+        });
         b.iter(|| forest.fit(black_box(&x), &y, &w, 3).unwrap())
     });
     group.bench_function("knn_predict_600x50", |b| {
@@ -86,7 +89,10 @@ fn bench_fair_learners(c: &mut Criterion) {
         })
     });
     group.bench_function("lfr_k10_500x50", |b| {
-        let lfr = LearnedFairRepresentations { iterations: 50, ..Default::default() };
+        let lfr = LearnedFairRepresentations {
+            iterations: 50,
+            ..Default::default()
+        };
         b.iter(|| lfr.fit(black_box(&x), &y, &w, &mask, 2).unwrap())
     });
     group.finish();
@@ -106,10 +112,30 @@ fn bench_grid_search(c: &mut Criterion) {
             BenchmarkId::new("lr_5fold", n_candidates),
             &n_candidates,
             |b, &n| {
-                let candidates: Vec<_> =
-                    logistic_regression_grid().into_iter().take(n).collect();
+                let candidates: Vec<_> = logistic_regression_grid().into_iter().take(n).collect();
                 b.iter(|| {
                     GridSearchCv::new(5)
+                        .search(black_box(&candidates), &x, &y, &w, 3)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Thread scaling on the full paper grid: same work, same (bit-identical)
+    // result, spread over the shared fold cache by `parallel_map`.
+    let mut group = c.benchmark_group("gridsearch");
+    group.sample_size(10);
+    let candidates = logistic_regression_grid();
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("lr_full_grid_threads", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    GridSearchCv::new(5)
+                        .with_threads(t)
                         .search(black_box(&candidates), &x, &y, &w, 3)
                         .unwrap()
                 })
@@ -206,9 +232,7 @@ fn bench_split_and_seed(c: &mut Criterion) {
     let mut group = c.benchmark_group("data_ops");
     group.sample_size(20);
     group.bench_function("train_val_test_split_adult_10000", |b| {
-        b.iter(|| {
-            train_val_test_split(black_box(&ds), SplitSpec::paper_default(), 9).unwrap()
-        })
+        b.iter(|| train_val_test_split(black_box(&ds), SplitSpec::paper_default(), 9).unwrap())
     });
     group.bench_function("derive_seed", |b| {
         b.iter(|| derive_seed(black_box(42), black_box("learner/logistic_sgd")))
@@ -216,8 +240,7 @@ fn bench_split_and_seed(c: &mut Criterion) {
     group.bench_function("stratified_split_adult_10000", |b| {
         use fairprep_data::split::stratified_train_val_test_split;
         b.iter(|| {
-            stratified_train_val_test_split(black_box(&ds), SplitSpec::paper_default(), 9)
-                .unwrap()
+            stratified_train_val_test_split(black_box(&ds), SplitSpec::paper_default(), 9).unwrap()
         })
     });
     group.finish();

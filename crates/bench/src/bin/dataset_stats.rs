@@ -40,9 +40,14 @@ fn main() {
     println!("=== adult (synthetic, n = {n}) vs. paper-documented statistics ===");
     let adult = generate_adult(n, 20_19, AdultProtected::Race).unwrap();
 
-    let white_frac = adult.privileged_mask().iter().filter(|&&p| p).count() as f64
-        / adult.n_rows() as f64;
-    check("fraction White (privileged group, §5.3: 85%)", white_frac, 0.85, 0.02);
+    let white_frac =
+        adult.privileged_mask().iter().filter(|&&p| p).count() as f64 / adult.n_rows() as f64;
+    check(
+        "fraction White (privileged group, §5.3: 85%)",
+        white_frac,
+        0.85,
+        0.02,
+    );
 
     let gm = group_missingness(&adult, "native-country").unwrap();
     check(
@@ -53,8 +58,18 @@ fn main() {
     );
 
     let rates = completeness_label_rates(&adult);
-    check(">50K rate among complete records (§5.3: 24%)", rates.complete_rate, 0.24, 0.03);
-    check(">50K rate among incomplete records (§5.3: 14%)", rates.incomplete_rate, 0.14, 0.05);
+    check(
+        ">50K rate among complete records (§5.3: 24%)",
+        rates.complete_rate,
+        0.24,
+        0.03,
+    );
+    check(
+        ">50K rate among incomplete records (§5.3: 14%)",
+        rates.incomplete_rate,
+        0.14,
+        0.05,
+    );
 
     let incomplete_frac = rates.incomplete_count as f64 / adult.n_rows() as f64;
     check(
@@ -78,21 +93,37 @@ fn main() {
     println!(
         "  most frequent marital-status among incomplete records       = {top_marital} \
          (paper: Never-married) {}",
-        if top_marital == "Never-married" { "OK" } else { "MISMATCH" }
+        if top_marital == "Never-married" {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
 
     println!("\n=== germancredit (synthetic, n = {GERMAN_FULL_SIZE}) ===");
     let german = generate_german(GERMAN_FULL_SIZE, 20_19).unwrap();
-    check("good-credit rate (real: 70%)", german.base_rate(None), 0.70, 0.05);
-    println!("  missing cells = {} (paper: complete)", german.frame().missing_cells());
+    check(
+        "good-credit rate (real: 70%)",
+        german.base_rate(None),
+        0.70,
+        0.05,
+    );
+    println!(
+        "  missing cells = {} (paper: complete)",
+        german.frame().missing_cells()
+    );
 
     println!("\n=== propublica/compas (synthetic, n = {COMPAS_FULL_SIZE}) ===");
     let compas = generate_compas(COMPAS_FULL_SIZE, 20_19, CompasProtected::Race).unwrap();
-    check("two-year recidivism rate (real: ~45%)", 1.0 - compas.base_rate(None), 0.45, 0.06);
+    check(
+        "two-year recidivism rate (real: ~45%)",
+        1.0 - compas.base_rate(None),
+        0.45,
+        0.06,
+    );
     check(
         "Caucasian fraction (real: ~34%)",
-        compas.privileged_mask().iter().filter(|&&p| p).count() as f64
-            / compas.n_rows() as f64,
+        compas.privileged_mask().iter().filter(|&&p| p).count() as f64 / compas.n_rows() as f64,
         0.34,
         0.04,
     );

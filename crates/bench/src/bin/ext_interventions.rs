@@ -24,8 +24,7 @@ use fairprep_fairness::inprocess::{
     AdversarialDebiasing, LearnedFairRepresentations, PrejudiceRemover,
 };
 use fairprep_fairness::postprocess::{
-    CalibratedEqOdds, EqOddsPostprocessing, GroupThresholdOptimizer,
-    RejectOptionClassification,
+    CalibratedEqOdds, EqOddsPostprocessing, GroupThresholdOptimizer, RejectOptionClassification,
 };
 use fairprep_fairness::preprocess::{
     DisparateImpactRemover, Massaging, PreferentialSampling, Reweighing,
@@ -49,30 +48,28 @@ const INTERVENTIONS: [&str; 12] = [
 fn apply(builder: ExperimentBuilder, intervention: &str) -> ExperimentBuilder {
     match intervention {
         "pre:reweighing" => builder.preprocessor(Reweighing).tuned_lr(),
-        "pre:di-remover(1.0)" => {
-            builder.preprocessor(DisparateImpactRemover::new(1.0)).tuned_lr()
-        }
+        "pre:di-remover(1.0)" => builder
+            .preprocessor(DisparateImpactRemover::new(1.0))
+            .tuned_lr(),
         "pre:massaging" => builder.preprocessor(Massaging).tuned_lr(),
-        "pre:preferential-sampling" => {
-            builder.preprocessor(PreferentialSampling).tuned_lr()
-        }
-        "in:adversarial" => {
-            builder.learner(InProcessLearner::new(AdversarialDebiasing::default()))
-        }
+        "pre:preferential-sampling" => builder.preprocessor(PreferentialSampling).tuned_lr(),
+        "in:adversarial" => builder.learner(InProcessLearner::new(AdversarialDebiasing::default())),
         "in:prejudice-remover" => {
             builder.learner(InProcessLearner::new(PrejudiceRemover::default()))
         }
-        "in:lfr" => {
-            builder.learner(InProcessLearner::new(LearnedFairRepresentations::default()))
-        }
-        "post:reject-option" => {
-            builder.postprocessor(RejectOptionClassification::default()).tuned_lr()
-        }
-        "post:cal-eq-odds" => builder.postprocessor(CalibratedEqOdds::default()).tuned_lr(),
-        "post:eq-odds" => builder.postprocessor(EqOddsPostprocessing::default()).tuned_lr(),
-        "post:group-thresholds" => {
-            builder.postprocessor(GroupThresholdOptimizer::default()).tuned_lr()
-        }
+        "in:lfr" => builder.learner(InProcessLearner::new(LearnedFairRepresentations::default())),
+        "post:reject-option" => builder
+            .postprocessor(RejectOptionClassification::default())
+            .tuned_lr(),
+        "post:cal-eq-odds" => builder
+            .postprocessor(CalibratedEqOdds::default())
+            .tuned_lr(),
+        "post:eq-odds" => builder
+            .postprocessor(EqOddsPostprocessing::default())
+            .tuned_lr(),
+        "post:group-thresholds" => builder
+            .postprocessor(GroupThresholdOptimizer::default())
+            .tuned_lr(),
         _ => builder.tuned_lr(),
     }
 }
@@ -137,17 +134,16 @@ fn main() {
                     t.differences.average_odds_difference,
                 )
                 .unwrap();
-                points.push((
-                    ix,
-                    t.overall.accuracy,
-                    t.differences.disparate_impact,
-                ));
+                points.push((ix, t.overall.accuracy, t.differences.disparate_impact));
             }
             Err(e) => eprintln!("run {ix} failed: {e}"),
         }
     }
 
-    println!("{:<28} {:<30} {:<30}", "intervention", "accuracy", "disparate impact");
+    println!(
+        "{:<28} {:<30} {:<30}",
+        "intervention", "accuracy", "disparate impact"
+    );
     for &intervention in &INTERVENTIONS {
         let acc: Vec<f64> = points
             .iter()

@@ -138,8 +138,10 @@ fn main() {
                     })
                     .map(|(_, r)| *r)
                     .collect();
-                let acc: Vec<f64> =
-                    points.iter().map(|r| r.test_report.overall.accuracy).collect();
+                let acc: Vec<f64> = points
+                    .iter()
+                    .map(|r| r.test_report.overall.accuracy)
+                    .collect();
                 let di: Vec<f64> = points
                     .iter()
                     .map(|r| r.test_report.differences.disparate_impact)
@@ -219,9 +221,7 @@ fn main() {
             ];
             let lower = fairness_metrics
                 .iter()
-                .filter(|f| {
-                    summarize(&series(true, **f)).std <= summarize(&series(false, **f)).std
-                })
+                .filter(|f| summarize(&series(true, **f)).std <= summarize(&series(false, **f)).std)
                 .count();
             if lower >= 2 {
                 tuned_var_lower += 1;

@@ -36,7 +36,11 @@ fn job(model: &'static str, scaled: bool, intervention: &'static str, seed: u64)
         };
         let builder = Experiment::builder("ricci", dataset)
             .seed(seed)
-            .scaler(if scaled { ScalerSpec::Standard } else { ScalerSpec::NoScaling })
+            .scaler(if scaled {
+                ScalerSpec::Standard
+            } else {
+                ScalerSpec::NoScaling
+            })
             .boxed_learner(learner);
         let builder = match intervention {
             "reweighing" => builder.preprocessor(Reweighing),

@@ -119,19 +119,23 @@ fn main() {
             Ok(r) => {
                 let t = &r.test_report;
                 let (model, imputer, intervention, seed) = specs[ix];
-                let acc_complete =
-                    t.complete_records.as_ref().map_or(f64::NAN, |g| g.accuracy);
-                let acc_imputed =
-                    t.incomplete_records.as_ref().map_or(f64::NAN, |g| g.accuracy);
-                let n_imputed =
-                    t.incomplete_records.as_ref().map_or(0, |g| g.n_instances);
+                let acc_complete = t.complete_records.as_ref().map_or(f64::NAN, |g| g.accuracy);
+                let acc_imputed = t
+                    .incomplete_records
+                    .as_ref()
+                    .map_or(f64::NAN, |g| g.accuracy);
+                let n_imputed = t.incomplete_records.as_ref().map_or(0, |g| g.n_instances);
                 writeln!(
                     file,
                     "{model},{imputer},{intervention},{seed},{},{acc_complete},{acc_imputed},{n_imputed}",
                     t.overall.accuracy
                 )
                 .unwrap();
-                points.push(Point { spec: ix, acc_complete, acc_imputed });
+                points.push(Point {
+                    spec: ix,
+                    acc_complete,
+                    acc_imputed,
+                });
             }
             Err(e) => eprintln!("run {ix} failed: {e}"),
         }
@@ -167,9 +171,7 @@ fn main() {
     // (model, intervention, seed) configuration.
     for &model in &models {
         let mut plot = fairprep_bench::ScatterPlot::new(
-            &format!(
-                "Fig 4: {model} on adult — o = complete records, x = imputed records"
-            ),
+            &format!("Fig 4: {model} on adult — o = complete records, x = imputed records"),
             "accuracy (model-based)",
             "accuracy (mode)",
         );

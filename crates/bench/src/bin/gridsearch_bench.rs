@@ -1,0 +1,107 @@
+//! **Grid-search baseline** — wall-clock comparison of sequential vs
+//! parallel model selection on the paper's logistic-regression grid.
+//!
+//! Runs the same `GridSearchCv` search at several thread counts over a
+//! shared fold cache, checks that every thread count returns bit-identical
+//! scores, and writes the timings plus speedups to
+//! `results/BENCH_gridsearch.json` so regressions show up in review.
+//!
+//! ```text
+//! cargo run --release -p fairprep-bench --bin gridsearch_bench [--full]
+//! ```
+
+use std::io::Write;
+use std::time::Instant;
+
+use fairprep_bench::HarnessArgs;
+use fairprep_data::parallel::available_threads;
+use fairprep_datasets::generate_german;
+use fairprep_ml::selection::{logistic_regression_grid, GridSearchCv, GridSearchOutcome};
+use fairprep_ml::transform::{FittedFeaturizer, ScalerSpec};
+
+const SEED: u64 = 46947;
+const K: usize = 5;
+
+fn median_secs(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = HarnessArgs::parse();
+    let rows = if args.full { 1000 } else { 500 };
+    let repeats = if args.full { 5 } else { 3 };
+
+    let ds = generate_german(rows, 2)?;
+    let featurizer = FittedFeaturizer::fit(&ds, ScalerSpec::Standard)?;
+    let x = featurizer.transform(&ds)?;
+    let y = ds.labels().to_vec();
+    let w = vec![1.0; y.len()];
+    let candidates = logistic_regression_grid();
+
+    println!(
+        "grid search: {} candidates x {K} folds on {rows} rows ({} cores available)",
+        candidates.len(),
+        available_threads()
+    );
+
+    // Always measure the multi-thread points, even on a small machine:
+    // the speedup column then documents what the hardware could deliver
+    // (≈1.0 on a single-core box, ~k on k cores).
+    let thread_counts: Vec<usize> = vec![1, 2, 4, 8];
+
+    let mut reference: Option<GridSearchOutcome> = None;
+    let mut rows_out: Vec<(usize, f64)> = Vec::new();
+    for &threads in &thread_counts {
+        let search = GridSearchCv::new(K).with_threads(threads);
+        let mut samples = Vec::with_capacity(repeats);
+        let mut outcome = None;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            outcome = Some(search.search(&candidates, &x, &y, &w, SEED)?);
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        let outcome = outcome.expect("at least one repeat");
+        match &reference {
+            None => reference = Some(outcome),
+            Some(r) => {
+                assert_eq!(
+                    r.best_candidate, outcome.best_candidate,
+                    "threads={threads} selected a different candidate"
+                );
+                let same = r
+                    .scores
+                    .iter()
+                    .zip(&outcome.scores)
+                    .all(|(a, b)| a.mean_score.to_bits() == b.mean_score.to_bits());
+                assert!(same, "threads={threads} produced different scores");
+            }
+        }
+        let median = median_secs(&mut samples);
+        println!("  threads={threads:<2} median {:.3}s", median);
+        rows_out.push((threads, median));
+    }
+
+    let base = rows_out[0].1;
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"gridsearch\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"folds\": {K},\n  \"repeats\": {repeats},\n  \"available_cores\": {},\n  \"results\": [\n",
+        candidates.len(),
+        available_threads()
+    ));
+    for (i, (threads, median)) in rows_out.iter().enumerate() {
+        let comma = if i + 1 < rows_out.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"median_secs\": {median:.6}, \"speedup\": {:.3}}}{comma}\n",
+            base / median
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all("results")?;
+    let path = "results/BENCH_gridsearch.json";
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(json.as_bytes())?;
+    println!("baseline written : {path}");
+    Ok(())
+}

@@ -99,7 +99,13 @@ pub struct SeriesSummary {
 pub fn summarize(values: &[f64]) -> SeriesSummary {
     let xs: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
     if xs.is_empty() {
-        return SeriesSummary { n: 0, mean: f64::NAN, std: f64::NAN, min: f64::NAN, max: f64::NAN };
+        return SeriesSummary {
+            n: 0,
+            mean: f64::NAN,
+            std: f64::NAN,
+            min: f64::NAN,
+            max: f64::NAN,
+        };
     }
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;

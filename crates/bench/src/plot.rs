@@ -53,8 +53,11 @@ impl ScatterPlot {
     }
 
     fn data_ranges(&self) -> Option<((f64, f64), (f64, f64))> {
-        let all: Vec<(f64, f64)> =
-            self.series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .collect();
         if all.is_empty() {
             return None;
         }
@@ -88,8 +91,7 @@ impl ScatterPlot {
         for (marker, points) in &self.series {
             for &(x, y) in points {
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                let col = (((x - x_lo) / (x_hi - x_lo)).clamp(0.0, 1.0)
-                    * (self.width - 1) as f64)
+                let col = (((x - x_lo) / (x_hi - x_lo)).clamp(0.0, 1.0) * (self.width - 1) as f64)
                     .round() as usize;
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 let row = ((1.0 - ((y - y_lo) / (y_hi - y_lo)).clamp(0.0, 1.0))
@@ -97,7 +99,11 @@ impl ScatterPlot {
                     .round() as usize;
                 let cell = &mut grid[row][col];
                 // Overlap of different series shows as '*'.
-                *cell = if *cell == ' ' || *cell == *marker { *marker } else { '*' };
+                *cell = if *cell == ' ' || *cell == *marker {
+                    *marker
+                } else {
+                    '*'
+                };
             }
         }
         let mut out = String::new();
@@ -126,8 +132,11 @@ impl ScatterPlot {
             self.x_label,
             width = self.width.saturating_sub(20),
         ));
-        let markers: Vec<String> =
-            self.series.iter().map(|(m, pts)| format!("{m} (n={})", pts.len())).collect();
+        let markers: Vec<String> = self
+            .series
+            .iter()
+            .map(|(m, pts)| format!("{m} (n={})", pts.len()))
+            .collect();
         out.push_str(&format!(
             "  {} y: {}   series: {}\n",
             " ".repeat(label_width),
@@ -169,8 +178,7 @@ mod tests {
 
     #[test]
     fn fixed_ranges_respected() {
-        let mut plot =
-            ScatterPlot::new("t", "x", "y").with_ranges((0.0, 2.0), (0.0, 1.0));
+        let mut plot = ScatterPlot::new("t", "x", "y").with_ranges((0.0, 2.0), (0.0, 1.0));
         plot.add_series('o', &[(1.0, 0.5)]);
         let text = plot.render();
         assert!(text.contains("0.00"));
@@ -188,8 +196,7 @@ mod tests {
 
     #[test]
     fn overlapping_series_marked() {
-        let mut plot =
-            ScatterPlot::new("t", "x", "y").with_ranges((0.0, 1.0), (0.0, 1.0));
+        let mut plot = ScatterPlot::new("t", "x", "y").with_ranges((0.0, 1.0), (0.0, 1.0));
         plot.add_series('o', &[(0.5, 0.5)]);
         plot.add_series('x', &[(0.5, 0.5)]);
         assert!(plot.render().contains('*'));

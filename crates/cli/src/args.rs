@@ -50,9 +50,9 @@ impl Invocation {
     pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(raw) =>
-
-                raw.parse().map_err(|_| format!("option --{key}: cannot parse `{raw}`")),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("option --{key}: cannot parse `{raw}`")),
         }
     }
 }

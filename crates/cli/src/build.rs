@@ -16,8 +16,7 @@ use fairprep_fairness::inprocess::{
     AdversarialDebiasing, LearnedFairRepresentations, PrejudiceRemover,
 };
 use fairprep_fairness::postprocess::{
-    CalibratedEqOdds, EqOddsPostprocessing, GroupThresholdOptimizer,
-    RejectOptionClassification,
+    CalibratedEqOdds, EqOddsPostprocessing, GroupThresholdOptimizer, RejectOptionClassification,
 };
 use fairprep_fairness::preprocess::{
     DisparateImpactRemover, Massaging, PreferentialSampling, Reweighing,
@@ -51,8 +50,13 @@ pub const PREPROCESSORS: &[&str] = &[
     "preferential-sampling",
 ];
 /// Post-processor names accepted by `--postprocessor`.
-pub const POSTPROCESSORS: &[&str] =
-    &["none", "reject-option", "cal-eq-odds", "eq-odds", "group-thresholds"];
+pub const POSTPROCESSORS: &[&str] = &[
+    "none",
+    "reject-option",
+    "cal-eq-odds",
+    "eq-odds",
+    "group-thresholds",
+];
 /// Scaler names accepted by `--scaler`.
 pub const SCALERS: &[&str] = &["standard", "min-max", "none"];
 
@@ -66,7 +70,9 @@ pub fn load_dataset(name: &str, n: usize, gen_seed: u64) -> Result<BinaryLabelDa
         "ricci" => generate_ricci(pick(RICCI_FULL_SIZE), gen_seed),
         "payment" => generate_payment(pick(2000), gen_seed),
         other => {
-            return Err(format!("unknown dataset `{other}` (expected one of {DATASETS:?})"))
+            return Err(format!(
+                "unknown dataset `{other}` (expected one of {DATASETS:?})"
+            ))
         }
     };
     result.map_err(|e| e.to_string())
@@ -89,15 +95,9 @@ pub fn configure(
         "dt-tuned" => builder.learner(DecisionTreeLearner { tuned: true }),
         "nb" => builder.learner(NaiveBayesLearner),
         "forest" => builder.learner(RandomForestLearner::default()),
-        "adversarial" => {
-            builder.learner(InProcessLearner::new(AdversarialDebiasing::default()))
-        }
-        "prejudice-remover" => {
-            builder.learner(InProcessLearner::new(PrejudiceRemover::default()))
-        }
-        "lfr" => {
-            builder.learner(InProcessLearner::new(LearnedFairRepresentations::default()))
-        }
+        "adversarial" => builder.learner(InProcessLearner::new(AdversarialDebiasing::default())),
+        "prejudice-remover" => builder.learner(InProcessLearner::new(PrejudiceRemover::default())),
+        "lfr" => builder.learner(InProcessLearner::new(LearnedFairRepresentations::default())),
         other => return Err(format!("unknown learner `{other}` (expected {LEARNERS:?})")),
     };
     builder = match missing {
@@ -184,15 +184,13 @@ mod tests {
         for pre in PREPROCESSORS {
             for post in POSTPROCESSORS {
                 let ds = load_dataset("german", 60, 1).unwrap();
-                let exp =
-                    configure(Exp::builder("g", ds), "dt", "mode", pre, post, "standard");
+                let exp = configure(Exp::builder("g", ds), "dt", "mode", pre, post, "standard");
                 assert!(exp.is_ok(), "pre {pre} post {post}");
             }
         }
         for scaler in SCALERS {
             let ds = load_dataset("german", 60, 1).unwrap();
-            assert!(configure(Exp::builder("g", ds), "dt", "mode", "none", "none", scaler)
-                .is_ok());
+            assert!(configure(Exp::builder("g", ds), "dt", "mode", "none", "none", scaler).is_ok());
         }
     }
 
@@ -254,14 +252,22 @@ pub fn load_csv_dataset(
     for c in &categorical_cols {
         kinds.push((c, ColumnKind::Categorical));
     }
-    if !numeric_cols.iter().chain(&categorical_cols).any(|c| c == protected) {
+    if !numeric_cols
+        .iter()
+        .chain(&categorical_cols)
+        .any(|c| c == protected)
+    {
         kinds.push((protected, ColumnKind::Categorical));
     }
     kinds.push((label, ColumnKind::Categorical));
 
     let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    let frame = read_csv(std::io::BufReader::new(file), &kinds, DEFAULT_MISSING_TOKENS)
-        .map_err(|e| e.to_string())?;
+    let frame = read_csv(
+        std::io::BufReader::new(file),
+        &kinds,
+        DEFAULT_MISSING_TOKENS,
+    )
+    .map_err(|e| e.to_string())?;
 
     let mut schema = Schema::new();
     for c in &numeric_cols {
@@ -276,10 +282,11 @@ pub fn load_csv_dataset(
         }
         schema = schema.categorical_feature(c);
     }
-    schema = schema.metadata(protected, ColumnKind::Categorical).label(label);
+    schema = schema
+        .metadata(protected, ColumnKind::Categorical)
+        .label(label);
 
-    let privileged_refs: Vec<&str> =
-        privileged_values.iter().map(String::as_str).collect();
+    let privileged_refs: Vec<&str> = privileged_values.iter().map(String::as_str).collect();
     BinaryLabelDataset::new(
         frame,
         schema,
@@ -301,9 +308,16 @@ mod csv_tests {
             let age = 20 + (i * 3) % 45;
             let job = if i % 3 == 0 { "clerk" } else { "chef" };
             // Missing age sometimes.
-            let age_field =
-                if i % 10 == 0 { String::new() } else { age.to_string() };
-            let income = if age + i32::from(male) * 10 > 45 { "high" } else { "low" };
+            let age_field = if i % 10 == 0 {
+                String::new()
+            } else {
+                age.to_string()
+            };
+            let income = if age + i32::from(male) * 10 > 45 {
+                "high"
+            } else {
+                "low"
+            };
             csv.push_str(&format!(
                 "{age_field},{job},{},{income}\n",
                 if male { "m" } else { "f" }
@@ -364,19 +378,38 @@ mod csv_tests {
 
     #[test]
     fn csv_errors_are_informative() {
-        assert!(load_csv_dataset("/no/such/file.csv", "a", "", "y", "p", "g", "x")
-            .unwrap_err()
-            .contains("/no/such/file.csv"));
+        assert!(
+            load_csv_dataset("/no/such/file.csv", "a", "", "y", "p", "g", "x")
+                .unwrap_err()
+                .contains("/no/such/file.csv")
+        );
         let path = write_fixture();
         // No features.
-        assert!(load_csv_dataset(path.to_str().unwrap(), "", "", "income", "high", "sex", "m")
-            .is_err());
+        assert!(
+            load_csv_dataset(path.to_str().unwrap(), "", "", "income", "high", "sex", "m").is_err()
+        );
         // No privileged values.
-        assert!(load_csv_dataset(path.to_str().unwrap(), "age", "", "income", "high", "sex", "")
-            .is_err());
+        assert!(load_csv_dataset(
+            path.to_str().unwrap(),
+            "age",
+            "",
+            "income",
+            "high",
+            "sex",
+            ""
+        )
+        .is_err());
         // Unknown column.
-        assert!(load_csv_dataset(path.to_str().unwrap(), "zzz", "", "income", "high", "sex", "m")
-            .is_err());
+        assert!(load_csv_dataset(
+            path.to_str().unwrap(),
+            "zzz",
+            "",
+            "income",
+            "high",
+            "sex",
+            "m"
+        )
+        .is_err());
         std::fs::remove_file(&path).ok();
     }
 }

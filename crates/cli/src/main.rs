@@ -49,7 +49,11 @@ OPTIONS (run / sweep / audit):
   --seed           master seed (run)                               [46947]
   --seeds          seed count (sweep)                              [8]
   --rows           dataset rows, 0 = full documented size          [0]
-  --threads        sweep worker threads                            [4]
+  --threads        worker threads; a sweep splits them between
+                   concurrent seeds and each run's internal
+                   cross-validation, a single run hands them all
+                   to cross-validation. Results are identical
+                   at any thread count.                 [sweep 4, run 1]
   --out            metric CSV path (run)                           [-]
 ";
 
@@ -99,13 +103,18 @@ fn load_any_dataset(
     } else {
         let dataset_name = inv.require("dataset")?;
         let rows = inv.parse_or::<usize>("rows", 0)?;
-        Ok((dataset_name.to_string(), build::load_dataset(dataset_name, rows, 20_19)?))
+        Ok((
+            dataset_name.to_string(),
+            build::load_dataset(dataset_name, rows, 20_19)?,
+        ))
     }
 }
 
-fn build_experiment(inv: &Invocation, seed: u64) -> Result<Experiment, String> {
+fn build_experiment(inv: &Invocation, seed: u64, cv_threads: usize) -> Result<Experiment, String> {
     let (dataset_name, dataset) = load_any_dataset(inv)?;
-    let builder = Experiment::builder(&dataset_name, dataset).seed(seed);
+    let builder = Experiment::builder(&dataset_name, dataset)
+        .seed(seed)
+        .threads(cv_threads);
     build::configure(
         builder,
         inv.get_or("learner", "lr-tuned"),
@@ -118,13 +127,19 @@ fn build_experiment(inv: &Invocation, seed: u64) -> Result<Experiment, String> {
 
 fn cmd_run(inv: &Invocation) -> Result<(), String> {
     let seed = inv.parse_or::<u64>("seed", 46947)?;
-    let experiment = build_experiment(inv, seed)?;
+    // A single run has no outer parallelism, so the whole thread budget
+    // goes to the model-selection cross-validation.
+    let threads = inv.parse_or::<usize>("threads", 1)?;
+    let experiment = build_experiment(inv, seed, threads)?;
     let result = experiment.run().map_err(|e| e.to_string())?;
 
     let t = &result.test_report;
     println!("experiment      : {}", result.metadata.experiment);
     println!("seed            : {}", result.metadata.seed);
-    println!("selected model  : {}", result.metadata.candidates[result.metadata.selected]);
+    println!(
+        "selected model  : {}",
+        result.metadata.candidates[result.metadata.selected]
+    );
     println!(
         "partitions      : train {} / validation {} / test {}",
         result.metadata.partition_sizes.0,
@@ -135,12 +150,17 @@ fn cmd_run(inv: &Invocation) -> Result<(), String> {
     println!("  privileged    : {:.4}", t.privileged.accuracy);
     println!("  unprivileged  : {:.4}", t.unprivileged.accuracy);
     println!("disparate impact: {:.4}", t.differences.disparate_impact);
-    println!("SPD / EOD / AOD : {:+.4} / {:+.4} / {:+.4}",
+    println!(
+        "SPD / EOD / AOD : {:+.4} / {:+.4} / {:+.4}",
         t.differences.statistical_parity_difference,
         t.differences.equal_opportunity_difference,
-        t.differences.average_odds_difference);
+        t.differences.average_odds_difference
+    );
     if let Some(inc) = &t.incomplete_records {
-        println!("imputed records : {} (accuracy {:.4})", inc.n_instances, inc.accuracy);
+        println!(
+            "imputed records : {} (accuracy {:.4})",
+            inc.n_instances, inc.accuracy
+        );
     }
 
     match inv.get_or("out", "-") {
@@ -168,17 +188,22 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
         })
         .collect();
 
-    println!("sweeping {n_seeds} seeds on {threads} threads...");
+    // Split the budget between the two levels: concurrent seeds on the
+    // outside, cross-validation threads inside each run. The product never
+    // exceeds the requested thread count, so cores are not oversubscribed.
+    let (outer, inner) = fairprep_data::parallel::split_budget(threads, seeds.len());
+    println!("sweeping {n_seeds} seeds on {outer}x{inner} threads (runs x cv)...");
     let results = repeated_evaluation(
         |seed| {
-            build_experiment(inv, seed)
-                .map_err(|m| fairprep_data::error::Error::InvalidParameter {
+            build_experiment(inv, seed, inner).map_err(|m| {
+                fairprep_data::error::Error::InvalidParameter {
                     name: "cli",
                     message: m,
-                })
+                }
+            })
         },
         &seeds,
-        threads,
+        outer,
     );
     let failures = results.iter().filter(|r| r.is_err()).count();
     if failures == results.len() {
@@ -220,10 +245,16 @@ fn cmd_audit(inv: &Invocation) -> Result<(), String> {
     let (dataset_name, dataset) = load_any_dataset(inv)?;
     let dataset_name = dataset_name.as_str();
 
-    println!("dataset          : {dataset_name} ({} rows)", dataset.n_rows());
+    println!(
+        "dataset          : {dataset_name} ({} rows)",
+        dataset.n_rows()
+    );
     let m = DatasetMetrics::compute(&dataset).map_err(|e| e.to_string())?;
-    println!("privileged rows  : {} ({:.1}%)", m.n_privileged,
-        100.0 * m.n_privileged as f64 / m.n_instances as f64);
+    println!(
+        "privileged rows  : {} ({:.1}%)",
+        m.n_privileged,
+        100.0 * m.n_privileged as f64 / m.n_instances as f64
+    );
     println!("base rate        : {:.4}", m.base_rate);
     println!("  privileged     : {:.4}", m.privileged_base_rate);
     println!("  unprivileged   : {:.4}", m.unprivileged_base_rate);
@@ -231,8 +262,7 @@ fn cmd_audit(inv: &Invocation) -> Result<(), String> {
     println!("label SPD        : {:+.4}", m.statistical_parity_difference);
 
     let rates = missing_rates(dataset.frame());
-    let with_missing: Vec<&(String, f64)> =
-        rates.iter().filter(|(_, r)| *r > 0.0).collect();
+    let with_missing: Vec<&(String, f64)> = rates.iter().filter(|(_, r)| *r > 0.0).collect();
     if with_missing.is_empty() {
         println!("missing values   : none");
     } else {
@@ -298,8 +328,7 @@ mod tests {
 
     #[test]
     fn bad_component_name_is_reported() {
-        let err = execute(&argv("run --dataset german --rows 100 --learner zzz"))
-            .unwrap_err();
+        let err = execute(&argv("run --dataset german --rows 100 --learner zzz")).unwrap_err();
         assert!(err.contains("unknown learner"));
     }
 
@@ -328,7 +357,11 @@ mod csv_cli_tests {
         for i in 0..150 {
             let g = if i % 2 == 0 { "x" } else { "y" };
             let score = 30 + (i * 7) % 60;
-            let outcome = if score + (i % 2) * 10 > 60 { "good" } else { "bad" };
+            let outcome = if score + (i % 2) * 10 > 60 {
+                "good"
+            } else {
+                "bad"
+            };
             csv.push_str(&format!("{score},{g},{outcome}\n"));
         }
         std::fs::write(&path, csv).unwrap();

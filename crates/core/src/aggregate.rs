@@ -69,7 +69,10 @@ impl SweepAggregator {
 
     /// Adds a run under an explicit group key.
     pub fn add_with_key(&mut self, key: &str, result: &RunResult) {
-        self.groups.entry(key.to_string()).or_default().push(result.test_metrics());
+        self.groups
+            .entry(key.to_string())
+            .or_default()
+            .push(result.test_metrics());
     }
 
     /// Adds a run, keyed by its configuration metadata
@@ -79,11 +82,7 @@ impl SweepAggregator {
         let m = &result.metadata;
         let key = format!(
             "{}|{}|{}|{}|{}",
-            m.preprocessor,
-            m.postprocessor,
-            m.candidates[m.selected],
-            m.missing_handler,
-            m.scaler
+            m.preprocessor, m.postprocessor, m.candidates[m.selected], m.missing_handler, m.scaler
         );
         self.add_with_key(&key, result);
     }
@@ -107,8 +106,10 @@ impl SweepAggregator {
         if !self.metrics.iter().any(|m| m == metric) {
             return None;
         }
-        let values: Vec<f64> =
-            runs.iter().map(|m| m.get(metric).copied().unwrap_or(f64::NAN)).collect();
+        let values: Vec<f64> = runs
+            .iter()
+            .map(|m| m.get(metric).copied().unwrap_or(f64::NAN))
+            .collect();
         Some(MetricDistribution::from_values(&values))
     }
 
@@ -140,7 +141,11 @@ mod tests {
         let builder = Experiment::builder("german", generate_german(150, 1).unwrap())
             .seed(seed)
             .learner(DecisionTreeLearner { tuned: false });
-        let builder = if reweigh { builder.preprocessor(Reweighing) } else { builder };
+        let builder = if reweigh {
+            builder.preprocessor(Reweighing)
+        } else {
+            builder
+        };
         builder.build().unwrap().run().unwrap()
     }
 
@@ -200,9 +205,7 @@ mod tests {
 /// `build` constructs the experiment for a given seed (experiments are
 /// consumed by `run`, so one must be built per seed).
 pub fn repeated_evaluation(
-    build: impl Fn(u64) -> fairprep_data::error::Result<crate::experiment::Experiment>
-        + Send
-        + Sync,
+    build: impl Fn(u64) -> fairprep_data::error::Result<crate::experiment::Experiment> + Send + Sync,
     seeds: &[u64],
     threads: usize,
 ) -> Vec<fairprep_data::error::Result<RunResult>> {

@@ -111,6 +111,7 @@ pub struct Experiment {
     pub(crate) postprocessor: Option<Box<dyn Postprocessor>>,
     pub(crate) selector: Box<dyn ModelSelector>,
     pub(crate) stratified: bool,
+    pub(crate) threads: usize,
 }
 
 impl Experiment {
@@ -134,6 +135,7 @@ impl Experiment {
                 postprocessor: None,
                 selector: Box::new(MaxValidationAccuracy),
                 stratified: false,
+                threads: 1,
             },
         }
     }
@@ -164,6 +166,18 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Sets the worker-thread budget handed to learners that parallelize
+    /// internally (cross-validated grid search). All results are
+    /// bit-identical at every budget; this is purely a wall-clock knob.
+    /// Sweeps typically split the machine's cores between concurrent runs
+    /// and this inner budget via
+    /// [`fairprep_data::parallel::split_budget`].
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.inner.threads = threads.max(1);
+        self
+    }
+
     /// Stratifies the split by (label x group) cell — recommended for tiny
     /// datasets where a plain random split can lose a rare cell entirely.
     #[must_use]
@@ -181,10 +195,7 @@ impl ExperimentBuilder {
 
     /// Sets the missing-value handling strategy.
     #[must_use]
-    pub fn missing_value_handler(
-        mut self,
-        handler: impl MissingValueHandler + 'static,
-    ) -> Self {
+    pub fn missing_value_handler(mut self, handler: impl MissingValueHandler + 'static) -> Self {
         self.inner.missing_handler = Box::new(handler);
         self
     }
@@ -275,7 +286,10 @@ mod tests {
     fn max_accuracy_selector_picks_best() {
         let worse = eval(&[1.0, 0.0, 1.0, 0.0], &[0.0, 0.0, 0.0, 0.0]); // acc 0.5
         let better = eval(&[1.0, 0.0, 1.0, 0.0], &[1.0, 0.0, 1.0, 0.0]); // acc 1.0
-        assert_eq!(MaxValidationAccuracy.select(&[worse.clone(), better.clone()]), 1);
+        assert_eq!(
+            MaxValidationAccuracy.select(&[worse.clone(), better.clone()]),
+            1
+        );
         assert_eq!(MaxValidationAccuracy.select(&[better, worse]), 0);
     }
 
@@ -285,14 +299,20 @@ mod tests {
         // group (DI = 0). Candidate 1: less accurate, parity (DI = 1).
         let unfair = eval(&[1.0, 0.0, 1.0, 0.0], &[1.0, 0.0, 1.0, 0.0]);
         let fair = eval(&[1.0, 0.0, 1.0, 0.0], &[1.0, 1.0, 0.0, 0.0]);
-        let selector = AccuracyUnderDiBound { max_di_deviation: 0.2 };
+        let selector = AccuracyUnderDiBound {
+            max_di_deviation: 0.2,
+        };
         let choice = selector.select(&[unfair.clone(), fair.clone()]);
         let di_unfair = unfair.validation_report.differences.disparate_impact;
         let di_fair = fair.validation_report.differences.disparate_impact;
         // Whichever candidate satisfies the bound must win; verify the
         // selector's choice is the one with DI closer to 1.
         let dev = |di: f64| (di - 1.0).abs();
-        let expected = if dev(di_unfair) <= 0.2 && dev(di_unfair) <= dev(di_fair) { 0 } else { 1 };
+        let expected = if dev(di_unfair) <= 0.2 && dev(di_unfair) <= dev(di_fair) {
+            0
+        } else {
+            1
+        };
         assert_eq!(choice, expected);
     }
 
@@ -320,7 +340,11 @@ mod tests {
         let ds = generate_german(50, 1).unwrap();
         let bad = Experiment::builder("g", ds)
             .learner(DecisionTreeLearner { tuned: false })
-            .split(SplitSpec { train: 0.5, validation: 0.1, test: 0.1 })
+            .split(SplitSpec {
+                train: 0.5,
+                validation: 0.1,
+                test: 0.1,
+            })
             .build();
         assert!(bad.is_err());
     }

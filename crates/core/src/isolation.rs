@@ -22,9 +22,13 @@ pub struct TestSetVault {
 impl TestSetVault {
     /// Seals a test partition. Only the lifecycle constructs vaults.
     pub(crate) fn seal(data: BinaryLabelDataset) -> Self {
-        let incomplete_mask: Vec<bool> =
-            (0..data.n_rows()).map(|i| data.frame().row_has_missing(i)).collect();
-        TestSetVault { data, incomplete_mask }
+        let incomplete_mask: Vec<bool> = (0..data.n_rows())
+            .map(|i| data.frame().row_has_missing(i))
+            .collect();
+        TestSetVault {
+            data,
+            incomplete_mask,
+        }
     }
 
     /// Number of held-out instances (aggregate — safe to expose).

@@ -37,6 +37,21 @@ pub trait Learner: Send + Sync {
         train: &BinaryLabelDataset,
         seed: u64,
     ) -> Result<Box<dyn FittedClassifier>>;
+
+    /// Like [`fit_model`](Learner::fit_model), with a worker-thread budget
+    /// for learners that parallelize internally (cross-validated searches).
+    /// Results are bit-identical at every budget; the default ignores the
+    /// budget and runs sequentially.
+    fn fit_model_with_threads(
+        &self,
+        x: &Matrix,
+        train: &BinaryLabelDataset,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Box<dyn FittedClassifier>> {
+        let _ = threads;
+        self.fit_model(x, train, seed)
+    }
 }
 
 /// Baseline logistic regression, in the paper's two §5.1 variants:
@@ -50,7 +65,10 @@ pub struct LogisticRegressionLearner {
 
 impl Learner for LogisticRegressionLearner {
     fn name(&self) -> String {
-        format!("logistic_regression({})", if self.tuned { "tuned" } else { "default" })
+        format!(
+            "logistic_regression({})",
+            if self.tuned { "tuned" } else { "default" }
+        )
     }
 
     fn fit_model(
@@ -59,9 +77,19 @@ impl Learner for LogisticRegressionLearner {
         train: &BinaryLabelDataset,
         seed: u64,
     ) -> Result<Box<dyn FittedClassifier>> {
+        self.fit_model_with_threads(x, train, seed, 1)
+    }
+
+    fn fit_model_with_threads(
+        &self,
+        x: &Matrix,
+        train: &BinaryLabelDataset,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Box<dyn FittedClassifier>> {
         let weights = train.instance_weights();
         if self.tuned {
-            let outcome = GridSearchCv::new(5).search(
+            let outcome = GridSearchCv::new(5).with_threads(threads).search(
                 &logistic_regression_grid(),
                 x,
                 train.labels(),
@@ -85,7 +113,10 @@ pub struct DecisionTreeLearner {
 
 impl Learner for DecisionTreeLearner {
     fn name(&self) -> String {
-        format!("decision_tree({})", if self.tuned { "tuned" } else { "default" })
+        format!(
+            "decision_tree({})",
+            if self.tuned { "tuned" } else { "default" }
+        )
     }
 
     fn fit_model(
@@ -94,9 +125,19 @@ impl Learner for DecisionTreeLearner {
         train: &BinaryLabelDataset,
         seed: u64,
     ) -> Result<Box<dyn FittedClassifier>> {
+        self.fit_model_with_threads(x, train, seed, 1)
+    }
+
+    fn fit_model_with_threads(
+        &self,
+        x: &Matrix,
+        train: &BinaryLabelDataset,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Box<dyn FittedClassifier>> {
         let weights = train.instance_weights();
         if self.tuned {
-            let outcome = GridSearchCv::new(5).search(
+            let outcome = GridSearchCv::new(5).with_threads(threads).search(
                 &decision_tree_grid(),
                 x,
                 train.labels(),
@@ -130,13 +171,25 @@ impl Learner for RandomizedDecisionTreeLearner {
         train: &BinaryLabelDataset,
         seed: u64,
     ) -> Result<Box<dyn FittedClassifier>> {
-        let outcome = RandomizedSearchCv::new(5, self.n_iter).search(
-            &decision_tree_grid(),
-            x,
-            train.labels(),
-            train.instance_weights(),
-            seed,
-        )?;
+        self.fit_model_with_threads(x, train, seed, 1)
+    }
+
+    fn fit_model_with_threads(
+        &self,
+        x: &Matrix,
+        train: &BinaryLabelDataset,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Box<dyn FittedClassifier>> {
+        let outcome = RandomizedSearchCv::new(5, self.n_iter)
+            .with_threads(threads)
+            .search(
+                &decision_tree_grid(),
+                x,
+                train.labels(),
+                train.instance_weights(),
+                seed,
+            )?;
         Ok(outcome.best_model)
     }
 }
@@ -242,7 +295,8 @@ impl<C: Classifier> Learner for ClassifierLearner<C> {
         train: &BinaryLabelDataset,
         seed: u64,
     ) -> Result<Box<dyn FittedClassifier>> {
-        self.inner.fit(x, train.labels(), train.instance_weights(), seed)
+        self.inner
+            .fit(x, train.labels(), train.instance_weights(), seed)
     }
 }
 
@@ -254,7 +308,7 @@ mod tests {
     use fairprep_ml::transform::{FittedFeaturizer, ScalerSpec};
 
     fn featurized() -> (Matrix, BinaryLabelDataset) {
-        let ds = generate_german(200, 3).unwrap();
+        let ds = generate_german(200, 5).unwrap();
         let f = FittedFeaturizer::fit(&ds, ScalerSpec::Standard).unwrap();
         let x = f.transform(&ds).unwrap();
         (x, ds)
@@ -271,7 +325,11 @@ mod tests {
             let model = learner.fit_model(&x, &ds, 7).unwrap();
             let preds = model.predict(&x).unwrap();
             assert_eq!(preds.len(), 200, "{}", learner.name());
-            let acc = preds.iter().zip(ds.labels()).filter(|(p, t)| p == t).count() as f64
+            let acc = preds
+                .iter()
+                .zip(ds.labels())
+                .filter(|(p, t)| p == t)
+                .count() as f64
                 / 200.0;
             assert!(acc > 0.55, "{} accuracy {acc}", learner.name());
         }
@@ -280,11 +338,16 @@ mod tests {
     #[test]
     fn tuned_logistic_regression_runs_grid_search() {
         let (x, ds) = featurized();
-        let model =
-            LogisticRegressionLearner { tuned: true }.fit_model(&x, &ds, 5).unwrap();
+        let model = LogisticRegressionLearner { tuned: true }
+            .fit_model(&x, &ds, 5)
+            .unwrap();
         let preds = model.predict(&x).unwrap();
-        let acc =
-            preds.iter().zip(ds.labels()).filter(|(p, t)| p == t).count() as f64 / 200.0;
+        let acc = preds
+            .iter()
+            .zip(ds.labels())
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / 200.0;
         assert!(acc > 0.6, "tuned LR accuracy {acc}");
     }
 
@@ -333,7 +396,11 @@ mod randomized_learner_tests {
         let learner = RandomizedDecisionTreeLearner { n_iter: 8 };
         let model = learner.fit_model(&x, &ds, 4).unwrap();
         let preds = model.predict(&x).unwrap();
-        let acc = preds.iter().zip(ds.labels()).filter(|(p, t)| p == t).count() as f64
+        let acc = preds
+            .iter()
+            .zip(ds.labels())
+            .filter(|(p, t)| p == t)
+            .count() as f64
             / 250.0;
         assert!(acc > 0.6, "accuracy {acc}");
         assert_eq!(learner.name(), "decision_tree(randomized:8)");

@@ -59,18 +59,17 @@ pub mod runner;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
+    pub use crate::aggregate::{
+        metric_across_runs, repeated_evaluation, MetricDistribution, SweepAggregator,
+    };
     pub use crate::experiment::{
-        AccuracyUnderDiBound, Experiment, ExperimentBuilder, MaxValidationAccuracy,
-        ModelSelector,
+        AccuracyUnderDiBound, Experiment, ExperimentBuilder, MaxValidationAccuracy, ModelSelector,
     };
     pub use crate::isolation::TestSetVault;
     pub use crate::learners::{
         ClassifierLearner, DecisionTreeLearner, InProcessLearner, Learner,
         LogisticRegressionLearner, NaiveBayesLearner, RandomForestLearner,
         RandomizedDecisionTreeLearner,
-    };
-    pub use crate::aggregate::{
-        metric_across_runs, repeated_evaluation, MetricDistribution, SweepAggregator,
     };
     pub use crate::results::{CandidateEvaluation, RunMetadata, RunResult, SweepWriter};
     pub use crate::runner::{count_ok, run_parallel, Job};

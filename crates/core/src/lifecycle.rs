@@ -59,8 +59,9 @@ impl FittedPipeline {
     /// feature-repairing part of the intervention, featurize with
     /// *training* statistics, score, and (if fitted) post-process.
     fn evaluate(&self, data: &BinaryLabelDataset) -> Result<EvaluatedSplit> {
-        let incomplete_before: Vec<bool> =
-            (0..data.n_rows()).map(|i| data.frame().row_has_missing(i)).collect();
+        let incomplete_before: Vec<bool> = (0..data.n_rows())
+            .map(|i| data.frame().row_has_missing(i))
+            .collect();
         let completed = self.missing_handler.handle_missing(data)?;
         let incomplete = if self.missing_handler.removes_records() {
             None
@@ -73,7 +74,10 @@ impl FittedPipeline {
         let privileged = repaired.privileged_mask().to_vec();
         let y_pred = match &self.postprocessor {
             Some(post) => post.adjust(&scores, &privileged)?,
-            None => scores.iter().map(|&s| f64::from(u8::from(s > 0.5))).collect(),
+            None => scores
+                .iter()
+                .map(|&s| f64::from(u8::from(s > 0.5)))
+                .collect(),
         };
         Ok(EvaluatedSplit {
             y_true: repaired.labels().to_vec(),
@@ -117,19 +121,28 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
     };
     lineage.push(format!(
         "phase1: {} split {}/{}/{} (seed {seed})",
-        if exp.stratified { "stratified" } else { "random" },
+        if exp.stratified {
+            "stratified"
+        } else {
+            "random"
+        },
         split.train.n_rows(),
         split.validation.n_rows(),
         split.test.n_rows(),
     ));
-    let partition_sizes =
-        (split.train.n_rows(), split.validation.n_rows(), split.test.n_rows());
+    let partition_sizes = (
+        split.train.n_rows(),
+        split.validation.n_rows(),
+        split.test.n_rows(),
+    );
     let vault = TestSetVault::seal(split.test);
     let raw_train = split.train;
     let raw_validation = split.validation;
 
     // ---------------- Phase 1: fit every candidate ----------------
-    let resampled = exp.resampler.resample(&raw_train, derive_seed(seed, "resampler"))?;
+    let resampled = exp
+        .resampler
+        .resample(&raw_train, derive_seed(seed, "resampler"))?;
     lineage.push(format!(
         "phase1: resample with {} ({} -> {} rows)",
         exp.resampler.name(),
@@ -161,9 +174,10 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
         // applied on the completed *relational* data before featurization,
         // because repairs are defined on raw attribute domains; for affine
         // scalers the two orders are equivalent.
-        let preprocessor = exp
-            .preprocessor
-            .fit(&completed_train, derive_seed(candidate_seed, "preprocessor"))?;
+        let preprocessor = exp.preprocessor.fit(
+            &completed_train,
+            derive_seed(candidate_seed, "preprocessor"),
+        )?;
         let train = preprocessor.transform_train(&completed_train)?;
         if c_ix == 0 {
             lineage.push(format!(
@@ -184,10 +198,18 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
             ));
         }
 
-        // Model training.
-        let model =
-            learner.fit_model(&x_train, &train, derive_seed(candidate_seed, "learner"))?;
-        lineage.push(format!("phase1: train candidate {c_ix} ({})", learner.name()));
+        // Model training, with the experiment's inner thread budget for
+        // learners that cross-validate internally.
+        let model = learner.fit_model_with_threads(
+            &x_train,
+            &train,
+            derive_seed(candidate_seed, "learner"),
+            exp.threads,
+        )?;
+        lineage.push(format!(
+            "phase1: train candidate {c_ix} ({})",
+            learner.name()
+        ));
 
         // Replay the chain on the validation set.
         let mut pipeline = FittedPipeline {
@@ -285,7 +307,10 @@ impl FittedPipeline {
         let privileged = train.privileged_mask().to_vec();
         let y_pred = match &self.postprocessor {
             Some(post) => post.adjust(&scores, &privileged)?,
-            None => scores.iter().map(|&s| f64::from(u8::from(s > 0.5))).collect(),
+            None => scores
+                .iter()
+                .map(|&s| f64::from(u8::from(s > 0.5)))
+                .collect(),
         };
         Ok(EvaluatedSplit {
             y_true: train.labels().to_vec(),
@@ -369,7 +394,10 @@ mod tests {
         let a = run(1);
         let b = run(2);
         // Metric equality across different splits would be a miracle.
-        assert_ne!(a.test_report.overall.to_map(), b.test_report.overall.to_map());
+        assert_ne!(
+            a.test_report.overall.to_map(),
+            b.test_report.overall.to_map()
+        );
     }
 
     #[test]
@@ -402,9 +430,7 @@ mod tests {
             .unwrap();
         assert!(result.test_report.incomplete_records.is_none());
         // Fewer test rows evaluated than held out (incomplete ones removed).
-        assert!(
-            result.test_report.overall.n_instances < result.metadata.partition_sizes.2
-        );
+        assert!(result.test_report.overall.n_instances < result.metadata.partition_sizes.2);
     }
 
     #[test]
@@ -478,8 +504,14 @@ mod lineage_tests {
         assert!(joined.contains("on validation predictions only"));
         assert!(joined.contains("sealed test set"));
         // Phases appear in order.
-        let p2 = lineage.iter().position(|s| s.starts_with("phase2")).unwrap();
-        let p3 = lineage.iter().position(|s| s.starts_with("phase3")).unwrap();
+        let p2 = lineage
+            .iter()
+            .position(|s| s.starts_with("phase2"))
+            .unwrap();
+        let p3 = lineage
+            .iter()
+            .position(|s| s.starts_with("phase3"))
+            .unwrap();
         assert!(lineage.iter().take(p2).all(|s| s.starts_with("phase1")));
         assert!(p2 < p3);
         assert_eq!(p3, lineage.len() - 1);

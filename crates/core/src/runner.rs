@@ -2,15 +2,14 @@
 //!
 //! The paper's experiments execute hundreds to thousands of runs (1,344 in
 //! §5.1; 216 in §5.2; 530 in §5.3). [`run_parallel`] distributes
-//! independent experiment jobs over a fixed-size pool of scoped threads —
-//! no extra dependency needed — and returns results in submission order.
-//! Each job owns its configuration (experiments are built inside the job
-//! closure), so runs cannot share mutable state by construction.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! independent experiment jobs over the shared work-stealing pool
+//! ([`fairprep_data::parallel::parallel_map`]) and returns results in
+//! submission order. Each job owns its configuration (experiments are
+//! built inside the job closure), so runs cannot share mutable state by
+//! construction.
 
 use fairprep_data::error::Result;
+use fairprep_data::parallel::parallel_map;
 
 use crate::results::RunResult;
 
@@ -22,42 +21,7 @@ pub type Job = Box<dyn FnOnce() -> Result<RunResult> + Send>;
 /// a sweep records the failure and continues.
 #[must_use]
 pub fn run_parallel(jobs: Vec<Job>, threads: usize) -> Vec<Result<RunResult>> {
-    let n = jobs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, n);
-    if threads == 1 {
-        return jobs.into_iter().map(|job| job()).collect();
-    }
-
-    let queue: Mutex<Vec<Option<Job>>> =
-        Mutex::new(jobs.into_iter().map(Some).collect());
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<RunResult>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let ix = next.fetch_add(1, Ordering::Relaxed);
-                if ix >= n {
-                    break;
-                }
-                let job = {
-                    let mut q = queue.lock().expect("queue poisoned");
-                    q[ix].take().expect("job taken once")
-                };
-                let outcome = job();
-                *results[ix].lock().expect("slot poisoned") = Some(outcome);
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("slot poisoned").expect("job ran"))
-        .collect()
+    parallel_map(jobs, threads, |job| job())
 }
 
 /// Convenience: total number of successful runs in a sweep outcome.
@@ -86,8 +50,7 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let seeds = [1u64, 2, 3, 4, 5, 6];
-        let sequential: Vec<_> =
-            run_parallel(seeds.iter().map(|&s| job(s)).collect(), 1);
+        let sequential: Vec<_> = run_parallel(seeds.iter().map(|&s| job(s)).collect(), 1);
         let parallel: Vec<_> = run_parallel(seeds.iter().map(|&s| job(s)).collect(), 4);
         assert_eq!(sequential.len(), parallel.len());
         for (a, b) in sequential.iter().zip(&parallel) {
@@ -111,9 +74,7 @@ mod tests {
     fn failures_are_reported_in_place() {
         let jobs: Vec<Job> = vec![
             job(1),
-            Box::new(|| {
-                Err(fairprep_data::error::Error::EmptyData("boom".to_string()))
-            }),
+            Box::new(|| Err(fairprep_data::error::Error::EmptyData("boom".to_string()))),
             job(2),
         ];
         let results = run_parallel(jobs, 2);

@@ -1,0 +1,195 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API
+//! this workspace uses. The build environment has no registry access, so
+//! the workspace resolves `criterion` to this path dependency.
+//!
+//! It keeps the real crate's shape (`Criterion`, `BenchmarkGroup`,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`) but replaces the
+//! statistical engine with a warmup pass plus a fixed number of timed
+//! samples, reporting min/mean/median per benchmark on stdout. That is
+//! enough to track relative perf between revisions without external deps.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from hoisting or deleting
+/// the benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark, e.g. `lr_5fold/12`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the closure under `bench_function`; `iter` runs and times it.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: one untimed call so lazy init and cache effects settle.
+        black_box(routine());
+        self.timings.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, timings: &[Duration]) {
+    if timings.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = timings.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{label:<48} min {:>12.3?}  mean {:>12.3?}  median {:>12.3?}  ({} samples)",
+        min,
+        mean,
+        median,
+        sorted.len()
+    );
+}
+
+/// A named set of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.samples,
+            timings: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.id), &bencher.timings);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.samples,
+            timings: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.id), &bencher.timings);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn new() -> Self {
+        Criterion {
+            default_samples: 20,
+        }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let samples = if self.default_samples == 0 {
+            20
+        } else {
+            self.default_samples
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .sample_size(20)
+            .bench_function("base", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -100,7 +100,11 @@ impl CategoricalData {
     /// Creates an empty categorical payload.
     #[must_use]
     pub fn new() -> Self {
-        CategoricalData { codes: Vec::new(), categories: Vec::new(), index: HashMap::new() }
+        CategoricalData {
+            codes: Vec::new(),
+            categories: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
     /// Interns `category` and returns its code.
@@ -264,9 +268,15 @@ impl Column {
             (Column::Categorical(c), OwnedValue::Categorical(s)) => c.push(Some(&s)),
             (Column::Categorical(c), OwnedValue::Missing) => c.push(None),
             (col, _) => {
-                let expected =
-                    if col.kind() == ColumnKind::Numeric { "numeric" } else { "categorical" };
-                return Err(Error::ColumnTypeMismatch { column: String::new(), expected });
+                let expected = if col.kind() == ColumnKind::Numeric {
+                    "numeric"
+                } else {
+                    "categorical"
+                };
+                return Err(Error::ColumnTypeMismatch {
+                    column: String::new(),
+                    expected,
+                });
             }
         }
         Ok(())
@@ -283,9 +293,15 @@ impl Column {
             }
             (Column::Categorical(c), OwnedValue::Missing) => c.codes[i] = None,
             (col, _) => {
-                let expected =
-                    if col.kind() == ColumnKind::Numeric { "numeric" } else { "categorical" };
-                return Err(Error::ColumnTypeMismatch { column: String::new(), expected });
+                let expected = if col.kind() == ColumnKind::Numeric {
+                    "numeric"
+                } else {
+                    "categorical"
+                };
+                return Err(Error::ColumnTypeMismatch {
+                    column: String::new(),
+                    expected,
+                });
             }
         }
         Ok(())
@@ -296,9 +312,7 @@ impl Column {
     #[must_use]
     pub fn take(&self, indices: &[usize]) -> Column {
         match self {
-            Column::Numeric(v) => {
-                Column::Numeric(indices.iter().map(|&i| v[i]).collect())
-            }
+            Column::Numeric(v) => Column::Numeric(indices.iter().map(|&i| v[i]).collect()),
             Column::Categorical(c) => {
                 // Preserve the dictionary so that codes remain comparable
                 // across splits of the same frame.
@@ -319,9 +333,10 @@ impl Column {
     pub fn as_numeric(&self) -> Result<&[Option<f64>]> {
         match self {
             Column::Numeric(v) => Ok(v),
-            Column::Categorical(_) => {
-                Err(Error::ColumnTypeMismatch { column: String::new(), expected: "numeric" })
-            }
+            Column::Categorical(_) => Err(Error::ColumnTypeMismatch {
+                column: String::new(),
+                expected: "numeric",
+            }),
         }
     }
 
@@ -329,9 +344,10 @@ impl Column {
     pub fn as_categorical(&self) -> Result<&CategoricalData> {
         match self {
             Column::Categorical(c) => Ok(c),
-            Column::Numeric(_) => {
-                Err(Error::ColumnTypeMismatch { column: String::new(), expected: "categorical" })
-            }
+            Column::Numeric(_) => Err(Error::ColumnTypeMismatch {
+                column: String::new(),
+                expected: "categorical",
+            }),
         }
     }
 
@@ -386,9 +402,7 @@ impl Column {
                 counts
                     .into_iter()
                     .max_by(|a, b| a.1 .0.cmp(&b.1 .0).then(b.1 .1.cmp(&a.1 .1)))
-                    .map(|(code, _)| {
-                        OwnedValue::Categorical(c.categories[code as usize].clone())
-                    })
+                    .map(|(code, _)| OwnedValue::Categorical(c.categories[code as usize].clone()))
             }
         }
     }

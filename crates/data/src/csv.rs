@@ -52,7 +52,10 @@ fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(Error::Csv { line: line_no, message: "unterminated quote".to_string() });
+        return Err(Error::Csv {
+            line: line_no,
+            message: "unterminated quote".to_string(),
+        });
     }
     fields.push(field);
     Ok(fields)
@@ -71,7 +74,12 @@ pub fn read_csv<R: BufRead>(
     let mut lines = reader.lines().enumerate();
     let header = match lines.next() {
         Some((_, line)) => parse_record(&line?, 1)?,
-        None => return Err(Error::Csv { line: 1, message: "empty input".to_string() }),
+        None => {
+            return Err(Error::Csv {
+                line: 1,
+                message: "empty input".to_string(),
+            })
+        }
     };
     // For each requested column, find its position in the header.
     let mut positions = Vec::with_capacity(kinds.len());
@@ -84,7 +92,10 @@ pub fn read_csv<R: BufRead>(
     }
 
     let mut builder = FrameBuilder::new(
-        &positions.iter().map(|(_, n, k)| (*n, *k)).collect::<Vec<_>>(),
+        &positions
+            .iter()
+            .map(|(_, n, k)| (*n, *k))
+            .collect::<Vec<_>>(),
     );
     for (idx, line) in lines {
         let line_no = idx + 1;
@@ -133,8 +144,7 @@ fn escape(field: &str) -> String {
 /// Writes a frame as CSV (header + records). Missing cells become empty
 /// fields.
 pub fn write_csv<W: Write>(frame: &DataFrame, writer: &mut W) -> Result<()> {
-    let header: Vec<String> =
-        frame.column_names().iter().map(|n| escape(n)).collect();
+    let header: Vec<String> = frame.column_names().iter().map(|n| escape(n)).collect();
     writeln!(writer, "{}", header.join(","))?;
     let mut record = String::new();
     for i in 0..frame.n_rows() {
@@ -179,12 +189,14 @@ mod tests {
 
     #[test]
     fn reads_typed_columns_with_missing() {
-        let df =
-            read_csv(Cursor::new(SAMPLE), &kinds(), DEFAULT_MISSING_TOKENS).unwrap();
+        let df = read_csv(Cursor::new(SAMPLE), &kinds(), DEFAULT_MISSING_TOKENS).unwrap();
         assert_eq!(df.n_rows(), 3);
         assert_eq!(df.value(0, "age").unwrap(), Value::Numeric(25.0));
         assert_eq!(df.value(1, "age").unwrap(), Value::Missing);
-        assert_eq!(df.value(1, "job").unwrap(), Value::Categorical("cook, senior"));
+        assert_eq!(
+            df.value(1, "job").unwrap(),
+            Value::Categorical("cook, senior")
+        );
         assert_eq!(df.value(2, "job").unwrap(), Value::Missing);
     }
 
@@ -214,8 +226,7 @@ mod tests {
     #[test]
     fn malformed_number_is_error_with_line() {
         let bad = "x\nhello\n";
-        let err =
-            read_csv(Cursor::new(bad), &[("x", ColumnKind::Numeric)], &[]).unwrap_err();
+        let err = read_csv(Cursor::new(bad), &[("x", ColumnKind::Numeric)], &[]).unwrap_err();
         match err {
             Error::Csv { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other:?}"),
@@ -232,8 +243,7 @@ mod tests {
     #[test]
     fn unterminated_quote_is_error() {
         let bad = "a\n\"oops\n";
-        let err =
-            read_csv(Cursor::new(bad), &[("a", ColumnKind::Categorical)], &[]).unwrap_err();
+        let err = read_csv(Cursor::new(bad), &[("a", ColumnKind::Categorical)], &[]).unwrap_err();
         assert!(matches!(err, Error::Csv { .. }));
     }
 
@@ -241,13 +251,15 @@ mod tests {
     fn quoted_quote_roundtrips() {
         let csv = "a\n\"he said \"\"hi\"\"\"\n";
         let df = read_csv(Cursor::new(csv), &[("a", ColumnKind::Categorical)], &[]).unwrap();
-        assert_eq!(df.value(0, "a").unwrap(), Value::Categorical("he said \"hi\""));
+        assert_eq!(
+            df.value(0, "a").unwrap(),
+            Value::Categorical("he said \"hi\"")
+        );
     }
 
     #[test]
     fn write_then_read_roundtrips() {
-        let df =
-            read_csv(Cursor::new(SAMPLE), &kinds(), DEFAULT_MISSING_TOKENS).unwrap();
+        let df = read_csv(Cursor::new(SAMPLE), &kinds(), DEFAULT_MISSING_TOKENS).unwrap();
         let mut out = Vec::new();
         write_csv(&df, &mut out).unwrap();
         let back = read_csv(Cursor::new(out), &kinds(), DEFAULT_MISSING_TOKENS).unwrap();

@@ -234,7 +234,10 @@ impl BinaryLabelDataset {
     /// the unfavorable category is unambiguous.
     pub fn set_labels(&mut self, labels: Vec<f64>) -> Result<()> {
         if labels.len() != self.n_rows() {
-            return Err(Error::LengthMismatch { expected: self.n_rows(), actual: labels.len() });
+            return Err(Error::LengthMismatch {
+                expected: self.n_rows(),
+                actual: labels.len(),
+            });
         }
         if let Some(bad) = labels.iter().find(|v| **v != 0.0 && **v != 1.0) {
             return Err(Error::InvalidLabel(*bad));
@@ -269,7 +272,11 @@ impl BinaryLabelDataset {
             Column::Numeric(_) => crate::column::OwnedValue::Numeric(1.0),
         };
         for (i, &y) in labels.iter().enumerate() {
-            let v = if y == 1.0 { favorable.clone() } else { unfavorable.clone() };
+            let v = if y == 1.0 {
+                favorable.clone()
+            } else {
+                unfavorable.clone()
+            };
             self.frame.column_mut(&label_name)?.set(i, v)?;
         }
         self.labels = labels;
@@ -277,18 +284,13 @@ impl BinaryLabelDataset {
     }
 }
 
-fn compute_privileged_mask(
-    frame: &DataFrame,
-    protected: &ProtectedAttribute,
-) -> Result<Vec<bool>> {
+fn compute_privileged_mask(frame: &DataFrame, protected: &ProtectedAttribute) -> Result<Vec<bool>> {
     let col = frame.column(&protected.name)?;
     let n = frame.n_rows();
     let mut mask = Vec::with_capacity(n);
     for i in 0..n {
         let privileged = match (&protected.privileged, col.get(i)) {
-            (GroupSpec::CategoryIn(values), Value::Categorical(s)) => {
-                values.iter().any(|v| v == s)
-            }
+            (GroupSpec::CategoryIn(values), Value::Categorical(s)) => values.iter().any(|v| v == s),
             (GroupSpec::NumericAtLeast(t), Value::Numeric(v)) => v >= *t,
             (_, Value::Missing) => {
                 return Err(Error::EmptyData(format!(
@@ -319,7 +321,10 @@ mod tests {
             .unwrap()
             .with_column("sex", Column::from_strs(["m", "f", "m", "f"]))
             .unwrap()
-            .with_column("outcome", Column::from_strs(["good", "bad", "good", "good"]))
+            .with_column(
+                "outcome",
+                Column::from_strs(["good", "bad", "good", "good"]),
+            )
             .unwrap();
         let schema = Schema::new()
             .numeric_feature("score")
@@ -372,7 +377,9 @@ mod tests {
         let mut ds = toy();
         assert!(ds.set_instance_weights(vec![1.0]).is_err());
         assert!(ds.set_instance_weights(vec![1.0, -1.0, 1.0, 1.0]).is_err());
-        assert!(ds.set_instance_weights(vec![1.0, f64::NAN, 1.0, 1.0]).is_err());
+        assert!(ds
+            .set_instance_weights(vec![1.0, f64::NAN, 1.0, 1.0])
+            .is_err());
         assert!(ds.set_instance_weights(vec![0.5; 4]).is_ok());
     }
 
@@ -427,7 +434,9 @@ mod tests {
             .unwrap()
             .with_column("y", Column::from_f64([1.0, 0.0]))
             .unwrap();
-        let schema = Schema::new().metadata("g", ColumnKind::Categorical).label("y");
+        let schema = Schema::new()
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
         let ds = BinaryLabelDataset::new(
             frame,
             schema,
@@ -444,14 +453,16 @@ mod tests {
         assert!(ds
             .replace_column("outcome", Column::from_strs(["x", "x", "x", "x"]))
             .is_err());
-        ds.replace_column("score", Column::from_f64([0.0, 0.0, 0.0, 0.0])).unwrap();
+        ds.replace_column("score", Column::from_f64([0.0, 0.0, 0.0, 0.0]))
+            .unwrap();
         assert_eq!(ds.frame().value(0, "score").unwrap(), Value::Numeric(0.0));
     }
 
     #[test]
     fn replace_protected_column_refreshes_mask() {
         let mut ds = toy();
-        ds.replace_column("sex", Column::from_strs(["f", "f", "m", "m"])).unwrap();
+        ds.replace_column("sex", Column::from_strs(["f", "f", "m", "m"]))
+            .unwrap();
         assert_eq!(ds.privileged_mask(), &[false, false, true, true]);
     }
 }
@@ -466,8 +477,14 @@ mod set_labels_tests {
         let mut ds = toy();
         ds.set_labels(vec![0.0, 1.0, 0.0, 1.0]).unwrap();
         assert_eq!(ds.labels(), &[0.0, 1.0, 0.0, 1.0]);
-        assert_eq!(ds.frame().value(0, "outcome").unwrap(), Value::Categorical("bad"));
-        assert_eq!(ds.frame().value(1, "outcome").unwrap(), Value::Categorical("good"));
+        assert_eq!(
+            ds.frame().value(0, "outcome").unwrap(),
+            Value::Categorical("bad")
+        );
+        assert_eq!(
+            ds.frame().value(1, "outcome").unwrap(),
+            Value::Categorical("good")
+        );
     }
 
     #[test]

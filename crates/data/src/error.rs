@@ -81,7 +81,11 @@ impl fmt::Display for Error {
             Error::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
             Error::InvalidLabel(v) => write!(f, "invalid binary label: {v}"),
             Error::EmptyGroup { privileged } => {
-                let g = if *privileged { "privileged" } else { "unprivileged" };
+                let g = if *privileged {
+                    "privileged"
+                } else {
+                    "unprivileged"
+                };
                 write!(f, "{g} group matches no rows")
             }
             Error::InvalidParameter { name, message } => {
@@ -113,19 +117,37 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(Error, &str)> = vec![
             (Error::ColumnNotFound("age".into()), "column not found: age"),
-            (Error::DuplicateColumn("age".into()), "duplicate column: age"),
             (
-                Error::ColumnTypeMismatch { column: "age".into(), expected: "numeric" },
+                Error::DuplicateColumn("age".into()),
+                "duplicate column: age",
+            ),
+            (
+                Error::ColumnTypeMismatch {
+                    column: "age".into(),
+                    expected: "numeric",
+                },
                 "column age is not numeric",
             ),
             (
-                Error::LengthMismatch { expected: 3, actual: 2 },
+                Error::LengthMismatch {
+                    expected: 3,
+                    actual: 2,
+                },
                 "length mismatch: expected 3, got 2",
             ),
-            (Error::EmptyData("train set".into()), "empty data: train set"),
-            (Error::NotFitted("StandardScaler"), "StandardScaler must be fitted before use"),
+            (
+                Error::EmptyData("train set".into()),
+                "empty data: train set",
+            ),
+            (
+                Error::NotFitted("StandardScaler"),
+                "StandardScaler must be fitted before use",
+            ),
             (Error::InvalidLabel(2.0), "invalid binary label: 2"),
-            (Error::EmptyGroup { privileged: true }, "privileged group matches no rows"),
+            (
+                Error::EmptyGroup { privileged: true },
+                "privileged group matches no rows",
+            ),
         ];
         for (err, expected) in cases {
             assert_eq!(err.to_string(), expected);

@@ -99,7 +99,10 @@ impl DataFrame {
     /// Replaces an existing column with a new one of equal length.
     pub fn replace_column(&mut self, name: &str, column: Column) -> Result<()> {
         if column.len() != self.n_rows() {
-            return Err(Error::LengthMismatch { expected: self.n_rows(), actual: column.len() });
+            return Err(Error::LengthMismatch {
+                expected: self.n_rows(),
+                actual: column.len(),
+            });
         }
         match self.index.get(name) {
             Some(&i) => {
@@ -169,7 +172,11 @@ impl DataFrame {
             });
         }
         let mut out = DataFrame::new();
-        for (name, (a, b)) in self.names.iter().zip(self.columns.iter().zip(&other.columns)) {
+        for (name, (a, b)) in self
+            .names
+            .iter()
+            .zip(self.columns.iter().zip(&other.columns))
+        {
             if a.kind() != b.kind() {
                 return Err(Error::ColumnTypeMismatch {
                     column: name.clone(),
@@ -249,7 +256,10 @@ mod tests {
 
     fn sample() -> DataFrame {
         DataFrame::new()
-            .with_column("age", Column::from_optional_f64([Some(25.0), None, Some(40.0)]))
+            .with_column(
+                "age",
+                Column::from_optional_f64([Some(25.0), None, Some(40.0)]),
+            )
             .unwrap()
             .with_column("job", Column::from_strs(["clerk", "none", "chef"]))
             .unwrap()
@@ -271,7 +281,13 @@ mod tests {
     fn add_column_length_checked() {
         let mut df = sample();
         let err = df.add_column("short", Column::from_f64([1.0]));
-        assert_eq!(err, Err(Error::LengthMismatch { expected: 3, actual: 1 }));
+        assert_eq!(
+            err,
+            Err(Error::LengthMismatch {
+                expected: 3,
+                actual: 1
+            })
+        );
     }
 
     #[test]
@@ -338,17 +354,26 @@ mod tests {
     #[test]
     fn replace_column_checks_length() {
         let mut df = sample();
-        df.replace_column("age", Column::from_f64([1.0, 2.0, 3.0])).unwrap();
+        df.replace_column("age", Column::from_f64([1.0, 2.0, 3.0]))
+            .unwrap();
         assert_eq!(df.value(0, "age").unwrap(), Value::Numeric(1.0));
         assert!(df.replace_column("age", Column::from_f64([1.0])).is_err());
-        assert!(df.replace_column("zzz", Column::from_f64([1.0, 2.0, 3.0])).is_err());
+        assert!(df
+            .replace_column("zzz", Column::from_f64([1.0, 2.0, 3.0]))
+            .is_err());
     }
 
     #[test]
     fn builder_assembles_rows() {
-        let mut b = FrameBuilder::new(&[("a", ColumnKind::Numeric), ("b", ColumnKind::Categorical)]);
-        b.push_row(vec![OwnedValue::Numeric(1.0), OwnedValue::Categorical("x".into())]).unwrap();
-        b.push_row(vec![OwnedValue::Missing, OwnedValue::Missing]).unwrap();
+        let mut b =
+            FrameBuilder::new(&[("a", ColumnKind::Numeric), ("b", ColumnKind::Categorical)]);
+        b.push_row(vec![
+            OwnedValue::Numeric(1.0),
+            OwnedValue::Categorical("x".into()),
+        ])
+        .unwrap();
+        b.push_row(vec![OwnedValue::Missing, OwnedValue::Missing])
+            .unwrap();
         let df = b.finish().unwrap();
         assert_eq!(df.n_rows(), 2);
         assert_eq!(df.missing_cells(), 2);

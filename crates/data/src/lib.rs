@@ -48,6 +48,7 @@ pub mod csv;
 pub mod dataset;
 pub mod error;
 pub mod frame;
+pub mod parallel;
 pub mod resample;
 pub mod rng;
 pub mod schema;
@@ -60,6 +61,7 @@ pub mod prelude {
     pub use crate::dataset::BinaryLabelDataset;
     pub use crate::error::{Error, Result};
     pub use crate::frame::{DataFrame, FrameBuilder};
+    pub use crate::parallel::{available_threads, parallel_map, split_budget};
     pub use crate::resample::{Bootstrap, NoResampling, OversampleMinorityClass, Resampler};
     pub use crate::schema::{GroupSpec, ProtectedAttribute, Role, Schema};
     pub use crate::split::{

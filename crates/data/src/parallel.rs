@@ -1,0 +1,180 @@
+//! Generic work-stealing parallelism over scoped threads.
+//!
+//! The paper's experiments are sweeps (1,344 runs in §5.1; 216 in §5.2;
+//! 530 in §5.3), and each tuned run performs a 5-fold × many-candidate grid
+//! search — hundreds of independent model fits. [`parallel_map`] is the one
+//! primitive both levels share: it distributes independent items over a
+//! fixed thread budget via an atomic work-stealing cursor (idle workers
+//! claim the next unclaimed item, so uneven item costs cannot stall the
+//! pool) and returns results in **submission order**, which keeps every
+//! parallel caller bit-identical to its sequential equivalent.
+//!
+//! No extra dependency is needed: `std::thread::scope` lets the workers
+//! borrow the closure and input non-`'static` data directly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on up to `threads` worker threads.
+///
+/// Results come back in submission order regardless of which worker ran
+/// which item, so `parallel_map(v, t, f)` is observationally identical to
+/// `v.into_iter().map(f).collect()` for any `t` — callers that derive all
+/// randomness from per-item seeds therefore get bit-identical output at
+/// every thread count.
+///
+/// `threads` is clamped to `[1, items.len()]`; a budget of 1 runs inline
+/// without spawning. If `f` panics, the panic propagates to the caller
+/// once the scope unwinds.
+#[must_use]
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // One lock per slot: claiming item i and storing result i never
+    // contends with work on any other slot. The atomic cursor is the
+    // work-stealing queue — workers race to increment it and own whatever
+    // index they receive.
+    let slots: Vec<Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|item| Mutex::new((Some(item), None)))
+        .collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                if ix >= n {
+                    break;
+                }
+                let item = slots[ix]
+                    .lock()
+                    .expect("slot poisoned")
+                    .0
+                    .take()
+                    .expect("item claimed once");
+                let out = f(item);
+                slots[ix].lock().expect("slot poisoned").1 = Some(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .1
+                .expect("item ran")
+        })
+        .collect()
+}
+
+/// Splits a total core budget between an outer job level and an inner
+/// per-job level so the two do not oversubscribe: the outer level gets
+/// `min(total, outer_jobs)` workers and each job's inner work gets the
+/// remaining factor (`total / outer`, at least 1).
+///
+/// This is the contract between sweep-level parallelism
+/// (`fairprep-core::runner`) and model-selection parallelism
+/// (`fairprep-ml::selection`): a sweep of 4 jobs on 16 cores runs 4 jobs
+/// × 4 CV threads, while a single run on 16 cores gives all 16 to CV.
+#[must_use]
+pub fn split_budget(total: usize, outer_jobs: usize) -> (usize, usize) {
+    let total = total.max(1);
+    let outer = total.min(outer_jobs.max(1));
+    let inner = (total / outer).max(1);
+    (outer, inner)
+}
+
+/// The machine's available parallelism, falling back to 1 when unknown.
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_submission_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(items, 8, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let seq = parallel_map(items.clone(), 1, |i| {
+            i.wrapping_mul(0x9E37_79B9).rotate_left(13)
+        });
+        for threads in [2, 3, 8, 64] {
+            let par = parallel_map(items.clone(), threads, |i| {
+                i.wrapping_mul(0x9E37_79B9).rotate_left(13)
+            });
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_item_costs_are_stolen_not_stalled() {
+        // One expensive item up front must not serialize the rest: with 4
+        // workers the total wall time stays far below the sequential sum.
+        let items: Vec<u64> = (0..16).collect();
+        let start = std::time::Instant::now();
+        let out = parallel_map(items, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(if i == 0 {
+                40
+            } else {
+                10
+            }));
+            i
+        });
+        let elapsed = start.elapsed();
+        assert_eq!(out.len(), 16);
+        // Sequential would take 40 + 15*10 = 190ms; 4 workers need ~50-90ms.
+        assert!(elapsed.as_millis() < 190, "no speedup: {elapsed:?}");
+    }
+
+    #[test]
+    fn non_static_borrows_are_allowed() {
+        let base = [10.0_f64, 20.0, 30.0];
+        let items: Vec<usize> = (0..3).collect();
+        let out = parallel_map(items, 2, |i| base[i] + 1.0);
+        assert_eq!(out, vec![11.0, 21.0, 31.0]);
+    }
+
+    #[test]
+    fn budget_split_covers_the_shapes() {
+        assert_eq!(split_budget(16, 4), (4, 4)); // sweep: 4 jobs x 4 CV threads
+        assert_eq!(split_budget(16, 1), (1, 16)); // single run: all cores to CV
+        assert_eq!(split_budget(4, 100), (4, 1)); // more jobs than cores
+        assert_eq!(split_budget(0, 0), (1, 1)); // degenerate inputs clamp
+        assert_eq!(split_budget(7, 2), (2, 3)); // floor division, no oversubscription
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -89,15 +89,28 @@ impl Resampler for OversampleMinorityClass {
 
     fn resample(&self, train: &BinaryLabelDataset, seed: u64) -> Result<BinaryLabelDataset> {
         let labels = train.labels();
-        let pos: Vec<usize> =
-            labels.iter().enumerate().filter(|(_, &y)| y == 1.0).map(|(i, _)| i).collect();
-        let neg: Vec<usize> =
-            labels.iter().enumerate().filter(|(_, &y)| y == 0.0).map(|(i, _)| i).collect();
+        let pos: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &y)| y == 1.0)
+            .map(|(i, _)| i)
+            .collect();
+        let neg: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &y)| y == 0.0)
+            .map(|(i, _)| i)
+            .collect();
         if pos.is_empty() || neg.is_empty() {
-            return Err(Error::EmptyData("one label class is empty; cannot balance".to_string()));
+            return Err(Error::EmptyData(
+                "one label class is empty; cannot balance".to_string(),
+            ));
         }
-        let (minority, majority) =
-            if pos.len() < neg.len() { (&pos, &neg) } else { (&neg, &pos) };
+        let (minority, majority) = if pos.len() < neg.len() {
+            (&pos, &neg)
+        } else {
+            (&neg, &pos)
+        };
         let deficit = majority.len() - minority.len();
         let mut rng = component_rng(seed, "resampler/oversample");
         let mut indices: Vec<usize> = (0..train.n_rows()).collect();
@@ -151,7 +164,9 @@ impl Resampler for StratifiedSubsample {
         }
         keep.sort_unstable();
         if keep.is_empty() {
-            return Err(Error::EmptyData("stratified subsample produced no rows".to_string()));
+            return Err(Error::EmptyData(
+                "stratified subsample produced no rows".to_string(),
+            ));
         }
         Ok(train.take(&keep))
     }
@@ -184,8 +199,13 @@ mod tests {
             .numeric_feature("x")
             .metadata("g", ColumnKind::Categorical)
             .label("y");
-        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("g", &["a"]), "pos")
-            .unwrap()
+        BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "pos",
+        )
+        .unwrap()
     }
 
     #[test]
@@ -235,7 +255,9 @@ mod tests {
     #[test]
     fn stratified_preserves_cells() {
         let ds = dataset();
-        let out = StratifiedSubsample { fraction: 0.5 }.resample(&ds, 11).unwrap();
+        let out = StratifiedSubsample { fraction: 0.5 }
+            .resample(&ds, 11)
+            .unwrap();
         // Each nonempty (label, group) cell keeps >= 1 row.
         assert!(out.n_rows() >= 4);
         assert!(out.n_rows() < ds.n_rows());
@@ -246,7 +268,9 @@ mod tests {
     #[test]
     fn stratified_rejects_bad_fraction() {
         let ds = dataset();
-        assert!(StratifiedSubsample { fraction: 1.5 }.resample(&ds, 0).is_err());
+        assert!(StratifiedSubsample { fraction: 1.5 }
+            .resample(&ds, 0)
+            .is_err());
     }
 
     #[test]
@@ -254,6 +278,9 @@ mod tests {
         assert_eq!(NoResampling.name(), "no_resampling");
         assert_eq!(Bootstrap::default().name(), "bootstrap");
         assert_eq!(OversampleMinorityClass.name(), "oversample_minority_class");
-        assert_eq!(StratifiedSubsample { fraction: 0.5 }.name(), "stratified_subsample");
+        assert_eq!(
+            StratifiedSubsample { fraction: 0.5 }.name(),
+            "stratified_subsample"
+        );
     }
 }

@@ -81,7 +81,9 @@ mod tests {
     fn component_rng_streams_differ_between_components() {
         let mut a = component_rng(7, "imputer");
         let mut b = component_rng(7, "scaler");
-        let same = (0..16).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..16)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert!(same < 2, "streams should be decorrelated");
     }
 

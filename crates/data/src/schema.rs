@@ -115,7 +115,11 @@ impl Schema {
     /// Adds a metadata attribute (kept, not featurized) of the given kind.
     #[must_use]
     pub fn metadata(mut self, name: &str, kind: ColumnKind) -> Self {
-        self.fields.push(Field { name: name.to_string(), kind, role: Role::Metadata });
+        self.fields.push(Field {
+            name: name.to_string(),
+            kind,
+            role: Role::Metadata,
+        });
         self
     }
 
@@ -174,7 +178,10 @@ impl Schema {
         if labels.len() != 1 {
             return Err(Error::InvalidParameter {
                 name: "schema",
-                message: format!("expected exactly one label attribute, found {}", labels.len()),
+                message: format!(
+                    "expected exactly one label attribute, found {}",
+                    labels.len()
+                ),
             });
         }
         Ok(())
@@ -218,7 +225,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_duplicate_names() {
-        let s = Schema::new().numeric_feature("x").categorical_feature("x").label("y");
+        let s = Schema::new()
+            .numeric_feature("x")
+            .categorical_feature("x")
+            .label("y");
         assert!(matches!(s.validate(), Err(Error::DuplicateColumn(_))));
     }
 
@@ -246,6 +256,9 @@ mod tests {
     fn protected_attribute_constructor() {
         let p = ProtectedAttribute::categorical("race", &["White"]);
         assert_eq!(p.name, "race");
-        assert_eq!(p.privileged, GroupSpec::CategoryIn(vec!["White".to_string()]));
+        assert_eq!(
+            p.privileged,
+            GroupSpec::CategoryIn(vec!["White".to_string()])
+        );
     }
 }

@@ -28,20 +28,31 @@ impl SplitSpec {
     /// 20% test (§5.1–§5.3).
     #[must_use]
     pub fn paper_default() -> Self {
-        SplitSpec { train: 0.7, validation: 0.1, test: 0.2 }
+        SplitSpec {
+            train: 0.7,
+            validation: 0.1,
+            test: 0.2,
+        }
     }
 
     /// Validates the fractions.
     pub fn validate(&self) -> Result<()> {
-        for (name, v) in [("train", self.train), ("validation", self.validation), ("test", self.test)]
-        {
+        for (name, v) in [
+            ("train", self.train),
+            ("validation", self.validation),
+            ("test", self.test),
+        ] {
             if !(0.0..=1.0).contains(&v) || !v.is_finite() {
-                return Err(Error::InvalidSplit(format!("{name} fraction {v} out of [0,1]")));
+                return Err(Error::InvalidSplit(format!(
+                    "{name} fraction {v} out of [0,1]"
+                )));
             }
         }
         let sum = self.train + self.validation + self.test;
         if (sum - 1.0).abs() > 1e-9 {
-            return Err(Error::InvalidSplit(format!("fractions sum to {sum}, expected 1")));
+            return Err(Error::InvalidSplit(format!(
+                "fractions sum to {sum}, expected 1"
+            )));
         }
         if self.train == 0.0 || self.test == 0.0 {
             return Err(Error::InvalidSplit(
@@ -89,7 +100,9 @@ pub fn train_val_test_split(
     spec.validate()?;
     let n = dataset.n_rows();
     if n < 3 {
-        return Err(Error::EmptyData(format!("need at least 3 rows to split, have {n}")));
+        return Err(Error::EmptyData(format!(
+            "need at least 3 rows to split, have {n}"
+        )));
     }
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = component_rng(seed, "splitter");
@@ -116,7 +129,11 @@ pub fn train_val_test_split(
         train: dataset.take(&train_idx),
         validation: dataset.take(&val_idx),
         test: dataset.take(&test_idx),
-        indices: SplitIndices { train: train_idx, validation: val_idx, test: test_idx },
+        indices: SplitIndices {
+            train: train_idx,
+            validation: val_idx,
+            test: test_idx,
+        },
     })
 }
 
@@ -133,7 +150,9 @@ pub fn k_fold_indices(n: usize, k: usize, seed: u64) -> Result<Vec<(Vec<usize>, 
         });
     }
     if n < k {
-        return Err(Error::EmptyData(format!("cannot make {k} folds from {n} rows")));
+        return Err(Error::EmptyData(format!(
+            "cannot make {k} folds from {n} rows"
+        )));
     }
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = component_rng(seed, "kfold");
@@ -146,8 +165,11 @@ pub fn k_fold_indices(n: usize, k: usize, seed: u64) -> Result<Vec<(Vec<usize>, 
     for f in 0..k {
         let size = base + usize::from(f < extra);
         let val: Vec<usize> = order[start..start + size].to_vec();
-        let train: Vec<usize> =
-            order[..start].iter().chain(&order[start + size..]).copied().collect();
+        let train: Vec<usize> = order[..start]
+            .iter()
+            .chain(&order[start + size..])
+            .copied()
+            .collect();
         folds.push((train, val));
         start += size;
     }
@@ -179,14 +201,26 @@ mod tests {
             .numeric_feature("x")
             .metadata("g", ColumnKind::Categorical)
             .label("y");
-        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("g", &["a"]), "pos")
-            .unwrap()
+        BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "pos",
+        )
+        .unwrap()
     }
 
     #[test]
     fn paper_default_is_70_10_20() {
         let s = SplitSpec::paper_default();
-        assert_eq!(s, SplitSpec { train: 0.7, validation: 0.1, test: 0.2 });
+        assert_eq!(
+            s,
+            SplitSpec {
+                train: 0.7,
+                validation: 0.1,
+                test: 0.2
+            }
+        );
         s.validate().unwrap();
     }
 
@@ -222,11 +256,23 @@ mod tests {
 
     #[test]
     fn split_rejects_bad_fractions() {
-        let bad = SplitSpec { train: 0.5, validation: 0.1, test: 0.1 };
+        let bad = SplitSpec {
+            train: 0.5,
+            validation: 0.1,
+            test: 0.1,
+        };
         assert!(bad.validate().is_err());
-        let negative = SplitSpec { train: -0.1, validation: 0.6, test: 0.5 };
+        let negative = SplitSpec {
+            train: -0.1,
+            validation: 0.6,
+            test: 0.5,
+        };
         assert!(negative.validate().is_err());
-        let no_test = SplitSpec { train: 0.9, validation: 0.1, test: 0.0 };
+        let no_test = SplitSpec {
+            train: 0.9,
+            validation: 0.1,
+            test: 0.0,
+        };
         assert!(no_test.validate().is_err());
     }
 
@@ -237,7 +283,9 @@ mod tests {
             .unwrap()
             .with_column("y", Column::from_strs(["pos", "neg"]))
             .unwrap();
-        let schema = Schema::new().metadata("g", ColumnKind::Categorical).label("y");
+        let schema = Schema::new()
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
         let ds = BinaryLabelDataset::new(
             frame,
             schema,
@@ -268,8 +316,14 @@ mod tests {
 
     #[test]
     fn kfold_is_seed_deterministic() {
-        assert_eq!(k_fold_indices(20, 5, 9).unwrap(), k_fold_indices(20, 5, 9).unwrap());
-        assert_ne!(k_fold_indices(20, 5, 9).unwrap(), k_fold_indices(20, 5, 10).unwrap());
+        assert_eq!(
+            k_fold_indices(20, 5, 9).unwrap(),
+            k_fold_indices(20, 5, 9).unwrap()
+        );
+        assert_ne!(
+            k_fold_indices(20, 5, 9).unwrap(),
+            k_fold_indices(20, 5, 10).unwrap()
+        );
     }
 
     #[test]
@@ -292,7 +346,9 @@ pub fn stratified_train_val_test_split(
     spec.validate()?;
     let n = dataset.n_rows();
     if n < 3 {
-        return Err(Error::EmptyData(format!("need at least 3 rows to split, have {n}")));
+        return Err(Error::EmptyData(format!(
+            "need at least 3 rows to split, have {n}"
+        )));
     }
     let labels = dataset.labels();
     let mask = dataset.privileged_mask();
@@ -322,8 +378,7 @@ pub fn stratified_train_val_test_split(
             };
             let remaining = c - n_test;
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            let n_train =
-                (((c as f64) * spec.train).round() as usize).clamp(1, remaining);
+            let n_train = (((c as f64) * spec.train).round() as usize).clamp(1, remaining);
             let n_val = remaining - n_train;
             train_idx.extend_from_slice(&cell[..n_train]);
             val_idx.extend_from_slice(&cell[n_train..n_train + n_val]);
@@ -343,7 +398,11 @@ pub fn stratified_train_val_test_split(
         train: dataset.take(&train_idx),
         validation: dataset.take(&val_idx),
         test: dataset.take(&test_idx),
-        indices: SplitIndices { train: train_idx, validation: val_idx, test: test_idx },
+        indices: SplitIndices {
+            train: train_idx,
+            validation: val_idx,
+            test: test_idx,
+        },
     })
 }
 
@@ -369,7 +428,11 @@ mod stratified_tests {
                 Column::from_strs((0..n).map(|i| {
                     // unprivileged (i % 4 == 0) positive only when i % 20 == 0
                     let positive = if i % 4 == 0 { i % 20 == 0 } else { i % 2 == 1 };
-                    if positive { "p" } else { "n" }
+                    if positive {
+                        "p"
+                    } else {
+                        "n"
+                    }
                 })),
             )
             .unwrap();
@@ -377,15 +440,19 @@ mod stratified_tests {
             .numeric_feature("x")
             .metadata("g", ColumnKind::Categorical)
             .label("y");
-        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p")
-            .unwrap()
+        BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "p",
+        )
+        .unwrap()
     }
 
     #[test]
     fn partitions_all_rows_disjointly() {
         let ds = skewed(200);
-        let split =
-            stratified_train_val_test_split(&ds, SplitSpec::paper_default(), 3).unwrap();
+        let split = stratified_train_val_test_split(&ds, SplitSpec::paper_default(), 3).unwrap();
         let mut all: Vec<usize> = split
             .indices
             .train
@@ -401,8 +468,7 @@ mod stratified_tests {
     #[test]
     fn rare_cell_present_in_train_and_test() {
         let ds = skewed(200);
-        let split =
-            stratified_train_val_test_split(&ds, SplitSpec::paper_default(), 7).unwrap();
+        let split = stratified_train_val_test_split(&ds, SplitSpec::paper_default(), 7).unwrap();
         let rare = |part: &BinaryLabelDataset| {
             (0..part.n_rows())
                 .filter(|&i| part.labels()[i] == 1.0 && !part.privileged_mask()[i])
@@ -415,8 +481,7 @@ mod stratified_tests {
     #[test]
     fn proportions_are_preserved() {
         let ds = skewed(400);
-        let split =
-            stratified_train_val_test_split(&ds, SplitSpec::paper_default(), 5).unwrap();
+        let split = stratified_train_val_test_split(&ds, SplitSpec::paper_default(), 5).unwrap();
         let overall = ds.base_rate(None);
         for part in [&split.train, &split.test] {
             assert!(
@@ -441,7 +506,11 @@ mod stratified_tests {
     #[test]
     fn rejects_tiny_input_and_bad_spec() {
         let ds = skewed(100);
-        let bad = SplitSpec { train: 0.5, validation: 0.4, test: 0.2 };
+        let bad = SplitSpec {
+            train: 0.5,
+            validation: 0.4,
+            test: 0.2,
+        };
         assert!(stratified_train_val_test_split(&ds, bad, 0).is_err());
     }
 }

@@ -36,14 +36,23 @@ pub fn numeric_summary(column: &Column) -> Result<NumericSummary> {
     let missing = values.iter().filter(|v| v.is_none()).count();
     let xs: Vec<f64> = values.iter().flatten().copied().collect();
     if xs.is_empty() {
-        return Err(Error::EmptyData("numeric summary of all-missing column".to_string()));
+        return Err(Error::EmptyData(
+            "numeric summary of all-missing column".to_string(),
+        ));
     }
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
     let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
     let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
     let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    Ok(NumericSummary { count: xs.len(), missing, mean, std_dev: var.sqrt(), min, max })
+    Ok(NumericSummary {
+        count: xs.len(),
+        missing,
+        mean,
+        std_dev: var.sqrt(),
+        min,
+        max,
+    })
 }
 
 /// Frequency table of a categorical column (missing values counted under
@@ -70,7 +79,10 @@ pub fn pearson_correlation(a: &Column, b: &Column) -> Result<f64> {
     let xs = a.as_numeric()?;
     let ys = b.as_numeric()?;
     if xs.len() != ys.len() {
-        return Err(Error::LengthMismatch { expected: xs.len(), actual: ys.len() });
+        return Err(Error::LengthMismatch {
+            expected: xs.len(),
+            actual: ys.len(),
+        });
     }
     let pairs: Vec<(f64, f64)> = xs
         .iter()
@@ -92,7 +104,9 @@ pub fn pearson_correlation(a: &Column, b: &Column) -> Result<f64> {
         syy += (y - my).powi(2);
     }
     if sxx == 0.0 || syy == 0.0 {
-        return Err(Error::EmptyData("zero-variance column in correlation".to_string()));
+        return Err(Error::EmptyData(
+            "zero-variance column in correlation".to_string(),
+        ));
     }
     Ok(sxy / (sxx.sqrt() * syy.sqrt()))
 }
@@ -131,10 +145,7 @@ impl GroupMissingness {
 }
 
 /// Computes [`GroupMissingness`] for `column` in `dataset`.
-pub fn group_missingness(
-    dataset: &BinaryLabelDataset,
-    column: &str,
-) -> Result<GroupMissingness> {
+pub fn group_missingness(dataset: &BinaryLabelDataset, column: &str) -> Result<GroupMissingness> {
     let col = dataset.frame().column(column)?;
     let mask = dataset.privileged_mask();
     let mut priv_missing = 0usize;
@@ -151,7 +162,9 @@ pub fn group_missingness(
         }
     }
     if priv_total == 0 || unpriv_total == 0 {
-        return Err(Error::EmptyGroup { privileged: priv_total == 0 });
+        return Err(Error::EmptyGroup {
+            privileged: priv_total == 0,
+        });
     }
     Ok(GroupMissingness {
         privileged_rate: priv_missing as f64 / priv_total as f64,
@@ -188,8 +201,16 @@ pub fn completeness_label_rates(dataset: &BinaryLabelDataset) -> CompletenessLab
         }
     }
     CompletenessLabelRates {
-        complete_rate: if cp.1 == 0 { f64::NAN } else { cp.0 / cp.1 as f64 },
-        incomplete_rate: if ip.1 == 0 { f64::NAN } else { ip.0 / ip.1 as f64 },
+        complete_rate: if cp.1 == 0 {
+            f64::NAN
+        } else {
+            cp.0 / cp.1 as f64
+        },
+        incomplete_rate: if ip.1 == 0 {
+            f64::NAN
+        } else {
+            ip.0 / ip.1 as f64
+        },
         complete_count: cp.1,
         incomplete_count: ip.1,
     }
@@ -258,14 +279,7 @@ mod tests {
         let frame = DataFrame::new()
             .with_column(
                 "country",
-                Column::from_optional_strs([
-                    Some("US"),
-                    Some("US"),
-                    Some("US"),
-                    None,
-                    None,
-                    None,
-                ]),
+                Column::from_optional_strs([Some("US"), Some("US"), Some("US"), None, None, None]),
             )
             .unwrap()
             .with_column("race", Column::from_strs(["w", "w", "w", "w", "n", "n"]))
@@ -276,8 +290,13 @@ mod tests {
             .categorical_feature("country")
             .metadata("race", ColumnKind::Categorical)
             .label("y");
-        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("race", &["w"]), "hi")
-            .unwrap()
+        BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("race", &["w"]),
+            "hi",
+        )
+        .unwrap()
     }
 
     #[test]
@@ -381,10 +400,16 @@ pub fn crosstab(frame: &DataFrame, a: &str, b: &str) -> Result<CrossTab> {
     row_categories.sort();
     let mut col_categories: Vec<String> = col_b.categories().to_vec();
     col_categories.sort();
-    let row_ix: BTreeMap<&str, usize> =
-        row_categories.iter().enumerate().map(|(i, c)| (c.as_str(), i)).collect();
-    let col_ix: BTreeMap<&str, usize> =
-        col_categories.iter().enumerate().map(|(i, c)| (c.as_str(), i)).collect();
+    let row_ix: BTreeMap<&str, usize> = row_categories
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.as_str(), i))
+        .collect();
+    let col_ix: BTreeMap<&str, usize> = col_categories
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.as_str(), i))
+        .collect();
 
     let mut counts = vec![vec![0usize; col_categories.len()]; row_categories.len()];
     let mut missing_pairs = 0usize;
@@ -398,7 +423,12 @@ pub fn crosstab(frame: &DataFrame, a: &str, b: &str) -> Result<CrossTab> {
             _ => missing_pairs += 1,
         }
     }
-    Ok(CrossTab { row_categories, col_categories, counts, missing_pairs })
+    Ok(CrossTab {
+        row_categories,
+        col_categories,
+        counts,
+        missing_pairs,
+    })
 }
 
 #[cfg(test)]
@@ -456,9 +486,15 @@ mod crosstab_tests {
     #[test]
     fn cramers_v_zero_for_independence() {
         let df = DataFrame::new()
-            .with_column("a", Column::from_strs(["x", "x", "y", "y", "x", "x", "y", "y"]))
+            .with_column(
+                "a",
+                Column::from_strs(["x", "x", "y", "y", "x", "x", "y", "y"]),
+            )
             .unwrap()
-            .with_column("b", Column::from_strs(["p", "q", "p", "q", "p", "q", "p", "q"]))
+            .with_column(
+                "b",
+                Column::from_strs(["p", "q", "p", "q", "p", "q", "p", "q"]),
+            )
             .unwrap();
         let ct = crosstab(&df, "a", "b").unwrap();
         assert!(ct.cramers_v().abs() < 1e-12);

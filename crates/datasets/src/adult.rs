@@ -40,7 +40,11 @@ pub enum AdultProtected {
 }
 
 /// Generates the synthetic adult dataset with `n` rows.
-pub fn generate_adult(n: usize, seed: u64, protected: AdultProtected) -> Result<BinaryLabelDataset> {
+pub fn generate_adult(
+    n: usize,
+    seed: u64,
+    protected: AdultProtected,
+) -> Result<BinaryLabelDataset> {
     let mut rng = component_rng(seed, "datasets/adult");
 
     let workclasses: &[(&str, f64)] = &[
@@ -141,7 +145,12 @@ pub fn generate_adult(n: usize, seed: u64, protected: AdultProtected) -> Result<
         } else {
             weighted_choice(
                 &mut rng,
-                &[("Never-married", 0.62), ("Divorced", 0.26), ("Widowed", 0.06), ("Separated", 0.06)],
+                &[
+                    ("Never-married", 0.62),
+                    ("Divorced", 0.26),
+                    ("Widowed", 0.06),
+                    ("Separated", 0.06),
+                ],
             )
         };
         let relationship = if married {
@@ -275,7 +284,10 @@ mod tests {
         let ds = sample();
         let white_frac =
             ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / ds.n_rows() as f64;
-        assert!((white_frac - 0.85).abs() < 0.02, "white fraction {white_frac}");
+        assert!(
+            (white_frac - 0.85).abs() < 0.02,
+            "white fraction {white_frac}"
+        );
     }
 
     #[test]
@@ -322,7 +334,11 @@ mod tests {
             let missing = ds.frame().column(name).unwrap().missing_count();
             let expected_missing =
                 matches!(name.as_str(), "workclass" | "occupation" | "native-country");
-            assert_eq!(missing > 0, expected_missing, "column {name}: {missing} missing");
+            assert_eq!(
+                missing > 0,
+                expected_missing,
+                "column {name}: {missing} missing"
+            );
         }
     }
 
@@ -346,8 +362,7 @@ mod tests {
     #[test]
     fn sex_protected_variant() {
         let ds = generate_adult(2000, 1, AdultProtected::Sex).unwrap();
-        let male_frac =
-            ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / 2000.0;
+        let male_frac = ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / 2000.0;
         assert!((male_frac - 0.67).abs() < 0.04, "male fraction {male_frac}");
         // Income gap by sex must favor the privileged group.
         assert!(ds.base_rate(Some(true)) > ds.base_rate(Some(false)) + 0.05);

@@ -58,7 +58,12 @@ pub fn generate_compas(
     for _ in 0..n {
         let race = weighted_choice(
             &mut rng,
-            &[("African-American", 0.51), ("Caucasian", 0.34), ("Hispanic", 0.09), ("Other", 0.06)],
+            &[
+                ("African-American", 0.51),
+                ("Caucasian", 0.34),
+                ("Hispanic", 0.09),
+                ("Other", 0.06),
+            ],
         );
         let caucasian = race == "Caucasian";
         let male = bernoulli(&mut rng, 0.81);
@@ -78,23 +83,28 @@ pub fn generate_compas(
         let priors = (-priors_mean * (rng.random::<f64>().max(1e-9)).ln())
             .round()
             .clamp(0.0, 38.0);
-        let juv_fel = if bernoulli(&mut rng, 0.06) { f64::from(rng.random_range(1..=3)) } else { 0.0 };
-        let juv_misd =
-            if bernoulli(&mut rng, 0.08) { f64::from(rng.random_range(1..=3)) } else { 0.0 };
+        let juv_fel = if bernoulli(&mut rng, 0.06) {
+            f64::from(rng.random_range(1..=3))
+        } else {
+            0.0
+        };
+        let juv_misd = if bernoulli(&mut rng, 0.08) {
+            f64::from(rng.random_range(1..=3))
+        } else {
+            0.0
+        };
         let felony = bernoulli(&mut rng, 0.64);
 
         // Recidivism model: priors and youth dominate.
-        let z = -0.95 + 0.17 * priors + 0.35 * juv_fel + 0.25 * juv_misd
-            - 0.028 * (age - 35.0)
+        let z = -0.95 + 0.17 * priors + 0.35 * juv_fel + 0.25 * juv_misd - 0.028 * (age - 35.0)
             + 0.12 * f64::from(u8::from(felony))
             + 0.18 * f64::from(u8::from(male));
         let recid = bernoulli(&mut rng, logistic(z));
 
         // COMPAS decile score: noisy monotone function of the same factors.
-        let decile = (1.0 + 9.0 * logistic(1.5 * z)
-            + crate::gen::normal(&mut rng, 0.0, 1.0))
-        .round()
-        .clamp(1.0, 10.0);
+        let decile = (1.0 + 9.0 * logistic(1.5 * z) + crate::gen::normal(&mut rng, 0.0, 1.0))
+            .round()
+            .clamp(1.0, 10.0);
 
         builder.push_row(vec![
             OwnedValue::Categorical(if male { "Male" } else { "Female" }.to_string()),
@@ -171,13 +181,21 @@ mod tests {
         let ds = sample();
         let caucasian =
             ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / ds.n_rows() as f64;
-        assert!((caucasian - 0.34).abs() < 0.03, "caucasian fraction {caucasian}");
+        assert!(
+            (caucasian - 0.34).abs() < 0.03,
+            "caucasian fraction {caucasian}"
+        );
     }
 
     #[test]
     fn decile_score_tracks_recidivism() {
         let ds = sample();
-        let decile = ds.frame().column("decile-score").unwrap().as_numeric().unwrap();
+        let decile = ds
+            .frame()
+            .column("decile-score")
+            .unwrap()
+            .as_numeric()
+            .unwrap();
         let labels = ds.labels();
         let mean = |recid: bool| {
             let xs: Vec<f64> = decile
@@ -194,8 +212,7 @@ mod tests {
     #[test]
     fn sex_protected_variant() {
         let ds = generate_compas(2000, 2, CompasProtected::Sex).unwrap();
-        let female =
-            ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / 2000.0;
+        let female = ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / 2000.0;
         assert!((female - 0.19).abs() < 0.04, "female fraction {female}");
     }
 

@@ -82,7 +82,9 @@ mod tests {
         let mut rng = component_rng(3, "gen/test");
         let opts = [("a", 0.8), ("b", 0.2)];
         let n = 10_000;
-        let a_count = (0..n).filter(|_| weighted_choice(&mut rng, &opts) == "a").count();
+        let a_count = (0..n)
+            .filter(|_| weighted_choice(&mut rng, &opts) == "a")
+            .count();
         let frac = a_count as f64 / n as f64;
         assert!((frac - 0.8).abs() < 0.03, "frac {frac}");
     }

@@ -81,30 +81,56 @@ pub fn generate_german_with(
         let latent = crate::gen::normal(&mut rng, 0.0, 1.0);
 
         let checking = if latent > 0.5 {
-            weighted_choice(&mut rng, &[("no-account", 0.6), (">=200", 0.25), ("0-200", 0.15)])
+            weighted_choice(
+                &mut rng,
+                &[("no-account", 0.6), (">=200", 0.25), ("0-200", 0.15)],
+            )
         } else {
-            weighted_choice(&mut rng, &[("<0", 0.45), ("0-200", 0.40), ("no-account", 0.15)])
+            weighted_choice(
+                &mut rng,
+                &[("<0", 0.45), ("0-200", 0.40), ("no-account", 0.15)],
+            )
         };
         let history = if latent > 0.0 {
             weighted_choice(
                 &mut rng,
-                &[("existing-paid", 0.55), ("all-paid", 0.25), ("critical", 0.20)],
+                &[
+                    ("existing-paid", 0.55),
+                    ("all-paid", 0.25),
+                    ("critical", 0.20),
+                ],
             )
         } else {
             weighted_choice(
                 &mut rng,
-                &[("existing-paid", 0.45), ("delayed", 0.30), ("critical", 0.25)],
+                &[
+                    ("existing-paid", 0.45),
+                    ("delayed", 0.30),
+                    ("critical", 0.25),
+                ],
             )
         };
         let savings = if latent > 0.3 {
-            weighted_choice(&mut rng, &[(">=1000", 0.35), ("500-1000", 0.25), ("<100", 0.4)])
+            weighted_choice(
+                &mut rng,
+                &[(">=1000", 0.35), ("500-1000", 0.25), ("<100", 0.4)],
+            )
         } else {
-            weighted_choice(&mut rng, &[("<100", 0.7), ("100-500", 0.2), ("unknown", 0.1)])
+            weighted_choice(
+                &mut rng,
+                &[("<100", 0.7), ("100-500", 0.2), ("unknown", 0.1)],
+            )
         };
         let employment = if latent > 0.0 {
-            weighted_choice(&mut rng, &[(">=7years", 0.35), ("4-7years", 0.30), ("1-4years", 0.35)])
+            weighted_choice(
+                &mut rng,
+                &[(">=7years", 0.35), ("4-7years", 0.30), ("1-4years", 0.35)],
+            )
         } else {
-            weighted_choice(&mut rng, &[("<1year", 0.35), ("1-4years", 0.40), ("unemployed", 0.25)])
+            weighted_choice(
+                &mut rng,
+                &[("<1year", 0.35), ("1-4years", 0.40), ("unemployed", 0.25)],
+            )
         };
         let purpose = weighted_choice(
             &mut rng,
@@ -122,16 +148,22 @@ pub fn generate_german_with(
         let residence = f64::from(rng.random_range(1..=4));
         let property = weighted_choice(
             &mut rng,
-            &[("real-estate", 0.28), ("building-society", 0.23), ("car", 0.33), ("unknown", 0.16)],
+            &[
+                ("real-estate", 0.28),
+                ("building-society", 0.23),
+                ("car", 0.33),
+                ("unknown", 0.16),
+            ],
         );
         let other_debtors = weighted_choice(
             &mut rng,
             &[("none", 0.91), ("guarantor", 0.05), ("co-applicant", 0.04)],
         );
-        let other_installments =
-            weighted_choice(&mut rng, &[("none", 0.81), ("bank", 0.14), ("stores", 0.05)]);
-        let housing =
-            weighted_choice(&mut rng, &[("own", 0.71), ("rent", 0.18), ("free", 0.11)]);
+        let other_installments = weighted_choice(
+            &mut rng,
+            &[("none", 0.81), ("bank", 0.14), ("stores", 0.05)],
+        );
+        let housing = weighted_choice(&mut rng, &[("own", 0.71), ("rent", 0.18), ("free", 0.11)]);
         let existing_credits = f64::from(rng.random_range(1..=4));
         let job = weighted_choice(
             &mut rng,
@@ -276,7 +308,10 @@ mod tests {
         }
         let rate_no_acct = good_no_account.0 as f64 / good_no_account.1 as f64;
         let rate_neg = good_below_zero.0 as f64 / good_below_zero.1 as f64;
-        assert!(rate_no_acct > rate_neg + 0.1, "{rate_no_acct} vs {rate_neg}");
+        assert!(
+            rate_no_acct > rate_neg + 0.1,
+            "{rate_no_acct} vs {rate_neg}"
+        );
     }
 
     #[test]
@@ -299,8 +334,10 @@ mod tests {
             );
         }
         // Age > 25 is the large majority (clipped normal around 35.5).
-        let privileged =
-            ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / 1000.0;
-        assert!((0.7..0.95).contains(&privileged), "privileged fraction {privileged}");
+        let privileged = ds.privileged_mask().iter().filter(|&&p| p).count() as f64 / 1000.0;
+        assert!(
+            (0.7..0.95).contains(&privileged),
+            "privileged fraction {privileged}"
+        );
     }
 }

@@ -47,7 +47,9 @@ pub fn generate_payment(n: usize, seed: u64) -> Result<BinaryLabelDataset> {
         } else {
             clipped_normal(&mut rng, 33.0, 9.0, 18.0, 85.0).round()
         };
-        let purchases = (-8.0 * (rng.random::<f64>().max(1e-9)).ln()).round().min(200.0);
+        let purchases = (-8.0 * (rng.random::<f64>().max(1e-9)).ln())
+            .round()
+            .min(200.0);
         let basket = clipped_normal(&mut rng, 55.0, 30.0, 5.0, 400.0);
         let returns = (rng.random::<f64>() * 0.4).min(0.4);
         let tenure = (rng.random::<f64>() * 10.0).round();
@@ -55,8 +57,7 @@ pub fn generate_payment(n: usize, seed: u64) -> Result<BinaryLabelDataset> {
 
         // Label: offer the invoice (pay-later) option. Age is an important
         // feature, as Ann hypothesizes.
-        let z = -1.1 + 0.045 * (age - 35.0) + 0.06 * purchases.min(30.0)
-            + 0.25 * tenure
+        let z = -1.1 + 0.045 * (age - 35.0) + 0.06 * purchases.min(30.0) + 0.25 * tenure
             - 4.0 * returns
             + 0.004 * (basket - 55.0);
         let offer = bernoulli(&mut rng, logistic(z));
@@ -65,7 +66,11 @@ pub fn generate_payment(n: usize, seed: u64) -> Result<BinaryLabelDataset> {
         let age_missing = bernoulli(&mut rng, if male { 0.03 } else { 0.22 });
 
         builder.push_row(vec![
-            if age_missing { OwnedValue::Missing } else { OwnedValue::Numeric(age) },
+            if age_missing {
+                OwnedValue::Missing
+            } else {
+                OwnedValue::Numeric(age)
+            },
             OwnedValue::Categorical(if male { "male" } else { "female" }.to_string()),
             OwnedValue::Numeric(purchases),
             OwnedValue::Numeric(basket),

@@ -54,14 +54,19 @@ pub fn generate_ricci(n: usize, seed: u64) -> Result<BinaryLabelDataset> {
         let promoted = combine >= 70.0;
 
         builder.push_row(vec![
-            OwnedValue::Categorical(
-                if lieutenant { "Lieutenant" } else { "Captain" }.to_string(),
-            ),
+            OwnedValue::Categorical(if lieutenant { "Lieutenant" } else { "Captain" }.to_string()),
             OwnedValue::Numeric((oral * 100.0).round() / 100.0),
             OwnedValue::Numeric((written * 100.0).round() / 100.0),
             OwnedValue::Numeric((combine * 100.0).round() / 100.0),
             OwnedValue::Categorical(if white { "W" } else { "NW" }.to_string()),
-            OwnedValue::Categorical(if promoted { "Promotion" } else { "No promotion" }.to_string()),
+            OwnedValue::Categorical(
+                if promoted {
+                    "Promotion"
+                } else {
+                    "No promotion"
+                }
+                .to_string(),
+            ),
         ])?;
     }
 
@@ -73,7 +78,12 @@ pub fn generate_ricci(n: usize, seed: u64) -> Result<BinaryLabelDataset> {
         .numeric_feature("combine")
         .metadata("race", ColumnKind::Categorical)
         .label("promotion");
-    BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("race", &["W"]), "Promotion")
+    BinaryLabelDataset::new(
+        frame,
+        schema,
+        ProtectedAttribute::categorical("race", &["W"]),
+        "Promotion",
+    )
 }
 
 #[cfg(test)]
@@ -128,7 +138,10 @@ mod tests {
         let ds = sample();
         let written = ds.frame().column("written").unwrap();
         let mean = written.mean().unwrap();
-        assert!(mean > 40.0, "written mean {mean} — must stay on the 0–100 scale");
+        assert!(
+            mean > 40.0,
+            "written mean {mean} — must stay on the 0–100 scale"
+        );
     }
 
     #[test]

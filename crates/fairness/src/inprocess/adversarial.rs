@@ -38,7 +38,11 @@ pub struct AdversarialDebiasing {
 
 impl Default for AdversarialDebiasing {
     fn default() -> Self {
-        AdversarialDebiasing { debias_weight: 1.0, epochs: 30, eta0: 0.05 }
+        AdversarialDebiasing {
+            debias_weight: 1.0,
+            epochs: 30,
+            eta0: 0.05,
+        }
     }
 }
 
@@ -55,12 +59,16 @@ impl InProcessor for AdversarialDebiasing {
         privileged: &[bool],
         seed: u64,
     ) -> Result<Box<dyn FittedClassifier>> {
-        if x.n_rows() != y.len() || x.n_rows() != privileged.len() || x.n_rows() != weights.len()
-        {
-            return Err(Error::LengthMismatch { expected: x.n_rows(), actual: y.len() });
+        if x.n_rows() != y.len() || x.n_rows() != privileged.len() || x.n_rows() != weights.len() {
+            return Err(Error::LengthMismatch {
+                expected: x.n_rows(),
+                actual: y.len(),
+            });
         }
         if x.n_rows() == 0 {
-            return Err(Error::EmptyData("adversarial debiasing training set".to_string()));
+            return Err(Error::EmptyData(
+                "adversarial debiasing training set".to_string(),
+            ));
         }
         if !(self.debias_weight.is_finite() && self.debias_weight >= 0.0) {
             return Err(Error::InvalidParameter {
@@ -117,7 +125,10 @@ impl InProcessor for AdversarialDebiasing {
             }
         }
 
-        Ok(Box::new(FittedLogisticRegression { weights: w, intercept: b }))
+        Ok(Box::new(FittedLogisticRegression {
+            weights: w,
+            intercept: b,
+        }))
     }
 }
 
@@ -130,10 +141,20 @@ mod tests {
     fn debiasing_shrinks_the_selection_gap() {
         let (x, y, w, mask) = proxy_dataset(2000, 1);
 
-        let plain = AdversarialDebiasing { debias_weight: 0.0, ..Default::default() };
-        let fair = AdversarialDebiasing { debias_weight: 4.0, ..Default::default() };
+        let plain = AdversarialDebiasing {
+            debias_weight: 0.0,
+            ..Default::default()
+        };
+        let fair = AdversarialDebiasing {
+            debias_weight: 4.0,
+            ..Default::default()
+        };
 
-        let plain_preds = plain.fit(&x, &y, &w, &mask, 5).unwrap().predict(&x).unwrap();
+        let plain_preds = plain
+            .fit(&x, &y, &w, &mask, 5)
+            .unwrap()
+            .predict(&x)
+            .unwrap();
         let fair_preds = fair.fit(&x, &y, &w, &mask, 5).unwrap().predict(&x).unwrap();
 
         let gap_plain = selection_gap(&plain_preds, &mask).abs();
@@ -147,20 +168,34 @@ mod tests {
     #[test]
     fn model_still_learns_the_task() {
         let (x, y, w, mask) = proxy_dataset(2000, 2);
-        let model = AdversarialDebiasing::default().fit(&x, &y, &w, &mask, 3).unwrap();
+        let model = AdversarialDebiasing::default()
+            .fit(&x, &y, &w, &mask, 3)
+            .unwrap();
         let preds = model.predict(&x).unwrap();
         let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
         // Bayes-optimal fair accuracy is below 1.0 on this data, but the
         // genuine feature still carries signal.
-        assert!(correct as f64 / y.len() as f64 > 0.6, "{correct}/{}", y.len());
+        assert!(
+            correct as f64 / y.len() as f64 > 0.6,
+            "{correct}/{}",
+            y.len()
+        );
     }
 
     #[test]
     fn training_is_seed_deterministic() {
         let (x, y, w, mask) = proxy_dataset(300, 4);
         let learner = AdversarialDebiasing::default();
-        let a = learner.fit(&x, &y, &w, &mask, 9).unwrap().predict_proba(&x).unwrap();
-        let b = learner.fit(&x, &y, &w, &mask, 9).unwrap().predict_proba(&x).unwrap();
+        let a = learner
+            .fit(&x, &y, &w, &mask, 9)
+            .unwrap()
+            .predict_proba(&x)
+            .unwrap();
+        let b = learner
+            .fit(&x, &y, &w, &mask, 9)
+            .unwrap()
+            .predict_proba(&x)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -169,7 +204,10 @@ mod tests {
         let (x, y, w, mask) = proxy_dataset(10, 0);
         let learner = AdversarialDebiasing::default();
         assert!(learner.fit(&x, &y[..5], &w, &mask, 0).is_err());
-        let bad = AdversarialDebiasing { debias_weight: -1.0, ..Default::default() };
+        let bad = AdversarialDebiasing {
+            debias_weight: -1.0,
+            ..Default::default()
+        };
         assert!(bad.fit(&x, &y, &w, &mask, 0).is_err());
     }
 

@@ -78,7 +78,10 @@ impl InProcessor for LearnedFairRepresentations {
             return Err(Error::EmptyData("LFR training set".to_string()));
         }
         if y.len() != n || weights.len() != n || privileged.len() != n {
-            return Err(Error::LengthMismatch { expected: n, actual: y.len() });
+            return Err(Error::LengthMismatch {
+                expected: n,
+                actual: y.len(),
+            });
         }
         if self.n_prototypes < 2 {
             return Err(Error::InvalidParameter {
@@ -90,7 +93,9 @@ impl InProcessor for LearnedFairRepresentations {
         let n_priv = privileged.iter().filter(|&&p| p).count();
         let n_unpriv = n - n_priv;
         if n_priv == 0 || n_unpriv == 0 {
-            return Err(Error::EmptyGroup { privileged: n_priv == 0 });
+            return Err(Error::EmptyGroup {
+                privileged: n_priv == 0,
+            });
         }
 
         // Initialize prototypes from randomly-chosen training rows (with a
@@ -115,8 +120,7 @@ impl InProcessor for LearnedFairRepresentations {
                 let mut z_max = f64::NEG_INFINITY;
                 let mut zs = vec![0.0_f64; k];
                 for (kk, proto) in prototypes.iter().enumerate() {
-                    let dist2: f64 =
-                        row.iter().zip(proto).map(|(a, b)| (a - b).powi(2)).sum();
+                    let dist2: f64 = row.iter().zip(proto).map(|(a, b)| (a - b).powi(2)).sum();
                     zs[kk] = -dist2;
                     z_max = z_max.max(zs[kk]);
                 }
@@ -135,7 +139,11 @@ impl InProcessor for LearnedFairRepresentations {
             let mut mean_priv = vec![0.0_f64; k];
             let mut mean_unpriv = vec![0.0_f64; k];
             for i in 0..n {
-                let target = if privileged[i] { &mut mean_priv } else { &mut mean_unpriv };
+                let target = if privileged[i] {
+                    &mut mean_priv
+                } else {
+                    &mut mean_unpriv
+                };
                 for kk in 0..k {
                     target[kk] += m[i][kk];
                 }
@@ -191,9 +199,7 @@ impl InProcessor for LearnedFairRepresentations {
                     }
                     if self.a_x > 0.0 {
                         // Direct L_x term: 2 (x̂ − x) M_ik / n.
-                        for (gv, (&rj, &xj)) in
-                            grad_v[kk].iter_mut().zip(recon.iter().zip(row))
-                        {
+                        for (gv, (&rj, &xj)) in grad_v[kk].iter_mut().zip(recon.iter().zip(row)) {
                             *gv += self.a_x * 2.0 * (rj - xj) * m[i][kk] / n as f64;
                         }
                     }
@@ -222,7 +228,10 @@ impl FittedClassifier for FittedLfr {
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         let d = self.prototypes.first().map_or(0, Vec::len);
         if x.n_cols() != d {
-            return Err(Error::LengthMismatch { expected: d, actual: x.n_cols() });
+            return Err(Error::LengthMismatch {
+                expected: d,
+                actual: x.n_cols(),
+            });
         }
         Ok(x.rows_iter()
             .map(|row| {
@@ -231,8 +240,7 @@ impl FittedClassifier for FittedLfr {
                     .prototypes
                     .iter()
                     .map(|proto| {
-                        let dist2: f64 =
-                            row.iter().zip(proto).map(|(a, b)| (a - b).powi(2)).sum();
+                        let dist2: f64 = row.iter().zip(proto).map(|(a, b)| (a - b).powi(2)).sum();
                         let z = -dist2;
                         z_max = z_max.max(z);
                         z
@@ -259,19 +267,27 @@ mod tests {
     #[test]
     fn learns_the_task() {
         let (x, y, w, mask) = proxy_dataset(800, 31);
-        let lfr = LearnedFairRepresentations { a_z: 0.5, ..Default::default() };
+        let lfr = LearnedFairRepresentations {
+            a_z: 0.5,
+            ..Default::default()
+        };
         let model = lfr.fit(&x, &y, &w, &mask, 3).unwrap();
         let preds = model.predict(&x).unwrap();
-        let acc =
-            preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
         assert!(acc > 0.6, "accuracy {acc}");
     }
 
     #[test]
     fn stronger_parity_weight_shrinks_the_gap() {
         let (x, y, w, mask) = proxy_dataset(1200, 32);
-        let loose = LearnedFairRepresentations { a_z: 0.0, ..Default::default() };
-        let strict = LearnedFairRepresentations { a_z: 30.0, ..Default::default() };
+        let loose = LearnedFairRepresentations {
+            a_z: 0.0,
+            ..Default::default()
+        };
+        let strict = LearnedFairRepresentations {
+            a_z: 30.0,
+            ..Default::default()
+        };
         let gap = |lfr: &LearnedFairRepresentations| {
             let preds = lfr.fit(&x, &y, &w, &mask, 7).unwrap().predict(&x).unwrap();
             selection_gap(&preds, &mask).abs()
@@ -291,18 +307,31 @@ mod tests {
             iterations: 40,
             ..Default::default()
         };
-        let a = lfr.fit(&x, &y, &w, &mask, 1).unwrap().predict_proba(&x).unwrap();
-        let b = lfr.fit(&x, &y, &w, &mask, 1).unwrap().predict_proba(&x).unwrap();
+        let a = lfr
+            .fit(&x, &y, &w, &mask, 1)
+            .unwrap()
+            .predict_proba(&x)
+            .unwrap();
+        let b = lfr
+            .fit(&x, &y, &w, &mask, 1)
+            .unwrap()
+            .predict_proba(&x)
+            .unwrap();
         assert_eq!(a, b);
-        let c = lfr.fit(&x, &y, &w, &mask, 2).unwrap().predict_proba(&x).unwrap();
+        let c = lfr
+            .fit(&x, &y, &w, &mask, 2)
+            .unwrap()
+            .predict_proba(&x)
+            .unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
     fn probabilities_in_unit_interval() {
         let (x, y, w, mask) = proxy_dataset(300, 34);
-        let model =
-            LearnedFairRepresentations::default().fit(&x, &y, &w, &mask, 5).unwrap();
+        let model = LearnedFairRepresentations::default()
+            .fit(&x, &y, &w, &mask, 5)
+            .unwrap();
         for p in model.predict_proba(&x).unwrap() {
             assert!((0.0..=1.0).contains(&p) && p.is_finite());
         }
@@ -313,8 +342,10 @@ mod tests {
         let (x, y, w, mask) = proxy_dataset(20, 35);
         let lfr = LearnedFairRepresentations::default();
         assert!(lfr.fit(&x, &y[..10], &w, &mask, 0).is_err());
-        let one_proto =
-            LearnedFairRepresentations { n_prototypes: 1, ..Default::default() };
+        let one_proto = LearnedFairRepresentations {
+            n_prototypes: 1,
+            ..Default::default()
+        };
         assert!(one_proto.fit(&x, &y, &w, &mask, 0).is_err());
         let one_group = vec![true; 20];
         assert!(lfr.fit(&x, &y, &w, &one_group, 0).is_err());

@@ -42,10 +42,7 @@ pub(crate) mod test_support {
     /// A dataset where the label is predictable from feature 0, and feature 1
     /// encodes the protected group almost perfectly (the "leaky proxy").
     /// A plain learner exploits the proxy; a debiased learner should not.
-    pub(crate) fn proxy_dataset(
-        n: usize,
-        seed: u64,
-    ) -> (Matrix, Vec<f64>, Vec<f64>, Vec<bool>) {
+    pub(crate) fn proxy_dataset(n: usize, seed: u64) -> (Matrix, Vec<f64>, Vec<f64>, Vec<bool>) {
         let mut rng = fairprep_data::rng::component_rng(seed, "test/proxy");
         let mut rows = Vec::with_capacity(n);
         let mut y = Vec::with_capacity(n);

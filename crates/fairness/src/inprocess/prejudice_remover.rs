@@ -33,7 +33,12 @@ pub struct PrejudiceRemover {
 
 impl Default for PrejudiceRemover {
     fn default() -> Self {
-        PrejudiceRemover { eta: 1.0, iterations: 300, learning_rate: 0.5, alpha: 1e-4 }
+        PrejudiceRemover {
+            eta: 1.0,
+            iterations: 300,
+            learning_rate: 0.5,
+            alpha: 1e-4,
+        }
     }
 }
 
@@ -50,12 +55,16 @@ impl InProcessor for PrejudiceRemover {
         privileged: &[bool],
         _seed: u64,
     ) -> Result<Box<dyn FittedClassifier>> {
-        if x.n_rows() != y.len() || x.n_rows() != privileged.len() || x.n_rows() != weights.len()
-        {
-            return Err(Error::LengthMismatch { expected: x.n_rows(), actual: y.len() });
+        if x.n_rows() != y.len() || x.n_rows() != privileged.len() || x.n_rows() != weights.len() {
+            return Err(Error::LengthMismatch {
+                expected: x.n_rows(),
+                actual: y.len(),
+            });
         }
         if x.n_rows() == 0 {
-            return Err(Error::EmptyData("prejudice remover training set".to_string()));
+            return Err(Error::EmptyData(
+                "prejudice remover training set".to_string(),
+            ));
         }
         if !(self.eta.is_finite() && self.eta >= 0.0) {
             return Err(Error::InvalidParameter {
@@ -68,7 +77,9 @@ impl InProcessor for PrejudiceRemover {
         let n_priv = privileged.iter().filter(|&&p| p).count();
         let n_unpriv = n - n_priv;
         if n_priv == 0 || n_unpriv == 0 {
-            return Err(Error::EmptyGroup { privileged: n_priv == 0 });
+            return Err(Error::EmptyGroup {
+                privileged: n_priv == 0,
+            });
         }
 
         let total_weight: f64 = weights.iter().sum();
@@ -120,7 +131,10 @@ impl InProcessor for PrejudiceRemover {
             b -= self.learning_rate * grad_b;
         }
 
-        Ok(Box::new(FittedLogisticRegression { weights: w, intercept: b }))
+        Ok(Box::new(FittedLogisticRegression {
+            weights: w,
+            intercept: b,
+        }))
     }
 }
 
@@ -132,10 +146,20 @@ mod tests {
     #[test]
     fn penalty_shrinks_score_gap() {
         let (x, y, w, mask) = proxy_dataset(1500, 21);
-        let plain = PrejudiceRemover { eta: 0.0, ..Default::default() };
-        let fair = PrejudiceRemover { eta: 10.0, ..Default::default() };
+        let plain = PrejudiceRemover {
+            eta: 0.0,
+            ..Default::default()
+        };
+        let fair = PrejudiceRemover {
+            eta: 10.0,
+            ..Default::default()
+        };
 
-        let plain_preds = plain.fit(&x, &y, &w, &mask, 0).unwrap().predict(&x).unwrap();
+        let plain_preds = plain
+            .fit(&x, &y, &w, &mask, 0)
+            .unwrap()
+            .predict(&x)
+            .unwrap();
         let fair_preds = fair.fit(&x, &y, &w, &mask, 0).unwrap().predict(&x).unwrap();
 
         let gap_plain = selection_gap(&plain_preds, &mask).abs();
@@ -149,9 +173,12 @@ mod tests {
     #[test]
     fn zero_eta_is_plain_logistic_regression_quality() {
         let (x, y, w, mask) = proxy_dataset(1000, 22);
-        let model = PrejudiceRemover { eta: 0.0, ..Default::default() }
-            .fit(&x, &y, &w, &mask, 0)
-            .unwrap();
+        let model = PrejudiceRemover {
+            eta: 0.0,
+            ..Default::default()
+        }
+        .fit(&x, &y, &w, &mask, 0)
+        .unwrap();
         let preds = model.predict(&x).unwrap();
         let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
         assert!(correct as f64 / y.len() as f64 > 0.75);
@@ -162,18 +189,33 @@ mod tests {
         // Full-batch GD has no randomness: seed must not matter.
         let (x, y, w, mask) = proxy_dataset(200, 23);
         let learner = PrejudiceRemover::default();
-        let a = learner.fit(&x, &y, &w, &mask, 1).unwrap().predict_proba(&x).unwrap();
-        let b = learner.fit(&x, &y, &w, &mask, 2).unwrap().predict_proba(&x).unwrap();
+        let a = learner
+            .fit(&x, &y, &w, &mask, 1)
+            .unwrap()
+            .predict_proba(&x)
+            .unwrap();
+        let b = learner
+            .fit(&x, &y, &w, &mask, 2)
+            .unwrap()
+            .predict_proba(&x)
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn invalid_inputs_rejected() {
         let (x, y, w, mask) = proxy_dataset(10, 0);
-        assert!(PrejudiceRemover::default().fit(&x, &y[..4], &w, &mask, 0).is_err());
-        let bad = PrejudiceRemover { eta: f64::NAN, ..Default::default() };
+        assert!(PrejudiceRemover::default()
+            .fit(&x, &y[..4], &w, &mask, 0)
+            .is_err());
+        let bad = PrejudiceRemover {
+            eta: f64::NAN,
+            ..Default::default()
+        };
         assert!(bad.fit(&x, &y, &w, &mask, 0).is_err());
         let one_group = vec![true; 10];
-        assert!(PrejudiceRemover::default().fit(&x, &y, &w, &one_group, 0).is_err());
+        assert!(PrejudiceRemover::default()
+            .fit(&x, &y, &w, &one_group, 0)
+            .is_err());
     }
 }

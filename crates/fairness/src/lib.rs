@@ -35,13 +35,12 @@ pub mod prelude {
         AdversarialDebiasing, InProcessor, LearnedFairRepresentations, PrejudiceRemover,
     };
     pub use crate::metrics::{
-        consistency, DatasetMetrics, DifferenceMetrics, GroupMetrics, MetricsReport,
-        ReportInputs,
+        consistency, DatasetMetrics, DifferenceMetrics, GroupMetrics, MetricsReport, ReportInputs,
     };
     pub use crate::postprocess::{
         CalibratedEqOdds, CostConstraint, EqOddsPostprocessing, FittedPostprocessor,
-        GroupThresholdOptimizer, NoPostprocessing, Postprocessor,
-        RejectOptionClassification, ThresholdConstraint,
+        GroupThresholdOptimizer, NoPostprocessing, Postprocessor, RejectOptionClassification,
+        ThresholdConstraint,
     };
     pub use crate::preprocess::{
         DisparateImpactRemover, FittedPreprocessor, Massaging, NoIntervention,

@@ -90,7 +90,10 @@ impl DatasetMetrics {
 pub fn consistency(x: &Matrix, labels: &[f64], k: usize) -> Result<f64> {
     let n = x.n_rows();
     if n != labels.len() {
-        return Err(Error::LengthMismatch { expected: n, actual: labels.len() });
+        return Err(Error::LengthMismatch {
+            expected: n,
+            actual: labels.len(),
+        });
     }
     if k == 0 || k >= n {
         return Err(Error::InvalidParameter {
@@ -107,16 +110,11 @@ pub fn consistency(x: &Matrix, labels: &[f64], k: usize) -> Result<f64> {
             if i == j {
                 continue;
             }
-            let d: f64 = xi
-                .iter()
-                .zip(x.row(j))
-                .map(|(a, b)| (a - b).powi(2))
-                .sum();
+            let d: f64 = xi.iter().zip(x.row(j)).map(|(a, b)| (a - b).powi(2)).sum();
             dists.push((d, j));
         }
         dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let neighbor_mean: f64 =
-            dists[..k].iter().map(|&(_, j)| labels[j]).sum::<f64>() / k as f64;
+        let neighbor_mean: f64 = dists[..k].iter().map(|&(_, j)| labels[j]).sum::<f64>() / k as f64;
         total_dev += (labels[i] - neighbor_mean).abs();
     }
     Ok(1.0 - total_dev / n as f64)
@@ -155,8 +153,13 @@ mod tests {
             .numeric_feature("x")
             .metadata("g", ColumnKind::Categorical)
             .label("y");
-        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p")
-            .unwrap()
+        BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "p",
+        )
+        .unwrap()
     }
 
     #[test]
@@ -169,8 +172,7 @@ mod tests {
         assert!(m.disparate_impact < 1.0);
         assert!(m.statistical_parity_difference < 0.0);
         assert!(
-            (m.disparate_impact - m.unprivileged_base_rate / m.privileged_base_rate).abs()
-                < 1e-12
+            (m.disparate_impact - m.unprivileged_base_rate / m.privileged_base_rate).abs() < 1e-12
         );
     }
 
@@ -178,13 +180,15 @@ mod tests {
     fn weighted_rates_reflect_reweighing() {
         use crate::preprocess::{Preprocessor, Reweighing};
         let ds = biased(80);
-        let reweighed = Reweighing.fit(&ds, 0).unwrap().transform_train(&ds).unwrap();
+        let reweighed = Reweighing
+            .fit(&ds, 0)
+            .unwrap()
+            .transform_train(&ds)
+            .unwrap();
         let m = DatasetMetrics::compute(&reweighed).unwrap();
         // Unweighted rates unchanged; weighted rates equalized.
         assert!(m.privileged_base_rate > m.unprivileged_base_rate);
-        assert!(
-            (m.weighted_privileged_base_rate - m.weighted_unprivileged_base_rate).abs() < 1e-9
-        );
+        assert!((m.weighted_privileged_base_rate - m.weighted_unprivileged_base_rate).abs() < 1e-9);
     }
 
     #[test]

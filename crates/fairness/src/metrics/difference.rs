@@ -78,8 +78,11 @@ impl DifferenceMetrics {
                 actual: y_pred.len().min(privileged_mask.len()),
             });
         }
-        let benefits: Vec<f64> =
-            y_pred.iter().zip(y_true).map(|(&p, &t)| p - t + 1.0).collect();
+        let benefits: Vec<f64> = y_pred
+            .iter()
+            .zip(y_true)
+            .map(|(&p, &t)| p - t + 1.0)
+            .collect();
 
         // Between-group benefit vector: group means in place of values.
         let mut group_sums = [0.0_f64; 2];
@@ -90,11 +93,21 @@ impl DifferenceMetrics {
             group_counts[g] += 1;
         }
         let group_means = [
-            if group_counts[0] > 0 { group_sums[0] / group_counts[0] as f64 } else { 0.0 },
-            if group_counts[1] > 0 { group_sums[1] / group_counts[1] as f64 } else { 0.0 },
+            if group_counts[0] > 0 {
+                group_sums[0] / group_counts[0] as f64
+            } else {
+                0.0
+            },
+            if group_counts[1] > 0 {
+                group_sums[1] / group_counts[1] as f64
+            } else {
+                0.0
+            },
         ];
-        let between: Vec<f64> =
-            privileged_mask.iter().map(|&m| group_means[usize::from(m)]).collect();
+        let between: Vec<f64> = privileged_mask
+            .iter()
+            .map(|&m| group_means[usize::from(m)])
+            .collect();
 
         let d = |u: f64, p: f64| u - p;
         Ok(DifferenceMetrics {
@@ -137,36 +150,69 @@ impl DifferenceMetrics {
     pub fn to_map(&self) -> BTreeMap<String, f64> {
         let mut m = BTreeMap::new();
         m.insert("disparate_impact".into(), self.disparate_impact);
-        m.insert("statistical_parity_difference".into(), self.statistical_parity_difference);
-        m.insert("equal_opportunity_difference".into(), self.equal_opportunity_difference);
-        m.insert("average_odds_difference".into(), self.average_odds_difference);
-        m.insert("average_abs_odds_difference".into(), self.average_abs_odds_difference);
+        m.insert(
+            "statistical_parity_difference".into(),
+            self.statistical_parity_difference,
+        );
+        m.insert(
+            "equal_opportunity_difference".into(),
+            self.equal_opportunity_difference,
+        );
+        m.insert(
+            "average_odds_difference".into(),
+            self.average_odds_difference,
+        );
+        m.insert(
+            "average_abs_odds_difference".into(),
+            self.average_abs_odds_difference,
+        );
         m.insert(
             "false_negative_rate_difference".into(),
             self.false_negative_rate_difference,
         );
-        m.insert("false_negative_rate_ratio".into(), self.false_negative_rate_ratio);
+        m.insert(
+            "false_negative_rate_ratio".into(),
+            self.false_negative_rate_ratio,
+        );
         m.insert(
             "false_positive_rate_difference".into(),
             self.false_positive_rate_difference,
         );
-        m.insert("false_positive_rate_ratio".into(), self.false_positive_rate_ratio);
-        m.insert("true_negative_rate_difference".into(), self.true_negative_rate_difference);
+        m.insert(
+            "false_positive_rate_ratio".into(),
+            self.false_positive_rate_ratio,
+        );
+        m.insert(
+            "true_negative_rate_difference".into(),
+            self.true_negative_rate_difference,
+        );
         m.insert("error_rate_difference".into(), self.error_rate_difference);
         m.insert("error_rate_ratio".into(), self.error_rate_ratio);
         m.insert("accuracy_difference".into(), self.accuracy_difference);
-        m.insert("balanced_accuracy_difference".into(), self.balanced_accuracy_difference);
+        m.insert(
+            "balanced_accuracy_difference".into(),
+            self.balanced_accuracy_difference,
+        );
         m.insert("precision_difference".into(), self.precision_difference);
         m.insert("f1_difference".into(), self.f1_difference);
         m.insert("base_rate_difference".into(), self.base_rate_difference);
         m.insert("theil_index".into(), self.theil_index);
-        m.insert("generalized_entropy_index".into(), self.generalized_entropy_index);
-        m.insert("coefficient_of_variation".into(), self.coefficient_of_variation);
+        m.insert(
+            "generalized_entropy_index".into(),
+            self.generalized_entropy_index,
+        );
+        m.insert(
+            "coefficient_of_variation".into(),
+            self.coefficient_of_variation,
+        );
         m.insert(
             "between_group_generalized_entropy_index".into(),
             self.between_group_generalized_entropy_index,
         );
-        m.insert("between_group_theil_index".into(), self.between_group_theil_index);
+        m.insert(
+            "between_group_theil_index".into(),
+            self.between_group_theil_index,
+        );
         m
     }
 }

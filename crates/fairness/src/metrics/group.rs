@@ -70,11 +70,7 @@ pub struct GroupMetrics {
 impl GroupMetrics {
     /// Computes the metric block from labels, hard predictions, and
     /// (optionally) probabilistic scores.
-    pub fn compute(
-        y_true: &[f64],
-        y_pred: &[f64],
-        scores: Option<&[f64]>,
-    ) -> Result<GroupMetrics> {
+    pub fn compute(y_true: &[f64], y_pred: &[f64], scores: Option<&[f64]>) -> Result<GroupMetrics> {
         if y_true.is_empty() {
             return Err(Error::EmptyData("metrics population".to_string()));
         }
@@ -157,7 +153,10 @@ impl GroupMetrics {
         m.insert("auc".into(), self.auc);
         m.insert("log_loss".into(), self.log_loss);
         m.insert("mean_score".into(), self.mean_score);
-        m.insert("generalized_entropy_index".into(), self.generalized_entropy_index);
+        m.insert(
+            "generalized_entropy_index".into(),
+            self.generalized_entropy_index,
+        );
         m
     }
 }
@@ -170,8 +169,11 @@ pub fn generalized_entropy_index(y_true: &[f64], y_pred: &[f64], alpha: f64) -> 
     if n == 0 {
         return f64::NAN;
     }
-    let benefits: Vec<f64> =
-        y_pred.iter().zip(y_true).map(|(&p, &t)| p - t + 1.0).collect();
+    let benefits: Vec<f64> = y_pred
+        .iter()
+        .zip(y_true)
+        .map(|(&p, &t)| p - t + 1.0)
+        .collect();
     gei_of_benefits(&benefits, alpha)
 }
 

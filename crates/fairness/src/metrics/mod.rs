@@ -8,7 +8,5 @@ pub mod report;
 
 pub use dataset::{consistency, DatasetMetrics};
 pub use difference::DifferenceMetrics;
-pub use group::{
-    coefficient_of_variation, generalized_entropy_index, theil_index, GroupMetrics,
-};
+pub use group::{coefficient_of_variation, generalized_entropy_index, theil_index, GroupMetrics};
 pub use report::{MetricsReport, ReportInputs};

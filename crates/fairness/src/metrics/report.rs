@@ -67,7 +67,13 @@ pub struct ReportInputs<'a> {
 impl MetricsReport {
     /// Computes the full report.
     pub fn compute(inputs: ReportInputs<'_>) -> Result<MetricsReport> {
-        let ReportInputs { y_true, y_pred, scores, privileged_mask, incomplete_mask } = inputs;
+        let ReportInputs {
+            y_true,
+            y_pred,
+            scores,
+            privileged_mask,
+            incomplete_mask,
+        } = inputs;
         if y_true.len() != privileged_mask.len() {
             return Err(Error::LengthMismatch {
                 expected: y_true.len(),

@@ -46,7 +46,9 @@ pub struct CalibratedEqOdds {
 
 impl Default for CalibratedEqOdds {
     fn default() -> Self {
-        CalibratedEqOdds { constraint: CostConstraint::FalseNegativeRate }
+        CalibratedEqOdds {
+            constraint: CostConstraint::FalseNegativeRate,
+        }
     }
 }
 
@@ -88,7 +90,11 @@ impl GroupStats {
         } else {
             f64::NAN
         };
-        GroupStats { base_rate, gfnr, gfpr }
+        GroupStats {
+            base_rate,
+            gfnr,
+            gfpr,
+        }
     }
 
     fn cost(&self, constraint: CostConstraint) -> f64 {
@@ -182,7 +188,12 @@ impl Postprocessor for CalibratedEqOdds {
         val_privileged: &[bool],
         seed: u64,
     ) -> Result<Box<dyn FittedPostprocessor>> {
-        Ok(Box::new(self.fit_concrete(val_scores, val_labels, val_privileged, seed)?))
+        Ok(Box::new(self.fit_concrete(
+            val_scores,
+            val_labels,
+            val_privileged,
+            seed,
+        )?))
     }
 }
 
@@ -246,16 +257,21 @@ mod tests {
         let (scores, labels, mask) = biased_scores(2000, 5);
         // Measure the pre-adjustment gFNR gap.
         let sel = |keep: bool, v: &[f64]| -> Vec<f64> {
-            v.iter().zip(&mask).filter(|(_, &p)| p == keep).map(|(&x, _)| x).collect()
+            v.iter()
+                .zip(&mask)
+                .filter(|(_, &p)| p == keep)
+                .map(|(&x, _)| x)
+                .collect()
         };
-        let gap_before =
-            (gfnr(&sel(true, &scores), &sel(true, &labels))
-                - gfnr(&sel(false, &scores), &sel(false, &labels)))
-            .abs();
+        let gap_before = (gfnr(&sel(true, &scores), &sel(true, &labels))
+            - gfnr(&sel(false, &scores), &sel(false, &labels)))
+        .abs();
 
         // Simulate the adjusted *scores* (mixing towards base rate) to verify
         // the cost-equalization property the hard predictions inherit.
-        let fitted = CalibratedEqOdds::default().fit_concrete(&scores, &labels, &mask, 1).unwrap();
+        let fitted = CalibratedEqOdds::default()
+            .fit_concrete(&scores, &labels, &mask, 1)
+            .unwrap();
         let mut rng = fairprep_data::rng::component_rng(1, "cal_eq_odds/adjust");
         let mixed: Vec<f64> = scores
             .iter()
@@ -281,7 +297,9 @@ mod tests {
     #[test]
     fn adjustment_is_reproducible() {
         let (scores, labels, mask) = biased_scores(300, 7);
-        let fitted = CalibratedEqOdds::default().fit(&scores, &labels, &mask, 9).unwrap();
+        let fitted = CalibratedEqOdds::default()
+            .fit(&scores, &labels, &mask, 9)
+            .unwrap();
         let a = fitted.adjust(&scores, &mask).unwrap();
         let b = fitted.adjust(&scores, &mask).unwrap();
         assert_eq!(a, b);
@@ -293,17 +311,25 @@ mod tests {
         let scores = vec![0.8, 0.2, 0.8, 0.2];
         let labels = vec![1.0, 0.0, 1.0, 0.0];
         let mask = vec![true, true, false, false];
-        let fitted = CalibratedEqOdds::default().fit_concrete(&scores, &labels, &mask, 0).unwrap();
+        let fitted = CalibratedEqOdds::default()
+            .fit_concrete(&scores, &labels, &mask, 0)
+            .unwrap();
         assert!(fitted.mix_rate.abs() < 1e-9);
         // Adjustment reduces to plain thresholding.
-        assert_eq!(fitted.adjust(&scores, &mask).unwrap(), vec![1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(
+            fitted.adjust(&scores, &mask).unwrap(),
+            vec![1.0, 0.0, 1.0, 0.0]
+        );
     }
 
     #[test]
     fn name_mentions_constraint() {
         assert_eq!(CalibratedEqOdds::default().name(), "cal_eq_odds(fnr)");
         assert_eq!(
-            CalibratedEqOdds { constraint: CostConstraint::Weighted }.name(),
+            CalibratedEqOdds {
+                constraint: CostConstraint::Weighted
+            }
+            .name(),
             "cal_eq_odds(weighted)"
         );
     }

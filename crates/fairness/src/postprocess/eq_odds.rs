@@ -40,9 +40,17 @@ struct GroupRates {
 }
 
 fn measure(scores: &[f64], labels: &[f64]) -> GroupRates {
-    let preds: Vec<f64> = scores.iter().map(|&s| f64::from(u8::from(s > 0.5))).collect();
+    let preds: Vec<f64> = scores
+        .iter()
+        .map(|&s| f64::from(u8::from(s > 0.5)))
+        .collect();
     let cm = ConfusionMatrix::compute(labels, &preds, None).expect("equal lengths");
-    GroupRates { tpr: cm.tpr(), fpr: cm.fpr(), n_pos: cm.tp + cm.fn_, n_neg: cm.fp + cm.tn }
+    GroupRates {
+        tpr: cm.tpr(),
+        fpr: cm.fpr(),
+        n_pos: cm.tp + cm.fn_,
+        n_neg: cm.fp + cm.tn,
+    }
 }
 
 /// Derived TPR/FPR after mixing with rates `(p2p, n2p)`.
@@ -109,8 +117,7 @@ impl Postprocessor for EqOddsPostprocessing {
                         let better = match &best {
                             None => true,
                             Some((_, bv, be)) => {
-                                violation < bv - TOL
-                                    || ((violation - bv).abs() <= TOL && err < *be)
+                                violation < bv - TOL || ((violation - bv).abs() <= TOL && err < *be)
                             }
                         };
                         if better {
@@ -120,9 +127,14 @@ impl Postprocessor for EqOddsPostprocessing {
                 }
             }
         }
-        let ([p2p_priv, n2p_priv, p2p_unpriv, n2p_unpriv], _, _) =
-            best.expect("grid non-empty");
-        Ok(Box::new(FittedEqOdds { p2p_priv, n2p_priv, p2p_unpriv, n2p_unpriv, seed }))
+        let ([p2p_priv, n2p_priv, p2p_unpriv, n2p_unpriv], _, _) = best.expect("grid non-empty");
+        Ok(Box::new(FittedEqOdds {
+            p2p_priv,
+            n2p_priv,
+            p2p_unpriv,
+            n2p_unpriv,
+            seed,
+        }))
     }
 }
 
@@ -191,20 +203,31 @@ mod tests {
     #[test]
     fn reduces_odds_violation() {
         let (scores, labels, mask) = biased_scores(4000, 11);
-        let plain: Vec<f64> =
-            scores.iter().map(|&s| f64::from(u8::from(s > 0.5))).collect();
+        let plain: Vec<f64> = scores
+            .iter()
+            .map(|&s| f64::from(u8::from(s > 0.5)))
+            .collect();
         let before = odds_violation(&plain, &labels, &mask);
 
-        let fitted =
-            EqOddsPostprocessing::default().fit(&scores, &labels, &mask, 1).unwrap();
+        let fitted = EqOddsPostprocessing::default()
+            .fit(&scores, &labels, &mask, 1)
+            .unwrap();
         let adjusted = fitted.adjust(&scores, &mask).unwrap();
         let after = odds_violation(&adjusted, &labels, &mask);
-        assert!(after < before + 0.05, "violation before {before}, after {after}");
+        assert!(
+            after < before + 0.05,
+            "violation before {before}, after {after}"
+        );
     }
 
     #[test]
     fn derived_rates_math() {
-        let r = GroupRates { tpr: 0.8, fpr: 0.2, n_pos: 10.0, n_neg: 10.0 };
+        let r = GroupRates {
+            tpr: 0.8,
+            fpr: 0.2,
+            n_pos: 10.0,
+            n_neg: 10.0,
+        };
         // Identity mixing keeps the rates.
         assert_eq!(derived(r, 1.0, 0.0), (0.8, 0.2));
         // Always-positive mixing gives (1, 1).

@@ -92,7 +92,11 @@ fn metrics_at(
 
 impl Postprocessor for GroupThresholdOptimizer {
     fn name(&self) -> String {
-        format!("group_thresholds({},bound={})", self.constraint.name(), self.bound)
+        format!(
+            "group_thresholds({},bound={})",
+            self.constraint.name(),
+            self.bound
+        )
     }
 
     fn fit(
@@ -110,8 +114,7 @@ impl Postprocessor for GroupThresholdOptimizer {
         let mut best_fallback: Option<(f64, f64, f64)> = None; // (tp, tu, violation)
         for &tp in &grid {
             for &tu in &grid {
-                let (acc, spd, eod) =
-                    metrics_at(val_scores, val_labels, val_privileged, tp, tu);
+                let (acc, spd, eod) = metrics_at(val_scores, val_labels, val_privileged, tp, tu);
                 let violation = match self.constraint {
                     ThresholdConstraint::StatisticalParity => spd.abs(),
                     ThresholdConstraint::EqualOpportunity => {
@@ -122,9 +125,7 @@ impl Postprocessor for GroupThresholdOptimizer {
                         }
                     }
                 };
-                if violation <= self.bound
-                    && best_feasible.is_none_or(|(_, _, a)| acc > a)
-                {
+                if violation <= self.bound && best_feasible.is_none_or(|(_, _, a)| acc > a) {
                     best_feasible = Some((tp, tu, acc));
                 }
                 if best_fallback.is_none_or(|(_, _, v)| violation < v) {
@@ -228,8 +229,10 @@ mod tests {
             };
             (group(false) - group(true)).abs()
         };
-        let plain: Vec<f64> =
-            scores.iter().map(|&s| f64::from(u8::from(s > 0.5))).collect();
+        let plain: Vec<f64> = scores
+            .iter()
+            .map(|&s| f64::from(u8::from(s > 0.5)))
+            .collect();
         let optimizer = GroupThresholdOptimizer {
             constraint: ThresholdConstraint::EqualOpportunity,
             ..Default::default()
@@ -252,8 +255,10 @@ mod tests {
         // On biased scores, a single shared threshold cannot reach parity:
         // adjusting must actually act group-specifically. Verify by checking
         // the adjusted selection rates come out closer than plain 0.5.
-        let plain: Vec<f64> =
-            scores.iter().map(|&s| f64::from(u8::from(s > 0.5))).collect();
+        let plain: Vec<f64> = scores
+            .iter()
+            .map(|&s| f64::from(u8::from(s > 0.5)))
+            .collect();
         let adjusted = boxed.adjust(&scores, &mask).unwrap();
         let gap = |preds: &[f64]| {
             let rate = |keep: bool| {
@@ -273,8 +278,16 @@ mod tests {
     fn deterministic_and_seed_independent() {
         let (scores, labels, mask) = biased_scores(400, 44);
         let o = GroupThresholdOptimizer::default();
-        let a = o.fit(&scores, &labels, &mask, 1).unwrap().adjust(&scores, &mask).unwrap();
-        let b = o.fit(&scores, &labels, &mask, 2).unwrap().adjust(&scores, &mask).unwrap();
+        let a = o
+            .fit(&scores, &labels, &mask, 1)
+            .unwrap()
+            .adjust(&scores, &mask)
+            .unwrap();
+        let b = o
+            .fit(&scores, &labels, &mask, 2)
+            .unwrap()
+            .adjust(&scores, &mask)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -287,6 +300,8 @@ mod tests {
 
     #[test]
     fn name_mentions_constraint() {
-        assert!(GroupThresholdOptimizer::default().name().contains("statistical_parity"));
+        assert!(GroupThresholdOptimizer::default()
+            .name()
+            .contains("statistical_parity"));
     }
 }

@@ -56,7 +56,9 @@ pub(crate) fn validate_fit_inputs(
         return Err(Error::EmptyData("postprocessor fit inputs".to_string()));
     }
     if !privileged.iter().any(|&p| p) || privileged.iter().all(|&p| p) {
-        return Err(Error::EmptyGroup { privileged: !privileged.iter().any(|&p| p) });
+        return Err(Error::EmptyGroup {
+            privileged: !privileged.iter().any(|&p| p),
+        });
     }
     Ok(())
 }
@@ -85,7 +87,10 @@ struct FittedThreshold;
 
 impl FittedPostprocessor for FittedThreshold {
     fn adjust(&self, scores: &[f64], _privileged: &[bool]) -> Result<Vec<f64>> {
-        Ok(scores.iter().map(|&s| f64::from(u8::from(s > 0.5))).collect())
+        Ok(scores
+            .iter()
+            .map(|&s| f64::from(u8::from(s > 0.5)))
+            .collect())
     }
 }
 
@@ -123,7 +128,9 @@ mod tests {
             .fit(&[0.4, 0.6], &[0.0, 1.0], &[true, false], 0)
             .unwrap();
         assert_eq!(
-            fitted.adjust(&[0.3, 0.51, 0.5], &[true, false, true]).unwrap(),
+            fitted
+                .adjust(&[0.3, 0.51, 0.5], &[true, false, true])
+                .unwrap(),
             vec![0.0, 1.0, 0.0]
         );
     }

@@ -25,7 +25,10 @@ pub struct RejectOptionClassification {
 
 impl Default for RejectOptionClassification {
     fn default() -> Self {
-        RejectOptionClassification { metric_bound: 0.05, n_candidates: 50 }
+        RejectOptionClassification {
+            metric_bound: 0.05,
+            n_candidates: 50,
+        }
     }
 }
 
@@ -49,9 +52,7 @@ impl Postprocessor for RejectOptionClassification {
             let theta = 0.5 * k as f64 / self.n_candidates as f64;
             let preds = apply_band(val_scores, val_privileged, theta);
             let (spd, acc) = spd_and_accuracy(&preds, val_labels, val_privileged)?;
-            if spd.abs() <= self.metric_bound
-                && best_feasible.is_none_or(|(_, a)| acc > a)
-            {
+            if spd.abs() <= self.metric_bound && best_feasible.is_none_or(|(_, a)| acc > a) {
                 best_feasible = Some((theta, acc));
             }
             if best_fallback.is_none_or(|(_, s)| spd.abs() < s) {
@@ -120,7 +121,10 @@ mod tests {
     fn reduces_statistical_parity_difference() {
         let (scores, labels, mask) = biased_scores(600, 1);
         // Disparity of plain thresholding.
-        let plain: Vec<f64> = scores.iter().map(|&s| f64::from(u8::from(s > 0.5))).collect();
+        let plain: Vec<f64> = scores
+            .iter()
+            .map(|&s| f64::from(u8::from(s > 0.5)))
+            .collect();
         let (spd_before, _) = spd_and_accuracy(&plain, &labels, &mask).unwrap();
 
         let fitted = RejectOptionClassification::default()
@@ -148,7 +152,7 @@ mod tests {
         // Both scores are inside the band.
         let preds = fitted.adjust(&[0.45, 0.55], &[true, false]).unwrap();
         assert_eq!(preds, vec![0.0, 1.0]); // priv → 0, unpriv → 1
-        // Outside the band, the score decides.
+                                           // Outside the band, the score decides.
         let outside = fitted.adjust(&[0.9, 0.1], &[true, false]).unwrap();
         assert_eq!(outside, vec![1.0, 0.0]);
     }
@@ -157,8 +161,16 @@ mod tests {
     fn fit_is_deterministic() {
         let (scores, labels, mask) = biased_scores(300, 2);
         let roc = RejectOptionClassification::default();
-        let a = roc.fit(&scores, &labels, &mask, 0).unwrap().adjust(&scores, &mask).unwrap();
-        let b = roc.fit(&scores, &labels, &mask, 7).unwrap().adjust(&scores, &mask).unwrap();
+        let a = roc
+            .fit(&scores, &labels, &mask, 0)
+            .unwrap()
+            .adjust(&scores, &mask)
+            .unwrap();
+        let b = roc
+            .fit(&scores, &labels, &mask, 7)
+            .unwrap()
+            .adjust(&scores, &mask)
+            .unwrap();
         assert_eq!(a, b); // seed-independent: the search is exhaustive
     }
 
@@ -170,6 +182,8 @@ mod tests {
 
     #[test]
     fn name_mentions_bound() {
-        assert!(RejectOptionClassification::default().name().contains("0.05"));
+        assert!(RejectOptionClassification::default()
+            .name()
+            .contains("0.05"));
     }
 }

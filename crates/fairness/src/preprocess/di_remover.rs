@@ -60,11 +60,19 @@ impl Preprocessor for DisparateImpactRemover {
                 s.sort_by(f64::total_cmp);
             }
             if sorted[0].is_empty() || sorted[1].is_empty() {
-                return Err(Error::EmptyGroup { privileged: sorted[1].is_empty() });
+                return Err(Error::EmptyGroup {
+                    privileged: sorted[1].is_empty(),
+                });
             }
-            features.push(FeatureRepair { name: (*name).to_string(), sorted });
+            features.push(FeatureRepair {
+                name: (*name).to_string(),
+                sorted,
+            });
         }
-        Ok(Box::new(FittedDiRemover { repair_level: self.repair_level, features }))
+        Ok(Box::new(FittedDiRemover {
+            repair_level: self.repair_level,
+            features,
+        }))
     }
 }
 
@@ -132,9 +140,7 @@ impl FittedDiRemover {
             let repaired: Vec<Option<f64>> = values
                 .iter()
                 .enumerate()
-                .map(|(i, v)| {
-                    v.map(|v| feature.repair(usize::from(mask[i]), v, self.repair_level))
-                })
+                .map(|(i, v)| v.map(|v| feature.repair(usize::from(mask[i]), v, self.repair_level)))
                 .collect();
             out.replace_column(&feature.name, Column::from_optional_f64(repaired))?;
         }
@@ -231,8 +237,7 @@ mod tests {
         let repaired = column_values(&out, "score");
         let mask = ds.privileged_mask();
         for privileged in [true, false] {
-            let idx: Vec<usize> =
-                (0..100).filter(|&i| mask[i] == privileged).collect();
+            let idx: Vec<usize> = (0..100).filter(|&i| mask[i] == privileged).collect();
             for a in 0..idx.len() {
                 for b in a + 1..idx.len() {
                     let (i, j) = (idx[a], idx[b]);

@@ -76,11 +76,22 @@ impl FittedPreprocessor for FittedMassaging {
         let n_p = mask.iter().filter(|&&m| m).count() as f64;
         let n_u = mask.len() as f64 - n_p;
         if n_p == 0.0 || n_u == 0.0 {
-            return Err(Error::EmptyGroup { privileged: n_p == 0.0 });
+            return Err(Error::EmptyGroup {
+                privileged: n_p == 0.0,
+            });
         }
-        let pos_p: f64 = labels.iter().zip(mask).filter(|(_, &m)| m).map(|(&y, _)| y).sum();
-        let pos_u: f64 =
-            labels.iter().zip(mask).filter(|(_, &m)| !m).map(|(&y, _)| y).sum();
+        let pos_p: f64 = labels
+            .iter()
+            .zip(mask)
+            .filter(|(_, &m)| m)
+            .map(|(&y, _)| y)
+            .sum();
+        let pos_u: f64 = labels
+            .iter()
+            .zip(mask)
+            .filter(|(_, &m)| !m)
+            .map(|(&y, _)| y)
+            .sum();
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let m = (((pos_p * n_u - pos_u * n_p) / (n_u + n_p)).round().max(0.0)) as usize;
 

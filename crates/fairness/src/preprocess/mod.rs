@@ -82,8 +82,16 @@ pub(crate) mod test_support {
             let privileged = i % 2 == 0;
             // Deterministic pseudo-noise.
             let noise = ((i * 37) % 13) as f64 / 13.0;
-            let score = if privileged { 60.0 + 30.0 * noise } else { 30.0 + 30.0 * noise };
-            let positive = if privileged { noise > 0.25 } else { noise > 0.75 };
+            let score = if privileged {
+                60.0 + 30.0 * noise
+            } else {
+                30.0 + 30.0 * noise
+            };
+            let positive = if privileged {
+                noise > 0.25
+            } else {
+                noise > 0.75
+            };
             scores.push(score);
             sexes.push(if privileged { "m" } else { "f" });
             labels.push(if positive { "yes" } else { "no" });
@@ -99,8 +107,13 @@ pub(crate) mod test_support {
             .numeric_feature("score")
             .metadata("sex", ColumnKind::Categorical)
             .label("y");
-        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("sex", &["m"]), "yes")
-            .unwrap()
+        BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("sex", &["m"]),
+            "yes",
+        )
+        .unwrap()
     }
 }
 
@@ -125,6 +138,9 @@ mod tests {
         let ds = biased_dataset(100);
         let priv_rate = ds.base_rate(Some(true));
         let unpriv_rate = ds.base_rate(Some(false));
-        assert!(priv_rate > unpriv_rate + 0.3, "priv {priv_rate} unpriv {unpriv_rate}");
+        assert!(
+            priv_rate > unpriv_rate + 0.3,
+            "priv {priv_rate} unpriv {unpriv_rate}"
+        );
     }
 }

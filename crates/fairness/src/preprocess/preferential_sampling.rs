@@ -52,7 +52,10 @@ impl FittedPreprocessor for FittedPreferentialSampling {
     fn transform_train(&self, train: &BinaryLabelDataset) -> Result<BinaryLabelDataset> {
         let n = train.n_rows();
         if n != self.scores.len() {
-            return Err(Error::LengthMismatch { expected: self.scores.len(), actual: n });
+            return Err(Error::LengthMismatch {
+                expected: self.scores.len(),
+                actual: n,
+            });
         }
         let labels = train.labels();
         let mask = train.privileged_mask();
@@ -62,10 +65,14 @@ impl FittedPreprocessor for FittedPreferentialSampling {
         for i in 0..n {
             cells[usize::from(mask[i])][usize::from(labels[i] == 1.0)].push(i);
         }
-        let group_totals =
-            [cells[0][0].len() + cells[0][1].len(), cells[1][0].len() + cells[1][1].len()];
-        let label_totals =
-            [cells[0][0].len() + cells[1][0].len(), cells[0][1].len() + cells[1][1].len()];
+        let group_totals = [
+            cells[0][0].len() + cells[0][1].len(),
+            cells[1][0].len() + cells[1][1].len(),
+        ];
+        let label_totals = [
+            cells[0][0].len() + cells[1][0].len(),
+            cells[0][1].len() + cells[1][1].len(),
+        ];
         if group_totals.contains(&0) || label_totals.contains(&0) {
             return Err(Error::EmptyData(
                 "preferential sampling needs both groups and both labels".to_string(),
@@ -76,8 +83,7 @@ impl FittedPreprocessor for FittedPreferentialSampling {
         for g in 0..2 {
             for y in 0..2 {
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                let expected = ((group_totals[g] as f64) * (label_totals[y] as f64)
-                    / n as f64)
+                let expected = ((group_totals[g] as f64) * (label_totals[y] as f64) / n as f64)
                     .round() as usize;
                 let mut members = cells[g][y].clone();
                 if members.is_empty() {
@@ -121,8 +127,11 @@ mod tests {
         let ds = biased_dataset(400);
         let before = ds.base_rate(Some(true)) - ds.base_rate(Some(false));
         assert!(before > 0.3);
-        let out =
-            PreferentialSampling.fit(&ds, 3).unwrap().transform_train(&ds).unwrap();
+        let out = PreferentialSampling
+            .fit(&ds, 3)
+            .unwrap()
+            .transform_train(&ds)
+            .unwrap();
         let after = out.base_rate(Some(true)) - out.base_rate(Some(false));
         assert!(after.abs() < 0.05, "rate gap after sampling: {after}");
     }
@@ -130,8 +139,11 @@ mod tests {
     #[test]
     fn output_size_close_to_input() {
         let ds = biased_dataset(400);
-        let out =
-            PreferentialSampling.fit(&ds, 3).unwrap().transform_train(&ds).unwrap();
+        let out = PreferentialSampling
+            .fit(&ds, 3)
+            .unwrap()
+            .transform_train(&ds)
+            .unwrap();
         let ratio = out.n_rows() as f64 / 400.0;
         assert!((0.9..=1.1).contains(&ratio), "size ratio {ratio}");
     }
@@ -139,8 +151,11 @@ mod tests {
     #[test]
     fn weights_are_not_used_labels_are_not_flipped() {
         let ds = biased_dataset(200);
-        let out =
-            PreferentialSampling.fit(&ds, 1).unwrap().transform_train(&ds).unwrap();
+        let out = PreferentialSampling
+            .fit(&ds, 1)
+            .unwrap()
+            .transform_train(&ds)
+            .unwrap();
         assert!(out.instance_weights().iter().all(|&w| w == 1.0));
         // Every output row is a copy of some input row (sampling, not
         // editing): each (feature, label) pair must exist in the input.
@@ -171,8 +186,16 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let ds = biased_dataset(200);
-        let a = PreferentialSampling.fit(&ds, 5).unwrap().transform_train(&ds).unwrap();
-        let b = PreferentialSampling.fit(&ds, 5).unwrap().transform_train(&ds).unwrap();
+        let a = PreferentialSampling
+            .fit(&ds, 5)
+            .unwrap()
+            .transform_train(&ds)
+            .unwrap();
+        let b = PreferentialSampling
+            .fit(&ds, 5)
+            .unwrap()
+            .transform_train(&ds)
+            .unwrap();
         assert_eq!(a.frame(), b.frame());
     }
 

@@ -64,8 +64,7 @@ impl Preprocessor for Reweighing {
         for g in 0..2 {
             for y in 0..2 {
                 if cell[g][y] > 0 {
-                    weights[g][y] = (group_totals[g] as f64 / nf)
-                        * (label_totals[y] as f64 / nf)
+                    weights[g][y] = (group_totals[g] as f64 / nf) * (label_totals[y] as f64 / nf)
                         / (cell[g][y] as f64 / nf);
                 }
                 // Empty cells keep weight 1.0; no instance uses them anyway.
@@ -121,13 +120,20 @@ mod tests {
         };
         let rp = weighted_rate(true);
         let ru = weighted_rate(false);
-        assert!((rp - ru).abs() < 1e-9, "weighted rates differ: {rp} vs {ru}");
+        assert!(
+            (rp - ru).abs() < 1e-9,
+            "weighted rates differ: {rp} vs {ru}"
+        );
     }
 
     #[test]
     fn weighted_total_mass_is_preserved() {
         let ds = biased_dataset(200);
-        let out = Reweighing.fit(&ds, 0).unwrap().transform_train(&ds).unwrap();
+        let out = Reweighing
+            .fit(&ds, 0)
+            .unwrap()
+            .transform_train(&ds)
+            .unwrap();
         let total: f64 = out.instance_weights().iter().sum();
         assert!((total - 200.0).abs() < 1e-6, "total mass {total}");
     }
@@ -201,7 +207,11 @@ mod tests {
             "p",
         )
         .unwrap();
-        let out = Reweighing.fit(&ds, 0).unwrap().transform_train(&ds).unwrap();
+        let out = Reweighing
+            .fit(&ds, 0)
+            .unwrap()
+            .transform_train(&ds)
+            .unwrap();
         for &w in out.instance_weights() {
             assert!((w - 1.0).abs() < 1e-12);
         }

@@ -85,17 +85,23 @@ impl MissingnessInjector {
             if c == &dataset.protected().name {
                 return Err(Error::InvalidParameter {
                     name: "columns",
-                    message: "cannot inject missingness into the protected attribute"
-                        .to_string(),
+                    message: "cannot inject missingness into the protected attribute".to_string(),
                 });
             }
         }
         let rates = match self.mechanism {
             Mechanism::Mcar { rate } => vec![rate],
-            Mechanism::MarByGroup { privileged_rate, unprivileged_rate } => {
+            Mechanism::MarByGroup {
+                privileged_rate,
+                unprivileged_rate,
+            } => {
                 vec![privileged_rate, unprivileged_rate]
             }
-            Mechanism::MnarByValue { rate_above, rate_below, .. } => {
+            Mechanism::MnarByValue {
+                rate_above,
+                rate_below,
+                ..
+            } => {
                 vec![rate_above, rate_below]
             }
         };
@@ -131,14 +137,21 @@ impl MissingnessInjector {
             for (i, &privileged) in mask.iter().enumerate() {
                 let p = match self.mechanism {
                     Mechanism::Mcar { rate } => rate,
-                    Mechanism::MarByGroup { privileged_rate, unprivileged_rate } => {
+                    Mechanism::MarByGroup {
+                        privileged_rate,
+                        unprivileged_rate,
+                    } => {
                         if privileged {
                             privileged_rate
                         } else {
                             unprivileged_rate
                         }
                     }
-                    Mechanism::MnarByValue { threshold, rate_above, rate_below } => {
+                    Mechanism::MnarByValue {
+                        threshold,
+                        rate_above,
+                        rate_below,
+                    } => {
                         match dataset.frame().column(column)?.get(i) {
                             fairprep_data::column::Value::Numeric(v) => {
                                 if v >= threshold {
@@ -193,8 +206,13 @@ mod tests {
             .categorical_feature("c")
             .metadata("g", ColumnKind::Categorical)
             .label("y");
-        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p")
-            .unwrap()
+        BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "p",
+        )
+        .unwrap()
     }
 
     #[test]
@@ -225,12 +243,18 @@ mod tests {
         let ds = complete_dataset(4000);
         let inj = MissingnessInjector::new(
             &["c"],
-            Mechanism::MarByGroup { privileged_rate: 0.05, unprivileged_rate: 0.20 },
+            Mechanism::MarByGroup {
+                privileged_rate: 0.05,
+                unprivileged_rate: 0.20,
+            },
         );
         let out = inj.inject(&ds, 5).unwrap();
         let gm = group_missingness(&out, "c").unwrap();
-        assert!(gm.disparity_ratio() > 2.5 && gm.disparity_ratio() < 6.0,
-            "disparity {}", gm.disparity_ratio());
+        assert!(
+            gm.disparity_ratio() > 2.5 && gm.disparity_ratio() < 6.0,
+            "disparity {}",
+            gm.disparity_ratio()
+        );
     }
 
     #[test]
@@ -265,7 +289,11 @@ mod tests {
         let ds = complete_dataset(3000);
         let inj = MissingnessInjector::new(
             &["x"],
-            Mechanism::MnarByValue { threshold: 1500.0, rate_above: 0.5, rate_below: 0.02 },
+            Mechanism::MnarByValue {
+                threshold: 1500.0,
+                rate_above: 0.5,
+                rate_below: 0.02,
+            },
         );
         let out = inj.inject(&ds, 9).unwrap();
         let col = out.frame().column("x").unwrap().as_numeric().unwrap();
@@ -280,7 +308,11 @@ mod tests {
         let ds = complete_dataset(20);
         let inj = MissingnessInjector::new(
             &["c"],
-            Mechanism::MnarByValue { threshold: 0.0, rate_above: 0.5, rate_below: 0.0 },
+            Mechanism::MnarByValue {
+                threshold: 0.0,
+                rate_above: 0.5,
+                rate_below: 0.0,
+            },
         );
         assert!(inj.inject(&ds, 0).is_err());
     }

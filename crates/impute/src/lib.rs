@@ -122,7 +122,9 @@ impl MissingValueHandler for ModeImputer {
         train: &BinaryLabelDataset,
         _seed: u64,
     ) -> Result<Box<dyn FittedMissingValueHandler>> {
-        Ok(Box::new(FittedFillImputer { fills: column_fills(train, FillStrategy::Mode)? }))
+        Ok(Box::new(FittedFillImputer {
+            fills: column_fills(train, FillStrategy::Mode)?,
+        }))
     }
 }
 
@@ -141,7 +143,9 @@ impl MissingValueHandler for MeanModeImputer {
         train: &BinaryLabelDataset,
         _seed: u64,
     ) -> Result<Box<dyn FittedMissingValueHandler>> {
-        Ok(Box::new(FittedFillImputer { fills: column_fills(train, FillStrategy::MeanMode)? }))
+        Ok(Box::new(FittedFillImputer {
+            fills: column_fills(train, FillStrategy::MeanMode)?,
+        }))
     }
 }
 
@@ -189,8 +193,7 @@ impl FittedMissingValueHandler for FittedFillImputer {
         let mut out = data.clone();
         for (name, fill) in &self.fills {
             let col = out.frame().column(name)?;
-            let missing_rows: Vec<usize> =
-                (0..col.len()).filter(|&i| col.is_missing(i)).collect();
+            let missing_rows: Vec<usize> = (0..col.len()).filter(|&i| col.is_missing(i)).collect();
             if missing_rows.is_empty() {
                 continue;
             }
@@ -238,8 +241,13 @@ mod tests {
             .categorical_feature("job")
             .metadata("g", ColumnKind::Categorical)
             .label("y");
-        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p")
-            .unwrap()
+        BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "p",
+        )
+        .unwrap()
     }
 
     #[test]
@@ -269,7 +277,10 @@ mod tests {
         assert_eq!(out.n_rows(), 5);
         assert_eq!(out.frame().missing_cells(), 0);
         assert!(!fitted.removes_records());
-        assert_eq!(out.frame().value(2, "job").unwrap(), Value::Categorical("clerk"));
+        assert_eq!(
+            out.frame().value(2, "job").unwrap(),
+            Value::Categorical("clerk")
+        );
     }
 
     #[test]
@@ -281,7 +292,10 @@ mod tests {
         assert_eq!(out.frame().value(1, "age").unwrap(), Value::Numeric(40.0));
         assert_eq!(out.frame().value(4, "age").unwrap(), Value::Numeric(40.0));
         // Categorical still mode-filled.
-        assert_eq!(out.frame().value(2, "job").unwrap(), Value::Categorical("clerk"));
+        assert_eq!(
+            out.frame().value(2, "job").unwrap(),
+            Value::Categorical("clerk")
+        );
     }
 
     #[test]

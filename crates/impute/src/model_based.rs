@@ -23,7 +23,9 @@ use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
 use fairprep_data::rng::derive_seed;
 use fairprep_ml::matrix::{dot, Matrix};
-use fairprep_ml::model::{Classifier, FittedClassifier, LogisticRegressionConfig, LogisticRegressionSgd, Penalty};
+use fairprep_ml::model::{
+    Classifier, FittedClassifier, LogisticRegressionConfig, LogisticRegressionSgd, Penalty,
+};
 use fairprep_ml::transform::OneHotEncoder;
 
 use crate::{FittedMissingValueHandler, MissingValueHandler};
@@ -40,7 +42,10 @@ pub struct ModelBasedImputer {
 
 impl Default for ModelBasedImputer {
     fn default() -> Self {
-        ModelBasedImputer { target_columns: None, epochs: 15 }
+        ModelBasedImputer {
+            target_columns: None,
+            epochs: 15,
+        }
     }
 }
 
@@ -156,9 +161,17 @@ impl InputEncoding {
 /// The learned predictor for one target column.
 enum TargetModel {
     /// One-vs-rest logistic models, one per training category.
-    Categorical { categories: Vec<String>, models: Vec<Box<dyn FittedClassifier>> },
+    Categorical {
+        categories: Vec<String>,
+        models: Vec<Box<dyn FittedClassifier>>,
+    },
     /// Linear regression on the standardized target.
-    Numeric { weights: Vec<f64>, intercept: f64, mean: f64, std: f64 },
+    Numeric {
+        weights: Vec<f64>,
+        intercept: f64,
+        mean: f64,
+        std: f64,
+    },
 }
 
 struct ColumnModel {
@@ -185,17 +198,21 @@ impl ColumnModel {
             let col = train.frame().column(name)?;
             let encoding = match col.kind() {
                 ColumnKind::Numeric => {
-                    let values: Vec<f64> =
-                        col.as_numeric()?.iter().flatten().copied().collect();
+                    let values: Vec<f64> = col.as_numeric()?.iter().flatten().copied().collect();
                     if values.is_empty() {
                         // Entirely-missing input: contribute a constant zero.
-                        InputEncoding::Numeric { mean: 0.0, std: 0.0 }
+                        InputEncoding::Numeric {
+                            mean: 0.0,
+                            std: 0.0,
+                        }
                     } else {
                         let n = values.len() as f64;
                         let mean = values.iter().sum::<f64>() / n;
-                        let var =
-                            values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-                        InputEncoding::Numeric { mean, std: var.sqrt() }
+                        let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+                        InputEncoding::Numeric {
+                            mean,
+                            std: var.sqrt(),
+                        }
                     }
                 }
                 ColumnKind::Categorical => InputEncoding::Categorical(OneHotEncoder::fit(col)?),
@@ -206,8 +223,9 @@ impl ColumnModel {
 
         // Rows where the target is observed form the supervised training set.
         let target_col = train.frame().column(target)?;
-        let observed: Vec<usize> =
-            (0..train.n_rows()).filter(|&i| !target_col.is_missing(i)).collect();
+        let observed: Vec<usize> = (0..train.n_rows())
+            .filter(|&i| !target_col.is_missing(i))
+            .collect();
         if observed.is_empty() {
             return Err(Error::EmptyData(format!(
                 "imputation target {target} has no observed training values"
@@ -273,13 +291,22 @@ impl ColumnModel {
                 } else {
                     vec![0.0; ys.len()]
                 };
-                let (weights, intercept) =
-                    fit_ridge_sgd(&x, &standardized, epochs, 1e-4, seed);
-                TargetModel::Numeric { weights, intercept, mean, std }
+                let (weights, intercept) = fit_ridge_sgd(&x, &standardized, epochs, 1e-4, seed);
+                TargetModel::Numeric {
+                    weights,
+                    intercept,
+                    mean,
+                    std,
+                }
             }
         };
 
-        Ok(ColumnModel { target: target.to_string(), inputs, width, model })
+        Ok(ColumnModel {
+            target: target.to_string(),
+            inputs,
+            width,
+            model,
+        })
     }
 
     /// Predicts the target value for row `i` of `data`.
@@ -298,7 +325,12 @@ impl ColumnModel {
                 }
                 Ok(OwnedValue::Categorical(categories[best.0].clone()))
             }
-            TargetModel::Numeric { weights, intercept, mean, std } => {
+            TargetModel::Numeric {
+                weights,
+                intercept,
+                mean,
+                std,
+            } => {
                 let z = dot(weights, &row) + intercept;
                 let v = z * std + mean;
                 Ok(OwnedValue::Numeric(if v.is_finite() { v } else { *mean }))
@@ -326,13 +358,7 @@ fn encode_row(
 }
 
 /// Plain SGD ridge regression on a standardized target.
-fn fit_ridge_sgd(
-    x: &Matrix,
-    y: &[f64],
-    epochs: usize,
-    alpha: f64,
-    seed: u64,
-) -> (Vec<f64>, f64) {
+fn fit_ridge_sgd(x: &Matrix, y: &[f64], epochs: usize, alpha: f64, seed: u64) -> (Vec<f64>, f64) {
     use rand::seq::SliceRandom;
     let mut rng = fairprep_data::rng::component_rng(seed, "imputer/ridge");
     let d = x.n_cols();
@@ -400,8 +426,9 @@ mod tests {
     /// Dataset where `job` is perfectly predictable from `dept`:
     /// dept=kitchen → chef, dept=office → clerk.
     fn predictable_dataset(n: usize, missing_every: usize) -> BinaryLabelDataset {
-        let depts: Vec<&str> =
-            (0..n).map(|i| if i % 2 == 0 { "kitchen" } else { "office" }).collect();
+        let depts: Vec<&str> = (0..n)
+            .map(|i| if i % 2 == 0 { "kitchen" } else { "office" })
+            .collect();
         let jobs: Vec<Option<&str>> = (0..n)
             .map(|i| {
                 if i % missing_every == 0 {
@@ -446,8 +473,13 @@ mod tests {
             .numeric_feature("age")
             .metadata("g", ColumnKind::Categorical)
             .label("y");
-        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p")
-            .unwrap()
+        BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "p",
+        )
+        .unwrap()
     }
 
     #[test]
@@ -459,7 +491,11 @@ mod tests {
         // Every imputed job must match the dept-determined value.
         for i in (0..60).step_by(6) {
             let dept = ds.frame().value(i, "dept").unwrap();
-            let expected = if dept == Value::Categorical("kitchen") { "chef" } else { "clerk" };
+            let expected = if dept == Value::Categorical("kitchen") {
+                "chef"
+            } else {
+                "clerk"
+            };
             assert_eq!(
                 out.frame().value(i, "job").unwrap(),
                 Value::Categorical(expected),
@@ -488,7 +524,9 @@ mod tests {
     #[test]
     fn explicit_target_columns_respected() {
         let ds = predictable_dataset(30, 5);
-        let fitted = ModelBasedImputer::for_columns(&["job"]).fit(&ds, 1).unwrap();
+        let fitted = ModelBasedImputer::for_columns(&["job"])
+            .fit(&ds, 1)
+            .unwrap();
         let out = fitted.handle_missing(&ds).unwrap();
         // job is imputed by the model; age is covered by the mode fallback,
         // so the result is still complete.
@@ -504,14 +542,24 @@ mod tests {
     #[test]
     fn unknown_target_is_error() {
         let ds = predictable_dataset(30, 5);
-        assert!(ModelBasedImputer::for_columns(&["nope"]).fit(&ds, 0).is_err());
+        assert!(ModelBasedImputer::for_columns(&["nope"])
+            .fit(&ds, 0)
+            .is_err());
     }
 
     #[test]
     fn imputation_is_seed_deterministic() {
         let ds = predictable_dataset(40, 4);
-        let a = ModelBasedImputer::default().fit(&ds, 9).unwrap().handle_missing(&ds).unwrap();
-        let b = ModelBasedImputer::default().fit(&ds, 9).unwrap().handle_missing(&ds).unwrap();
+        let a = ModelBasedImputer::default()
+            .fit(&ds, 9)
+            .unwrap()
+            .handle_missing(&ds)
+            .unwrap();
+        let b = ModelBasedImputer::default()
+            .fit(&ds, 9)
+            .unwrap()
+            .handle_missing(&ds)
+            .unwrap();
         assert_eq!(a.frame(), b.frame());
     }
 

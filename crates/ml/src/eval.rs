@@ -25,11 +25,17 @@ impl ConfusionMatrix {
     /// optional weights (uniform when `None`).
     pub fn compute(y_true: &[f64], y_pred: &[f64], weights: Option<&[f64]>) -> Result<Self> {
         if y_true.len() != y_pred.len() {
-            return Err(Error::LengthMismatch { expected: y_true.len(), actual: y_pred.len() });
+            return Err(Error::LengthMismatch {
+                expected: y_true.len(),
+                actual: y_pred.len(),
+            });
         }
         if let Some(w) = weights {
             if w.len() != y_true.len() {
-                return Err(Error::LengthMismatch { expected: y_true.len(), actual: w.len() });
+                return Err(Error::LengthMismatch {
+                    expected: y_true.len(),
+                    actual: w.len(),
+                });
             }
         }
         let mut cm = ConfusionMatrix::default();
@@ -160,7 +166,10 @@ pub fn accuracy(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
 /// (ties handled by midranks). Returns `NaN` when one class is absent.
 pub fn roc_auc(y_true: &[f64], scores: &[f64]) -> Result<f64> {
     if y_true.len() != scores.len() {
-        return Err(Error::LengthMismatch { expected: y_true.len(), actual: scores.len() });
+        return Err(Error::LengthMismatch {
+            expected: y_true.len(),
+            actual: scores.len(),
+        });
     }
     let n_pos = y_true.iter().filter(|&&y| y == 1.0).count();
     let n_neg = y_true.len() - n_pos;
@@ -197,7 +206,10 @@ pub fn roc_auc(y_true: &[f64], scores: &[f64]) -> Result<f64> {
 /// Binary log loss (cross-entropy) with probability clipping.
 pub fn log_loss(y_true: &[f64], probas: &[f64]) -> Result<f64> {
     if y_true.len() != probas.len() {
-        return Err(Error::LengthMismatch { expected: y_true.len(), actual: probas.len() });
+        return Err(Error::LengthMismatch {
+            expected: y_true.len(),
+            actual: probas.len(),
+        });
     }
     if y_true.is_empty() {
         return Err(Error::EmptyData("log loss input".to_string()));
@@ -268,8 +280,7 @@ mod tests {
 
     #[test]
     fn empty_denominators_are_nan() {
-        let all_neg =
-            ConfusionMatrix::compute(&[0.0, 0.0], &[0.0, 0.0], None).unwrap();
+        let all_neg = ConfusionMatrix::compute(&[0.0, 0.0], &[0.0, 0.0], None).unwrap();
         assert!(all_neg.tpr().is_nan());
         assert!(all_neg.precision().is_nan());
         assert!((all_neg.accuracy() - 1.0).abs() < 1e-12);
@@ -310,12 +321,19 @@ mod tests {
 /// scores 0.
 pub fn brier_score(y_true: &[f64], probas: &[f64]) -> Result<f64> {
     if y_true.len() != probas.len() {
-        return Err(Error::LengthMismatch { expected: y_true.len(), actual: probas.len() });
+        return Err(Error::LengthMismatch {
+            expected: y_true.len(),
+            actual: probas.len(),
+        });
     }
     if y_true.is_empty() {
         return Err(Error::EmptyData("brier score input".to_string()));
     }
-    let sum: f64 = y_true.iter().zip(probas).map(|(&y, &p)| (p - y).powi(2)).sum();
+    let sum: f64 = y_true
+        .iter()
+        .zip(probas)
+        .map(|(&y, &p)| (p - y).powi(2))
+        .sum();
     Ok(sum / y_true.len() as f64)
 }
 
@@ -344,7 +362,10 @@ pub fn calibration_curve(
     n_bins: usize,
 ) -> Result<(Vec<CalibrationBin>, f64)> {
     if y_true.len() != probas.len() {
-        return Err(Error::LengthMismatch { expected: y_true.len(), actual: probas.len() });
+        return Err(Error::LengthMismatch {
+            expected: y_true.len(),
+            actual: probas.len(),
+        });
     }
     if n_bins == 0 {
         return Err(Error::InvalidParameter {
@@ -374,11 +395,14 @@ pub fn calibration_curve(
         }
         let mean_predicted = pred_sums[b] / counts[b] as f64;
         let observed_rate = pos_sums[b] / counts[b] as f64;
-        ece += counts[b] as f64 / y_true.len() as f64
-            * (observed_rate - mean_predicted).abs();
+        ece += counts[b] as f64 / y_true.len() as f64 * (observed_rate - mean_predicted).abs();
         bins.push(CalibrationBin {
             lower: b as f64 * width,
-            upper: if b == n_bins - 1 { 1.0 } else { (b + 1) as f64 * width },
+            upper: if b == n_bins - 1 {
+                1.0
+            } else {
+                (b + 1) as f64 * width
+            },
             count: counts[b],
             mean_predicted,
             observed_rate,
@@ -466,7 +490,10 @@ pub struct RocPoint {
 /// `(1, 1)`. Requires both classes to be present.
 pub fn roc_curve(y_true: &[f64], scores: &[f64]) -> Result<Vec<RocPoint>> {
     if y_true.len() != scores.len() {
-        return Err(Error::LengthMismatch { expected: y_true.len(), actual: scores.len() });
+        return Err(Error::LengthMismatch {
+            expected: y_true.len(),
+            actual: scores.len(),
+        });
     }
     let n_pos = y_true.iter().filter(|&&y| y == 1.0).count();
     let n_neg = y_true.len() - n_pos;
@@ -476,7 +503,11 @@ pub fn roc_curve(y_true: &[f64], scores: &[f64]) -> Result<Vec<RocPoint>> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a])); // descending
 
-    let mut points = vec![RocPoint { threshold: f64::INFINITY, fpr: 0.0, tpr: 0.0 }];
+    let mut points = vec![RocPoint {
+        threshold: f64::INFINITY,
+        fpr: 0.0,
+        tpr: 0.0,
+    }];
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut i = 0;

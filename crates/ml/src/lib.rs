@@ -42,8 +42,7 @@ pub mod prelude {
     pub use crate::matrix::Matrix;
     pub use crate::model::{
         Classifier, DecisionTree, DecisionTreeConfig, FittedClassifier, GaussianNaiveBayes,
-        KNearestNeighbors,
-        LogisticRegressionConfig, LogisticRegressionSgd, Penalty, RandomForest,
+        KNearestNeighbors, LogisticRegressionConfig, LogisticRegressionSgd, Penalty, RandomForest,
         RandomForestConfig, SplitCriterion,
     };
     pub use crate::selection::{

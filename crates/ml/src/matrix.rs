@@ -19,13 +19,20 @@ impl Matrix {
     /// Creates a zero-filled matrix.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { data: vec![0.0; rows * cols], rows, cols }
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Creates a matrix from row-major data.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
         if data.len() != rows * cols {
-            return Err(Error::LengthMismatch { expected: rows * cols, actual: data.len() });
+            return Err(Error::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Matrix { data, rows, cols })
     }
@@ -36,11 +43,18 @@ impl Matrix {
         let mut data = Vec::with_capacity(rows.len() * n_cols);
         for row in rows {
             if row.len() != n_cols {
-                return Err(Error::LengthMismatch { expected: n_cols, actual: row.len() });
+                return Err(Error::LengthMismatch {
+                    expected: n_cols,
+                    actual: row.len(),
+                });
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { data, rows: rows.len(), cols: n_cols })
+        Ok(Matrix {
+            data,
+            rows: rows.len(),
+            cols: n_cols,
+        })
     }
 
     /// Number of rows (examples).
@@ -83,9 +97,11 @@ impl Matrix {
         (0..self.rows).map(|i| self.get(i, j)).collect()
     }
 
-    /// Iterates over rows.
+    /// Iterates over rows. A matrix with zero columns still yields one
+    /// (empty) slice per row, so row counts survive degenerate schemas.
     pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> + '_ {
-        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+        let cols = self.cols;
+        (0..self.rows).map(move |i| &self.data[i * cols..(i + 1) * cols])
     }
 
     /// Materializes the rows at `indices` into a new matrix.
@@ -95,7 +111,11 @@ impl Matrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        Matrix { data, rows: indices.len(), cols: self.cols }
+        Matrix {
+            data,
+            rows: indices.len(),
+            cols: self.cols,
+        }
     }
 
     /// Materializes the columns at `indices` into a new matrix (used by
@@ -109,7 +129,45 @@ impl Matrix {
                 data.push(row[j]);
             }
         }
-        Matrix { data, rows: self.rows, cols: indices.len() }
+        Matrix {
+            data,
+            rows: self.rows,
+            cols: indices.len(),
+        }
+    }
+
+    /// Single-pass submatrix gather: the rows at `rows` restricted to the
+    /// columns at `cols`, without materializing the intermediate row
+    /// selection (used by random-subspace ensembles, where
+    /// `take_rows(..).select_columns(..)` would allocate a full bootstrap
+    /// copy per tree).
+    #[must_use]
+    pub fn gather(&self, rows: &[usize], cols: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(rows.len() * cols.len());
+        for &i in rows {
+            let row = self.row(i);
+            for &j in cols {
+                data.push(row[j]);
+            }
+        }
+        Matrix {
+            data,
+            rows: rows.len(),
+            cols: cols.len(),
+        }
+    }
+
+    /// Batched matrix–vector product: `out[i] = dot(row_i, w)`. This is
+    /// the predict kernel for every linear model — one pass over the
+    /// row-major data, no per-row allocation.
+    pub fn matvec(&self, w: &[f64]) -> Result<Vec<f64>> {
+        if w.len() != self.cols {
+            return Err(Error::LengthMismatch {
+                expected: self.cols,
+                actual: w.len(),
+            });
+        }
+        Ok(self.rows_iter().map(|row| dot(row, w)).collect())
     }
 
     /// `true` when every entry is finite.
@@ -125,11 +183,28 @@ impl Matrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, 4-wide unrolled.
+///
+/// Four independent accumulators break the sequential add dependency so
+/// the compiler can keep multiple FMAs in flight (and auto-vectorize);
+/// the deterministic combine order keeps results identical across calls.
 #[must_use]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut acc = [0.0f64; 4];
+    let (a4, a_tail) = a.split_at(a.len() - a.len() % 4);
+    let (b4, b_tail) = b.split_at(a4.len());
+    for (xs, ys) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc[0] += xs[0] * ys[0];
+        acc[1] += xs[1] * ys[1];
+        acc[2] += xs[2] * ys[2];
+        acc[3] += xs[3] * ys[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Numerically-stable logistic sigmoid.
@@ -212,5 +287,64 @@ mod tests {
     #[test]
     fn dot_product() {
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn dot_handles_every_tail_length() {
+        // Exercise the unrolled kernel across remainder classes 0..=3.
+        for n in 0..10 {
+            let a: Vec<f64> = (0..n).map(f64::from).collect();
+            let b: Vec<f64> = (0..n).map(|i| f64::from(i) * 0.5).collect();
+            let expected: f64 = (0..n).map(|i| f64::from(i) * f64::from(i) * 0.5).sum();
+            assert!((dot(&a, &b) - expected).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matvec_matches_per_row_dot() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![-1.0, 0.5, 2.0, -3.0, 1.0],
+        ])
+        .unwrap();
+        let w = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let out = m.matvec(&w).unwrap();
+        assert_eq!(out.len(), 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, dot(m.row(i), &w));
+        }
+        // Dimension mismatch is an error, not a panic.
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gather_is_take_rows_then_select_columns() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap();
+        let rows = [2, 0, 2];
+        let cols = [2, 0];
+        let gathered = m.gather(&rows, &cols);
+        let reference = m.take_rows(&rows).select_columns(&cols);
+        assert_eq!(gathered, reference);
+        assert_eq!(gathered.row(0), &[9.0, 7.0]);
+    }
+
+    #[test]
+    fn zero_column_matrix_keeps_its_rows() {
+        // A dataset whose features were all dropped still has n rows; the
+        // row iterator must yield n empty slices, not zero rows.
+        let m = Matrix::zeros(3, 0);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 0);
+        let rows: Vec<&[f64]> = m.rows_iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.is_empty()));
+        // Derived operations preserve the row count too.
+        assert_eq!(m.take_rows(&[0, 2]).n_rows(), 2);
+        assert_eq!(m.matvec(&[]).unwrap(), vec![0.0; 3]);
     }
 }

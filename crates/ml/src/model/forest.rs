@@ -13,7 +13,7 @@ use fairprep_data::error::{Error, Result};
 use fairprep_data::rng::{component_rng, derive_seed};
 
 use crate::matrix::Matrix;
-use crate::model::tree::{DecisionTree, DecisionTreeConfig};
+use crate::model::tree::{DecisionTree, DecisionTreeConfig, FittedDecisionTree};
 use crate::model::{validate_training_inputs, Classifier, FittedClassifier};
 
 /// Hyperparameters of [`RandomForest`].
@@ -31,7 +31,10 @@ impl Default for RandomForestConfig {
     fn default() -> Self {
         RandomForestConfig {
             n_trees: 50,
-            tree: DecisionTreeConfig { min_samples_leaf: 2, ..Default::default() },
+            tree: DecisionTreeConfig {
+                min_samples_leaf: 2,
+                ..Default::default()
+            },
             max_features: None,
         }
     }
@@ -61,8 +64,13 @@ impl Classifier for RandomForest {
         format!(
             "n_trees={} max_depth={} max_features={}",
             self.config.n_trees,
-            self.config.tree.max_depth.map_or_else(|| "none".to_string(), |d| d.to_string()),
-            self.config.max_features.map_or_else(|| "sqrt".to_string(), |f| f.to_string()),
+            self.config
+                .tree
+                .max_depth
+                .map_or_else(|| "none".to_string(), |d| d.to_string()),
+            self.config
+                .max_features
+                .map_or_else(|| "sqrt".to_string(), |f| f.to_string()),
         )
     }
 
@@ -127,20 +135,25 @@ impl Classifier for RandomForest {
             features.truncate(n_features);
             features.sort_unstable();
 
-            let x_sub = x.take_rows(&rows).select_columns(&features);
+            // Single-pass bootstrap×subspace gather — no intermediate
+            // full-width bootstrap copy.
+            let x_sub = x.gather(&rows, &features);
             let y_sub: Vec<f64> = rows.iter().map(|&i| y[i]).collect();
             // Bootstrap already accounts for the weights.
             let w_sub = vec![1.0; rows.len()];
-            let model = tree_learner.fit(&x_sub, &y_sub, &w_sub, tree_seed)?;
+            let model = tree_learner.fit_tree(&x_sub, &y_sub, &w_sub, tree_seed)?;
             members.push(ForestMember { features, model });
         }
-        Ok(Box::new(FittedRandomForest { members, n_features: d }))
+        Ok(Box::new(FittedRandomForest {
+            members,
+            n_features: d,
+        }))
     }
 }
 
 struct ForestMember {
     features: Vec<usize>,
-    model: Box<dyn FittedClassifier>,
+    model: FittedDecisionTree,
 }
 
 /// A trained random forest.
@@ -152,14 +165,17 @@ pub struct FittedRandomForest {
 impl FittedClassifier for FittedRandomForest {
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         if x.n_cols() != self.n_features {
-            return Err(Error::LengthMismatch { expected: self.n_features, actual: x.n_cols() });
+            return Err(Error::LengthMismatch {
+                expected: self.n_features,
+                actual: x.n_cols(),
+            });
         }
+        // Trees read their subspace straight off the full-width rows — no
+        // per-member column selection or per-member probability vector.
         let mut sums = vec![0.0_f64; x.n_rows()];
         for member in &self.members {
-            let x_sub = x.select_columns(&member.features);
-            let probas = member.model.predict_proba(&x_sub)?;
-            for (s, p) in sums.iter_mut().zip(probas) {
-                *s += p;
+            for (s, row) in sums.iter_mut().zip(x.rows_iter()) {
+                *s += member.model.proba_one_mapped(row, &member.features);
             }
         }
         let k = self.members.len() as f64;
@@ -206,17 +222,31 @@ mod tests {
             n_trees: 11,
             ..Default::default()
         });
-        let a = forest.fit(&x, &y, &w, 9).unwrap().predict_proba(&x).unwrap();
-        let b = forest.fit(&x, &y, &w, 9).unwrap().predict_proba(&x).unwrap();
+        let a = forest
+            .fit(&x, &y, &w, 9)
+            .unwrap()
+            .predict_proba(&x)
+            .unwrap();
+        let b = forest
+            .fit(&x, &y, &w, 9)
+            .unwrap()
+            .predict_proba(&x)
+            .unwrap();
         assert_eq!(a, b);
-        let c = forest.fit(&x, &y, &w, 10).unwrap().predict_proba(&x).unwrap();
+        let c = forest
+            .fit(&x, &y, &w, 10)
+            .unwrap()
+            .predict_proba(&x)
+            .unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
     fn probabilities_are_ensemble_averages() {
         let (x, y) = data(80);
-        let model = RandomForest::default().fit(&x, &y, &vec![1.0; 80], 2).unwrap();
+        let model = RandomForest::default()
+            .fit(&x, &y, &vec![1.0; 80], 2)
+            .unwrap();
         for p in model.predict_proba(&x).unwrap() {
             assert!((0.0..=1.0).contains(&p));
         }
@@ -240,7 +270,10 @@ mod tests {
     #[test]
     fn invalid_config_rejected() {
         let (x, y) = data(10);
-        let forest = RandomForest::new(RandomForestConfig { n_trees: 0, ..Default::default() });
+        let forest = RandomForest::new(RandomForestConfig {
+            n_trees: 0,
+            ..Default::default()
+        });
         assert!(forest.fit(&x, &y, &[1.0; 10], 0).is_err());
     }
 

@@ -125,16 +125,18 @@ mod tests {
     #[test]
     fn classifies_separated_clusters() {
         let (x, y) = clusters();
-        let model =
-            KNearestNeighbors::default().fit(&x, &y, &vec![1.0; 30], 0).unwrap();
+        let model = KNearestNeighbors::default()
+            .fit(&x, &y, &vec![1.0; 30], 0)
+            .unwrap();
         assert_eq!(model.predict(&x).unwrap(), y);
     }
 
     #[test]
     fn k_larger_than_train_is_clamped() {
         let (x, y) = clusters();
-        let model =
-            KNearestNeighbors { k: 1000 }.fit(&x, &y, &vec![1.0; 30], 0).unwrap();
+        let model = KNearestNeighbors { k: 1000 }
+            .fit(&x, &y, &vec![1.0; 30], 0)
+            .unwrap();
         // Equivalent to predicting the (weighted) base rate everywhere.
         for p in model.predict_proba(&x).unwrap() {
             assert!((p - 0.5).abs() < 1e-12);
@@ -160,13 +162,17 @@ mod tests {
     #[test]
     fn invalid_k_rejected() {
         let (x, y) = clusters();
-        assert!(KNearestNeighbors { k: 0 }.fit(&x, &y, &vec![1.0; 30], 0).is_err());
+        assert!(KNearestNeighbors { k: 0 }
+            .fit(&x, &y, &vec![1.0; 30], 0)
+            .is_err());
     }
 
     #[test]
     fn predict_checks_dimensionality() {
         let (x, y) = clusters();
-        let model = KNearestNeighbors::default().fit(&x, &y, &vec![1.0; 30], 0).unwrap();
+        let model = KNearestNeighbors::default()
+            .fit(&x, &y, &vec![1.0; 30], 0)
+            .unwrap();
         assert!(model.predict_proba(&Matrix::zeros(1, 7)).is_err());
     }
 
@@ -185,8 +191,9 @@ mod tests {
             (i * 2654435761) % 97
         }
         let x = Matrix::from_rows(&rows).unwrap();
-        let model =
-            KNearestNeighbors { k: 3 }.fit(&x, &y, &vec![1.0; 40], 0).unwrap();
+        let model = KNearestNeighbors { k: 3 }
+            .fit(&x, &y, &vec![1.0; 40], 0)
+            .unwrap();
         let preds = model.predict(&x).unwrap();
         // Leave-self-in nearest neighbour saves exact matches, but overall
         // accuracy suffers — just confirm the model runs and is imperfect on

@@ -166,9 +166,7 @@ impl Classifier for LogisticRegressionSgd {
             Penalty::None => (0.0, 0.0),
             Penalty::L1 => (c.alpha, 0.0),
             Penalty::L2 => (0.0, c.alpha),
-            Penalty::ElasticNet { l1_ratio } => {
-                (c.alpha * l1_ratio, c.alpha * (1.0 - l1_ratio))
-            }
+            Penalty::ElasticNet { l1_ratio } => (c.alpha * l1_ratio, c.alpha * (1.0 - l1_ratio)),
         };
 
         for _epoch in 0..c.max_epochs {
@@ -195,7 +193,10 @@ impl Classifier for LogisticRegressionSgd {
             }
         }
 
-        Ok(Box::new(FittedLogisticRegression { weights: w, intercept: b }))
+        Ok(Box::new(FittedLogisticRegression {
+            weights: w,
+            intercept: b,
+        }))
     }
 }
 
@@ -210,25 +211,19 @@ pub struct FittedLogisticRegression {
 
 impl FittedClassifier for FittedLogisticRegression {
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
-        if x.n_cols() != self.weights.len() {
-            return Err(Error::LengthMismatch {
-                expected: self.weights.len(),
-                actual: x.n_cols(),
-            });
+        let mut scores = x.matvec(&self.weights)?;
+        for z in &mut scores {
+            *z += self.intercept;
+            *z = if z.is_finite() {
+                sigmoid(*z)
+            } else {
+                // A diverged model (unscaled features, §5.2) produces
+                // non-finite scores; report an uninformative 0.5 rather
+                // than poisoning downstream metrics with NaN.
+                0.5
+            };
         }
-        Ok(x.rows_iter()
-            .map(|row| {
-                let z = dot(&self.weights, row) + self.intercept;
-                if z.is_finite() {
-                    sigmoid(z)
-                } else {
-                    // A diverged model (unscaled features, §5.2) produces
-                    // non-finite scores; report an uninformative 0.5 rather
-                    // than poisoning downstream metrics with NaN.
-                    0.5
-                }
-            })
-            .collect())
+        Ok(scores)
     }
 }
 
@@ -283,7 +278,9 @@ mod tests {
             y[i] = 1.0 - y[i]; // flip labels
             w[i] = 0.0; // but remove influence
         }
-        let model = LogisticRegressionSgd::default().fit(&x, &y, &w, 11).unwrap();
+        let model = LogisticRegressionSgd::default()
+            .fit(&x, &y, &w, 11)
+            .unwrap();
         let preds = model.predict(&x).unwrap();
         let clean_correct = (0..50).filter(|&i| preds[i] == y[i]).count();
         assert!(clean_correct >= 48, "{clean_correct}/50");
@@ -293,7 +290,12 @@ mod tests {
     fn l1_produces_sparser_weights_than_none() {
         // Feature 1 is pure noise; L1 should shrink it harder.
         let rows: Vec<Vec<f64>> = (0..200)
-            .map(|i| vec![if i % 2 == 0 { 1.0 } else { -1.0 }, ((i * 37) % 11) as f64 / 11.0])
+            .map(|i| {
+                vec![
+                    if i % 2 == 0 { 1.0 } else { -1.0 },
+                    ((i * 37) % 11) as f64 / 11.0,
+                ]
+            })
             .collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let y: Vec<f64> = (0..200).map(|i| f64::from(u8::from(i % 2 == 0))).collect();
@@ -314,7 +316,10 @@ mod tests {
         // Both should still classify well; this is a smoke test that the
         // penalty path runs and does not destroy the signal.
         let acc = |p: &Vec<f64>| {
-            p.iter().zip(&y).filter(|(pi, yi)| (**pi > 0.5) == (**yi == 1.0)).count()
+            p.iter()
+                .zip(&y)
+                .filter(|(pi, yi)| (**pi > 0.5) == (**yi == 1.0))
+                .count()
         };
         assert!(acc(&d) > 190);
         assert!(acc(&s) > 190);
@@ -322,14 +327,20 @@ mod tests {
 
     #[test]
     fn diverged_model_reports_half_probability() {
-        let model = FittedLogisticRegression { weights: vec![f64::INFINITY], intercept: 0.0 };
+        let model = FittedLogisticRegression {
+            weights: vec![f64::INFINITY],
+            intercept: 0.0,
+        };
         let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
         assert_eq!(model.predict_proba(&x).unwrap(), vec![0.5]);
     }
 
     #[test]
     fn predict_checks_dimensionality() {
-        let model = FittedLogisticRegression { weights: vec![1.0, 2.0], intercept: 0.0 };
+        let model = FittedLogisticRegression {
+            weights: vec![1.0, 2.0],
+            intercept: 0.0,
+        };
         let x = Matrix::zeros(1, 3);
         assert!(model.predict_proba(&x).is_err());
     }

@@ -63,10 +63,16 @@ pub(crate) fn validate_training_inputs(x: &Matrix, y: &[f64], weights: &[f64]) -
         return Err(Error::EmptyData("training matrix".to_string()));
     }
     if y.len() != x.n_rows() {
-        return Err(Error::LengthMismatch { expected: x.n_rows(), actual: y.len() });
+        return Err(Error::LengthMismatch {
+            expected: x.n_rows(),
+            actual: y.len(),
+        });
     }
     if weights.len() != x.n_rows() {
-        return Err(Error::LengthMismatch { expected: x.n_rows(), actual: weights.len() });
+        return Err(Error::LengthMismatch {
+            expected: x.n_rows(),
+            actual: weights.len(),
+        });
     }
     if let Some(bad) = y.iter().find(|v| **v != 0.0 && **v != 1.0) {
         return Err(Error::InvalidLabel(*bad));

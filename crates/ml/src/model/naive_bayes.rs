@@ -92,7 +92,11 @@ struct ClassStats {
 
 impl ClassStats {
     fn new(d: usize) -> Self {
-        ClassStats { weight: 0.0, sum: vec![0.0; d], sum_sq: vec![0.0; d] }
+        ClassStats {
+            weight: 0.0,
+            sum: vec![0.0; d],
+            sum_sq: vec![0.0; d],
+        }
     }
 
     fn accumulate(&mut self, row: &[f64], w: f64) {
@@ -174,8 +178,9 @@ mod tests {
     #[test]
     fn separates_gaussian_blobs() {
         let (x, y) = gaussian_blobs();
-        let model =
-            GaussianNaiveBayes::default().fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        let model = GaussianNaiveBayes::default()
+            .fit(&x, &y, &vec![1.0; y.len()], 0)
+            .unwrap();
         assert_eq!(model.predict(&x).unwrap(), y);
     }
 
@@ -184,8 +189,9 @@ mod tests {
         // Second feature has zero variance in both classes; smoothing must
         // prevent division by zero.
         let (x, y) = gaussian_blobs();
-        let model =
-            GaussianNaiveBayes::default().fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        let model = GaussianNaiveBayes::default()
+            .fit(&x, &y, &vec![1.0; y.len()], 0)
+            .unwrap();
         let probas = model.predict_proba(&x).unwrap();
         assert!(probas.iter().all(|p| p.is_finite()));
     }
@@ -196,12 +202,14 @@ mod tests {
         // heavier class.
         let x = Matrix::from_rows(&[vec![0.0], vec![0.0]]).unwrap();
         let y = vec![1.0, 0.0];
-        let heavy_pos =
-            GaussianNaiveBayes::default().fit(&x, &y, &[9.0, 1.0], 0).unwrap();
+        let heavy_pos = GaussianNaiveBayes::default()
+            .fit(&x, &y, &[9.0, 1.0], 0)
+            .unwrap();
         let p = heavy_pos.predict_proba(&x).unwrap();
         assert!(p[0] > 0.5);
-        let heavy_neg =
-            GaussianNaiveBayes::default().fit(&x, &y, &[1.0, 9.0], 0).unwrap();
+        let heavy_neg = GaussianNaiveBayes::default()
+            .fit(&x, &y, &[1.0, 9.0], 0)
+            .unwrap();
         let q = heavy_neg.predict_proba(&x).unwrap();
         assert!(q[0] < 0.5);
     }
@@ -209,8 +217,9 @@ mod tests {
     #[test]
     fn predict_checks_dimensionality() {
         let (x, y) = gaussian_blobs();
-        let model =
-            GaussianNaiveBayes::default().fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        let model = GaussianNaiveBayes::default()
+            .fit(&x, &y, &vec![1.0; y.len()], 0)
+            .unwrap();
         assert!(model.predict_proba(&Matrix::zeros(1, 5)).is_err());
     }
 

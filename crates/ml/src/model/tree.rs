@@ -139,8 +139,43 @@ impl FittedDecisionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { proba } => return *proba,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Leaf probability for a full-width `row` when the tree was trained on
+    /// the feature subset `features` (tree feature `f` reads
+    /// `row[features[f]]`). Lets subspace ensembles predict straight off
+    /// the original matrix without materializing per-member column
+    /// selections.
+    pub(crate) fn proba_one_mapped(&self, row: &[f64], features: &[usize]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { proba } => return *proba,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[features[*feature]] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -150,7 +185,10 @@ impl FittedDecisionTree {
 impl FittedClassifier for FittedDecisionTree {
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         if x.n_cols() != self.n_features {
-            return Err(Error::LengthMismatch { expected: self.n_features, actual: x.n_cols() });
+            return Err(Error::LengthMismatch {
+                expected: self.n_features,
+                actual: x.n_cols(),
+            });
         }
         Ok(x.rows_iter().map(|row| self.proba_one(row)).collect())
     }
@@ -182,7 +220,11 @@ impl Builder<'_> {
             && indices.len() >= 2 * self.config.min_samples_leaf
             && node_impurity > 1e-12;
 
-        let best = if can_split { self.best_split(indices, node_impurity, total) } else { None };
+        let best = if can_split {
+            self.best_split(indices, node_impurity, total)
+        } else {
+            None
+        };
 
         match best {
             None => {
@@ -191,17 +233,19 @@ impl Builder<'_> {
             }
             Some(split) => {
                 // Partition indices in place around the threshold.
-                let mid = partition(indices, |i| {
-                    self.x.get(i, split.feature) <= split.threshold
-                });
+                let mid = partition(indices, |i| self.x.get(i, split.feature) <= split.threshold);
                 // Reserve our slot before recursing so the root is node 0.
                 self.nodes.push(Node::Leaf { proba });
                 let me = self.nodes.len() - 1;
                 let (left_ix, right_ix) = indices.split_at_mut(mid);
                 let left = self.build(left_ix, depth + 1);
                 let right = self.build(right_ix, depth + 1);
-                self.nodes[me] =
-                    Node::Split { feature: split.feature, threshold: split.threshold, left, right };
+                self.nodes[me] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                };
                 me
             }
         }
@@ -308,7 +352,8 @@ impl Classifier for DecisionTree {
         format!(
             "criterion={} max_depth={} min_leaf={} min_split={}",
             c.criterion.name(),
-            c.max_depth.map_or_else(|| "none".to_string(), |d| d.to_string()),
+            c.max_depth
+                .map_or_else(|| "none".to_string(), |d| d.to_string()),
             c.min_samples_leaf,
             c.min_samples_split
         )
@@ -319,8 +364,22 @@ impl Classifier for DecisionTree {
         x: &Matrix,
         y: &[f64],
         weights: &[f64],
-        _seed: u64,
+        seed: u64,
     ) -> Result<Box<dyn FittedClassifier>> {
+        Ok(Box::new(self.fit_tree(x, y, weights, seed)?))
+    }
+}
+
+impl DecisionTree {
+    /// Fits and returns the concrete tree type (no trait-object box) —
+    /// ensembles store members concretely and traverse them inline.
+    pub fn fit_tree(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        weights: &[f64],
+        _seed: u64,
+    ) -> Result<FittedDecisionTree> {
         validate_training_inputs(x, y, weights)?;
         if self.config.min_samples_leaf == 0 || self.config.min_samples_split < 2 {
             return Err(Error::InvalidParameter {
@@ -329,10 +388,18 @@ impl Classifier for DecisionTree {
             });
         }
         let mut indices: Vec<usize> = (0..x.n_rows()).collect();
-        let mut builder =
-            Builder { x, y, w: weights, config: self.config, nodes: Vec::new() };
+        let mut builder = Builder {
+            x,
+            y,
+            w: weights,
+            config: self.config,
+            nodes: Vec::new(),
+        };
         builder.build(&mut indices, 0);
-        Ok(Box::new(FittedDecisionTree { nodes: builder.nodes, n_features: x.n_cols() }))
+        Ok(FittedDecisionTree {
+            nodes: builder.nodes,
+            n_features: x.n_cols(),
+        })
     }
 }
 
@@ -356,7 +423,9 @@ mod tests {
     #[test]
     fn learns_xor() {
         let (x, y) = xor_data();
-        let model = DecisionTree::default().fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        let model = DecisionTree::default()
+            .fit(&x, &y, &vec![1.0; y.len()], 0)
+            .unwrap();
         let preds = model.predict(&x).unwrap();
         assert_eq!(preds, y);
     }
@@ -423,8 +492,10 @@ mod tests {
         // Multiply a feature by 1000: the tree's predictions are unchanged
         // (the §5.2 robustness property).
         let (x, y) = xor_data();
-        let scaled_rows: Vec<Vec<f64>> =
-            x.rows_iter().map(|r| vec![r[0] * 1000.0, r[1] * 1000.0]).collect();
+        let scaled_rows: Vec<Vec<f64>> = x
+            .rows_iter()
+            .map(|r| vec![r[0] * 1000.0, r[1] * 1000.0])
+            .collect();
         let xs = Matrix::from_rows(&scaled_rows).unwrap();
         let w = vec![1.0; y.len()];
         let m1 = DecisionTree::default().fit(&x, &y, &w, 0).unwrap();
@@ -446,7 +517,9 @@ mod tests {
     #[test]
     fn predict_checks_dimensionality() {
         let (x, y) = xor_data();
-        let model = DecisionTree::default().fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        let model = DecisionTree::default()
+            .fit(&x, &y, &vec![1.0; y.len()], 0)
+            .unwrap();
         assert!(model.predict(&Matrix::zeros(1, 5)).is_err());
     }
 
@@ -478,7 +551,9 @@ mod tests {
     #[test]
     fn tree_structure_accessors() {
         let (x, y) = xor_data();
-        let boxed = DecisionTree::default().fit(&x, &y, &vec![1.0; y.len()], 0).unwrap();
+        let boxed = DecisionTree::default()
+            .fit(&x, &y, &vec![1.0; y.len()], 0)
+            .unwrap();
         // Downcast via re-fit to the concrete type for structural checks.
         let mut indices: Vec<usize> = (0..x.n_rows()).collect();
         let mut b = Builder {
@@ -489,7 +564,10 @@ mod tests {
             nodes: Vec::new(),
         };
         b.build(&mut indices, 0);
-        let tree = FittedDecisionTree { nodes: b.nodes, n_features: 2 };
+        let tree = FittedDecisionTree {
+            nodes: b.nodes,
+            n_features: 2,
+        };
         assert!(tree.depth() >= 2);
         assert!(tree.n_nodes() >= 5);
         assert_eq!(tree.predict(&x).unwrap(), boxed.predict(&x).unwrap());

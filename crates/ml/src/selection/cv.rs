@@ -6,8 +6,24 @@
 //! (the lifecycle hands it the training partition only), scores candidates
 //! by mean validation-fold accuracy, and refits the winning candidate on
 //! the full training data.
+//!
+//! Two properties make the search fast without changing its results:
+//!
+//! * **Shared fold cache.** Folds are derived from the seed alone, so every
+//!   candidate sees identical folds. [`FoldCache`] materializes each fold's
+//!   `(x_train, y_train, w_train, x_val, y_val)` exactly once instead of
+//!   once per candidate (~60× fewer row-gather allocations on the paper's
+//!   decision-tree grid).
+//! * **Deterministic parallel fan-out.** Candidate×fold fit jobs run on
+//!   [`fairprep_data::parallel::parallel_map`], which returns results in
+//!   submission order; every fit derives its randomness from the search
+//!   seed, so any thread budget produces bit-identical scores and the same
+//!   winner as the sequential path.
+
+use std::cmp::Ordering;
 
 use fairprep_data::error::{Error, Result};
+use fairprep_data::parallel::parallel_map;
 use fairprep_data::split::k_fold_indices;
 
 use crate::eval::ConfusionMatrix;
@@ -43,6 +59,92 @@ pub struct GridSearchOutcome {
     pub scores: Vec<CandidateScore>,
 }
 
+/// One materialized cross-validation fold.
+struct Fold {
+    x_train: Matrix,
+    y_train: Vec<f64>,
+    w_train: Vec<f64>,
+    x_val: Matrix,
+    y_val: Vec<f64>,
+}
+
+/// Materialized k-fold partitions, built once per search and shared by
+/// every candidate. Folds depend only on `(n_rows, k, seed)`, so caching
+/// them cannot change any candidate's score.
+pub struct FoldCache {
+    folds: Vec<Fold>,
+}
+
+impl FoldCache {
+    /// Materializes all `k` folds of `(x, y, weights)` for `seed`.
+    pub fn build(x: &Matrix, y: &[f64], weights: &[f64], k: usize, seed: u64) -> Result<Self> {
+        let folds = k_fold_indices(x.n_rows(), k, seed)?
+            .iter()
+            .map(|(train_ix, val_ix)| Fold {
+                x_train: x.take_rows(train_ix),
+                y_train: train_ix.iter().map(|&i| y[i]).collect(),
+                w_train: train_ix.iter().map(|&i| weights[i]).collect(),
+                x_val: x.take_rows(val_ix),
+                y_val: val_ix.iter().map(|&i| y[i]).collect(),
+            })
+            .collect();
+        Ok(FoldCache { folds })
+    }
+
+    /// Number of materialized folds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Whether the cache holds no folds.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.folds.is_empty()
+    }
+
+    /// Fits `candidate` on one fold's training part and returns its
+    /// validation accuracy.
+    fn score_fold(&self, candidate: &dyn Classifier, fold: usize, seed: u64) -> Result<f64> {
+        let fold = &self.folds[fold];
+        let model = candidate.fit(&fold.x_train, &fold.y_train, &fold.w_train, seed)?;
+        let preds = model.predict(&fold.x_val)?;
+        Ok(ConfusionMatrix::compute(&fold.y_val, &preds, None)?.accuracy())
+    }
+}
+
+/// Compares two mean scores, ranking NaN strictly below every real score
+/// (a candidate whose CV score is undefined must never win the search).
+fn score_ordering(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.partial_cmp(&b).expect("both finite-or-inf"),
+    }
+}
+
+/// Index (into `scores`) of the best candidate: highest non-NaN mean
+/// score, ties broken toward the earlier entry for determinism.
+fn best_index(scores: &[CandidateScore]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| {
+            score_ordering(a.mean_score, b.mean_score).then(ib.cmp(ia)) // earlier index wins ties
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+/// Mean and population standard deviation of a fold-score vector.
+fn mean_std(fold_scores: &[f64]) -> (f64, f64) {
+    let n = fold_scores.len() as f64;
+    let mean = fold_scores.iter().sum::<f64>() / n;
+    let var = fold_scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
 /// Cross-validated grid search over fully-configured classifier candidates.
 ///
 /// # Examples
@@ -69,19 +171,31 @@ pub struct GridSearchOutcome {
 pub struct GridSearchCv {
     /// Number of folds (the paper uses 5).
     pub k: usize,
+    /// Worker-thread budget for the candidate×fold fit jobs. `1` (the
+    /// default) runs fully sequentially; any budget produces bit-identical
+    /// results because fits derive all randomness from the search seed and
+    /// results are collected in submission order.
+    pub threads: usize,
 }
 
 impl Default for GridSearchCv {
     fn default() -> Self {
-        GridSearchCv { k: 5 }
+        GridSearchCv { k: 5, threads: 1 }
     }
 }
 
 impl GridSearchCv {
-    /// Creates a grid search with `k` folds.
+    /// Creates a sequential grid search with `k` folds.
     #[must_use]
     pub fn new(k: usize) -> Self {
-        GridSearchCv { k }
+        GridSearchCv { k, threads: 1 }
+    }
+
+    /// Sets the worker-thread budget for fit jobs.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Scores one candidate by k-fold cross-validation. Folds are derived
@@ -94,28 +208,18 @@ impl GridSearchCv {
         weights: &[f64],
         seed: u64,
     ) -> Result<(f64, f64, Vec<f64>)> {
-        let folds = k_fold_indices(x.n_rows(), self.k, seed)?;
-        let mut fold_scores = Vec::with_capacity(folds.len());
-        for (train_ix, val_ix) in &folds {
-            let x_train = x.take_rows(train_ix);
-            let y_train: Vec<f64> = train_ix.iter().map(|&i| y[i]).collect();
-            let w_train: Vec<f64> = train_ix.iter().map(|&i| weights[i]).collect();
-            let model = candidate.fit(&x_train, &y_train, &w_train, seed)?;
-
-            let x_val = x.take_rows(val_ix);
-            let y_val: Vec<f64> = val_ix.iter().map(|&i| y[i]).collect();
-            let preds = model.predict(&x_val)?;
-            fold_scores.push(ConfusionMatrix::compute(&y_val, &preds, None)?.accuracy());
-        }
-        let n = fold_scores.len() as f64;
-        let mean = fold_scores.iter().sum::<f64>() / n;
-        let var = fold_scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
-        Ok((mean, var.sqrt(), fold_scores))
+        let cache = FoldCache::build(x, y, weights, self.k, seed)?;
+        let fold_scores = (0..cache.len())
+            .map(|fold| cache.score_fold(candidate, fold, seed))
+            .collect::<Result<Vec<f64>>>()?;
+        let (mean, std) = mean_std(&fold_scores);
+        Ok((mean, std, fold_scores))
     }
 
     /// Runs the full search: CV-scores every candidate, picks the best mean
-    /// accuracy (ties break to the earlier candidate for determinism), and
-    /// refits the winner on all of `(x, y, weights)`.
+    /// accuracy (ties break to the earlier candidate for determinism; NaN
+    /// ranks below everything), and refits the winner on all of
+    /// `(x, y, weights)`.
     pub fn search(
         &self,
         candidates: &[Box<dyn Classifier>],
@@ -127,29 +231,16 @@ impl GridSearchCv {
         if candidates.is_empty() {
             return Err(Error::EmptyData("grid-search candidate list".to_string()));
         }
-        let mut scores = Vec::with_capacity(candidates.len());
-        for (i, candidate) in candidates.iter().enumerate() {
-            let (mean_score, std_score, fold_scores) =
-                self.score_candidate(candidate.as_ref(), x, y, weights, seed)?;
-            scores.push(CandidateScore {
-                candidate: i,
-                description: candidate.describe(),
-                mean_score,
-                std_score,
-                fold_scores,
-            });
-        }
-        let best_candidate = scores
-            .iter()
-            .enumerate()
-            .max_by(|(ia, a), (ib, b)| {
-                a.mean_score
-                    .partial_cmp(&b.mean_score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(ib.cmp(ia)) // earlier index wins ties
-            })
-            .map(|(i, _)| i)
-            .expect("non-empty");
+        let cache = FoldCache::build(x, y, weights, self.k, seed)?;
+        let scores = score_candidates_on_cache(
+            candidates,
+            &cache,
+            &candidate_indices(candidates),
+            seed,
+            self.threads,
+        )?;
+        let best = best_index(&scores);
+        let best_candidate = scores[best].candidate;
         let best_model = candidates[best_candidate].fit(x, y, weights, seed)?;
         Ok(GridSearchOutcome {
             best_model,
@@ -160,10 +251,52 @@ impl GridSearchCv {
     }
 }
 
+/// All candidate indices, in order.
+fn candidate_indices(candidates: &[Box<dyn Classifier>]) -> Vec<usize> {
+    (0..candidates.len()).collect()
+}
+
+/// Scores the selected candidates against a shared fold cache, fanning the
+/// candidate×fold fit jobs across `threads` workers. Results are grouped
+/// back per candidate in `selected` order; the first job error (in
+/// submission order) aborts the search, matching the sequential path.
+fn score_candidates_on_cache(
+    candidates: &[Box<dyn Classifier>],
+    cache: &FoldCache,
+    selected: &[usize],
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<CandidateScore>> {
+    let k = cache.len();
+    let jobs: Vec<(usize, usize)> = selected
+        .iter()
+        .flat_map(|&candidate| (0..k).map(move |fold| (candidate, fold)))
+        .collect();
+    let fold_results = parallel_map(jobs, threads, |(candidate, fold)| {
+        cache.score_fold(candidates[candidate].as_ref(), fold, seed)
+    });
+
+    let mut scores = Vec::with_capacity(selected.len());
+    let mut results = fold_results.into_iter();
+    for &candidate in selected {
+        let fold_scores = (&mut results).take(k).collect::<Result<Vec<f64>>>()?;
+        let (mean_score, std_score) = mean_std(&fold_scores);
+        scores.push(CandidateScore {
+            candidate,
+            description: candidates[candidate].describe(),
+            mean_score,
+            std_score,
+            fold_scores,
+        });
+    }
+    Ok(scores)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::{DecisionTree, DecisionTreeConfig};
+    use crate::selection::logistic_regression_grid;
 
     /// y = 1 iff x0 > 0.5; one candidate can learn it (depth 2), one cannot
     /// (depth 0 → a single base-rate leaf).
@@ -190,7 +323,9 @@ mod tests {
     #[test]
     fn search_picks_the_learnable_candidate() {
         let (x, y, w) = data();
-        let outcome = GridSearchCv::new(5).search(&candidates(), &x, &y, &w, 3).unwrap();
+        let outcome = GridSearchCv::new(5)
+            .search(&candidates(), &x, &y, &w, 3)
+            .unwrap();
         assert_eq!(outcome.best_candidate, 1);
         assert!(outcome.scores[1].mean_score > outcome.scores[0].mean_score);
         // The refit model is perfect on the training data.
@@ -201,7 +336,9 @@ mod tests {
     #[test]
     fn fold_scores_quantify_variability() {
         let (x, y, w) = data();
-        let outcome = GridSearchCv::new(4).search(&candidates(), &x, &y, &w, 3).unwrap();
+        let outcome = GridSearchCv::new(4)
+            .search(&candidates(), &x, &y, &w, 3)
+            .unwrap();
         for s in &outcome.scores {
             assert_eq!(s.fold_scores.len(), 4);
             assert!(s.std_score >= 0.0);
@@ -223,6 +360,54 @@ mod tests {
         }
     }
 
+    /// Mirror of `runner::tests::parallel_matches_sequential` at the CV
+    /// level: a 4-thread search must be bit-identical to the sequential
+    /// one on the paper's logistic grid.
+    #[test]
+    fn parallel_search_is_bit_identical_to_sequential() {
+        // German-shaped synthetic problem: 80 rows, 5 features, a noisy
+        // linear target so candidates genuinely differ.
+        let rows: Vec<Vec<f64>> = (0..80)
+            .map(|i| {
+                let i = f64::from(i);
+                vec![
+                    (i * 0.37).sin(),
+                    (i * 0.11).cos(),
+                    (i % 7.0) / 7.0,
+                    (i * 1.7).sin() * (i * 0.05).cos(),
+                    i / 80.0,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| f64::from(r[0] + 2.0 * r[2] - r[4] > 0.4))
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let w = vec![1.0; y.len()];
+        let grid = logistic_regression_grid();
+
+        let sequential = GridSearchCv::new(5).search(&grid, &x, &y, &w, 11).unwrap();
+        let parallel = GridSearchCv::new(5)
+            .with_threads(4)
+            .search(&grid, &x, &y, &w, 11)
+            .unwrap();
+
+        assert_eq!(sequential.best_candidate, parallel.best_candidate);
+        assert_eq!(sequential.best_description, parallel.best_description);
+        assert_eq!(sequential.scores.len(), parallel.scores.len());
+        for (a, b) in sequential.scores.iter().zip(&parallel.scores) {
+            assert_eq!(a.candidate, b.candidate);
+            assert_eq!(a.fold_scores, b.fold_scores, "candidate {}", a.candidate);
+            assert!(a.mean_score.to_bits() == b.mean_score.to_bits());
+            assert!(a.std_score.to_bits() == b.std_score.to_bits());
+        }
+        // And the refit winners predict identically.
+        let pa = sequential.best_model.predict_proba(&x).unwrap();
+        let pb = parallel.best_model.predict_proba(&x).unwrap();
+        assert_eq!(pa, pb);
+    }
+
     #[test]
     fn empty_candidates_rejected() {
         let (x, y, w) = data();
@@ -234,7 +419,9 @@ mod tests {
         let x = Matrix::from_rows(&[vec![1.0], vec![0.0]]).unwrap();
         let y = vec![1.0, 0.0];
         let w = vec![1.0, 1.0];
-        assert!(GridSearchCv::new(5).search(&candidates(), &x, &y, &w, 0).is_err());
+        assert!(GridSearchCv::new(5)
+            .search(&candidates(), &x, &y, &w, 0)
+            .is_err());
     }
 
     #[test]
@@ -245,8 +432,52 @@ mod tests {
             Box::new(DecisionTree::default()),
             Box::new(DecisionTree::default()),
         ];
-        let outcome = GridSearchCv::default().search(&same, &x, &y, &w, 1).unwrap();
+        let outcome = GridSearchCv::default()
+            .search(&same, &x, &y, &w, 1)
+            .unwrap();
         assert_eq!(outcome.best_candidate, 0);
+    }
+
+    fn synthetic_score(candidate: usize, mean_score: f64) -> CandidateScore {
+        CandidateScore {
+            candidate,
+            description: format!("candidate-{candidate}"),
+            mean_score,
+            std_score: 0.0,
+            fold_scores: vec![mean_score],
+        }
+    }
+
+    /// Regression test: a NaN mean score must rank below every real score.
+    /// The old `partial_cmp(..).unwrap_or(Equal)` treated NaN as a tie, so
+    /// a late NaN candidate could beat a real one.
+    #[test]
+    fn nan_scores_never_win() {
+        let scores = vec![
+            synthetic_score(0, 0.4),
+            synthetic_score(1, f64::NAN),
+            synthetic_score(2, 0.7),
+            synthetic_score(3, f64::NAN),
+        ];
+        assert_eq!(best_index(&scores), 2);
+
+        // NaN after the best real score must not "tie" its way past it.
+        let scores = vec![synthetic_score(0, 0.9), synthetic_score(1, f64::NAN)];
+        assert_eq!(best_index(&scores), 0);
+        let scores = vec![synthetic_score(0, f64::NAN), synthetic_score(1, 0.1)];
+        assert_eq!(best_index(&scores), 1);
+
+        // All-NaN degenerates to the earliest candidate.
+        let scores = vec![synthetic_score(0, f64::NAN), synthetic_score(1, f64::NAN)];
+        assert_eq!(best_index(&scores), 0);
+    }
+
+    #[test]
+    fn fold_cache_len_matches_k() {
+        let (x, y, w) = data();
+        let cache = FoldCache::build(&x, &y, &w, 5, 3).unwrap();
+        assert_eq!(cache.len(), 5);
+        assert!(!cache.is_empty());
     }
 }
 
@@ -259,19 +490,32 @@ pub struct RandomizedSearchCv {
     pub k: usize,
     /// Number of candidates to sample (without replacement).
     pub n_iter: usize,
+    /// Worker-thread budget for fit jobs (see [`GridSearchCv::threads`]).
+    pub threads: usize,
 }
 
 impl RandomizedSearchCv {
-    /// Creates a randomized search with `k` folds and `n_iter` sampled
-    /// candidates.
+    /// Creates a sequential randomized search with `k` folds and `n_iter`
+    /// sampled candidates.
     #[must_use]
     pub fn new(k: usize, n_iter: usize) -> Self {
-        RandomizedSearchCv { k, n_iter }
+        RandomizedSearchCv {
+            k,
+            n_iter,
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread budget for fit jobs.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Samples `n_iter` candidates (seeded, without replacement), scores
-    /// them with [`GridSearchCv`], and refits the winner. The outcome's
-    /// candidate indices refer to the ORIGINAL candidate list.
+    /// them against a shared fold cache, and refits the winner. The
+    /// outcome's candidate indices refer to the ORIGINAL candidate list.
     pub fn search(
         &self,
         candidates: &[Box<dyn Classifier>],
@@ -281,7 +525,9 @@ impl RandomizedSearchCv {
         seed: u64,
     ) -> Result<GridSearchOutcome> {
         if candidates.is_empty() {
-            return Err(Error::EmptyData("randomized-search candidate list".to_string()));
+            return Err(Error::EmptyData(
+                "randomized-search candidate list".to_string(),
+            ));
         }
         use rand::seq::SliceRandom;
         let mut order: Vec<usize> = (0..candidates.len()).collect();
@@ -290,30 +536,9 @@ impl RandomizedSearchCv {
         order.truncate(self.n_iter.clamp(1, candidates.len()));
         order.sort_unstable(); // deterministic scoring order
 
-        let grid = GridSearchCv::new(self.k);
-        let mut scores = Vec::with_capacity(order.len());
-        for &ix in &order {
-            let (mean_score, std_score, fold_scores) =
-                grid.score_candidate(candidates[ix].as_ref(), x, y, weights, seed)?;
-            scores.push(CandidateScore {
-                candidate: ix,
-                description: candidates[ix].describe(),
-                mean_score,
-                std_score,
-                fold_scores,
-            });
-        }
-        let best = scores
-            .iter()
-            .enumerate()
-            .max_by(|(ia, a), (ib, b)| {
-                a.mean_score
-                    .partial_cmp(&b.mean_score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(ib.cmp(ia))
-            })
-            .map(|(i, _)| i)
-            .expect("non-empty");
+        let cache = FoldCache::build(x, y, weights, self.k, seed)?;
+        let scores = score_candidates_on_cache(candidates, &cache, &order, seed, self.threads)?;
+        let best = best_index(&scores);
         let best_candidate = scores[best].candidate;
         let best_model = candidates[best_candidate].fit(x, y, weights, seed)?;
         Ok(GridSearchOutcome {
@@ -341,8 +566,9 @@ mod randomized_tests {
     fn samples_the_requested_budget() {
         let (x, y, w) = data();
         let candidates = decision_tree_grid();
-        let outcome =
-            RandomizedSearchCv::new(3, 10).search(&candidates, &x, &y, &w, 5).unwrap();
+        let outcome = RandomizedSearchCv::new(3, 10)
+            .search(&candidates, &x, &y, &w, 5)
+            .unwrap();
         assert_eq!(outcome.scores.len(), 10);
         assert!(outcome.best_candidate < candidates.len());
         // Every scored index is unique (sampling without replacement).
@@ -362,8 +588,9 @@ mod randomized_tests {
             })),
             Box::new(DecisionTree::default()),
         ];
-        let outcome =
-            RandomizedSearchCv::new(3, 99).search(&candidates, &x, &y, &w, 1).unwrap();
+        let outcome = RandomizedSearchCv::new(3, 99)
+            .search(&candidates, &x, &y, &w, 1)
+            .unwrap();
         assert_eq!(outcome.scores.len(), 2);
         assert_eq!(outcome.best_candidate, 1); // only the unbounded tree learns
     }
@@ -382,8 +609,28 @@ mod randomized_tests {
     }
 
     #[test]
+    fn parallel_randomized_search_matches_sequential() {
+        let (x, y, w) = data();
+        let candidates = decision_tree_grid();
+        let a = RandomizedSearchCv::new(3, 8)
+            .search(&candidates, &x, &y, &w, 7)
+            .unwrap();
+        let b = RandomizedSearchCv::new(3, 8)
+            .with_threads(4)
+            .search(&candidates, &x, &y, &w, 7)
+            .unwrap();
+        assert_eq!(a.best_candidate, b.best_candidate);
+        for (sa, sb) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(sa.candidate, sb.candidate);
+            assert_eq!(sa.fold_scores, sb.fold_scores);
+        }
+    }
+
+    #[test]
     fn empty_candidates_rejected() {
         let (x, y, w) = data();
-        assert!(RandomizedSearchCv::new(3, 4).search(&[], &x, &y, &w, 0).is_err());
+        assert!(RandomizedSearchCv::new(3, 4)
+            .search(&[], &x, &y, &w, 0)
+            .is_err());
     }
 }

@@ -10,8 +10,8 @@
 use std::collections::BTreeMap;
 
 use crate::model::{
-    Classifier, DecisionTree, DecisionTreeConfig, LogisticRegressionConfig,
-    LogisticRegressionSgd, Penalty, SplitCriterion,
+    Classifier, DecisionTree, DecisionTreeConfig, LogisticRegressionConfig, LogisticRegressionSgd,
+    Penalty, SplitCriterion,
 };
 
 /// A single hyperparameter value.
@@ -95,16 +95,22 @@ impl ParamGrid {
 /// the "60 different settings" of the paper.
 #[must_use]
 pub fn logistic_regression_grid() -> Vec<Box<dyn Classifier>> {
-    let penalties = [Penalty::L2, Penalty::L1, Penalty::ElasticNet { l1_ratio: 0.5 }];
+    let penalties = [
+        Penalty::L2,
+        Penalty::L1,
+        Penalty::ElasticNet { l1_ratio: 0.5 },
+    ];
     let alphas = [5e-5, 1e-4, 5e-3, 1e-3];
     let mut out: Vec<Box<dyn Classifier>> = Vec::with_capacity(penalties.len() * alphas.len());
     for &penalty in &penalties {
         for &alpha in &alphas {
-            out.push(Box::new(LogisticRegressionSgd::new(LogisticRegressionConfig {
-                penalty,
-                alpha,
-                ..Default::default()
-            })));
+            out.push(Box::new(LogisticRegressionSgd::new(
+                LogisticRegressionConfig {
+                    penalty,
+                    alpha,
+                    ..Default::default()
+                },
+            )));
         }
     }
     out
@@ -145,7 +151,14 @@ mod tests {
     fn cartesian_product_counts() {
         let grid = ParamGrid::new()
             .axis("a", vec![ParamValue::Int(1), ParamValue::Int(2)])
-            .axis("b", vec![ParamValue::Str("x".into()), ParamValue::Str("y".into()), ParamValue::Str("z".into())]);
+            .axis(
+                "b",
+                vec![
+                    ParamValue::Str("x".into()),
+                    ParamValue::Str("y".into()),
+                    ParamValue::Str("z".into()),
+                ],
+            );
         assert_eq!(grid.len(), 6);
         let points = grid.points();
         assert_eq!(points.len(), 6);
@@ -176,7 +189,7 @@ mod tests {
         let grid = logistic_regression_grid();
         assert_eq!(grid.len(), 12);
         assert_eq!(grid.len() * 5, 60); // the paper's "60 different settings"
-        // All descriptions distinct.
+                                        // All descriptions distinct.
         let descs: Vec<String> = grid.iter().map(|c| c.describe()).collect();
         for (i, d) in descs.iter().enumerate() {
             assert!(!descs[i + 1..].contains(d), "duplicate candidate {d}");

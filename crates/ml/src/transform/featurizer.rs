@@ -38,10 +38,16 @@ impl FittedFeaturizer {
     /// skipped when collecting categories.
     pub fn fit(train: &BinaryLabelDataset, scaler: ScalerSpec) -> Result<FittedFeaturizer> {
         let schema = train.schema();
-        let numeric_names: Vec<String> =
-            schema.numeric_features().iter().map(ToString::to_string).collect();
-        let categorical_names: Vec<String> =
-            schema.categorical_features().iter().map(ToString::to_string).collect();
+        let numeric_names: Vec<String> = schema
+            .numeric_features()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let categorical_names: Vec<String> = schema
+            .categorical_features()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
 
         // Collect complete numeric training columns for the scaler.
         let mut numeric_columns = Vec::with_capacity(numeric_names.len());
@@ -135,7 +141,10 @@ impl FittedFeaturizer {
                         })
                     }
                 };
-                enc.encode_into(value.as_deref(), &mut out.row_mut(i)[offset..offset + width])?;
+                enc.encode_into(
+                    value.as_deref(),
+                    &mut out.row_mut(i)[offset..offset + width],
+                )?;
             }
             offset += width;
         }
@@ -173,13 +182,21 @@ mod tests {
             .categorical_feature("job")
             .metadata("g", ColumnKind::Categorical)
             .label("y");
-        BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p")
-            .unwrap()
+        BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "p",
+        )
+        .unwrap()
     }
 
     #[test]
     fn fit_transform_shapes_and_names() {
-        let train = dataset(&["clerk", "chef", "clerk", "nurse"], &[20.0, 30.0, 40.0, 50.0]);
+        let train = dataset(
+            &["clerk", "chef", "clerk", "nurse"],
+            &[20.0, 30.0, 40.0, 50.0],
+        );
         let f = FittedFeaturizer::fit(&train, ScalerSpec::Standard).unwrap();
         // 1 numeric + (3 categories + unseen) = 5.
         assert_eq!(f.n_features(), 5);

@@ -35,7 +35,9 @@ impl OneHotEncoder {
             .map(|(c, _)| c.clone())
             .collect();
         if categories.is_empty() {
-            return Err(Error::EmptyData("one-hot fit on all-missing column".to_string()));
+            return Err(Error::EmptyData(
+                "one-hot fit on all-missing column".to_string(),
+            ));
         }
         Ok(OneHotEncoder { categories })
     }
@@ -57,8 +59,11 @@ impl OneHotEncoder {
     /// attribute name (e.g. `workclass=Private`, `workclass=<unseen>`).
     #[must_use]
     pub fn feature_names(&self, attribute: &str) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.categories.iter().map(|c| format!("{attribute}={c}")).collect();
+        let mut names: Vec<String> = self
+            .categories
+            .iter()
+            .map(|c| format!("{attribute}={c}"))
+            .collect();
         names.push(format!("{attribute}=<unseen>"));
         names
     }
@@ -69,7 +74,10 @@ impl OneHotEncoder {
     /// featurization, so this is a defensive fallback, not the normal path).
     pub fn encode_into(&self, value: Option<&str>, out: &mut [f64]) -> Result<()> {
         if out.len() != self.width() {
-            return Err(Error::LengthMismatch { expected: self.width(), actual: out.len() });
+            return Err(Error::LengthMismatch {
+                expected: self.width(),
+                actual: out.len(),
+            });
         }
         out.fill(0.0);
         if let Some(v) = value {

@@ -44,7 +44,9 @@ impl ScalerSpec {
         let mut params = Vec::with_capacity(columns.len());
         for (j, xs) in columns.iter().enumerate() {
             if xs.is_empty() {
-                return Err(Error::EmptyData(format!("scaler fit: feature {j} has no values")));
+                return Err(Error::EmptyData(format!(
+                    "scaler fit: feature {j} has no values"
+                )));
             }
             if xs.iter().any(|v| !v.is_finite()) {
                 return Err(Error::InvalidParameter {
@@ -58,15 +60,24 @@ impl ScalerSpec {
                     let mean = xs.iter().sum::<f64>() / n;
                     let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
                     let std = var.sqrt();
-                    Affine { offset: mean, scale: if std > 0.0 { 1.0 / std } else { 0.0 } }
+                    Affine {
+                        offset: mean,
+                        scale: if std > 0.0 { 1.0 / std } else { 0.0 },
+                    }
                 }
                 ScalerSpec::MinMax => {
                     let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
                     let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                     let range = max - min;
-                    Affine { offset: min, scale: if range > 0.0 { 1.0 / range } else { 0.0 } }
+                    Affine {
+                        offset: min,
+                        scale: if range > 0.0 { 1.0 / range } else { 0.0 },
+                    }
                 }
-                ScalerSpec::NoScaling => Affine { offset: 0.0, scale: 1.0 },
+                ScalerSpec::NoScaling => Affine {
+                    offset: 0.0,
+                    scale: 1.0,
+                },
             };
             params.push(p);
         }
@@ -147,8 +158,10 @@ mod tests {
     #[test]
     fn standard_scaler_zero_mean_unit_var() {
         let fitted = ScalerSpec::Standard.fit(&[vec![2.0, 4.0, 6.0]]).unwrap();
-        let scaled: Vec<f64> =
-            [2.0, 4.0, 6.0].iter().map(|&x| fitted.transform_value(0, x).unwrap()).collect();
+        let scaled: Vec<f64> = [2.0, 4.0, 6.0]
+            .iter()
+            .map(|&x| fitted.transform_value(0, x).unwrap())
+            .collect();
         let mean: f64 = scaled.iter().sum::<f64>() / 3.0;
         let var: f64 = scaled.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 3.0;
         assert!(mean.abs() < 1e-12);
@@ -183,7 +196,11 @@ mod tests {
 
     #[test]
     fn inverse_roundtrips() {
-        for spec in [ScalerSpec::Standard, ScalerSpec::MinMax, ScalerSpec::NoScaling] {
+        for spec in [
+            ScalerSpec::Standard,
+            ScalerSpec::MinMax,
+            ScalerSpec::NoScaling,
+        ] {
             let fitted = spec.fit(&[vec![1.0, 3.0, 9.0]]).unwrap();
             for x in [1.0, 2.0, 9.0, -4.0] {
                 let y = fitted.transform_value(0, x).unwrap();
@@ -195,8 +212,9 @@ mod tests {
 
     #[test]
     fn transform_row_scales_all_features() {
-        let fitted =
-            ScalerSpec::MinMax.fit(&[vec![0.0, 10.0], vec![0.0, 2.0]]).unwrap();
+        let fitted = ScalerSpec::MinMax
+            .fit(&[vec![0.0, 10.0], vec![0.0, 2.0]])
+            .unwrap();
         let mut row = vec![5.0, 1.0];
         fitted.transform_row(&mut row).unwrap();
         assert_eq!(row, vec![0.5, 0.5]);

@@ -1,0 +1,166 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses. The build environment has no registry access, so the workspace
+//! resolves `proptest` to this path dependency instead of crates.io.
+//!
+//! Same surface, simpler engine: strategies generate random values from a
+//! deterministic per-test seed, `prop_filter`/`prop_assume` reject and
+//! resample, and failures panic with the formatted assertion message.
+//! There is no shrinking — a failing case prints its seed context and the
+//! assertion text instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of the real crate's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Deterministic per-test generator: FNV-1a of the fully qualified test
+/// name seeds the stream, so each property test draws its own reproducible
+/// sequence independent of declaration order.
+#[must_use]
+pub fn rng_for_test(name: &str) -> rand::rngs::StdRng {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(hash)
+}
+
+/// Defines property tests: each `fn` body runs `config.cases` times with
+/// fresh strategy-generated inputs bound to the given patterns.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng =
+                $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(
+                        let $pat = match $crate::strategy::Strategy::new_value(&($strat), &mut rng) {
+                            ::core::result::Result::Ok(value) => value,
+                            ::core::result::Result::Err(reason) => {
+                                return ::core::result::Result::Err(
+                                    $crate::test_runner::TestCaseError::Reject(reason),
+                                );
+                            }
+                        };
+                    )*
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= config.max_global_rejects,
+                            "proptest {}: too many rejected cases ({} rejects for {} accepted)",
+                            stringify!($name), rejected, accepted,
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed after {} passing cases: {}",
+                            stringify!($name), accepted, msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Rejects the current case (it does not count toward `cases`) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case with a formatted message unless the condition
+/// holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`: {}", left, right, ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case unless the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}

@@ -1,0 +1,29 @@
+//! Option strategies: `of`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy producing `Some` (probability 1/2, mirroring upstream's
+/// default weight) or `None`.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Result<Option<S::Value>, String> {
+        if rng.random::<bool>() {
+            Ok(Some(self.inner.new_value(rng)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// `Option` strategy wrapping `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,302 @@
+//! The [`Strategy`] trait, range/regex/tuple strategies, and combinators.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+/// How many times `prop_filter` resamples its inner strategy before
+/// rejecting the whole case.
+const LOCAL_FILTER_RETRIES: usize = 64;
+
+/// A recipe for generating random values of `Self::Value`.
+///
+/// `new_value` returns `Err(reason)` when a filter could not be satisfied;
+/// the test runner treats that as a rejected case and resamples.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Result<Self::Value, String>;
+
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    fn prop_filter<F>(self, reason: impl Into<String>, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            predicate,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Result<Self::Value, String> {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> Result<T, String> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> Result<O, String> {
+        self.inner.new_value(rng).map(&self.map)
+    }
+}
+
+/// Result of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Result<S::Value, String> {
+        for _ in 0..LOCAL_FILTER_RETRIES {
+            let candidate = self.inner.new_value(rng)?;
+            if (self.predicate)(&candidate) {
+                return Ok(candidate);
+            }
+        }
+        Err(self.reason.clone())
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> Result<$t, String> {
+                Ok(rng.random_range(self.clone()))
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> Result<$t, String> {
+                Ok(rng.random_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// String strategies from a small regex subset: character classes
+/// (`[a-d]`, `[a-z ,"]`), literal characters, and `{m,n}` / `{n}`
+/// repetition counts. This covers the patterns the workspace tests use.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> Result<String, String> {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> Result<String, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let (set, next) = parse_class(&chars, i + 1)?;
+            i = next;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        if alphabet.is_empty() {
+            return Err(format!("empty character class in pattern {pattern:?}"));
+        }
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let (bounds, next) = parse_repetition(&chars, i + 1)?;
+            i = next;
+            bounds
+        } else {
+            (1, 1)
+        };
+        let count = if lo == hi {
+            lo
+        } else {
+            rng.random_range(lo..=hi)
+        };
+        for _ in 0..count {
+            out.push(*alphabet.choose(rng).expect("non-empty alphabet"));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses the body of `[...]` starting just past the `[`; returns the
+/// expanded character set and the index just past the `]`.
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), String> {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let start = chars[i];
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let end = chars[i + 2];
+            if start > end {
+                return Err(format!("invalid range {start}-{end} in character class"));
+            }
+            set.extend(start..=end);
+            i += 3;
+        } else {
+            set.push(start);
+            i += 1;
+        }
+    }
+    if i >= chars.len() {
+        return Err("unterminated character class".to_string());
+    }
+    Ok((set, i + 1))
+}
+
+/// Parses the body of `{m,n}` or `{n}` starting just past the `{`; returns
+/// the inclusive bounds and the index just past the `}`.
+fn parse_repetition(chars: &[char], mut i: usize) -> Result<((usize, usize), usize), String> {
+    let mut parts: Vec<usize> = vec![0];
+    let mut saw_digit = false;
+    while i < chars.len() && chars[i] != '}' {
+        match chars[i] {
+            d if d.is_ascii_digit() => {
+                let last = parts.last_mut().expect("non-empty parts");
+                *last = *last * 10 + (d as usize - '0' as usize);
+                saw_digit = true;
+            }
+            ',' => parts.push(0),
+            other => return Err(format!("unsupported repetition character {other:?}")),
+        }
+        i += 1;
+    }
+    if i >= chars.len() || !saw_digit {
+        return Err("unterminated or empty repetition".to_string());
+    }
+    let bounds = match parts.as_slice() {
+        [n] => (*n, *n),
+        [lo, hi] => (*lo, *hi),
+        _ => return Err("too many commas in repetition".to_string()),
+    };
+    if bounds.0 > bounds.1 {
+        return Err("inverted repetition bounds".to_string());
+    }
+    Ok((bounds, i + 1))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut StdRng) -> Result<Self::Value, String> {
+                let ($($name,)+) = self;
+                Ok(($($name.new_value(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        crate::rng_for_test("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let n = (10usize..300).new_value(&mut rng).unwrap();
+            assert!((10..300).contains(&n));
+            let f = (-10.0f64..10.0).new_value(&mut rng).unwrap();
+            assert!((-10.0..10.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-d]".new_value(&mut rng).unwrap();
+            assert_eq!(s.len(), 1);
+            assert!(('a'..='d').contains(&s.chars().next().unwrap()));
+
+            let t = "[a-z ,\"]{0,8}".new_value(&mut rng).unwrap();
+            assert!(t.chars().count() <= 8);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == ' ' || c == ',' || c == '"'));
+        }
+    }
+
+    #[test]
+    fn filter_rejects_with_reason_when_unsatisfiable() {
+        let mut rng = rng();
+        let strat = (0usize..10).prop_filter("impossible", |&v| v > 100);
+        assert_eq!(strat.new_value(&mut rng), Err("impossible".to_string()));
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let mut rng = rng();
+        let strat = ((0usize..5), (10usize..15)).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng).unwrap();
+            assert!((10..20).contains(&v));
+        }
+    }
+}

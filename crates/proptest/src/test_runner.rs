@@ -1,0 +1,42 @@
+//! Test-runner configuration and case outcomes.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+    /// Cap on rejected cases (from `prop_assume!` / `prop_filter`) before
+    /// the property is considered unsatisfiable.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a generated case did not count as a pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected (assume/filter); resample and try again.
+    Reject(String),
+    /// The property failed; abort the test with this message.
+    Fail(String),
+}
+
+/// Convenience alias mirroring the upstream crate.
+pub type TestCaseResult = Result<(), TestCaseError>;

@@ -81,7 +81,9 @@ fn main() -> Result<()> {
             r.metadata.seed,
             t.overall.accuracy,
             t.unprivileged.accuracy,
-            t.incomplete_records.as_ref().map_or(f64::NAN, |g| g.accuracy),
+            t.incomplete_records
+                .as_ref()
+                .map_or(f64::NAN, |g| g.accuracy),
             t.differences.disparate_impact,
         );
     }

@@ -88,16 +88,20 @@ fn main() -> Result<()> {
         .missing_value_handler(ModeImputer)
         .learner(LogisticRegressionLearner { tuned: true })
         .learner(NaiveBayesLearner)
-        .model_selector(AccuracyUnderDiBound { max_di_deviation: 0.3 })
+        .model_selector(AccuracyUnderDiBound {
+            max_di_deviation: 0.3,
+        })
         .build()?
         .run()?;
 
     println!(
         "selected {} (of {:?})",
-        result.metadata.candidates[result.metadata.selected],
-        result.metadata.candidates
+        result.metadata.candidates[result.metadata.selected], result.metadata.candidates
     );
-    println!("test accuracy    = {:.3}", result.test_report.overall.accuracy);
+    println!(
+        "test accuracy    = {:.3}",
+        result.test_report.overall.accuracy
+    );
     println!(
         "disparate impact = {:.3}",
         result.test_report.differences.disparate_impact

@@ -149,7 +149,10 @@ fn main() -> Result<()> {
 
     let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
     let jobs: Vec<Job> = configs.into_iter().map(|(_, j)| j).collect();
-    println!("running {} intervention configurations on compas...", jobs.len());
+    println!(
+        "running {} intervention configurations on compas...",
+        jobs.len()
+    );
     let results = run_parallel(jobs, 4);
 
     println!(

@@ -60,7 +60,9 @@ fn main() -> Result<()> {
                 format!("{strategy} ({incomplete} inc.)"),
                 t.overall.accuracy,
                 t.unprivileged.accuracy,
-                t.incomplete_records.as_ref().map_or(f64::NAN, |g| g.accuracy),
+                t.incomplete_records
+                    .as_ref()
+                    .map_or(f64::NAN, |g| g.accuracy),
                 t.differences.disparate_impact,
             );
         }

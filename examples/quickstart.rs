@@ -43,15 +43,17 @@ fn main() -> Result<()> {
     println!("test accuracy          = {:.3}", t.overall.accuracy);
     println!("  privileged accuracy  = {:.3}", t.privileged.accuracy);
     println!("  unprivileged accuracy= {:.3}", t.unprivileged.accuracy);
-    println!("disparate impact       = {:.3}", t.differences.disparate_impact);
+    println!(
+        "disparate impact       = {:.3}",
+        t.differences.disparate_impact
+    );
     println!(
         "stat. parity difference= {:+.3}",
         t.differences.statistical_parity_difference
     );
     println!(
         "FNR / FPR difference   = {:+.3} / {:+.3}",
-        t.differences.false_negative_rate_difference,
-        t.differences.false_positive_rate_difference,
+        t.differences.false_negative_rate_difference, t.differences.false_positive_rate_difference,
     );
 
     // 4. Write the full 25+25+25+22-metric report like the Python original

@@ -32,13 +32,12 @@ pub mod prelude {
     pub use fairprep_core::prelude::*;
     pub use fairprep_data::prelude::*;
     pub use fairprep_datasets::{
-        generate_adult, generate_compas, generate_german, generate_german_with,
-        generate_payment, generate_ricci, AdultProtected, CompasProtected, GermanProtected,
+        generate_adult, generate_compas, generate_german, generate_german_with, generate_payment,
+        generate_ricci, AdultProtected, CompasProtected, GermanProtected,
     };
     pub use fairprep_fairness::prelude::*;
     pub use fairprep_impute::{
-        CompleteCaseAnalysis, MeanModeImputer, MissingValueHandler, ModeImputer,
-        ModelBasedImputer,
+        CompleteCaseAnalysis, MeanModeImputer, MissingValueHandler, ModeImputer, ModelBasedImputer,
     };
     pub use fairprep_ml::prelude::*;
 }

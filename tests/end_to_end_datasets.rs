@@ -84,7 +84,11 @@ fn adult_with_model_based_imputation() {
     // these records could not have been classified at all before
     // imputation!"
     assert!(inc.n_instances > 0);
-    assert!(inc.accuracy > 0.5, "imputed-record accuracy {}", inc.accuracy);
+    assert!(
+        inc.accuracy > 0.5,
+        "imputed-record accuracy {}",
+        inc.accuracy
+    );
 }
 
 #[test]
@@ -140,7 +144,9 @@ fn multi_candidate_selection_picks_a_valid_index() {
         .learner(LogisticRegressionLearner { tuned: false })
         .learner(DecisionTreeLearner { tuned: false })
         .learner(NaiveBayesLearner)
-        .model_selector(AccuracyUnderDiBound { max_di_deviation: 0.25 })
+        .model_selector(AccuracyUnderDiBound {
+            max_di_deviation: 0.25,
+        })
         .build()
         .unwrap()
         .run()
@@ -200,7 +206,10 @@ fn group_threshold_postprocessor_runs_in_the_lifecycle() {
         .run()
         .unwrap();
     sanity(&result, 0.45);
-    assert!(result.metadata.postprocessor.starts_with("group_thresholds"));
+    assert!(result
+        .metadata
+        .postprocessor
+        .starts_with("group_thresholds"));
 }
 
 #[test]

@@ -47,18 +47,27 @@ fn di_remover_full_repair_moves_di_towards_one() {
 fn reject_option_reduces_statistical_parity_difference() {
     let b = baseline();
     let r = run_with(|b| b.postprocessor(RejectOptionClassification::default()));
-    let spd_base = b.test_report.differences.statistical_parity_difference.abs();
-    let spd_roc = r.test_report.differences.statistical_parity_difference.abs();
-    assert!(spd_roc < spd_base, "baseline |SPD| {spd_base}, ROC |SPD| {spd_roc}");
+    let spd_base = b
+        .test_report
+        .differences
+        .statistical_parity_difference
+        .abs();
+    let spd_roc = r
+        .test_report
+        .differences
+        .statistical_parity_difference
+        .abs();
+    assert!(
+        spd_roc < spd_base,
+        "baseline |SPD| {spd_base}, ROC |SPD| {spd_roc}"
+    );
 }
 
 #[test]
 fn eq_odds_reduces_odds_violation() {
     let b = baseline();
     let r = run_with(|b| b.postprocessor(EqOddsPostprocessing::default()));
-    let violation = |res: &RunResult| {
-        res.test_report.differences.average_abs_odds_difference
-    };
+    let violation = |res: &RunResult| res.test_report.differences.average_abs_odds_difference;
     assert!(
         violation(&r) < violation(&b) + 0.05,
         "baseline {}, eq-odds {}",
@@ -84,17 +93,26 @@ fn massaging_runs_in_the_lifecycle_and_equalizes_training_rates() {
 #[test]
 fn prejudice_remover_reduces_di_deviation_vs_its_unregularized_self() {
     let plain = run_with(|b| {
-        b.learner(InProcessLearner::new(PrejudiceRemover { eta: 0.0, ..Default::default() }))
-            .model_selector(PickLast)
+        b.learner(InProcessLearner::new(PrejudiceRemover {
+            eta: 0.0,
+            ..Default::default()
+        }))
+        .model_selector(PickLast)
     });
     let fair = run_with(|b| {
-        b.learner(InProcessLearner::new(PrejudiceRemover { eta: 25.0, ..Default::default() }))
-            .model_selector(PickLast)
+        b.learner(InProcessLearner::new(PrejudiceRemover {
+            eta: 25.0,
+            ..Default::default()
+        }))
+        .model_selector(PickLast)
     });
-    let dev = |r: &RunResult| {
-        (r.test_report.differences.disparate_impact - 1.0).abs()
-    };
-    assert!(dev(&fair) < dev(&plain), "plain {} fair {}", dev(&plain), dev(&fair));
+    let dev = |r: &RunResult| (r.test_report.differences.disparate_impact - 1.0).abs();
+    assert!(
+        dev(&fair) < dev(&plain),
+        "plain {} fair {}",
+        dev(&plain),
+        dev(&fair)
+    );
 }
 
 /// Selector that always picks the last candidate (the in-processor added

@@ -50,9 +50,9 @@ fn maps_equal(
     b: &std::collections::BTreeMap<String, f64>,
 ) -> bool {
     a.len() == b.len()
-        && a.iter().zip(b).all(|((ka, va), (kb, vb))| {
-            ka == kb && ((va.is_nan() && vb.is_nan()) || va == vb)
-        })
+        && a.iter()
+            .zip(b)
+            .all(|((ka, va), (kb, vb))| ka == kb && ((va.is_nan() && vb.is_nan()) || va == vb))
 }
 
 #[test]
@@ -69,7 +69,10 @@ fn perturbing_test_rows_does_not_change_validation_metrics_or_selection() {
     for (ca, cb) in a.candidates.iter().zip(&b.candidates) {
         assert_eq!(ca.learner, cb.learner);
         assert!(
-            maps_equal(&ca.validation_report.to_map(), &cb.validation_report.to_map()),
+            maps_equal(
+                &ca.validation_report.to_map(),
+                &cb.validation_report.to_map()
+            ),
             "validation metrics changed when only test rows changed"
         );
         assert!(
@@ -100,7 +103,10 @@ fn scaler_statistics_come_from_training_data_only() {
     // inside [0, 1]. Values outside prove train-only statistics. (They are
     // not guaranteed for every seed, but for this fixed seed they exist.)
     let out_of_unit = x_test.data().iter().any(|&v| !(0.0..=1.0).contains(&v));
-    assert!(out_of_unit, "expected at least one out-of-train-range test value");
+    assert!(
+        out_of_unit,
+        "expected at least one out-of-train-range test value"
+    );
 }
 
 #[test]

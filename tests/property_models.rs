@@ -8,15 +8,18 @@ use fairprep_ml::matrix::Matrix;
 /// Strategy: a small binary-classification problem with both classes
 /// present.
 fn problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
-    prop::collection::vec((prop::collection::vec(-10.0f64..10.0, 3), any::<bool>()), 10..60)
-        .prop_filter("both classes", |rows| {
-            rows.iter().any(|(_, y)| *y) && rows.iter().any(|(_, y)| !*y)
-        })
-        .prop_map(|rows| {
-            let x: Vec<Vec<f64>> = rows.iter().map(|(r, _)| r.clone()).collect();
-            let y: Vec<f64> = rows.iter().map(|(_, y)| f64::from(u8::from(*y))).collect();
-            (x, y)
-        })
+    prop::collection::vec(
+        (prop::collection::vec(-10.0f64..10.0, 3), any::<bool>()),
+        10..60,
+    )
+    .prop_filter("both classes", |rows| {
+        rows.iter().any(|(_, y)| *y) && rows.iter().any(|(_, y)| !*y)
+    })
+    .prop_map(|rows| {
+        let x: Vec<Vec<f64>> = rows.iter().map(|(r, _)| r.clone()).collect();
+        let y: Vec<f64> = rows.iter().map(|(_, y)| f64::from(u8::from(*y))).collect();
+        (x, y)
+    })
 }
 
 proptest! {

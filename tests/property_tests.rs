@@ -26,8 +26,13 @@ fn toy_dataset(n: usize) -> BinaryLabelDataset {
         .numeric_feature("x")
         .metadata("g", ColumnKind::Categorical)
         .label("y");
-    BinaryLabelDataset::new(frame, schema, ProtectedAttribute::categorical("g", &["a"]), "p")
-        .unwrap()
+    BinaryLabelDataset::new(
+        frame,
+        schema,
+        ProtectedAttribute::categorical("g", &["a"]),
+        "p",
+    )
+    .unwrap()
 }
 
 proptest! {

@@ -51,7 +51,10 @@ fn identical_seeds_give_bitwise_identical_runs() {
 fn different_seeds_give_different_runs() {
     let a = full_pipeline_run(1);
     let b = full_pipeline_run(2);
-    assert!(!maps_equal(&a.test_report.to_map(), &b.test_report.to_map()));
+    assert!(!maps_equal(
+        &a.test_report.to_map(),
+        &b.test_report.to_map()
+    ));
 }
 
 #[test]
