@@ -1,0 +1,36 @@
+//! Known-bad L1 fixtures: every construct here must trip the audit.
+
+struct TestSetVault {
+    data: Vec<f64>,
+}
+
+impl TestSetVault {
+    // BAD: public accessor returning row-level data.
+    pub fn rows(&self) -> Vec<f64> {
+        self.data.clone()
+    }
+
+    // BAD even as a borrowed frame.
+    pub fn frame(&self) -> &DataFrame {
+        &self.frame
+    }
+
+    // OK: aggregate.
+    pub fn n_rows(&self) -> usize {
+        self.data.len()
+    }
+
+    // OK: restricted visibility.
+    pub(crate) fn raw(&self) -> &Vec<f64> {
+        &self.data
+    }
+}
+
+fn train_pipeline(model: &mut Model, test_features: &Matrix, vault: &TestSetVault) {
+    // BAD: fitting on an argument that names held-out data.
+    model.fit(test_features);
+    // BAD: fitting on data pulled out of the vault.
+    let scaler = Scaler::default().fit_transform(vault.raw());
+    // BAD: receiver chain mentions the vault.
+    vault.stats().fit(scaler);
+}

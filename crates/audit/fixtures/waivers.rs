@@ -1,0 +1,13 @@
+//! Waiver fixtures: one malformed waiver (must be flagged) and one
+//! well-formed waiver (must suppress its lint).
+
+fn reasonless(xs: &[f64]) -> f64 {
+    // BAD: waiver without a reason is fatal and suppresses nothing.
+    // audit: allow(unwrap)
+    *xs.first().unwrap()
+}
+
+fn justified(xs: &[f64]) -> f64 {
+    // audit: allow(unwrap, reason = "caller guarantees a non-empty slice in this fixture")
+    *xs.first().unwrap()
+}

@@ -1,0 +1,433 @@
+//! A small lossless Rust lexer.
+//!
+//! The audit lints need token-level structure — "is this `==` next to a
+//! float literal", "is this `fit` ident a call" — but emphatically not a
+//! full parse. This lexer produces every byte of the input as exactly one
+//! token (losslessness makes the line accounting trivial and means a
+//! confused lexer degrades to noise instead of silently skipping code).
+//!
+//! Handled: line and (nested) block comments, string/char/byte/raw-string
+//! literals, lifetimes, raw identifiers, integer and float literals, and
+//! multi-character punctuation. Not handled: macros-as-syntax, type
+//! grammar — the lints don't need them.
+
+/// The coarse classification of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fit`, `pub`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'_`).
+    Lifetime,
+    /// Integer literal (`0`, `42usize`, `0xff`).
+    Int,
+    /// Float literal (`1.0`, `1e-3`, `2.5f32`).
+    Float,
+    /// String, raw-string, byte-string, or char literal.
+    Literal,
+    /// `// …` comment (includes doc comments `///` and `//!`).
+    LineComment,
+    /// `/* … */` comment, nesting respected.
+    BlockComment,
+    /// Punctuation, multi-character operators kept whole (`==`, `->`).
+    Punct,
+    /// Spaces, tabs, newlines.
+    Whitespace,
+}
+
+/// One token: kind plus its byte span and starting line (1-based).
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// The classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `source`.
+    #[must_use]
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching works.
+const MULTI_PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenizes `source` losslessly: concatenating the spans of the returned
+/// tokens reproduces the input exactly.
+#[must_use]
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+
+    while pos < bytes.len() {
+        let start = pos;
+        let start_line = line;
+        let c = bytes[pos];
+
+        let kind = if c.is_ascii_whitespace() {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                if bytes[pos] == b'\n' {
+                    line += 1;
+                }
+                pos += 1;
+            }
+            TokenKind::Whitespace
+        } else if c == b'/' && bytes.get(pos + 1) == Some(&b'/') {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            TokenKind::LineComment
+        } else if c == b'/' && bytes.get(pos + 1) == Some(&b'*') {
+            pos += 2;
+            let mut depth = 1usize;
+            while pos < bytes.len() && depth > 0 {
+                if bytes[pos] == b'/' && bytes.get(pos + 1) == Some(&b'*') {
+                    depth += 1;
+                    pos += 2;
+                } else if bytes[pos] == b'*' && bytes.get(pos + 1) == Some(&b'/') {
+                    depth -= 1;
+                    pos += 2;
+                } else {
+                    if bytes[pos] == b'\n' {
+                        line += 1;
+                    }
+                    pos += 1;
+                }
+            }
+            TokenKind::BlockComment
+        } else if c == b'r' && is_raw_string_start(bytes, pos) {
+            pos += 1; // consume 'r'
+            scan_raw_string(bytes, &mut pos, &mut line);
+            TokenKind::Literal
+        } else if c == b'b' && is_byte_string_start(bytes, pos) {
+            pos += 1; // consume 'b'
+            if bytes[pos] == b'r' {
+                pos += 1;
+                scan_raw_string(bytes, &mut pos, &mut line);
+            } else {
+                let quote = bytes[pos];
+                scan_quoted(bytes, &mut pos, &mut line, quote);
+            }
+            TokenKind::Literal
+        } else if c == b'"' {
+            scan_quoted(bytes, &mut pos, &mut line, b'"');
+            TokenKind::Literal
+        } else if c == b'\'' {
+            if is_lifetime(bytes, pos) {
+                pos += 1;
+                while pos < bytes.len() && is_ident_continue(bytes[pos]) {
+                    pos += 1;
+                }
+                TokenKind::Lifetime
+            } else {
+                scan_quoted(bytes, &mut pos, &mut line, b'\'');
+                TokenKind::Literal
+            }
+        } else if is_ident_start(c) {
+            // Raw identifier `r#name` (raw strings were handled above).
+            if c == b'r' && bytes.get(pos + 1) == Some(&b'#') {
+                pos += 2;
+            }
+            while pos < bytes.len() && is_ident_continue(bytes[pos]) {
+                pos += 1;
+            }
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            scan_number(bytes, &mut pos)
+        } else {
+            // Multi-byte UTF-8 (only legal inside strings/comments/idents in
+            // Rust, but stay lossless regardless).
+            if c >= 0x80 {
+                pos += 1;
+                while pos < bytes.len() && bytes[pos] & 0xC0 == 0x80 {
+                    pos += 1;
+                }
+            } else {
+                let rest = &source[pos..];
+                let matched = MULTI_PUNCTS.iter().find(|op| rest.starts_with(**op));
+                pos += matched.map_or(1, |op| op.len());
+            }
+            TokenKind::Punct
+        };
+
+        tokens.push(Token {
+            kind,
+            start,
+            end: pos,
+            line: start_line,
+        });
+    }
+    tokens
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// `r"`, `r#"`, `r##"` … at `pos` (which holds `r`).
+fn is_raw_string_start(bytes: &[u8], pos: usize) -> bool {
+    let mut i = pos + 1;
+    while bytes.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    i > pos + 1 && bytes.get(i) == Some(&b'"') || bytes.get(pos + 1) == Some(&b'"')
+}
+
+/// `b"`, `b'`, `br"`, `br#"` at `pos` (which holds `b`).
+fn is_byte_string_start(bytes: &[u8], pos: usize) -> bool {
+    match bytes.get(pos + 1) {
+        Some(&b'"') | Some(&b'\'') => true,
+        Some(&b'r') => is_raw_string_start(bytes, pos + 1),
+        _ => false,
+    }
+}
+
+/// A `'` at `pos` starts a lifetime when it is followed by an identifier
+/// that is *not* immediately closed by another `'` (which would make it a
+/// char literal like `'a'`).
+fn is_lifetime(bytes: &[u8], pos: usize) -> bool {
+    match bytes.get(pos + 1) {
+        Some(&c) if is_ident_start(c) => {
+            let mut i = pos + 2;
+            while bytes.get(i).is_some_and(|b| is_ident_continue(*b)) {
+                i += 1;
+            }
+            bytes.get(i) != Some(&b'\'')
+        }
+        _ => false,
+    }
+}
+
+/// Scans a quoted literal starting at `pos` (which holds the quote),
+/// honouring backslash escapes.
+fn scan_quoted(bytes: &[u8], pos: &mut usize, line: &mut u32, quote: u8) {
+    *pos += 1;
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'\\' => *pos += 2,
+            b'\n' => {
+                *line += 1;
+                *pos += 1;
+            }
+            c if c == quote => {
+                *pos += 1;
+                return;
+            }
+            _ => *pos += 1,
+        }
+    }
+}
+
+/// Scans `#…#"…"#…#` with `pos` at the first `#` or the `"`.
+fn scan_raw_string(bytes: &[u8], pos: &mut usize, line: &mut u32) {
+    let mut hashes = 0usize;
+    while bytes.get(*pos) == Some(&b'#') {
+        hashes += 1;
+        *pos += 1;
+    }
+    if bytes.get(*pos) != Some(&b'"') {
+        return; // malformed; stay lossless and move on
+    }
+    *pos += 1;
+    while *pos < bytes.len() {
+        if bytes[*pos] == b'\n' {
+            *line += 1;
+        }
+        if bytes[*pos] == b'"' {
+            let mut i = *pos + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(i) == Some(&b'#') {
+                seen += 1;
+                i += 1;
+            }
+            if seen == hashes {
+                *pos = i;
+                return;
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Scans a numeric literal, classifying int vs float.
+fn scan_number(bytes: &[u8], pos: &mut usize) -> TokenKind {
+    let start = *pos;
+    let radix_prefix = bytes[*pos] == b'0'
+        && matches!(
+            bytes.get(*pos + 1),
+            Some(&b'x') | Some(&b'X') | Some(&b'o') | Some(&b'O') | Some(&b'b') | Some(&b'B')
+        );
+    if radix_prefix {
+        *pos += 2;
+        while bytes
+            .get(*pos)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            *pos += 1;
+        }
+        return TokenKind::Int;
+    }
+    let mut is_float = false;
+    while *pos < bytes.len() {
+        let c = bytes[*pos];
+        if c.is_ascii_digit() || c == b'_' {
+            *pos += 1;
+        } else if c == b'.' && !is_float && bytes.get(*pos + 1).is_some_and(u8::is_ascii_digit) {
+            // `1.5` is a float; `1..n` and `x.0` tuple access are not.
+            is_float = true;
+            *pos += 1;
+        } else if (c == b'e' || c == b'E')
+            && bytes.get(*pos + 1).is_some_and(|n| {
+                n.is_ascii_digit()
+                    || (matches!(n, b'+' | b'-')
+                        && bytes.get(*pos + 2).is_some_and(u8::is_ascii_digit))
+            })
+        {
+            is_float = true;
+            *pos += 1;
+            if matches!(bytes.get(*pos), Some(&b'+') | Some(&b'-')) {
+                *pos += 1;
+            }
+        } else if c.is_ascii_alphabetic() {
+            // Suffix: f64, u32, usize …
+            let suffix_start = *pos;
+            while bytes
+                .get(*pos)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+            {
+                *pos += 1;
+            }
+            if bytes[suffix_start] == b'f' {
+                is_float = true;
+            }
+            break;
+        } else {
+            break;
+        }
+    }
+    debug_assert!(*pos > start);
+    if is_float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lossless_roundtrip() {
+        let src = r##"fn main() { let s = r#"raw "x" str"#; /* a /* nested */ b */ let c = 'x'; let l: &'static str = "s\"t"; }"##;
+        let toks = tokenize(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = "// fit(test)\nlet x = \"fit(test)\"; /* unwrap() */";
+        let ks = kinds(src);
+        assert_eq!(ks[0], (TokenKind::LineComment, "// fit(test)".to_string()));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "\"fit(test)\""));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t == "/* unwrap() */"));
+        // No bare `fit` or `unwrap` idents escaped the opaque regions.
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (t == "fit" || t == "unwrap")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let u = '_'; }";
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "'a'"));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "'\\n'"));
+    }
+
+    #[test]
+    fn number_classification() {
+        let ks = kinds("1 1.5 1e3 2E-4 0xff 1_000 3f64 7usize 1..10 x.0");
+        let floats: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "1e3", "2E-4", "3f64"]);
+        let ints: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, vec!["1", "0xff", "1_000", "7usize", "1", "10", "0"]);
+    }
+
+    #[test]
+    fn multichar_puncts_stay_whole() {
+        let ks = kinds("a == b != c -> d => e :: f ..= g");
+        let puncts: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "->", "=>", "::", "..="]);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "a\nb /* x\ny */ c\nd";
+        let toks = tokenize(src);
+        let find = |text: &str| toks.iter().find(|t| t.text(src) == text).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 2);
+        assert_eq!(find("c"), 3);
+        assert_eq!(find("d"), 4);
+    }
+
+    #[test]
+    fn raw_identifiers_and_raw_strings() {
+        let src = "let r#type = 1; let s = r\"no escapes \\\"; let t = r##\"has \"# inside\"##;";
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.starts_with("r##\"")));
+    }
+}

@@ -1,0 +1,183 @@
+//! # fairprep-audit
+//!
+//! A dependency-free static checker that enforces the FairPrep lifecycle
+//! invariants across the workspace source tree. It tokenizes every `.rs`
+//! file with a small lossless lexer (no full parser) and runs a registry
+//! of lint passes over the token stream:
+//!
+//! * **L1 isolation** — training code must never fit on held-out data, and
+//!   the [`TestSetVault`](../fairprep_core/isolation/index.html) must never
+//!   expose row-level accessors.
+//! * **L2 nondeterminism** — seeded crates must not depend on hash-map
+//!   iteration order, ad-hoc threads, float equality, or wall-clock time.
+//! * **L3 panic hygiene** — library crates must propagate errors rather
+//!   than panic.
+//!
+//! Violations can be suppressed inline with
+//! `// audit: allow(<lint>, reason = "…")`; a waiver without a reason is
+//! itself an error. Run as `cargo run -p fairprep-audit` from the repo
+//! root, or `fairprep audit` via the CLI.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod lexer;
+pub mod lints;
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+pub use lints::{classify, Diagnostic, FileScope, Lint, LINTS};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", ".git", ".github"];
+
+/// The outcome of auditing a tree.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// All surviving (unwaived) diagnostics, ordered by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files checked.
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// `true` when the tree satisfies every invariant.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Writes `file:line: [lint] message` diagnostics plus a per-lint
+    /// summary table.
+    ///
+    /// # Errors
+    /// Propagates failures of the underlying writer.
+    pub fn write_to(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        for d in &self.diagnostics {
+            writeln!(out, "{}:{}: [{}] {}", d.file, d.line, d.lint, d.message)?;
+        }
+        let counts = lints::tally(&self.diagnostics);
+        writeln!(out, "\n{:<16} {:>6}  layer", "lint", "count")?;
+        writeln!(out, "{:-<16} {:->6}  -----", "", "")?;
+        for lint in LINTS {
+            let n = counts.get(lint.id).copied().unwrap_or(0);
+            writeln!(out, "{:<16} {:>6}  {}", lint.id, n, lint.layer)?;
+        }
+        writeln!(
+            out,
+            "\n{} file(s) scanned, {} violation(s)",
+            self.files_scanned,
+            self.diagnostics.len()
+        )?;
+        Ok(())
+    }
+}
+
+/// Recursively collects `.rs` files under `root` in deterministic
+/// (sorted-path) order, skipping [`SKIP_DIRS`].
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(root)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Audits the tree rooted at `root` (typically the workspace root).
+///
+/// # Errors
+/// Returns an error when the tree cannot be read.
+pub fn audit(root: &Path) -> std::io::Result<AuditReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if classify(&rel) == FileScope::Excluded {
+            continue;
+        }
+        let source = fs::read_to_string(path)?;
+        files_scanned += 1;
+        diagnostics.extend(lints::check_file(&rel, &source));
+    }
+    diagnostics.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(AuditReport {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+/// Entry point shared by the standalone binary and the `fairprep audit`
+/// CLI subcommand. Interprets `args` (everything after the command name)
+/// and returns the process exit code.
+///
+/// Flags: `--root <path>` (default `.`), `--list` (print the lint
+/// registry), `--deny-all` (accepted for CI clarity; denying is already
+/// the default — there is no warn mode).
+#[must_use]
+pub fn run(args: &[String]) -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--root requires a path argument");
+                    return 2;
+                }
+                root = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--deny-all" => i += 1,
+            "--list" => {
+                println!("{:<16} layer  rationale", "lint");
+                for lint in LINTS {
+                    println!("{:<16} {:<5}  {}", lint.id, lint.layer, lint.rationale);
+                }
+                return 0;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "fairprep-audit: static lifecycle-invariant checker\n\n\
+                     usage: fairprep-audit [--root <path>] [--deny-all] [--list]"
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return 2;
+            }
+        }
+    }
+    match audit(&root) {
+        Ok(report) => {
+            let mut stdout = std::io::stdout().lock();
+            if report.write_to(&mut stdout).is_err() {
+                return 2;
+            }
+            i32::from(!report.is_clean())
+        }
+        Err(e) => {
+            eprintln!("audit failed to read {}: {e}", root.display());
+            2
+        }
+    }
+}

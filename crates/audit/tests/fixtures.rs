@@ -1,0 +1,76 @@
+//! Self-test: the audit must flag every known-bad fixture and honour
+//! well-formed waivers. This is the executable specification of the lint
+//! registry — if a lint regresses, this suite fails before CI ever runs
+//! the audit on the real tree.
+
+use std::path::Path;
+
+use fairprep_audit::{audit, AuditReport};
+
+fn fixture_report() -> AuditReport {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    audit(&dir).expect("fixture tree must be readable")
+}
+
+fn count(report: &AuditReport, file: &str, lint: &str) -> usize {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.file == file && d.lint == lint)
+        .count()
+}
+
+#[test]
+fn fixtures_trip_every_layer() {
+    let report = fixture_report();
+    assert!(!report.is_clean(), "fixtures must produce violations");
+
+    // L1: three leaking fits, two row-leaking vault accessors.
+    assert_eq!(count(&report, "l1_isolation.rs", "fit-on-test"), 3);
+    assert_eq!(count(&report, "l1_isolation.rs", "vault-row-leak"), 2);
+
+    // L2: hash collections, ad-hoc thread, float comparisons, wall clock.
+    assert!(count(&report, "l2_nondeterminism.rs", "hash-iter") >= 2);
+    assert_eq!(count(&report, "l2_nondeterminism.rs", "thread-spawn"), 1);
+    assert_eq!(count(&report, "l2_nondeterminism.rs", "float-eq"), 2);
+    assert!(count(&report, "l2_nondeterminism.rs", "wall-clock") >= 1);
+
+    // L3: one of each panic path, none from the #[cfg(test)] module.
+    assert_eq!(count(&report, "l3_panics.rs", "index-literal"), 1);
+    assert_eq!(count(&report, "l3_panics.rs", "unwrap"), 1);
+    assert_eq!(count(&report, "l3_panics.rs", "expect"), 1);
+    assert_eq!(count(&report, "l3_panics.rs", "panic"), 1);
+}
+
+#[test]
+fn waiver_fixtures_behave() {
+    let report = fixture_report();
+    // The reasonless waiver is itself flagged and suppresses nothing …
+    assert_eq!(count(&report, "waivers.rs", "waiver-syntax"), 1);
+    // … so exactly one unwrap survives: the justified one is silenced.
+    assert_eq!(count(&report, "waivers.rs", "unwrap"), 1);
+}
+
+#[test]
+fn diagnostics_carry_file_and_line() {
+    let report = fixture_report();
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.lint == "fit-on-test")
+        .expect("fixture has fit-on-test violations");
+    assert_eq!(d.file, "l1_isolation.rs");
+    assert!(d.line > 0);
+    assert!(d.message.contains("fit"));
+}
+
+#[test]
+fn report_renders_summary_table() {
+    let report = fixture_report();
+    let mut buf = Vec::new();
+    report.write_to(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.contains("fit-on-test"));
+    assert!(text.contains("violation(s)"));
+    assert!(text.contains("file(s) scanned"));
+}

@@ -10,7 +10,9 @@
 //! `run` executes one lifecycle run and writes the full metric report;
 //! `sweep` repeats a configuration across seeds and prints the metric
 //! distributions (§2.2's variability quantification); `audit` prints
-//! dataset-level fairness statistics before any model is trained.
+//! dataset-level fairness statistics before any model is trained, or — with
+//! `--source <root>` — runs the static source audit from `fairprep-audit`
+//! (test-set isolation, determinism, and panic-hygiene lints).
 
 mod args;
 mod build;
@@ -31,6 +33,8 @@ USAGE:
   fairprep run   --dataset <name> [options]   execute one experiment
   fairprep sweep --dataset <name> [options]   repeat across seeds, report distributions
   fairprep audit --dataset <name> [--rows N]  dataset-level fairness statistics
+  fairprep audit --source <root>              static source audit (isolation,
+                                              determinism, panic-hygiene lints)
   fairprep help                               this message
 
 OPTIONS (run / sweep / audit):
@@ -242,6 +246,16 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
 }
 
 fn cmd_audit(inv: &Invocation) -> Result<(), String> {
+    // `--source <root>` switches from dataset statistics to the static
+    // source audit (the same lint pass CI runs via `fairprep-audit`).
+    if let Some(root) = inv.options.get("source") {
+        let args = vec!["--root".to_string(), root.clone(), "--deny-all".to_string()];
+        return match fairprep_audit::run(&args) {
+            0 => Ok(()),
+            1 => Err("source audit found violations".to_string()),
+            _ => Err("source audit could not scan the tree".to_string()),
+        };
+    }
     let (dataset_name, dataset) = load_any_dataset(inv)?;
     let dataset_name = dataset_name.as_str();
 
@@ -324,6 +338,24 @@ mod tests {
         for name in crate::build::DATASETS {
             execute(&argv(&format!("audit --dataset {name} --rows 200"))).unwrap();
         }
+    }
+
+    #[test]
+    fn source_audit_distinguishes_clean_from_dirty_trees() {
+        let root = std::env::temp_dir().join("fairprep_cli_source_audit_test");
+        let src = root.join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("lib.rs"), "pub fn ok() -> i32 { 1 }\n").unwrap();
+        execute(&argv(&format!("audit --source {}", root.display()))).unwrap();
+
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn bad(v: Option<i32>) -> i32 { v.unwrap() }\n",
+        )
+        .unwrap();
+        let err = execute(&argv(&format!("audit --source {}", root.display()))).unwrap_err();
+        assert!(err.contains("violations"), "{err}");
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -5,7 +5,12 @@
 //! criticizes previous studies for removing them). Every cell is therefore
 //! an `Option`: `None` models a missing value.
 
-use std::collections::HashMap;
+// Ordered maps only: the category dictionary and the mode counters live on
+// the seeded path, where `HashMap`'s randomized iteration order is banned
+// (enforced by the `fairprep-audit` nondeterminism lints). `mode()` already
+// resolves ties deterministically, but a BTreeMap makes the iteration order
+// itself reproducible instead of merely harmless.
+use std::collections::BTreeMap;
 
 use crate::error::{Error, Result};
 
@@ -93,7 +98,7 @@ pub enum ColumnKind {
 pub struct CategoricalData {
     codes: Vec<Option<u32>>,
     categories: Vec<String>,
-    index: HashMap<String, u32>,
+    index: BTreeMap<String, u32>,
 }
 
 impl CategoricalData {
@@ -103,7 +108,7 @@ impl CategoricalData {
         CategoricalData {
             codes: Vec::new(),
             categories: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
         }
     }
 
@@ -112,6 +117,7 @@ impl CategoricalData {
         if let Some(&code) = self.index.get(category) {
             return code;
         }
+        // audit: allow(expect, reason = "u32 codes overflow only beyond 4 billion distinct categories, far past any supported dataset")
         let code = u32::try_from(self.categories.len()).expect("too many categories");
         self.categories.push(category.to_string());
         self.index.insert(category.to_string(), code);
@@ -379,7 +385,7 @@ impl Column {
         match self {
             Column::Numeric(v) => {
                 // Bucket by bit pattern: exact-equality mode for numerics.
-                let mut counts: HashMap<u64, (usize, usize, f64)> = HashMap::new();
+                let mut counts: BTreeMap<u64, (usize, usize, f64)> = BTreeMap::new();
                 for (pos, x) in v.iter().enumerate() {
                     if let Some(x) = x {
                         let e = counts.entry(x.to_bits()).or_insert((0, pos, *x));
@@ -392,7 +398,7 @@ impl Column {
                     .map(|(_, _, x)| OwnedValue::Numeric(x))
             }
             Column::Categorical(c) => {
-                let mut counts: HashMap<u32, (usize, usize)> = HashMap::new();
+                let mut counts: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
                 for (pos, code) in c.codes.iter().enumerate() {
                     if let Some(code) = code {
                         let e = counts.entry(*code).or_insert((0, pos));

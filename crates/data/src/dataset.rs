@@ -11,6 +11,7 @@
 use crate::column::{Column, Value};
 use crate::error::{Error, Result};
 use crate::frame::DataFrame;
+use crate::provenance::Provenance;
 use crate::schema::{GroupSpec, ProtectedAttribute, Schema};
 
 /// A dataset with a binary label and a protected-group annotation.
@@ -48,6 +49,7 @@ impl BinaryLabelDataset {
             match label_col.get(i) {
                 Value::Categorical(s) => labels.push(f64::from(u8::from(s == favorable_label))),
                 Value::Numeric(v) => {
+                    // audit: allow(float-eq, reason = "accepts only the exact encodings 0.0/1.0; anything else is rejected as an invalid label")
                     if v == 0.0 || v == 1.0 {
                         labels.push(v);
                     } else {
@@ -89,6 +91,26 @@ impl BinaryLabelDataset {
     #[must_use]
     pub fn frame(&self) -> &DataFrame {
         &self.frame
+    }
+
+    /// The partition-provenance tag of the underlying frame.
+    #[must_use]
+    pub fn provenance(&self) -> Provenance {
+        self.frame.provenance()
+    }
+
+    /// Re-tags the underlying frame (used by the seeded split when the
+    /// train/validation/test partitions are born).
+    pub fn set_provenance(&mut self, provenance: Provenance) {
+        self.frame.set_provenance(provenance);
+    }
+
+    /// The `debug_assert!` leak guard every data-dependent `fit` entry
+    /// point calls before touching this dataset: rejects test-tagged
+    /// inputs in debug builds (see [`crate::provenance::guard_fit`]).
+    #[inline]
+    pub fn guard_fit(&self, component: &str) {
+        crate::provenance::guard_fit(self.provenance(), component);
     }
 
     /// The experiment schema.
@@ -239,6 +261,7 @@ impl BinaryLabelDataset {
                 actual: labels.len(),
             });
         }
+        // audit: allow(float-eq, reason = "label validity means exactly 0.0 or 1.0; approximate comparison would accept bad labels")
         if let Some(bad) = labels.iter().find(|v| **v != 0.0 && **v != 1.0) {
             return Err(Error::InvalidLabel(*bad));
         }
@@ -261,6 +284,7 @@ impl BinaryLabelDataset {
                         ),
                     });
                 }
+                // audit: allow(index-literal, reason = "guarded by the others.len() != 1 check above")
                 crate::column::OwnedValue::Categorical(others[0].to_string())
             }
             Column::Numeric(_) => crate::column::OwnedValue::Numeric(0.0),
@@ -272,6 +296,7 @@ impl BinaryLabelDataset {
             Column::Numeric(_) => crate::column::OwnedValue::Numeric(1.0),
         };
         for (i, &y) in labels.iter().enumerate() {
+            // audit: allow(float-eq, reason = "labels are validated to be exactly 0.0 or 1.0 at construction")
             let v = if y == 1.0 {
                 favorable.clone()
             } else {

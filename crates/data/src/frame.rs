@@ -5,17 +5,32 @@
 //! per-row views. It deliberately supports only the operations the FairPrep
 //! lifecycle needs — it is a substrate, not a general analytics engine.
 
-use std::collections::HashMap;
+// The name index is a BTreeMap, not a HashMap: lookups are the only use
+// today, but an ordered map guarantees that any future iteration over the
+// index is deterministic — a seeded-path invariant enforced by the
+// `fairprep-audit` nondeterminism lints.
+use std::collections::BTreeMap;
 
 use crate::column::{Column, ColumnKind, OwnedValue, Value};
 use crate::error::{Error, Result};
+use crate::provenance::Provenance;
 
 /// A named collection of equal-length [`Column`]s.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DataFrame {
     names: Vec<String>,
     columns: Vec<Column>,
-    index: HashMap<String, usize>,
+    index: BTreeMap<String, usize>,
+    provenance: Provenance,
+}
+
+/// Equality compares the data (names and columns) only; the provenance tag
+/// is bookkeeping, and two identical frames from different partitions must
+/// still compare equal (reproducibility tests rely on this).
+impl PartialEq for DataFrame {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names && self.columns == other.columns
+    }
 }
 
 impl DataFrame {
@@ -48,6 +63,25 @@ impl DataFrame {
     pub fn with_column(mut self, name: &str, column: Column) -> Result<Self> {
         self.add_column(name, column)?;
         Ok(self)
+    }
+
+    /// The partition-provenance tag of the frame's rows.
+    #[must_use]
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+
+    /// Re-tags the frame. Called by the seeded split when partitions are
+    /// born; everything downstream only propagates.
+    pub fn set_provenance(&mut self, provenance: Provenance) {
+        self.provenance = provenance;
+    }
+
+    /// Builder-style [`DataFrame::set_provenance`].
+    #[must_use]
+    pub fn with_provenance(mut self, provenance: Provenance) -> Self {
+        self.provenance = provenance;
+        self
     }
 
     /// Number of rows.
@@ -124,14 +158,16 @@ impl DataFrame {
     }
 
     /// Materializes a new frame with the rows at `indices` (duplicates
-    /// allowed, order preserved).
+    /// allowed, order preserved). The provenance tag travels with the rows.
     #[must_use]
     pub fn take(&self, indices: &[usize]) -> DataFrame {
         let mut out = DataFrame::new();
         for (name, col) in self.names.iter().zip(&self.columns) {
             out.add_column(name, col.take(indices))
+                // audit: allow(expect, reason = "source columns are unique and equal-length by construction, so re-adding them cannot fail")
                 .expect("take preserves schema");
         }
+        out.provenance = self.provenance;
         out
     }
 
@@ -194,15 +230,20 @@ impl DataFrame {
             }
             out.add_column(name, col)?;
         }
+        // Mixed-partition concatenation degrades to Derived; stacking two
+        // train frames is still train data.
+        out.provenance = self.provenance.merged(other.provenance);
         Ok(out)
     }
 
     /// Projects the frame onto a subset of columns (in the given order).
+    /// The provenance tag travels with the rows.
     pub fn select(&self, names: &[&str]) -> Result<DataFrame> {
         let mut out = DataFrame::new();
         for &name in names {
             out.add_column(name, self.column(name)?.clone())?;
         }
+        out.provenance = self.provenance;
         Ok(out)
     }
 }
@@ -383,5 +424,45 @@ mod tests {
     fn builder_rejects_bad_arity() {
         let mut b = FrameBuilder::new(&[("a", ColumnKind::Numeric)]);
         assert!(b.push_row(vec![]).is_err());
+    }
+
+    #[test]
+    fn provenance_defaults_to_derived_and_propagates() {
+        use crate::provenance::Provenance;
+        let df = sample();
+        assert_eq!(df.provenance(), Provenance::Derived);
+
+        let tagged = sample().with_provenance(Provenance::Test);
+        assert_eq!(tagged.provenance(), Provenance::Test);
+        assert_eq!(tagged.take(&[0, 2]).provenance(), Provenance::Test);
+        assert_eq!(
+            tagged.select(&["age"]).unwrap().provenance(),
+            Provenance::Test
+        );
+        let (filtered, _) = tagged.filter(|i| i == 0);
+        assert_eq!(filtered.provenance(), Provenance::Test);
+    }
+
+    #[test]
+    fn provenance_merges_on_concat() {
+        use crate::provenance::Provenance;
+        let train = sample().with_provenance(Provenance::Train);
+        let test = sample().with_provenance(Provenance::Test);
+        assert_eq!(
+            train.concat(&train).unwrap().provenance(),
+            Provenance::Train
+        );
+        assert_eq!(
+            train.concat(&test).unwrap().provenance(),
+            Provenance::Derived
+        );
+    }
+
+    #[test]
+    fn provenance_does_not_affect_equality() {
+        use crate::provenance::Provenance;
+        let a = sample().with_provenance(Provenance::Train);
+        let b = sample().with_provenance(Provenance::Test);
+        assert_eq!(a, b);
     }
 }

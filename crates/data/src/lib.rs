@@ -49,6 +49,7 @@ pub mod dataset;
 pub mod error;
 pub mod frame;
 pub mod parallel;
+pub mod provenance;
 pub mod resample;
 pub mod rng;
 pub mod schema;
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use crate::error::{Error, Result};
     pub use crate::frame::{DataFrame, FrameBuilder};
     pub use crate::parallel::{available_threads, parallel_map, split_budget};
+    pub use crate::provenance::Provenance;
     pub use crate::resample::{Bootstrap, NoResampling, OversampleMinorityClass, Resampler};
     pub use crate::schema::{GroupSpec, ProtectedAttribute, Role, Schema};
     pub use crate::split::{

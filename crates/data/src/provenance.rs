@@ -1,0 +1,123 @@
+//! Runtime taint-tracking for test-set isolation.
+//!
+//! The static audit pass (`fairprep-audit`) catches *lexical* isolation
+//! violations — a `.fit(` call on something named `test` — but cannot see
+//! through aliasing: a test partition bound to an innocently-named variable
+//! slips past any lexer. This module is the dynamic complement: every
+//! [`DataFrame`](crate::frame::DataFrame) carries a [`Provenance`] tag that
+//! records which side of the train/test wall its rows came from, and every
+//! data-dependent `fit` entry point in the workspace guards against
+//! [`Provenance::Test`] inputs with a `debug_assert!` (via [`guard_fit`]).
+//!
+//! Tags propagate through the row-preserving operations the lifecycle uses
+//! (`take`, `filter`, `select`, `concat`, resampling, imputation on clones)
+//! and are assigned at the single place partitions are born: the seeded
+//! split. Rebuilding a frame from scratch (e.g. `FrameBuilder`) resets the
+//! tag to [`Provenance::Derived`]; the guards are a debug-build safety net
+//! for the lifecycle paths, not an information-flow type system.
+
+/// Which partition a frame's rows were drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Provenance {
+    /// Rows from the training partition: fitting on them is allowed.
+    Train,
+    /// Rows from the sealed test partition: fitting on them is a leak.
+    Test,
+    /// Rows of unknown or mixed origin (freshly built frames, validation
+    /// data, concatenations across partitions). Fitting is allowed — the
+    /// guard only rejects provable leaks, it never false-positives.
+    #[default]
+    Derived,
+}
+
+impl Provenance {
+    /// `true` when the tag proves the rows came from the sealed test set.
+    #[must_use]
+    pub fn is_test(self) -> bool {
+        self == Provenance::Test
+    }
+
+    /// Combines the tags of two inputs feeding one output (e.g. `concat`):
+    /// equal tags survive, mixed origins degrade to [`Provenance::Derived`].
+    #[must_use]
+    pub fn merged(self, other: Provenance) -> Provenance {
+        if self == other {
+            self
+        } else {
+            Provenance::Derived
+        }
+    }
+
+    /// Stable lowercase name (for diagnostics).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Provenance::Train => "train",
+            Provenance::Test => "test",
+            Provenance::Derived => "derived",
+        }
+    }
+}
+
+/// The leak guard called by every data-dependent `fit` entry point: rejects
+/// test-tagged inputs in debug builds with a diagnostic naming the
+/// component. Release builds compile this to nothing, so the hot path pays
+/// zero cost.
+#[inline]
+pub fn guard_fit(provenance: Provenance, component: &str) {
+    debug_assert!(
+        !provenance.is_test(),
+        "test-set isolation violation: {component} was asked to fit on \
+         data tagged Provenance::Test; fitting may only see training data \
+         (FairPrep §3 — the test set is sealed in the vault)"
+    );
+    // `component` is deliberately read in release builds too, so callers
+    // cannot accidentally compile the guard into dead code warnings.
+    let _ = component;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_derived() {
+        assert_eq!(Provenance::default(), Provenance::Derived);
+    }
+
+    #[test]
+    fn merge_rules() {
+        use Provenance::{Derived, Test, Train};
+        assert_eq!(Train.merged(Train), Train);
+        assert_eq!(Test.merged(Test), Test);
+        assert_eq!(Train.merged(Test), Derived);
+        assert_eq!(Train.merged(Derived), Derived);
+    }
+
+    #[test]
+    fn only_test_is_test() {
+        assert!(Provenance::Test.is_test());
+        assert!(!Provenance::Train.is_test());
+        assert!(!Provenance::Derived.is_test());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Provenance::Train.name(), "train");
+        assert_eq!(Provenance::Test.name(), "test");
+        assert_eq!(Provenance::Derived.name(), "derived");
+    }
+
+    #[test]
+    fn guard_accepts_train_and_derived() {
+        guard_fit(Provenance::Train, "unit-test");
+        guard_fit(Provenance::Derived, "unit-test");
+    }
+
+    #[test]
+    #[should_panic(expected = "test-set isolation violation")]
+    #[cfg(debug_assertions)]
+    fn guard_fires_on_test() {
+        guard_fit(Provenance::Test, "unit-test");
+    }
+}

@@ -92,12 +92,14 @@ impl Resampler for OversampleMinorityClass {
         let pos: Vec<usize> = labels
             .iter()
             .enumerate()
+            // audit: allow(float-eq, reason = "binary labels are exactly 0.0/1.0 by construction")
             .filter(|(_, &y)| y == 1.0)
             .map(|(i, _)| i)
             .collect();
         let neg: Vec<usize> = labels
             .iter()
             .enumerate()
+            // audit: allow(float-eq, reason = "binary labels are exactly 0.0/1.0 by construction")
             .filter(|(_, &y)| y == 0.0)
             .map(|(i, _)| i)
             .collect();
@@ -116,6 +118,7 @@ impl Resampler for OversampleMinorityClass {
         let mut indices: Vec<usize> = (0..train.n_rows()).collect();
         indices.reserve(deficit);
         for _ in 0..deficit {
+            // audit: allow(expect, reason = "the empty-class check above guarantees both classes are non-empty")
             indices.push(*minority.choose(&mut rng).expect("minority non-empty"));
         }
         Ok(train.take(&indices))

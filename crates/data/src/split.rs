@@ -10,6 +10,7 @@ use rand::seq::SliceRandom;
 
 use crate::dataset::BinaryLabelDataset;
 use crate::error::{Error, Result};
+use crate::provenance::Provenance;
 use crate::rng::component_rng;
 
 /// Fractions for a three-way split. Must sum to 1 (±1e-9).
@@ -54,6 +55,7 @@ impl SplitSpec {
                 "fractions sum to {sum}, expected 1"
             )));
         }
+        // audit: allow(float-eq, reason = "rejects the exact degenerate configuration value 0.0, not a computed quantity")
         if self.train == 0.0 || self.test == 0.0 {
             return Err(Error::InvalidSplit(
                 "train and test fractions must be positive".to_string(),
@@ -125,16 +127,37 @@ pub fn train_val_test_split(
     let val_idx = order[n_train..n_train + n_val].to_vec();
     let test_idx = order[n_train + n_val..].to_vec();
 
-    Ok(TrainValTest {
-        train: dataset.take(&train_idx),
-        validation: dataset.take(&val_idx),
-        test: dataset.take(&test_idx),
+    Ok(tagged_partitions(dataset, train_idx, val_idx, test_idx))
+}
+
+/// Materializes the three partitions and stamps their provenance tags —
+/// the single place in the workspace where `Train` and `Test` tags are
+/// born. Every downstream operation only propagates them; every `fit`
+/// entry point guards against the `Test` tag.
+fn tagged_partitions(
+    dataset: &BinaryLabelDataset,
+    train_idx: Vec<usize>,
+    val_idx: Vec<usize>,
+    test_idx: Vec<usize>,
+) -> TrainValTest {
+    let mut train = dataset.take(&train_idx);
+    train.set_provenance(Provenance::Train);
+    // Validation stays `Derived`: postprocessors legitimately fit on
+    // validation predictions (§3), so it must not trip the leak guards.
+    let mut validation = dataset.take(&val_idx);
+    validation.set_provenance(Provenance::Derived);
+    let mut test = dataset.take(&test_idx);
+    test.set_provenance(Provenance::Test);
+    TrainValTest {
+        train,
+        validation,
+        test,
         indices: SplitIndices {
             train: train_idx,
             validation: val_idx,
             test: test_idx,
         },
-    })
+    }
 }
 
 /// Seeded k-fold assignment over `n` rows. Returns, for each fold,
@@ -242,6 +265,22 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_stamps_provenance_tags() {
+        let ds = dataset(100);
+        assert_eq!(ds.provenance(), Provenance::Derived);
+        let split = train_val_test_split(&ds, SplitSpec::paper_default(), 13).unwrap();
+        assert_eq!(split.train.provenance(), Provenance::Train);
+        assert_eq!(split.validation.provenance(), Provenance::Derived);
+        assert_eq!(split.test.provenance(), Provenance::Test);
+        // Tags survive downstream row selection (what resamplers do).
+        assert_eq!(split.test.take(&[0, 1]).provenance(), Provenance::Test);
+
+        let strat = stratified_train_val_test_split(&ds, SplitSpec::paper_default(), 13).unwrap();
+        assert_eq!(strat.train.provenance(), Provenance::Train);
+        assert_eq!(strat.test.provenance(), Provenance::Test);
     }
 
     #[test]
@@ -394,16 +433,7 @@ pub fn stratified_train_val_test_split(
     val_idx.sort_unstable();
     test_idx.sort_unstable();
 
-    Ok(TrainValTest {
-        train: dataset.take(&train_idx),
-        validation: dataset.take(&val_idx),
-        test: dataset.take(&test_idx),
-        indices: SplitIndices {
-            train: train_idx,
-            validation: val_idx,
-            test: test_idx,
-        },
-    })
+    Ok(tagged_partitions(dataset, train_idx, val_idx, test_idx))
 }
 
 #[cfg(test)]

@@ -1,0 +1,46 @@
+//! Property test: `parallel_map` is bit-identical regardless of the thread
+//! budget. Floating-point summation is order-sensitive, so this catches any
+//! scheduling scheme that would let the worker count leak into results —
+//! the L2 invariant behind the experiment-level reproducibility guarantee.
+
+use fairprep_data::parallel::parallel_map;
+use proptest::prelude::*;
+
+/// Order-sensitive sequential sum: the exact reduction a work item performs.
+fn chunk_sum(chunk: &[f64]) -> f64 {
+    let mut acc = 0.0_f64;
+    for v in chunk {
+        acc += v;
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_map_is_bit_identical_across_thread_counts(
+        chunks in prop::collection::vec(
+            prop::collection::vec(-1.0e6_f64..1.0e6, 0..40),
+            1..30,
+        ),
+    ) {
+        let baseline: Vec<f64> =
+            parallel_map(chunks.clone(), 1, |chunk| chunk_sum(&chunk));
+        for threads in [2_usize, 8] {
+            let run: Vec<f64> =
+                parallel_map(chunks.clone(), threads, |chunk| chunk_sum(&chunk));
+            prop_assert_eq!(baseline.len(), run.len());
+            for (i, (a, b)) in baseline.iter().zip(&run).enumerate() {
+                // Bit equality, not approximate: reordering additions would
+                // produce a different rounding trace.
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "item {} differs at {} threads: {} vs {}",
+                    i, threads, a, b
+                );
+            }
+        }
+    }
+}

@@ -59,6 +59,7 @@ impl InProcessor for AdversarialDebiasing {
         privileged: &[bool],
         seed: u64,
     ) -> Result<Box<dyn FittedClassifier>> {
+        fairprep_data::provenance::guard_fit(x.provenance(), "AdversarialDebiasing::fit");
         if x.n_rows() != y.len() || x.n_rows() != privileged.len() || x.n_rows() != weights.len() {
             return Err(Error::LengthMismatch {
                 expected: x.n_rows(),
@@ -115,6 +116,7 @@ impl InProcessor for AdversarialDebiasing {
                 let g_pred = weights[i] * (p - y[i]);
                 // ∂L_adv/∂z flows through p: dp/dz = p(1−p);
                 // ∂L_adv/∂p = (q − a) · (u₀ + u₁·y).
+                // audit: allow(index-literal, reason = "u is the adversary's fixed-size parameter array, indexed within its compile-time length")
                 let g_through_p = g_adv * (u[0] + u[1] * y[i]) * p * (1.0 - p);
                 // Predictor descends its loss and ascends the adversary's.
                 let g_total = g_pred - alpha * g_through_p;

@@ -72,6 +72,7 @@ impl InProcessor for LearnedFairRepresentations {
         privileged: &[bool],
         seed: u64,
     ) -> Result<Box<dyn FittedClassifier>> {
+        fairprep_data::provenance::guard_fit(x.provenance(), "LearnedFairRepresentations::fit");
         let n = x.n_rows();
         let d = x.n_cols();
         if n == 0 {

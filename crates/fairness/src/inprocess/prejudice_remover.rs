@@ -55,6 +55,7 @@ impl InProcessor for PrejudiceRemover {
         privileged: &[bool],
         _seed: u64,
     ) -> Result<Box<dyn FittedClassifier>> {
+        fairprep_data::provenance::guard_fit(x.provenance(), "PrejudiceRemover::fit");
         if x.n_rows() != y.len() || x.n_rows() != privileged.len() || x.n_rows() != weights.len() {
             return Err(Error::LengthMismatch {
                 expected: x.n_rows(),

@@ -70,7 +70,9 @@ impl DatasetMetrics {
         };
         Ok(DatasetMetrics {
             n_instances: n,
+            // audit: allow(index-literal, reason = "counts is a [usize; 2] indexed by bool casts")
             n_privileged: counts[1],
+            // audit: allow(index-literal, reason = "counts is a [usize; 2] indexed by bool casts")
             n_unprivileged: counts[0],
             base_rate: labels.iter().sum::<f64>() / n as f64,
             privileged_base_rate: rate(1),

@@ -6,6 +6,7 @@
 //! ratios are `unprivileged / privileged`, so a disparate impact of 1.0 and
 //! differences of 0.0 are the fair points.
 
+// audit: allow-file(index-literal, reason = "group_sums/group_counts are [_; 2] arrays indexed by the bool group mask")
 use std::collections::BTreeMap;
 
 use fairprep_data::error::{Error, Result};

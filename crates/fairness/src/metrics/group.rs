@@ -91,6 +91,7 @@ impl GroupMetrics {
             }
             None => (f64::NAN, f64::NAN, f64::NAN),
         };
+        // audit: allow(float-eq, reason = "binary labels are exactly 0.0/1.0 by construction")
         let n_positives = y_true.iter().filter(|&&y| y == 1.0).count();
         Ok(GroupMetrics {
             n_instances: y_true.len(),
@@ -185,6 +186,7 @@ pub fn gei_of_benefits(benefits: &[f64], alpha: f64) -> f64 {
         return f64::NAN;
     }
     let mu = benefits.iter().sum::<f64>() / n;
+    // audit: allow(float-eq, reason = "a zero mean benefit is the exact degenerate case where the index is undefined")
     if mu == 0.0 {
         return f64::NAN;
     }

@@ -72,6 +72,7 @@ impl GroupStats {
             scores
                 .iter()
                 .zip(labels)
+                // audit: allow(float-eq, reason = "binary labels are exactly 0.0/1.0 by construction")
                 .filter(|(_, &y)| y == 1.0)
                 .map(|(&s, _)| 1.0 - s)
                 .sum::<f64>()
@@ -83,6 +84,7 @@ impl GroupStats {
             scores
                 .iter()
                 .zip(labels)
+                // audit: allow(float-eq, reason = "binary labels are exactly 0.0/1.0 by construction")
                 .filter(|(_, &y)| y == 0.0)
                 .map(|(&s, _)| s)
                 .sum::<f64>()

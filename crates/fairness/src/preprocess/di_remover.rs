@@ -12,6 +12,7 @@
 //! `v' = (1 − λ) · v + λ · median(q)` with repair level `λ ∈ [0, 1]`.
 //! Monotone per-group maps preserve within-group rank order.
 
+// audit: allow-file(index-literal, reason = "per-group state is a [Vec; 2] pair indexed by bool; the single slice index is guarded by a length check")
 use fairprep_data::column::Column;
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
@@ -39,6 +40,7 @@ impl Preprocessor for DisparateImpactRemover {
     }
 
     fn fit(&self, train: &BinaryLabelDataset, _seed: u64) -> Result<Box<dyn FittedPreprocessor>> {
+        train.guard_fit("DisparateImpactRemover::fit");
         if !(0.0..=1.0).contains(&self.repair_level) || !self.repair_level.is_finite() {
             return Err(Error::InvalidParameter {
                 name: "repair_level",
@@ -129,6 +131,7 @@ struct FittedDiRemover {
 
 impl FittedDiRemover {
     fn repair_dataset(&self, data: &BinaryLabelDataset) -> Result<BinaryLabelDataset> {
+        // audit: allow(float-eq, reason = "repair level 0.0 is the exact user-supplied no-op configuration")
         if self.repair_level == 0.0 {
             return Ok(data.clone());
         }

@@ -9,6 +9,7 @@
 //!
 //! Only training labels change; evaluation data is never modified.
 
+// audit: allow-file(float-eq, reason = "group counts are integral f64 casts and labels are exactly 0.0/1.0 by construction")
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
 use fairprep_ml::model::{Classifier, LogisticRegressionSgd};
@@ -26,6 +27,7 @@ impl Preprocessor for Massaging {
     }
 
     fn fit(&self, train: &BinaryLabelDataset, seed: u64) -> Result<Box<dyn FittedPreprocessor>> {
+        train.guard_fit("Massaging::fit");
         // The ranker is fitted here once; relabeling happens per
         // transform_train call (idempotent for the same input).
         let featurizer = FittedFeaturizer::fit(train, ScalerSpec::Standard)?;

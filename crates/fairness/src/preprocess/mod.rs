@@ -52,7 +52,8 @@ impl Preprocessor for NoIntervention {
         "no_intervention".to_string()
     }
 
-    fn fit(&self, _train: &BinaryLabelDataset, _seed: u64) -> Result<Box<dyn FittedPreprocessor>> {
+    fn fit(&self, train: &BinaryLabelDataset, _seed: u64) -> Result<Box<dyn FittedPreprocessor>> {
+        train.guard_fit("NoIntervention::fit");
         Ok(Box::new(FittedNoIntervention))
     }
 }

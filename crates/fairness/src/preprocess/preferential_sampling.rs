@@ -12,6 +12,7 @@
 //!
 //! Useful when the downstream learner ignores instance weights.
 
+// audit: allow-file(index-literal, reason = "the 2x2 (group, label) contingency cells have compile-time size, indexed by bool casts")
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
 use fairprep_ml::model::{Classifier, LogisticRegressionSgd};
@@ -29,6 +30,7 @@ impl Preprocessor for PreferentialSampling {
     }
 
     fn fit(&self, train: &BinaryLabelDataset, seed: u64) -> Result<Box<dyn FittedPreprocessor>> {
+        train.guard_fit("PreferentialSampling::fit");
         // Rank all training examples once with an internal model.
         let featurizer = FittedFeaturizer::fit(train, ScalerSpec::Standard)?;
         let x = featurizer.transform(train)?;
@@ -63,6 +65,7 @@ impl FittedPreprocessor for FittedPreferentialSampling {
         // Expected (group, label) cell sizes under independence.
         let mut cells: [[Vec<usize>; 2]; 2] = Default::default();
         for i in 0..n {
+            // audit: allow(float-eq, reason = "binary labels are exactly 0.0/1.0 by construction")
             cells[usize::from(mask[i])][usize::from(labels[i] == 1.0)].push(i);
         }
         let group_totals = [

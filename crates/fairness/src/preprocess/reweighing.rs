@@ -5,6 +5,7 @@
 //! statistically independent in the weighted training distribution. Only
 //! the training set is touched — evaluation data keeps unit weights.
 
+// audit: allow-file(index-literal, reason = "the 2x2 (group, label) contingency cells have compile-time size, indexed by bool casts")
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
 
@@ -44,6 +45,7 @@ impl Preprocessor for Reweighing {
     }
 
     fn fit(&self, train: &BinaryLabelDataset, _seed: u64) -> Result<Box<dyn FittedPreprocessor>> {
+        train.guard_fit("Reweighing::fit");
         let n = train.n_rows();
         if n == 0 {
             return Err(Error::EmptyData("reweighing training set".to_string()));
@@ -54,6 +56,7 @@ impl Preprocessor for Reweighing {
         // Joint counts over (group, label) cells.
         let mut cell = [[0usize; 2]; 2]; // [group][label]
         for i in 0..n {
+            // audit: allow(float-eq, reason = "binary labels are exactly 0.0/1.0 by construction")
             cell[usize::from(mask[i])][usize::from(labels[i] == 1.0)] += 1;
         }
         let group_totals = [cell[0][0] + cell[0][1], cell[1][0] + cell[1][1]];
@@ -89,6 +92,7 @@ impl FittedPreprocessor for FittedReweighing {
         let base = train.instance_weights().to_vec();
         let mut out = train.clone();
         let new_weights: Vec<f64> = (0..train.n_rows())
+            // audit: allow(float-eq, reason = "binary labels are exactly 0.0/1.0 by construction")
             .map(|i| base[i] * self.weights[usize::from(mask[i])][usize::from(labels[i] == 1.0)])
             .collect();
         out.set_instance_weights(new_weights)?;

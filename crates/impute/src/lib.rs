@@ -79,9 +79,10 @@ impl MissingValueHandler for CompleteCaseAnalysis {
 
     fn fit(
         &self,
-        _train: &BinaryLabelDataset,
+        train: &BinaryLabelDataset,
         _seed: u64,
     ) -> Result<Box<dyn FittedMissingValueHandler>> {
+        train.guard_fit("CompleteCaseAnalysis::fit");
         Ok(Box::new(FittedCompleteCase))
     }
 }
@@ -122,6 +123,7 @@ impl MissingValueHandler for ModeImputer {
         train: &BinaryLabelDataset,
         _seed: u64,
     ) -> Result<Box<dyn FittedMissingValueHandler>> {
+        train.guard_fit("ModeImputer::fit");
         Ok(Box::new(FittedFillImputer {
             fills: column_fills(train, FillStrategy::Mode)?,
         }))
@@ -143,6 +145,7 @@ impl MissingValueHandler for MeanModeImputer {
         train: &BinaryLabelDataset,
         _seed: u64,
     ) -> Result<Box<dyn FittedMissingValueHandler>> {
+        train.guard_fit("MeanModeImputer::fit");
         Ok(Box::new(FittedFillImputer {
             fills: column_fills(train, FillStrategy::MeanMode)?,
         }))
@@ -174,8 +177,10 @@ pub(crate) fn column_fills(
         }
         let fill = match (strategy, col) {
             (FillStrategy::MeanMode, Column::Numeric(_)) => {
+                // audit: allow(expect, reason = "the all-missing check above guarantees at least one present value, so mean exists")
                 OwnedValue::Numeric(col.mean().expect("non-empty numeric column"))
             }
+            // audit: allow(expect, reason = "the all-missing check above guarantees at least one present value, so mode exists")
             _ => col.mode().expect("non-empty column"),
         };
         fills.push((name.clone(), fill));

@@ -71,6 +71,7 @@ impl MissingValueHandler for ModelBasedImputer {
         train: &BinaryLabelDataset,
         seed: u64,
     ) -> Result<Box<dyn FittedMissingValueHandler>> {
+        train.guard_fit("ModelBasedImputer::fit");
         let label = train.schema().label_name()?.to_string();
         let feature_columns: Vec<String> = train
             .frame()
@@ -150,6 +151,7 @@ impl InputEncoding {
         match self {
             InputEncoding::Numeric { mean, std } => {
                 let x = value.as_numeric().unwrap_or(*mean);
+                // audit: allow(index-literal, reason = "Numeric encodings have width 1, so the destination slot always exists")
                 out[0] = if *std > 0.0 { (x - mean) / std } else { 0.0 };
                 Ok(())
             }
@@ -245,6 +247,7 @@ impl ColumnModel {
                         target_col
                             .get(i)
                             .as_categorical()
+                            // audit: allow(expect, reason = "rows were filtered to non-missing target cells just above")
                             .expect("observed categorical")
                             .to_string()
                     })
@@ -280,6 +283,7 @@ impl ColumnModel {
             ColumnKind::Numeric => {
                 let ys: Vec<f64> = observed
                     .iter()
+                    // audit: allow(expect, reason = "rows were filtered to non-missing target cells just above")
                     .map(|&i| target_col.get(i).as_numeric().expect("observed numeric"))
                     .collect();
                 let n = ys.len() as f64;

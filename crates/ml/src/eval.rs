@@ -5,6 +5,7 @@
 //! in `fairprep-fairness`; this module only knows about labels and
 //! predictions.
 
+// audit: allow-file(float-eq, reason = "labels and hard predictions are exactly 0.0 or 1.0 by construction; comparisons partition, they do not approximate")
 use fairprep_data::error::{Error, Result};
 
 /// A weighted binary confusion matrix.

@@ -5,14 +5,26 @@
 //! This type is the matrix form: complete (no missing values), numeric,
 //! row-major for cache-friendly per-example access during SGD.
 
+// audit: allow-file(index-literal, reason = "fixed-width unrolled dot kernel: chunks_exact(4) and the [f64; 4] accumulator guarantee indices 0..=3 are in bounds")
 use fairprep_data::error::{Error, Result};
+use fairprep_data::provenance::Provenance;
 
 /// A dense row-major `f64` matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Matrix {
     data: Vec<f64>,
     rows: usize,
     cols: usize,
+    provenance: Provenance,
+}
+
+/// Provenance is a taint tag, not part of the mathematical value: two
+/// matrices with identical entries compare equal regardless of which
+/// lifecycle split they came from.
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
 }
 
 impl Matrix {
@@ -23,6 +35,7 @@ impl Matrix {
             data: vec![0.0; rows * cols],
             rows,
             cols,
+            provenance: Provenance::Derived,
         }
     }
 
@@ -34,7 +47,12 @@ impl Matrix {
                 actual: data.len(),
             });
         }
-        Ok(Matrix { data, rows, cols })
+        Ok(Matrix {
+            data,
+            rows,
+            cols,
+            provenance: Provenance::Derived,
+        })
     }
 
     /// Creates a matrix from a slice of equal-length rows.
@@ -54,7 +72,28 @@ impl Matrix {
             data,
             rows: rows.len(),
             cols: n_cols,
+            provenance: Provenance::Derived,
         })
+    }
+
+    /// The lifecycle split this matrix was derived from.
+    #[must_use]
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+
+    /// Tags the matrix with a lifecycle provenance. Called by
+    /// [`FittedFeaturizer::transform`](crate::transform::featurizer::FittedFeaturizer::transform)
+    /// so that `fit` entry points taking matrices can reject test data.
+    pub fn set_provenance(&mut self, provenance: Provenance) {
+        self.provenance = provenance;
+    }
+
+    /// Builder-style [`Matrix::set_provenance`].
+    #[must_use]
+    pub fn with_provenance(mut self, provenance: Provenance) -> Self {
+        self.provenance = provenance;
+        self
     }
 
     /// Number of rows (examples).
@@ -115,6 +154,7 @@ impl Matrix {
             data,
             rows: indices.len(),
             cols: self.cols,
+            provenance: self.provenance,
         }
     }
 
@@ -133,6 +173,7 @@ impl Matrix {
             data,
             rows: self.rows,
             cols: indices.len(),
+            provenance: self.provenance,
         }
     }
 
@@ -154,6 +195,7 @@ impl Matrix {
             data,
             rows: rows.len(),
             cols: cols.len(),
+            provenance: self.provenance,
         }
     }
 
@@ -331,6 +373,19 @@ mod tests {
         let reference = m.take_rows(&rows).select_columns(&cols);
         assert_eq!(gathered, reference);
         assert_eq!(gathered.row(0), &[9.0, 7.0]);
+    }
+
+    #[test]
+    fn provenance_propagates_and_is_ignored_by_eq() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])
+            .unwrap()
+            .with_provenance(Provenance::Test);
+        assert_eq!(m.take_rows(&[1]).provenance(), Provenance::Test);
+        assert_eq!(m.select_columns(&[0]).provenance(), Provenance::Test);
+        assert_eq!(m.gather(&[0], &[1]).provenance(), Provenance::Test);
+        // Equality is about values, not tags.
+        let same_values = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m, same_values);
     }
 
     #[test]

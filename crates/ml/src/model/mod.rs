@@ -57,8 +57,11 @@ pub trait FittedClassifier: Send + Sync {
     }
 }
 
-/// Validates the common `(x, y, weights)` training inputs.
+/// Validates the common `(x, y, weights)` training inputs. Every
+/// [`Classifier::fit`] implementation calls this first, so the provenance
+/// leak guard here covers all models.
 pub(crate) fn validate_training_inputs(x: &Matrix, y: &[f64], weights: &[f64]) -> Result<()> {
+    fairprep_data::provenance::guard_fit(x.provenance(), "Classifier::fit");
     if x.n_rows() == 0 {
         return Err(Error::EmptyData("training matrix".to_string()));
     }
@@ -74,6 +77,7 @@ pub(crate) fn validate_training_inputs(x: &Matrix, y: &[f64], weights: &[f64]) -
             actual: weights.len(),
         });
     }
+    // audit: allow(float-eq, reason = "label validity means exactly 0.0 or 1.0; approximate comparison would accept bad labels")
     if let Some(bad) = y.iter().find(|v| **v != 0.0 && **v != 1.0) {
         return Err(Error::InvalidLabel(*bad));
     }

@@ -6,6 +6,7 @@
 //! weighted maximum-likelihood estimates, which works well on the one-hot +
 //! scaled-numeric matrices the featurizer produces.
 
+// audit: allow-file(index-literal, reason = "per-class state lives in [_; 2] arrays indexed by bool casts of the binary label")
 use fairprep_data::error::Result;
 
 use crate::matrix::Matrix;
@@ -41,6 +42,7 @@ impl Classifier for GaussianNaiveBayes {
 
         let mut stats = [ClassStats::new(d), ClassStats::new(d)];
         for (i, row) in x.rows_iter().enumerate() {
+            // audit: allow(float-eq, reason = "binary labels are exactly 0.0/1.0 by construction")
             let c = usize::from(y[i] == 1.0);
             stats[c].accumulate(row, weights[i]);
         }

@@ -120,13 +120,13 @@ fn score_ordering(a: f64, b: f64) -> Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Less,
         (false, true) => Ordering::Greater,
-        (false, false) => a.partial_cmp(&b).expect("both finite-or-inf"),
+        (false, false) => a.total_cmp(&b),
     }
 }
 
 /// Index (into `scores`) of the best candidate: highest non-NaN mean
 /// score, ties broken toward the earlier entry for determinism.
-fn best_index(scores: &[CandidateScore]) -> usize {
+fn best_index(scores: &[CandidateScore]) -> Result<usize> {
     scores
         .iter()
         .enumerate()
@@ -134,7 +134,7 @@ fn best_index(scores: &[CandidateScore]) -> usize {
             score_ordering(a.mean_score, b.mean_score).then(ib.cmp(ia)) // earlier index wins ties
         })
         .map(|(i, _)| i)
-        .expect("non-empty")
+        .ok_or_else(|| Error::EmptyData("candidate score list".to_string()))
 }
 
 /// Mean and population standard deviation of a fold-score vector.
@@ -239,7 +239,7 @@ impl GridSearchCv {
             seed,
             self.threads,
         )?;
-        let best = best_index(&scores);
+        let best = best_index(&scores)?;
         let best_candidate = scores[best].candidate;
         let best_model = candidates[best_candidate].fit(x, y, weights, seed)?;
         Ok(GridSearchOutcome {
@@ -459,17 +459,17 @@ mod tests {
             synthetic_score(2, 0.7),
             synthetic_score(3, f64::NAN),
         ];
-        assert_eq!(best_index(&scores), 2);
+        assert_eq!(best_index(&scores).unwrap(), 2);
 
         // NaN after the best real score must not "tie" its way past it.
         let scores = vec![synthetic_score(0, 0.9), synthetic_score(1, f64::NAN)];
-        assert_eq!(best_index(&scores), 0);
+        assert_eq!(best_index(&scores).unwrap(), 0);
         let scores = vec![synthetic_score(0, f64::NAN), synthetic_score(1, 0.1)];
-        assert_eq!(best_index(&scores), 1);
+        assert_eq!(best_index(&scores).unwrap(), 1);
 
         // All-NaN degenerates to the earliest candidate.
         let scores = vec![synthetic_score(0, f64::NAN), synthetic_score(1, f64::NAN)];
-        assert_eq!(best_index(&scores), 0);
+        assert_eq!(best_index(&scores).unwrap(), 0);
     }
 
     #[test]
@@ -538,7 +538,7 @@ impl RandomizedSearchCv {
 
         let cache = FoldCache::build(x, y, weights, self.k, seed)?;
         let scores = score_candidates_on_cache(candidates, &cache, &order, seed, self.threads)?;
-        let best = best_index(&scores);
+        let best = best_index(&scores)?;
         let best_candidate = scores[best].candidate;
         let best_model = candidates[best_candidate].fit(x, y, weights, seed)?;
         Ok(GridSearchOutcome {

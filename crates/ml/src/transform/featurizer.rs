@@ -37,6 +37,7 @@ impl FittedFeaturizer {
     /// handler first); categorical training cells may be missing and are
     /// skipped when collecting categories.
     pub fn fit(train: &BinaryLabelDataset, scaler: ScalerSpec) -> Result<FittedFeaturizer> {
+        train.guard_fit("FittedFeaturizer::fit");
         let schema = train.schema();
         let numeric_names: Vec<String> = schema
             .numeric_features()
@@ -149,6 +150,9 @@ impl FittedFeaturizer {
             offset += width;
         }
 
+        // Carry the lifecycle tag into matrix form so downstream model
+        // fits can reject test data too.
+        out.set_provenance(dataset.provenance());
         Ok(out)
     }
 }
@@ -247,6 +251,26 @@ mod tests {
         let train = dataset(&["a", "b", "a", "b"], &[1.0, 2.0, 3.0, 4.0]);
         let f = FittedFeaturizer::fit(&train, ScalerSpec::Standard).unwrap();
         assert!(f.transform(&ds).is_err());
+    }
+
+    #[test]
+    fn transform_stamps_matrix_provenance() {
+        use fairprep_data::provenance::Provenance;
+        let mut ds = dataset(&["x", "y", "x", "y"], &[5.0, 6.0, 7.0, 8.0]);
+        let f = FittedFeaturizer::fit(&ds, ScalerSpec::NoScaling).unwrap();
+        ds.set_provenance(Provenance::Test);
+        let m = f.transform(&ds).unwrap();
+        assert_eq!(m.provenance(), Provenance::Test);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "test-set isolation violation")]
+    fn fit_rejects_test_tagged_dataset() {
+        use fairprep_data::provenance::Provenance;
+        let mut ds = dataset(&["x", "y", "x", "y"], &[5.0, 6.0, 7.0, 8.0]);
+        ds.set_provenance(Provenance::Test);
+        let _ = FittedFeaturizer::fit(&ds, ScalerSpec::Standard);
     }
 
     #[test]

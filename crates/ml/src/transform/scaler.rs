@@ -128,6 +128,7 @@ impl FittedScaler {
             expected: self.params.len(),
             actual: j + 1,
         })?;
+        // audit: allow(float-eq, reason = "zero scale marks a constant training column, stored as exactly 0.0 at fit time")
         if p.scale == 0.0 {
             Ok(p.offset)
         } else {
