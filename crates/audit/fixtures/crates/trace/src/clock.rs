@@ -1,0 +1,27 @@
+//! Fixture: the wall-clock carve-out for the tracer crate.
+//!
+//! Paths under `crates/trace/` are the sanctioned owner of the monotonic
+//! clock, so the `Instant` reads below must produce **zero** `wall-clock`
+//! diagnostics — while every other pipeline lint (here: `unwrap`) still
+//! fires. Compare `l2_nondeterminism.rs`, where the same `Instant` call
+//! outside the carve-out is flagged.
+
+use std::time::Instant;
+
+pub struct Origin {
+    start: Instant,
+}
+
+pub fn sanctioned_clock_read() -> Origin {
+    Origin {
+        start: Instant::now(),
+    }
+}
+
+pub fn elapsed_ns(origin: &Origin) -> u64 {
+    origin.start.elapsed().as_nanos() as u64
+}
+
+pub fn other_lints_still_apply(value: Option<u64>) -> u64 {
+    value.unwrap()
+}

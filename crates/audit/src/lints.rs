@@ -159,6 +159,9 @@ pub fn classify(rel_path: &str) -> FileScope {
         || p.starts_with("crates/core/")
         || p.starts_with("crates/impute/")
         || p.starts_with("crates/fairness/")
+        // The tracer is pipeline code too; its wall-clock carve-out is a
+        // per-path exemption at the lint gate, not a scope relaxation.
+        || p.starts_with("crates/trace/")
     {
         return FileScope::SeededLibrary;
     }
@@ -236,7 +239,12 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     if scope.lint_applies("float-eq") {
         check_float_eq(&ctx, &mut raw);
     }
-    if scope.lint_applies("wall-clock") {
+    // `crates/trace/` is the one sanctioned clock owner: stage spans need
+    // a monotonic origin (`Instant`), and everything it records from the
+    // clock is segregated into the manifest's non-canonical `timing`
+    // section. Every other library crate must route timing through a
+    // `Tracer` handle instead of reading the clock itself.
+    if scope.lint_applies("wall-clock") && !rel_path.starts_with("crates/trace/") {
         check_wall_clock(&ctx, &mut raw);
     }
     if scope.lint_applies("unwrap") {
@@ -935,6 +943,31 @@ mod tests {
             vec!["wall-clock"]
         );
         assert!(lint_ids("crates/cli/src/main.rs", "fn f() { Instant::now(); }").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_carveout_is_exactly_the_trace_crate() {
+        // The sanctioned clock owner may read `Instant`...
+        assert!(lint_ids("crates/trace/src/lib.rs", "fn f() { Instant::now(); }").is_empty());
+        // ...but keeps every other pipeline lint.
+        assert_eq!(
+            lint_ids("crates/trace/src/lib.rs", "fn f() { x.unwrap(); }"),
+            vec!["unwrap"]
+        );
+        assert_eq!(
+            classify("crates/trace/src/lib.rs"),
+            FileScope::SeededLibrary
+        );
+        // The carve-out does not leak to sibling pipeline crates.
+        assert_eq!(
+            lint_ids("crates/core/src/lifecycle.rs", "fn f() { Instant::now(); }"),
+            vec!["wall-clock"]
+        );
+        // A look-alike path outside `crates/` gets no carve-out either.
+        assert_eq!(
+            lint_ids("src/trace/clock.rs", "fn f() { Instant::now(); }"),
+            vec!["wall-clock"]
+        );
     }
 
     #[test]

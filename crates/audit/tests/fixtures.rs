@@ -42,6 +42,23 @@ fn fixtures_trip_every_layer() {
     assert_eq!(count(&report, "l3_panics.rs", "panic"), 1);
 }
 
+/// The `wall-clock` lint has exactly one sanctioned reader: the tracer
+/// crate, whose whole job is stamping stage spans from a monotonic
+/// origin. The fixture under `crates/trace/` must audit clean of
+/// `wall-clock` (while other lints still fire there), and the identical
+/// `Instant` call in `l2_nondeterminism.rs` must stay flagged — the
+/// carve-out is a single path prefix, not a lint deletion.
+#[test]
+fn wall_clock_carveout_for_trace_crate() {
+    let report = fixture_report();
+    let trace_fixture = "crates/trace/src/clock.rs";
+    assert_eq!(count(&report, trace_fixture, "wall-clock"), 0);
+    // The carve-out does not relax the rest of the pipeline lints.
+    assert_eq!(count(&report, trace_fixture, "unwrap"), 1);
+    // The lint itself still fires outside the carve-out.
+    assert!(count(&report, "l2_nondeterminism.rs", "wall-clock") >= 1);
+}
+
 #[test]
 fn waiver_fixtures_behave() {
     let report = fixture_report();

@@ -1,0 +1,60 @@
+//! Stage-timing report over run manifests written by `fairprep run
+//! --trace` (or the `golden_trace` example).
+//!
+//! ```text
+//! cargo run --release -p fairprep-bench --bin trace_report -- out/*.json
+//! ```
+//!
+//! Prints per-manifest stage bars (wall-clock per lifecycle stage,
+//! proportional `#` bars) and, when several manifests are given, the
+//! aggregate wall-clock total per stage across all of them.
+
+use fairprep_bench::trace_report::{parse_manifest, stage_bars, stage_totals, TraceReport};
+
+fn main() -> std::process::ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_report <manifest.json>...");
+        return std::process::ExitCode::FAILURE;
+    }
+
+    let mut reports: Vec<TraceReport> = Vec::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        };
+        let report = match parse_manifest(&text) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        };
+        println!("=== {path} ===");
+        print!("{}", stage_bars(&report, 48));
+        if !report.failures.is_empty() {
+            println!("failures ({}):", report.failures.len());
+            for f in &report.failures {
+                println!("  - {f}");
+            }
+        }
+        println!("metric digest: {}", report.metric_digest);
+        println!();
+        reports.push(report);
+    }
+
+    if reports.len() > 1 {
+        println!(
+            "=== aggregate wall-clock per stage ({} runs) ===",
+            reports.len()
+        );
+        for (stage, total_ns) in stage_totals(&reports) {
+            println!("{stage:<24} {:>12.3} ms", total_ns as f64 / 1e6);
+        }
+    }
+    std::process::ExitCode::SUCCESS
+}

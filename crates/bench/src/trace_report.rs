@@ -1,0 +1,242 @@
+//! Manifest-driven timing reports.
+//!
+//! The `--trace` flag of the CLI (and the golden-trace example) writes a
+//! JSON run manifest per run. This module reads those manifests back with
+//! the dependency-free reader in [`fairprep_trace::json`] and renders the
+//! stage timings as horizontal ASCII bars — the quick "where did the time
+//! go" view a benchmark sweep wants next to its metric tables.
+
+use fairprep_trace::json::{parse, Value};
+
+/// One stage of the recorded span tree, flattened depth-first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name (`split`, `candidate`, `impute`, ...).
+    pub stage: String,
+    /// Nesting depth in the span tree (0 = lifecycle top level).
+    pub depth: usize,
+    /// Wall-clock nanoseconds spent in the stage (children included).
+    pub wall_ns: u64,
+    /// Process CPU nanoseconds attributed to the stage.
+    pub cpu_ns: u64,
+}
+
+/// The parts of a run manifest a timing report needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Experiment name.
+    pub experiment: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker-thread budget of the run.
+    pub thread_budget: u64,
+    /// Depth-first flattened span tree with durations.
+    pub stages: Vec<StageTiming>,
+    /// `(name, value)` counters.
+    pub counters: Vec<(String, u64)>,
+    /// Per-job failure strings.
+    pub failures: Vec<String>,
+    /// Canonical digest of the output metrics.
+    pub metric_digest: String,
+}
+
+fn flatten_spans(nodes: &[Value], depth: usize, out: &mut Vec<StageTiming>) {
+    for node in nodes {
+        let stage = node
+            .get("stage")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        out.push(StageTiming {
+            stage,
+            depth,
+            wall_ns: node.get("wall_ns").and_then(Value::as_u64).unwrap_or(0),
+            cpu_ns: node.get("cpu_ns").and_then(Value::as_u64).unwrap_or(0),
+        });
+        if let Some(children) = node.get("children").and_then(Value::as_array) {
+            flatten_spans(children, depth + 1, out);
+        }
+    }
+}
+
+/// Parses the JSON text of a run manifest (as written by
+/// `RunManifest::to_json`) into a [`TraceReport`].
+pub fn parse_manifest(text: &str) -> Result<TraceReport, String> {
+    let root = parse(text)?;
+    let timing = root
+        .get("timing")
+        .ok_or_else(|| "manifest has no `timing` section".to_string())?;
+    let mut stages = Vec::new();
+    if let Some(spans) = timing.get("spans").and_then(Value::as_array) {
+        flatten_spans(spans, 0, &mut stages);
+    }
+    let counters = root
+        .get("counters")
+        .and_then(Value::as_object)
+        .map(|entries| {
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_u64().unwrap_or(0)))
+                .collect()
+        })
+        .unwrap_or_default();
+    let failures = root
+        .get("failures")
+        .and_then(Value::as_array)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|v| v.as_str().map(ToString::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(TraceReport {
+        experiment: root
+            .get("experiment")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        seed: root.get("seed").and_then(Value::as_u64).unwrap_or(0),
+        thread_budget: timing
+            .get("thread_budget")
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
+        stages,
+        counters,
+        failures,
+        metric_digest: root
+            .get("metric_digest")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string(),
+    })
+}
+
+/// Renders the stage timings as indented labels with proportional
+/// horizontal bars (`#` characters, scaled so the widest stage spans
+/// `width` columns) plus wall-clock milliseconds.
+#[must_use]
+pub fn stage_bars(report: &TraceReport, width: usize) -> String {
+    let max_wall = report
+        .stages
+        .iter()
+        .map(|s| s.wall_ns)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} (seed {}, {} threads)\n",
+        report.experiment, report.seed, report.thread_budget
+    ));
+    for stage in &report.stages {
+        let label = format!("{}{}", "  ".repeat(stage.depth), stage.stage);
+        let bar_len = ((stage.wall_ns as u128 * width as u128) / max_wall as u128) as usize;
+        out.push_str(&format!(
+            "{:<24} {:>10.3} ms |{}\n",
+            label,
+            stage.wall_ns as f64 / 1e6,
+            "#".repeat(bar_len),
+        ));
+    }
+    out
+}
+
+/// Sums wall-clock time per stage name across many reports — the
+/// aggregate "time per lifecycle stage" view of a whole sweep. Stages
+/// appear in first-seen order.
+#[must_use]
+pub fn stage_totals(reports: &[TraceReport]) -> Vec<(String, u64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut totals: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for report in reports {
+        for stage in &report.stages {
+            if !totals.contains_key(&stage.stage) {
+                order.push(stage.stage.clone());
+            }
+            let slot = totals.entry(stage.stage.clone()).or_insert(0);
+            *slot = slot.saturating_add(stage.wall_ns);
+        }
+    }
+    order
+        .into_iter()
+        .filter_map(|name| totals.get(&name).map(|&v| (name, v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairprep_trace::{ManifestConfig, RunManifest, Stage, Tracer};
+
+    fn sample_manifest() -> String {
+        let tracer = Tracer::enabled();
+        {
+            let _split = tracer.span(Stage::Split);
+        }
+        {
+            let _candidate = tracer.span(Stage::Candidate);
+            let _train = tracer.span(Stage::Train);
+        }
+        tracer.add(fairprep_trace::Counter::RowsSeen, 500);
+        tracer.record_failure("job 3: boom".to_string());
+        let config = ManifestConfig {
+            experiment: "bench".to_string(),
+            seed: 11,
+            thread_budget: 4,
+            ..ManifestConfig::default()
+        };
+        RunManifest::from_tracer(&tracer, config, "fnv1a64:0".to_string()).to_json()
+    }
+
+    #[test]
+    fn parses_manifest_round_trip() {
+        let report = parse_manifest(&sample_manifest()).unwrap();
+        assert_eq!(report.experiment, "bench");
+        assert_eq!(report.seed, 11);
+        assert_eq!(report.thread_budget, 4);
+        let names: Vec<&str> = report.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(names, vec!["split", "candidate", "train"]);
+        let depths: Vec<usize> = report.stages.iter().map(|s| s.depth).collect();
+        assert_eq!(depths, vec![0, 0, 1]);
+        assert!(report
+            .counters
+            .iter()
+            .any(|(name, value)| name == "rows_seen" && *value == 500));
+        assert_eq!(report.failures, vec!["job 3: boom".to_string()]);
+    }
+
+    #[test]
+    fn stage_bars_render_every_stage() {
+        let report = parse_manifest(&sample_manifest()).unwrap();
+        let bars = stage_bars(&report, 40);
+        assert!(bars.contains("split"));
+        assert!(bars.contains("  train"));
+        assert!(bars.contains("ms |"));
+    }
+
+    #[test]
+    fn stage_totals_aggregate_across_reports() {
+        let a = parse_manifest(&sample_manifest()).unwrap();
+        let b = parse_manifest(&sample_manifest()).unwrap();
+        let totals = stage_totals(&[a.clone(), b]);
+        let names: Vec<&str> = totals.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["split", "candidate", "train"]);
+        let split_single = a
+            .stages
+            .iter()
+            .find(|s| s.stage == "split")
+            .map_or(0, |s| s.wall_ns);
+        let split_total = totals
+            .iter()
+            .find(|(n, _)| n == "split")
+            .map_or(0, |(_, v)| *v);
+        assert!(split_total >= split_single);
+    }
+
+    #[test]
+    fn missing_timing_section_is_an_error() {
+        assert!(parse_manifest("{}").is_err());
+        assert!(parse_manifest("not json").is_err());
+    }
+}

@@ -11,11 +11,23 @@ pub struct Invocation {
     pub options: BTreeMap<String, String>,
 }
 
-/// Parses raw arguments (without the program name).
+/// Options that take no value: their presence alone is the signal.
+/// Everything else follows the strict `--key value` grammar, so a
+/// trailing `--key` without a value stays an error.
+pub const VALUELESS_FLAGS: &[&str] = &["trace-summary"];
+
+/// Parses raw arguments (without the program name), treating
+/// [`VALUELESS_FLAGS`] as presence-only switches.
 ///
-/// Grammar: `<command> (--key value)*`. Repeated keys keep the last value.
-/// A trailing `--key` without a value is an error.
+/// Grammar: `<command> (--key value | --flag)*`. Repeated keys keep the
+/// last value. A trailing `--key` without a value is an error unless the
+/// key is a known flag.
 pub fn parse(args: &[String]) -> Result<Invocation, String> {
+    parse_with_flags(args, VALUELESS_FLAGS)
+}
+
+/// [`parse`] with an explicit set of valueless flags.
+pub fn parse_with_flags(args: &[String], flags: &[&str]) -> Result<Invocation, String> {
     let mut iter = args.iter();
     let command = iter.next().cloned().unwrap_or_else(|| "help".to_string());
     let mut options = BTreeMap::new();
@@ -23,6 +35,10 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
         let Some(key) = arg.strip_prefix("--") else {
             return Err(format!("expected --option, found `{arg}`"));
         };
+        if flags.contains(&key) {
+            options.insert(key.to_string(), String::new());
+            continue;
+        }
         let Some(value) = iter.next() else {
             return Err(format!("option --{key} is missing a value"));
         };
@@ -54,6 +70,12 @@ impl Invocation {
                 .parse()
                 .map_err(|_| format!("option --{key}: cannot parse `{raw}`")),
         }
+    }
+
+    /// `true` when a valueless flag (or any option) was present.
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
     }
 }
 
@@ -100,5 +122,25 @@ mod tests {
     fn repeated_keys_keep_last() {
         let inv = parse(&argv("run --seed 1 --seed 2")).unwrap();
         assert_eq!(inv.parse_or::<u64>("seed", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn valueless_flag_consumes_no_value() {
+        let inv = parse(&argv("run --trace-summary --seed 7")).unwrap();
+        assert!(inv.flag("trace-summary"));
+        assert_eq!(inv.parse_or::<u64>("seed", 0).unwrap(), 7);
+        assert!(!inv.flag("seed-missing"));
+    }
+
+    #[test]
+    fn trailing_valueless_flag_is_ok() {
+        let inv = parse(&argv("run --dataset german --trace-summary")).unwrap();
+        assert!(inv.flag("trace-summary"));
+        assert_eq!(inv.require("dataset").unwrap(), "german");
+    }
+
+    #[test]
+    fn unknown_flags_still_require_values() {
+        assert!(parse_with_flags(&argv("run --trace-summary"), &[]).is_err());
     }
 }

@@ -19,7 +19,7 @@ mod build;
 
 use std::process::ExitCode;
 
-use fairprep_core::aggregate::{metric_across_runs, repeated_evaluation};
+use fairprep_core::aggregate::{metric_across_runs, repeated_evaluation_traced};
 use fairprep_core::experiment::Experiment;
 use fairprep_data::stats::{completeness_label_rates, missing_rates};
 use fairprep_fairness::metrics::DatasetMetrics;
@@ -59,6 +59,12 @@ OPTIONS (run / sweep / audit):
                    to cross-validation. Results are identical
                    at any thread count.                 [sweep 4, run 1]
   --out            metric CSV path (run)                           [-]
+  --trace PATH     write a JSON run manifest: stage spans with
+                   wall/CPU time, counters, failures, and a
+                   canonical (timing-free) projection that is
+                   byte-identical across runs and thread counts
+  --trace-summary  print a human-readable stage/counter table
+                   after the run (takes no value)
 ";
 
 fn main() -> ExitCode {
@@ -114,11 +120,17 @@ fn load_any_dataset(
     }
 }
 
-fn build_experiment(inv: &Invocation, seed: u64, cv_threads: usize) -> Result<Experiment, String> {
+fn build_experiment(
+    inv: &Invocation,
+    seed: u64,
+    cv_threads: usize,
+    tracer: fairprep_trace::Tracer,
+) -> Result<Experiment, String> {
     let (dataset_name, dataset) = load_any_dataset(inv)?;
     let builder = Experiment::builder(&dataset_name, dataset)
         .seed(seed)
-        .threads(cv_threads);
+        .threads(cv_threads)
+        .tracer(tracer);
     build::configure(
         builder,
         inv.get_or("learner", "lr-tuned"),
@@ -134,7 +146,13 @@ fn cmd_run(inv: &Invocation) -> Result<(), String> {
     // A single run has no outer parallelism, so the whole thread budget
     // goes to the model-selection cross-validation.
     let threads = inv.parse_or::<usize>("threads", 1)?;
-    let experiment = build_experiment(inv, seed, threads)?;
+    let tracing = inv.options.contains_key("trace") || inv.flag("trace-summary");
+    let tracer = if tracing {
+        fairprep_trace::Tracer::enabled()
+    } else {
+        fairprep_trace::Tracer::disabled()
+    };
+    let experiment = build_experiment(inv, seed, threads, tracer)?;
     let result = experiment.run().map_err(|e| e.to_string())?;
 
     let t = &result.test_report;
@@ -175,6 +193,20 @@ fn cmd_run(inv: &Invocation) -> Result<(), String> {
             println!("full report     : {path}");
         }
     }
+
+    if tracing {
+        let manifest = result
+            .manifest
+            .as_ref()
+            .ok_or_else(|| "tracing was enabled but the run produced no manifest".to_string())?;
+        if let Some(path) = inv.options.get("trace") {
+            std::fs::write(path, manifest.to_json()).map_err(|e| e.to_string())?;
+            println!("run manifest    : {path}");
+        }
+        if inv.flag("trace-summary") {
+            println!("\n{}", manifest.summary());
+        }
+    }
     Ok(())
 }
 
@@ -197,9 +229,17 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
     // exceeds the requested thread count, so cores are not oversubscribed.
     let (outer, inner) = fairprep_data::parallel::split_budget(threads, seeds.len());
     println!("sweeping {n_seeds} seeds on {outer}x{inner} threads (runs x cv)...");
-    let results = repeated_evaluation(
+    // Concurrent runs would interleave their span events, so a sweep
+    // tracer records failures and counters only; the per-run experiments
+    // stay untraced.
+    let tracer = if inv.options.contains_key("trace") {
+        fairprep_trace::Tracer::enabled()
+    } else {
+        fairprep_trace::Tracer::disabled()
+    };
+    let results = repeated_evaluation_traced(
         |seed| {
-            build_experiment(inv, seed, inner).map_err(|m| {
+            build_experiment(inv, seed, inner, fairprep_trace::Tracer::disabled()).map_err(|m| {
                 fairprep_data::error::Error::InvalidParameter {
                     name: "cli",
                     message: m,
@@ -208,6 +248,7 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
         },
         &seeds,
         outer,
+        &tracer,
     );
     let failures = results.iter().filter(|r| r.is_err()).count();
     if failures == results.len() {
@@ -218,11 +259,7 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
         return Err(first.to_string());
     }
 
-    println!(
-        "\n{:<34} {:>8} {:>8} {:>8} {:>8} {:>4}",
-        "metric", "mean", "std", "min", "max", "n"
-    );
-    for metric in [
+    const SWEEP_METRICS: &[&str] = &[
         "overall_accuracy",
         "privileged_accuracy",
         "unprivileged_accuracy",
@@ -232,7 +269,12 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
         "false_negative_rate_difference",
         "false_positive_rate_difference",
         "theil_index",
-    ] {
+    ];
+    println!(
+        "\n{:<34} {:>8} {:>8} {:>8} {:>8} {:>4}",
+        "metric", "mean", "std", "min", "max", "n"
+    );
+    for metric in SWEEP_METRICS {
         let d = metric_across_runs(&results, metric);
         println!(
             "{:<34} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>4}",
@@ -241,6 +283,28 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
     }
     if failures > 0 {
         println!("\n({failures} run(s) failed and were skipped)");
+    }
+
+    if let Some(path) = inv.options.get("trace") {
+        // Digest over the mean of every reported metric: the same seed
+        // list at any thread budget yields the same digest.
+        let means: Vec<(String, f64)> = SWEEP_METRICS
+            .iter()
+            .map(|m| ((*m).to_string(), metric_across_runs(&results, m).mean))
+            .collect();
+        let config = fairprep_trace::ManifestConfig {
+            experiment: format!("sweep:{}", inv.get_or("dataset", "csv")),
+            seed: *seeds.first().unwrap_or(&0),
+            thread_budget: threads,
+            ..fairprep_trace::ManifestConfig::default()
+        };
+        let manifest = fairprep_trace::RunManifest::from_tracer(
+            &tracer,
+            config,
+            fairprep_trace::manifest::metric_digest(&means),
+        );
+        std::fs::write(path, manifest.to_json()).map_err(|e| e.to_string())?;
+        println!("sweep manifest  : {path}");
     }
     Ok(())
 }
@@ -362,6 +426,50 @@ mod tests {
     fn bad_component_name_is_reported() {
         let err = execute(&argv("run --dataset german --rows 100 --learner zzz")).unwrap_err();
         assert!(err.contains("unknown learner"));
+    }
+
+    #[test]
+    fn run_writes_trace_manifest() {
+        let path = std::env::temp_dir().join("fairprep_cli_test_manifest.json");
+        let cmd = format!(
+            "run --dataset german --rows 200 --learner dt --seed 9 --trace-summary --trace {}",
+            path.display()
+        );
+        execute(&argv(&cmd)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"schema_version\""));
+        assert!(text.contains("\"timing\""));
+        assert!(text.contains("\"split\""));
+        // The manifest must parse back with the in-tree JSON reader.
+        let value = fairprep_trace::json::parse(&text).unwrap();
+        assert!(value.get("timing").is_some());
+        assert_eq!(
+            value
+                .get("experiment")
+                .and_then(fairprep_trace::json::Value::as_str),
+            Some("german")
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_writes_trace_manifest() {
+        let path = std::env::temp_dir().join("fairprep_cli_test_sweep_manifest.json");
+        let cmd = format!(
+            "sweep --dataset german --rows 150 --learner dt --seeds 3 --threads 2 --trace {}",
+            path.display()
+        );
+        execute(&argv(&cmd)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = fairprep_trace::json::parse(&text).unwrap();
+        assert_eq!(
+            value
+                .get("experiment")
+                .and_then(fairprep_trace::json::Value::as_str),
+            Some("sweep:german")
+        );
+        assert!(value.get("failures").is_some());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -209,6 +209,19 @@ pub fn repeated_evaluation(
     seeds: &[u64],
     threads: usize,
 ) -> Vec<fairprep_data::error::Result<RunResult>> {
+    repeated_evaluation_traced(build, seeds, threads, &fairprep_trace::Tracer::disabled())
+}
+
+/// Like [`repeated_evaluation`], additionally recording each per-seed
+/// failure (`"job <index>: <error>"`) and the `jobs_failed` counter on
+/// `tracer`. Only failures and counters are traced — concurrent runs
+/// would interleave their span events, so no spans are opened here.
+pub fn repeated_evaluation_traced(
+    build: impl Fn(u64) -> fairprep_data::error::Result<crate::experiment::Experiment> + Send + Sync,
+    seeds: &[u64],
+    threads: usize,
+    tracer: &fairprep_trace::Tracer,
+) -> Vec<fairprep_data::error::Result<RunResult>> {
     let jobs: Vec<crate::runner::Job> = seeds
         .iter()
         .map(|&seed| {
@@ -216,7 +229,7 @@ pub fn repeated_evaluation(
             Box::new(move || exp?.run()) as crate::runner::Job
         })
         .collect();
-    crate::runner::run_parallel(jobs, threads)
+    crate::runner::run_parallel_traced(jobs, threads, tracer)
 }
 
 /// Summarizes one test metric across the successful runs of a repeated

@@ -112,6 +112,7 @@ pub struct Experiment {
     pub(crate) selector: Box<dyn ModelSelector>,
     pub(crate) stratified: bool,
     pub(crate) threads: usize,
+    pub(crate) tracer: fairprep_trace::Tracer,
 }
 
 impl Experiment {
@@ -136,6 +137,7 @@ impl Experiment {
                 selector: Box::new(MaxValidationAccuracy),
                 stratified: false,
                 threads: 1,
+                tracer: fairprep_trace::Tracer::disabled(),
             },
         }
     }
@@ -240,6 +242,16 @@ impl ExperimentBuilder {
     #[must_use]
     pub fn model_selector(mut self, selector: impl ModelSelector + 'static) -> Self {
         self.inner.selector = Box::new(selector);
+        self
+    }
+
+    /// Attaches a tracer. An enabled tracer records stage spans, work
+    /// counters, and failures, and makes [`RunResult`](crate::results::RunResult)
+    /// carry a [`fairprep_trace::RunManifest`]. The default (disabled)
+    /// tracer records nothing and adds no allocation to the run.
+    #[must_use]
+    pub fn tracer(mut self, tracer: fairprep_trace::Tracer) -> Self {
+        self.inner.tracer = tracer;
         self
     }
 

@@ -22,6 +22,7 @@ use fairprep_ml::model::{
 use fairprep_ml::selection::{
     decision_tree_grid, logistic_regression_grid, GridSearchCv, RandomizedSearchCv,
 };
+use fairprep_trace::Tracer;
 
 /// A learning algorithm pluggable into the lifecycle.
 pub trait Learner: Send + Sync {
@@ -51,6 +52,23 @@ pub trait Learner: Send + Sync {
     ) -> Result<Box<dyn FittedClassifier>> {
         let _ = threads;
         self.fit_model(x, train, seed)
+    }
+
+    /// Like [`fit_model_with_threads`](Learner::fit_model_with_threads),
+    /// additionally recording tuning spans and counters on `tracer`.
+    /// Learners that cross-validate internally override this to call
+    /// their search's traced entry point; the default ignores the tracer,
+    /// so plain learners need no changes.
+    fn fit_model_traced(
+        &self,
+        x: &Matrix,
+        train: &BinaryLabelDataset,
+        seed: u64,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> Result<Box<dyn FittedClassifier>> {
+        let _ = tracer;
+        self.fit_model_with_threads(x, train, seed, threads)
     }
 }
 
@@ -87,14 +105,26 @@ impl Learner for LogisticRegressionLearner {
         seed: u64,
         threads: usize,
     ) -> Result<Box<dyn FittedClassifier>> {
+        self.fit_model_traced(x, train, seed, threads, &Tracer::disabled())
+    }
+
+    fn fit_model_traced(
+        &self,
+        x: &Matrix,
+        train: &BinaryLabelDataset,
+        seed: u64,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> Result<Box<dyn FittedClassifier>> {
         let weights = train.instance_weights();
         if self.tuned {
-            let outcome = GridSearchCv::new(5).with_threads(threads).search(
+            let outcome = GridSearchCv::new(5).with_threads(threads).search_traced(
                 &logistic_regression_grid(),
                 x,
                 train.labels(),
                 weights,
                 seed,
+                tracer,
             )?;
             Ok(outcome.best_model)
         } else {
@@ -135,14 +165,26 @@ impl Learner for DecisionTreeLearner {
         seed: u64,
         threads: usize,
     ) -> Result<Box<dyn FittedClassifier>> {
+        self.fit_model_traced(x, train, seed, threads, &Tracer::disabled())
+    }
+
+    fn fit_model_traced(
+        &self,
+        x: &Matrix,
+        train: &BinaryLabelDataset,
+        seed: u64,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> Result<Box<dyn FittedClassifier>> {
         let weights = train.instance_weights();
         if self.tuned {
-            let outcome = GridSearchCv::new(5).with_threads(threads).search(
+            let outcome = GridSearchCv::new(5).with_threads(threads).search_traced(
                 &decision_tree_grid(),
                 x,
                 train.labels(),
                 weights,
                 seed,
+                tracer,
             )?;
             Ok(outcome.best_model)
         } else {
@@ -181,14 +223,26 @@ impl Learner for RandomizedDecisionTreeLearner {
         seed: u64,
         threads: usize,
     ) -> Result<Box<dyn FittedClassifier>> {
+        self.fit_model_traced(x, train, seed, threads, &Tracer::disabled())
+    }
+
+    fn fit_model_traced(
+        &self,
+        x: &Matrix,
+        train: &BinaryLabelDataset,
+        seed: u64,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> Result<Box<dyn FittedClassifier>> {
         let outcome = RandomizedSearchCv::new(5, self.n_iter)
             .with_threads(threads)
-            .search(
+            .search_traced(
                 &decision_tree_grid(),
                 x,
                 train.labels(),
                 train.instance_weights(),
                 seed,
+                tracer,
             )?;
         Ok(outcome.best_model)
     }

@@ -60,7 +60,8 @@ pub mod runner;
 /// Convenient glob-import of the most used types.
 pub mod prelude {
     pub use crate::aggregate::{
-        metric_across_runs, repeated_evaluation, MetricDistribution, SweepAggregator,
+        metric_across_runs, repeated_evaluation, repeated_evaluation_traced, MetricDistribution,
+        SweepAggregator,
     };
     pub use crate::experiment::{
         AccuracyUnderDiBound, Experiment, ExperimentBuilder, MaxValidationAccuracy, ModelSelector,
@@ -72,5 +73,6 @@ pub mod prelude {
         RandomizedDecisionTreeLearner,
     };
     pub use crate::results::{CandidateEvaluation, RunMetadata, RunResult, SweepWriter};
-    pub use crate::runner::{count_ok, run_parallel, Job};
+    pub use crate::runner::{count_ok, failure_messages, run_parallel, run_parallel_traced, Job};
+    pub use fairprep_trace::{RunManifest, Tracer};
 }

@@ -29,6 +29,7 @@ use fairprep_fairness::preprocess::FittedPreprocessor;
 use fairprep_impute::FittedMissingValueHandler;
 use fairprep_ml::model::FittedClassifier;
 use fairprep_ml::transform::FittedFeaturizer;
+use fairprep_trace::{Counter, Gauge, ManifestConfig, RunManifest, Stage};
 
 use crate::experiment::Experiment;
 use crate::isolation::TestSetVault;
@@ -110,14 +111,23 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
         });
     }
     let seed = exp.seed;
+    // Spans are only ever opened from this sequential function (parallel
+    // fold jobs touch atomic counters alone), so the recorded tree
+    // structure — and with it the canonical manifest — is identical at
+    // every thread budget.
+    let tracer = exp.tracer.clone();
+    tracer.add(Counter::RowsSeen, exp.dataset.n_rows() as u64);
 
     // The split is the first operation on the raw data; the test partition
     // is sealed immediately.
     let mut lineage: Vec<String> = Vec::new();
-    let split = if exp.stratified {
-        stratified_train_val_test_split(&exp.dataset, exp.split, seed)?
-    } else {
-        train_val_test_split(&exp.dataset, exp.split, seed)?
+    let split = {
+        let _span = tracer.span(Stage::Split);
+        if exp.stratified {
+            stratified_train_val_test_split(&exp.dataset, exp.split, seed)?
+        } else {
+            train_val_test_split(&exp.dataset, exp.split, seed)?
+        }
     };
     lineage.push(format!(
         "phase1: {} split {}/{}/{} (seed {seed})",
@@ -154,12 +164,17 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
     let mut candidates = Vec::with_capacity(exp.learners.len());
     for (c_ix, learner) in exp.learners.iter().enumerate() {
         let candidate_seed = derive_seed(seed, &format!("candidate/{c_ix}"));
+        let _candidate_span = tracer.span(Stage::Candidate);
+        tracer.incr(Counter::CandidatesEvaluated);
 
         // Missing-value handling: fitted on training data only.
-        let missing_handler = exp
-            .missing_handler
-            .fit(&resampled, derive_seed(candidate_seed, "missing_handler"))?;
-        let completed_train = missing_handler.handle_missing(&resampled)?;
+        let missing_handler = exp.missing_handler.fit_traced(
+            &resampled,
+            derive_seed(candidate_seed, "missing_handler"),
+            &tracer,
+        )?;
+        let completed_train = missing_handler.handle_missing_traced(&resampled, &tracer)?;
+        tracer.set_gauge(Gauge::TrainRows, completed_train.n_rows() as u64);
         if c_ix == 0 {
             lineage.push(format!(
                 "phase1: fit {} on train only ({} -> {} rows)",
@@ -174,9 +189,10 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
         // applied on the completed *relational* data before featurization,
         // because repairs are defined on raw attribute domains; for affine
         // scalers the two orders are equivalent.
-        let preprocessor = exp.preprocessor.fit(
+        let preprocessor = exp.preprocessor.fit_traced(
             &completed_train,
             derive_seed(candidate_seed, "preprocessor"),
+            &tracer,
         )?;
         let train = preprocessor.transform_train(&completed_train)?;
         if c_ix == 0 {
@@ -188,7 +204,11 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
 
         // Featurizer: scaler statistics and one-hot dictionaries from the
         // training data only.
-        let featurizer = FittedFeaturizer::fit(&train, exp.scaler)?;
+        let featurizer = {
+            let _span = tracer.span(Stage::Scale);
+            FittedFeaturizer::fit(&train, exp.scaler)?
+        };
+        tracer.set_gauge(Gauge::FeatureDims, featurizer.n_features() as u64);
         let x_train = featurizer.transform(&train)?;
         if c_ix == 0 {
             lineage.push(format!(
@@ -199,13 +219,18 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
         }
 
         // Model training, with the experiment's inner thread budget for
-        // learners that cross-validate internally.
-        let model = learner.fit_model_with_threads(
-            &x_train,
-            &train,
-            derive_seed(candidate_seed, "learner"),
-            exp.threads,
-        )?;
+        // learners that cross-validate internally (their `tune` span
+        // nests inside this `train` span).
+        let model = {
+            let _span = tracer.span(Stage::Train);
+            learner.fit_model_traced(
+                &x_train,
+                &train,
+                derive_seed(candidate_seed, "learner"),
+                exp.threads,
+                &tracer,
+            )?
+        };
         lineage.push(format!(
             "phase1: train candidate {c_ix} ({})",
             learner.name()
@@ -219,15 +244,17 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
             model,
             postprocessor: None,
         };
-        let pre_post_val = pipeline.evaluate(&raw_validation)?;
-
         // Post-processing intervention: fitted on *validation* predictions.
+        // The pre-adjustment validation replay feeds only this fit, so it
+        // is computed inside the branch.
         if let Some(post) = &exp.postprocessor {
-            pipeline.postprocessor = Some(post.fit(
+            let pre_post_val = pipeline.evaluate(&raw_validation)?;
+            pipeline.postprocessor = Some(post.fit_traced(
                 &pre_post_val.scores,
                 &pre_post_val.y_true,
                 &pre_post_val.privileged,
                 derive_seed(candidate_seed, "postprocessor"),
+                &tracer,
             )?);
             if c_ix == 0 {
                 lineage.push(format!(
@@ -238,18 +265,25 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
         }
 
         // Phase-2 inputs: reports on train and (post-processed) validation.
-        let train_eval = pipeline.evaluate_train_view(&train, &x_train)?;
-        let val_eval = pipeline.evaluate(&raw_validation)?;
+        let (train_report, validation_report) = {
+            let _span = tracer.span(Stage::Evaluate);
+            let train_eval = pipeline.evaluate_train_view(&train, &x_train)?;
+            let val_eval = pipeline.evaluate(&raw_validation)?;
+            (train_eval.report()?, val_eval.report()?)
+        };
         candidates.push(CandidateEvaluation {
             learner: learner.name(),
-            train_report: train_eval.report()?,
-            validation_report: val_eval.report()?,
+            train_report,
+            validation_report,
         });
         pipelines.push(pipeline);
     }
 
     // ---------------- Phase 2: user-defined choice ----------------
-    let selected = exp.selector.select(&candidates);
+    let selected = {
+        let _span = tracer.span(Stage::Select);
+        exp.selector.select(&candidates)
+    };
     lineage.push(format!(
         "phase2: selector chose candidate {selected} from validation metrics"
     ));
@@ -265,32 +299,67 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
 
     // ---------------- Phase 3: sealed test evaluation ----------------
     let chosen = &pipelines[selected];
-    let test_eval = chosen.evaluate_sealed(&vault)?;
-    let test_report = test_eval.report()?;
+    let test_report = {
+        let _span = tracer.span(Stage::Evaluate);
+        chosen.evaluate_sealed(&vault)?.report()?
+    };
     lineage.push(format!(
         "phase3: replayed frozen chain of candidate {selected} on the sealed test set          ({} rows)",
         vault.n_rows()
     ));
 
-    Ok(RunResult {
-        metadata: RunMetadata {
-            experiment: exp.name,
+    let metadata = RunMetadata {
+        experiment: exp.name,
+        seed,
+        resampler: exp.resampler.name().to_string(),
+        missing_handler: exp.missing_handler.name(),
+        scaler: exp.scaler.name().to_string(),
+        preprocessor: exp.preprocessor.name(),
+        postprocessor: exp
+            .postprocessor
+            .as_ref()
+            .map_or_else(|| "none".to_string(), |p| p.name()),
+        candidates: exp.learners.iter().map(|l| l.name()).collect(),
+        selected,
+        partition_sizes,
+        lineage,
+    };
+
+    // All spans are closed at this point, so the manifest sees a
+    // complete, balanced event stream.
+    let manifest = if tracer.is_enabled() {
+        let metrics: Vec<(String, f64)> = test_report.to_map().into_iter().collect();
+        let digest = fairprep_trace::manifest::metric_digest(&metrics);
+        let config = ManifestConfig {
+            experiment: metadata.experiment.clone(),
             seed,
-            resampler: exp.resampler.name().to_string(),
-            missing_handler: exp.missing_handler.name(),
-            scaler: exp.scaler.name().to_string(),
-            preprocessor: exp.preprocessor.name(),
-            postprocessor: exp
-                .postprocessor
-                .as_ref()
-                .map_or_else(|| "none".to_string(), |p| p.name()),
-            candidates: exp.learners.iter().map(|l| l.name()).collect(),
+            split: exp.split.describe(),
+            stratified: exp.stratified,
+            components: vec![
+                ("resampler".to_string(), metadata.resampler.clone()),
+                (
+                    "missing_value_handler".to_string(),
+                    metadata.missing_handler.clone(),
+                ),
+                ("scaler".to_string(), metadata.scaler.clone()),
+                ("preprocessor".to_string(), metadata.preprocessor.clone()),
+                ("postprocessor".to_string(), metadata.postprocessor.clone()),
+            ],
+            candidates: metadata.candidates.clone(),
             selected,
             partition_sizes,
-            lineage,
-        },
+            thread_budget: exp.threads,
+        };
+        Some(RunManifest::from_tracer(&tracer, config, digest))
+    } else {
+        None
+    };
+
+    Ok(RunResult {
+        metadata,
         candidates,
         test_report,
+        manifest,
     })
 }
 

@@ -62,6 +62,10 @@ pub struct RunResult {
     pub candidates: Vec<CandidateEvaluation>,
     /// Phase-3 metrics of the selected model on the held-out test set.
     pub test_report: MetricsReport,
+    /// The run manifest, populated when the experiment was configured
+    /// with an enabled [`fairprep_trace::Tracer`] (see
+    /// [`ExperimentBuilder::tracer`](crate::experiment::ExperimentBuilder::tracer)).
+    pub manifest: Option<fairprep_trace::RunManifest>,
 }
 
 impl RunResult {
@@ -219,6 +223,7 @@ mod tests {
                 },
             ],
             test_report: r,
+            manifest: None,
         }
     }
 

@@ -10,6 +10,7 @@
 
 use fairprep_data::error::Result;
 use fairprep_data::parallel::parallel_map;
+use fairprep_trace::{Counter, Tracer};
 
 use crate::results::RunResult;
 
@@ -21,13 +22,47 @@ pub type Job = Box<dyn FnOnce() -> Result<RunResult> + Send>;
 /// a sweep records the failure and continues.
 #[must_use]
 pub fn run_parallel(jobs: Vec<Job>, threads: usize) -> Vec<Result<RunResult>> {
-    parallel_map(jobs, threads, |job| job())
+    run_parallel_traced(jobs, threads, &Tracer::disabled())
+}
+
+/// Like [`run_parallel`], additionally surfacing every job failure on
+/// `tracer`: each error lands in the manifest's `failures` array as
+/// `"job <index>: <error>"` (in submission order, so the strings are
+/// thread-invariant) and bumps the `jobs_failed` counter. Historically
+/// a sweep only exposed [`count_ok`], which silently swallowed *what*
+/// failed — an unauditable hole in the run record.
+#[must_use]
+pub fn run_parallel_traced(
+    jobs: Vec<Job>,
+    threads: usize,
+    tracer: &Tracer,
+) -> Vec<Result<RunResult>> {
+    let results = parallel_map(jobs, threads, |job| job());
+    for (i, result) in results.iter().enumerate() {
+        if let Err(e) = result {
+            tracer.incr(Counter::JobsFailed);
+            tracer.record_failure(format!("job {i}: {e}"));
+        }
+    }
+    results
 }
 
 /// Convenience: total number of successful runs in a sweep outcome.
 #[must_use]
 pub fn count_ok(results: &[Result<RunResult>]) -> usize {
     results.iter().filter(|r| r.is_ok()).count()
+}
+
+/// Per-job error strings (`"job <index>: <error>"`) for every failed
+/// slot, in submission order — the same strings an attached tracer
+/// records into the manifest's `failures` array.
+#[must_use]
+pub fn failure_messages(results: &[Result<RunResult>]) -> Vec<String> {
+    results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().err().map(|e| format!("job {i}: {e}")))
+        .collect()
 }
 
 #[cfg(test)]
@@ -88,5 +123,55 @@ mod tests {
     #[test]
     fn empty_job_list() {
         assert!(run_parallel(Vec::new(), 4).is_empty());
+    }
+
+    /// Regression test for the silent-swallow bug: `count_ok` reported
+    /// "2 of 3 succeeded" but nothing recorded *which* job failed or
+    /// why. The traced runner must surface the per-job error string into
+    /// the tracer (and thus the manifest's `failures` array).
+    #[test]
+    fn failures_surface_into_tracer_and_manifest() {
+        use fairprep_trace::{ManifestConfig, RunManifest};
+
+        let jobs: Vec<Job> = vec![
+            job(1),
+            Box::new(|| Err(fairprep_data::error::Error::EmptyData("boom".to_string()))),
+            job(2),
+        ];
+        let tracer = fairprep_trace::Tracer::enabled();
+        let results = run_parallel_traced(jobs, 2, &tracer);
+        assert_eq!(count_ok(&results), 2);
+
+        // The standalone accessor agrees with the tracer record.
+        let messages = failure_messages(&results);
+        assert_eq!(messages.len(), 1);
+        assert!(messages[0].starts_with("job 1:"), "{:?}", messages[0]);
+        assert!(messages[0].contains("boom"));
+        assert_eq!(tracer.failures(), messages);
+        assert_eq!(tracer.counter(fairprep_trace::Counter::JobsFailed), 1);
+
+        // And the error string lands in a manifest's canonical failures.
+        let manifest =
+            RunManifest::from_tracer(&tracer, ManifestConfig::default(), "fnv1a64:0".to_string());
+        assert_eq!(manifest.failures, messages);
+        assert!(manifest.canonical().contains("job 1: "));
+        assert!(manifest.canonical().contains("boom"));
+    }
+
+    /// Failure strings are keyed by submission index, so they are
+    /// identical at every thread budget.
+    #[test]
+    fn failure_messages_are_thread_invariant() {
+        let make_jobs = || -> Vec<Job> {
+            vec![
+                Box::new(|| Err(fairprep_data::error::Error::EmptyData("a".to_string()))),
+                job(1),
+                Box::new(|| Err(fairprep_data::error::Error::EmptyData("b".to_string()))),
+            ]
+        };
+        let seq = failure_messages(&run_parallel(make_jobs(), 1));
+        let par = failure_messages(&run_parallel(make_jobs(), 4));
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 2);
     }
 }

@@ -36,6 +36,14 @@ impl SplitSpec {
         }
     }
 
+    /// Stable human-readable description (`train/validation/test`
+    /// fractions), used verbatim in run manifests — float `Display` is
+    /// shortest-roundtrip, so this string is deterministic.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!("{}/{}/{}", self.train, self.validation, self.test)
+    }
+
     /// Validates the fractions.
     pub fn validate(&self) -> Result<()> {
         for (name, v) in [

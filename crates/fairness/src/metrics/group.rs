@@ -218,6 +218,20 @@ pub fn gei_of_benefits(benefits: &[f64], alpha: f64) -> f64 {
             })
             .sum::<f64>()
             / n
+    } else if (alpha - 2.0).abs() < 1e-12 {
+        // α = 2 (the common case, half the squared coefficient of
+        // variation): square with a plain multiply. `powf(x, 2.0)` may
+        // lower to either a libm call or `x * x` depending on the
+        // optimization level, and the run-manifest metric digests require
+        // output that is bit-stable across build profiles.
+        let s: f64 = benefits
+            .iter()
+            .map(|&b| {
+                let r = b / mu;
+                r * r - 1.0
+            })
+            .sum();
+        s / (n * 2.0)
     } else {
         let s: f64 = benefits.iter().map(|&b| (b / mu).powf(alpha) - 1.0).sum();
         s / (n * alpha * (alpha - 1.0))

@@ -11,6 +11,7 @@ pub mod group_thresholds;
 pub mod reject_option;
 
 use fairprep_data::error::{Error, Result};
+use fairprep_trace::{Stage, Tracer};
 
 pub use calibrated_eq_odds::{CalibratedEqOdds, CostConstraint};
 pub use eq_odds::EqOddsPostprocessing;
@@ -30,6 +31,21 @@ pub trait Postprocessor: Send + Sync {
         val_privileged: &[bool],
         seed: u64,
     ) -> Result<Box<dyn FittedPostprocessor>>;
+
+    /// Like [`Postprocessor::fit`], recording a `postprocess` span on
+    /// `tracer`. The default wraps `fit`, so existing interventions
+    /// participate in tracing without changes.
+    fn fit_traced(
+        &self,
+        val_scores: &[f64],
+        val_labels: &[f64],
+        val_privileged: &[bool],
+        seed: u64,
+        tracer: &Tracer,
+    ) -> Result<Box<dyn FittedPostprocessor>> {
+        let _span = tracer.span(Stage::Postprocess);
+        self.fit(val_scores, val_labels, val_privileged, seed)
+    }
 }
 
 /// A fitted post-processing intervention.

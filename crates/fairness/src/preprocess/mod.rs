@@ -14,6 +14,7 @@ pub mod reweighing;
 
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::Result;
+use fairprep_trace::{Stage, Tracer};
 
 pub use di_remover::DisparateImpactRemover;
 pub use massaging::Massaging;
@@ -27,6 +28,19 @@ pub trait Preprocessor: Send + Sync {
 
     /// Learns the intervention's statistics from the **training** set.
     fn fit(&self, train: &BinaryLabelDataset, seed: u64) -> Result<Box<dyn FittedPreprocessor>>;
+
+    /// Like [`Preprocessor::fit`], recording a `preprocess` span on
+    /// `tracer`. The default wraps `fit`, so existing interventions
+    /// participate in tracing without changes.
+    fn fit_traced(
+        &self,
+        train: &BinaryLabelDataset,
+        seed: u64,
+        tracer: &Tracer,
+    ) -> Result<Box<dyn FittedPreprocessor>> {
+        let _span = tracer.span(Stage::Preprocess);
+        self.fit(train, seed)
+    }
 }
 
 /// A fitted pre-processing intervention.

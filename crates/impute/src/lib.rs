@@ -32,6 +32,7 @@ pub mod model_based;
 use fairprep_data::column::{Column, OwnedValue};
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
+use fairprep_trace::{Counter, Stage, Tracer};
 
 pub use model_based::ModelBasedImputer;
 
@@ -51,6 +52,19 @@ pub trait MissingValueHandler: Send + Sync {
         train: &BinaryLabelDataset,
         seed: u64,
     ) -> Result<Box<dyn FittedMissingValueHandler>>;
+
+    /// Like [`MissingValueHandler::fit`], recording an `impute` span on
+    /// `tracer`. The default simply wraps `fit`, so existing strategies
+    /// participate in tracing without any changes.
+    fn fit_traced(
+        &self,
+        train: &BinaryLabelDataset,
+        seed: u64,
+        tracer: &Tracer,
+    ) -> Result<Box<dyn FittedMissingValueHandler>> {
+        let _span = tracer.span(Stage::Impute);
+        self.fit(train, seed)
+    }
 }
 
 /// A fitted missing-value handler, applicable to any split.
@@ -65,6 +79,33 @@ pub trait FittedMissingValueHandler: Send + Sync {
     /// meaningful).
     fn removes_records(&self) -> bool {
         false
+    }
+
+    /// Like [`FittedMissingValueHandler::handle_missing`], counting the
+    /// work performed: rows removed by record-dropping strategies
+    /// (`rows_dropped`) or cells filled in by imputing ones
+    /// (`cells_imputed`). Both are pure functions of the data, so they
+    /// are safe for the canonical manifest.
+    fn handle_missing_traced(
+        &self,
+        data: &BinaryLabelDataset,
+        tracer: &Tracer,
+    ) -> Result<BinaryLabelDataset> {
+        let missing_before = data.frame().missing_cells();
+        let rows_before = data.n_rows();
+        let out = self.handle_missing(data)?;
+        if self.removes_records() {
+            tracer.add(
+                Counter::RowsDropped,
+                rows_before.saturating_sub(out.n_rows()) as u64,
+            );
+        } else {
+            tracer.add(
+                Counter::CellsImputed,
+                missing_before.saturating_sub(out.frame().missing_cells()) as u64,
+            );
+        }
+        Ok(out)
     }
 }
 

@@ -25,6 +25,7 @@ use std::cmp::Ordering;
 use fairprep_data::error::{Error, Result};
 use fairprep_data::parallel::parallel_map;
 use fairprep_data::split::k_fold_indices;
+use fairprep_trace::{Counter, Stage, Tracer};
 
 use crate::eval::ConfusionMatrix;
 use crate::matrix::Matrix;
@@ -228,9 +229,26 @@ impl GridSearchCv {
         weights: &[f64],
         seed: u64,
     ) -> Result<GridSearchOutcome> {
+        self.search_traced(candidates, x, y, weights, seed, &Tracer::disabled())
+    }
+
+    /// Like [`GridSearchCv::search`], recording a `tune` span and fold
+    /// counters on `tracer`. The hot fit jobs never touch the tracer, so
+    /// structure and counters are identical at every thread budget (and
+    /// a disabled tracer adds no allocation to the search).
+    pub fn search_traced(
+        &self,
+        candidates: &[Box<dyn Classifier>],
+        x: &Matrix,
+        y: &[f64],
+        weights: &[f64],
+        seed: u64,
+        tracer: &Tracer,
+    ) -> Result<GridSearchOutcome> {
         if candidates.is_empty() {
             return Err(Error::EmptyData("grid-search candidate list".to_string()));
         }
+        let _tune = tracer.span(Stage::Tune);
         let cache = FoldCache::build(x, y, weights, self.k, seed)?;
         let scores = score_candidates_on_cache(
             candidates,
@@ -238,6 +256,7 @@ impl GridSearchCv {
             &candidate_indices(candidates),
             seed,
             self.threads,
+            tracer,
         )?;
         let best = best_index(&scores)?;
         let best_candidate = scores[best].candidate;
@@ -266,12 +285,19 @@ fn score_candidates_on_cache(
     selected: &[usize],
     seed: u64,
     threads: usize,
+    tracer: &Tracer,
 ) -> Result<Vec<CandidateScore>> {
     let k = cache.len();
     let jobs: Vec<(usize, usize)> = selected
         .iter()
         .flat_map(|&candidate| (0..k).map(move |fold| (candidate, fold)))
         .collect();
+    // Counters are recorded up front from the job plan — a pure function
+    // of (candidates, k) — so the hot fold jobs below stay tracer-free
+    // and the recorded values cannot depend on the thread budget. Every
+    // job after the first pass over the k folds reuses a cached fold.
+    tracer.add(Counter::FoldsEvaluated, jobs.len() as u64);
+    tracer.add(Counter::FoldCacheHits, jobs.len().saturating_sub(k) as u64);
     let fold_results = parallel_map(jobs, threads, |(candidate, fold)| {
         cache.score_fold(candidates[candidate].as_ref(), fold, seed)
     });
@@ -473,6 +499,40 @@ mod tests {
     }
 
     #[test]
+    fn traced_search_records_span_and_counters() {
+        let (x, y, w) = data();
+        let t = Tracer::enabled();
+        GridSearchCv::new(5)
+            .search_traced(&candidates(), &x, &y, &w, 3, &t)
+            .unwrap();
+        // 2 candidates × 5 folds; all but the first pass over the folds
+        // hit the shared cache.
+        assert_eq!(t.counter(Counter::FoldsEvaluated), 10);
+        assert_eq!(t.counter(Counter::FoldCacheHits), 5);
+        let events = t.span_events();
+        assert!(events.iter().any(|e| e.enter && e.stage == Stage::Tune));
+        assert!(fairprep_trace::validate_span_events(&events).is_ok());
+    }
+
+    #[test]
+    fn traced_counters_are_thread_invariant() {
+        let (x, y, w) = data();
+        let run = |threads| {
+            let t = Tracer::enabled();
+            GridSearchCv::new(5)
+                .with_threads(threads)
+                .search_traced(&candidates(), &x, &y, &w, 3, &t)
+                .unwrap();
+            (
+                t.counter(Counter::FoldsEvaluated),
+                t.counter(Counter::FoldCacheHits),
+                t.span_events().len(),
+            )
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
     fn fold_cache_len_matches_k() {
         let (x, y, w) = data();
         let cache = FoldCache::build(&x, &y, &w, 5, 3).unwrap();
@@ -524,20 +584,41 @@ impl RandomizedSearchCv {
         weights: &[f64],
         seed: u64,
     ) -> Result<GridSearchOutcome> {
+        self.search_traced(candidates, x, y, weights, seed, &Tracer::disabled())
+    }
+
+    /// Like [`RandomizedSearchCv::search`], recording a `tune` span plus
+    /// fold counters and the number of grid points the sampling budget
+    /// pruned away.
+    pub fn search_traced(
+        &self,
+        candidates: &[Box<dyn Classifier>],
+        x: &Matrix,
+        y: &[f64],
+        weights: &[f64],
+        seed: u64,
+        tracer: &Tracer,
+    ) -> Result<GridSearchOutcome> {
         if candidates.is_empty() {
             return Err(Error::EmptyData(
                 "randomized-search candidate list".to_string(),
             ));
         }
+        let _tune = tracer.span(Stage::Tune);
         use rand::seq::SliceRandom;
         let mut order: Vec<usize> = (0..candidates.len()).collect();
         let mut rng = fairprep_data::rng::component_rng(seed, "randomized_search");
         order.shuffle(&mut rng);
         order.truncate(self.n_iter.clamp(1, candidates.len()));
         order.sort_unstable(); // deterministic scoring order
+        tracer.add(
+            Counter::CandidatesPruned,
+            (candidates.len() - order.len()) as u64,
+        );
 
         let cache = FoldCache::build(x, y, weights, self.k, seed)?;
-        let scores = score_candidates_on_cache(candidates, &cache, &order, seed, self.threads)?;
+        let scores =
+            score_candidates_on_cache(candidates, &cache, &order, seed, self.threads, tracer)?;
         let best = best_index(&scores)?;
         let best_candidate = scores[best].candidate;
         let best_model = candidates[best_candidate].fit(x, y, weights, seed)?;
@@ -632,5 +713,20 @@ mod randomized_tests {
         assert!(RandomizedSearchCv::new(3, 4)
             .search(&[], &x, &y, &w, 0)
             .is_err());
+    }
+
+    #[test]
+    fn traced_randomized_search_counts_pruned_candidates() {
+        let (x, y, w) = data();
+        let candidates = decision_tree_grid();
+        let t = Tracer::enabled();
+        RandomizedSearchCv::new(3, 8)
+            .search_traced(&candidates, &x, &y, &w, 7, &t)
+            .unwrap();
+        assert_eq!(
+            t.counter(Counter::CandidatesPruned) as usize,
+            candidates.len() - 8
+        );
+        assert_eq!(t.counter(Counter::FoldsEvaluated), 24); // 8 sampled × 3 folds
     }
 }

@@ -1,0 +1,81 @@
+//! Golden-trace experiments: two small, fully seeded lifecycle runs whose
+//! canonical run manifests are committed under `tests/golden/` and diffed
+//! byte-for-byte in CI.
+//!
+//! The experiments are chosen to cover the observability surface between
+//! them: a *tuned* learner (cross-validated grid search → `tune` span,
+//! fold counters) and an *imputing, intervening* pipeline (mode imputation
+//! → `cells_imputed`, reweighing, reject-option → `postprocess` span).
+//! Because [`RunManifest::canonical`](fairprep_trace::RunManifest::canonical)
+//! excludes every timing field, the rendered strings must be identical
+//! across repeated runs and across thread budgets — that invariant is the
+//! golden-trace test suite.
+
+use fairprep_core::experiment::Experiment;
+use fairprep_core::learners::{DecisionTreeLearner, LogisticRegressionLearner};
+use fairprep_core::results::RunResult;
+use fairprep_data::error::{Error, Result};
+use fairprep_datasets::{generate_german, generate_payment};
+use fairprep_fairness::postprocess::RejectOptionClassification;
+use fairprep_fairness::preprocess::Reweighing;
+use fairprep_impute::ModeImputer;
+use fairprep_trace::Tracer;
+
+/// Names of the golden experiments, in golden-file order.
+pub const GOLDEN_CASES: &[&str] = &["german-tuned", "payment-impute"];
+
+/// Runs the named golden experiment with tracing enabled on the given
+/// thread budget and returns the full result (manifest populated).
+pub fn run_golden(name: &str, threads: usize) -> Result<RunResult> {
+    let tracer = Tracer::enabled();
+    let experiment = match name {
+        // Cross-validated grid search: exercises the `tune` span and the
+        // fold / fold-cache counters.
+        "german-tuned" => Experiment::builder("german", generate_german(200, 7)?)
+            .seed(7)
+            .threads(threads)
+            .learner(DecisionTreeLearner { tuned: true })
+            .tracer(tracer)
+            .build()?,
+        // Imputation + pre/post interventions: exercises `cells_imputed`,
+        // the `preprocess` span, and the `postprocess` span.
+        "payment-impute" => Experiment::builder("payment", generate_payment(300, 11)?)
+            .seed(11)
+            .threads(threads)
+            .missing_value_handler(ModeImputer)
+            .preprocessor(Reweighing)
+            .postprocessor(RejectOptionClassification::default())
+            .learner(LogisticRegressionLearner { tuned: false })
+            .tracer(tracer)
+            .build()?,
+        other => {
+            return Err(Error::InvalidParameter {
+                name: "golden",
+                message: format!(
+                    "unknown golden case `{other}` (expected one of {GOLDEN_CASES:?})"
+                ),
+            })
+        }
+    };
+    experiment.run()
+}
+
+/// The canonical manifest serialization of the named golden experiment —
+/// the exact bytes committed as `tests/golden/<name>.json`.
+pub fn golden_canonical(name: &str, threads: usize) -> Result<String> {
+    let result = run_golden(name, threads)?;
+    result
+        .manifest
+        .as_ref()
+        .map(fairprep_trace::RunManifest::canonical)
+        .ok_or_else(|| Error::InvalidParameter {
+            name: "golden",
+            message: "traced run produced no manifest".to_string(),
+        })
+}
+
+/// The golden file name for a case (`tests/golden/<file>`).
+#[must_use]
+pub fn golden_file(name: &str) -> String {
+    format!("{}.json", name.replace('-', "_"))
+}

@@ -26,6 +26,9 @@ pub use fairprep_datasets as datasets;
 pub use fairprep_fairness as fairness;
 pub use fairprep_impute as impute;
 pub use fairprep_ml as ml;
+pub use fairprep_trace as trace;
+
+pub mod golden;
 
 /// One-stop import for applications.
 pub mod prelude {

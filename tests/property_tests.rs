@@ -313,3 +313,127 @@ proptest! {
         }
     }
 }
+
+/// Span-tree properties of traced lifecycle runs: for arbitrary component
+/// stacks, the recorded span events form a well-formed tree (every stage
+/// entered exactly once per occurrence, properly nested, no orphan
+/// exits), the manifest's span structure mirrors the configured pipeline,
+/// and the counters are mutually consistent.
+mod span_tree_properties {
+    use super::*;
+    use fairprep::trace::{validate_span_events, Counter, Tracer};
+    use fairprep_trace::SpanNode;
+
+    fn child_names(node: &SpanNode) -> Vec<&str> {
+        node.children.iter().map(|c| c.stage.as_str()).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn traced_runs_record_wellformed_span_trees(
+            missing in 0usize..3,
+            with_pre in any::<bool>(),
+            with_post in any::<bool>(),
+            learners in prop::collection::vec(0usize..3, 1..3),
+            seed in 0u64..10_000,
+        ) {
+            let n_rows = 160usize;
+            let dataset = generate_payment(n_rows, 5).unwrap();
+            let tracer = Tracer::enabled();
+            let mut builder = Experiment::builder("payment", dataset)
+                .seed(seed)
+                .tracer(tracer.clone());
+            builder = match missing {
+                0 => builder.missing_value_handler(CompleteCaseAnalysis),
+                1 => builder.missing_value_handler(ModeImputer),
+                _ => builder.missing_value_handler(MeanModeImputer),
+            };
+            if with_pre {
+                builder = builder.preprocessor(Reweighing);
+            }
+            if with_post {
+                builder = builder.postprocessor(RejectOptionClassification::default());
+            }
+            let mut any_tuned = false;
+            for &choice in &learners {
+                builder = match choice {
+                    0 => builder.learner(LogisticRegressionLearner { tuned: false }),
+                    1 => builder.learner(DecisionTreeLearner { tuned: false }),
+                    _ => {
+                        any_tuned = true;
+                        builder.learner(DecisionTreeLearner { tuned: true })
+                    }
+                };
+            }
+            let result = builder.build().unwrap().run().unwrap();
+
+            // The raw event stream obeys stack discipline: every exit
+            // matches the innermost open span and nothing is left open.
+            let events = tracer.span_events();
+            prop_assert!(validate_span_events(&events).is_ok(),
+                "{:?}", validate_span_events(&events));
+            prop_assert_eq!(events.iter().filter(|e| e.enter).count(), events.len() / 2);
+
+            let manifest = result.manifest.as_ref().unwrap();
+
+            // Root layout: split, one candidate per learner, select, evaluate.
+            let roots: Vec<&str> = manifest.spans.iter().map(|s| s.stage.as_str()).collect();
+            prop_assert_eq!(roots.first().copied(), Some("split"));
+            prop_assert_eq!(roots.last().copied(), Some("evaluate"));
+            prop_assert_eq!(
+                roots.iter().filter(|s| **s == "candidate").count(),
+                learners.len()
+            );
+            prop_assert_eq!(roots.iter().filter(|s| **s == "select").count(), 1);
+            prop_assert_eq!(manifest.spans.len(), learners.len() + 3);
+
+            // Every candidate runs the same stage sequence; postprocess
+            // appears exactly when a postprocessor is configured.
+            for (node, &choice) in manifest
+                .spans
+                .iter()
+                .filter(|s| s.stage == "candidate")
+                .zip(&learners)
+            {
+                let mut expected =
+                    vec!["impute", "preprocess", "scale", "train"];
+                if with_post {
+                    expected.push("postprocess");
+                }
+                expected.push("evaluate");
+                prop_assert_eq!(child_names(node), expected);
+                // A cross-validated learner nests `tune` under `train`.
+                let train = node
+                    .children
+                    .iter()
+                    .find(|c| c.stage == "train")
+                    .unwrap();
+                prop_assert_eq!(child_names(train), if choice == 2 { vec!["tune"] } else { Vec::new() });
+            }
+
+            // Counter consistency.
+            prop_assert_eq!(tracer.counter(Counter::RowsSeen), n_rows as u64);
+            prop_assert_eq!(
+                tracer.counter(Counter::CandidatesEvaluated),
+                learners.len() as u64
+            );
+            prop_assert_eq!(tracer.counter(Counter::JobsFailed), 0);
+            prop_assert!(manifest.failures.is_empty());
+            // A record-removing handler never imputes, and vice versa.
+            if missing == 0 {
+                prop_assert_eq!(tracer.counter(Counter::CellsImputed), 0);
+            } else {
+                prop_assert_eq!(tracer.counter(Counter::RowsDropped), 0);
+            }
+            // Fold counters appear exactly when some learner cross-validates.
+            if any_tuned {
+                prop_assert!(tracer.counter(Counter::FoldsEvaluated) > 0);
+            } else {
+                prop_assert_eq!(tracer.counter(Counter::FoldsEvaluated), 0);
+                prop_assert_eq!(tracer.counter(Counter::FoldCacheHits), 0);
+            }
+        }
+    }
+}

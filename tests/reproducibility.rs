@@ -83,6 +83,68 @@ fn seed_is_threaded_to_all_components_not_just_the_splitter() {
     assert!(!maps_equal(&a, &b), "candidate seeds are not independent");
 }
 
+/// Golden-trace suite: the canonical run manifest of each golden
+/// experiment must match the committed golden file byte-for-byte, at one
+/// thread *and* at eight. Any change to the lifecycle that alters the
+/// span structure, a counter, a component name, a partition size, or the
+/// output-metric digest shows up here as a diff against
+/// `tests/golden/*.json` (regenerate with
+/// `cargo run --example golden_trace` when the change is intentional).
+#[test]
+fn golden_trace_manifests_are_byte_stable() {
+    use fairprep::golden::{golden_canonical, GOLDEN_CASES};
+
+    let goldens: [(&str, &str); 2] = [
+        ("german-tuned", include_str!("golden/german_tuned.json")),
+        ("payment-impute", include_str!("golden/payment_impute.json")),
+    ];
+    assert_eq!(goldens.len(), GOLDEN_CASES.len());
+
+    for (case, golden) in goldens {
+        let at_one = golden_canonical(case, 1).unwrap();
+        let at_eight = golden_canonical(case, 8).unwrap();
+        assert_eq!(
+            at_one, at_eight,
+            "case `{case}`: canonical manifest differs between 1 and 8 threads"
+        );
+        assert_eq!(
+            at_one, golden,
+            "case `{case}`: canonical manifest drifted from tests/golden/ \
+             (regenerate with `cargo run --example golden_trace` if intentional)"
+        );
+    }
+}
+
+/// Consecutive runs of the same configuration serialize identically —
+/// the canonical projection contains no timing, ordering, or allocation
+/// artifacts.
+#[test]
+fn golden_trace_consecutive_runs_are_identical() {
+    use fairprep::golden::golden_canonical;
+    let first = golden_canonical("payment-impute", 2).unwrap();
+    let second = golden_canonical("payment-impute", 2).unwrap();
+    assert_eq!(first, second);
+}
+
+/// The full manifest embeds the canonical serialization as a literal
+/// prefix; only the `timing` section may differ run to run.
+#[test]
+fn full_manifest_embeds_canonical_prefix() {
+    use fairprep::golden::run_golden;
+    let result = run_golden("german-tuned", 2).unwrap();
+    let manifest = result.manifest.as_ref().unwrap();
+    let canonical = manifest.canonical();
+    let full = manifest.to_json();
+    let prefix = canonical.trim_end().trim_end_matches('}').trim_end();
+    assert!(
+        full.starts_with(prefix),
+        "canonical body must be a literal prefix of the full manifest"
+    );
+    assert!(full.contains("\"timing\""));
+    assert!(!canonical.contains("\"timing\""));
+    assert!(!canonical.contains("wall_ns"));
+}
+
 #[test]
 fn sweeps_are_reproducible_under_parallelism() {
     use fairprep_core::runner::{run_parallel, Job};
