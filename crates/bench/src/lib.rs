@@ -9,6 +9,7 @@
 #![warn(clippy::all)]
 
 pub mod plot;
+pub mod profile_report;
 pub mod trace_report;
 
 use std::path::PathBuf;

@@ -50,6 +50,13 @@ OPTIONS (run / sweep / audit):
   --postprocessor  none | reject-option | cal-eq-odds | eq-odds |
                    group-thresholds                                [none]
   --scaler         standard | min-max | none                       [standard]
+  --inject-missing RATE  blank cells in the first three non-protected
+                   feature columns before the run: unprivileged rows
+                   lose a cell with probability RATE, privileged rows
+                   with RATE/4 (the documented MAR-by-group adult
+                   pattern, §2.4). Deterministic; useful with
+                   --profile to watch complete-case analysis or
+                   imputation shift the data distribution         [off]
   --seed           master seed (run)                               [46947]
   --seeds          seed count (sweep)                              [8]
   --rows           dataset rows, 0 = full documented size          [0]
@@ -65,6 +72,14 @@ OPTIONS (run / sweep / audit):
                    byte-identical across runs and thread counts
   --trace-summary  print a human-readable stage/counter table
                    after the run (takes no value)
+  --profile        profile the dataset at every lifecycle boundary
+                   (raw -> split -> imputed -> preprocessed ->
+                   features -> predictions), diff adjacent stages
+                   (missingness, PSI, group balance, base rates),
+                   embed the result as the manifest's `profile`
+                   section, and surface threshold-crossing drifts
+                   as manifest warnings (takes no value; implies
+                   tracing)
 ";
 
 fn main() -> ExitCode {
@@ -113,11 +128,45 @@ fn load_any_dataset(
     } else {
         let dataset_name = inv.require("dataset")?;
         let rows = inv.parse_or::<usize>("rows", 0)?;
-        Ok((
-            dataset_name.to_string(),
-            build::load_dataset(dataset_name, rows, 20_19)?,
-        ))
+        let dataset = build::load_dataset(dataset_name, rows, 20_19)?;
+        Ok((dataset_name.to_string(), inject_missing(inv, dataset)?))
     }
+}
+
+/// Applies `--inject-missing RATE`: blanks cells in the first three
+/// non-protected feature columns under the documented MAR-by-group pattern
+/// (§2.4) — unprivileged rows lose a cell with probability RATE, privileged
+/// rows with RATE/4. Deterministic (fixed injection seed, like the dataset
+/// generators), so repeated invocations see identical missingness.
+fn inject_missing(
+    inv: &Invocation,
+    dataset: fairprep_data::dataset::BinaryLabelDataset,
+) -> Result<fairprep_data::dataset::BinaryLabelDataset, String> {
+    if !inv.options.contains_key("inject-missing") {
+        return Ok(dataset);
+    }
+    let rate = inv.parse_or::<f64>("inject-missing", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--inject-missing must be in [0, 1], got {rate}"));
+    }
+    let protected = dataset.protected().name.clone();
+    let targets: Vec<String> = dataset
+        .schema()
+        .feature_names()
+        .into_iter()
+        .filter(|c| *c != protected)
+        .take(3)
+        .map(ToString::to_string)
+        .collect();
+    let target_refs: Vec<&str> = targets.iter().map(String::as_str).collect();
+    let injector = fairprep_impute::inject::MissingnessInjector::new(
+        &target_refs,
+        fairprep_impute::inject::Mechanism::MarByGroup {
+            privileged_rate: rate / 4.0,
+            unprivileged_rate: rate,
+        },
+    );
+    injector.inject(&dataset, 20_19).map_err(|e| e.to_string())
 }
 
 fn build_experiment(
@@ -130,7 +179,8 @@ fn build_experiment(
     let builder = Experiment::builder(&dataset_name, dataset)
         .seed(seed)
         .threads(cv_threads)
-        .tracer(tracer);
+        .tracer(tracer)
+        .profile(inv.flag("profile"));
     build::configure(
         builder,
         inv.get_or("learner", "lr-tuned"),
@@ -146,7 +196,8 @@ fn cmd_run(inv: &Invocation) -> Result<(), String> {
     // A single run has no outer parallelism, so the whole thread budget
     // goes to the model-selection cross-validation.
     let threads = inv.parse_or::<usize>("threads", 1)?;
-    let tracing = inv.options.contains_key("trace") || inv.flag("trace-summary");
+    let tracing =
+        inv.options.contains_key("trace") || inv.flag("trace-summary") || inv.flag("profile");
     let tracer = if tracing {
         fairprep_trace::Tracer::enabled()
     } else {
@@ -204,7 +255,13 @@ fn cmd_run(inv: &Invocation) -> Result<(), String> {
             println!("run manifest    : {path}");
         }
         if inv.flag("trace-summary") {
+            // The summary already embeds the per-stage drift table when a
+            // profile was recorded.
             println!("\n{}", manifest.summary());
+        } else if inv.flag("profile") {
+            if let Some(profile) = &manifest.profile {
+                println!("\n{}", profile.drift_table());
+            }
         }
     }
     Ok(())
@@ -223,6 +280,11 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
             }
         })
         .collect();
+    // An explicit error beats the old silent `unwrap_or(&0)` fallback the
+    // sweep manifest used to record for an empty seed list.
+    let first_seed = *seeds
+        .first()
+        .ok_or_else(|| "sweep needs at least one seed (--seeds >= 1)".to_string())?;
 
     // Split the budget between the two levels: concurrent seeds on the
     // outside, cross-validation threads inside each run. The product never
@@ -294,7 +356,8 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
             .collect();
         let config = fairprep_trace::ManifestConfig {
             experiment: format!("sweep:{}", inv.get_or("dataset", "csv")),
-            seed: *seeds.first().unwrap_or(&0),
+            seed: first_seed,
+            seeds: seeds.clone(),
             thread_budget: threads,
             ..fairprep_trace::ManifestConfig::default()
         };
@@ -448,6 +511,92 @@ mod tests {
                 .get("experiment")
                 .and_then(fairprep_trace::json::Value::as_str),
             Some("german")
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profile_flag_embeds_profile_section_in_manifest() {
+        let path = std::env::temp_dir().join("fairprep_cli_test_profile_manifest.json");
+        let cmd = format!(
+            "run --dataset payment --rows 300 --learner dt --missing mode --seed 11 \
+             --profile --trace {}",
+            path.display()
+        );
+        execute(&argv(&cmd)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = fairprep_trace::json::parse(&text).unwrap();
+        let profile = value.get("profile").expect("profile section present");
+        let snapshots = profile
+            .get("snapshots")
+            .and_then(fairprep_trace::json::Value::as_array)
+            .unwrap();
+        assert!(snapshots.len() >= 2, "snapshots: {}", snapshots.len());
+        assert!(profile.get("diffs").is_some());
+        assert!(profile.get("predictions").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inject_missing_with_complete_case_surfaces_drift_warnings() {
+        let path = std::env::temp_dir().join("fairprep_cli_test_inject_manifest.json");
+        let cmd = format!(
+            "run --dataset german --rows 400 --learner lr --missing complete-case \
+             --inject-missing 0.4 --seed 7 --profile --trace {}",
+            path.display()
+        );
+        execute(&argv(&cmd)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = fairprep_trace::json::parse(&text).unwrap();
+        let warnings = value
+            .get("warnings")
+            .and_then(fairprep_trace::json::Value::as_array)
+            .unwrap();
+        let rendered: Vec<&str> = warnings.iter().filter_map(|w| w.as_str()).collect();
+        assert!(
+            rendered
+                .iter()
+                .any(|w| w.contains("group-disproportionate")),
+            "expected a disproportionate-drop warning, got {rendered:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inject_missing_rejects_out_of_range_rates() {
+        let err = execute(&argv(
+            "run --dataset german --rows 100 --inject-missing 1.5",
+        ))
+        .unwrap_err();
+        assert!(err.contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn sweep_rejects_empty_seed_list() {
+        let err = execute(&argv("sweep --dataset german --rows 150 --seeds 0")).unwrap_err();
+        assert!(err.contains("at least one seed"), "{err}");
+    }
+
+    #[test]
+    fn sweep_manifest_records_full_seed_list() {
+        let path = std::env::temp_dir().join("fairprep_cli_test_sweep_seeds_manifest.json");
+        let cmd = format!(
+            "sweep --dataset german --rows 150 --learner dt --seeds 3 --threads 2 --trace {}",
+            path.display()
+        );
+        execute(&argv(&cmd)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = fairprep_trace::json::parse(&text).unwrap();
+        let seeds = value
+            .get("seeds")
+            .and_then(fairprep_trace::json::Value::as_array)
+            .expect("seeds list present");
+        assert_eq!(seeds.len(), 3);
+        assert_eq!(
+            seeds[0].as_u64(),
+            value
+                .get("seed")
+                .and_then(fairprep_trace::json::Value::as_u64)
         );
         std::fs::remove_file(&path).ok();
     }

@@ -113,6 +113,7 @@ pub struct Experiment {
     pub(crate) stratified: bool,
     pub(crate) threads: usize,
     pub(crate) tracer: fairprep_trace::Tracer,
+    pub(crate) profile: bool,
 }
 
 impl Experiment {
@@ -138,6 +139,7 @@ impl Experiment {
                 stratified: false,
                 threads: 1,
                 tracer: fairprep_trace::Tracer::disabled(),
+                profile: false,
             },
         }
     }
@@ -246,12 +248,24 @@ impl ExperimentBuilder {
     }
 
     /// Attaches a tracer. An enabled tracer records stage spans, work
-    /// counters, and failures, and makes [`RunResult`](crate::results::RunResult)
+    /// counters, and failures, and makes [`RunResult`]
     /// carry a [`fairprep_trace::RunManifest`]. The default (disabled)
     /// tracer records nothing and adds no allocation to the run.
     #[must_use]
     pub fn tracer(mut self, tracer: fairprep_trace::Tracer) -> Self {
         self.inner.tracer = tracer;
+        self
+    }
+
+    /// Enables dataset profiling: the lifecycle snapshots a deterministic
+    /// profile of the data at every boundary (raw → split → imputed →
+    /// preprocessed → predictions), diffs adjacent snapshots, and embeds
+    /// the result as the manifest's `profile` section. Threshold-crossing
+    /// drifts surface as manifest `warnings`. Requires an enabled tracer
+    /// to have any effect.
+    #[must_use]
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.inner.profile = profile;
         self
     }
 

@@ -54,6 +54,7 @@ pub mod experiment;
 pub mod isolation;
 pub mod learners;
 pub mod lifecycle;
+pub(crate) mod profiling;
 pub mod results;
 pub mod runner;
 

@@ -29,10 +29,11 @@ use fairprep_fairness::preprocess::FittedPreprocessor;
 use fairprep_impute::FittedMissingValueHandler;
 use fairprep_ml::model::FittedClassifier;
 use fairprep_ml::transform::FittedFeaturizer;
-use fairprep_trace::{Counter, Gauge, ManifestConfig, RunManifest, Stage};
+use fairprep_trace::{Counter, Gauge, ManifestConfig, RunManifest, Stage, Tracer};
 
 use crate::experiment::Experiment;
 use crate::isolation::TestSetVault;
+use crate::profiling::ProfileBuilder;
 use crate::results::{CandidateEvaluation, RunMetadata, RunResult};
 
 /// One candidate's fully-fitted chain, frozen after phase 1.
@@ -59,7 +60,7 @@ impl FittedPipeline {
     /// test): handle missing values with *training* statistics, apply the
     /// feature-repairing part of the intervention, featurize with
     /// *training* statistics, score, and (if fitted) post-process.
-    fn evaluate(&self, data: &BinaryLabelDataset) -> Result<EvaluatedSplit> {
+    fn evaluate(&self, data: &BinaryLabelDataset, tracer: &Tracer) -> Result<EvaluatedSplit> {
         let incomplete_before: Vec<bool> = (0..data.n_rows())
             .map(|i| data.frame().row_has_missing(i))
             .collect();
@@ -70,7 +71,7 @@ impl FittedPipeline {
             Some(incomplete_before)
         };
         let repaired = self.preprocessor.transform_eval(&completed)?;
-        let x = self.featurizer.transform(&repaired)?;
+        let x = self.featurizer.transform_traced(&repaired, tracer)?;
         let scores = self.model.predict_proba(&x)?;
         let privileged = repaired.privileged_mask().to_vec();
         let y_pred = match &self.postprocessor {
@@ -118,6 +119,16 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
     let tracer = exp.tracer.clone();
     tracer.add(Counter::RowsSeen, exp.dataset.n_rows() as u64);
 
+    // Data profiling rides on the tracer: snapshots are taken at each
+    // boundary where a fitted component rewrites the data, and adjacent
+    // snapshots are diffed into the manifest's `profile` section. All
+    // snapshots happen in this sequential function, so the section is as
+    // byte-stable as the rest of the canonical manifest.
+    let mut profiler = (tracer.is_enabled() && exp.profile).then(ProfileBuilder::new);
+    if let Some(p) = profiler.as_mut() {
+        p.snapshot("raw", &exp.dataset, &tracer);
+    }
+
     // The split is the first operation on the raw data; the test partition
     // is sealed immediately.
     let mut lineage: Vec<String> = Vec::new();
@@ -148,6 +159,9 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
     let vault = TestSetVault::seal(split.test);
     let raw_train = split.train;
     let raw_validation = split.validation;
+    if let Some(p) = profiler.as_mut() {
+        p.snapshot("train_split", &raw_train, &tracer);
+    }
 
     // ---------------- Phase 1: fit every candidate ----------------
     let resampled = exp
@@ -159,6 +173,11 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
         raw_train.n_rows(),
         resampled.n_rows()
     ));
+    if exp.resampler.name() != "no_resampling" {
+        if let Some(p) = profiler.as_mut() {
+            p.snapshot("resampled", &resampled, &tracer);
+        }
+    }
 
     let mut pipelines = Vec::with_capacity(exp.learners.len());
     let mut candidates = Vec::with_capacity(exp.learners.len());
@@ -182,6 +201,13 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
                 resampled.n_rows(),
                 completed_train.n_rows()
             ));
+            // Every candidate shares the missing-value strategy, the
+            // preprocessor, and the featurizer configuration, so the
+            // per-boundary data snapshots are taken from the first
+            // candidate's chain only.
+            if let Some(p) = profiler.as_mut() {
+                p.snapshot("train_imputed", &completed_train, &tracer);
+            }
         }
 
         // Pre-processing intervention: fitted on training data only.
@@ -200,6 +226,9 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
                 "phase1: fit intervention {} on train only",
                 exp.preprocessor.name()
             ));
+            if let Some(p) = profiler.as_mut() {
+                p.snapshot("train_preprocessed", &train, &tracer);
+            }
         }
 
         // Featurizer: scaler statistics and one-hot dictionaries from the
@@ -216,6 +245,9 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
                 exp.scaler.name(),
                 featurizer.n_features()
             ));
+            if let Some(p) = profiler.as_mut() {
+                p.features(&x_train);
+            }
         }
 
         // Model training, with the experiment's inner thread budget for
@@ -248,7 +280,7 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
         // The pre-adjustment validation replay feeds only this fit, so it
         // is computed inside the branch.
         if let Some(post) = &exp.postprocessor {
-            let pre_post_val = pipeline.evaluate(&raw_validation)?;
+            let pre_post_val = pipeline.evaluate(&raw_validation, &tracer)?;
             pipeline.postprocessor = Some(post.fit_traced(
                 &pre_post_val.scores,
                 &pre_post_val.y_true,
@@ -268,7 +300,7 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
         let (train_report, validation_report) = {
             let _span = tracer.span(Stage::Evaluate);
             let train_eval = pipeline.evaluate_train_view(&train, &x_train)?;
-            let val_eval = pipeline.evaluate(&raw_validation)?;
+            let val_eval = pipeline.evaluate(&raw_validation, &tracer)?;
             (train_eval.report()?, val_eval.report()?)
         };
         candidates.push(CandidateEvaluation {
@@ -301,7 +333,11 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
     let chosen = &pipelines[selected];
     let test_report = {
         let _span = tracer.span(Stage::Evaluate);
-        chosen.evaluate_sealed(&vault)?.report()?
+        let test_eval = chosen.evaluate_sealed(&vault, &tracer)?;
+        if let Some(p) = profiler.as_mut() {
+            p.predictions(&test_eval.y_pred, &test_eval.y_true, &test_eval.privileged)?;
+        }
+        test_eval.report()?
     };
     lineage.push(format!(
         "phase3: replayed frozen chain of candidate {selected} on the sealed test set          ({} rows)",
@@ -333,6 +369,9 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
         let config = ManifestConfig {
             experiment: metadata.experiment.clone(),
             seed,
+            // A single run has no sweep; the seed list stays empty and the
+            // canonical manifest omits it.
+            seeds: Vec::new(),
             split: exp.split.describe(),
             stratified: exp.stratified,
             components: vec![
@@ -350,7 +389,11 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
             partition_sizes,
             thread_budget: exp.threads,
         };
-        Some(RunManifest::from_tracer(&tracer, config, digest))
+        let manifest = RunManifest::from_tracer(&tracer, config, digest);
+        Some(match profiler.take() {
+            Some(p) => manifest.with_profile(p.finish()),
+            None => manifest,
+        })
     } else {
         None
     };
@@ -392,8 +435,8 @@ impl FittedPipeline {
 
     /// Phase-3 evaluation against the sealed vault. This is the *only*
     /// place test data is read, and it happens inside the framework.
-    fn evaluate_sealed(&self, vault: &TestSetVault) -> Result<EvaluatedSplit> {
-        let mut eval = self.evaluate(vault.data())?;
+    fn evaluate_sealed(&self, vault: &TestSetVault, tracer: &Tracer) -> Result<EvaluatedSplit> {
+        let mut eval = self.evaluate(vault.data(), tracer)?;
         // The vault recorded incompleteness before any processing; prefer
         // it over the recomputed mask (identical, but authoritative).
         if eval.incomplete.is_some() {
@@ -515,6 +558,60 @@ mod tests {
             .unwrap();
         assert_eq!(result.metadata.postprocessor, "reject_option(bound=0.05)");
         assert!(result.test_report.overall.accuracy > 0.4);
+    }
+
+    #[test]
+    fn profile_section_snapshots_every_boundary() {
+        use fairprep_trace::Tracer;
+        let make = || {
+            Experiment::builder("payment", generate_payment(500, 7).unwrap())
+                .seed(9)
+                .missing_value_handler(ModeImputer)
+                .preprocessor(Reweighing)
+                .learner(DecisionTreeLearner { tuned: false })
+                .tracer(Tracer::enabled())
+                .profile(true)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let result = make();
+        let manifest = result.manifest.as_ref().unwrap();
+        let profile = manifest.profile.as_ref().unwrap();
+        let stages: Vec<&str> = profile.snapshots.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(
+            stages,
+            vec!["raw", "train_split", "train_imputed", "train_preprocessed"]
+        );
+        // Adjacent snapshots are diffed pairwise.
+        assert_eq!(profile.diffs.len(), stages.len() - 1);
+        assert!(profile.features.is_some());
+        let pred = profile.predictions.as_ref().unwrap();
+        assert_eq!(pred.rows as usize, result.metadata.partition_sizes.2);
+        // The profile section is deterministic: a second identical run
+        // produces byte-identical canonical manifests.
+        let again = make();
+        assert_eq!(
+            manifest.canonical(),
+            again.manifest.as_ref().unwrap().canonical()
+        );
+    }
+
+    #[test]
+    fn profiling_off_leaves_manifest_without_profile_section() {
+        use fairprep_trace::Tracer;
+        let result = Experiment::builder("german", generate_german(150, 3).unwrap())
+            .seed(4)
+            .learner(DecisionTreeLearner { tuned: false })
+            .tracer(Tracer::enabled())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let manifest = result.manifest.as_ref().unwrap();
+        assert!(manifest.profile.is_none());
+        assert!(!manifest.canonical().contains("\"profile\""));
     }
 
     #[test]

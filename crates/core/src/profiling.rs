@@ -1,0 +1,269 @@
+//! Bridges data-side profiling sketches into manifest records.
+//!
+//! The lifecycle snapshots the dataset at every boundary where a fitted
+//! component rewrites it (split, resampling, imputation, repair,
+//! featurization, prediction). [`ProfileBuilder`] computes the
+//! [`fairprep_data::profile`] sketches at each boundary, diffs adjacent
+//! snapshots, converts both into the dependency-free record types of
+//! `fairprep_trace`, and records threshold-crossing drifts as manifest
+//! warnings. Everything captured here is a pure function of
+//! `(configuration, data, seed)`, so the resulting `profile` section is
+//! byte-stable across thread budgets and repeated runs.
+
+use fairprep_data::dataset::BinaryLabelDataset;
+use fairprep_data::error::Result;
+use fairprep_data::profile::{dataset_drift, ColumnProfile, DatasetDrift, DatasetProfile};
+use fairprep_fairness::metrics::decision_rates;
+use fairprep_ml::matrix::Matrix;
+use fairprep_trace::{
+    ColumnDriftRecord, ColumnProfileRecord, DataProfile, FeatureSpaceRecord, GroupLabelRecord,
+    PredictionRecord, ProfileDiffRecord, SnapshotRecord, Tracer,
+};
+
+/// Accumulates dataset snapshots across the lifecycle and assembles the
+/// manifest's `profile` section.
+pub(crate) struct ProfileBuilder {
+    profile: DataProfile,
+    /// Previous boundary: stage name, the dataset itself (the PSI bins raw
+    /// values into the baseline's quantile edges), and its profile.
+    last: Option<(String, BinaryLabelDataset, DatasetProfile)>,
+}
+
+impl ProfileBuilder {
+    pub(crate) fn new() -> ProfileBuilder {
+        ProfileBuilder {
+            profile: DataProfile::default(),
+            last: None,
+        }
+    }
+
+    /// Profiles `data` at the boundary named `stage`, diffs it against the
+    /// previous snapshot, and records threshold-crossing drifts as
+    /// warnings on `tracer`. Must only be called from the sequential
+    /// lifecycle function (warnings are order-sensitive).
+    pub(crate) fn snapshot(&mut self, stage: &str, data: &BinaryLabelDataset, tracer: &Tracer) {
+        let profile = DatasetProfile::compute(data);
+        if let Some((prev_stage, prev_data, prev_profile)) = &self.last {
+            let drift = dataset_drift(prev_data, prev_profile, data, &profile);
+            for warning in drift.warnings(prev_stage, stage) {
+                tracer.record_warning(warning);
+            }
+            self.profile
+                .diffs
+                .push(diff_record(prev_stage, stage, &drift));
+        }
+        self.profile
+            .snapshots
+            .push(snapshot_record(stage, &profile));
+        self.last = Some((stage.to_string(), data.clone(), profile));
+    }
+
+    /// Records the shape and moments of the featurized design matrix.
+    pub(crate) fn features(&mut self, x: &Matrix) {
+        let data = x.data();
+        let n = data.len();
+        let (mean, std_dev, min, max) = if n == 0 {
+            (f64::NAN, f64::NAN, f64::NAN, f64::NAN)
+        } else {
+            let mean = data.iter().sum::<f64>() / n as f64;
+            let var = data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+            let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            (mean, var.sqrt(), min, max)
+        };
+        self.profile.features = Some(FeatureSpaceRecord {
+            rows: x.n_rows() as u64,
+            dims: x.n_cols() as u64,
+            mean,
+            std_dev,
+            min,
+            max,
+        });
+    }
+
+    /// Records the selected pipeline's sealed-test decision rates next to
+    /// the label base rates of the same rows, making prediction-vs-label
+    /// shifts directly readable from the manifest.
+    pub(crate) fn predictions(
+        &mut self,
+        y_pred: &[f64],
+        y_true: &[f64],
+        privileged: &[bool],
+    ) -> Result<()> {
+        let decisions = decision_rates(y_pred, privileged)?;
+        let labels = decision_rates(y_true, privileged)?;
+        self.profile.predictions = Some(PredictionRecord {
+            rows: y_pred.len() as u64,
+            positive_rate: decisions.overall,
+            privileged_positive_rate: decisions.privileged,
+            unprivileged_positive_rate: decisions.unprivileged,
+            base_rate: labels.overall,
+            privileged_base_rate: labels.privileged,
+            unprivileged_base_rate: labels.unprivileged,
+            statistical_parity_difference: decisions.statistical_parity_difference(),
+        });
+        Ok(())
+    }
+
+    pub(crate) fn finish(self) -> DataProfile {
+        self.profile
+    }
+}
+
+fn snapshot_record(stage: &str, profile: &DatasetProfile) -> SnapshotRecord {
+    SnapshotRecord {
+        stage: stage.to_string(),
+        rows: profile.rows,
+        columns: profile
+            .columns
+            .iter()
+            .map(|(name, col)| (name.clone(), column_record(col)))
+            .collect(),
+        group_label: GroupLabelRecord {
+            privileged_favorable: profile.group_label.privileged_favorable,
+            privileged_unfavorable: profile.group_label.privileged_unfavorable,
+            unprivileged_favorable: profile.group_label.unprivileged_favorable,
+            unprivileged_unfavorable: profile.group_label.unprivileged_unfavorable,
+            privileged_share: profile.group_label.privileged_share(),
+            base_rate: profile.group_label.base_rate(),
+            privileged_base_rate: profile.group_label.privileged_base_rate(),
+            unprivileged_base_rate: profile.group_label.unprivileged_base_rate(),
+        },
+    }
+}
+
+fn column_record(col: &ColumnProfile) -> ColumnProfileRecord {
+    match col {
+        ColumnProfile::Numeric {
+            count,
+            missing,
+            mean,
+            std_dev,
+            min,
+            max,
+            quantiles,
+        } => ColumnProfileRecord::Numeric {
+            count: *count,
+            missing: *missing,
+            mean: *mean,
+            std_dev: *std_dev,
+            min: *min,
+            max: *max,
+            quantiles: quantiles.clone(),
+        },
+        ColumnProfile::Categorical {
+            count,
+            missing,
+            cardinality,
+            top,
+        } => ColumnProfileRecord::Categorical {
+            count: *count,
+            missing: *missing,
+            cardinality: *cardinality,
+            top: top.clone(),
+        },
+    }
+}
+
+fn diff_record(from: &str, to: &str, drift: &DatasetDrift) -> ProfileDiffRecord {
+    ProfileDiffRecord {
+        from: from.to_string(),
+        to: to.to_string(),
+        row_delta: drift.row_delta,
+        privileged_share_delta: drift.privileged_share_delta,
+        base_rate_delta: drift.base_rate_delta,
+        privileged_base_rate_delta: drift.privileged_base_rate_delta,
+        unprivileged_base_rate_delta: drift.unprivileged_base_rate_delta,
+        columns: drift
+            .columns
+            .iter()
+            .map(|c| ColumnDriftRecord {
+                name: c.name.clone(),
+                missing_delta: c.missing_delta,
+                psi: c.psi,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairprep_data::column::{Column, ColumnKind};
+    use fairprep_data::frame::DataFrame;
+    use fairprep_data::schema::{ProtectedAttribute, Schema};
+
+    fn dataset(scores: &[f64], groups: &[&str], labels: &[&str]) -> BinaryLabelDataset {
+        let frame = DataFrame::new()
+            .with_column("score", Column::from_f64(scores.iter().copied()))
+            .unwrap()
+            .with_column("g", Column::from_strs(groups.iter().copied()))
+            .unwrap()
+            .with_column("y", Column::from_strs(labels.iter().copied()))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("score")
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
+        BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "p",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshots_and_diffs_accumulate_in_order() {
+        let a = dataset(
+            &[1.0, 2.0, 3.0, 4.0],
+            &["a", "b", "a", "b"],
+            &["p", "n", "p", "n"],
+        );
+        let b = dataset(&[1.0, 3.0, 2.0], &["a", "a", "b"], &["p", "p", "p"]);
+        let tracer = Tracer::enabled();
+        let mut builder = ProfileBuilder::new();
+        builder.snapshot("raw", &a, &tracer);
+        builder.snapshot("train_split", &b, &tracer);
+        let profile = builder.finish();
+        assert_eq!(profile.snapshots.len(), 2);
+        assert_eq!(profile.diffs.len(), 1);
+        assert_eq!(profile.diffs[0].from, "raw");
+        assert_eq!(profile.diffs[0].to, "train_split");
+        assert_eq!(profile.diffs[0].row_delta, -1);
+        // The privileged share jumped from 0.5 to 2/3 and the base rate
+        // from 0.5 to 1.0 — both cross the warn thresholds.
+        let warnings = tracer.warnings();
+        assert!(
+            warnings.iter().any(|w| w.contains("share")),
+            "warnings: {warnings:?}"
+        );
+        assert!(
+            warnings.iter().any(|w| w.contains("base rate")),
+            "warnings: {warnings:?}"
+        );
+    }
+
+    #[test]
+    fn features_and_predictions_round_trip() {
+        let mut builder = ProfileBuilder::new();
+        let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 3.0]]).unwrap();
+        builder.features(&x);
+        builder
+            .predictions(&[1.0, 0.0], &[1.0, 1.0], &[true, false])
+            .unwrap();
+        let profile = builder.finish();
+        let f = profile.features.unwrap();
+        assert_eq!(f.rows, 2);
+        assert_eq!(f.dims, 2);
+        assert!((f.mean - 1.5).abs() < 1e-12);
+        assert!((f.min - 0.0).abs() < 1e-12);
+        assert!((f.max - 3.0).abs() < 1e-12);
+        let p = profile.predictions.unwrap();
+        assert_eq!(p.rows, 2);
+        assert!((p.positive_rate - 0.5).abs() < 1e-12);
+        assert!((p.base_rate - 1.0).abs() < 1e-12);
+        assert!((p.statistical_parity_difference - (0.0 - 1.0)).abs() < 1e-12);
+    }
+}

@@ -49,6 +49,7 @@ pub mod dataset;
 pub mod error;
 pub mod frame;
 pub mod parallel;
+pub mod profile;
 pub mod provenance;
 pub mod resample;
 pub mod rng;

@@ -85,6 +85,62 @@ impl DatasetMetrics {
     }
 }
 
+/// Positive-decision rates of a prediction (or label) vector, overall and
+/// per protected group — the minimal inputs for statistical-parity-style
+/// drift checks on model outputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionRates {
+    /// Overall positive rate.
+    pub overall: f64,
+    /// Positive rate within the privileged group (`NaN` when empty).
+    pub privileged: f64,
+    /// Positive rate within the unprivileged group (`NaN` when empty).
+    pub unprivileged: f64,
+}
+
+impl DecisionRates {
+    /// `unprivileged − privileged` — statistical parity difference of the
+    /// decisions.
+    #[must_use]
+    pub fn statistical_parity_difference(&self) -> f64 {
+        self.unprivileged - self.privileged
+    }
+}
+
+/// Computes [`DecisionRates`] from 0/1 decisions and the privileged-group
+/// mask. Values are treated as positive when `>= 0.5`, matching the label
+/// encoding used across the workspace.
+pub fn decision_rates(decisions: &[f64], privileged_mask: &[bool]) -> Result<DecisionRates> {
+    if decisions.len() != privileged_mask.len() {
+        return Err(Error::LengthMismatch {
+            expected: decisions.len(),
+            actual: privileged_mask.len(),
+        });
+    }
+    if decisions.is_empty() {
+        return Err(Error::EmptyData("decision rates input".to_string()));
+    }
+    let mut counts = [0usize; 2];
+    let mut pos = [0usize; 2];
+    for (d, &p) in decisions.iter().zip(privileged_mask) {
+        let g = usize::from(p);
+        counts[g] += 1;
+        pos[g] += usize::from(*d >= 0.5);
+    }
+    let rate = |g: usize| {
+        if counts[g] > 0 {
+            pos[g] as f64 / counts[g] as f64
+        } else {
+            f64::NAN
+        }
+    };
+    Ok(DecisionRates {
+        overall: pos.iter().sum::<usize>() as f64 / decisions.len() as f64,
+        privileged: rate(1),
+        unprivileged: rate(0),
+    })
+}
+
 /// Consistency [Zemel et al., ICML'13]: `1 − mean_i |y_i − mean_{j∈kNN(i)} y_j|`
 /// over the featurized dataset — 1.0 when similar individuals always share
 /// a label. `x` must be the featurized (complete, scaled) view of the rows
@@ -224,6 +280,24 @@ mod tests {
         assert!(consistency(&x, &y, 0).is_err());
         assert!(consistency(&x, &y, 5).is_err());
         assert!(consistency(&x, &y[..3], 2).is_err());
+    }
+
+    #[test]
+    fn decision_rates_split_by_group() {
+        let decisions = [1.0, 0.0, 1.0, 0.0, 1.0, 1.0];
+        let mask = [true, true, true, false, false, false];
+        let r = decision_rates(&decisions, &mask).unwrap();
+        assert!((r.overall - 4.0 / 6.0).abs() < 1e-12);
+        assert!((r.privileged - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.unprivileged - 2.0 / 3.0).abs() < 1e-12);
+        assert!(r.statistical_parity_difference().abs() < 1e-12);
+        // Single-group input leaves the absent group's rate NaN.
+        let solo = decision_rates(&[1.0, 0.0], &[true, true]).unwrap();
+        assert!(solo.unprivileged.is_nan());
+        assert!((solo.privileged - 0.5).abs() < 1e-12);
+        // Length mismatch and empty input are rejected.
+        assert!(decision_rates(&[1.0], &[true, false]).is_err());
+        assert!(decision_rates(&[], &[]).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@ pub mod difference;
 pub mod group;
 pub mod report;
 
-pub use dataset::{consistency, DatasetMetrics};
+pub use dataset::{consistency, decision_rates, DatasetMetrics, DecisionRates};
 pub use difference::DifferenceMetrics;
 pub use group::{coefficient_of_variation, generalized_entropy_index, theil_index, GroupMetrics};
 pub use report::{MetricsReport, ReportInputs};

@@ -32,6 +32,7 @@ pub mod model_based;
 use fairprep_data::column::{Column, OwnedValue};
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
+use fairprep_data::profile::GROUP_BALANCE_WARN_THRESHOLD;
 use fairprep_trace::{Counter, Stage, Tracer};
 
 pub use model_based::ModelBasedImputer;
@@ -86,6 +87,11 @@ pub trait FittedMissingValueHandler: Send + Sync {
     /// (`rows_dropped`) or cells filled in by imputing ones
     /// (`cells_imputed`). Both are pure functions of the data, so they
     /// are safe for the canonical manifest.
+    ///
+    /// Record-dropping strategies additionally compare per-group drop
+    /// rates and record a manifest warning when they diverge by at least
+    /// [`GROUP_BALANCE_WARN_THRESHOLD`] — the §2.4 failure mode where
+    /// complete-case analysis silently erodes one protected group.
     fn handle_missing_traced(
         &self,
         data: &BinaryLabelDataset,
@@ -95,10 +101,11 @@ pub trait FittedMissingValueHandler: Send + Sync {
         let rows_before = data.n_rows();
         let out = self.handle_missing(data)?;
         if self.removes_records() {
-            tracer.add(
-                Counter::RowsDropped,
-                rows_before.saturating_sub(out.n_rows()) as u64,
-            );
+            let dropped = rows_before.saturating_sub(out.n_rows()) as u64;
+            tracer.add(Counter::RowsDropped, dropped);
+            if dropped > 0 {
+                warn_on_disproportionate_drop(data, &out, tracer);
+            }
         } else {
             tracer.add(
                 Counter::CellsImputed,
@@ -106,6 +113,32 @@ pub trait FittedMissingValueHandler: Send + Sync {
             );
         }
         Ok(out)
+    }
+}
+
+/// Records a tracer warning when record removal hits one protected group
+/// at a rate at least [`GROUP_BALANCE_WARN_THRESHOLD`] apart from the
+/// other's.
+fn warn_on_disproportionate_drop(
+    before: &BinaryLabelDataset,
+    after: &BinaryLabelDataset,
+    tracer: &Tracer,
+) {
+    let count = |mask: &[bool], privileged: bool| mask.iter().filter(|&&p| p == privileged).count();
+    let priv_before = count(before.privileged_mask(), true);
+    let unpriv_before = count(before.privileged_mask(), false);
+    if priv_before == 0 || unpriv_before == 0 {
+        return;
+    }
+    let priv_rate = priv_before.saturating_sub(count(after.privileged_mask(), true)) as f64
+        / priv_before as f64;
+    let unpriv_rate = unpriv_before.saturating_sub(count(after.privileged_mask(), false)) as f64
+        / unpriv_before as f64;
+    if (priv_rate - unpriv_rate).abs() >= GROUP_BALANCE_WARN_THRESHOLD {
+        tracer.record_warning(format!(
+            "record dropping is group-disproportionate: privileged drop rate \
+             {priv_rate:.3} vs unprivileged {unpriv_rate:.3}"
+        ));
     }
 }
 
@@ -388,6 +421,77 @@ mod tests {
         .unwrap();
         assert!(ModeImputer.fit(&ds, 0).is_err());
         assert!(MeanModeImputer.fit(&ds, 0).is_err());
+    }
+
+    #[test]
+    fn disproportionate_drop_records_a_warning() {
+        use fairprep_trace::Tracer;
+        // All missingness sits in the unprivileged group "b": dropping
+        // incomplete rows erases it at rate 1.0 vs 0.0 for "a".
+        let frame = DataFrame::new()
+            .with_column(
+                "age",
+                Column::from_optional_f64([Some(20.0), None, Some(40.0), None, Some(30.0)]),
+            )
+            .unwrap()
+            .with_column("g", Column::from_strs(["a", "b", "a", "b", "a"]))
+            .unwrap()
+            .with_column("y", Column::from_strs(["p", "n", "p", "n", "p"]))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("age")
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
+        let ds = BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "p",
+        )
+        .unwrap();
+        let tracer = Tracer::enabled();
+        let fitted = CompleteCaseAnalysis.fit(&ds, 0).unwrap();
+        let out = fitted.handle_missing_traced(&ds, &tracer).unwrap();
+        assert_eq!(out.n_rows(), 3);
+        let warnings = tracer.warnings();
+        assert_eq!(warnings.len(), 1);
+        assert!(
+            warnings[0].contains("group-disproportionate"),
+            "unexpected warning: {}",
+            warnings[0]
+        );
+        assert!(warnings[0].contains("1.000") && warnings[0].contains("0.000"));
+    }
+
+    #[test]
+    fn balanced_drop_stays_silent() {
+        use fairprep_trace::Tracer;
+        // One incomplete row per two-row group: both drop rates are 0.5.
+        let frame = DataFrame::new()
+            .with_column(
+                "age",
+                Column::from_optional_f64([None, None, Some(40.0), Some(50.0)]),
+            )
+            .unwrap()
+            .with_column("g", Column::from_strs(["a", "b", "a", "b"]))
+            .unwrap()
+            .with_column("y", Column::from_strs(["p", "n", "p", "n"]))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("age")
+            .metadata("g", ColumnKind::Categorical)
+            .label("y");
+        let ds = BinaryLabelDataset::new(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("g", &["a"]),
+            "p",
+        )
+        .unwrap();
+        let tracer = Tracer::enabled();
+        let fitted = CompleteCaseAnalysis.fit(&ds, 0).unwrap();
+        fitted.handle_missing_traced(&ds, &tracer).unwrap();
+        assert!(tracer.warnings().is_empty());
     }
 
     #[test]

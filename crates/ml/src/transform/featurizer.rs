@@ -13,6 +13,7 @@
 use fairprep_data::column::Value;
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
+use fairprep_trace::{Counter, Tracer};
 
 use crate::matrix::Matrix;
 use crate::transform::onehot::OneHotEncoder;
@@ -106,6 +107,24 @@ impl FittedFeaturizer {
     /// Transforms any split (train/validation/test) of the schema the
     /// featurizer was fitted on into a feature matrix.
     pub fn transform(&self, dataset: &BinaryLabelDataset) -> Result<Matrix> {
+        self.transform_impl(dataset).map(|(out, _)| out)
+    }
+
+    /// Like [`FittedFeaturizer::transform`], additionally counting the
+    /// categorical cells routed to the unseen-category indicator slot into
+    /// [`Counter::UnseenCategories`]. The count is a pure function of the
+    /// data, so it is safe for the canonical manifest.
+    pub fn transform_traced(
+        &self,
+        dataset: &BinaryLabelDataset,
+        tracer: &Tracer,
+    ) -> Result<Matrix> {
+        let (out, unseen) = self.transform_impl(dataset)?;
+        tracer.add(Counter::UnseenCategories, unseen);
+        Ok(out)
+    }
+
+    fn transform_impl(&self, dataset: &BinaryLabelDataset) -> Result<(Matrix, u64)> {
         let n = dataset.n_rows();
         let d = self.n_features();
         let mut out = Matrix::zeros(n, d);
@@ -127,6 +146,7 @@ impl FittedFeaturizer {
         }
 
         // Categorical blocks.
+        let mut unseen = 0u64;
         let mut offset = self.numeric_names.len();
         for (name, enc) in self.categorical_names.iter().zip(&self.encoders) {
             let col = dataset.frame().column(name)?;
@@ -142,6 +162,11 @@ impl FittedFeaturizer {
                         })
                     }
                 };
+                if let Some(v) = value.as_deref() {
+                    if enc.categories().iter().all(|c| c != v) {
+                        unseen += 1;
+                    }
+                }
                 enc.encode_into(
                     value.as_deref(),
                     &mut out.row_mut(i)[offset..offset + width],
@@ -153,7 +178,7 @@ impl FittedFeaturizer {
         // Carry the lifecycle tag into matrix form so downstream model
         // fits can reject test data too.
         out.set_provenance(dataset.provenance());
-        Ok(out)
+        Ok((out, unseen))
     }
 }
 
@@ -235,6 +260,22 @@ mod tests {
         let unseen_ix = names.iter().position(|n| n == "job=<unseen>").unwrap();
         assert_eq!(m.get(0, unseen_ix), 1.0);
         assert_eq!(m.get(1, unseen_ix), 0.0);
+    }
+
+    #[test]
+    fn transform_traced_counts_test_only_categories() {
+        let train = dataset(&["clerk", "chef", "clerk", "chef"], &[1.0, 2.0, 3.0, 4.0]);
+        let test = dataset(&["pilot", "clerk", "pilot", "clerk"], &[1.0, 2.0, 3.0, 4.0]);
+        let f = FittedFeaturizer::fit(&train, ScalerSpec::NoScaling).unwrap();
+        let tracer = Tracer::enabled();
+        // Training data contains no unseen categories by construction.
+        f.transform_traced(&train, &tracer).unwrap();
+        assert_eq!(tracer.counter(Counter::UnseenCategories), 0);
+        // "pilot" appears only in the test split: two rows route to the
+        // unseen slot and the counter records both.
+        let m = f.transform_traced(&test, &tracer).unwrap();
+        assert_eq!(tracer.counter(Counter::UnseenCategories), 2);
+        assert_eq!(m, f.transform(&test).unwrap());
     }
 
     #[test]

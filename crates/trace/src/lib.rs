@@ -27,8 +27,13 @@
 
 pub mod json;
 pub mod manifest;
+pub mod profile;
 
 pub use manifest::{ManifestConfig, RunManifest, SpanNode};
+pub use profile::{
+    ColumnDriftRecord, ColumnProfileRecord, DataProfile, FeatureSpaceRecord, GroupLabelRecord,
+    PredictionRecord, ProfileDiffRecord, SnapshotRecord,
+};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -116,10 +121,13 @@ pub enum Counter {
     CandidatesEvaluated,
     /// Runner jobs that returned an error (see the `failures` array).
     JobsFailed,
+    /// Categorical values routed to the one-hot encoder's unseen slot at
+    /// transform time (categories absent from the training dictionary).
+    UnseenCategories,
 }
 
 /// All counters, in the stable order used by manifests.
-pub const COUNTERS: [Counter; 8] = [
+pub const COUNTERS: [Counter; 9] = [
     Counter::RowsSeen,
     Counter::CellsImputed,
     Counter::RowsDropped,
@@ -128,6 +136,7 @@ pub const COUNTERS: [Counter; 8] = [
     Counter::CandidatesPruned,
     Counter::CandidatesEvaluated,
     Counter::JobsFailed,
+    Counter::UnseenCategories,
 ];
 
 impl Counter {
@@ -142,6 +151,7 @@ impl Counter {
             Counter::CandidatesPruned => "candidates_pruned",
             Counter::CandidatesEvaluated => "candidates_evaluated",
             Counter::JobsFailed => "jobs_failed",
+            Counter::UnseenCategories => "unseen_categories",
         }
     }
 
@@ -155,6 +165,7 @@ impl Counter {
             Counter::CandidatesPruned => 5,
             Counter::CandidatesEvaluated => 6,
             Counter::JobsFailed => 7,
+            Counter::UnseenCategories => 8,
         }
     }
 }
@@ -206,6 +217,7 @@ struct Inner {
     origin: Instant,
     events: Mutex<Vec<SpanEvent>>,
     failures: Mutex<Vec<String>>,
+    warnings: Mutex<Vec<String>>,
     counters: [AtomicU64; COUNTERS.len()],
     gauges: [AtomicU64; GAUGES.len()],
 }
@@ -236,6 +248,7 @@ impl Tracer {
                 origin: Instant::now(),
                 events: Mutex::new(Vec::new()),
                 failures: Mutex::new(Vec::new()),
+                warnings: Mutex::new(Vec::new()),
                 counters: Default::default(),
                 gauges: Default::default(),
             })),
@@ -302,6 +315,21 @@ impl Tracer {
         }
     }
 
+    /// Records a drift warning (surfaced, deduplicated, in the
+    /// manifest's `warnings`). Warnings describe threshold-crossing but
+    /// non-fatal data conditions; like spans, they must only be recorded
+    /// from sequential sections of the lifecycle so their first-seen
+    /// order is independent of the thread budget.
+    pub fn record_warning(&self, message: String) {
+        if let Some(inner) = &self.inner {
+            inner
+                .warnings
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(message);
+        }
+    }
+
     /// Current value of a counter (0 when disabled).
     pub fn counter(&self, counter: Counter) -> u64 {
         match &self.inner {
@@ -329,6 +357,18 @@ impl Tracer {
         match &self.inner {
             Some(inner) => inner
                 .failures
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of all warning strings recorded so far.
+    pub fn warnings(&self) -> Vec<String> {
+        match &self.inner {
+            Some(inner) => inner
+                .warnings
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .clone(),
@@ -417,11 +457,21 @@ fn parse_proc_stat_cpu_ns(stat: &str) -> u64 {
 }
 
 /// Checks stack discipline over a raw event stream: every exit matches
-/// the innermost open span, and nothing is left open at the end.
-/// Returns a description of the first violation, if any.
+/// the innermost open span, nothing is left open at the end, and the
+/// wall-clock timestamps are non-decreasing (the stream came from one
+/// monotonic clock read under one lock). Returns a description of the
+/// first violation, if any.
 pub fn validate_span_events(events: &[SpanEvent]) -> std::result::Result<(), String> {
     let mut stack: Vec<Stage> = Vec::new();
+    let mut last_wall = 0u64;
     for (i, ev) in events.iter().enumerate() {
+        if ev.wall_ns < last_wall {
+            return Err(format!(
+                "event {i}: wall clock went backwards ({} < {last_wall})",
+                ev.wall_ns
+            ));
+        }
+        last_wall = ev.wall_ns;
         if ev.enter {
             stack.push(ev.stage);
         } else {
@@ -553,6 +603,82 @@ mod tests {
         );
         assert!(validate_span_events(&[ev(true, Stage::Train)]).is_err());
         assert!(validate_span_events(&[ev(true, Stage::Train), ev(false, Stage::Train)]).is_ok());
+    }
+
+    #[test]
+    fn validator_reports_exit_without_enter_by_position() {
+        let ev = |enter, stage, wall_ns| SpanEvent {
+            enter,
+            stage,
+            wall_ns,
+            cpu_ns: 0,
+        };
+        let err = validate_span_events(&[
+            ev(true, Stage::Split, 1),
+            ev(false, Stage::Split, 2),
+            ev(false, Stage::Train, 3),
+        ])
+        .unwrap_err();
+        assert!(err.contains("event 2"), "{err}");
+        assert!(err.contains("orphan exit of train"), "{err}");
+    }
+
+    #[test]
+    fn validator_names_every_unclosed_span() {
+        let ev = |enter, stage, wall_ns| SpanEvent {
+            enter,
+            stage,
+            wall_ns,
+            cpu_ns: 0,
+        };
+        let err = validate_span_events(&[
+            ev(true, Stage::Candidate, 1),
+            ev(true, Stage::Train, 2),
+            ev(false, Stage::Train, 3),
+            ev(true, Stage::Evaluate, 4),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unclosed span(s)"), "{err}");
+        assert!(err.contains("candidate"), "{err}");
+        assert!(err.contains("evaluate"), "{err}");
+        assert!(!err.contains("train,"), "closed span listed: {err}");
+    }
+
+    #[test]
+    fn validator_rejects_out_of_order_timestamps() {
+        let ev = |enter, stage, wall_ns| SpanEvent {
+            enter,
+            stage,
+            wall_ns,
+            cpu_ns: 0,
+        };
+        // Structurally balanced, but the exit predates the entry.
+        let err = validate_span_events(&[ev(true, Stage::Split, 10), ev(false, Stage::Split, 4)])
+            .unwrap_err();
+        assert!(err.contains("wall clock went backwards"), "{err}");
+        assert!(err.contains("event 1"), "{err}");
+        // Equal timestamps are fine (coarse clocks may tie).
+        assert!(
+            validate_span_events(&[ev(true, Stage::Split, 5), ev(false, Stage::Split, 5)]).is_ok()
+        );
+    }
+
+    #[test]
+    fn warnings_accumulate_and_share_state_across_clones() {
+        let t = Tracer::enabled();
+        let t2 = t.clone();
+        t2.record_warning("drift raw->split: base rate shifted".to_string());
+        t.record_warning("second".to_string());
+        assert_eq!(
+            t.warnings(),
+            vec![
+                "drift raw->split: base rate shifted".to_string(),
+                "second".to_string()
+            ]
+        );
+        let disabled = Tracer::disabled();
+        disabled.record_warning("dropped".to_string());
+        assert!(disabled.warnings().is_empty());
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //!   budget. These vary run to run and are segregated under a `timing`
 //!   key so tools can diff the canonical projection byte-for-byte.
 
+use crate::profile::DataProfile;
 use crate::{SpanEvent, Tracer, COUNTERS, GAUGES};
 
 /// Manifest schema version; bump when the canonical layout changes.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version 2 added the seed list, the `profile` section, and `warnings`.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Configuration snapshot supplied by the lifecycle when it assembles a
 /// manifest. Component hyperparameters ride along inside the component
@@ -24,8 +26,13 @@ pub const SCHEMA_VERSION: u32 = 1;
 pub struct ManifestConfig {
     /// Experiment name.
     pub experiment: String,
-    /// Master seed all component seeds are derived from.
+    /// Master seed all component seeds are derived from. For sweep
+    /// manifests this is the first seed of the sweep.
     pub seed: u64,
+    /// Every master seed the invocation covered (sweeps run one
+    /// experiment per seed). Empty for single-run manifests, where
+    /// `seed` alone identifies the random stream.
+    pub seeds: Vec<u64>,
     /// Human-readable `SplitSpec` description (train/validation/test).
     pub split: String,
     /// Whether the split was stratified by label.
@@ -69,8 +76,13 @@ pub struct RunManifest {
     pub gauges: Vec<(String, u64)>,
     /// Recorded span tree (durations populated; canonical form strips them).
     pub spans: Vec<SpanNode>,
+    /// Threshold-crossing drift warnings, deduplicated in first-seen order.
+    pub warnings: Vec<String>,
     /// Per-job error strings surfaced by the runner.
     pub failures: Vec<String>,
+    /// Dataset profiles and stage-to-stage drift diffs (present when the
+    /// run was profiled; serialized after the gauges).
+    pub profile: Option<DataProfile>,
     /// FNV-1a digest of the output metric names and bit patterns.
     pub metric_digest: String,
 }
@@ -91,9 +103,19 @@ impl RunManifest {
                 .map(|&g| (g.name().to_string(), tracer.gauge(g)))
                 .collect(),
             spans: build_tree(&tracer.span_events()),
+            warnings: dedup_first_seen(tracer.warnings()),
             failures: tracer.failures(),
+            profile: None,
             metric_digest,
         }
+    }
+
+    /// Attaches the dataset-profile section (builder style, used by the
+    /// lifecycle when the experiment ran with profiling enabled).
+    #[must_use]
+    pub fn with_profile(mut self, profile: DataProfile) -> Self {
+        self.profile = Some(profile);
+        self
     }
 
     /// Serializes the canonical projection: every field that must be
@@ -106,6 +128,10 @@ impl RunManifest {
         w.field_u64("schema_version", u64::from(self.schema_version));
         w.field_str("experiment", &self.config.experiment);
         w.field_u64("seed", self.config.seed);
+        if !self.config.seeds.is_empty() {
+            w.key("seeds");
+            w.u64_array(&self.config.seeds);
+        }
         w.field_str("split", &self.config.split);
         w.field_bool("stratified", self.config.stratified);
         w.key("components");
@@ -135,8 +161,14 @@ impl RunManifest {
             w.field_u64(name, *value);
         }
         w.close_obj();
+        if let Some(profile) = self.profile.as_ref().filter(|p| !p.is_empty()) {
+            w.key("profile");
+            profile.write_json(&mut w);
+        }
         w.key("spans");
         write_span_array(&mut w, &self.spans, false);
+        w.key("warnings");
+        w.str_array(&self.warnings);
         w.key("failures");
         w.str_array(&self.failures);
         w.field_str("metric_digest", &self.metric_digest);
@@ -210,6 +242,17 @@ impl RunManifest {
         for (name, value) in &self.gauges {
             out.push_str(&format!("  {name} = {value}\n"));
         }
+        if let Some(profile) = self.profile.as_ref().filter(|p| !p.is_empty()) {
+            out.push_str(&profile.drift_table());
+        }
+        if self.warnings.is_empty() {
+            out.push_str("warnings: none\n");
+        } else {
+            out.push_str(&format!("warnings ({}):\n", self.warnings.len()));
+            for warning in &self.warnings {
+                out.push_str(&format!("  - {warning}\n"));
+            }
+        }
         if self.failures.is_empty() {
             out.push_str("failures: none\n");
         } else {
@@ -221,6 +264,19 @@ impl RunManifest {
         out.push_str(&format!("metric digest: {}\n", self.metric_digest));
         out
     }
+}
+
+/// Deduplicates while preserving first-seen order. Warnings repeat when
+/// several candidates share an imputation chain; the manifest records
+/// each distinct condition once.
+fn dedup_first_seen(items: Vec<String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::with_capacity(items.len());
+    for item in items {
+        if !out.contains(&item) {
+            out.push(item);
+        }
+    }
+    out
 }
 
 /// FNV-1a 64-bit digest over `(metric name, f64 bit pattern)` pairs.
@@ -315,15 +371,16 @@ fn write_span_array(w: &mut JsonWriter, nodes: &[SpanNode], with_timing: bool) {
 }
 
 /// Minimal pretty-printing JSON writer (2-space indent, `\n` endings),
-/// kept private so the exact byte layout of golden files is owned here.
-struct JsonWriter {
+/// kept crate-private so the exact byte layout of golden files is owned
+/// by this crate (the profile module renders through it too).
+pub(crate) struct JsonWriter {
     out: String,
     indent: usize,
     need_comma: Vec<bool>,
 }
 
 impl JsonWriter {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         JsonWriter {
             out: String::new(),
             indent: 0,
@@ -331,13 +388,13 @@ impl JsonWriter {
         }
     }
 
-    fn pad(&mut self) {
+    pub(crate) fn pad(&mut self) {
         for _ in 0..self.indent {
             self.out.push_str("  ");
         }
     }
 
-    fn sep(&mut self) {
+    pub(crate) fn sep(&mut self) {
         if let Some(need) = self.need_comma.last_mut() {
             if *need {
                 self.out.push_str(",\n");
@@ -349,13 +406,13 @@ impl JsonWriter {
         self.pad();
     }
 
-    fn open_obj(&mut self) {
+    pub(crate) fn open_obj(&mut self) {
         self.out.push('{');
         self.indent += 1;
         self.need_comma.push(false);
     }
 
-    fn close_obj(&mut self) {
+    pub(crate) fn close_obj(&mut self) {
         self.indent = self.indent.saturating_sub(1);
         let had_items = self.need_comma.pop().unwrap_or(false);
         if had_items {
@@ -365,13 +422,13 @@ impl JsonWriter {
         self.out.push('}');
     }
 
-    fn open_arr(&mut self) {
+    pub(crate) fn open_arr(&mut self) {
         self.out.push('[');
         self.indent += 1;
         self.need_comma.push(false);
     }
 
-    fn close_arr(&mut self) {
+    pub(crate) fn close_arr(&mut self) {
         self.indent = self.indent.saturating_sub(1);
         let had_items = self.need_comma.pop().unwrap_or(false);
         if had_items {
@@ -381,32 +438,64 @@ impl JsonWriter {
         self.out.push(']');
     }
 
-    fn key(&mut self, key: &str) {
+    pub(crate) fn key(&mut self, key: &str) {
         self.sep();
         self.out.push_str(&escape(key));
         self.out.push_str(": ");
     }
 
-    fn item(&mut self) {
+    pub(crate) fn item(&mut self) {
         self.sep();
     }
 
-    fn field_str(&mut self, key: &str, value: &str) {
+    pub(crate) fn field_str(&mut self, key: &str, value: &str) {
         self.key(key);
         self.out.push_str(&escape(value));
     }
 
-    fn field_u64(&mut self, key: &str, value: u64) {
+    pub(crate) fn field_u64(&mut self, key: &str, value: u64) {
         self.key(key);
         self.out.push_str(&value.to_string());
     }
 
-    fn field_bool(&mut self, key: &str, value: bool) {
+    pub(crate) fn field_bool(&mut self, key: &str, value: bool) {
         self.key(key);
         self.out.push_str(if value { "true" } else { "false" });
     }
 
-    fn str_array(&mut self, values: &[String]) {
+    pub(crate) fn field_i64(&mut self, key: &str, value: i64) {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+    }
+
+    /// Floats render via Rust's shortest-roundtrip `{:?}` formatting —
+    /// a pure function of the bit pattern, so profile sections stay
+    /// byte-stable. Non-finite values (JSON has no NaN/Inf) become
+    /// `null`.
+    pub(crate) fn field_f64(&mut self, key: &str, value: f64) {
+        self.key(key);
+        self.out.push_str(&render_f64(value));
+    }
+
+    pub(crate) fn f64_array(&mut self, values: &[f64]) {
+        self.open_arr();
+        for &v in values {
+            self.item();
+            self.out.push_str(&render_f64(v));
+        }
+        self.close_arr();
+    }
+
+    pub(crate) fn u64_array(&mut self, values: &[u64]) {
+        self.open_arr();
+        for &v in values {
+            self.item();
+            self.out.push_str(&v.to_string());
+        }
+        self.close_arr();
+    }
+
+    pub(crate) fn str_array(&mut self, values: &[String]) {
         self.open_arr();
         for v in values {
             self.item();
@@ -415,15 +504,23 @@ impl JsonWriter {
         self.close_arr();
     }
 
-    fn finish(mut self) -> String {
+    pub(crate) fn finish(mut self) -> String {
         self.out.push('\n');
         self.out
     }
 
     /// Like `finish` but without the trailing newline; the writer's
     /// starting indent supplies the leading padding (used for splicing).
-    fn finish_fragment(self) -> String {
+    pub(crate) fn finish_fragment(self) -> String {
         self.out
+    }
+}
+
+fn render_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:?}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -454,6 +551,7 @@ mod tests {
         ManifestConfig {
             experiment: "demo".to_string(),
             seed: 42,
+            seeds: Vec::new(),
             split: "0.7/0.1/0.2".to_string(),
             stratified: false,
             components: vec![
@@ -589,5 +687,83 @@ mod tests {
         assert!(s.contains("candidates_evaluated = 1"));
         assert!(s.contains("job 2: boom"));
         assert!(s.contains("metric digest: fnv1a64:"));
+    }
+
+    #[test]
+    fn seeds_list_serializes_only_when_present() {
+        let single = sample_manifest();
+        assert!(!single.canonical().contains("\"seeds\""));
+        let mut sweep = sample_manifest();
+        sweep.config.seeds = vec![42, 43, 44];
+        let c = sweep.canonical();
+        assert!(c.contains("\"seeds\""), "{c}");
+        let v = crate::json::parse(&c).unwrap();
+        let seeds: Vec<u64> = v
+            .get("seeds")
+            .and_then(|s| s.as_array())
+            .unwrap()
+            .iter()
+            .filter_map(crate::json::Value::as_u64)
+            .collect();
+        assert_eq!(seeds, vec![42, 43, 44]);
+    }
+
+    #[test]
+    fn warnings_are_deduplicated_in_first_seen_order() {
+        let t = Tracer::enabled();
+        t.record_warning("b-warning".to_string());
+        t.record_warning("a-warning".to_string());
+        t.record_warning("b-warning".to_string());
+        let m = RunManifest::from_tracer(&t, sample_config(), "fnv1a64:0".to_string());
+        assert_eq!(
+            m.warnings,
+            vec!["b-warning".to_string(), "a-warning".to_string()]
+        );
+        let c = m.canonical();
+        assert!(c.contains("\"warnings\""));
+        // Warnings appear before failures in the canonical layout.
+        assert!(c.find("\"warnings\"").unwrap() < c.find("\"failures\"").unwrap());
+        let s = m.summary();
+        assert!(s.contains("warnings (2):"), "{s}");
+    }
+
+    #[test]
+    fn profile_section_is_canonical_and_ordered_after_gauges() {
+        let profile = crate::profile::tests::sample_profile();
+        let m = sample_manifest().with_profile(profile);
+        let c = m.canonical();
+        assert!(c.contains("\"profile\""));
+        let gauges_at = c.find("\"gauges\"").unwrap();
+        let profile_at = c.find("\"profile\"").unwrap();
+        let spans_at = c.find("\"spans\"").unwrap();
+        assert!(gauges_at < profile_at && profile_at < spans_at);
+        // Parses back, and the full manifest still embeds it as a prefix.
+        let v = crate::json::parse(&c).unwrap();
+        assert!(v.get("profile").and_then(|p| p.get("snapshots")).is_some());
+        let full = m.to_json();
+        let prefix = c.trim_end().trim_end_matches('}').trim_end();
+        assert!(full.starts_with(prefix));
+        // An empty profile is omitted entirely.
+        let empty = sample_manifest().with_profile(crate::profile::DataProfile::default());
+        assert!(!empty.canonical().contains("\"profile\""));
+    }
+
+    #[test]
+    fn float_rendering_is_shortest_roundtrip_and_null_for_nonfinite() {
+        let mut w = JsonWriter::new();
+        w.open_obj();
+        w.field_f64("a", 0.1);
+        w.field_f64("b", f64::NAN);
+        w.field_f64("c", f64::INFINITY);
+        w.key("xs");
+        w.f64_array(&[1.5, 2.0]);
+        w.close_obj();
+        let text = w.finish();
+        assert!(text.contains("\"a\": 0.1"), "{text}");
+        assert!(text.contains("\"b\": null"), "{text}");
+        assert!(text.contains("\"c\": null"), "{text}");
+        let v = crate::json::parse(&text).unwrap();
+        assert_eq!(v.get("a").and_then(crate::json::Value::as_f64), Some(0.1));
+        assert!(v.get("b").is_some());
     }
 }

@@ -6,6 +6,9 @@
 //! them: a *tuned* learner (cross-validated grid search → `tune` span,
 //! fold counters) and an *imputing, intervening* pipeline (mode imputation
 //! → `cells_imputed`, reweighing, reject-option → `postprocess` span).
+//! Both run with profiling on, so the goldens also pin the `profile`
+//! section (per-stage dataset snapshots and drift diffs) and any drift
+//! `warnings` byte-for-byte.
 //! Because [`RunManifest::canonical`](fairprep_trace::RunManifest::canonical)
 //! excludes every timing field, the rendered strings must be identical
 //! across repeated runs and across thread budgets — that invariant is the
@@ -36,6 +39,7 @@ pub fn run_golden(name: &str, threads: usize) -> Result<RunResult> {
             .threads(threads)
             .learner(DecisionTreeLearner { tuned: true })
             .tracer(tracer)
+            .profile(true)
             .build()?,
         // Imputation + pre/post interventions: exercises `cells_imputed`,
         // the `preprocess` span, and the `postprocess` span.
@@ -47,6 +51,7 @@ pub fn run_golden(name: &str, threads: usize) -> Result<RunResult> {
             .postprocessor(RejectOptionClassification::default())
             .learner(LogisticRegressionLearner { tuned: false })
             .tracer(tracer)
+            .profile(true)
             .build()?,
         other => {
             return Err(Error::InvalidParameter {

@@ -112,7 +112,41 @@ fn golden_trace_manifests_are_byte_stable() {
             "case `{case}`: canonical manifest drifted from tests/golden/ \
              (regenerate with `cargo run --example golden_trace` if intentional)"
         );
+        // The goldens run with profiling on, so the byte-equality above
+        // also pins the profile section; make its presence explicit so a
+        // regression that silently drops the section cannot pass.
+        assert!(
+            at_one.contains("\"profile\""),
+            "case `{case}`: golden manifest lost its profile section"
+        );
+        assert!(at_one.contains("\"snapshots\""));
+        assert!(at_one.contains("\"psi\""));
     }
+}
+
+/// The profile section alone (not just the whole manifest) is a pure
+/// function of `(configuration, data, seed)`: snapshots, diffs, and the
+/// drift table are identical at any thread budget.
+#[test]
+fn golden_profile_sections_are_thread_invariant() {
+    use fairprep::golden::run_golden;
+    let at_one = run_golden("payment-impute", 1).unwrap();
+    let at_eight = run_golden("payment-impute", 8).unwrap();
+    let p1 = at_one.manifest.as_ref().unwrap().profile.as_ref().unwrap();
+    let p8 = at_eight
+        .manifest
+        .as_ref()
+        .unwrap()
+        .profile
+        .as_ref()
+        .unwrap();
+    assert_eq!(p1, p8);
+    // The drift table renders at least one PSI column and the per-group
+    // base-rate columns.
+    let table = p1.drift_table();
+    assert!(table.contains("max_psi"), "{table}");
+    assert!(table.contains("Δpriv_rate"), "{table}");
+    assert!(table.contains("raw->train_split"), "{table}");
 }
 
 /// Consecutive runs of the same configuration serialize identically —
