@@ -19,8 +19,8 @@ mod build;
 
 use std::process::ExitCode;
 
-use fairprep_core::aggregate::{metric_across_runs, repeated_evaluation_traced};
 use fairprep_core::experiment::Experiment;
+use fairprep_core::sweep::metric_across_outcomes;
 use fairprep_data::stats::{completeness_label_rates, missing_rates};
 use fairprep_fairness::metrics::DatasetMetrics;
 
@@ -66,6 +66,18 @@ OPTIONS (run / sweep / audit):
                    to cross-validation. Results are identical
                    at any thread count.                 [sweep 4, run 1]
   --out            metric CSV path (run)                           [-]
+  --resume PATH    (sweep) append every finished run to a journal at
+                   PATH and, on restart, reuse journaled outcomes
+                   instead of rerunning them. A killed sweep resumed
+                   this way produces byte-identical final output
+  --inject-faults SPEC  (sweep) deterministic fault injection for
+                   testing the sweep's failure containment. SPEC is
+                   RATE, STAGE:RATE, or STAGE:RATE:KIND with KIND one
+                   of panic | transient | mixed (default stage train,
+                   kind mixed). Injected panics are isolated per run;
+                   transient faults are retried                     [off]
+  --max-retries N  (sweep) retry budget per run for transient
+                   failures                                         [2]
   --trace PATH     write a JSON run manifest: stage spans with
                    wall/CPU time, counters, failures, and a
                    canonical (timing-free) projection that is
@@ -270,6 +282,7 @@ fn cmd_run(inv: &Invocation) -> Result<(), String> {
 fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
     let n_seeds = inv.parse_or::<usize>("seeds", 8)?;
     let threads = inv.parse_or::<usize>("threads", 4)?;
+    let max_retries = inv.parse_or::<u32>("max-retries", 2)?;
     let base = [46947u64, 71735, 94246, 31807, 12663, 56480, 83928, 40621];
     let seeds: Vec<u64> = (0..n_seeds)
         .map(|i| {
@@ -286,11 +299,63 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
         .first()
         .ok_or_else(|| "sweep needs at least one seed (--seeds >= 1)".to_string())?;
 
+    // Deterministic fault injection (testing/CI only): the plan seed
+    // derives from the sweep's first seed, so the same invocation always
+    // injects the same faults.
+    let faults = match inv.options.get("inject-faults") {
+        Some(spec) => Some(fairprep_trace::FaultPlan::parse(
+            spec,
+            fairprep_data::rng::derive_seed(first_seed, "fault-plan"),
+        )?),
+        None => None,
+    };
+
+    // Journal entries are keyed by a fingerprint of everything that
+    // shapes a run's outcome, so a journal written under one
+    // configuration can never satisfy a resume of a different one.
+    let descriptor = format!(
+        "dataset={}|csv={}|rows={}|learner={}|missing={}|preprocessor={}|postprocessor={}|\
+         scaler={}|inject-missing={}|inject-faults={}|max-retries={max_retries}",
+        inv.get_or("dataset", ""),
+        inv.get_or("csv", ""),
+        inv.get_or("rows", "0"),
+        inv.get_or("learner", "lr-tuned"),
+        inv.get_or("missing", "complete-case"),
+        inv.get_or("preprocessor", "none"),
+        inv.get_or("postprocessor", "none"),
+        inv.get_or("scaler", "standard"),
+        inv.get_or("inject-missing", ""),
+        inv.get_or("inject-faults", ""),
+    );
+    let journal = match inv.options.get("resume") {
+        Some(path) => Some(
+            fairprep_core::journal::SweepJournal::open(std::path::Path::new(path))
+                .map_err(|e| format!("cannot open journal {path}: {e}"))?,
+        ),
+        None => None,
+    };
+
     // Split the budget between the two levels: concurrent seeds on the
     // outside, cross-validation threads inside each run. The product never
     // exceeds the requested thread count, so cores are not oversubscribed.
     let (outer, inner) = fairprep_data::parallel::split_budget(threads, seeds.len());
     println!("sweeping {n_seeds} seeds on {outer}x{inner} threads (runs x cv)...");
+    if let Some(j) = &journal {
+        let reusable = seeds
+            .iter()
+            .filter(|&&s| {
+                j.lookup(&fairprep_core::journal::config_fingerprint(&descriptor), s)
+                    .is_some()
+            })
+            .count();
+        if reusable > 0 || j.discarded_lines() > 0 {
+            println!(
+                "journal {}: reusing {reusable} of {n_seeds} run(s), {} torn line(s) discarded",
+                j.path().display(),
+                j.discarded_lines()
+            );
+        }
+    }
     // Concurrent runs would interleave their span events, so a sweep
     // tracer records failures and counters only; the per-run experiments
     // stay untraced.
@@ -299,7 +364,15 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
     } else {
         fairprep_trace::Tracer::disabled()
     };
-    let results = repeated_evaluation_traced(
+    let plan = fairprep_core::sweep::SweepPlan {
+        seeds: &seeds,
+        threads: outer,
+        config: fairprep_core::journal::config_fingerprint(&descriptor),
+        journal: journal.as_ref(),
+        faults,
+        max_retries,
+    };
+    let outcomes = fairprep_core::sweep::run_sweep(
         |seed| {
             build_experiment(inv, seed, inner, fairprep_trace::Tracer::disabled()).map_err(|m| {
                 fairprep_data::error::Error::InvalidParameter {
@@ -308,17 +381,18 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
                 }
             })
         },
-        &seeds,
-        outer,
+        &plan,
         &tracer,
-    );
-    let failures = results.iter().filter(|r| r.is_err()).count();
-    if failures == results.len() {
-        let first = results
+    )
+    .map_err(|e| e.to_string())?;
+    let failures = outcomes.iter().filter(|o| !o.ok).count();
+    if failures == outcomes.len() {
+        let first = outcomes
             .into_iter()
-            .find_map(std::result::Result::err)
-            .expect("at least one error");
-        return Err(first.to_string());
+            .find(|o| !o.ok)
+            .map(|o| o.error)
+            .unwrap_or_default();
+        return Err(first);
     }
 
     const SWEEP_METRICS: &[&str] = &[
@@ -337,11 +411,15 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
         "metric", "mean", "std", "min", "max", "n"
     );
     for metric in SWEEP_METRICS {
-        let d = metric_across_runs(&results, metric);
+        let d = metric_across_outcomes(&outcomes, metric);
         println!(
             "{:<34} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>4}",
             metric, d.mean, d.std, d.min, d.max, d.n
         );
+    }
+    let retried: u64 = outcomes.iter().map(|o| u64::from(o.retries)).sum();
+    if retried > 0 {
+        println!("\n({retried} transient failure(s) retried)");
     }
     if failures > 0 {
         println!("\n({failures} run(s) failed and were skipped)");
@@ -352,7 +430,7 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
         // list at any thread budget yields the same digest.
         let means: Vec<(String, f64)> = SWEEP_METRICS
             .iter()
-            .map(|m| ((*m).to_string(), metric_across_runs(&results, m).mean))
+            .map(|m| ((*m).to_string(), metric_across_outcomes(&outcomes, m).mean))
             .collect();
         let config = fairprep_trace::ManifestConfig {
             experiment: format!("sweep:{}", inv.get_or("dataset", "csv")),
@@ -619,6 +697,128 @@ mod tests {
         );
         assert!(value.get("failures").is_some());
         std::fs::remove_file(&path).ok();
+    }
+
+    /// With deterministic fault injection, the sweep must complete (exit
+    /// cleanly), record the injected panics in the manifest's `failures`
+    /// array, and count them in `jobs_failed` — one poisoned run must
+    /// not kill the sweep.
+    #[test]
+    fn sweep_with_injected_panics_records_failures_and_completes() {
+        let path = std::env::temp_dir().join("fairprep_cli_test_faults_manifest.json");
+        let cmd = format!(
+            "sweep --dataset german --rows 150 --learner dt --seeds 6 --threads 2 \
+             --inject-faults split:0.5:panic --trace {}",
+            path.display()
+        );
+        execute(&argv(&cmd)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = fairprep_trace::json::parse(&text).unwrap();
+        let failed = value
+            .get("counters")
+            .and_then(|c| c.get("jobs_failed"))
+            .and_then(fairprep_trace::json::Value::as_u64)
+            .unwrap();
+        assert!(failed > 0, "no injected fault fired; adjust the rate");
+        let failures = value
+            .get("failures")
+            .and_then(fairprep_trace::json::Value::as_array)
+            .unwrap();
+        assert_eq!(failures.len() as u64, failed);
+        assert!(failures
+            .iter()
+            .filter_map(|f| f.as_str())
+            .all(|f| f.contains("injected fault")));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_rejects_malformed_fault_specs() {
+        for bad in ["train:2.0", "nosuchstage:0.5", "train:0.5:sometimes"] {
+            let err = execute(&argv(&format!(
+                "sweep --dataset german --rows 150 --seeds 2 --inject-faults {bad}"
+            )))
+            .unwrap_err();
+            assert!(err.contains("fault spec"), "{bad}: {err}");
+        }
+    }
+
+    /// Resume contract, end to end: an uninterrupted sweep, a resumed
+    /// complete journal, and a resume after a simulated mid-sweep kill
+    /// (truncated journal + torn trailing line) must all report the same
+    /// metric digest, counters, and failures.
+    #[test]
+    fn sweep_resume_is_byte_identical_after_kill() {
+        let dir = std::env::temp_dir().join("fairprep_cli_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("sweep.journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let sweep_cmd = |manifest: &std::path::Path, resume: bool| {
+            let mut cmd = format!(
+                "sweep --dataset german --rows 150 --learner dt --seeds 4 --threads 2 \
+                 --inject-faults split:0.4:mixed --trace {}",
+                manifest.display()
+            );
+            if resume {
+                cmd.push_str(&format!(" --resume {}", journal.display()));
+            }
+            cmd
+        };
+        let canonical_state = |manifest: &std::path::Path| {
+            let text = std::fs::read_to_string(manifest).unwrap();
+            let value = fairprep_trace::json::parse(&text).unwrap();
+            let digest = value
+                .get("metric_digest")
+                .and_then(fairprep_trace::json::Value::as_str)
+                .unwrap()
+                .to_string();
+            let failed = value
+                .get("counters")
+                .and_then(|c| c.get("jobs_failed"))
+                .and_then(fairprep_trace::json::Value::as_u64)
+                .unwrap();
+            let retried = value
+                .get("counters")
+                .and_then(|c| c.get("jobs_retried"))
+                .and_then(fairprep_trace::json::Value::as_u64)
+                .unwrap();
+            let failures: Vec<String> = value
+                .get("failures")
+                .and_then(fairprep_trace::json::Value::as_array)
+                .unwrap()
+                .iter()
+                .filter_map(|f| f.as_str().map(ToString::to_string))
+                .collect();
+            (digest, failed, retried, failures)
+        };
+
+        // Baseline: no journal at all.
+        let m1 = dir.join("uninterrupted.json");
+        execute(&argv(&sweep_cmd(&m1, false))).unwrap();
+
+        // Fresh journal: populates it; output must match the baseline.
+        let m2 = dir.join("journaled.json");
+        execute(&argv(&sweep_cmd(&m2, true))).unwrap();
+        assert_eq!(canonical_state(&m1), canonical_state(&m2));
+
+        // Simulate a kill mid-sweep: keep the first two journal lines and
+        // tear the third mid-write.
+        let full = std::fs::read_to_string(&journal).unwrap();
+        let lines: Vec<&str> = full.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let torn = format!(
+            "{}\n{}\n{}",
+            lines[0],
+            lines[1],
+            &lines[2][..lines[2].len() / 2]
+        );
+        std::fs::write(&journal, torn).unwrap();
+
+        let m3 = dir.join("resumed.json");
+        execute(&argv(&sweep_cmd(&m3, true))).unwrap();
+        assert_eq!(canonical_state(&m1), canonical_state(&m3));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

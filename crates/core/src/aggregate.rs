@@ -27,7 +27,7 @@ pub struct MetricDistribution {
 }
 
 impl MetricDistribution {
-    fn from_values(values: &[f64]) -> MetricDistribution {
+    pub(crate) fn from_values(values: &[f64]) -> MetricDistribution {
         let xs: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
         if xs.is_empty() {
             return MetricDistribution {

@@ -361,6 +361,20 @@ mod tests {
         assert!(exp.postprocessor.is_none());
     }
 
+    /// A `--threads 0` request must clamp to one worker, never reach the
+    /// budget arithmetic as a zero (where it would starve the CV pool or
+    /// divide by zero in `split_budget`).
+    #[test]
+    fn zero_thread_budget_clamps_to_one() {
+        let ds = generate_german(50, 1).unwrap();
+        let exp = Experiment::builder("g", ds)
+            .learner(DecisionTreeLearner { tuned: false })
+            .threads(0)
+            .build()
+            .unwrap();
+        assert_eq!(exp.threads, 1);
+    }
+
     #[test]
     fn builder_validates_split() {
         let ds = generate_german(50, 1).unwrap();

@@ -52,11 +52,13 @@
 pub mod aggregate;
 pub mod experiment;
 pub mod isolation;
+pub mod journal;
 pub mod learners;
 pub mod lifecycle;
 pub(crate) mod profiling;
 pub mod results;
 pub mod runner;
+pub mod sweep;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
@@ -68,6 +70,7 @@ pub mod prelude {
         AccuracyUnderDiBound, Experiment, ExperimentBuilder, MaxValidationAccuracy, ModelSelector,
     };
     pub use crate::isolation::TestSetVault;
+    pub use crate::journal::{config_fingerprint, JournalEntry, SweepJournal};
     pub use crate::learners::{
         ClassifierLearner, DecisionTreeLearner, InProcessLearner, Learner,
         LogisticRegressionLearner, NaiveBayesLearner, RandomForestLearner,
@@ -75,5 +78,8 @@ pub mod prelude {
     };
     pub use crate::results::{CandidateEvaluation, RunMetadata, RunResult, SweepWriter};
     pub use crate::runner::{count_ok, failure_messages, run_parallel, run_parallel_traced, Job};
-    pub use fairprep_trace::{RunManifest, Tracer};
+    pub use crate::sweep::{
+        count_completed, metric_across_outcomes, run_sweep, SeedOutcome, SweepPlan,
+    };
+    pub use fairprep_trace::{FaultKind, FaultPlan, RunManifest, Tracer};
 }

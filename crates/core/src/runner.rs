@@ -8,8 +8,8 @@
 //! built inside the job closure), so runs cannot share mutable state by
 //! construction.
 
-use fairprep_data::error::Result;
-use fairprep_data::parallel::parallel_map;
+use fairprep_data::error::{Error, Result};
+use fairprep_data::parallel::parallel_map_catching;
 use fairprep_trace::{Counter, Tracer};
 
 use crate::results::RunResult;
@@ -31,13 +31,25 @@ pub fn run_parallel(jobs: Vec<Job>, threads: usize) -> Vec<Result<RunResult>> {
 /// thread-invariant) and bumps the `jobs_failed` counter. Historically
 /// a sweep only exposed [`count_ok`], which silently swallowed *what*
 /// failed — an unauditable hole in the run record.
+///
+/// Jobs are panic-isolated: a job that unwinds becomes
+/// [`Error::JobPanic`] in its slot (failure string `"job <index>:
+/// panic: <payload>"`) while every other slot keeps its result.
+/// Historically one panicking run aborted the whole sweep and discarded
+/// every completed result with it.
 #[must_use]
 pub fn run_parallel_traced(
     jobs: Vec<Job>,
     threads: usize,
     tracer: &Tracer,
 ) -> Vec<Result<RunResult>> {
-    let results = parallel_map(jobs, threads, |job| job());
+    let results: Vec<Result<RunResult>> = parallel_map_catching(jobs, threads, |job| job())
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(outcome) => outcome,
+            Err(panic) => Err(Error::JobPanic(panic.message)),
+        })
+        .collect();
     for (i, result) in results.iter().enumerate() {
         if let Err(e) = result {
             tracer.incr(Counter::JobsFailed);
@@ -156,6 +168,34 @@ mod tests {
         assert_eq!(manifest.failures, messages);
         assert!(manifest.canonical().contains("job 1: "));
         assert!(manifest.canonical().contains("boom"));
+    }
+
+    /// Regression test for the sweep-killing panic: a job that panics
+    /// (rather than returning `Err`) must surface as `Error::JobPanic`
+    /// in its own slot — with its payload in the tracer's failure record
+    /// — while the other jobs' results survive.
+    #[test]
+    fn panicking_job_is_isolated_and_recorded() {
+        let jobs: Vec<Job> = vec![
+            job(1),
+            Box::new(|| panic!("poisoned configuration")),
+            job(2),
+        ];
+        let tracer = fairprep_trace::Tracer::enabled();
+        let results = run_parallel_traced(jobs, 2, &tracer);
+        assert_eq!(results.len(), 3);
+        assert_eq!(count_ok(&results), 2);
+        match &results[1] {
+            Err(fairprep_data::error::Error::JobPanic(msg)) => {
+                assert_eq!(msg, "poisoned configuration");
+            }
+            other => panic!("expected JobPanic, got {other:?}"),
+        }
+        assert_eq!(
+            tracer.failures(),
+            vec!["job 1: panic: poisoned configuration".to_string()]
+        );
+        assert_eq!(tracer.counter(fairprep_trace::Counter::JobsFailed), 1);
     }
 
     /// Failure strings are keyed by submission index, so they are

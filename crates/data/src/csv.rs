@@ -15,8 +15,21 @@ use crate::frame::{DataFrame, FrameBuilder};
 /// trimming surrounding whitespace).
 pub const DEFAULT_MISSING_TOKENS: &[&str] = &["", "?", "NA", "N/A", "null", "NULL"];
 
+/// Strips a single trailing carriage return from a record.
+///
+/// Windows-saved dataset files end records with `\r\n`. `BufRead::lines`
+/// strips the pair itself, but lines that reach the parser through other
+/// routes (pre-split strings, readers with unusual buffering) can still
+/// carry the `\r` — which would otherwise survive inside a quoted last
+/// field and leak into its categorical value, splitting one category into
+/// two (`"high"` vs `"high\r"`).
+fn strip_cr(line: &str) -> &str {
+    line.strip_suffix('\r').unwrap_or(line)
+}
+
 /// Splits one CSV record into fields, honoring double-quote escaping.
 fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let line = strip_cr(line);
     let mut fields = Vec::new();
     let mut field = String::new();
     let mut chars = line.chars().peekable();
@@ -274,6 +287,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// CRLF fixture: a Windows-saved file must parse identically to its
+    /// LF twin — in particular no `\r` may leak into the last field's
+    /// categorical value (that would silently split one category into
+    /// two, e.g. `high` vs `high\r`).
+    #[test]
+    fn crlf_line_endings_parse_identically_to_lf() {
+        let lf = SAMPLE.to_string();
+        let crlf = SAMPLE.replace('\n', "\r\n");
+        let a = read_csv(Cursor::new(lf), &kinds(), DEFAULT_MISSING_TOKENS).unwrap();
+        let b = read_csv(Cursor::new(crlf), &kinds(), DEFAULT_MISSING_TOKENS).unwrap();
+        assert_eq!(a.n_rows(), b.n_rows());
+        for name in a.column_names() {
+            for i in 0..a.n_rows() {
+                assert_eq!(a.value(i, name).unwrap(), b.value(i, name).unwrap());
+            }
+        }
+        if let Value::Categorical(s) = b.value(0, "income").unwrap() {
+            assert!(!s.contains('\r'), "carriage return leaked: {s:?}");
+            assert_eq!(s, "low");
+        } else {
+            panic!("income must be categorical");
+        }
+    }
+
+    /// A quoted last field on a CRLF record keeps the `\r` *outside* the
+    /// quoted content, so the value must come back clean even when the
+    /// raw record string still carries the terminator.
+    #[test]
+    fn crlf_after_quoted_last_field_is_stripped() {
+        let fields = parse_record("25,\"cook, senior\",\"high\"\r", 1).unwrap();
+        assert_eq!(fields, vec!["25", "cook, senior", "high"]);
+        // Header lookups are unaffected too.
+        let csv = "age,income\r\n25,high\r\n";
+        let df = read_csv(
+            Cursor::new(csv),
+            &[("income", ColumnKind::Categorical)],
+            DEFAULT_MISSING_TOKENS,
+        )
+        .unwrap();
+        assert_eq!(df.value(0, "income").unwrap(), Value::Categorical("high"));
     }
 
     #[test]

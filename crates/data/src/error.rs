@@ -61,6 +61,10 @@ pub enum Error {
     Io(String),
     /// A model failed to converge or produced non-finite parameters.
     ModelFailure(String),
+    /// A sweep job panicked; the payload message was captured by the
+    /// panic-isolating runner (see `parallel::catch_panic`) so the sweep
+    /// can record the failure and continue.
+    JobPanic(String),
 }
 
 impl fmt::Display for Error {
@@ -94,6 +98,7 @@ impl fmt::Display for Error {
             Error::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
             Error::Io(msg) => write!(f, "io error: {msg}"),
             Error::ModelFailure(msg) => write!(f, "model failure: {msg}"),
+            Error::JobPanic(msg) => write!(f, "panic: {msg}"),
         }
     }
 }
@@ -147,6 +152,10 @@ mod tests {
             (
                 Error::EmptyGroup { privileged: true },
                 "privileged group matches no rows",
+            ),
+            (
+                Error::JobPanic("index out of bounds".into()),
+                "panic: index out of bounds",
             ),
         ];
         for (err, expected) in cases {

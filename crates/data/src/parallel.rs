@@ -13,8 +13,50 @@
 //! borrow the closure and input non-`'static` data directly.
 
 // audit: allow-file(expect, reason = "a poisoned slot mutex means a worker closure panicked; surfacing that panic is the intended behavior")
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A captured worker panic: the payload message of a job that unwound.
+///
+/// Produced by [`parallel_map_catching`] and [`catch_panic`]. Sweep
+/// runners convert this into a per-slot error so one poisoned run cannot
+/// discard the results of every other run in the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload rendered as text (`&str` and `String` payloads
+    /// verbatim; anything else becomes `"opaque panic payload"`).
+    pub message: String,
+}
+
+impl JobPanic {
+    fn from_payload(payload: &(dyn std::any::Any + Send)) -> JobPanic {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string());
+        JobPanic { message }
+    }
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "panic: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Runs `f`, converting an unwind into `Err(JobPanic)`.
+///
+/// The `AssertUnwindSafe` is sound by construction for sweep jobs: each
+/// job owns its state (experiments are built inside the job closure) and
+/// a panicked job's partial state is dropped with the closure, so no
+/// broken invariant can be observed afterwards.
+pub fn catch_panic<R>(f: impl FnOnce() -> R) -> std::result::Result<R, JobPanic> {
+    std::panic::catch_unwind(AssertUnwindSafe(f)).map_err(|p| JobPanic::from_payload(p.as_ref()))
+}
 
 /// Maps `f` over `items` on up to `threads` worker threads.
 ///
@@ -81,6 +123,34 @@ where
                 .expect("item ran")
         })
         .collect()
+}
+
+/// Like [`parallel_map`], but isolates panics per item: a job that
+/// unwinds yields `Err(JobPanic)` in its slot while every other slot
+/// keeps its result.
+///
+/// [`parallel_map`] deliberately propagates the first panic and discards
+/// all completed work — correct for programming errors inside fold jobs,
+/// but fatal for sweep engines where one poisoned run out of a thousand
+/// must not kill hours of completed work. Sweep-level callers use this
+/// variant and record the panic as a per-run failure.
+///
+/// The unwind-safety argument for the blanket `AssertUnwindSafe` lives on
+/// [`catch_panic`]; submission order and thread-count invariance are
+/// inherited from [`parallel_map`] (the catching wrapper is applied
+/// per-item, inside the slot).
+#[must_use]
+pub fn parallel_map_catching<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    f: F,
+) -> Vec<std::result::Result<R, JobPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map(items, threads, |item| catch_panic(|| f(item)))
 }
 
 /// Splits a total core budget between an outer job level and an inner
@@ -172,6 +242,76 @@ mod tests {
         assert_eq!(split_budget(4, 100), (4, 1)); // more jobs than cores
         assert_eq!(split_budget(0, 0), (1, 1)); // degenerate inputs clamp
         assert_eq!(split_budget(7, 2), (2, 3)); // floor division, no oversubscription
+    }
+
+    /// A zero anywhere in the budget arithmetic must clamp to 1, never
+    /// underflow or hand out a zero-thread level (`0 / outer` and
+    /// `total / 0` were both reachable from `--threads 0` sweeps).
+    #[test]
+    fn budget_split_clamps_zero_inputs_to_one() {
+        assert_eq!(split_budget(0, 4), (1, 1)); // no cores, 4 jobs
+        assert_eq!(split_budget(4, 0), (1, 4)); // 4 cores, empty job list
+        assert_eq!(split_budget(0, 0), (1, 1)); // nothing at all
+        for total in 0..6 {
+            for jobs in 0..6 {
+                let (outer, inner) = split_budget(total, jobs);
+                assert!(outer >= 1 && inner >= 1, "({total}, {jobs}) -> zero level");
+                assert!(
+                    outer * inner <= total.max(1),
+                    "({total}, {jobs}) oversubscribed"
+                );
+            }
+        }
+    }
+
+    /// Regression test for the sweep-killing panic: one panicking job out
+    /// of 16 must surface as a single `Err` slot while the other 15 keep
+    /// their results. `parallel_map` itself deliberately propagates the
+    /// panic (and with it discards all completed work); the catching
+    /// variant is what sweep engines run on.
+    #[test]
+    fn one_panicking_job_does_not_kill_the_batch() {
+        let items: Vec<usize> = (0..16).collect();
+        let out = parallel_map_catching(items, 4, |i| {
+            assert!(i != 7, "injected failure in job 7");
+            i * 10
+        });
+        assert_eq!(out.len(), 16);
+        assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 15);
+        for (i, slot) in out.iter().enumerate() {
+            if i == 7 {
+                let panic = slot.as_ref().expect_err("job 7 panicked");
+                assert!(panic.message.contains("injected failure"), "{panic}");
+            } else {
+                assert_eq!(slot.as_ref().ok().copied(), Some(i * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn catching_map_is_order_and_thread_invariant() {
+        let run = |threads| {
+            parallel_map_catching((0..20).collect::<Vec<usize>>(), threads, |i| {
+                assert!(i % 5 != 3, "boom {i}");
+                i
+            })
+        };
+        let seq = run(1);
+        let par = run(8);
+        assert_eq!(seq, par);
+        assert_eq!(seq.iter().filter(|r| r.is_err()).count(), 4);
+    }
+
+    #[test]
+    fn catch_panic_renders_str_string_and_opaque_payloads() {
+        assert_eq!(catch_panic(|| 3), Ok(3));
+        let p = catch_panic(|| panic!("plain &str")).unwrap_err();
+        assert_eq!(p.message, "plain &str");
+        let p = catch_panic(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(p.message, "formatted 7");
+        let p = catch_panic(|| std::panic::panic_any(42_i32)).unwrap_err();
+        assert_eq!(p.message, "opaque panic payload");
+        assert_eq!(p.to_string(), "panic: opaque panic payload");
     }
 
     #[test]

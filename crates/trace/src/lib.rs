@@ -25,10 +25,12 @@
 //! the lifecycle, while parallel fold jobs touch atomic counters alone —
 //! which is why the canonical manifest cannot observe the thread budget.
 
+pub mod fault;
 pub mod json;
 pub mod manifest;
 pub mod profile;
 
+pub use fault::{FaultArm, FaultKind, FaultPlan, INJECTED_PANIC, INJECTED_TRANSIENT};
 pub use manifest::{ManifestConfig, RunManifest, SpanNode};
 pub use profile::{
     ColumnDriftRecord, ColumnProfileRecord, DataProfile, FeatureSpaceRecord, GroupLabelRecord,
@@ -124,10 +126,13 @@ pub enum Counter {
     /// Categorical values routed to the one-hot encoder's unseen slot at
     /// transform time (categories absent from the training dictionary).
     UnseenCategories,
+    /// Job attempts re-run by the sweep's bounded retry policy after a
+    /// transient failure (each retry of one job adds 1).
+    JobsRetried,
 }
 
 /// All counters, in the stable order used by manifests.
-pub const COUNTERS: [Counter; 9] = [
+pub const COUNTERS: [Counter; 10] = [
     Counter::RowsSeen,
     Counter::CellsImputed,
     Counter::RowsDropped,
@@ -137,6 +142,7 @@ pub const COUNTERS: [Counter; 9] = [
     Counter::CandidatesEvaluated,
     Counter::JobsFailed,
     Counter::UnseenCategories,
+    Counter::JobsRetried,
 ];
 
 impl Counter {
@@ -152,6 +158,7 @@ impl Counter {
             Counter::CandidatesEvaluated => "candidates_evaluated",
             Counter::JobsFailed => "jobs_failed",
             Counter::UnseenCategories => "unseen_categories",
+            Counter::JobsRetried => "jobs_retried",
         }
     }
 
@@ -166,6 +173,7 @@ impl Counter {
             Counter::CandidatesEvaluated => 6,
             Counter::JobsFailed => 7,
             Counter::UnseenCategories => 8,
+            Counter::JobsRetried => 9,
         }
     }
 }
@@ -230,12 +238,14 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct Tracer {
     inner: Option<Arc<Inner>>,
+    faults: Option<Arc<FaultArm>>,
 }
 
 impl std::fmt::Debug for Tracer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tracer")
             .field("enabled", &self.is_enabled())
+            .field("faults", &self.faults.is_some())
             .finish()
     }
 }
@@ -252,17 +262,32 @@ impl Tracer {
                 counters: Default::default(),
                 gauges: Default::default(),
             })),
+            faults: None,
         }
     }
 
     /// A tracer that records nothing (same as [`Tracer::default`]).
     pub fn disabled() -> Self {
-        Tracer { inner: None }
+        Tracer {
+            inner: None,
+            faults: None,
+        }
     }
 
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Attaches a fault-injection arm: every subsequent [`Tracer::span`]
+    /// on this handle (and its clones) consults the arm and panics where
+    /// the plan fires. Recording state, if any, stays shared with the
+    /// original handle. Fault arms work on disabled tracers too — sweeps
+    /// run per-job tracers disabled, and injection must still reach them.
+    #[must_use]
+    pub fn with_faults(mut self, arm: FaultArm) -> Tracer {
+        self.faults = Some(Arc::new(arm));
+        self
     }
 
     /// Opens a stage span; the span closes when the returned guard drops.
@@ -272,6 +297,9 @@ impl Tracer {
     /// recorded tree structure independent of the thread budget.
     #[must_use = "the span closes when this guard is dropped"]
     pub fn span(&self, stage: Stage) -> SpanGuard<'_> {
+        if let Some(arm) = &self.faults {
+            arm.trip(stage);
+        }
         if let Some(inner) = &self.inner {
             inner.push_event(true, stage);
         }

@@ -17,7 +17,8 @@ use crate::{SpanEvent, Tracer, COUNTERS, GAUGES};
 
 /// Manifest schema version; bump when the canonical layout changes.
 /// Version 2 added the seed list, the `profile` section, and `warnings`.
-pub const SCHEMA_VERSION: u32 = 2;
+/// Version 3 added the `jobs_retried` counter (fault-tolerant sweeps).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Configuration snapshot supplied by the lifecycle when it assembles a
 /// manifest. Component hyperparameters ride along inside the component
