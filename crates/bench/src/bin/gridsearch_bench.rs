@@ -39,11 +39,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = vec![1.0; y.len()];
     let candidates = logistic_regression_grid();
 
+    let cores = available_threads();
+    let single_core = cores == 1;
     println!(
-        "grid search: {} candidates x {K} folds on {rows} rows ({} cores available)",
+        "grid search: {} candidates x {K} folds on {rows} rows ({cores} cores available)",
         candidates.len(),
-        available_threads()
     );
+    if single_core {
+        eprintln!("=============================================================");
+        eprintln!("WARNING: only 1 CPU core is available on this machine.");
+        eprintln!("Thread-count timings below CANNOT show real parallel speedup;");
+        eprintln!("they only document scheduling overhead. Re-run on a multi-core");
+        eprintln!("box before quoting any speedup from this file. This warning is");
+        eprintln!("recorded in the JSON as single_core_warning.");
+        eprintln!("=============================================================");
+    }
 
     // Always measure the multi-thread points, even on a small machine:
     // the speedup column then documents what the hardware could deliver
@@ -85,9 +95,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = rows_out[0].1;
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"bench\": \"gridsearch\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"folds\": {K},\n  \"repeats\": {repeats},\n  \"available_cores\": {},\n  \"results\": [\n",
+        "  \"bench\": \"gridsearch\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"folds\": {K},\n  \"repeats\": {repeats},\n  \"available_cores\": {cores},\n  \"single_core_warning\": {single_core},\n  \"results\": [\n",
         candidates.len(),
-        available_threads()
     ));
     for (i, (threads, median)) in rows_out.iter().enumerate() {
         let comma = if i + 1 < rows_out.len() { "," } else { "" };

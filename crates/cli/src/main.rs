@@ -35,6 +35,11 @@ USAGE:
   fairprep audit --dataset <name> [--rows N]  dataset-level fairness statistics
   fairprep audit --source <root>              static source audit (isolation,
                                               determinism, panic-hygiene lints)
+  fairprep generate --dataset <name> --rows N [--seed S] [--out PATH]
+                                              materialize a synthetic dataset as
+                                              CSV (PATH, or stdout when omitted);
+                                              scales to 10M+ rows for out-of-core
+                                              ingest experiments
   fairprep help                               this message
 
 OPTIONS (run / sweep / audit):
@@ -112,6 +117,7 @@ fn execute(raw: &[String]) -> Result<(), String> {
         "run" => cmd_run(&inv),
         "sweep" => cmd_sweep(&inv),
         "audit" => cmd_audit(&inv),
+        "generate" => cmd_generate(&inv),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -493,6 +499,37 @@ fn cmd_audit(inv: &Invocation) -> Result<(), String> {
         println!(
             "completeness     : {} complete (base rate {:.3}) / {} incomplete (base rate {:.3})",
             c.complete_count, c.complete_rate, c.incomplete_count, c.incomplete_rate
+        );
+    }
+    Ok(())
+}
+
+/// `fairprep generate` — materializes a synthetic dataset as CSV, scaled
+/// to `--rows` (0 = the documented full size). Feeds out-of-core ingest
+/// experiments without shipping multi-hundred-MB fixtures.
+fn cmd_generate(inv: &Invocation) -> Result<(), String> {
+    let name = inv.require("dataset")?;
+    let rows = inv.parse_or::<usize>("rows", 0)?;
+    let seed = inv.parse_or::<u64>("seed", 20_19)?;
+    let dataset = build::load_dataset(name, rows, seed)?;
+    let frame = dataset.frame();
+    let out = inv.get_or("out", "-");
+    if out == "-" {
+        let stdout = std::io::stdout();
+        let mut lock = std::io::BufWriter::new(stdout.lock());
+        fairprep_data::csv::write_csv(frame, &mut lock)
+            .map_err(|e| format!("writing CSV to stdout: {e}"))?;
+    } else {
+        let file = std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
+        let mut writer = std::io::BufWriter::new(file);
+        fairprep_data::csv::write_csv(frame, &mut writer)
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        use std::io::Write as _;
+        writer.flush().map_err(|e| format!("flushing {out}: {e}"))?;
+        eprintln!(
+            "wrote {} rows x {} columns to {out}",
+            frame.n_rows(),
+            frame.column_names().len()
         );
     }
     Ok(())

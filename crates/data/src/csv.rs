@@ -74,59 +74,96 @@ fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
     Ok(fields)
 }
 
-/// Reads a typed frame from CSV text.
+/// A header-resolved, typed CSV record stream — the shared core of the
+/// in-memory [`read_csv`] and the chunked
+/// [`read_csv_chunked`](crate::chunked::read_csv_chunked).
 ///
-/// The first record must be a header; `kinds` maps each header name to the
-/// column type to ingest. Header columns absent from `kinds` are skipped.
-/// Cells matching one of `missing_tokens` become missing values.
-pub fn read_csv<R: BufRead>(
-    reader: R,
-    kinds: &[(&str, ColumnKind)],
-    missing_tokens: &[&str],
-) -> Result<DataFrame> {
-    let mut lines = reader.lines().enumerate();
-    let header = match lines.next() {
-        Some((_, line)) => parse_record(&line?, 1)?,
-        None => {
-            return Err(Error::Csv {
-                line: 1,
-                message: "empty input".to_string(),
-            })
+/// Both readers drive the *same* record splitter, header resolution,
+/// missing-token matching, and cell typing through this type, which is what
+/// makes chunked ingest bit-identical to a single-pass read by
+/// construction: the only difference between the two paths is how the typed
+/// rows are batched afterwards.
+pub struct TypedCsvReader<R: BufRead> {
+    lines: std::iter::Enumerate<std::io::Lines<R>>,
+    header_len: usize,
+    positions: Vec<(usize, String, ColumnKind)>,
+    missing_tokens: Vec<String>,
+}
+
+impl<R: BufRead> TypedCsvReader<R> {
+    /// Parses the header record and resolves the requested columns.
+    ///
+    /// The first record must be a header; `kinds` maps each header name to
+    /// the column type to ingest. Header columns absent from `kinds` are
+    /// skipped. Cells matching one of `missing_tokens` (compared after
+    /// trimming surrounding whitespace) become missing values.
+    pub fn new(reader: R, kinds: &[(&str, ColumnKind)], missing_tokens: &[&str]) -> Result<Self> {
+        let mut lines = reader.lines().enumerate();
+        let header = match lines.next() {
+            Some((_, line)) => parse_record(&line?, 1)?,
+            None => {
+                return Err(Error::Csv {
+                    line: 1,
+                    message: "empty input".to_string(),
+                })
+            }
+        };
+        let mut positions = Vec::with_capacity(kinds.len());
+        for (name, kind) in kinds {
+            let pos = header
+                .iter()
+                .position(|h| h.trim() == *name)
+                .ok_or_else(|| Error::ColumnNotFound((*name).to_string()))?;
+            positions.push((pos, (*name).to_string(), *kind));
         }
-    };
-    // For each requested column, find its position in the header.
-    let mut positions = Vec::with_capacity(kinds.len());
-    for (name, kind) in kinds {
-        let pos = header
-            .iter()
-            .position(|h| h.trim() == *name)
-            .ok_or_else(|| Error::ColumnNotFound((*name).to_string()))?;
-        positions.push((pos, *name, *kind));
+        Ok(TypedCsvReader {
+            lines,
+            header_len: header.len(),
+            positions,
+            missing_tokens: missing_tokens.iter().map(|t| (*t).to_string()).collect(),
+        })
     }
 
-    let mut builder = FrameBuilder::new(
-        &positions
+    /// The resolved output columns as a [`FrameBuilder`]/chunk spec, in
+    /// request order.
+    #[must_use]
+    pub fn spec(&self) -> Vec<(String, ColumnKind)> {
+        self.positions
             .iter()
-            .map(|(_, n, k)| (*n, *k))
-            .collect::<Vec<_>>(),
-    );
-    for (idx, line) in lines {
-        let line_no = idx + 1;
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+            .map(|(_, n, k)| (n.clone(), *k))
+            .collect()
+    }
+
+    /// Reads the next data record as typed cells in request-column order.
+    /// Blank lines are skipped; `None` signals end of input.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_row(&mut self) -> Option<Result<Vec<OwnedValue>>> {
+        for (idx, line) in self.lines.by_ref() {
+            let line_no = idx + 1;
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => return Some(Err(e.into())),
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Some(self.typed_row(&line, line_no));
         }
-        let record = parse_record(&line, line_no)?;
-        if record.len() != header.len() {
+        None
+    }
+
+    fn typed_row(&self, line: &str, line_no: usize) -> Result<Vec<OwnedValue>> {
+        let record = parse_record(line, line_no)?;
+        if record.len() != self.header_len {
             return Err(Error::Csv {
                 line: line_no,
-                message: format!("expected {} fields, got {}", header.len(), record.len()),
+                message: format!("expected {} fields, got {}", self.header_len, record.len()),
             });
         }
-        let mut row = Vec::with_capacity(positions.len());
-        for (pos, name, kind) in &positions {
+        let mut row = Vec::with_capacity(self.positions.len());
+        for (pos, name, kind) in &self.positions {
             let raw = record[*pos].trim();
-            if missing_tokens.contains(&raw) {
+            if self.missing_tokens.iter().any(|t| t == raw) {
                 row.push(OwnedValue::Missing);
                 continue;
             }
@@ -141,7 +178,26 @@ pub fn read_csv<R: BufRead>(
                 ColumnKind::Categorical => row.push(OwnedValue::Categorical(raw.to_string())),
             }
         }
-        builder.push_row(row)?;
+        Ok(row)
+    }
+}
+
+/// Reads a typed frame from CSV text.
+///
+/// The first record must be a header; `kinds` maps each header name to the
+/// column type to ingest. Header columns absent from `kinds` are skipped.
+/// Cells matching one of `missing_tokens` become missing values.
+pub fn read_csv<R: BufRead>(
+    reader: R,
+    kinds: &[(&str, ColumnKind)],
+    missing_tokens: &[&str],
+) -> Result<DataFrame> {
+    let mut records = TypedCsvReader::new(reader, kinds, missing_tokens)?;
+    let spec = records.spec();
+    let spec_refs: Vec<(&str, ColumnKind)> = spec.iter().map(|(n, k)| (n.as_str(), *k)).collect();
+    let mut builder = FrameBuilder::new(&spec_refs);
+    while let Some(row) = records.next_row() {
+        builder.push_row(row?)?;
     }
     builder.finish()
 }

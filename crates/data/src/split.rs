@@ -107,8 +107,21 @@ pub fn train_val_test_split(
     spec: SplitSpec,
     seed: u64,
 ) -> Result<TrainValTest> {
+    let indices = split_row_indices(dataset.n_rows(), spec, seed)?;
+    Ok(tagged_partitions(
+        dataset,
+        indices.train,
+        indices.validation,
+        indices.test,
+    ))
+}
+
+/// Computes the shuffled partition indices of the three-way split without
+/// touching any data — the RNG-consuming core of [`train_val_test_split`],
+/// shared with the chunked split so both produce identical partitions for
+/// the same `(n, spec, seed)`.
+pub fn split_row_indices(n: usize, spec: SplitSpec, seed: u64) -> Result<SplitIndices> {
     spec.validate()?;
-    let n = dataset.n_rows();
     if n < 3 {
         return Err(Error::EmptyData(format!(
             "need at least 3 rows to split, have {n}"
@@ -131,11 +144,11 @@ pub fn train_val_test_split(
         )));
     }
 
-    let train_idx = order[..n_train].to_vec();
-    let val_idx = order[n_train..n_train + n_val].to_vec();
-    let test_idx = order[n_train + n_val..].to_vec();
-
-    Ok(tagged_partitions(dataset, train_idx, val_idx, test_idx))
+    Ok(SplitIndices {
+        train: order[..n_train].to_vec(),
+        validation: order[n_train..n_train + n_val].to_vec(),
+        test: order[n_train + n_val..].to_vec(),
+    })
 }
 
 /// Materializes the three partitions and stamps their provenance tags —

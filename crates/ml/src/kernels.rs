@@ -1,0 +1,365 @@
+//! Explicit-width compute kernels for the hot predict/train loops.
+//!
+//! Every kernel here is written against a **frozen arithmetic
+//! specification**: the exact per-element operations and, for reductions,
+//! the exact combine tree are part of the public contract, because the
+//! golden-trace manifests, sweep journals, and 1-vs-8-thread proptests all
+//! pin run results bit-for-bit. An implementation may restructure *memory
+//! access* freely (wider loads, unrolling, preallocated outputs) but must
+//! not change *float semantics*.
+//!
+//! Two reduction flavours exist for the dot product:
+//!
+//! * [`dot`] — the pipeline kernel. Four interleaved accumulators combined
+//!   as `(a0+a1) + (a2+a3) + tail`, processing [`LANES`] elements per loop
+//!   iteration. This is bit-identical to the seed kernel (the reduction
+//!   tree is unchanged; only the memory width grew), so every golden
+//!   manifest still verifies. [`dot_ref`] is its readable scalar
+//!   specification; the two are proptested bit-for-bit on every tail
+//!   length.
+//! * [`dot_lanes`] — a free [`LANES`]-accumulator reduction that lets the
+//!   compiler keep a full 8×f64 vector register of independent partial
+//!   sums in flight. It is faster on wide hardware but uses a *different*
+//!   combine tree, so it is **not** bit-compatible with [`dot`] and must
+//!   never feed a manifest-visible number. The `bench_kernels` harness
+//!   reports both so the price of bit-stable determinism stays measured
+//!   instead of assumed.
+//!
+//! Element-wise kernels ([`axpy`], [`sgd_step`]) have no reduction at all:
+//! each output element depends on one input element through a fixed
+//! expression, so any vector width produces identical bits and they are
+//! routed straight into the training loops.
+
+// audit: allow-file(index-literal, reason = "fixed-width kernels index [f64; 4]/[f64; 8] accumulators and chunks_exact blocks whose lengths are compile-time constants, so literal indices 0..=7 are always in bounds")
+
+/// The memory width of the kernels: elements processed per loop iteration
+/// (8 × f64 = one 512-bit vector register).
+pub const LANES: usize = 8;
+
+/// Pipeline dot product — frozen reduction tree, [`LANES`]-wide memory
+/// access.
+///
+/// Semantics (unchanged from the seed kernel): accumulator `j` of four
+/// sums the elements with index ≡ `j` (mod 4) in ascending order; the
+/// final value is `(a0 + a1) + (a2 + a3) + tail` where `tail` is the
+/// sequential sum of the `len % 4` trailing products. The implementation
+/// consumes two 4-element groups per iteration so the loads use full
+/// vector width, but the update order of each accumulator — and therefore
+/// every intermediate rounding — is identical to [`dot_ref`].
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let split8 = a.len() - a.len() % LANES;
+    let (a8, a_rest) = a.split_at(split8);
+    let (b8, b_rest) = b.split_at(split8);
+    for (xs, ys) in a8.chunks_exact(LANES).zip(b8.chunks_exact(LANES)) {
+        acc[0] += xs[0] * ys[0];
+        acc[1] += xs[1] * ys[1];
+        acc[2] += xs[2] * ys[2];
+        acc[3] += xs[3] * ys[3];
+        acc[0] += xs[4] * ys[4];
+        acc[1] += xs[5] * ys[5];
+        acc[2] += xs[6] * ys[6];
+        acc[3] += xs[7] * ys[7];
+    }
+    // At most one full 4-element group can remain before the scalar tail.
+    let split4 = a_rest.len() - a_rest.len() % 4;
+    let (a4, a_tail) = a_rest.split_at(split4);
+    let (b4, b_tail) = b_rest.split_at(split4);
+    if let (Some(xs), Some(ys)) = (a4.chunks_exact(4).next(), b4.chunks_exact(4).next()) {
+        acc[0] += xs[0] * ys[0];
+        acc[1] += xs[1] * ys[1];
+        acc[2] += xs[2] * ys[2];
+        acc[3] += xs[3] * ys[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Scalar specification of [`dot`]: the same four-accumulator reduction
+/// tree written as the simplest possible loop. Used as the bit-for-bit
+/// oracle in the kernel-equivalence proptests and as the scalar baseline
+/// in `bench_kernels`.
+#[must_use]
+pub fn dot_ref(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let quads = a.len() - a.len() % 4;
+    for i in 0..quads {
+        acc[i % 4] += a[i] * b[i];
+    }
+    let mut tail = 0.0;
+    for i in quads..a.len() {
+        tail += a[i] * b[i];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Naive single-accumulator dot product — the textbook scalar loop. Its
+/// sequential dependency chain is what the unrolled kernels exist to
+/// break; `bench_kernels` reports it as the honest "what a plain loop
+/// would cost" baseline. Not bit-compatible with [`dot`] (different
+/// summation order).
+#[must_use]
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Free 8-lane dot product: [`LANES`] independent accumulators combined
+/// pairwise, `((a0+a1)+(a2+a3)) + ((a4+a5)+(a6+a7)) + tail`.
+///
+/// **Not bit-compatible with [`dot`]** — the partial sums differ, so the
+/// result differs in the last bits for general inputs. It exists for
+/// future code paths without a frozen-bits constraint and so the
+/// determinism tax shows up in `BENCH_kernels.json` as a measured number.
+#[must_use]
+pub fn dot_lanes(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; LANES];
+    let split = a.len() - a.len() % LANES;
+    let (a8, a_tail) = a.split_at(split);
+    let (b8, b_tail) = b.split_at(split);
+    for (xs, ys) in a8.chunks_exact(LANES).zip(b8.chunks_exact(LANES)) {
+        acc[0] += xs[0] * ys[0];
+        acc[1] += xs[1] * ys[1];
+        acc[2] += xs[2] * ys[2];
+        acc[3] += xs[3] * ys[3];
+        acc[4] += xs[4] * ys[4];
+        acc[5] += xs[5] * ys[5];
+        acc[6] += xs[6] * ys[6];
+        acc[7] += xs[7] * ys[7];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        tail += x * y;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
+
+/// Batched matrix–vector product into a caller-provided buffer:
+/// `out[i] = dot(row_i, w)` over row-major `data` with `cols` columns.
+///
+/// Each output element is one frozen-tree [`dot`], so the result is
+/// bit-identical to mapping [`dot_ref`] over the rows. A zero-column
+/// matrix still writes one `0.0` per row.
+pub fn matvec_into(data: &[f64], cols: usize, w: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(w.len(), cols);
+    if cols == 0 {
+        out.fill(0.0);
+        return;
+    }
+    debug_assert_eq!(data.len(), out.len() * cols);
+    for (o, row) in out.iter_mut().zip(data.chunks_exact(cols)) {
+        *o = dot(row, w);
+    }
+}
+
+/// Element-wise `y[i] += alpha * x[i]`, [`LANES`]-wide.
+///
+/// No reduction: per-element results are independent of vector width, so
+/// this is bit-identical to the plain loop at any unroll factor.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let split = x.len() - x.len() % LANES;
+    let (x8, x_tail) = x.split_at(split);
+    let (y8, y_tail) = y.split_at_mut(split);
+    for (ys, xs) in y8.chunks_exact_mut(LANES).zip(x8.chunks_exact(LANES)) {
+        for (yj, xj) in ys.iter_mut().zip(xs) {
+            *yj += alpha * xj;
+        }
+    }
+    for (yj, xj) in y_tail.iter_mut().zip(x_tail) {
+        *yj += alpha * xj;
+    }
+}
+
+/// 1-D gather into a caller-provided buffer: `out[k] = src[idx[k]]`.
+///
+/// Pure data movement (bit-exact by construction); the vector form of the
+/// preallocated matrix gathers in
+/// [`Matrix::gather`](crate::matrix::Matrix::gather). Used for bootstrap
+/// label/weight selection in ensembles.
+pub fn gather(src: &[f64], idx: &[usize], out: &mut [f64]) {
+    debug_assert_eq!(idx.len(), out.len());
+    for (o, &i) in out.iter_mut().zip(idx) {
+        *o = src[i];
+    }
+}
+
+/// Allocating convenience wrapper around [`gather`].
+#[must_use]
+pub fn gather_vec(src: &[f64], idx: &[usize]) -> Vec<f64> {
+    let mut out = vec![0.0; idx.len()];
+    gather(src, idx, &mut out);
+    out
+}
+
+/// One SGD weight update for the logistic log-loss:
+/// `w[j] -= eta * (g * row[j] + l2 * w[j] + l1 * signum(w[j]))`, with the
+/// `l1` term skipped entirely when `l1 == 0` (matching the seed training
+/// loop, where the branch guards the `signum` call).
+///
+/// Element-wise with the exact per-element expression of the seed loop,
+/// so training trajectories — and therefore every golden manifest — are
+/// unchanged.
+pub fn sgd_step(w: &mut [f64], row: &[f64], g: f64, eta: f64, l1: f64, l2: f64) {
+    debug_assert_eq!(w.len(), row.len());
+    if l1 > 0.0 {
+        for (wj, &xj) in w.iter_mut().zip(row) {
+            let grad = g * xj + l2 * *wj + l1 * wj.signum();
+            *wj -= eta * grad;
+        }
+    } else {
+        let split = w.len() - w.len() % LANES;
+        let (w8, w_tail) = w.split_at_mut(split);
+        let (r8, r_tail) = row.split_at(split);
+        for (ws, xs) in w8.chunks_exact_mut(LANES).zip(r8.chunks_exact(LANES)) {
+            for (wj, &xj) in ws.iter_mut().zip(xs) {
+                let grad = g * xj + l2 * *wj;
+                *wj -= eta * grad;
+            }
+        }
+        for (wj, &xj) in w_tail.iter_mut().zip(r_tail) {
+            let grad = g * xj + l2 * *wj;
+            *wj -= eta * grad;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vectors(n: usize) -> (Vec<f64>, Vec<f64>) {
+        // Irrational-step values exercise rounding in every combine.
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.618_033_988_7).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.414_213_562_3).cos()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn dot_matches_ref_bitwise_on_every_tail() {
+        for n in 0..=64 {
+            let (a, b) = vectors(n);
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                dot_ref(&a, &b).to_bits(),
+                "dot != dot_ref at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_preserves_the_seed_reduction_tree() {
+        // The seed kernel: 4-chunk loop with interleaved accumulators.
+        fn seed_dot(a: &[f64], b: &[f64]) -> f64 {
+            let mut acc = [0.0f64; 4];
+            let (a4, a_tail) = a.split_at(a.len() - a.len() % 4);
+            let (b4, b_tail) = b.split_at(a4.len());
+            for (xs, ys) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+                acc[0] += xs[0] * ys[0];
+                acc[1] += xs[1] * ys[1];
+                acc[2] += xs[2] * ys[2];
+                acc[3] += xs[3] * ys[3];
+            }
+            let mut tail = 0.0;
+            for (x, y) in a_tail.iter().zip(b_tail) {
+                tail += x * y;
+            }
+            (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+        }
+        for n in 0..=64 {
+            let (a, b) = vectors(n);
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                seed_dot(&a, &b).to_bits(),
+                "widened kernel drifted from the seed tree at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_lanes_agrees_within_tolerance_but_not_bits() {
+        let (a, b) = vectors(1000);
+        let frozen = dot(&a, &b);
+        let free = dot_lanes(&a, &b);
+        assert!((frozen - free).abs() < 1e-9 * (1.0 + frozen.abs()));
+    }
+
+    #[test]
+    fn dot_scalar_agrees_within_tolerance() {
+        let (a, b) = vectors(1000);
+        assert!((dot(&a, &b) - dot_scalar(&a, &b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matvec_into_matches_per_row_ref() {
+        let cols = 13;
+        let rows = 9;
+        let (data, _) = vectors(rows * cols);
+        let (w, _) = vectors(cols);
+        let mut out = vec![0.0; rows];
+        matvec_into(&data, cols, &w, &mut out);
+        for (i, o) in out.iter().enumerate() {
+            let row = &data[i * cols..(i + 1) * cols];
+            assert_eq!(o.to_bits(), dot_ref(row, &w).to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn matvec_into_zero_columns() {
+        let mut out = vec![9.0; 3];
+        matvec_into(&[], 0, &[], &mut out);
+        assert_eq!(out, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn axpy_matches_plain_loop_bitwise() {
+        for n in [0, 1, 7, 8, 9, 17, 64] {
+            let (x, y0) = vectors(n);
+            let mut y = y0.clone();
+            axpy(0.37, &x, &mut y);
+            let expected: Vec<f64> = y0.iter().zip(&x).map(|(y, x)| y + 0.37 * x).collect();
+            let same = y
+                .iter()
+                .zip(&expected)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "axpy drifted at n={n}");
+        }
+    }
+
+    #[test]
+    fn sgd_step_matches_seed_loop_bitwise() {
+        for n in [0, 1, 5, 8, 13, 32] {
+            for (l1, l2) in [(0.0, 0.0), (0.0, 1e-4), (0.01, 0.0), (0.01, 1e-4)] {
+                let (row, w0) = vectors(n);
+                let (g, eta) = (0.73, 0.01);
+                let mut w = w0.clone();
+                sgd_step(&mut w, &row, g, eta, l1, l2);
+                // The seed training loop, verbatim.
+                let mut expected = w0.clone();
+                for (wj, &xj) in expected.iter_mut().zip(&row) {
+                    let mut grad = g * xj + l2 * *wj;
+                    if l1 > 0.0 {
+                        grad += l1 * wj.signum();
+                    }
+                    *wj -= eta * grad;
+                }
+                let same = w
+                    .iter()
+                    .zip(&expected)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "sgd_step drifted at n={n} l1={l1} l2={l2}");
+            }
+        }
+    }
+}

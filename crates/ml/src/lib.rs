@@ -31,6 +31,7 @@
 #![warn(clippy::all)]
 
 pub mod eval;
+pub mod kernels;
 pub mod matrix;
 pub mod model;
 pub mod selection;

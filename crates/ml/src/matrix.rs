@@ -5,9 +5,10 @@
 //! This type is the matrix form: complete (no missing values), numeric,
 //! row-major for cache-friendly per-example access during SGD.
 
-// audit: allow-file(index-literal, reason = "fixed-width unrolled dot kernel: chunks_exact(4) and the [f64; 4] accumulator guarantee indices 0..=3 are in bounds")
 use fairprep_data::error::{Error, Result};
 use fairprep_data::provenance::Provenance;
+
+pub use crate::kernels::dot;
 
 /// A dense row-major `f64` matrix.
 #[derive(Debug, Clone)]
@@ -144,11 +145,14 @@ impl Matrix {
     }
 
     /// Materializes the rows at `indices` into a new matrix.
+    ///
+    /// One preallocated output buffer filled by per-row `memcpy`s — no
+    /// incremental growth or capacity checks on the hot path.
     #[must_use]
     pub fn take_rows(&self, indices: &[usize]) -> Matrix {
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
-        for &i in indices {
-            data.extend_from_slice(self.row(i));
+        let mut data = vec![0.0; indices.len() * self.cols];
+        for (dst, &i) in data.chunks_exact_mut(self.cols.max(1)).zip(indices) {
+            dst.copy_from_slice(self.row(i));
         }
         Matrix {
             data,
@@ -160,13 +164,19 @@ impl Matrix {
 
     /// Materializes the columns at `indices` into a new matrix (used by
     /// random-subspace ensembles).
+    ///
+    /// Writes straight into a preallocated buffer instead of `push`ing
+    /// element-by-element, so the inner loop is a pure gather with no
+    /// capacity checks.
     #[must_use]
     pub fn select_columns(&self, indices: &[usize]) -> Matrix {
-        let mut data = Vec::with_capacity(self.rows * indices.len());
-        for i in 0..self.rows {
-            let row = self.row(i);
-            for &j in indices {
-                data.push(row[j]);
+        let mut data = vec![0.0; self.rows * indices.len()];
+        for (dst, src) in data
+            .chunks_exact_mut(indices.len().max(1))
+            .zip(self.rows_iter())
+        {
+            for (d, &j) in dst.iter_mut().zip(indices) {
+                *d = src[j];
             }
         }
         Matrix {
@@ -181,14 +191,15 @@ impl Matrix {
     /// columns at `cols`, without materializing the intermediate row
     /// selection (used by random-subspace ensembles, where
     /// `take_rows(..).select_columns(..)` would allocate a full bootstrap
-    /// copy per tree).
+    /// copy per tree). Like [`Matrix::select_columns`], the output is
+    /// preallocated and written directly.
     #[must_use]
     pub fn gather(&self, rows: &[usize], cols: &[usize]) -> Matrix {
-        let mut data = Vec::with_capacity(rows.len() * cols.len());
-        for &i in rows {
-            let row = self.row(i);
-            for &j in cols {
-                data.push(row[j]);
+        let mut data = vec![0.0; rows.len() * cols.len()];
+        for (dst, &i) in data.chunks_exact_mut(cols.len().max(1)).zip(rows) {
+            let src = self.row(i);
+            for (d, &j) in dst.iter_mut().zip(cols) {
+                *d = src[j];
             }
         }
         Matrix {
@@ -201,7 +212,8 @@ impl Matrix {
 
     /// Batched matrix–vector product: `out[i] = dot(row_i, w)`. This is
     /// the predict kernel for every linear model — one pass over the
-    /// row-major data, no per-row allocation.
+    /// row-major data through [`crate::kernels::matvec_into`], no per-row
+    /// allocation.
     pub fn matvec(&self, w: &[f64]) -> Result<Vec<f64>> {
         if w.len() != self.cols {
             return Err(Error::LengthMismatch {
@@ -209,7 +221,9 @@ impl Matrix {
                 actual: w.len(),
             });
         }
-        Ok(self.rows_iter().map(|row| dot(row, w)).collect())
+        let mut out = vec![0.0; self.rows];
+        crate::kernels::matvec_into(&self.data, self.cols, w, &mut out);
+        Ok(out)
     }
 
     /// `true` when every entry is finite.
@@ -223,30 +237,6 @@ impl Matrix {
     pub fn data(&self) -> &[f64] {
         &self.data
     }
-}
-
-/// Dot product of two equal-length slices, 4-wide unrolled.
-///
-/// Four independent accumulators break the sequential add dependency so
-/// the compiler can keep multiple FMAs in flight (and auto-vectorize);
-/// the deterministic combine order keeps results identical across calls.
-#[must_use]
-pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f64; 4];
-    let (a4, a_tail) = a.split_at(a.len() - a.len() % 4);
-    let (b4, b_tail) = b.split_at(a4.len());
-    for (xs, ys) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
-        acc[0] += xs[0] * ys[0];
-        acc[1] += xs[1] * ys[1];
-        acc[2] += xs[2] * ys[2];
-        acc[3] += xs[3] * ys[3];
-    }
-    let mut tail = 0.0;
-    for (x, y) in a_tail.iter().zip(b_tail) {
-        tail += x * y;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Numerically-stable logistic sigmoid.

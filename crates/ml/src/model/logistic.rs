@@ -16,6 +16,7 @@ use rand::seq::SliceRandom;
 use fairprep_data::error::{Error, Result};
 use fairprep_data::rng::component_rng;
 
+use crate::kernels::sgd_step;
 use crate::matrix::{dot, sigmoid, Matrix};
 use crate::model::{validate_training_inputs, Classifier, FittedClassifier};
 
@@ -180,13 +181,9 @@ impl Classifier for LogisticRegressionSgd {
                 let p = sigmoid(z);
                 // Gradient of the weighted log loss wrt z: weight * (p - y).
                 let g = weights[i] * (p - y[i]);
-                for (wj, &xj) in w.iter_mut().zip(row) {
-                    let mut grad = g * xj + l2 * *wj;
-                    if l1 > 0.0 {
-                        grad += l1 * wj.signum();
-                    }
-                    *wj -= eta * grad;
-                }
+                // Element-wise fused update; bit-identical to the former
+                // inline loop (see kernels::sgd_step's contract).
+                sgd_step(&mut w, row, g, eta, l1, l2);
                 if c.fit_intercept {
                     b -= eta * g;
                 }
