@@ -1,0 +1,43 @@
+//! Known-bad / known-good fixtures for the concurrency pass on closures
+//! handed to the worker pool (`shared-mut-capture`,
+//! `nondeterministic-reduce`).
+
+fn shared_accumulator(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let hits = RefCell::new(0u64);
+    parallel_map(4, xs, |x| {
+        total += x;
+        *hits.borrow_mut() += 1;
+        x + 1.0
+    });
+    total
+}
+
+fn captured_mut_borrow(xs: &[f64], log: &mut EventLog) {
+    parallel_map_catching(4, xs, |x| {
+        record(&mut log.events, *x);
+        x + 1.0
+    });
+}
+
+fn adhoc_float_reduction(rows: &[Vec<f64>]) -> Vec<f64> {
+    parallel_map(4, rows, |row| row.iter().sum::<f64>())
+}
+
+fn adhoc_float_fold(rows: &[Vec<f64>]) -> Vec<f64> {
+    parallel_map(4, rows, |row| row.iter().fold(0.0, |a, b| a + b))
+}
+
+fn clean_per_item_state(rows: &[Vec<f64>]) -> Vec<f64> {
+    parallel_map(4, rows, |row| {
+        let mut acc = 0.0;
+        for v in row {
+            acc = accumulate(acc, *v);
+        }
+        acc
+    })
+}
+
+fn clean_kernel_reduction(rows: &[Vec<f64>]) -> Vec<f64> {
+    parallel_map(4, rows, |row| fairprep_ml::kernels::dot(row, row))
+}

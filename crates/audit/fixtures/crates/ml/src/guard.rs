@@ -1,0 +1,43 @@
+//! Known-bad / known-good fixture for `missing-guard-fit`: this path
+//! mirrors a `crates/ml` source file, where every fit entry point must
+//! reach `guard_fit` through the call graph.
+
+pub trait Estimator {
+    fn fit(&mut self, x: &Matrix) -> Result<()>;
+}
+
+pub struct Unguarded {
+    weights: Vec<f64>,
+}
+
+impl Unguarded {
+    pub fn fit(&mut self, x: &Matrix) -> Result<()> {
+        self.update_weights(x)
+    }
+
+    fn update_weights(&mut self, _x: &Matrix) -> Result<()> {
+        Ok(())
+    }
+}
+
+pub struct DirectGuard;
+
+impl DirectGuard {
+    pub fn fit(&mut self, x: &Matrix) -> Result<()> {
+        guard_fit(x.provenance(), "DirectGuard::fit");
+        Ok(())
+    }
+}
+
+pub struct TransitiveGuard;
+
+impl TransitiveGuard {
+    pub fn fit(&mut self, x: &Matrix) -> Result<()> {
+        validate_inputs(x)
+    }
+}
+
+fn validate_inputs(x: &Matrix) -> Result<()> {
+    guard_fit(x.provenance(), "TransitiveGuard::fit");
+    Ok(())
+}

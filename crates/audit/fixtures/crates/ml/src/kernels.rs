@@ -1,0 +1,27 @@
+//! Known-bad / known-good fixture for `alloc-in-kernel`: this path
+//! mirrors `crates/ml/src/kernels.rs`, where every non-test function is
+//! part of the allocation-free hot core.
+
+pub fn bad_kernel(a: &[f64]) -> f64 {
+    let mut buf = Vec::new();
+    let copy = a.to_vec();
+    let doubled: Vec<f64> = a.iter().map(double).collect();
+    let label = format!("len={}", a.len());
+    buf.push(copy.len() as f64 + doubled.len() as f64 + label.len() as f64);
+    buf.iter().copied().fold(0.0, fadd)
+}
+
+pub fn good_kernel(a: &[f64], out: &mut [f64]) {
+    for (dst, src) in out.iter_mut().zip(a) {
+        *dst = *src * 2.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helpers_may_allocate() {
+        let v: Vec<f64> = (0..4).map(|i| i as f64).collect();
+        assert_eq!(v.len(), 4);
+    }
+}

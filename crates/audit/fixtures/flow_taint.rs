@@ -1,0 +1,41 @@
+//! Known-bad / known-good fixtures for the `test-taint-flow` dataflow
+//! lint. The bad flows all launder held-out data through a rebinding so
+//! the token-level `fit-on-test` lint cannot see them — only the
+//! flow-sensitive pass fires here.
+
+fn taint_through_rebinding(model: &mut Model, split: TrainValTest) -> Result<()> {
+    let sneaky = split.test;
+    let renamed = sneaky;
+    model.fit(&renamed)
+}
+
+fn taint_from_vault_accessor(model: &mut Model, vault: &TestSetVault) -> Result<()> {
+    let frame = vault.sealed_frame();
+    model.fit_transform(&frame)
+}
+
+fn taint_from_provenance_stamp(model: &mut Model, m: Matrix) -> Result<()> {
+    let stamped = m.with_provenance(Provenance::Test);
+    model.fit(&stamped)
+}
+
+fn clean_train_flow(model: &mut Model, split: TrainValTest) -> Result<()> {
+    let features = split.train;
+    model.fit(&features)
+}
+
+fn clean_rebind_untaints(model: &mut Model, split: TrainValTest) -> Result<()> {
+    let mut x = split.test;
+    x = split.train.clone();
+    model.fit(&x)
+}
+
+fn clean_predict_only(model: &Model, split: TrainValTest) -> Result<Predictions> {
+    let held = split.test;
+    model.predict(&held)
+}
+
+fn clean_splitter_is_not_a_source(model: &mut Model, frame: &DataFrame) -> Result<()> {
+    let split = train_val_test_split(frame, 0.2, 0.2, 42)?;
+    model.fit(&split.train)
+}

@@ -1,0 +1,16 @@
+//! Fixture for the `// audit: hot-path` opt-in marker: a marked function
+//! is held to the `alloc-in-kernel` standard wherever it lives; an
+//! unmarked twin with the same body is not.
+
+// audit: hot-path
+fn marked_inner_loop(dst: &mut [u8], src: &[u8]) -> usize {
+    let staged = src.to_vec();
+    dst.copy_from_slice(&staged);
+    staged.len()
+}
+
+fn unmarked_twin(dst: &mut [u8], src: &[u8]) -> usize {
+    let staged = src.to_vec();
+    dst.copy_from_slice(&staged);
+    staged.len()
+}

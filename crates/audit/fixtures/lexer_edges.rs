@@ -1,0 +1,39 @@
+//! Lexer edge cases as an executable fixture: every lint trigger below
+//! sits inside a raw string, byte string, nested block comment, or char
+//! literal, so a correct lexer reports exactly ONE violation in this
+//! file — the real `.unwrap()` at the end — at exactly the right line,
+//! even after multi-line literals.
+
+fn raw_string_is_opaque() -> &'static str {
+    r#"x.unwrap(); model.fit(test_frame); std::thread::spawn"#
+}
+
+fn raw_hash_string_is_opaque() -> &'static str {
+    r##"nested "quote # inside" y.expect("no") HashMap"##
+}
+
+fn byte_string_is_opaque() -> &'static [u8] {
+    b"panic!(\"no\") vault.row(0) Instant::now()"
+}
+
+fn raw_byte_string_is_opaque() -> &'static [u8] {
+    br#"a == b as f64 plus data[0]"#
+}
+
+fn multiline_raw_keeps_line_numbers() -> &'static str {
+    r#"line one
+z.unwrap()
+line three"#
+}
+
+/* outer comment /* nested: q.unwrap() and panic!("x") */ still inside
+   the outer comment, so still inert: w.expect("no") */
+
+fn lifetime_is_not_a_char_literal(c: char) -> bool {
+    let held: Option<&'static str> = None;
+    c == 'a' && held.is_none()
+}
+
+fn the_one_real_violation(o: Option<u8>) -> u8 {
+    o.unwrap()
+}

@@ -1,0 +1,368 @@
+//! Layer-two analysis: static provenance dataflow.
+//!
+//! Two lints live here, both static mirrors of the runtime `Provenance`
+//! taint (see DESIGN.md "Static analysis & enforced invariants"):
+//!
+//! * **`test-taint-flow`** — seeds taint at test-split sources
+//!   (`TestSetVault` accessors, `split.test` field reads,
+//!   `Provenance::Test` stamps), propagates it through `let` bindings and
+//!   assignments *flow-sensitively* (rebinding a name to clean data
+//!   untaints it), and flags any tainted value reaching a
+//!   `fit`/`fit_transform` sink. This catches the laundering case the
+//!   token-level `fit-on-test` lint cannot: `let sneaky = split.test;
+//!   model.fit(&sneaky)`.
+//! * **`missing-guard-fit`** — exhaustiveness: every fit-family entry
+//!   point in `crates/ml`, `crates/impute`, and `crates/fairness` must
+//!   reach a `guard_fit` call through the workspace call graph, so the
+//!   runtime assert cannot be forgotten on a new estimator.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokenKind;
+use crate::lints::{Diagnostic, FileAnalysis};
+use crate::parser::{View, Workspace};
+
+/// Crate prefixes whose fit entry points must carry the runtime guard.
+const GUARDED_CRATES: &[&str] = &["crates/ml/", "crates/impute/", "crates/fairness/"];
+
+/// Runs both dataflow lints over one analyzed file, using `workspace` for
+/// cross-file reachability. Appends raw (pre-waiver) diagnostics.
+pub fn check(analysis: &FileAnalysis<'_>, workspace: &Workspace, raw: &mut Vec<Diagnostic>) {
+    if analysis.scope.lint_applies("test-taint-flow")
+        && !analysis.rel_path.ends_with("core/src/lifecycle.rs")
+    {
+        check_taint_flow(analysis, raw);
+    }
+    if analysis.scope.lint_applies("missing-guard-fit") {
+        check_missing_guard(analysis, workspace, raw);
+    }
+}
+
+/// Segment-aware held-out naming rule for the dataflow pass. `latest`
+/// must not count as held-out just because it contains "test", so this
+/// splits on `_` and requires an exact segment match — or a capitalized
+/// `Test`/`Vault`/`Holdout` type-name fragment (`TestSetVault`).
+fn heldout_name(ident: &str) -> bool {
+    ident.split('_').any(|seg| {
+        matches!(
+            seg.to_ascii_lowercase().as_str(),
+            "test" | "vault" | "holdout"
+        )
+    }) || ["Test", "Vault", "Holdout"]
+        .iter()
+        .any(|m| ident.contains(m))
+}
+
+fn has_segment(ident: &str, seg: &str) -> bool {
+    ident.split('_').any(|s| s.eq_ignore_ascii_case(seg))
+}
+
+/// `true` when the token range `[a, b)` evaluates to held-out-derived
+/// data: it mentions a tainted local, a held-out-named plain identifier,
+/// a `Provenance::Test` stamp, or a call to a held-out accessor.
+fn range_is_tainted(view: &View<'_>, a: usize, b: usize, tainted: &BTreeSet<String>) -> bool {
+    let mut s = a;
+    while s < b {
+        if view.kind(s) == TokenKind::Ident {
+            let t = view.text(s);
+            if t == "Provenance"
+                && s + 2 < b
+                && view.text(s + 1) == "::"
+                && view.text(s + 2) == "Test"
+            {
+                return true;
+            }
+            let next = (s + 1 < view.len()).then(|| view.text(s + 1));
+            match next {
+                // A call: heldout-named accessors are sources unless the
+                // name is a splitter (`train_val_test_split` *produces*
+                // the split, it is not the held-out half).
+                Some("(") => {
+                    if heldout_name(t) && !has_segment(t, "split") {
+                        return true;
+                    }
+                }
+                // A struct-literal field name (`TrainValTest { test: c }`)
+                // names a slot, not a value.
+                Some(":") => {}
+                _ => {
+                    if tainted.contains(t) || heldout_name(t) {
+                        return true;
+                    }
+                }
+            }
+        }
+        s += 1;
+    }
+    false
+}
+
+/// Index of the significant token closing the statement started inside
+/// `limit`: the first `;` at bracket depth zero, or `limit` itself.
+fn statement_end(view: &View<'_>, from: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut s = from;
+    while s < limit {
+        match view.text(s) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth <= 0 => return s,
+            _ => {}
+        }
+        s += 1;
+    }
+    limit
+}
+
+/// Flow-sensitive taint walk over every non-test function body.
+fn check_taint_flow(analysis: &FileAnalysis<'_>, raw: &mut Vec<Diagnostic>) {
+    let view = analysis.view();
+    for f in &analysis.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let mut tainted: BTreeSet<String> = BTreeSet::new();
+        let mut s = open + 1;
+        while s < close {
+            let text = view.text(s);
+            // `let [mut] name [: Ty] = rhs ;` — strong update: the binding
+            // takes exactly the provenance of its right-hand side.
+            if text == "let" && view.kind(s) == TokenKind::Ident {
+                let mut n = s + 1;
+                if n < close && view.text(n) == "mut" {
+                    n += 1;
+                }
+                if n < close && view.kind(n) == TokenKind::Ident {
+                    let name = view.text(n).to_string();
+                    let end = statement_end(&view, n, close);
+                    // The initializer starts after the first depth-zero `=`.
+                    let mut depth = 0i32;
+                    let mut eq = None;
+                    for j in n + 1..end {
+                        match view.text(j) {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            "=" if depth <= 0 => {
+                                eq = Some(j);
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if let Some(eq) = eq {
+                        if range_is_tainted(&view, eq + 1, end, &tainted) {
+                            tainted.insert(name);
+                        } else {
+                            tainted.remove(&name);
+                        }
+                    }
+                    s = end;
+                    continue;
+                }
+            }
+            // Plain re-assignment `name = rhs ;` at a statement boundary.
+            if view.kind(s) == TokenKind::Ident
+                && s + 1 < close
+                && view.text(s + 1) == "="
+                && (s == open + 1 || matches!(view.text(s - 1), ";" | "{" | "}" | "*"))
+            {
+                let name = text.to_string();
+                let end = statement_end(&view, s + 2, close);
+                if range_is_tainted(&view, s + 2, end, &tainted) {
+                    tainted.insert(name);
+                } else {
+                    tainted.remove(&name);
+                }
+                s = end;
+                continue;
+            }
+            // Sink: a fit call whose receiver chain or arguments carry a
+            // tainted local. Lexically held-out names are `fit-on-test`'s
+            // job; this fires only on flow-derived taint to avoid
+            // duplicate findings.
+            if (text == "fit" || text == "fit_transform")
+                && view.kind(s) == TokenKind::Ident
+                && s + 1 < close
+                && view.text(s + 1) == "("
+            {
+                let args_close = view.matching(s + 1, "(", ")").min(close);
+                let mut culprit: Option<String> = None;
+                for j in s + 2..args_close {
+                    if view.kind(j) == TokenKind::Ident && tainted.contains(view.text(j)) {
+                        culprit = Some(view.text(j).to_string());
+                        break;
+                    }
+                }
+                // Receiver chain: `a.b.fit(...)` — walk `ident .` pairs
+                // backwards from the `fit` token.
+                let mut r = s;
+                while culprit.is_none() && r >= 2 && view.text(r - 1) == "." {
+                    if view.kind(r - 2) == TokenKind::Ident {
+                        let recv = view.text(r - 2);
+                        if tainted.contains(recv) {
+                            culprit = Some(recv.to_string());
+                        }
+                    }
+                    r -= 2;
+                }
+                if let Some(var) = culprit {
+                    raw.push(Diagnostic {
+                        lint: "test-taint-flow",
+                        file: analysis.rel_path.to_string(),
+                        line: view.line(s),
+                        message: format!(
+                            "`{var}` is derived from held-out data and flows into \
+                             `{text}` — training must never see the test split, even \
+                             through a rebinding"
+                        ),
+                    });
+                    s = args_close;
+                    continue;
+                }
+            }
+            s += 1;
+        }
+    }
+}
+
+/// Every fit-family entry point in the guarded crates must reach
+/// `guard_fit` through the call graph.
+fn check_missing_guard(
+    analysis: &FileAnalysis<'_>,
+    workspace: &Workspace,
+    raw: &mut Vec<Diagnostic>,
+) {
+    if !GUARDED_CRATES
+        .iter()
+        .any(|p| analysis.rel_path.starts_with(p))
+    {
+        return;
+    }
+    for (idx, sym) in workspace.fns.iter().enumerate() {
+        if sym.file != analysis.rel_path {
+            continue;
+        }
+        let f = &sym.item;
+        if f.in_test || f.body.is_none() || !f.is_fit_entry() {
+            continue;
+        }
+        if workspace.reaches(idx, "guard_fit") {
+            continue;
+        }
+        let owner = f
+            .impl_type
+            .as_deref()
+            .map(|t| format!("{t}::"))
+            .unwrap_or_default();
+        raw.push(Diagnostic {
+            lint: "missing-guard-fit",
+            file: analysis.rel_path.to_string(),
+            line: f.line,
+            message: format!(
+                "fit entry point `{owner}{}` never reaches `guard_fit` — every \
+                 estimator must assert train-only provenance at fit time, directly \
+                 or via a shared validator",
+                f.name
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_src(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let analysis = FileAnalysis::new(rel, src);
+        let mut ws = Workspace::default();
+        ws.add_file(rel, &analysis.view(), &analysis.fns);
+        let mut raw = Vec::new();
+        check(&analysis, &ws, &mut raw);
+        raw
+    }
+
+    #[test]
+    fn heldout_naming_is_segment_aware() {
+        assert!(heldout_name("test"));
+        assert!(heldout_name("x_test"));
+        assert!(heldout_name("TestSetVault"));
+        assert!(heldout_name("holdout_rows"));
+        assert!(!heldout_name("latest"));
+        assert!(!heldout_name("attestation"));
+        assert!(!heldout_name("contest_id"));
+    }
+
+    #[test]
+    fn taint_flows_through_rebinding_into_fit() {
+        let src = "fn f(model: &mut M, split: S) -> R {\n\
+                   let sneaky = split.test;\n\
+                   model.fit(&sneaky)\n}";
+        let diags = check_src("crates/ml/src/x.rs", src);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.lint == "test-taint-flow" && d.line == 3),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn rebinding_to_clean_data_untaints() {
+        let src = "fn f(model: &mut M, split: S) -> R {\n\
+                   let mut x = split.test;\n\
+                   x = split.train.clone();\n\
+                   model.fit(&x)\n}";
+        let diags = check_src("crates/ml/src/x.rs", src);
+        assert!(
+            !diags.iter().any(|d| d.lint == "test-taint-flow"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn splitter_calls_are_not_sources() {
+        let src = "fn f(model: &mut M, frame: F) -> R {\n\
+                   let split = train_val_test_split(&frame);\n\
+                   model.fit(&split.train)\n}";
+        let diags = check_src("crates/ml/src/x.rs", src);
+        assert!(
+            !diags.iter().any(|d| d.lint == "test-taint-flow"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_guard_fires_and_reachability_silences() {
+        let bad = "impl M { pub fn fit(&mut self, x: &X) -> R { self.train(x) } fn train(&mut self, x: &X) -> R { ok(x) } }";
+        let diags = check_src("crates/ml/src/m.rs", bad);
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.lint == "missing-guard-fit")
+                .count(),
+            1,
+            "{diags:?}"
+        );
+
+        let good = "impl M { pub fn fit(&mut self, x: &X) -> R { validate(x) } }\n\
+                    fn validate(x: &X) -> R { guard_fit(x.provenance(), \"M::fit\") }";
+        let diags = check_src("crates/ml/src/m.rs", good);
+        assert!(
+            !diags.iter().any(|d| d.lint == "missing-guard-fit"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn guard_rule_skips_other_crates_and_trait_declarations() {
+        let decl = "pub trait M { fn fit(&mut self, x: &X) -> R; }";
+        assert!(check_src("crates/ml/src/t.rs", decl).is_empty());
+        let other = "impl M { pub fn fit(&mut self) -> R { nothing() } }";
+        assert!(check_src("crates/core/src/t.rs", other)
+            .iter()
+            .all(|d| d.lint != "missing-guard-fit"));
+    }
+}

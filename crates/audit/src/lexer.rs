@@ -420,6 +420,41 @@ mod tests {
     }
 
     #[test]
+    fn byte_strings_and_byte_chars_are_single_literals() {
+        let src = "let a = b\"esc \\\" quote\"; let b = br#\"raw \" inside\"#; let c = b'x';";
+        let ks = kinds(src);
+        let lits: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            lits,
+            vec!["b\"esc \\\" quote\"", "br#\"raw \" inside\"#", "b'x'"]
+        );
+        // Nothing inside the byte strings leaked out as identifiers.
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (t == "esc" || t == "raw" || t == "inside")));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_close_at_the_right_depth() {
+        let src = "a /* 1 /* 2 /* 3 */ 2 */ 1 */ b\n/* line\ncounting /*\nstill */ held */ c";
+        let toks = tokenize(src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+        let c_tok = toks.iter().find(|t| t.text(src) == "c").unwrap();
+        assert_eq!(c_tok.line, 4, "lines inside nested comments still count");
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
     fn raw_identifiers_and_raw_strings() {
         let src = "let r#type = 1; let s = r\"no escapes \\\"; let t = r##\"has \"# inside\"##;";
         let ks = kinds(src);

@@ -20,6 +20,7 @@
 use std::collections::BTreeMap;
 
 use crate::lexer::{tokenize, Token, TokenKind};
+use crate::parser::View;
 
 /// One lint rule: identifier, invariant layer, and rationale.
 #[derive(Debug, Clone, Copy)]
@@ -88,9 +89,48 @@ pub const LINTS: &[Lint] = &[
                     destructuring",
     },
     Lint {
+        id: "test-taint-flow",
+        layer: "L1",
+        rationale: "static provenance taint: a value derived from a test-split source \
+                    (split.test, vault accessors, Provenance::Test) must never flow into \
+                    a fit/fit_transform sink, whatever it is renamed to along the way",
+    },
+    Lint {
+        id: "missing-guard-fit",
+        layer: "L1",
+        rationale: "every fit entry point in ml/impute/fairness must call guard_fit \
+                    (directly or through a shared validator) so the runtime taint check \
+                    covers all entry points, executed by tests or not",
+    },
+    Lint {
+        id: "shared-mut-capture",
+        layer: "L2",
+        rationale: "closures passed to parallel_map must not mutate captured state \
+                    (assignment, &mut, RefCell/Mutex) — completion order is nondeterministic",
+    },
+    Lint {
+        id: "nondeterministic-reduce",
+        layer: "L2",
+        rationale: "float accumulation inside parallel closures must go through the frozen \
+                    fairprep_ml::kernels reduction trees, not ad-hoc iterator sum/fold",
+    },
+    Lint {
+        id: "alloc-in-kernel",
+        layer: "L4",
+        rationale: "no Vec::new/to_vec/collect/format! inside fairprep_ml::kernels or \
+                    `// audit: hot-path` regions — the measured allocation wins must not \
+                    silently regress",
+    },
+    Lint {
         id: "waiver-syntax",
         layer: "meta",
         rationale: "every audit waiver must carry a non-empty reason",
+    },
+    Lint {
+        id: "stale-waiver",
+        layer: "meta",
+        rationale: "a waiver whose lint no longer fires on its line is noise that hides \
+                    real grandfathering; delete it",
     },
 ];
 
@@ -120,11 +160,24 @@ pub enum FileScope {
 }
 
 impl FileScope {
-    fn lint_applies(self, lint: &str) -> bool {
+    pub(crate) fn lint_applies(self, lint: &str) -> bool {
         match self {
             FileScope::Excluded => false,
-            FileScope::TestCode => lint == "waiver-syntax",
-            FileScope::Binary => matches!(lint, "fit-on-test" | "vault-row-leak" | "waiver-syntax"),
+            FileScope::TestCode => matches!(lint, "waiver-syntax" | "stale-waiver"),
+            // Binaries keep the isolation rules, and — because sweeps and
+            // benches drive the parallel substrate directly — the
+            // concurrency/allocation passes too.
+            FileScope::Binary => matches!(
+                lint,
+                "fit-on-test"
+                    | "vault-row-leak"
+                    | "test-taint-flow"
+                    | "shared-mut-capture"
+                    | "nondeterministic-reduce"
+                    | "alloc-in-kernel"
+                    | "waiver-syntax"
+                    | "stale-waiver"
+            ),
             FileScope::Library => !matches!(lint, "hash-iter" | "thread-spawn"),
             FileScope::SeededLibrary => true,
         }
@@ -187,57 +240,118 @@ pub struct Diagnostic {
 }
 
 /// A parsed `// audit: allow(…)` comment.
-struct Waiver {
-    lint: String,
-    line: u32,
-    file_level: bool,
-    has_reason: bool,
+pub(crate) struct Waiver {
+    pub(crate) lint: String,
+    pub(crate) line: u32,
+    pub(crate) file_level: bool,
+    pub(crate) has_reason: bool,
 }
 
-/// Lints one file. `rel_path` is repo-relative with forward slashes.
-#[must_use]
-pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
-    let scope = classify(rel_path);
-    if scope == FileScope::Excluded {
-        return Vec::new();
+/// Everything the three analyzer layers need to know about one file:
+/// tokens, the significant-token view, test regions, parsed `fn` items,
+/// and waivers. Built once per file, shared by the token, dataflow, and
+/// concurrency passes.
+pub struct FileAnalysis<'a> {
+    /// Repo-relative path with forward slashes.
+    pub rel_path: &'a str,
+    /// The path-derived lint scope.
+    pub scope: FileScope,
+    /// The file's source text.
+    pub source: &'a str,
+    /// Lossless token stream.
+    pub tokens: Vec<Token>,
+    /// Indices of significant (non-trivia) tokens.
+    pub sig: Vec<usize>,
+    /// Per-significant-token `#[cfg(test)]` / `#[test]` region map.
+    pub in_test: Vec<bool>,
+    /// Parsed `fn` items (the lightweight AST).
+    pub fns: Vec<crate::parser::FnItem>,
+    /// Source lines carrying a `// audit: hot-path` marker.
+    pub hot_path_markers: Vec<u32>,
+    waivers: Vec<Waiver>,
+    waiver_diags: Vec<Diagnostic>,
+}
+
+impl<'a> FileAnalysis<'a> {
+    /// Lexes, parses, and extracts waivers from one file.
+    #[must_use]
+    pub fn new(rel_path: &'a str, source: &'a str) -> Self {
+        let scope = classify(rel_path);
+        let tokens = tokenize(source);
+        let (waivers, waiver_diags, hot_path_markers) = parse_waivers(rel_path, &tokens, source);
+        let sig: Vec<usize> = (0..tokens.len())
+            .filter(|&i| {
+                !matches!(
+                    tokens[i].kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .collect();
+        let in_test = test_regions(&tokens, &sig, source);
+        let fns = {
+            let view = View {
+                source,
+                tokens: &tokens,
+                sig: &sig,
+            };
+            crate::parser::parse_fns(&view, &in_test)
+        };
+        FileAnalysis {
+            rel_path,
+            scope,
+            source,
+            tokens,
+            sig,
+            in_test,
+            fns,
+            hot_path_markers,
+            waivers,
+            waiver_diags,
+        }
     }
-    let tokens = tokenize(source);
-    let (waivers, mut diags) = parse_waivers(rel_path, &tokens, source);
 
-    // Significant tokens (code only), with their index into `tokens`.
-    let sig: Vec<usize> = (0..tokens.len())
-        .filter(|&i| {
-            !matches!(
-                tokens[i].kind,
-                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
-            )
-        })
-        .collect();
-    let in_test = test_regions(&tokens, &sig, source);
+    /// A significant-token cursor over this file.
+    #[must_use]
+    pub fn view(&self) -> View<'_> {
+        View {
+            source: self.source,
+            tokens: &self.tokens,
+            sig: &self.sig,
+        }
+    }
 
-    let mut raw: Vec<Diagnostic> = Vec::new();
-    let ctx = FileContext {
-        rel_path,
-        source,
-        tokens: &tokens,
-        sig: &sig,
-        in_test: &in_test,
-    };
+    pub(crate) fn ctx(&self) -> FileContext<'_> {
+        FileContext {
+            rel_path: self.rel_path,
+            source: self.source,
+            tokens: &self.tokens,
+            sig: &self.sig,
+            in_test: &self.in_test,
+        }
+    }
+}
+
+/// Runs the token-stream lint layer, appending raw (pre-waiver)
+/// diagnostics to `raw`.
+pub(crate) fn token_lints(analysis: &FileAnalysis<'_>, raw: &mut Vec<Diagnostic>) {
+    let scope = analysis.scope;
+    let rel_path = analysis.rel_path;
+    let ctx = analysis.ctx();
 
     if scope.lint_applies("fit-on-test") && !rel_path.ends_with("core/src/lifecycle.rs") {
-        check_fit_on_test(&ctx, &mut raw);
+        check_fit_on_test(&ctx, raw);
     }
     if scope.lint_applies("vault-row-leak") {
-        check_vault_row_leak(&ctx, &mut raw);
+        check_vault_row_leak(&ctx, raw);
     }
     if scope.lint_applies("hash-iter") {
-        check_hash_iter(&ctx, &mut raw);
+        check_hash_iter(&ctx, raw);
     }
     if scope.lint_applies("thread-spawn") && !rel_path.ends_with("data/src/parallel.rs") {
-        check_thread_spawn(&ctx, &mut raw);
+        check_thread_spawn(&ctx, raw);
     }
     if scope.lint_applies("float-eq") {
-        check_float_eq(&ctx, &mut raw);
+        check_float_eq(&ctx, raw);
     }
     // `crates/trace/` is the one sanctioned clock owner: stage spans need
     // a monotonic origin (`Instant`), and everything it records from the
@@ -245,37 +359,107 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     // section. Every other library crate must route timing through a
     // `Tracer` handle instead of reading the clock itself.
     if scope.lint_applies("wall-clock") && !rel_path.starts_with("crates/trace/") {
-        check_wall_clock(&ctx, &mut raw);
+        check_wall_clock(&ctx, raw);
     }
     if scope.lint_applies("unwrap") {
-        check_method_call(&ctx, "unwrap", "unwrap", &mut raw);
+        check_method_call(&ctx, "unwrap", "unwrap", raw);
     }
     if scope.lint_applies("expect") {
-        check_method_call(&ctx, "expect", "expect", &mut raw);
+        check_method_call(&ctx, "expect", "expect", raw);
     }
     if scope.lint_applies("panic") {
-        check_panic(&ctx, &mut raw);
+        check_panic(&ctx, raw);
     }
     if scope.lint_applies("index-literal") {
-        check_index_literal(&ctx, &mut raw);
+        check_index_literal(&ctx, raw);
     }
+}
 
-    // Apply waivers: a line waiver covers its own line and the next one.
+/// Applies waivers to the raw diagnostics of one file, tracks which
+/// waivers actually suppressed something, reports the unused ones as
+/// `stale-waiver`, and merges in the waiver-syntax diagnostics.
+pub(crate) fn finish(analysis: &FileAnalysis<'_>, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let waivers = &analysis.waivers;
+    let mut used = vec![false; waivers.len()];
+    let mut diags = analysis.waiver_diags.clone();
     for d in raw {
-        let waived = waivers.iter().any(|w| {
-            w.lint == d.lint
+        let mut waived = false;
+        for (i, w) in waivers.iter().enumerate() {
+            let covers = w.lint == d.lint
                 && w.has_reason
-                && (w.file_level || d.line == w.line || d.line == w.line + 1)
-        });
+                && (w.file_level || d.line == w.line || d.line == w.line + 1);
+            if covers {
+                used[i] = true;
+                waived = true;
+            }
+        }
         if !waived {
             diags.push(d);
+        }
+    }
+    if analysis.scope.lint_applies("stale-waiver") {
+        let mut stale: Vec<Diagnostic> = Vec::new();
+        for (i, w) in waivers.iter().enumerate() {
+            // Only well-formed waivers are candidates: malformed ones are
+            // already fatal `waiver-syntax` findings. Waivers for the
+            // meta lints themselves are exempt (a `stale-waiver` waiver
+            // being "unused" is the fixpoint, not a finding).
+            if used[i] || !w.has_reason || w.lint == "stale-waiver" {
+                continue;
+            }
+            stale.push(Diagnostic {
+                lint: "stale-waiver",
+                file: analysis.rel_path.to_string(),
+                line: w.line,
+                message: format!(
+                    "waiver for `{}` no longer suppresses anything — the lint does not \
+                     fire {}; delete the waiver to keep suppressions honest",
+                    w.lint,
+                    if w.file_level {
+                        "anywhere in this file"
+                    } else {
+                        "on this line or the next"
+                    }
+                ),
+            });
+        }
+        // A stale-waiver finding can itself be waived (e.g. a lint kept
+        // for documentation while code is in flux) — with a reason.
+        for d in stale {
+            let waived = waivers.iter().any(|w| {
+                w.lint == "stale-waiver"
+                    && w.has_reason
+                    && (w.file_level || d.line == w.line || d.line == w.line + 1)
+            });
+            if !waived {
+                diags.push(d);
+            }
         }
     }
     diags.sort_by_key(|d| (d.line, d.lint));
     diags
 }
 
-struct FileContext<'a> {
+/// Lints one file in isolation. `rel_path` is repo-relative with forward
+/// slashes. Workspace-level passes (`missing-guard-fit` reachability)
+/// see only this file's functions; [`crate::audit`] runs them with the
+/// full cross-crate call graph instead.
+#[must_use]
+pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let analysis = FileAnalysis::new(rel_path, source);
+    if analysis.scope == FileScope::Excluded {
+        return Vec::new();
+    }
+    let mut workspace = crate::parser::Workspace::default();
+    workspace.add_file(rel_path, &analysis.view(), &analysis.fns);
+    let mut raw = Vec::new();
+    token_lints(&analysis, &mut raw);
+    crate::conc::check(&analysis, &mut raw);
+    crate::flow::check(&analysis, &workspace, &mut raw);
+    finish(&analysis, raw)
+}
+
+pub(crate) struct FileContext<'a> {
     rel_path: &'a str,
     source: &'a str,
     tokens: &'a [Token],
@@ -372,9 +556,14 @@ fn test_regions(tokens: &[Token], sig: &[usize], source: &str) -> Vec<bool> {
 
 /// Extracts waivers from `// audit: …` comments, emitting `waiver-syntax`
 /// diagnostics for malformed ones.
-fn parse_waivers(rel_path: &str, tokens: &[Token], source: &str) -> (Vec<Waiver>, Vec<Diagnostic>) {
+fn parse_waivers(
+    rel_path: &str,
+    tokens: &[Token],
+    source: &str,
+) -> (Vec<Waiver>, Vec<Diagnostic>, Vec<u32>) {
     let mut waivers = Vec::new();
     let mut diags = Vec::new();
+    let mut hot_path_markers = Vec::new();
     for tok in tokens {
         if tok.kind != TokenKind::LineComment {
             continue;
@@ -384,6 +573,12 @@ fn parse_waivers(rel_path: &str, tokens: &[Token], source: &str) -> (Vec<Waiver>
             continue;
         };
         let rest = rest.trim();
+        // `// audit: hot-path` opts the next `fn` into `alloc-in-kernel`;
+        // it is a marker, not a waiver.
+        if rest == "hot-path" {
+            hot_path_markers.push(tok.line);
+            continue;
+        }
         let (file_level, args) = if let Some(a) = rest.strip_prefix("allow-file(") {
             (true, a)
         } else if let Some(a) = rest.strip_prefix("allow(") {
@@ -444,7 +639,7 @@ fn parse_waivers(rel_path: &str, tokens: &[Token], source: &str) -> (Vec<Waiver>
             has_reason,
         });
     }
-    (waivers, diags)
+    (waivers, diags, hot_path_markers)
 }
 
 const HELDOUT_MARKERS: &[&str] = &["test", "vault", "holdout"];
@@ -908,11 +1103,12 @@ mod tests {
         assert!(lint_ids(SEEDED, same).is_empty());
         let above = "// audit: allow(unwrap, reason = \"demo\")\nfn f() { x.unwrap(); }";
         assert!(lint_ids(SEEDED, above).is_empty());
+        // Out of range: the violation survives AND the waiver is stale.
         let too_far = "// audit: allow(unwrap, reason = \"demo\")\n\nfn f() { x.unwrap(); }";
-        assert_eq!(lint_ids(SEEDED, too_far), vec!["unwrap"]);
-        // A waiver for lint A does not silence lint B.
+        assert_eq!(lint_ids(SEEDED, too_far), vec!["stale-waiver", "unwrap"]);
+        // A waiver for lint A does not silence lint B — and is stale.
         let wrong = "// audit: allow(expect, reason = \"demo\")\nfn f() { x.unwrap(); }";
-        assert_eq!(lint_ids(SEEDED, wrong), vec!["unwrap"]);
+        assert_eq!(lint_ids(SEEDED, wrong), vec!["stale-waiver", "unwrap"]);
     }
 
     #[test]

@@ -69,6 +69,115 @@ fn waiver_fixtures_behave() {
 }
 
 #[test]
+fn taint_flow_fires_on_laundered_flows_only() {
+    let report = fixture_report();
+    // Three laundered flows: rebinding, vault accessor, provenance stamp.
+    assert_eq!(count(&report, "flow_taint.rs", "test-taint-flow"), 3);
+    // The clean_* functions (train flow, untainting rebind, predict-only
+    // use, splitter call) must stay silent — in every lint family.
+    let noise: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.file == "flow_taint.rs" && d.lint != "test-taint-flow")
+        .collect();
+    assert!(noise.is_empty(), "unexpected extra findings: {noise:?}");
+}
+
+#[test]
+fn guard_exhaustiveness_accepts_direct_and_transitive_guards() {
+    let report = fixture_report();
+    // Only `Unguarded::fit` lacks a path to guard_fit; the direct and
+    // transitive guards pass, and the bodyless trait declaration is
+    // skipped.
+    assert_eq!(
+        count(&report, "crates/ml/src/guard.rs", "missing-guard-fit"),
+        1
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.lint == "missing-guard-fit")
+        .expect("guard fixture must trip the lint");
+    assert!(d.message.contains("Unguarded::fit"), "{}", d.message);
+}
+
+#[test]
+fn parallel_closures_catch_shared_state_and_adhoc_reduction() {
+    let report = fixture_report();
+    // Captured accumulator, captured RefCell, captured &mut borrow.
+    assert_eq!(count(&report, "conc_parallel.rs", "shared-mut-capture"), 3);
+    // `.sum::<f64>()` and `.fold(0.0, …)` inside pool closures.
+    assert_eq!(
+        count(&report, "conc_parallel.rs", "nondeterministic-reduce"),
+        2
+    );
+    // The per-item-state and kernel-call closures stay silent.
+    assert_eq!(
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.file == "conc_parallel.rs")
+            .count(),
+        5
+    );
+}
+
+#[test]
+fn kernel_file_and_hot_path_markers_reject_allocation() {
+    let report = fixture_report();
+    // Every non-test fn in a kernels.rs path is hot: four allocation
+    // idioms in `bad_kernel`, none from `good_kernel` or the test module.
+    assert_eq!(
+        count(&report, "crates/ml/src/kernels.rs", "alloc-in-kernel"),
+        4
+    );
+    // Elsewhere the lint is opt-in: the marked fn fires, its unmarked
+    // twin (same body) does not.
+    assert_eq!(count(&report, "hot_path.rs", "alloc-in-kernel"), 1);
+}
+
+#[test]
+fn stale_waivers_are_reported_and_used_ones_are_not() {
+    let report = fixture_report();
+    assert_eq!(count(&report, "stale_waiver.rs", "stale-waiver"), 1);
+    // The used waiver suppresses its unwrap and is not stale.
+    assert_eq!(count(&report, "stale_waiver.rs", "unwrap"), 0);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.file == "stale_waiver.rs")
+        .expect("stale waiver must be reported");
+    assert!(d.message.contains("float-eq"), "{}", d.message);
+}
+
+#[test]
+fn lexer_edges_yield_exactly_one_real_violation() {
+    let report = fixture_report();
+    // Raw strings, byte strings, nested comments, and the lifetime in
+    // `Option<&'static str>` are all opaque: only the real `.unwrap()`
+    // at the bottom of the file fires, at its exact line.
+    let edge: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.file == "lexer_edges.rs")
+        .collect();
+    assert_eq!(edge.len(), 1, "{edge:?}");
+    assert_eq!(edge[0].lint, "unwrap");
+    let fixture = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join("lexer_edges.rs"),
+    )
+    .expect("fixture readable");
+    let expected_line = fixture
+        .lines()
+        .position(|l| l.contains("o.unwrap()"))
+        .expect("fixture has the violation")
+        + 1;
+    assert_eq!(edge[0].line as usize, expected_line);
+}
+
+#[test]
 fn diagnostics_carry_file_and_line() {
     let report = fixture_report();
     let d = report

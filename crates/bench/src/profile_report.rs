@@ -150,7 +150,6 @@ pub fn aggregate_drift(reports: &[ProfileReport]) -> Vec<AggregateDrift> {
                         worst_psi_seed: 0,
                         worst_base_rate_delta: 0.0,
                     });
-                    // audit: allow(expect, reason = "an element was pushed on the previous line")
                     out.last_mut().expect("just pushed")
                 }
             };

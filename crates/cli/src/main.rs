@@ -99,16 +99,34 @@ OPTIONS (run / sweep / audit):
                    tracing)
 ";
 
+/// Error-message prefix marking an *internal* failure (unreadable tree,
+/// malformed baseline, bad flag) rather than findings. `fairprep audit`
+/// distinguishes the two at the process level: exit 0 = clean, 1 =
+/// findings, 2 = internal error.
+const INTERNAL_ERROR_PREFIX: &str = "internal: ";
+
+/// Maps an `execute` outcome to the process exit code (0/1/2).
+fn exit_code(result: &Result<(), String>) -> u8 {
+    match result {
+        Ok(()) => 0,
+        Err(m) if m.starts_with(INTERNAL_ERROR_PREFIX) => 2,
+        Err(_) => 1,
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    match execute(&raw) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!("run `fairprep help` for usage");
-            ExitCode::FAILURE
-        }
+    let result = execute(&raw);
+    if let Err(message) = &result {
+        eprintln!(
+            "error: {}",
+            message
+                .strip_prefix(INTERNAL_ERROR_PREFIX)
+                .unwrap_or(message)
+        );
+        eprintln!("run `fairprep help` for usage");
     }
+    ExitCode::from(exit_code(&result))
 }
 
 fn execute(raw: &[String]) -> Result<(), String> {
@@ -458,13 +476,24 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
 
 fn cmd_audit(inv: &Invocation) -> Result<(), String> {
     // `--source <root>` switches from dataset statistics to the static
-    // source audit (the same lint pass CI runs via `fairprep-audit`).
+    // source audit (the same analyzer CI runs via `fairprep-audit`).
+    // `--format text|json`, `--baseline <path>|none`, and
+    // `--write-baseline <path>` pass straight through.
     if let Some(root) = inv.options.get("source") {
-        let args = vec!["--root".to_string(), root.clone(), "--deny-all".to_string()];
+        let mut args = vec!["--root".to_string(), root.clone(), "--deny-all".to_string()];
+        for flag in ["format", "baseline", "write-baseline"] {
+            if let Some(value) = inv.options.get(flag) {
+                args.push(format!("--{flag}"));
+                args.push(value.clone());
+            }
+        }
         return match fairprep_audit::run(&args) {
             0 => Ok(()),
-            1 => Err("source audit found violations".to_string()),
-            _ => Err("source audit could not scan the tree".to_string()),
+            1 => Err("source audit found new violations".to_string()),
+            _ => Err(format!(
+                "{INTERNAL_ERROR_PREFIX}source audit could not run (unreadable tree, \
+                 malformed baseline, or bad flag)"
+            )),
         };
     }
     let (dataset_name, dataset) = load_any_dataset(inv)?;
@@ -597,6 +626,91 @@ mod tests {
         .unwrap();
         let err = execute(&argv(&format!("audit --source {}", root.display()))).unwrap_err();
         assert!(err.contains("violations"), "{err}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// `fairprep audit` exit codes: 0 clean, 1 findings, 2 internal.
+    #[test]
+    fn source_audit_exit_code_0_on_clean_tree() {
+        let root = std::env::temp_dir().join("fairprep_cli_exit0_test");
+        let src = root.join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("lib.rs"), "pub fn ok() -> i32 { 1 }\n").unwrap();
+        let result = execute(&argv(&format!("audit --source {}", root.display())));
+        assert_eq!(exit_code(&result), 0, "{result:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn source_audit_exit_code_1_on_findings() {
+        let root = std::env::temp_dir().join("fairprep_cli_exit1_test");
+        let src = root.join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("lib.rs"), "pub fn f() { panic!(\"boom\"); }\n").unwrap();
+        let result = execute(&argv(&format!("audit --source {}", root.display())));
+        assert_eq!(exit_code(&result), 1, "{result:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn source_audit_exit_code_2_on_internal_error() {
+        // Unreadable root.
+        let missing = std::env::temp_dir().join("fairprep_cli_exit2_does_not_exist");
+        let result = execute(&argv(&format!("audit --source {}", missing.display())));
+        assert_eq!(exit_code(&result), 2, "{result:?}");
+
+        // Malformed baseline is also an internal error, not a finding.
+        let root = std::env::temp_dir().join("fairprep_cli_exit2_baseline_test");
+        let src = root.join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("lib.rs"), "pub fn ok() -> i32 { 1 }\n").unwrap();
+        let bad = root.join("broken.baseline.json");
+        std::fs::write(&bad, "{ not json").unwrap();
+        let result = execute(&argv(&format!(
+            "audit --source {} --baseline {}",
+            root.display(),
+            bad.display()
+        )));
+        assert_eq!(exit_code(&result), 2, "{result:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn source_audit_baseline_absorbs_preexisting_findings() {
+        let root = std::env::temp_dir().join("fairprep_cli_baseline_flow_test");
+        let src = root.join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn bad(v: Option<i32>) -> i32 { v.unwrap() }\n",
+        )
+        .unwrap();
+        // Capture the dirty state, then audit against it: clean.
+        let base = root.join("audit.baseline.json");
+        let result = execute(&argv(&format!(
+            "audit --source {} --write-baseline {}",
+            root.display(),
+            base.display()
+        )));
+        assert_eq!(exit_code(&result), 0, "{result:?}");
+        let result = execute(&argv(&format!(
+            "audit --source {} --baseline {}",
+            root.display(),
+            base.display()
+        )));
+        assert_eq!(exit_code(&result), 0, "{result:?}");
+        // A *new* finding still fails against the old baseline.
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn bad(v: Option<i32>) -> i32 { v.unwrap() }\npub fn worse() { panic!(\"x\"); }\n",
+        )
+        .unwrap();
+        let result = execute(&argv(&format!(
+            "audit --source {} --baseline {}",
+            root.display(),
+            base.display()
+        )));
+        assert_eq!(exit_code(&result), 1, "{result:?}");
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -303,7 +303,8 @@ impl FrameBuilder {
     }
 
     /// Appends one row; `values` must match the declared column count and
-    /// kinds.
+    /// kinds. Runs once per ingested row, so it must stay allocation-free.
+    // audit: hot-path
     pub fn push_row(&mut self, values: Vec<OwnedValue>) -> Result<()> {
         if values.len() != self.columns.len() {
             return Err(Error::LengthMismatch {

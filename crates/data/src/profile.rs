@@ -509,6 +509,7 @@ impl crate::chunked::ChunkSink for ProfileSketch {
 }
 
 /// Linear-interpolation quantile of an already sorted, non-empty slice.
+// audit: hot-path
 fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;

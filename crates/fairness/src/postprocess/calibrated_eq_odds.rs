@@ -121,6 +121,7 @@ impl GroupStats {
 impl CalibratedEqOdds {
     /// Fits the intervention, returning the concrete fitted type (the trait
     /// method boxes this).
+    // audit: allow(missing-guard-fit, reason = "postprocessors deliberately fit on held-out validation predictions (tagged Derived) - the one documented provenance exception, see DESIGN.md")
     pub fn fit_concrete(
         &self,
         val_scores: &[f64],
@@ -183,6 +184,7 @@ impl Postprocessor for CalibratedEqOdds {
         format!("cal_eq_odds({})", self.constraint.name())
     }
 
+    // audit: allow(missing-guard-fit, reason = "postprocessors deliberately fit on held-out validation predictions (tagged Derived) - the one documented provenance exception, see DESIGN.md")
     fn fit(
         &self,
         val_scores: &[f64],

@@ -21,6 +21,7 @@ impl OneHotEncoder {
     /// Fits the encoder on the *training* column: records the distinct
     /// observed categories (missing values are ignored during fitting;
     /// impute before featurizing).
+    // audit: allow(missing-guard-fit, reason = "fits on a bare Column handed down by Featurizer::fit, which guards provenance before dispatching here")
     pub fn fit(train_column: &Column) -> Result<OneHotEncoder> {
         let cat = train_column.as_categorical()?;
         let mut seen = vec![false; cat.categories().len()];
