@@ -20,7 +20,10 @@ use crate::lints::{Diagnostic, FileAnalysis};
 use crate::parser::View;
 
 /// Pool entry points whose closure arguments are order-sensitive.
-const POOL_FNS: &[&str] = &["parallel_map", "parallel_map_catching"];
+/// `scoped_workers` is the scoring server's accept loop: its worker
+/// closure runs concurrently on every thread, so the same captured-state
+/// rules apply as for the work-stealing pools.
+const POOL_FNS: &[&str] = &["parallel_map", "parallel_map_catching", "scoped_workers"];
 
 /// How many lines above a `fn` keyword a `// audit: hot-path` marker may
 /// sit (attributes and doc lines in between are common).
@@ -368,6 +371,29 @@ mod tests {
                    parallel_map(2, xs, |row| { let mut acc = 0.0; for v in row { acc = step(acc, *v); } acc });\n}";
         let diags = check_src("crates/core/src/p.rs", src);
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    /// The serving hot path: `scoped_workers` closures are subject to
+    /// the same shared-mutable-capture rules as the work-stealing pools.
+    #[test]
+    fn scoped_workers_closure_is_linted() {
+        let dirty = "fn serve(n: usize) {\n\
+                     let mut served = 0usize;\n\
+                     scoped_workers(n, |w| { served += w; });\n}";
+        let diags = check_src("crates/cli/src/serve.rs", dirty);
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.lint == "shared-mut-capture")
+                .count(),
+            1,
+            "{diags:?}"
+        );
+        // Atomics and per-worker locals are the sanctioned pattern.
+        let clean = "fn serve(n: usize, stop: &AtomicBool) {\n\
+                     scoped_workers(n, |w| { let mut local = w; local += 1; \
+                     while !stop.load(Ordering::Relaxed) { step(local); } });\n}";
+        assert!(check_src("crates/cli/src/serve.rs", clean).is_empty());
     }
 
     #[test]

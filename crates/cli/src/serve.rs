@@ -1,0 +1,875 @@
+//! The sealed-pipeline scoring service.
+//!
+//! `fairprep serve --registry DIR` loads every [`SealedPipeline`]
+//! artifact in `DIR` and answers HTTP scoring requests against the
+//! frozen chains — imputer, featurizer, scaler, model, post-processor —
+//! exactly as they were fitted, with no framework re-entry:
+//!
+//! * `POST /predict/<fingerprint>` — scores `{"row": {...}}` or
+//!   `{"rows": [{...}, ...]}` through the sealed chain and returns one
+//!   prediction per input row (scores also as IEEE-754 bit patterns, so
+//!   clients can assert bit-identical replay).
+//! * `GET /healthz` — liveness and pipeline count.
+//! * `GET /metrics` — per-pipeline request counts, a log₂ latency
+//!   histogram with p50/p99, decision rates by protected group, and
+//!   online PSI drift of the live traffic against the **sealed training
+//!   profile** (the same smoothing and binning the lifecycle profiler
+//!   uses, via [`psi_from_counts`]).
+//!
+//! The server is dependency-free: `std::net` plus the repo's own
+//! [`scoped_workers`] pool. Everything shared across worker threads is
+//! behind a `Mutex` or an atomic; the request loop is marked
+//! `// audit: hot-path` where it must stay allocation-free.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fairprep_core::seal::{ScoredRow, SealedPipeline};
+use fairprep_data::column::{Column, ColumnKind};
+use fairprep_data::frame::DataFrame;
+use fairprep_data::parallel::scoped_workers;
+use fairprep_data::profile::{psi_from_counts, ColumnProfile, PSI_WARN_THRESHOLD, QUANTILE_POINTS};
+use fairprep_data::schema::Role;
+use fairprep_trace::json::{obj, Value};
+
+/// Largest accepted request body. Requests beyond this are refused with
+/// `413` before any allocation proportional to the claimed length.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Number of log₂ latency buckets; bucket `i` counts requests that took
+/// `[2^i, 2^(i+1))` microseconds, which spans 1 µs to ~18 minutes.
+const LATENCY_BUCKETS: usize = 31;
+
+// ---------------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------------
+
+/// Fixed-size log₂ histogram of request latencies in microseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    max_us: u64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Records one request latency.
+    // audit: hot-path
+    fn record(&mut self, us: u64) {
+        let idx = (63 - u64::leading_zeros(us.max(1)) as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Upper bucket edge (µs) below which at least `q` of the recorded
+    /// requests fall; 0 when nothing was recorded.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_precision_loss)]
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return (2u64 << i).min(self.max_us.max(1));
+            }
+        }
+        self.max_us
+    }
+
+    /// Total recorded requests.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Online drift tracking
+// ---------------------------------------------------------------------------
+
+/// Per-column drift state: the training baseline (from the sealed
+/// [`DatasetProfile`](fairprep_data::profile::DatasetProfile)) and the
+/// live traffic counts binned the same way.
+#[derive(Debug, Clone)]
+enum ColumnDrift {
+    /// Numeric column binned by the training profile's interior decile
+    /// edges (deduped by bit pattern, like the lifecycle profiler).
+    Numeric {
+        name: String,
+        edges: Vec<f64>,
+        base: Vec<u64>,
+        live: Vec<u64>,
+    },
+    /// Categorical column binned by the training profile's top-k
+    /// categories plus one "other/unseen" bin.
+    Categorical {
+        name: String,
+        cats: Vec<String>,
+        base: Vec<u64>,
+        live: Vec<u64>,
+    },
+}
+
+impl ColumnDrift {
+    /// Builds the baseline for one profiled column; `None` when the
+    /// column carries no usable distribution (constant or empty).
+    fn from_profile(name: &str, profile: &ColumnProfile) -> Option<ColumnDrift> {
+        match profile {
+            ColumnProfile::Numeric {
+                count, quantiles, ..
+            } => {
+                let mut edges: Vec<f64> = quantiles
+                    .get(1..QUANTILE_POINTS.saturating_sub(1))
+                    .unwrap_or(&[])
+                    .to_vec();
+                edges.dedup_by(|a, b| a.to_bits() == b.to_bits());
+                if edges.is_empty() || *count == 0 {
+                    return None;
+                }
+                let bins = edges.len() + 1;
+                let mut base = vec![0u64; bins];
+                // Each inter-decile segment of the training distribution
+                // holds one tenth of the observed mass; the remainder of
+                // the integer division lands in the top bin with the max.
+                let segments = (QUANTILE_POINTS - 1) as u64;
+                for seg in 0..QUANTILE_POINTS - 1 {
+                    let upper = quantiles[seg + 1];
+                    let bin = edges.iter().filter(|e| upper > **e).count();
+                    base[bin] += count / segments;
+                }
+                let top = edges.iter().filter(|e| quantiles[10] > **e).count();
+                base[top] += count % segments;
+                Some(ColumnDrift::Numeric {
+                    name: name.to_string(),
+                    edges,
+                    base,
+                    live: vec![0; bins],
+                })
+            }
+            ColumnProfile::Categorical { count, top, .. } => {
+                if top.is_empty() || *count == 0 {
+                    return None;
+                }
+                let cats: Vec<String> = top.iter().map(|(c, _)| c.clone()).collect();
+                let mut base: Vec<u64> = top.iter().map(|(_, n)| *n).collect();
+                let covered: u64 = base.iter().sum();
+                base.push(count.saturating_sub(covered));
+                let bins = base.len();
+                Some(ColumnDrift::Categorical {
+                    name: name.to_string(),
+                    cats,
+                    base,
+                    live: vec![0; bins],
+                })
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            ColumnDrift::Numeric { name, .. } | ColumnDrift::Categorical { name, .. } => name,
+        }
+    }
+
+    /// Folds the raw (pre-imputation) request column into the live
+    /// counts; missing cells are skipped, exactly as the profiler skips
+    /// them when computing the baseline.
+    fn observe(&mut self, column: &Column) {
+        match (self, column) {
+            (ColumnDrift::Numeric { edges, live, .. }, Column::Numeric(vals)) => {
+                for x in vals.iter().flatten() {
+                    if x.is_nan() {
+                        continue;
+                    }
+                    let bin = edges.iter().filter(|e| *x > **e).count();
+                    live[bin] += 1;
+                }
+            }
+            (ColumnDrift::Categorical { cats, live, .. }, Column::Categorical(data)) => {
+                for code in data.codes().iter().flatten() {
+                    let bin = data
+                        .category_of(*code)
+                        .and_then(|c| cats.iter().position(|k| k == c))
+                        .unwrap_or(cats.len());
+                    live[bin] += 1;
+                }
+            }
+            // A request column whose physical type disagrees with the
+            // training profile never reaches here: row parsing is typed
+            // by the sealed schema. Ignore defensively.
+            _ => {}
+        }
+    }
+
+    /// PSI of the live counts against the training baseline.
+    fn psi(&self) -> f64 {
+        match self {
+            ColumnDrift::Numeric { base, live, .. }
+            | ColumnDrift::Categorical { base, live, .. } => psi_from_counts(base, live),
+        }
+    }
+
+    fn observed(&self) -> u64 {
+        match self {
+            ColumnDrift::Numeric { live, .. } | ColumnDrift::Categorical { live, .. } => {
+                live.iter().sum()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-pipeline metrics
+// ---------------------------------------------------------------------------
+
+/// Mutable serving statistics for one sealed pipeline.
+#[derive(Debug)]
+struct PipeMetrics {
+    requests: u64,
+    rows_scored: u64,
+    rows_dropped: u64,
+    errors: u64,
+    latency: LatencyHistogram,
+    /// `decisions[privileged as usize][favorable as usize]`.
+    decisions: [[u64; 2]; 2],
+    drift: Vec<ColumnDrift>,
+}
+
+impl PipeMetrics {
+    fn new(sealed: &SealedPipeline) -> Self {
+        let label = sealed.schema().label_name().ok().map(ToString::to_string);
+        let drift = sealed
+            .train_profile
+            .columns
+            .iter()
+            .filter(|(name, _)| label.as_deref() != Some(name.as_str()))
+            .filter_map(|(name, profile)| ColumnDrift::from_profile(name, profile))
+            .collect();
+        PipeMetrics {
+            requests: 0,
+            rows_scored: 0,
+            rows_dropped: 0,
+            errors: 0,
+            latency: LatencyHistogram::new(),
+            decisions: [[0; 2]; 2],
+            drift,
+        }
+    }
+
+    /// Folds one scored batch into the counters.
+    // audit: hot-path
+    fn record_batch(&mut self, scored: &[ScoredRow], elapsed_us: u64) {
+        self.requests += 1;
+        self.latency.record(elapsed_us);
+        for row in scored {
+            if row.dropped() {
+                self.rows_dropped += 1;
+                continue;
+            }
+            self.rows_scored += 1;
+            let favorable = row.decision.is_some_and(|d| d >= 0.5);
+            self.decisions[usize::from(row.privileged)][usize::from(favorable)] += 1;
+        }
+    }
+
+    /// Canonical `/metrics` fragment for this pipeline.
+    fn to_value(&self) -> Value {
+        let cell = |p: usize, f: usize| Value::from_u64(self.decisions[p][f]);
+        let group_total = |p: usize| self.decisions[p][0] + self.decisions[p][1];
+        #[allow(clippy::cast_precision_loss)]
+        let rate = |p: usize| {
+            let total = group_total(p);
+            if total == 0 {
+                Value::Null
+            } else {
+                Value::Num(self.decisions[p][1] as f64 / total as f64)
+            }
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let disparate_impact = {
+            let (pt, ut) = (group_total(1), group_total(0));
+            if pt == 0 || ut == 0 || self.decisions[1][1] == 0 {
+                Value::Null
+            } else {
+                Value::Num(
+                    (self.decisions[0][1] as f64 / ut as f64)
+                        / (self.decisions[1][1] as f64 / pt as f64),
+                )
+            }
+        };
+        let drift = self
+            .drift
+            .iter()
+            .map(|d| {
+                let psi = d.psi();
+                obj(vec![
+                    ("column", Value::Str(d.name().to_string())),
+                    ("observed", Value::from_u64(d.observed())),
+                    ("psi", Value::Num(psi)),
+                    ("warn", Value::Bool(psi >= PSI_WARN_THRESHOLD)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("requests", Value::from_u64(self.requests)),
+            ("rows_scored", Value::from_u64(self.rows_scored)),
+            ("rows_dropped", Value::from_u64(self.rows_dropped)),
+            ("errors", Value::from_u64(self.errors)),
+            (
+                "latency",
+                obj(vec![
+                    ("count", Value::from_u64(self.latency.count())),
+                    ("max_us", Value::from_u64(self.latency.max_us)),
+                    ("p50_us", Value::from_u64(self.latency.quantile_us(0.50))),
+                    ("p99_us", Value::from_u64(self.latency.quantile_us(0.99))),
+                ]),
+            ),
+            (
+                "decisions",
+                obj(vec![
+                    ("privileged_favorable", cell(1, 1)),
+                    ("privileged_unfavorable", cell(1, 0)),
+                    ("unprivileged_favorable", cell(0, 1)),
+                    ("unprivileged_unfavorable", cell(0, 0)),
+                    ("privileged_rate", rate(1)),
+                    ("unprivileged_rate", rate(0)),
+                    ("disparate_impact", disparate_impact),
+                ]),
+            ),
+            ("drift", Value::Arr(drift)),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Entry {
+    sealed: SealedPipeline,
+    metrics: Mutex<PipeMetrics>,
+}
+
+/// All sealed pipelines the server answers for, keyed by the
+/// filesystem-safe form of their config fingerprint (`:` → `-`; both
+/// spellings are accepted in request paths).
+pub struct Registry {
+    entries: BTreeMap<String, Entry>,
+}
+
+/// `:` is not filesystem- or URL-friendly, so artifacts and request
+/// paths use `-` while the sealed record keeps the canonical `:` form.
+fn normalize_fingerprint(fp: &str) -> String {
+    fp.replace(':', "-")
+}
+
+impl Registry {
+    /// Builds an empty registry (useful for in-process tests that add
+    /// pipelines directly).
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Loads every `*.json` sealed-pipeline artifact in `dir`.
+    pub fn open(dir: &Path) -> Result<Registry, String> {
+        let mut registry = Registry::new();
+        let listing =
+            std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for item in listing {
+            let path = item.map_err(|e| e.to_string())?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let sealed = SealedPipeline::load(&path)
+                .map_err(|e| format!("cannot load {}: {e}", path.display()))?;
+            registry.insert(sealed);
+        }
+        Ok(registry)
+    }
+
+    /// Registers one pipeline; replaces any previous artifact with the
+    /// same fingerprint.
+    pub fn insert(&mut self, sealed: SealedPipeline) {
+        let key = normalize_fingerprint(&sealed.fingerprint);
+        let metrics = Mutex::new(PipeMetrics::new(&sealed));
+        self.entries.insert(key, Entry { sealed, metrics });
+    }
+
+    /// Number of registered pipelines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no pipeline is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Canonical fingerprints of every registered pipeline.
+    #[must_use]
+    pub fn fingerprints(&self) -> Vec<&str> {
+        self.entries
+            .values()
+            .map(|e| e.sealed.fingerprint.as_str())
+            .collect()
+    }
+
+    fn get(&self, fingerprint: &str) -> Option<&Entry> {
+        self.entries.get(&normalize_fingerprint(fingerprint))
+    }
+
+    /// The full `/metrics` document.
+    #[must_use]
+    pub fn metrics_value(&self) -> Value {
+        let pipelines = self
+            .entries
+            .values()
+            .map(|e| {
+                let snapshot = e
+                    .metrics
+                    .lock()
+                    .map_or(Value::Null, |metrics| metrics.to_value());
+                (e.sealed.fingerprint.as_str(), snapshot)
+            })
+            .collect();
+        obj(vec![("pipelines", obj(pipelines))])
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing and scoring
+// ---------------------------------------------------------------------------
+
+/// Builds the raw request frame for `sealed` from parsed JSON rows.
+/// Every non-label schema column must be present typed as declared;
+/// `null` (or an absent key) is a missing cell routed to the sealed
+/// missing-value handler.
+fn frame_from_rows(sealed: &SealedPipeline, rows: &[&Value]) -> Result<DataFrame, String> {
+    let mut frame = DataFrame::new();
+    for field in sealed.schema().fields() {
+        if field.role == Role::Label {
+            continue;
+        }
+        let column = match field.kind {
+            ColumnKind::Numeric => {
+                let mut values: Vec<Option<f64>> = Vec::with_capacity(rows.len());
+                for row in rows {
+                    values.push(match row.get(&field.name) {
+                        None | Some(Value::Null) => None,
+                        Some(Value::Num(n)) => Some(*n),
+                        Some(_) => return Err(format!("column `{}` expects a number", field.name)),
+                    });
+                }
+                Column::from_optional_f64(values)
+            }
+            ColumnKind::Categorical => {
+                let mut values: Vec<Option<&str>> = Vec::with_capacity(rows.len());
+                for row in rows {
+                    values.push(match row.get(&field.name) {
+                        None | Some(Value::Null) => None,
+                        Some(Value::Str(s)) => Some(s.as_str()),
+                        Some(_) => return Err(format!("column `{}` expects a string", field.name)),
+                    });
+                }
+                Column::from_optional_strs(values)
+            }
+        };
+        frame
+            .add_column(&field.name, column)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(frame)
+}
+
+/// Extracts the row objects from a predict request body: either
+/// `{"row": {...}}` or `{"rows": [{...}, ...]}`.
+fn rows_of_request(body: &Value) -> Result<Vec<&Value>, String> {
+    if let Some(row) = body.get("row") {
+        return Ok(vec![row]);
+    }
+    let rows = body
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "request must carry `row` (object) or `rows` (array)".to_string())?;
+    if rows.is_empty() {
+        return Err("`rows` must not be empty".to_string());
+    }
+    Ok(rows.iter().collect())
+}
+
+/// Renders one scored batch as the canonical response document. Scores
+/// ride along as IEEE-754 bit patterns so clients can assert replay is
+/// bit-identical, not merely close.
+fn response_value(fingerprint: &str, scored: &[ScoredRow]) -> Value {
+    let predictions = scored
+        .iter()
+        .map(|row| {
+            obj(vec![
+                ("privileged", Value::Bool(row.privileged)),
+                ("dropped", Value::Bool(row.dropped())),
+                ("score", row.score.map_or(Value::Null, Value::Num)),
+                ("score_bits", row.score.map_or(Value::Null, Value::bits)),
+                ("decision", row.decision.map_or(Value::Null, Value::Num)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("model", Value::Str(fingerprint.to_string())),
+        ("n", Value::from_u64(scored.len() as u64)),
+        ("predictions", Value::Arr(predictions)),
+    ])
+}
+
+/// Scores one predict request against `entry`, updating its metrics.
+fn predict(entry: &Entry, body: &str) -> Result<Value, String> {
+    let started = Instant::now();
+    let outcome = (|| {
+        let parsed = fairprep_trace::json::parse(body).map_err(|e| format!("bad JSON: {e}"))?;
+        let rows = rows_of_request(&parsed)?;
+        let frame = frame_from_rows(&entry.sealed, &rows)?;
+        // Drift is observed on the *raw* request rows, before the sealed
+        // imputer touches them: the sealed training profile was computed
+        // on raw training rows, so the two sides bin the same thing.
+        if let Ok(mut metrics) = entry.metrics.lock() {
+            for drift in &mut metrics.drift {
+                if let Ok(column) = frame.column(drift.name()) {
+                    drift.observe(column);
+                }
+            }
+        }
+        let scored = entry.sealed.score_frame(frame).map_err(|e| e.to_string())?;
+        Ok(scored)
+    })();
+    let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    match outcome {
+        Ok(scored) => {
+            if let Ok(mut metrics) = entry.metrics.lock() {
+                metrics.record_batch(&scored, elapsed_us);
+            }
+            Ok(response_value(&entry.sealed.fingerprint, &scored))
+        }
+        Err(message) => {
+            if let Ok(mut metrics) = entry.metrics.lock() {
+                metrics.errors += 1;
+            }
+            Err(message)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing
+// ---------------------------------------------------------------------------
+
+/// One parsed HTTP request: method, path, body.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// HTTP status codes the server emits.
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Reads one request off the stream. Returns `Err((status, message))`
+/// on malformed input so the caller can answer with a typed error.
+fn read_request(stream: &mut TcpStream) -> Result<Request, (u16, String)> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| (400, format!("unreadable request line: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| (400, "empty request line".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| (400, "request line carries no path".to_string()))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| (400, format!("unreadable header: {e}")))?;
+        if n == 0 || header.trim().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| (400, "malformed Content-Length".to_string()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err((413, format!("body exceeds {MAX_BODY_BYTES} bytes")));
+    }
+    let mut raw = vec![0u8; content_length];
+    reader
+        .read_exact(&mut raw)
+        .map_err(|e| (400, format!("truncated body: {e}")))?;
+    let body = String::from_utf8(raw).map_err(|_| (400, "body is not valid UTF-8".to_string()))?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes one `Connection: close` JSON response.
+fn write_response(stream: &mut TcpStream, code: u16, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(code),
+        body.len()
+    );
+    // A peer that hung up mid-response is its own problem; the server
+    // must not die for it.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn error_body(message: &str) -> String {
+    obj(vec![("error", Value::Str(message.to_string()))]).to_json()
+}
+
+/// Routes one connection. Every outcome is answered; nothing panics.
+fn handle_connection(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nonblocking(false);
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err((code, message)) => {
+            write_response(&mut stream, code, &error_body(&message));
+            return;
+        }
+    };
+    let (code, body) = route(&request, registry);
+    write_response(&mut stream, code, &body);
+}
+
+/// Dispatches a parsed request to its endpoint.
+fn route(request: &Request, registry: &Registry) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            obj(vec![
+                ("status", Value::Str("ok".to_string())),
+                ("pipelines", Value::from_u64(registry.len() as u64)),
+            ])
+            .to_json(),
+        ),
+        ("GET", "/metrics") => (200, registry.metrics_value().to_json()),
+        (method, path) => {
+            let Some(fingerprint) = path.strip_prefix("/predict/") else {
+                return (404, error_body("no such endpoint"));
+            };
+            if method != "POST" {
+                return (405, error_body("predict requires POST"));
+            }
+            let Some(entry) = registry.get(fingerprint) else {
+                return (404, error_body("unknown pipeline fingerprint"));
+            };
+            match predict(entry, &request.body) {
+                Ok(value) => (200, value.to_json()),
+                Err(message) => (400, error_body(&message)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// A bound scoring server. [`Server::serve_blocking`] runs the accept
+/// loop on the calling thread's scope; [`ServerHandle::spawn`] wraps it
+/// in a background thread for tests.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` (`port` 0 picks an ephemeral port).
+    pub fn bind(registry: Registry, port: u16) -> Result<Server, String> {
+        let listener = TcpListener::bind(("127.0.0.1", port))
+            .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+        Ok(Server {
+            listener,
+            registry: Arc::new(registry),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener.local_addr().map_err(|e| e.to_string())
+    }
+
+    /// The shared pipelines and their metrics.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Flag that makes every worker exit its accept loop when set.
+    #[must_use]
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Runs `threads` accept workers until the stop flag is raised.
+    ///
+    /// The listener is switched to non-blocking and shared by every
+    /// worker (`TcpListener::accept` takes `&self`); the kernel hands
+    /// each incoming connection to exactly one of them. `WouldBlock`
+    /// backs off briefly so an idle server stays cheap.
+    pub fn serve_blocking(&self, threads: usize) -> Result<(), String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| e.to_string())?;
+        let registry = &self.registry;
+        let stop = &self.stop;
+        let listener = &self.listener;
+        scoped_workers(threads.max(1), |_worker| {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => handle_connection(stream, registry),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+        });
+        Ok(())
+    }
+}
+
+/// A server running on a background thread; used by the golden replay
+/// tests, the concurrency tests, and `bench_serve`.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Binds an ephemeral (or fixed) port and serves in the background.
+    pub fn spawn(registry: Registry, port: u16, threads: usize) -> Result<ServerHandle, String> {
+        let server = Server::bind(registry, port)?;
+        let addr = server.local_addr()?;
+        let stop = server.stop_flag();
+        let join = std::thread::spawn(move || {
+            let _ = server.serve_blocking(threads);
+        });
+        Ok(ServerHandle {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Raises the stop flag and joins the serving thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Minimal blocking HTTP client for tests and benchmarks: sends one
+/// request, returns `(status, body)`.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(payload.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| e.to_string())?;
+    let (head, response_body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "response carries no header/body separator".to_string())?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unparseable status line in {head:?}"))?;
+    Ok((status, response_body.to_string()))
+}

@@ -1,0 +1,278 @@
+//! Integration tests of the scoring service: endpoint behavior, typed
+//! errors, concurrency (N hammering clients reproduce the sequential
+//! replay byte-for-byte), and `/metrics` semantics — decision rates by
+//! protected group and PSI drift against the sealed training profile.
+
+use std::sync::OnceLock;
+
+use fairprep_cli::golden::{golden_bodies, golden_pipeline};
+use fairprep_cli::serve::{http_request, Registry, ServerHandle};
+use fairprep_trace::json::{parse, Value};
+
+/// One fitted german pipeline shared by every test in this file (the
+/// lifecycle run dominates test time; the server itself is cheap).
+fn german() -> &'static (fairprep_core::seal::SealedPipeline, Vec<String>) {
+    static PIPELINE: OnceLock<(fairprep_core::seal::SealedPipeline, Vec<String>)> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let sealed = golden_pipeline("german").unwrap();
+        let bodies = golden_bodies("german").unwrap();
+        (sealed, bodies)
+    })
+}
+
+fn spawn_german(threads: usize) -> (ServerHandle, String) {
+    let (sealed, _) = german();
+    let dir = std::env::temp_dir().join(format!(
+        "fairprep_serve_test_{}_{threads}",
+        std::process::id()
+    ));
+    let path = sealed.save(&dir).unwrap();
+    let registry = Registry::open(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(registry.len(), 1);
+    let fingerprint = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap()
+        .to_string();
+    let handle = ServerHandle::spawn(registry, 0, threads).unwrap();
+    (handle, fingerprint)
+}
+
+#[test]
+fn healthz_reports_pipeline_count() {
+    let (server, _) = spawn_german(1);
+    let (status, body) = http_request(server.addr(), "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = parse(&body).unwrap();
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(
+        doc.get("pipelines").and_then(Value::as_u64_any),
+        Some(1),
+        "{body}"
+    );
+    server.stop();
+}
+
+#[test]
+fn unknown_paths_and_pipelines_get_typed_404s() {
+    let (server, fingerprint) = spawn_german(1);
+    let (status, body) = http_request(server.addr(), "GET", "/nope", None).unwrap();
+    assert_eq!(status, 404, "{body}");
+    let (status, body) = http_request(
+        server.addr(),
+        "POST",
+        "/predict/fnv1a64-0000000000000000",
+        Some(r#"{"row":{}}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("unknown pipeline"), "{body}");
+    // GET on a predict path is a method error, not a routing error.
+    let (status, _) = http_request(
+        server.addr(),
+        "GET",
+        &format!("/predict/{fingerprint}"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(status, 405);
+    server.stop();
+}
+
+#[test]
+fn malformed_bodies_are_400_and_counted() {
+    let (server, fingerprint) = spawn_german(1);
+    let path = format!("/predict/{fingerprint}");
+    for bad in [
+        "not json at all",
+        r#"{"neither":"row nor rows"}"#,
+        r#"{"rows":[]}"#,
+        r#"{"row":{"checking_status":42}}"#,
+    ] {
+        let (status, body) = http_request(server.addr(), "POST", &path, Some(bad)).unwrap();
+        assert_eq!(status, 400, "{bad} -> {body}");
+        assert!(parse(&body).unwrap().get("error").is_some(), "{body}");
+    }
+    let (_, metrics) = http_request(server.addr(), "GET", "/metrics", None).unwrap();
+    let doc = parse(&metrics).unwrap();
+    let (_, pipe) = match doc.get("pipelines") {
+        Some(Value::Obj(members)) => members.first().unwrap().clone(),
+        other => panic!("no pipelines object: {other:?}"),
+    };
+    assert_eq!(pipe.get("errors").and_then(Value::as_u64_any), Some(4));
+    server.stop();
+}
+
+/// The core concurrency claim: many clients hammering `/predict` from
+/// many threads receive, request for request, the exact bytes a
+/// sequential replay of the same requests produces.
+#[test]
+fn concurrent_hammering_matches_sequential_replay() {
+    let (sealed, bodies) = german();
+    let (server, fingerprint) = spawn_german(4);
+    let path = format!("/predict/{fingerprint}");
+    let _ = sealed;
+
+    // Sequential baseline, one response per request body.
+    let expected: Vec<String> = bodies
+        .iter()
+        .map(|body| {
+            let (status, response) =
+                http_request(server.addr(), "POST", &path, Some(body)).unwrap();
+            assert_eq!(status, 200, "{response}");
+            response
+        })
+        .collect();
+
+    // 8 client threads, each replaying every request 5 times against the
+    // 4 server workers, all checking byte equality with the baseline.
+    let addr = server.addr();
+    std::thread::scope(|scope| {
+        for client in 0..8 {
+            let path = &path;
+            let bodies = &bodies;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..5 {
+                    for (i, body) in bodies.iter().enumerate() {
+                        let (status, response) =
+                            http_request(addr, "POST", path, Some(body)).unwrap();
+                        assert_eq!(status, 200, "client {client} round {round}");
+                        assert_eq!(
+                            &response, &expected[i],
+                            "client {client} round {round} request {i} drifted"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // 1 sequential pass + 8 clients x 5 rounds, every request counted.
+    let (_, metrics) = http_request(addr, "GET", "/metrics", None).unwrap();
+    let doc = parse(&metrics).unwrap();
+    let (_, pipe) = match doc.get("pipelines") {
+        Some(Value::Obj(members)) => members.first().unwrap().clone(),
+        other => panic!("no pipelines object: {other:?}"),
+    };
+    let n_requests = (bodies.len() * (1 + 8 * 5)) as u64;
+    assert_eq!(
+        pipe.get("requests").and_then(Value::as_u64_any),
+        Some(n_requests),
+        "{metrics}"
+    );
+    let latency = pipe.get("latency").unwrap();
+    assert_eq!(
+        latency.get("count").and_then(Value::as_u64_any),
+        Some(n_requests)
+    );
+    assert!(latency.get("p50_us").and_then(Value::as_u64_any).unwrap() > 0);
+    assert!(
+        latency.get("p99_us").and_then(Value::as_u64_any).unwrap()
+            >= latency.get("p50_us").and_then(Value::as_u64_any).unwrap()
+    );
+    server.stop();
+}
+
+/// `/metrics` carries per-group decision rates and per-column PSI; a
+/// traffic distribution matching training shows no drift warning, while
+/// systematically shifted traffic must trip the PSI threshold.
+#[test]
+fn metrics_report_decision_rates_and_psi_drift() {
+    let (server, fingerprint) = spawn_german(2);
+    let path = format!("/predict/{fingerprint}");
+    let data = fairprep_cli::golden::golden_dataset("german").unwrap();
+
+    // Replay 120 training rows: in-distribution traffic.
+    for i in 0..120 {
+        let (status, _) =
+            http_request(server.addr(), "POST", &path, Some(&row_body(&data, i))).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    let (_, metrics) = http_request(server.addr(), "GET", "/metrics", None).unwrap();
+    let doc = parse(&metrics).unwrap();
+    let (_, pipe) = match doc.get("pipelines") {
+        Some(Value::Obj(members)) => members.first().unwrap().clone(),
+        other => panic!("no pipelines object: {other:?}"),
+    };
+    let decisions = pipe.get("decisions").unwrap();
+    // Both groups appear in 120 german rows, and some decisions must be
+    // favorable: the decision-rate cells are live, not placeholders.
+    let total: u64 = [
+        "privileged_favorable",
+        "privileged_unfavorable",
+        "unprivileged_favorable",
+        "unprivileged_unfavorable",
+    ]
+    .iter()
+    .map(|k| decisions.get(k).and_then(Value::as_u64_any).unwrap())
+    .sum();
+    assert_eq!(total, 120, "{metrics}");
+    assert!(
+        decisions.get("privileged_rate").unwrap().as_f64().is_some(),
+        "{metrics}"
+    );
+    assert!(
+        decisions
+            .get("unprivileged_rate")
+            .unwrap()
+            .as_f64()
+            .is_some(),
+        "{metrics}"
+    );
+    // In-distribution traffic: no column should warn yet.
+    let drift = pipe.get("drift").and_then(Value::as_array).unwrap();
+    assert!(!drift.is_empty(), "{metrics}");
+    let warned = |doc: &Value| {
+        doc.get("drift")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .filter(|d| d.get("warn") == Some(&Value::Bool(true)))
+            .count()
+    };
+    assert_eq!(warned(&pipe), 0, "{metrics}");
+
+    // Now skew the traffic hard: clamp every numeric feature to its row-0
+    // value (collapsing the distribution to a point) for 200 requests.
+    let body = row_body(&data, 0);
+    for _ in 0..200 {
+        let (status, _) = http_request(server.addr(), "POST", &path, Some(&body)).unwrap();
+        assert_eq!(status, 200);
+    }
+    let (_, metrics) = http_request(server.addr(), "GET", "/metrics", None).unwrap();
+    let doc = parse(&metrics).unwrap();
+    let (_, pipe) = match doc.get("pipelines") {
+        Some(Value::Obj(members)) => members.first().unwrap().clone(),
+        other => panic!("no pipelines object: {other:?}"),
+    };
+    assert!(warned(&pipe) > 0, "skewed traffic must warn: {metrics}");
+    server.stop();
+}
+
+/// Renders dataset row `i` as a single-row predict body (mirrors the
+/// golden module's private row renderer through the public schema).
+fn row_body(data: &fairprep_data::dataset::BinaryLabelDataset, i: usize) -> String {
+    use fairprep_data::schema::Role;
+    use fairprep_trace::json::obj;
+    let members = data
+        .schema()
+        .fields()
+        .iter()
+        .filter(|f| f.role != Role::Label)
+        .map(|f| {
+            let cell = data
+                .frame()
+                .column(&f.name)
+                .map_or(Value::Null, |col| match col.get(i) {
+                    fairprep_data::column::Value::Numeric(x) if !x.is_nan() => Value::Num(x),
+                    fairprep_data::column::Value::Categorical(s) => Value::Str(s.to_string()),
+                    _ => Value::Null,
+                });
+            (f.name.as_str(), cell)
+        })
+        .collect();
+    obj(vec![("row", obj(members))]).to_json()
+}

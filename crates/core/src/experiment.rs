@@ -148,6 +148,15 @@ impl Experiment {
     pub fn run(self) -> Result<RunResult> {
         lifecycle::run(self)
     }
+
+    /// Like [`Experiment::run`], additionally freezing the selected
+    /// candidate's fitted chain into a [`crate::seal::SealedPipeline`]
+    /// ready for [`crate::seal::SealedPipeline::save`] and offline
+    /// scoring. Fails with a typed error when a configured component does
+    /// not support sealing.
+    pub fn run_sealed(self) -> Result<(RunResult, crate::seal::SealedPipeline)> {
+        lifecycle::run_sealed(self)
+    }
 }
 
 /// Builder for [`Experiment`].

@@ -58,6 +58,7 @@ pub mod lifecycle;
 pub(crate) mod profiling;
 pub mod results;
 pub mod runner;
+pub mod seal;
 pub mod sweep;
 
 /// Convenient glob-import of the most used types.
@@ -78,6 +79,7 @@ pub mod prelude {
     };
     pub use crate::results::{CandidateEvaluation, RunMetadata, RunResult, SweepWriter};
     pub use crate::runner::{count_ok, failure_messages, run_parallel, run_parallel_traced, Job};
+    pub use crate::seal::{ScoredRow, SealedPipeline, SEAL_SCHEMA_VERSION};
     pub use crate::sweep::{
         count_completed, metric_across_outcomes, run_sweep, SeedOutcome, SweepPlan,
     };

@@ -35,6 +35,7 @@ use crate::experiment::Experiment;
 use crate::isolation::TestSetVault;
 use crate::profiling::ProfileBuilder;
 use crate::results::{CandidateEvaluation, RunMetadata, RunResult};
+use crate::seal::SealedPipeline;
 
 /// One candidate's fully-fitted chain, frozen after phase 1.
 struct FittedPipeline {
@@ -105,6 +106,19 @@ impl EvaluatedSplit {
 
 /// Executes an experiment. Called via [`Experiment::run`].
 pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
+    run_lifecycle(exp, false).map(|(result, _)| result)
+}
+
+/// Executes an experiment and additionally seals the selected candidate's
+/// frozen chain. Called via [`Experiment::run_sealed`].
+pub(crate) fn run_sealed(exp: Experiment) -> Result<(RunResult, SealedPipeline)> {
+    let (result, sealed) = run_lifecycle(exp, true)?;
+    sealed
+        .map(|s| (result, s))
+        .ok_or_else(|| Error::Seal("lifecycle produced no sealed pipeline".to_string()))
+}
+
+fn run_lifecycle(exp: Experiment, want_seal: bool) -> Result<(RunResult, Option<SealedPipeline>)> {
     if exp.learners.is_empty() {
         return Err(Error::InvalidParameter {
             name: "learners",
@@ -344,6 +358,54 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
         vault.n_rows()
     ));
 
+    // Optional sealing: freeze the selected candidate's chain, together
+    // with the raw-training-partition profile (the serving drift
+    // baseline), into a content-addressed artifact. The fingerprint
+    // covers everything that shaped the fitted parameters.
+    let sealed = if want_seal {
+        let learner = exp.learners[selected].name();
+        let postprocessor_name = exp
+            .postprocessor
+            .as_ref()
+            .map_or_else(|| "none".to_string(), |p| p.name());
+        let descriptor = format!(
+            "seal|experiment={}|seed={seed}|resampler={}|missing={}|scaler={}|\
+             preprocessor={}|postprocessor={postprocessor_name}|learner={learner}",
+            exp.name,
+            exp.resampler.name(),
+            exp.missing_handler.name(),
+            exp.scaler.name(),
+            exp.preprocessor.name(),
+        );
+        let FittedPipeline {
+            missing_handler,
+            preprocessor,
+            featurizer,
+            model,
+            postprocessor,
+        } = pipelines.swap_remove(selected);
+        lineage.push(format!(
+            "phase3: sealed frozen chain of candidate {selected} with the raw-train profile"
+        ));
+        Some(SealedPipeline {
+            fingerprint: crate::journal::config_fingerprint(&descriptor),
+            experiment: exp.name.clone(),
+            seed,
+            learner,
+            train_profile: fairprep_data::profile::DatasetProfile::compute(&raw_train),
+            schema: exp.dataset.schema().clone(),
+            protected: exp.dataset.protected().clone(),
+            favorable_label: exp.dataset.favorable_label().to_string(),
+            missing_handler,
+            preprocessor,
+            featurizer,
+            model,
+            postprocessor,
+        })
+    } else {
+        None
+    };
+
     let metadata = RunMetadata {
         experiment: exp.name,
         seed,
@@ -398,12 +460,15 @@ pub(crate) fn run(exp: Experiment) -> Result<RunResult> {
         None
     };
 
-    Ok(RunResult {
-        metadata,
-        candidates,
-        test_report,
-        manifest,
-    })
+    Ok((
+        RunResult {
+            metadata,
+            candidates,
+            test_report,
+            manifest,
+        },
+        sealed,
+    ))
 }
 
 impl FittedPipeline {

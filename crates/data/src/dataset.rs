@@ -63,6 +63,57 @@ impl BinaryLabelDataset {
         })
     }
 
+    /// Assembles a dataset for **inference-time scoring**: rows that carry
+    /// features and the protected attribute but no outcome.
+    ///
+    /// The label column is synthesized (or overwritten, if the request
+    /// happened to include one — serving never trusts a caller-supplied
+    /// outcome) with the favorable category, so every code path that reads
+    /// labels sees a well-formed all-`1.0` vector that the score path never
+    /// consults. Group *presence* is not validated — a single-row request
+    /// is necessarily single-group — but a missing protected attribute is
+    /// still rejected, because per-group decision rates and post-processors
+    /// need it for every record. The frame is tagged [`Provenance::Test`]
+    /// so any accidental `fit` on serving traffic trips the leak guard.
+    pub fn for_inference(
+        mut frame: DataFrame,
+        schema: Schema,
+        protected: ProtectedAttribute,
+        favorable_label: &str,
+    ) -> Result<Self> {
+        schema.validate()?;
+        let label_name = schema.label_name()?.to_string();
+        let n = frame.n_rows();
+
+        let label_col = match schema
+            .fields()
+            .iter()
+            .find(|f| f.name == label_name)
+            .map(|f| f.kind)
+        {
+            Some(crate::column::ColumnKind::Numeric) => Column::from_f64(vec![1.0; n]),
+            _ => Column::from_strs((0..n).map(|_| favorable_label)),
+        };
+        if frame.column(&label_name).is_ok() {
+            frame.replace_column(&label_name, label_col)?;
+        } else {
+            frame.add_column(&label_name, label_col)?;
+        }
+        frame.set_provenance(Provenance::Test);
+
+        let privileged_mask = compute_privileged_mask(&frame, &protected)?;
+
+        Ok(BinaryLabelDataset {
+            frame,
+            schema,
+            protected,
+            favorable_label: favorable_label.to_string(),
+            labels: vec![1.0; n],
+            privileged_mask,
+            instance_weights: vec![1.0; n],
+        })
+    }
+
     /// Assembles a dataset from parts that have already been validated
     /// against the full stream they were gathered from.
     ///
@@ -435,6 +486,83 @@ mod tests {
         assert!((ds.base_rate(None) - 0.75).abs() < 1e-12);
         assert!((ds.base_rate(Some(true)) - 1.0).abs() < 1e-12);
         assert!((ds.base_rate(Some(false)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_inference_synthesizes_labels_and_tags_test() {
+        // Serving rows: features + protected attribute, no outcome column.
+        let frame = DataFrame::new()
+            .with_column("score", Column::from_f64([10.0, 20.0]))
+            .unwrap()
+            .with_column("sex", Column::from_strs(["m", "f"]))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("score")
+            .metadata("sex", ColumnKind::Categorical)
+            .label("outcome");
+        let ds = BinaryLabelDataset::for_inference(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("sex", &["m"]),
+            "good",
+        )
+        .unwrap();
+        assert_eq!(ds.labels(), &[1.0, 1.0]);
+        assert_eq!(ds.privileged_mask(), &[true, false]);
+        assert_eq!(ds.provenance(), Provenance::Test);
+        // Synthesized column holds the favorable category everywhere.
+        let col = ds.frame().column("outcome").unwrap();
+        assert_eq!(col.get(0), Value::Categorical("good"));
+    }
+
+    #[test]
+    fn for_inference_overwrites_caller_supplied_labels() {
+        let frame = DataFrame::new()
+            .with_column("score", Column::from_f64([10.0]))
+            .unwrap()
+            .with_column("sex", Column::from_strs(["f"]))
+            .unwrap()
+            .with_column("outcome", Column::from_strs(["bad"]))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("score")
+            .metadata("sex", ColumnKind::Categorical)
+            .label("outcome");
+        let ds = BinaryLabelDataset::for_inference(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("sex", &["m"]),
+            "good",
+        )
+        .unwrap();
+        // Single-group batches are legal at inference time...
+        assert_eq!(ds.privileged_mask(), &[false]);
+        // ...and the caller's outcome claim is discarded.
+        assert_eq!(ds.labels(), &[1.0]);
+    }
+
+    #[test]
+    fn for_inference_still_rejects_missing_protected() {
+        let frame = DataFrame::new()
+            .with_column("score", Column::from_f64([10.0]))
+            .unwrap()
+            .with_column("sex", Column::from_optional_strs([None::<&str>]))
+            .unwrap();
+        let schema = Schema::new()
+            .numeric_feature("score")
+            .metadata("sex", ColumnKind::Categorical)
+            .label("outcome");
+        let err = BinaryLabelDataset::for_inference(
+            frame,
+            schema,
+            ProtectedAttribute::categorical("sex", &["m"]),
+            "good",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, Error::EmptyData(_) | Error::InvalidParameter { .. }),
+            "unexpected: {err}"
+        );
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub enum Error {
     /// panic-isolating runner (see `parallel::catch_panic`) so the sweep
     /// can record the failure and continue.
     JobPanic(String),
+    /// A sealed-pipeline artifact could not be serialized or loaded:
+    /// corrupted/truncated files, unknown component kinds, or schema
+    /// versions this build does not understand. Loading a damaged
+    /// artifact must surface this typed error, never a panic.
+    Seal(String),
 }
 
 impl fmt::Display for Error {
@@ -99,6 +104,7 @@ impl fmt::Display for Error {
             Error::Io(msg) => write!(f, "io error: {msg}"),
             Error::ModelFailure(msg) => write!(f, "model failure: {msg}"),
             Error::JobPanic(msg) => write!(f, "panic: {msg}"),
+            Error::Seal(msg) => write!(f, "sealed artifact: {msg}"),
         }
     }
 }

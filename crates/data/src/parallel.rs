@@ -95,23 +95,21 @@ where
         .collect();
     let next = AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let ix = next.fetch_add(1, Ordering::Relaxed);
-                if ix >= n {
-                    break;
-                }
-                let item = slots[ix]
-                    .lock()
-                    .expect("slot poisoned")
-                    .0
-                    .take()
-                    .expect("item claimed once");
-                let out = f(item);
-                slots[ix].lock().expect("slot poisoned").1 = Some(out);
-            });
+    scoped_workers(threads, |_worker| loop {
+        let ix = next.fetch_add(1, Ordering::Relaxed);
+        if ix >= n {
+            break;
         }
+        let item = slots[ix]
+            // audit: allow(shared-mut-capture, reason = "slot i is claimed by exactly one worker via the atomic cursor; results land by index, so the merge order is submission order regardless of scheduling")
+            .lock()
+            .expect("slot poisoned")
+            .0
+            .take()
+            .expect("item claimed once");
+        let out = f(item);
+        // audit: allow(shared-mut-capture, reason = "same per-slot lock: one writer per index, deterministic merge by position")
+        slots[ix].lock().expect("slot poisoned").1 = Some(out);
     });
 
     slots
@@ -151,6 +149,30 @@ where
     F: Fn(T) -> R + Sync,
 {
     parallel_map(items, threads, |item| catch_panic(|| f(item)))
+}
+
+/// Spawns `threads` scoped workers running `worker(worker_index)` and
+/// joins them all before returning.
+///
+/// This is the worker-spawn substrate under [`parallel_map`], exposed so
+/// other fixed-pool callers (the scoring server's accept loop, bench
+/// client fleets) share one spawning idiom instead of re-rolling
+/// `std::thread::scope` each time. The closure borrows non-`'static`
+/// state directly; a panic in any worker propagates once the scope
+/// unwinds, exactly as in [`parallel_map`].
+///
+/// `threads` is clamped to at least 1.
+pub fn scoped_workers<F>(threads: usize, worker: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = threads.max(1);
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let worker = &worker;
+            scope.spawn(move || worker(w));
+        }
+    });
 }
 
 /// Splits a total core budget between an outer job level and an inner
@@ -317,5 +339,25 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn scoped_workers_runs_each_index_once_and_joins() {
+        let hits = Mutex::new(vec![0usize; 6]);
+        scoped_workers(6, |w| {
+            hits.lock().expect("slot poisoned")[w] += 1;
+        });
+        // The call returned, so every worker has been joined.
+        assert_eq!(*hits.lock().expect("slot poisoned"), vec![1; 6]);
+    }
+
+    #[test]
+    fn scoped_workers_clamps_zero_threads_to_one() {
+        let ran = AtomicUsize::new(0);
+        scoped_workers(0, |w| {
+            assert_eq!(w, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 }

@@ -714,8 +714,11 @@ fn column_psi(
 /// PSI between two count vectors over the same bins, with Laplace
 /// smoothing `(n_i + 0.5) / (N + 0.5 k)` so empty bins stay finite.
 /// Returns 0 when either side has no observations or there are fewer than
-/// two bins.
-fn psi_from_counts(base: &[u64], cur: &[u64]) -> f64 {
+/// two bins. Public so online consumers (e.g. a scoring service binning
+/// live traffic against a sealed training profile) share the exact
+/// smoothing the lifecycle profiler uses.
+#[must_use]
+pub fn psi_from_counts(base: &[u64], cur: &[u64]) -> f64 {
     let k = base.len();
     if k < 2 {
         return 0.0;

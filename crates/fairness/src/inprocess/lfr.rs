@@ -26,8 +26,12 @@ use fairprep_data::error::{Error, Result};
 use fairprep_data::rng::component_rng;
 use fairprep_ml::matrix::{sigmoid, Matrix};
 use fairprep_ml::model::FittedClassifier;
+use fairprep_ml::sealing;
+use fairprep_trace::json::{obj, Value};
 
 use crate::inprocess::InProcessor;
+
+pub(crate) const KIND: &str = "lfr";
 
 /// The LFR learner.
 #[derive(Debug, Clone, Copy)]
@@ -225,7 +229,42 @@ pub struct FittedLfr {
     w: Vec<f64>,
 }
 
+impl FittedLfr {
+    pub(crate) fn unseal(v: &Value) -> Result<FittedLfr> {
+        sealing::expect_kind(v, KIND)?;
+        let prototypes: Vec<Vec<f64>> = sealing::req_arr(v, "prototypes")?
+            .iter()
+            .map(|p| {
+                p.as_f64_bits_vec()
+                    .ok_or_else(|| sealing::seal_err("lfr prototype is not a bit-pattern vector"))
+            })
+            .collect::<Result<_>>()?;
+        let w = sealing::req_f64_vec(v, "w")?;
+        let Some(first) = prototypes.first() else {
+            return Err(sealing::seal_err("lfr record has no prototypes"));
+        };
+        if prototypes.iter().any(|p| p.len() != first.len()) {
+            return Err(sealing::seal_err("lfr prototypes have mismatched widths"));
+        }
+        if w.len() != prototypes.len() {
+            return Err(sealing::seal_err(
+                "lfr label weights do not match the prototype count",
+            ));
+        }
+        Ok(FittedLfr { prototypes, w })
+    }
+}
+
 impl FittedClassifier for FittedLfr {
+    fn seal(&self) -> Result<Value> {
+        let prototypes: Vec<Value> = self.prototypes.iter().map(|p| Value::bits_vec(p)).collect();
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("prototypes", Value::Arr(prototypes)),
+            ("w", Value::bits_vec(&self.w)),
+        ]))
+    }
+
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         let d = self.prototypes.first().map_or(0, Vec::len);
         if x.n_cols() != d {
@@ -276,6 +315,37 @@ mod tests {
         let preds = model.predict(&x).unwrap();
         let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
         assert!(acc > 0.6, "accuracy {acc}");
+    }
+
+    #[test]
+    fn seals_and_unseals_bit_identically() {
+        let (x, y, w, mask) = proxy_dataset(200, 33);
+        let lfr = LearnedFairRepresentations {
+            iterations: 30,
+            ..Default::default()
+        };
+        let fitted = lfr.fit(&x, &y, &w, &mask, 5).unwrap();
+        let sealed = fitted.seal().unwrap();
+        let reparsed = fairprep_trace::json::parse(&sealed.to_json()).unwrap();
+        let reloaded = crate::inprocess::unseal_classifier(&reparsed).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(
+            bits(&fitted.predict_proba(&x).unwrap()),
+            bits(&reloaded.predict_proba(&x).unwrap())
+        );
+    }
+
+    #[test]
+    fn unseal_rejects_mismatched_prototype_widths() {
+        let broken = obj(vec![
+            ("kind", Value::Str(KIND.into())),
+            (
+                "prototypes",
+                Value::Arr(vec![Value::bits_vec(&[1.0, 2.0]), Value::bits_vec(&[1.0])]),
+            ),
+            ("w", Value::bits_vec(&[0.5, 0.5])),
+        ]);
+        assert!(FittedLfr::unseal(&broken).is_err());
     }
 
     #[test]

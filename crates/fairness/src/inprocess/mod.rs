@@ -12,6 +12,8 @@ pub mod prejudice_remover;
 use fairprep_data::error::Result;
 use fairprep_ml::matrix::Matrix;
 use fairprep_ml::model::FittedClassifier;
+use fairprep_ml::sealing;
+use fairprep_trace::json::Value;
 
 pub use adversarial::AdversarialDebiasing;
 pub use lfr::LearnedFairRepresentations;
@@ -32,6 +34,18 @@ pub trait InProcessor: Send + Sync {
         privileged: &[bool],
         seed: u64,
     ) -> Result<Box<dyn FittedClassifier>>;
+}
+
+/// Reconstructs any fitted classifier a FairPrep pipeline can seal:
+/// in-processing models this crate owns (LFR; adversarial debiasing and
+/// the prejudice remover produce plain logistic models), falling back to
+/// [`fairprep_ml::model::unseal_classifier`] for everything else. Sealed
+/// pipelines route all model records through this superset dispatcher.
+pub fn unseal_classifier(v: &Value) -> Result<Box<dyn FittedClassifier>> {
+    if sealing::kind_of(v)? == lfr::KIND {
+        return Ok(Box::new(lfr::FittedLfr::unseal(v)?));
+    }
+    fairprep_ml::model::unseal_classifier(v)
 }
 
 #[cfg(test)]

@@ -13,8 +13,12 @@ use rand::Rng;
 
 use fairprep_data::error::Result;
 use fairprep_data::rng::component_rng;
+use fairprep_ml::sealing;
+use fairprep_trace::json::{obj, Value};
 
 use crate::postprocess::{validate_fit_inputs, FittedPostprocessor, Postprocessor};
+
+pub(crate) const KIND: &str = "cal_eq_odds";
 
 /// Which generalized cost to equalize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,6 +217,22 @@ pub struct FittedCalEqOdds {
     seed: u64,
 }
 
+impl FittedCalEqOdds {
+    pub(crate) fn unseal(v: &Value) -> Result<FittedCalEqOdds> {
+        let mix_rate = sealing::req_f64(v, "mix_rate")?;
+        let base_rate = sealing::req_f64(v, "base_rate")?;
+        if !(0.0..=1.0).contains(&mix_rate) || !(0.0..=1.0).contains(&base_rate) {
+            return Err(sealing::seal_err("cal_eq_odds rates not in [0, 1]"));
+        }
+        Ok(FittedCalEqOdds {
+            degrade_privileged: sealing::req_bool(v, "degrade_privileged")?,
+            mix_rate,
+            base_rate,
+            seed: sealing::req_u64(v, "seed")?,
+        })
+    }
+}
+
 impl FittedPostprocessor for FittedCalEqOdds {
     fn adjust(&self, scores: &[f64], privileged: &[bool]) -> Result<Vec<f64>> {
         let mut rng = component_rng(self.seed, "cal_eq_odds/adjust");
@@ -229,6 +249,16 @@ impl FittedPostprocessor for FittedCalEqOdds {
                 f64::from(u8::from(score > 0.5))
             })
             .collect())
+    }
+
+    fn seal(&self) -> Result<Value> {
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("degrade_privileged", Value::Bool(self.degrade_privileged)),
+            ("mix_rate", Value::bits(self.mix_rate)),
+            ("base_rate", Value::bits(self.base_rate)),
+            ("seed", Value::from_u64(self.seed)),
+        ]))
     }
 }
 

@@ -14,8 +14,12 @@ use rand::Rng;
 use fairprep_data::error::Result;
 use fairprep_data::rng::component_rng;
 use fairprep_ml::eval::ConfusionMatrix;
+use fairprep_ml::sealing;
+use fairprep_trace::json::{obj, Value};
 
 use crate::postprocess::{validate_fit_inputs, FittedPostprocessor, Postprocessor};
+
+pub(crate) const KIND: &str = "eq_odds";
 
 /// Equalized-odds post-processing with a configurable search resolution.
 #[derive(Debug, Clone, Copy)]
@@ -155,6 +159,28 @@ pub struct FittedEqOdds {
     seed: u64,
 }
 
+impl FittedEqOdds {
+    pub(crate) fn unseal(v: &Value) -> Result<FittedEqOdds> {
+        let rates = [
+            sealing::req_f64(v, "p2p_priv")?,
+            sealing::req_f64(v, "n2p_priv")?,
+            sealing::req_f64(v, "p2p_unpriv")?,
+            sealing::req_f64(v, "n2p_unpriv")?,
+        ];
+        if rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+            return Err(sealing::seal_err("eq_odds mixing rates not in [0, 1]"));
+        }
+        let [p2p_priv, n2p_priv, p2p_unpriv, n2p_unpriv] = rates;
+        Ok(FittedEqOdds {
+            p2p_priv,
+            n2p_priv,
+            p2p_unpriv,
+            n2p_unpriv,
+            seed: sealing::req_u64(v, "seed")?,
+        })
+    }
+}
+
 impl FittedPostprocessor for FittedEqOdds {
     fn adjust(&self, scores: &[f64], privileged: &[bool]) -> Result<Vec<f64>> {
         let mut rng = component_rng(self.seed, "eq_odds/adjust");
@@ -173,6 +199,17 @@ impl FittedPostprocessor for FittedEqOdds {
                 f64::from(u8::from(keep))
             })
             .collect())
+    }
+
+    fn seal(&self) -> Result<Value> {
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("p2p_priv", Value::bits(self.p2p_priv)),
+            ("n2p_priv", Value::bits(self.n2p_priv)),
+            ("p2p_unpriv", Value::bits(self.p2p_unpriv)),
+            ("n2p_unpriv", Value::bits(self.n2p_unpriv)),
+            ("seed", Value::from_u64(self.seed)),
+        ]))
     }
 }
 

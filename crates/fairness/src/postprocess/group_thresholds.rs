@@ -10,8 +10,12 @@
 
 use fairprep_data::error::Result;
 use fairprep_ml::eval::ConfusionMatrix;
+use fairprep_ml::sealing;
+use fairprep_trace::json::{obj, Value};
 
 use crate::postprocess::{validate_fit_inputs, FittedPostprocessor, Postprocessor};
+
+pub(crate) const KIND: &str = "group_thresholds";
 
 /// The fairness constraint the threshold pair must satisfy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +157,17 @@ pub struct FittedGroupThresholds {
     pub t_unpriv: f64,
 }
 
+impl FittedGroupThresholds {
+    pub(crate) fn unseal(v: &Value) -> Result<FittedGroupThresholds> {
+        let t_priv = sealing::req_f64(v, "t_priv")?;
+        let t_unpriv = sealing::req_f64(v, "t_unpriv")?;
+        if !t_priv.is_finite() || !t_unpriv.is_finite() {
+            return Err(sealing::seal_err("group_thresholds must be finite"));
+        }
+        Ok(FittedGroupThresholds { t_priv, t_unpriv })
+    }
+}
+
 impl FittedPostprocessor for FittedGroupThresholds {
     fn adjust(&self, scores: &[f64], privileged: &[bool]) -> Result<Vec<f64>> {
         Ok(scores
@@ -163,6 +178,14 @@ impl FittedPostprocessor for FittedGroupThresholds {
                 f64::from(u8::from(s >= t))
             })
             .collect())
+    }
+
+    fn seal(&self) -> Result<Value> {
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("t_priv", Value::bits(self.t_priv)),
+            ("t_unpriv", Value::bits(self.t_unpriv)),
+        ]))
     }
 }
 

@@ -11,6 +11,8 @@ pub mod group_thresholds;
 pub mod reject_option;
 
 use fairprep_data::error::{Error, Result};
+use fairprep_ml::sealing;
+use fairprep_trace::json::{obj, Value};
 use fairprep_trace::{Stage, Tracer};
 
 pub use calibrated_eq_odds::{CalibratedEqOdds, CostConstraint};
@@ -54,6 +56,32 @@ pub trait FittedPostprocessor: Send + Sync {
     /// and group membership. Must be deterministic for fixed inputs (any
     /// internal randomization is seeded at fit time).
     fn adjust(&self, scores: &[f64], privileged: &[bool]) -> Result<Vec<f64>>;
+
+    /// Serializes the fitted adjustment into a sealed-pipeline component
+    /// record, reloadable via [`unseal_postprocessor`]. The default refuses
+    /// with a typed error so experimental interventions stay usable
+    /// in-process without silently sealing an unservable pipeline.
+    fn seal(&self) -> Result<Value> {
+        Err(Error::Seal(
+            "this postprocessor does not support sealing".to_string(),
+        ))
+    }
+}
+
+/// Reconstructs a fitted postprocessor from a sealed component record,
+/// dispatching on its `"kind"` tag. The inverse of
+/// [`FittedPostprocessor::seal`] for every intervention this crate ships.
+pub fn unseal_postprocessor(v: &Value) -> Result<Box<dyn FittedPostprocessor>> {
+    match sealing::kind_of(v)? {
+        "threshold" => Ok(Box::new(FittedThreshold)),
+        reject_option::KIND => Ok(Box::new(reject_option::FittedRejectOption::unseal(v)?)),
+        group_thresholds::KIND => Ok(Box::new(group_thresholds::FittedGroupThresholds::unseal(
+            v,
+        )?)),
+        calibrated_eq_odds::KIND => Ok(Box::new(calibrated_eq_odds::FittedCalEqOdds::unseal(v)?)),
+        eq_odds::KIND => Ok(Box::new(eq_odds::FittedEqOdds::unseal(v)?)),
+        other => Err(Error::Seal(format!("unknown postprocessor kind {other:?}"))),
+    }
 }
 
 /// Validates the common `(scores, labels, mask)` fit inputs.
@@ -109,6 +137,10 @@ impl FittedPostprocessor for FittedThreshold {
             .map(|&s| f64::from(u8::from(s > 0.5)))
             .collect())
     }
+
+    fn seal(&self) -> Result<Value> {
+        Ok(obj(vec![("kind", Value::Str("threshold".to_string()))]))
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +182,55 @@ mod tests {
                 .unwrap(),
             vec![0.0, 1.0, 0.0]
         );
+    }
+
+    /// Every shipped postprocessor seals, unseals through the full
+    /// serialize → parse cycle, and adjusts **bit-identically** afterwards
+    /// (the randomized ones re-derive their RNG from the sealed seed).
+    #[test]
+    fn every_postprocessor_seals_and_unseals_identically() {
+        let (scores, labels, mask) = test_support::biased_scores(300, 7);
+        let postprocessors: Vec<Box<dyn Postprocessor>> = vec![
+            Box::new(NoPostprocessing),
+            Box::new(RejectOptionClassification::default()),
+            Box::new(GroupThresholdOptimizer::default()),
+            Box::new(CalibratedEqOdds::default()),
+            Box::new(EqOddsPostprocessing::default()),
+        ];
+        for post in postprocessors {
+            let fitted = post.fit(&scores, &labels, &mask, 23).unwrap();
+            let sealed = fitted.seal().unwrap();
+            let reparsed = fairprep_trace::json::parse(&sealed.to_json()).unwrap();
+            let reloaded = unseal_postprocessor(&reparsed).unwrap();
+            assert_eq!(
+                fitted.adjust(&scores, &mask).unwrap(),
+                reloaded.adjust(&scores, &mask).unwrap(),
+                "{} adjustment drifted",
+                post.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unseal_rejects_unknown_kind_and_malformed_records() {
+        let err_of = |v: &Value| match unseal_postprocessor(v) {
+            Ok(_) => panic!("malformed record unsealed"),
+            Err(e) => e,
+        };
+        let unknown = obj(vec![("kind", Value::Str("platt".into()))]);
+        assert!(matches!(err_of(&unknown), Error::Seal(_)));
+        let missing_field = obj(vec![("kind", Value::Str("reject_option".into()))]);
+        assert!(matches!(err_of(&missing_field), Error::Seal(_)));
+        // An out-of-range mixing rate is rejected, not silently applied.
+        let bad_rate = obj(vec![
+            ("kind", Value::Str("eq_odds".into())),
+            ("p2p_priv", Value::bits(1.5)),
+            ("n2p_priv", Value::bits(0.1)),
+            ("p2p_unpriv", Value::bits(0.9)),
+            ("n2p_unpriv", Value::bits(0.2)),
+            ("seed", Value::from_u64(1)),
+        ]);
+        assert!(matches!(err_of(&bad_rate), Error::Seal(_)));
     }
 
     #[test]

@@ -10,8 +10,12 @@
 
 use fairprep_data::error::Result;
 use fairprep_ml::eval::ConfusionMatrix;
+use fairprep_ml::sealing;
+use fairprep_trace::json::{obj, Value};
 
 use crate::postprocess::{validate_fit_inputs, FittedPostprocessor, Postprocessor};
+
+pub(crate) const KIND: &str = "reject_option";
 
 /// The reject-option-classification intervention.
 #[derive(Debug, Clone, Copy)]
@@ -75,9 +79,26 @@ pub struct FittedRejectOption {
     pub theta: f64,
 }
 
+impl FittedRejectOption {
+    pub(crate) fn unseal(v: &Value) -> Result<FittedRejectOption> {
+        let theta = sealing::req_f64(v, "theta")?;
+        if !theta.is_finite() || !(0.0..=0.5).contains(&theta) {
+            return Err(sealing::seal_err("reject_option theta not in [0, 0.5]"));
+        }
+        Ok(FittedRejectOption { theta })
+    }
+}
+
 impl FittedPostprocessor for FittedRejectOption {
     fn adjust(&self, scores: &[f64], privileged: &[bool]) -> Result<Vec<f64>> {
         Ok(apply_band(scores, privileged, self.theta))
+    }
+
+    fn seal(&self) -> Result<Value> {
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("theta", Value::bits(self.theta)),
+        ]))
     }
 }
 

@@ -16,8 +16,12 @@
 use fairprep_data::column::Column;
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
+use fairprep_ml::sealing;
+use fairprep_trace::json::{obj, Value};
 
 use crate::preprocess::{FittedPreprocessor, Preprocessor};
+
+pub(crate) const KIND: &str = "di_remover";
 
 /// The disparate-impact remover with a configurable repair level.
 #[derive(Debug, Clone, Copy)]
@@ -124,9 +128,44 @@ impl FeatureRepair {
     }
 }
 
-struct FittedDiRemover {
+pub(crate) struct FittedDiRemover {
     repair_level: f64,
     features: Vec<FeatureRepair>,
+}
+
+/// Reconstructs a fitted disparate-impact remover from a sealed record,
+/// validating everything the repair math relies on: the per-group training
+/// values must be non-empty and sorted (quantile lookups binary-search them).
+pub(crate) fn unseal_di_remover(v: &Value) -> Result<FittedDiRemover> {
+    let repair_level = sealing::req_f64(v, "repair_level")?;
+    if !repair_level.is_finite() || !(0.0..=1.0).contains(&repair_level) {
+        return Err(sealing::seal_err("di_remover repair_level not in [0, 1]"));
+    }
+    let mut features = Vec::new();
+    for feature in sealing::req_arr(v, "features")? {
+        let name = sealing::req_str(feature, "name")?.to_string();
+        let sorted = [
+            sealing::req_f64_vec(feature, "unprivileged")?,
+            sealing::req_f64_vec(feature, "privileged")?,
+        ];
+        for group in &sorted {
+            if group.is_empty() {
+                return Err(sealing::seal_err(
+                    "di_remover feature has an empty group distribution",
+                ));
+            }
+            if group.windows(2).any(|w| w[0].total_cmp(&w[1]).is_gt()) {
+                return Err(sealing::seal_err(
+                    "di_remover group distribution is not sorted",
+                ));
+            }
+        }
+        features.push(FeatureRepair { name, sorted });
+    }
+    Ok(FittedDiRemover {
+        repair_level,
+        features,
+    })
 }
 
 impl FittedDiRemover {
@@ -158,6 +197,25 @@ impl FittedPreprocessor for FittedDiRemover {
 
     fn transform_eval(&self, data: &BinaryLabelDataset) -> Result<BinaryLabelDataset> {
         self.repair_dataset(data)
+    }
+
+    fn seal(&self) -> Result<Value> {
+        let features: Vec<Value> = self
+            .features
+            .iter()
+            .map(|f| {
+                obj(vec![
+                    ("name", Value::Str(f.name.clone())),
+                    ("unprivileged", Value::bits_vec(&f.sorted[0])),
+                    ("privileged", Value::bits_vec(&f.sorted[1])),
+                ])
+            })
+            .collect();
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("repair_level", Value::bits(self.repair_level)),
+            ("features", Value::Arr(features)),
+        ]))
     }
 }
 

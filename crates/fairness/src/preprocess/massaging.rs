@@ -13,9 +13,13 @@
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
 use fairprep_ml::model::{Classifier, LogisticRegressionSgd};
+use fairprep_ml::sealing;
 use fairprep_ml::transform::{FittedFeaturizer, ScalerSpec};
+use fairprep_trace::json::{obj, Value};
 
 use crate::preprocess::{FittedPreprocessor, Preprocessor};
+
+pub(crate) const KIND: &str = "massaging";
 
 /// The massaging intervention.
 #[derive(Debug, Clone, Copy, Default)]
@@ -43,10 +47,20 @@ impl Preprocessor for Massaging {
     }
 }
 
-struct FittedMassaging {
+pub(crate) struct FittedMassaging {
     featurizer: FittedFeaturizer,
     /// Ranker scores of the training set the intervention was fitted on.
     scores: Vec<f64>,
+}
+
+/// Reconstructs a fitted massaging intervention from a sealed record.
+pub(crate) fn unseal_massaging(v: &Value) -> Result<FittedMassaging> {
+    let featurizer = FittedFeaturizer::unseal(sealing::req(v, "featurizer")?)?;
+    let scores = sealing::req_f64_vec(v, "scores")?;
+    if scores.is_empty() {
+        return Err(sealing::seal_err("massaging record has no ranker scores"));
+    }
+    Ok(FittedMassaging { featurizer, scores })
 }
 
 impl FittedPreprocessor for FittedMassaging {
@@ -121,6 +135,14 @@ impl FittedPreprocessor for FittedMassaging {
         let mut out = train.clone();
         out.set_labels(labels)?;
         Ok(out)
+    }
+
+    fn seal(&self) -> Result<Value> {
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("featurizer", self.featurizer.seal()),
+            ("scores", Value::bits_vec(&self.scores)),
+        ]))
     }
 }
 

@@ -13,7 +13,9 @@ pub mod preferential_sampling;
 pub mod reweighing;
 
 use fairprep_data::dataset::BinaryLabelDataset;
-use fairprep_data::error::Result;
+use fairprep_data::error::{Error, Result};
+use fairprep_ml::sealing;
+use fairprep_trace::json::{obj, Value};
 use fairprep_trace::{Stage, Tracer};
 
 pub use di_remover::DisparateImpactRemover;
@@ -55,6 +57,32 @@ pub trait FittedPreprocessor: Send + Sync {
     fn transform_eval(&self, data: &BinaryLabelDataset) -> Result<BinaryLabelDataset> {
         Ok(data.clone())
     }
+
+    /// Serializes the fitted intervention into a sealed-pipeline component
+    /// record, reloadable via [`unseal_preprocessor`]. The default refuses
+    /// with a typed error so experimental interventions stay usable
+    /// in-process without silently sealing an unservable pipeline.
+    fn seal(&self) -> Result<Value> {
+        Err(Error::Seal(
+            "this preprocessor does not support sealing".to_string(),
+        ))
+    }
+}
+
+/// Reconstructs a fitted preprocessor from a sealed component record,
+/// dispatching on its `"kind"` tag. The inverse of
+/// [`FittedPreprocessor::seal`] for every intervention this crate ships.
+pub fn unseal_preprocessor(v: &Value) -> Result<Box<dyn FittedPreprocessor>> {
+    match sealing::kind_of(v)? {
+        "no_intervention" => Ok(Box::new(FittedNoIntervention)),
+        reweighing::KIND => Ok(Box::new(reweighing::FittedReweighing::unseal(v)?)),
+        di_remover::KIND => Ok(Box::new(di_remover::unseal_di_remover(v)?)),
+        massaging::KIND => Ok(Box::new(massaging::unseal_massaging(v)?)),
+        preferential_sampling::KIND => Ok(Box::new(
+            preferential_sampling::unseal_preferential_sampling(v)?,
+        )),
+        other => Err(Error::Seal(format!("unknown preprocessor kind {other:?}"))),
+    }
 }
 
 /// The no-op intervention (the "no intervention" arm of every figure).
@@ -77,6 +105,13 @@ struct FittedNoIntervention;
 impl FittedPreprocessor for FittedNoIntervention {
     fn transform_train(&self, train: &BinaryLabelDataset) -> Result<BinaryLabelDataset> {
         Ok(train.clone())
+    }
+
+    fn seal(&self) -> Result<Value> {
+        Ok(obj(vec![(
+            "kind",
+            Value::Str("no_intervention".to_string()),
+        )]))
     }
 }
 
@@ -146,6 +181,70 @@ mod tests {
         assert_eq!(train.instance_weights(), ds.instance_weights());
         let eval = fitted.transform_eval(&ds).unwrap();
         assert_eq!(eval.frame(), ds.frame());
+    }
+
+    /// Every shipped preprocessor seals, unseals through the full
+    /// serialize → parse cycle, and transforms identically afterwards.
+    #[test]
+    fn every_preprocessor_seals_and_unseals_identically() {
+        let ds = biased_dataset(80);
+        let preprocessors: Vec<Box<dyn Preprocessor>> = vec![
+            Box::new(NoIntervention),
+            Box::new(Reweighing),
+            Box::new(DisparateImpactRemover::new(0.7)),
+            Box::new(Massaging),
+            Box::new(PreferentialSampling),
+        ];
+        for pre in preprocessors {
+            let fitted = pre.fit(&ds, 11).unwrap();
+            let sealed = fitted.seal().unwrap();
+            let reparsed = fairprep_trace::json::parse(&sealed.to_json()).unwrap();
+            let reloaded = unseal_preprocessor(&reparsed).unwrap();
+            assert_eq!(
+                fitted.transform_train(&ds).unwrap(),
+                reloaded.transform_train(&ds).unwrap(),
+                "{} train transform drifted",
+                pre.name()
+            );
+            assert_eq!(
+                fitted.transform_eval(&ds).unwrap(),
+                reloaded.transform_eval(&ds).unwrap(),
+                "{} eval transform drifted",
+                pre.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unseal_rejects_unknown_kind_and_malformed_records() {
+        let err_of = |v: &Value| match unseal_preprocessor(v) {
+            Ok(_) => panic!("malformed record unsealed"),
+            Err(e) => e,
+        };
+        let unknown = obj(vec![("kind", Value::Str("oversampling".into()))]);
+        assert!(matches!(err_of(&unknown), Error::Seal(_)));
+        let missing_kind = obj(vec![("weights", Value::bits_vec(&[1.0]))]);
+        assert!(matches!(err_of(&missing_kind), Error::Seal(_)));
+        // Reweighing with the wrong cell count is a typed error.
+        let truncated = obj(vec![
+            ("kind", Value::Str("reweighing".into())),
+            ("weights", Value::bits_vec(&[1.0, 2.0])),
+        ]);
+        assert!(matches!(err_of(&truncated), Error::Seal(_)));
+        // An unsorted di_remover distribution would corrupt quantile lookups.
+        let unsorted = obj(vec![
+            ("kind", Value::Str("di_remover".into())),
+            ("repair_level", Value::bits(0.5)),
+            (
+                "features",
+                Value::Arr(vec![obj(vec![
+                    ("name", Value::Str("score".into())),
+                    ("unprivileged", Value::bits_vec(&[3.0, 1.0])),
+                    ("privileged", Value::bits_vec(&[1.0, 2.0])),
+                ])]),
+            ),
+        ]);
+        assert!(matches!(err_of(&unsorted), Error::Seal(_)));
     }
 
     #[test]

@@ -16,9 +16,13 @@
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
 use fairprep_ml::model::{Classifier, LogisticRegressionSgd};
+use fairprep_ml::sealing;
 use fairprep_ml::transform::{FittedFeaturizer, ScalerSpec};
+use fairprep_trace::json::{obj, Value};
 
 use crate::preprocess::{FittedPreprocessor, Preprocessor};
+
+pub(crate) const KIND: &str = "preferential_sampling";
 
 /// The preferential-sampling intervention.
 #[derive(Debug, Clone, Copy, Default)]
@@ -45,9 +49,21 @@ impl Preprocessor for PreferentialSampling {
     }
 }
 
-struct FittedPreferentialSampling {
+pub(crate) struct FittedPreferentialSampling {
     /// Ranker scores for the training set the intervention was fitted on.
     scores: Vec<f64>,
+}
+
+/// Reconstructs a fitted preferential-sampling intervention from a sealed
+/// record.
+pub(crate) fn unseal_preferential_sampling(v: &Value) -> Result<FittedPreferentialSampling> {
+    let scores = sealing::req_f64_vec(v, "scores")?;
+    if scores.is_empty() {
+        return Err(sealing::seal_err(
+            "preferential_sampling record has no ranker scores",
+        ));
+    }
+    Ok(FittedPreferentialSampling { scores })
 }
 
 impl FittedPreprocessor for FittedPreferentialSampling {
@@ -117,6 +133,13 @@ impl FittedPreprocessor for FittedPreferentialSampling {
         }
         keep.sort_unstable();
         Ok(train.take(&keep))
+    }
+
+    fn seal(&self) -> Result<Value> {
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("scores", Value::bits_vec(&self.scores)),
+        ]))
     }
 }
 

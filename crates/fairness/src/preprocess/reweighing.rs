@@ -8,8 +8,12 @@
 // audit: allow-file(index-literal, reason = "the 2x2 (group, label) contingency cells have compile-time size, indexed by bool casts")
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
+use fairprep_ml::sealing;
+use fairprep_trace::json::{obj, Value};
 
 use crate::preprocess::{FittedPreprocessor, Preprocessor};
+
+pub(crate) const KIND: &str = "reweighing";
 
 /// The reweighing intervention.
 ///
@@ -85,7 +89,39 @@ pub struct FittedReweighing {
     pub weights: [[f64; 2]; 2],
 }
 
+impl FittedReweighing {
+    pub(crate) fn unseal(v: &Value) -> Result<FittedReweighing> {
+        let flat = sealing::req_f64_vec(v, "weights")?;
+        let [uu, up, pu, pp] = flat[..] else {
+            return Err(sealing::seal_err(
+                "reweighing record needs exactly 4 cell weights",
+            ));
+        };
+        if flat.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(sealing::seal_err(
+                "reweighing cell weights must be finite and non-negative",
+            ));
+        }
+        Ok(FittedReweighing {
+            weights: [[uu, up], [pu, pp]],
+        })
+    }
+}
+
 impl FittedPreprocessor for FittedReweighing {
+    fn seal(&self) -> Result<Value> {
+        let flat = [
+            self.weights[0][0],
+            self.weights[0][1],
+            self.weights[1][0],
+            self.weights[1][1],
+        ];
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("weights", Value::bits_vec(&flat)),
+        ]))
+    }
+
     fn transform_train(&self, train: &BinaryLabelDataset) -> Result<BinaryLabelDataset> {
         let labels = train.labels().to_vec();
         let mask = train.privileged_mask().to_vec();

@@ -33,6 +33,8 @@ use fairprep_data::column::{Column, OwnedValue};
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
 use fairprep_data::profile::GROUP_BALANCE_WARN_THRESHOLD;
+use fairprep_ml::sealing;
+use fairprep_trace::json::{obj, Value as Json};
 use fairprep_trace::{Counter, Stage, Tracer};
 
 pub use model_based::ModelBasedImputer;
@@ -114,6 +116,68 @@ pub trait FittedMissingValueHandler: Send + Sync {
         }
         Ok(out)
     }
+
+    /// Serializes the fitted handler into a sealed-pipeline component
+    /// record reloadable via [`unseal_handler`]. The default refuses with
+    /// a typed error so experimental handlers stay usable in-process
+    /// without silently producing unservable artifacts.
+    fn seal(&self) -> Result<Json> {
+        Err(Error::Seal(
+            "this missing-value handler does not support sealing".to_string(),
+        ))
+    }
+}
+
+/// Reconstructs a fitted missing-value handler from a sealed component
+/// record, dispatching on its `"kind"` tag.
+pub fn unseal_handler(v: &Json) -> Result<Box<dyn FittedMissingValueHandler>> {
+    match sealing::kind_of(v)? {
+        "complete_case" => Ok(Box::new(FittedCompleteCase)),
+        "fill" => {
+            let mut fills = Vec::new();
+            for record in sealing::req_arr(v, "fills")? {
+                fills.push((
+                    sealing::req_str(record, "name")?.to_string(),
+                    unseal_owned_value(sealing::req(record, "value")?)?,
+                ));
+            }
+            Ok(Box::new(FittedFillImputer { fills }))
+        }
+        model_based::KIND => Ok(Box::new(model_based::unseal_model_based(v)?)),
+        other => Err(Error::Seal(format!(
+            "unknown missing-value handler kind {other:?}"
+        ))),
+    }
+}
+
+/// Serializes an [`OwnedValue`] fill constant (numeric values travel as
+/// bit patterns, categories as strings, missing as `null`).
+pub(crate) fn seal_owned_value(v: &OwnedValue) -> Json {
+    match v {
+        OwnedValue::Numeric(x) => obj(vec![("num", Json::bits(*x))]),
+        OwnedValue::Categorical(s) => obj(vec![("cat", Json::Str(s.clone()))]),
+        OwnedValue::Missing => Json::Null,
+    }
+}
+
+/// Inverse of [`seal_owned_value`].
+pub(crate) fn unseal_owned_value(v: &Json) -> Result<OwnedValue> {
+    if matches!(v, Json::Null) {
+        return Ok(OwnedValue::Missing);
+    }
+    if let Some(num) = v.get("num") {
+        return num
+            .as_f64_bits()
+            .map(OwnedValue::Numeric)
+            .ok_or_else(|| sealing::seal_err("numeric fill is not a float bit pattern"));
+    }
+    if let Some(cat) = v.get("cat") {
+        return cat
+            .as_str()
+            .map(|s| OwnedValue::Categorical(s.to_string()))
+            .ok_or_else(|| sealing::seal_err("categorical fill is not a string"));
+    }
+    Err(sealing::seal_err("unrecognized fill value record"))
 }
 
 /// Records a tracer warning when record removal hits one protected group
@@ -178,6 +242,10 @@ impl FittedMissingValueHandler for FittedCompleteCase {
 
     fn removes_records(&self) -> bool {
         true
+    }
+
+    fn seal(&self) -> Result<Json> {
+        Ok(obj(vec![("kind", Json::Str("complete_case".to_string()))]))
     }
 }
 
@@ -283,6 +351,23 @@ impl FittedMissingValueHandler for FittedFillImputer {
         }
         out.refresh_caches()?;
         Ok(out)
+    }
+
+    fn seal(&self) -> Result<Json> {
+        let fills = self
+            .fills
+            .iter()
+            .map(|(name, fill)| {
+                obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("value", seal_owned_value(fill)),
+                ])
+            })
+            .collect();
+        Ok(obj(vec![
+            ("kind", Json::Str("fill".to_string())),
+            ("fills", Json::Arr(fills)),
+        ]))
     }
 }
 
@@ -499,5 +584,54 @@ mod tests {
         assert_eq!(CompleteCaseAnalysis.name(), "complete_case_analysis");
         assert_eq!(ModeImputer.name(), "mode_imputation");
         assert_eq!(MeanModeImputer.name(), "mean_mode_imputation");
+    }
+
+    /// Every shipped handler seals, reloads through the serialize → parse
+    /// cycle, and produces an identical completed dataset.
+    #[test]
+    fn handlers_seal_and_unseal_identically() {
+        let ds = dataset_with_missing();
+        let handlers: Vec<Box<dyn MissingValueHandler>> = vec![
+            Box::new(CompleteCaseAnalysis),
+            Box::new(ModeImputer),
+            Box::new(MeanModeImputer),
+            Box::new(ModelBasedImputer::default()),
+        ];
+        for handler in handlers {
+            let fitted = handler.fit(&ds, 11).unwrap();
+            let sealed = fitted.seal().unwrap();
+            let reparsed = fairprep_trace::json::parse(&sealed.to_json()).unwrap();
+            let reloaded = unseal_handler(&reparsed).unwrap();
+            assert_eq!(
+                reloaded.removes_records(),
+                fitted.removes_records(),
+                "{}",
+                handler.name()
+            );
+            let a = fitted.handle_missing(&ds).unwrap();
+            let b = reloaded.handle_missing(&ds).unwrap();
+            assert_eq!(a, b, "{} drifted through seal/unseal", handler.name());
+        }
+    }
+
+    #[test]
+    fn unseal_handler_rejects_unknown_and_malformed_records() {
+        let unknown = obj(vec![("kind", Json::Str("quantile_fill".into()))]);
+        assert!(matches!(
+            unseal_handler(&unknown).map(|_| ()).unwrap_err(),
+            Error::Seal(_)
+        ));
+        // fill record with a broken value entry
+        let broken = obj(vec![
+            ("kind", Json::Str("fill".into())),
+            (
+                "fills",
+                Json::Arr(vec![obj(vec![("name", Json::Str("age".into()))])]),
+            ),
+        ]);
+        assert!(matches!(
+            unseal_handler(&broken).map(|_| ()).unwrap_err(),
+            Error::Seal(_)
+        ));
     }
 }

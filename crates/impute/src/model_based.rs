@@ -26,7 +26,9 @@ use fairprep_ml::matrix::{dot, Matrix};
 use fairprep_ml::model::{
     Classifier, FittedClassifier, LogisticRegressionConfig, LogisticRegressionSgd, Penalty,
 };
+use fairprep_ml::sealing;
 use fairprep_ml::transform::OneHotEncoder;
+use fairprep_trace::json::{obj, Value as Json};
 
 use crate::{FittedMissingValueHandler, MissingValueHandler};
 
@@ -388,9 +390,135 @@ fn fit_ridge_sgd(x: &Matrix, y: &[f64], epochs: usize, alpha: f64, seed: u64) ->
 }
 
 /// The fitted Datawig-substitute imputer.
-struct FittedModelBasedImputer {
+pub(crate) struct FittedModelBasedImputer {
     models: Vec<ColumnModel>,
     fallback: Vec<(String, OwnedValue)>,
+}
+
+/// Sealed-record kind tag for the model-based imputer.
+pub(crate) const KIND: &str = "model_based";
+
+fn seal_input_encoding(enc: &InputEncoding) -> Json {
+    match enc {
+        InputEncoding::Numeric { mean, std } => obj(vec![(
+            "num",
+            obj(vec![("mean", Json::bits(*mean)), ("std", Json::bits(*std))]),
+        )]),
+        InputEncoding::Categorical(onehot) => obj(vec![("cat", onehot.seal())]),
+    }
+}
+
+fn unseal_input_encoding(v: &Json) -> Result<InputEncoding> {
+    if let Some(num) = v.get("num") {
+        return Ok(InputEncoding::Numeric {
+            mean: sealing::req_f64(num, "mean")?,
+            std: sealing::req_f64(num, "std")?,
+        });
+    }
+    if let Some(cat) = v.get("cat") {
+        return Ok(InputEncoding::Categorical(OneHotEncoder::unseal(cat)?));
+    }
+    Err(sealing::seal_err("unrecognized input-encoding record"))
+}
+
+fn seal_target_model(model: &TargetModel) -> Result<Json> {
+    match model {
+        TargetModel::Categorical { categories, models } => {
+            let sealed_models = models
+                .iter()
+                .map(|m| m.seal())
+                .collect::<Result<Vec<Json>>>()?;
+            Ok(obj(vec![
+                (
+                    "categories",
+                    Json::Arr(categories.iter().map(|c| Json::Str(c.clone())).collect()),
+                ),
+                ("models", Json::Arr(sealed_models)),
+            ]))
+        }
+        TargetModel::Numeric {
+            weights,
+            intercept,
+            mean,
+            std,
+        } => Ok(obj(vec![
+            ("weights", Json::bits_vec(weights)),
+            ("intercept", Json::bits(*intercept)),
+            ("mean", Json::bits(*mean)),
+            ("std", Json::bits(*std)),
+        ])),
+    }
+}
+
+fn unseal_target_model(v: &Json) -> Result<TargetModel> {
+    if let Some(categories) = v.get("categories") {
+        let categories: Vec<String> = categories
+            .as_array()
+            .ok_or_else(|| sealing::seal_err("categories is not an array"))?
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| sealing::seal_err("category is not a string"))
+            })
+            .collect::<Result<_>>()?;
+        let models = sealing::req_arr(v, "models")?
+            .iter()
+            .map(fairprep_ml::model::unseal_classifier)
+            .collect::<Result<Vec<_>>>()?;
+        if models.len() != categories.len() {
+            return Err(sealing::seal_err(
+                "one-vs-rest model count does not match category count",
+            ));
+        }
+        return Ok(TargetModel::Categorical { categories, models });
+    }
+    Ok(TargetModel::Numeric {
+        weights: sealing::req_f64_vec(v, "weights")?,
+        intercept: sealing::req_f64(v, "intercept")?,
+        mean: sealing::req_f64(v, "mean")?,
+        std: sealing::req_f64(v, "std")?,
+    })
+}
+
+/// Reconstructs the fitted imputer from a sealed component record.
+pub(crate) fn unseal_model_based(v: &Json) -> Result<FittedModelBasedImputer> {
+    sealing::expect_kind(v, KIND)?;
+    let mut models = Vec::new();
+    for record in sealing::req_arr(v, "models")? {
+        let target = sealing::req_str(record, "target")?.to_string();
+        let mut inputs = Vec::new();
+        for input in sealing::req_arr(record, "inputs")? {
+            inputs.push((
+                sealing::req_str(input, "name")?.to_string(),
+                unseal_input_encoding(sealing::req(input, "encoding")?)?,
+            ));
+        }
+        let width: usize = inputs.iter().map(|(_, e)| e.width()).sum();
+        let model = unseal_target_model(sealing::req(record, "model")?)?;
+        if let TargetModel::Numeric { weights, .. } = &model {
+            if weights.len() != width {
+                return Err(sealing::seal_err(format!(
+                    "imputer for {target}: weight width {} does not match input width {width}",
+                    weights.len()
+                )));
+            }
+        }
+        models.push(ColumnModel {
+            target,
+            inputs,
+            width,
+            model,
+        });
+    }
+    let mut fallback = Vec::new();
+    for record in sealing::req_arr(v, "fallback")? {
+        fallback.push((
+            sealing::req_str(record, "name")?.to_string(),
+            crate::unseal_owned_value(sealing::req(record, "value")?)?,
+        ));
+    }
+    Ok(FittedModelBasedImputer { models, fallback })
 }
 
 impl FittedMissingValueHandler for FittedModelBasedImputer {
@@ -417,6 +545,45 @@ impl FittedMissingValueHandler for FittedModelBasedImputer {
         }
         out.refresh_caches()?;
         Ok(out)
+    }
+
+    fn seal(&self) -> Result<Json> {
+        let models = self
+            .models
+            .iter()
+            .map(|m| {
+                let inputs = m
+                    .inputs
+                    .iter()
+                    .map(|(name, enc)| {
+                        obj(vec![
+                            ("name", Json::Str(name.clone())),
+                            ("encoding", seal_input_encoding(enc)),
+                        ])
+                    })
+                    .collect();
+                Ok(obj(vec![
+                    ("target", Json::Str(m.target.clone())),
+                    ("inputs", Json::Arr(inputs)),
+                    ("model", seal_target_model(&m.model)?),
+                ]))
+            })
+            .collect::<Result<Vec<Json>>>()?;
+        let fallback = self
+            .fallback
+            .iter()
+            .map(|(name, fill)| {
+                obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("value", crate::seal_owned_value(fill)),
+                ])
+            })
+            .collect();
+        Ok(obj(vec![
+            ("kind", Json::Str(KIND.to_string())),
+            ("models", Json::Arr(models)),
+            ("fallback", Json::Arr(fallback)),
+        ]))
     }
 }
 

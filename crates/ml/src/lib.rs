@@ -34,6 +34,7 @@ pub mod eval;
 pub mod kernels;
 pub mod matrix;
 pub mod model;
+pub mod sealing;
 pub mod selection;
 pub mod transform;
 

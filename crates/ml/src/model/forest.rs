@@ -11,10 +11,12 @@ use rand::Rng;
 
 use fairprep_data::error::{Error, Result};
 use fairprep_data::rng::{component_rng, derive_seed};
+use fairprep_trace::json::{obj, Value};
 
 use crate::matrix::Matrix;
 use crate::model::tree::{DecisionTree, DecisionTreeConfig, FittedDecisionTree};
 use crate::model::{validate_training_inputs, Classifier, FittedClassifier};
+use crate::sealing;
 
 /// Hyperparameters of [`RandomForest`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,7 +164,80 @@ pub struct FittedRandomForest {
     n_features: usize,
 }
 
+/// Sealed-record kind tag for random forests.
+pub(crate) const KIND: &str = "random_forest";
+
+impl FittedRandomForest {
+    /// Reconstructs the forest from a sealed component record. Each
+    /// member's subspace indices are validated against the full feature
+    /// width (the mapped predict path indexes `row[features[f]]`
+    /// unchecked), and every member tree re-runs its own arena checks.
+    pub(crate) fn unseal(v: &Value) -> Result<FittedRandomForest> {
+        sealing::expect_kind(v, KIND)?;
+        let n_features = sealing::req_usize(v, "n_features")?;
+        let mut members = Vec::new();
+        for member in sealing::req_arr(v, "members")? {
+            let features = sealing::req_arr(member, "features")?
+                .iter()
+                .map(|f| {
+                    f.as_u64_any()
+                        .map(|f| f as usize)
+                        .ok_or_else(|| sealing::seal_err("member feature index is not an integer"))
+                })
+                .collect::<Result<Vec<usize>>>()?;
+            if let Some(&bad) = features.iter().find(|&&f| f >= n_features) {
+                return Err(sealing::seal_err(format!(
+                    "member subspace index {bad} exceeds feature width {n_features}"
+                )));
+            }
+            let model = FittedDecisionTree::unseal(sealing::req(member, "tree")?)?;
+            if model.n_features() != features.len() {
+                return Err(sealing::seal_err(format!(
+                    "member tree width {} does not match its subspace of {}",
+                    model.n_features(),
+                    features.len()
+                )));
+            }
+            members.push(ForestMember { features, model });
+        }
+        if members.is_empty() {
+            return Err(sealing::seal_err("random forest has no members"));
+        }
+        Ok(FittedRandomForest {
+            members,
+            n_features,
+        })
+    }
+}
+
 impl FittedClassifier for FittedRandomForest {
+    fn seal(&self) -> Result<Value> {
+        let members = self
+            .members
+            .iter()
+            .map(|member| {
+                Ok(obj(vec![
+                    (
+                        "features",
+                        Value::Arr(
+                            member
+                                .features
+                                .iter()
+                                .map(|&f| Value::from_u64(f as u64))
+                                .collect(),
+                        ),
+                    ),
+                    ("tree", member.model.seal()?),
+                ]))
+            })
+            .collect::<Result<Vec<Value>>>()?;
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("n_features", Value::from_u64(self.n_features as u64)),
+            ("members", Value::Arr(members)),
+        ]))
+    }
+
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         if x.n_cols() != self.n_features {
             return Err(Error::LengthMismatch {

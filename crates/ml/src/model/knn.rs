@@ -10,9 +10,11 @@
 //! sensitivity.
 
 use fairprep_data::error::{Error, Result};
+use fairprep_trace::json::{obj, Value};
 
 use crate::matrix::Matrix;
 use crate::model::{validate_training_inputs, Classifier, FittedClassifier};
+use crate::sealing;
 
 /// k-nearest-neighbours learner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,7 +69,47 @@ pub struct FittedKnn {
     weights: Vec<f64>,
 }
 
+/// Sealed-record kind tag for k-nearest-neighbors.
+pub(crate) const KIND: &str = "knn";
+
+impl FittedKnn {
+    /// Reconstructs the memorized training set from a sealed record.
+    pub(crate) fn unseal(v: &Value) -> Result<FittedKnn> {
+        sealing::expect_kind(v, KIND)?;
+        let k = sealing::req_usize(v, "k")?;
+        let rows = sealing::req_usize(v, "rows")?;
+        let cols = sealing::req_usize(v, "cols")?;
+        let data = sealing::req_f64_vec(v, "x")?;
+        let y = sealing::req_f64_vec(v, "y")?;
+        let weights = sealing::req_f64_vec(v, "weights")?;
+        if data.len() != rows.saturating_mul(cols)
+            || y.len() != rows
+            || weights.len() != rows
+            || k == 0
+            || k > rows
+        {
+            return Err(sealing::seal_err(
+                "knn record has inconsistent dimensions".to_string(),
+            ));
+        }
+        let x = Matrix::from_vec(rows, cols, data)?;
+        Ok(FittedKnn { k, x, y, weights })
+    }
+}
+
 impl FittedClassifier for FittedKnn {
+    fn seal(&self) -> Result<Value> {
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("k", Value::from_u64(self.k as u64)),
+            ("rows", Value::from_u64(self.x.n_rows() as u64)),
+            ("cols", Value::from_u64(self.x.n_cols() as u64)),
+            ("x", Value::bits_vec(self.x.data())),
+            ("y", Value::bits_vec(&self.y)),
+            ("weights", Value::bits_vec(&self.weights)),
+        ]))
+    }
+
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         if x.n_cols() != self.x.n_cols() {
             return Err(Error::LengthMismatch {

@@ -16,9 +16,12 @@ use rand::seq::SliceRandom;
 use fairprep_data::error::{Error, Result};
 use fairprep_data::rng::component_rng;
 
+use fairprep_trace::json::{obj, Value};
+
 use crate::kernels::sgd_step;
 use crate::matrix::{dot, sigmoid, Matrix};
 use crate::model::{validate_training_inputs, Classifier, FittedClassifier};
+use crate::sealing;
 
 /// Regularization penalty for [`LogisticRegressionSgd`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -206,7 +209,29 @@ pub struct FittedLogisticRegression {
     pub intercept: f64,
 }
 
+/// Sealed-record kind tag for logistic regression.
+pub(crate) const KIND: &str = "logistic";
+
+impl FittedLogisticRegression {
+    /// Reconstructs the model from a sealed component record.
+    pub(crate) fn unseal(v: &Value) -> Result<FittedLogisticRegression> {
+        sealing::expect_kind(v, KIND)?;
+        Ok(FittedLogisticRegression {
+            weights: sealing::req_f64_vec(v, "weights")?,
+            intercept: sealing::req_f64(v, "intercept")?,
+        })
+    }
+}
+
 impl FittedClassifier for FittedLogisticRegression {
+    fn seal(&self) -> Result<Value> {
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("weights", Value::bits_vec(&self.weights)),
+            ("intercept", Value::bits(self.intercept)),
+        ]))
+    }
+
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         let mut scores = x.matvec(&self.weights)?;
         for z in &mut scores {

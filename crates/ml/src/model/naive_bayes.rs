@@ -8,9 +8,11 @@
 
 // audit: allow-file(index-literal, reason = "per-class state lives in [_; 2] arrays indexed by bool casts of the binary label")
 use fairprep_data::error::Result;
+use fairprep_trace::json::{obj, Value};
 
 use crate::matrix::Matrix;
 use crate::model::{validate_training_inputs, Classifier, FittedClassifier};
+use crate::sealing;
 
 /// Gaussian naive Bayes learner.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -123,13 +125,61 @@ impl ClassStats {
 }
 
 /// A trained Gaussian naive Bayes model.
-struct FittedGaussianNb {
+pub(crate) struct FittedGaussianNb {
     log_prior: [f64; 2],
     params: Vec<(Vec<f64>, Vec<f64>)>,
     n_features: usize,
 }
 
+/// Sealed-record kind tag for Gaussian naive Bayes.
+pub(crate) const KIND: &str = "gaussian_nb";
+
+impl FittedGaussianNb {
+    /// Reconstructs the model from a sealed component record.
+    pub(crate) fn unseal(v: &Value) -> Result<FittedGaussianNb> {
+        sealing::expect_kind(v, KIND)?;
+        let n_features = sealing::req_usize(v, "n_features")?;
+        let log_prior = sealing::req_f64_vec(v, "log_prior")?;
+        let [p0, p1] = log_prior.as_slice() else {
+            return Err(sealing::seal_err("log_prior must hold exactly two values"));
+        };
+        let mut params = Vec::with_capacity(2);
+        for class in ["class0", "class1"] {
+            let record = sealing::req(v, class)?;
+            let means = sealing::req_f64_vec(record, "means")?;
+            let vars = sealing::req_f64_vec(record, "vars")?;
+            if means.len() != n_features || vars.len() != n_features {
+                return Err(sealing::seal_err(format!(
+                    "{class} parameters do not match feature width {n_features}"
+                )));
+            }
+            params.push((means, vars));
+        }
+        Ok(FittedGaussianNb {
+            log_prior: [*p0, *p1],
+            params,
+            n_features,
+        })
+    }
+}
+
 impl FittedClassifier for FittedGaussianNb {
+    fn seal(&self) -> Result<Value> {
+        let class = |c: usize| {
+            obj(vec![
+                ("means", Value::bits_vec(&self.params[c].0)),
+                ("vars", Value::bits_vec(&self.params[c].1)),
+            ])
+        };
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("n_features", Value::from_u64(self.n_features as u64)),
+            ("log_prior", Value::bits_vec(&self.log_prior)),
+            ("class0", class(0)),
+            ("class1", class(1)),
+        ]))
+    }
+
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         if x.n_cols() != self.n_features {
             return Err(fairprep_data::error::Error::LengthMismatch {

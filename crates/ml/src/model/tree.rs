@@ -9,9 +9,11 @@
 //! contrast with logistic regression).
 
 use fairprep_data::error::{Error, Result};
+use fairprep_trace::json::{obj, Value};
 
 use crate::matrix::Matrix;
 use crate::model::{validate_training_inputs, Classifier, FittedClassifier};
+use crate::sealing;
 
 /// Split-quality criterion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,6 +122,11 @@ impl FittedDecisionTree {
         self.nodes.len()
     }
 
+    /// Feature width the tree was trained on.
+    pub(crate) fn n_features(&self) -> usize {
+        self.n_features
+    }
+
     /// Depth of the tree (a lone leaf has depth 0).
     #[must_use]
     pub fn depth(&self) -> usize {
@@ -182,7 +189,86 @@ impl FittedDecisionTree {
     }
 }
 
+/// Sealed-record kind tag for CART decision trees.
+pub(crate) const KIND: &str = "decision_tree";
+
+impl FittedDecisionTree {
+    /// Reconstructs the tree from a sealed component record.
+    ///
+    /// The arena invariant — a split's children sit at *strictly larger*
+    /// indices than the split itself (the builder reserves the parent slot
+    /// before recursing) — is re-validated here, so a corrupted artifact
+    /// cannot smuggle in an out-of-bounds child (panic in `proba_one`) or
+    /// a back-edge (infinite traversal loop).
+    pub(crate) fn unseal(v: &Value) -> Result<FittedDecisionTree> {
+        sealing::expect_kind(v, KIND)?;
+        let n_features = sealing::req_usize(v, "n_features")?;
+        let raw = sealing::req_arr(v, "nodes")?;
+        if raw.is_empty() {
+            return Err(sealing::seal_err("decision tree has no nodes"));
+        }
+        let mut nodes = Vec::with_capacity(raw.len());
+        for (i, node) in raw.iter().enumerate() {
+            if let Some(leaf) = node.get("leaf") {
+                let proba = leaf
+                    .as_f64_bits()
+                    .ok_or_else(|| sealing::seal_err("leaf proba is not a float bit pattern"))?;
+                nodes.push(Node::Leaf { proba });
+            } else {
+                let feature = sealing::req_usize(node, "feature")?;
+                let threshold = sealing::req_f64(node, "threshold")?;
+                let left = sealing::req_usize(node, "left")?;
+                let right = sealing::req_usize(node, "right")?;
+                if feature >= n_features {
+                    return Err(sealing::seal_err(format!(
+                        "split node {i} reads feature {feature} of {n_features}"
+                    )));
+                }
+                if left <= i || right <= i || left >= raw.len() || right >= raw.len() {
+                    return Err(sealing::seal_err(format!(
+                        "split node {i} has invalid children ({left}, {right}) in arena of {}",
+                        raw.len()
+                    )));
+                }
+                nodes.push(Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                });
+            }
+        }
+        Ok(FittedDecisionTree { nodes, n_features })
+    }
+}
+
 impl FittedClassifier for FittedDecisionTree {
+    fn seal(&self) -> Result<Value> {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|node| match node {
+                Node::Leaf { proba } => obj(vec![("leaf", Value::bits(*proba))]),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => obj(vec![
+                    ("feature", Value::from_u64(*feature as u64)),
+                    ("threshold", Value::bits(*threshold)),
+                    ("left", Value::from_u64(*left as u64)),
+                    ("right", Value::from_u64(*right as u64)),
+                ]),
+            })
+            .collect();
+        Ok(obj(vec![
+            ("kind", Value::Str(KIND.to_string())),
+            ("n_features", Value::from_u64(self.n_features as u64)),
+            ("nodes", Value::Arr(nodes)),
+        ]))
+    }
+
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
         if x.n_cols() != self.n_features {
             return Err(Error::LengthMismatch {

@@ -1,0 +1,132 @@
+//! Shared accessors for sealed-pipeline component records.
+//!
+//! Every fitted component serializes to a [`Value`] object tagged with a
+//! `"kind"` member; floats travel as authoritative `%016x` bit patterns
+//! (see [`Value::bits`]) so a sealed artifact reloads **bit-identically**,
+//! NaN payloads included. These helpers turn the `Option`-shaped `Value`
+//! accessors into typed [`Error::Seal`] failures with field names, so a
+//! corrupted or truncated artifact reports *which* field broke instead of
+//! panicking. They are used by the seal/unseal impls in `fairprep-ml`,
+//! `fairprep-impute`, `fairprep-fairness`, and `fairprep-core`.
+
+use fairprep_data::error::{Error, Result};
+use fairprep_trace::json::Value;
+
+/// A typed sealed-artifact error.
+pub fn seal_err(msg: impl Into<String>) -> Error {
+    Error::Seal(msg.into())
+}
+
+/// The object member at `key`, or a typed error naming the missing field.
+pub fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value> {
+    v.get(key)
+        .ok_or_else(|| seal_err(format!("missing field {key:?}")))
+}
+
+/// A required string member.
+pub fn req_str<'a>(v: &'a Value, key: &str) -> Result<&'a str> {
+    req(v, key)?
+        .as_str()
+        .ok_or_else(|| seal_err(format!("field {key:?} is not a string")))
+}
+
+/// A required float member stored as a [`Value::bits`] bit pattern.
+pub fn req_f64(v: &Value, key: &str) -> Result<f64> {
+    req(v, key)?
+        .as_f64_bits()
+        .ok_or_else(|| seal_err(format!("field {key:?} is not a float bit pattern")))
+}
+
+/// A required array of [`Value::bits`] floats.
+pub fn req_f64_vec(v: &Value, key: &str) -> Result<Vec<f64>> {
+    req(v, key)?
+        .as_f64_bits_vec()
+        .ok_or_else(|| seal_err(format!("field {key:?} is not a float-bits array")))
+}
+
+/// A required unsigned integer member (decimal string or JSON number).
+pub fn req_u64(v: &Value, key: &str) -> Result<u64> {
+    req(v, key)?
+        .as_u64_any()
+        .ok_or_else(|| seal_err(format!("field {key:?} is not an unsigned integer")))
+}
+
+/// A required `usize` member.
+pub fn req_usize(v: &Value, key: &str) -> Result<usize> {
+    usize::try_from(req_u64(v, key)?)
+        .map_err(|_| seal_err(format!("field {key:?} overflows usize")))
+}
+
+/// A required boolean member.
+pub fn req_bool(v: &Value, key: &str) -> Result<bool> {
+    req(v, key)?
+        .as_bool()
+        .ok_or_else(|| seal_err(format!("field {key:?} is not a boolean")))
+}
+
+/// A required array member.
+pub fn req_arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value]> {
+    req(v, key)?
+        .as_array()
+        .ok_or_else(|| seal_err(format!("field {key:?} is not an array")))
+}
+
+/// A required array of strings.
+pub fn req_str_vec(v: &Value, key: &str) -> Result<Vec<String>> {
+    req_arr(v, key)?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| seal_err(format!("field {key:?} holds a non-string element")))
+        })
+        .collect()
+}
+
+/// The component discriminator: the `"kind"` member every sealed record
+/// carries so per-crate unseal dispatchers can route to the right type.
+pub fn kind_of(v: &Value) -> Result<&str> {
+    req_str(v, "kind")
+}
+
+/// Checks a record's `"kind"` tag against the expected component name.
+pub fn expect_kind(v: &Value, expected: &str) -> Result<()> {
+    let kind = kind_of(v)?;
+    if kind == expected {
+        Ok(())
+    } else {
+        Err(seal_err(format!(
+            "expected component kind {expected:?}, found {kind:?}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairprep_trace::json::obj;
+
+    #[test]
+    fn accessors_report_the_offending_field() {
+        let v = obj(vec![
+            ("kind", Value::Str("logistic".into())),
+            ("intercept", Value::bits(0.25)),
+            ("weights", Value::bits_vec(&[1.0, f64::NAN])),
+            ("n", Value::from_u64(7)),
+            ("flag", Value::Bool(true)),
+        ]);
+        assert_eq!(kind_of(&v).unwrap(), "logistic");
+        assert_eq!(req_f64(&v, "intercept").unwrap(), 0.25);
+        let ws = req_f64_vec(&v, "weights").unwrap();
+        assert!(ws[1].is_nan());
+        assert_eq!(req_usize(&v, "n").unwrap(), 7);
+        assert!(req_bool(&v, "flag").unwrap());
+
+        let err = req_f64(&v, "absent").unwrap_err();
+        assert!(err.to_string().contains("absent"), "{err}");
+        let err = req_f64(&v, "kind").unwrap_err();
+        assert!(err.to_string().contains("bit pattern"), "{err}");
+        assert!(expect_kind(&v, "tree").is_err());
+        assert!(expect_kind(&v, "logistic").is_ok());
+    }
+}

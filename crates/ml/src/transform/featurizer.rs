@@ -13,9 +13,11 @@
 use fairprep_data::column::Value;
 use fairprep_data::dataset::BinaryLabelDataset;
 use fairprep_data::error::{Error, Result};
+use fairprep_trace::json::{obj, Value as Json};
 use fairprep_trace::{Counter, Tracer};
 
 use crate::matrix::Matrix;
+use crate::sealing;
 use crate::transform::onehot::OneHotEncoder;
 use crate::transform::scaler::{FittedScaler, ScalerSpec};
 
@@ -102,6 +104,70 @@ impl FittedFeaturizer {
     #[must_use]
     pub fn scaler_spec(&self) -> ScalerSpec {
         self.scaler.spec()
+    }
+
+    /// Serializes the fitted featurizer — scaler parameters and one-hot
+    /// dictionaries — into a sealed component record.
+    #[must_use]
+    pub fn seal(&self) -> Json {
+        let encoders = self
+            .categorical_names
+            .iter()
+            .zip(&self.encoders)
+            .map(|(name, enc)| {
+                obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("categories", enc.seal()),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("kind", Json::Str("featurizer".to_string())),
+            (
+                "numeric",
+                Json::Arr(
+                    self.numeric_names
+                        .iter()
+                        .map(|n| Json::Str(n.clone()))
+                        .collect(),
+                ),
+            ),
+            ("scaler", self.scaler.seal()),
+            ("encoders", Json::Arr(encoders)),
+        ])
+    }
+
+    /// Reconstructs a fitted featurizer from a sealed component record.
+    /// Feature names are rebuilt from the sealed dictionaries, so the
+    /// produced matrix layout is identical to the fit-time layout.
+    pub fn unseal(v: &Json) -> Result<FittedFeaturizer> {
+        sealing::expect_kind(v, "featurizer")?;
+        let numeric_names = sealing::req_str_vec(v, "numeric")?;
+        let scaler = FittedScaler::unseal(sealing::req(v, "scaler")?)?;
+        if scaler.n_features() != numeric_names.len() {
+            return Err(sealing::seal_err(format!(
+                "scaler width {} does not match {} numeric features",
+                scaler.n_features(),
+                numeric_names.len()
+            )));
+        }
+        let mut categorical_names = Vec::new();
+        let mut encoders = Vec::new();
+        for record in sealing::req_arr(v, "encoders")? {
+            categorical_names.push(sealing::req_str(record, "name")?.to_string());
+            encoders.push(OneHotEncoder::unseal(sealing::req(record, "categories")?)?);
+        }
+        let mut feature_names = numeric_names.clone();
+        for (name, enc) in categorical_names.iter().zip(&encoders) {
+            feature_names.extend(enc.feature_names(name));
+        }
+        Ok(FittedFeaturizer {
+            numeric_names,
+            categorical_names,
+            scaler,
+            encoders,
+            feature_names,
+        })
     }
 
     /// Transforms any split (train/validation/test) of the schema the

@@ -9,6 +9,9 @@
 
 use fairprep_data::column::Column;
 use fairprep_data::error::{Error, Result};
+use fairprep_trace::json::Value;
+
+use crate::sealing;
 
 /// A one-hot encoder fitted on the training values of one categorical
 /// feature.
@@ -67,6 +70,36 @@ impl OneHotEncoder {
             .collect();
         names.push(format!("{attribute}=<unseen>"));
         names
+    }
+
+    /// Serializes the fitted categories into a sealed component record
+    /// (an array of category strings in first-seen order).
+    #[must_use]
+    pub fn seal(&self) -> Value {
+        Value::Arr(
+            self.categories
+                .iter()
+                .map(|c| Value::Str(c.clone()))
+                .collect(),
+        )
+    }
+
+    /// Reconstructs an encoder from a sealed component record.
+    pub fn unseal(v: &Value) -> Result<OneHotEncoder> {
+        let categories: Vec<String> = v
+            .as_array()
+            .ok_or_else(|| sealing::seal_err("one-hot record is not an array"))?
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| sealing::seal_err("one-hot category is not a string"))
+            })
+            .collect::<Result<_>>()?;
+        if categories.is_empty() {
+            return Err(sealing::seal_err("one-hot record has no categories"));
+        }
+        Ok(OneHotEncoder { categories })
     }
 
     /// Encodes one value into `out` (which must have length

@@ -11,6 +11,9 @@
 //! training data — the lifecycle enforces this.
 
 use fairprep_data::error::{Error, Result};
+use fairprep_trace::json::{obj, Value};
+
+use crate::sealing;
 
 /// The scaling strategy to apply to numeric features.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,6 +138,40 @@ impl FittedScaler {
         } else {
             Ok(y / p.scale + p.offset)
         }
+    }
+
+    /// Serializes the fitted parameters into a sealed component record.
+    pub fn seal(&self) -> Value {
+        let offsets: Vec<f64> = self.params.iter().map(|p| p.offset).collect();
+        let scales: Vec<f64> = self.params.iter().map(|p| p.scale).collect();
+        obj(vec![
+            ("kind", Value::Str(self.spec.name().to_string())),
+            ("offsets", Value::bits_vec(&offsets)),
+            ("scales", Value::bits_vec(&scales)),
+        ])
+    }
+
+    /// Reconstructs a fitted scaler from a sealed component record.
+    pub fn unseal(v: &Value) -> Result<FittedScaler> {
+        let spec = match sealing::kind_of(v)? {
+            "standard_scaler" => ScalerSpec::Standard,
+            "min_max_scaler" => ScalerSpec::MinMax,
+            "no_scaling" => ScalerSpec::NoScaling,
+            other => return Err(sealing::seal_err(format!("unknown scaler kind {other:?}"))),
+        };
+        let offsets = sealing::req_f64_vec(v, "offsets")?;
+        let scales = sealing::req_f64_vec(v, "scales")?;
+        if offsets.len() != scales.len() {
+            return Err(sealing::seal_err(
+                "scaler offsets and scales differ in length".to_string(),
+            ));
+        }
+        let params = offsets
+            .into_iter()
+            .zip(scales)
+            .map(|(offset, scale)| Affine { offset, scale })
+            .collect();
+        Ok(FittedScaler { spec, params })
     }
 
     /// Scales a full example in place (`row.len()` must equal

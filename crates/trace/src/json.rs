@@ -1,9 +1,17 @@
-//! A minimal, panic-free JSON parser for reading manifests back.
+//! A minimal, panic-free JSON parser — and a canonical writer — for
+//! manifest and sealed-artifact tooling.
 //!
-//! Only what manifest tooling needs: objects (key order preserved),
-//! arrays, strings with the escapes the writer emits, numbers, booleans,
-//! and null. Errors are descriptive strings with byte offsets; nothing
-//! in here can panic on malformed input.
+//! Only what that tooling needs: objects (key order preserved), arrays,
+//! strings with the escapes the writer emits, numbers, booleans, and
+//! null. Errors are descriptive strings with byte offsets; nothing in
+//! here can panic on malformed input.
+//!
+//! The writer ([`Value::to_json`]) is *canonical*: member order is the
+//! insertion order, no whitespace, floats in shortest-roundtrip form
+//! (non-finite numbers render as `null`). Byte-exact serialization of
+//! `f64` values — including NaN payloads — goes through the bit-pattern
+//! helpers ([`Value::bits`] / [`Value::as_f64_bits`]), the same `%016x`
+//! convention the sweep journal uses for its authoritative float fields.
 
 /// A parsed JSON value. Object member order is preserved.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +95,128 @@ impl Value {
             _ => None,
         }
     }
+
+    /// A float serialized as its authoritative IEEE-754 bit pattern
+    /// (`%016x` hex string) — exact for every value including NaN
+    /// payloads and signed zeros.
+    #[must_use]
+    pub fn bits(v: f64) -> Value {
+        Value::Str(format!("{:016x}", v.to_bits()))
+    }
+
+    /// A slice of floats as an array of bit-pattern strings.
+    #[must_use]
+    pub fn bits_vec(vs: &[f64]) -> Value {
+        Value::Arr(vs.iter().map(|&v| Value::bits(v)).collect())
+    }
+
+    /// Reads a float back from a [`Value::bits`] bit-pattern string.
+    pub fn as_f64_bits(&self) -> Option<f64> {
+        match self {
+            Value::Str(s) if s.len() == 16 => u64::from_str_radix(s, 16).ok().map(f64::from_bits),
+            _ => None,
+        }
+    }
+
+    /// Reads an array of [`Value::bits`] strings back into floats.
+    pub fn as_f64_bits_vec(&self) -> Option<Vec<f64>> {
+        self.as_array()?.iter().map(Value::as_f64_bits).collect()
+    }
+
+    /// A `u64` serialized exactly: values above 2^53 lose precision as
+    /// JSON numbers, so the full range travels as a decimal string.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Value {
+        Value::Str(format!("{v}"))
+    }
+
+    /// Reads a `u64` back from either a [`Value::from_u64`] decimal
+    /// string or an in-range JSON number.
+    pub fn as_u64_any(&self) -> Option<u64> {
+        match self {
+            Value::Str(s) => s.parse::<u64>().ok(),
+            _ => self.as_u64(),
+        }
+    }
+
+    /// Serializes canonically: insertion-order members, no whitespace,
+    /// shortest-roundtrip floats (`null` for non-finite). The output
+    /// parses back via [`parse`] to an equal `Value` (modulo non-finite
+    /// numbers, which callers route through [`Value::bits`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.is_finite() {
+                    // Shortest round-trip formatting: deterministic and
+                    // byte-stable across platforms.
+                    out.push_str(&format!("{n:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a JSON string literal with the same escape set the parser
+/// understands (quotes, backslash, control characters).
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Convenience constructor for an ordered object.
+#[must_use]
+pub fn obj(members: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 /// Parses a complete JSON document. Trailing whitespace is allowed;
@@ -314,6 +444,67 @@ mod tests {
     fn handles_unicode_and_escapes() {
         let v = parse("\"caf\u{e9} \\u00e9\"").unwrap();
         assert_eq!(v.as_str(), Some("café é"));
+    }
+
+    #[test]
+    fn writer_roundtrips_through_parser() {
+        let v = obj(vec![
+            ("b", Value::Arr(vec![Value::Num(1.5), Value::Null])),
+            ("a", Value::Str("x\"\n\tßé".to_string())),
+            ("c", Value::Bool(true)),
+        ]);
+        let text = v.to_json();
+        assert_eq!(parse(&text).unwrap(), v);
+        // Canonical form: insertion order, no whitespace.
+        assert!(text.starts_with("{\"b\":[1.5,null],"));
+    }
+
+    #[test]
+    fn writer_floats_are_shortest_roundtrip() {
+        assert_eq!(Value::Num(0.1).to_json(), "0.1");
+        assert_eq!(Value::Num(2.0).to_json(), "2.0");
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn bits_roundtrip_is_exact_including_nan() {
+        for v in [
+            0.1,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::MIN_POSITIVE,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN with payload
+        ] {
+            let sealed = Value::bits(v);
+            let back = sealed.as_f64_bits().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+            // Survives a serialize/parse cycle too.
+            let reparsed = parse(&sealed.to_json()).unwrap();
+            assert_eq!(reparsed.as_f64_bits().unwrap().to_bits(), v.to_bits());
+        }
+        assert_eq!(Value::Str("xyz".into()).as_f64_bits(), None);
+        assert_eq!(Value::Num(1.0).as_f64_bits(), None);
+    }
+
+    #[test]
+    fn bits_vec_roundtrips() {
+        let vs = [1.0, f64::NAN, -2.5];
+        let back = Value::bits_vec(&vs).as_f64_bits_vec().unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in vs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn u64_string_roundtrips_full_range() {
+        for v in [0u64, 1, u64::MAX, 1 << 60] {
+            assert_eq!(Value::from_u64(v).as_u64_any(), Some(v));
+        }
+        assert_eq!(parse("7").unwrap().as_u64_any(), Some(7));
+        assert_eq!(Value::Str("not a number".into()).as_u64_any(), None);
     }
 
     #[test]
