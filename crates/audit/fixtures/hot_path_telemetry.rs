@@ -1,0 +1,26 @@
+//! Known-bad / known-good fixture for the telemetry extension of
+//! `alloc-in-kernel`: a metrics record function marked `// audit:
+//! hot-path` must not allocate (`vec!`, `Box::new`) or take a lock
+//! (`.lock()`); the relaxed-atomic twin is clean.
+
+// audit: hot-path
+fn bad_record_locks(metrics: &std::sync::Mutex<u64>) {
+    let mut guard = metrics.lock().unwrap_or_else(|e| e.into_inner());
+    *guard += 1;
+}
+
+// audit: hot-path
+fn bad_record_allocates(values: &mut Vec<Box<u64>>, value: u64) {
+    let staged = vec![value];
+    values.push(Box::new(staged[0]));
+}
+
+// audit: hot-path
+fn good_record(shard: &std::sync::atomic::AtomicU64, value: u64) {
+    shard.fetch_add(value, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn unmarked_record_may_lock(metrics: &std::sync::Mutex<u64>) {
+    let mut guard = metrics.lock().unwrap_or_else(|e| e.into_inner());
+    *guard += 1;
+}

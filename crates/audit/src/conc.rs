@@ -10,10 +10,12 @@
 //!   4-accumulator kernels whose reduction tree is what makes sweep
 //!   results bit-identical across thread counts.
 //! * **`alloc-in-kernel`** — `fairprep_ml::kernels` and functions marked
-//!   `// audit: hot-path` (the chunked-ingest inner loops) are the
-//!   allocation-free core measured in `results/BENCH_kernels.json`;
-//!   `Vec::new`, `.to_vec()`, `.collect()`, and `format!` there would
-//!   silently regress the PR 6 wins.
+//!   `// audit: hot-path` (the chunked-ingest inner loops and the
+//!   telemetry record functions) are the allocation- and lock-free core
+//!   measured in `results/BENCH_kernels.json` and
+//!   `results/BENCH_telemetry.json`; `Vec::new`, `.to_vec()`,
+//!   `.collect()`, `format!`, `vec!`, `Box::new`, and `.lock()` there
+//!   would silently regress those wins.
 
 use crate::lexer::TokenKind;
 use crate::lints::{Diagnostic, FileAnalysis};
@@ -307,6 +309,21 @@ fn check_alloc_in_kernel(analysis: &FileAnalysis<'_>, raw: &mut Vec<Diagnostic>)
                 Some(".collect()")
             } else if t == "format" && j + 1 < close && view.text(j + 1) == "!" {
                 Some("format!")
+            } else if t == "vec" && j + 1 < close && view.text(j + 1) == "!" {
+                Some("vec![]")
+            } else if t == "Box"
+                && j + 2 < close
+                && view.text(j + 1) == "::"
+                && view.text(j + 2) == "new"
+            {
+                Some("Box::new()")
+            } else if t == "lock"
+                && j >= 1
+                && view.text(j - 1) == "."
+                && j + 1 < close
+                && view.text(j + 1) == "("
+            {
+                Some(".lock()")
             } else {
                 None
             };
@@ -316,10 +333,12 @@ fn check_alloc_in_kernel(analysis: &FileAnalysis<'_>, raw: &mut Vec<Diagnostic>)
                     "alloc-in-kernel",
                     view.line(j),
                     format!(
-                        "`{what}` in hot-path fn `{}` — the kernel layer is \
-                         allocation-free by construction (see \
-                         results/BENCH_kernels.json); take an output slice or \
-                         reuse a caller-owned buffer",
+                        "`{what}` in hot-path fn `{}` — the kernel and telemetry \
+                         record layers are allocation- and lock-free by \
+                         construction (see results/BENCH_kernels.json and \
+                         results/BENCH_telemetry.json); take an output slice, \
+                         reuse a caller-owned buffer, or record through \
+                         relaxed atomics",
                         f.name
                     ),
                 ));
@@ -439,5 +458,41 @@ mod tests {
         );
         let unmarked = "fn inner(a: &[u8]) { let v = a.to_vec(); drop(v); }";
         assert!(check_src("crates/data/src/chunked.rs", unmarked).is_empty());
+    }
+
+    /// The telemetry extension: locking and the remaining allocation
+    /// macros are hot-path violations too.
+    #[test]
+    fn hot_path_rejects_locks_and_alloc_macros() {
+        let src = "// audit: hot-path\n\
+                   fn record(m: &Mutex<u64>, v: u64) {\n\
+                   let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);\n\
+                   let staged = vec![v];\n\
+                   let boxed = Box::new(staged);\n\
+                   *g += boxed[0];\n}";
+        let diags = check_src("crates/trace/src/telemetry.rs", src);
+        let hits: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.lint == "alloc-in-kernel")
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().any(|m| m.contains("`.lock()`")), "{hits:?}");
+        assert!(hits.iter().any(|m| m.contains("`vec![]`")), "{hits:?}");
+        assert!(hits.iter().any(|m| m.contains("`Box::new()`")), "{hits:?}");
+    }
+
+    /// A relaxed-atomic record function is the sanctioned shape: no
+    /// diagnostics.
+    #[test]
+    fn hot_path_atomic_record_is_clean() {
+        let src = "// audit: hot-path\n\
+                   fn record(shard: &AtomicU64, v: u64) {\n\
+                   shard.fetch_add(v, Ordering::Relaxed);\n}";
+        let diags = check_src("crates/trace/src/telemetry.rs", src);
+        assert!(
+            !diags.iter().any(|d| d.lint == "alloc-in-kernel"),
+            "{diags:?}"
+        );
     }
 }

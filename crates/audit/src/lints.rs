@@ -117,9 +117,10 @@ pub const LINTS: &[Lint] = &[
     Lint {
         id: "alloc-in-kernel",
         layer: "L4",
-        rationale: "no Vec::new/to_vec/collect/format! inside fairprep_ml::kernels or \
-                    `// audit: hot-path` regions — the measured allocation wins must not \
-                    silently regress",
+        rationale: "no Vec::new/to_vec/collect/format!/vec!/Box::new/.lock() inside \
+                    fairprep_ml::kernels or `// audit: hot-path` regions (kernels and \
+                    telemetry record paths) — the measured allocation-free and lock-free \
+                    wins must not silently regress",
     },
     Lint {
         id: "waiver-syntax",

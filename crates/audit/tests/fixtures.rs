@@ -136,6 +136,44 @@ fn kernel_file_and_hot_path_markers_reject_allocation() {
     assert_eq!(count(&report, "hot_path.rs", "alloc-in-kernel"), 1);
 }
 
+/// The telemetry extension of `alloc-in-kernel`: a marked record
+/// function that locks (`.lock()`) or allocates (`vec!`, `Box::new`) is
+/// caught; the relaxed-atomic record and the unmarked locking twin are
+/// not.
+#[test]
+fn hot_path_telemetry_record_fns_reject_locks_and_allocation() {
+    let report = fixture_report();
+    assert_eq!(
+        count(&report, "hot_path_telemetry.rs", "alloc-in-kernel"),
+        3
+    );
+    let messages: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.file == "hot_path_telemetry.rs" && d.lint == "alloc-in-kernel")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("`.lock()`")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("`vec![]`")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("`Box::new()`")),
+        "{messages:?}"
+    );
+    // The unmarked twin locks with impunity: the lint stays opt-in.
+    assert!(
+        !messages
+            .iter()
+            .any(|m| m.contains("unmarked_record_may_lock")),
+        "{messages:?}"
+    );
+}
+
 #[test]
 fn stale_waivers_are_reported_and_used_ones_are_not() {
     let report = fixture_report();

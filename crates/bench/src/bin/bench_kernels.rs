@@ -14,10 +14,11 @@
 //!    chunk size). The CSV text itself is pre-allocated outside the
 //!    measured region.
 //!
-//! The harness is honest about its hardware: when only one core is
-//! available it says so loudly and records `single_core_warning` in the
-//! JSON — kernel speedups here are width/ILP effects and remain valid on
-//! one core, but any thread-scaling numbers from the same box would not be.
+//! The harness is honest about its provenance: the JSON records
+//! `available_cores` and `build_profile` — kernel speedups here are
+//! width/ILP effects and remain valid on one core, but any
+//! thread-scaling numbers from a single-core box would not be, and a
+//! debug build's numbers are meaningless either way.
 //!
 //! ```text
 //! cargo run --release -p fairprep-bench --bin bench_kernels [--full]
@@ -317,13 +318,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[32_768]
     };
     let cores = available_threads();
-    let single_core = cores == 1;
-    if single_core {
+    let profile = fairprep_bench::build_profile();
+    if cores == 1 {
         eprintln!("=============================================================");
         eprintln!("WARNING: only 1 CPU core is available on this machine.");
         eprintln!("Kernel speedups below are width/ILP effects and remain valid,");
         eprintln!("but do NOT read any thread-scaling conclusions from this box.");
-        eprintln!("This warning is recorded in the JSON as single_core_warning.");
+        eprintln!("The JSON records available_cores for readers to judge.");
         eprintln!("=============================================================");
     }
 
@@ -331,7 +332,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut json = String::from("{\n");
     let _ = write!(
         json,
-        "  \"bench\": \"kernels\",\n  \"available_cores\": {cores},\n  \"single_core_warning\": {single_core},\n  \"quick\": {},\n  \"scales\": [\n",
+        "  \"bench\": \"kernels\",\n  \"available_cores\": {cores},\n  \"build_profile\": \"{profile}\",\n  \"quick\": {},\n  \"scales\": [\n",
         !args.full
     );
 

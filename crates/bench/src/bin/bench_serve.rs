@@ -8,9 +8,10 @@
 //! single-row predict requests and records client-observed latencies.
 //! The JSON reports per-level p50/p99 (µs) and aggregate throughput.
 //!
-//! Like the other harnesses, it is honest about its hardware: on a
-//! single-core box concurrency levels cannot scale and the JSON records
-//! `single_core_warning: true`.
+//! Like the other harnesses, it is honest about its provenance: the
+//! JSON records `available_cores` and `build_profile`, so a single-core
+//! or debug-build run can never masquerade as the committed release
+//! numbers.
 //!
 //! ```text
 //! cargo run --release -p fairprep-bench --bin bench_serve [-- --full --out DIR]
@@ -92,10 +93,10 @@ fn run_level(
 fn main() {
     let args = HarnessArgs::parse();
     let cores = available_threads();
-    let single_core = cores < 2;
-    if single_core {
+    let profile = fairprep_bench::build_profile();
+    if cores < 2 {
         eprintln!("WARNING: only one core available; concurrency levels cannot scale here.");
-        eprintln!("This warning is recorded in the JSON as single_core_warning.");
+        eprintln!("The JSON records available_cores for downstream readers to judge.");
     }
 
     let (levels, per_client): (&[usize], usize) = if args.full {
@@ -137,7 +138,7 @@ fn main() {
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\n  \"bench\": \"serve\",\n  \"pipeline\": \"{fingerprint}\",\n  \"available_cores\": {cores},\n  \"single_core_warning\": {single_core},\n  \"server_threads\": {cores},\n  \"requests_per_client\": {per_client},\n  \"levels\": [\n"
+        "{{\n  \"bench\": \"serve\",\n  \"pipeline\": \"{fingerprint}\",\n  \"available_cores\": {cores},\n  \"build_profile\": \"{profile}\",\n  \"server_threads\": {cores},\n  \"requests_per_client\": {per_client},\n  \"levels\": [\n"
     );
     for (i, level) in measured.iter().enumerate() {
         let comma = if i + 1 < measured.len() { "," } else { "" };

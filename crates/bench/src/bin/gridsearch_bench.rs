@@ -40,18 +40,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let candidates = logistic_regression_grid();
 
     let cores = available_threads();
-    let single_core = cores == 1;
+    let profile = fairprep_bench::build_profile();
     println!(
         "grid search: {} candidates x {K} folds on {rows} rows ({cores} cores available)",
         candidates.len(),
     );
-    if single_core {
+    if cores == 1 {
         eprintln!("=============================================================");
         eprintln!("WARNING: only 1 CPU core is available on this machine.");
         eprintln!("Thread-count timings below CANNOT show real parallel speedup;");
         eprintln!("they only document scheduling overhead. Re-run on a multi-core");
-        eprintln!("box before quoting any speedup from this file. This warning is");
-        eprintln!("recorded in the JSON as single_core_warning.");
+        eprintln!("box before quoting any speedup from this file. The JSON records");
+        eprintln!("available_cores for readers to judge.");
         eprintln!("=============================================================");
     }
 
@@ -95,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = rows_out[0].1;
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"bench\": \"gridsearch\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"folds\": {K},\n  \"repeats\": {repeats},\n  \"available_cores\": {cores},\n  \"single_core_warning\": {single_core},\n  \"results\": [\n",
+        "  \"bench\": \"gridsearch\",\n  \"rows\": {rows},\n  \"candidates\": {},\n  \"folds\": {K},\n  \"repeats\": {repeats},\n  \"available_cores\": {cores},\n  \"build_profile\": \"{profile}\",\n  \"results\": [\n",
         candidates.len(),
     ));
     for (i, (threads, median)) in rows_out.iter().enumerate() {

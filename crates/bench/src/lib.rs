@@ -33,6 +33,19 @@ pub fn paper_seeds(n: usize) -> Vec<u64> {
         .collect()
 }
 
+/// The compiler profile this harness was built under (`"debug"` or
+/// `"release"`). Every `BENCH_*.json` writer records it — together with
+/// the core count — so a debug-build number can never masquerade as a
+/// release measurement, and CI schema-checks its presence.
+#[must_use]
+pub fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
 /// Command-line options shared by all harnesses.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {

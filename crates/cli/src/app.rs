@@ -41,6 +41,7 @@ USAGE:
                                               scales to 10M+ rows for out-of-core
                                               ingest experiments
   fairprep serve --registry DIR [--port P] [--threads N]
+                 [--access-log PATH [--sample-rate R]]
                                               serve every sealed pipeline in DIR
                                               over HTTP: POST /predict/<fingerprint>
                                               scores JSON rows through the frozen
@@ -48,6 +49,17 @@ USAGE:
                                               counts, latency histograms, decision
                                               rates by protected group, and PSI
                                               drift vs the sealed training profile
+                                              — lifetime and rolling 1k/10k
+                                              windows, as JSON (default) or
+                                              Prometheus text exposition (send
+                                              Accept: text/plain). --access-log
+                                              appends one JSONL record per
+                                              (sampled) request
+  fairprep tail --file PATH [--once]          render a telemetry JSONL stream
+                                              (sweep --progress heartbeats or
+                                              serve --access-log records) live;
+                                              --once prints what is there and
+                                              exits
   fairprep help                               this message
 
 OPTIONS (run / sweep / audit):
@@ -95,6 +107,11 @@ OPTIONS (run / sweep / audit):
                    transient faults are retried                     [off]
   --max-retries N  (sweep) retry budget per run for transient
                    failures                                         [2]
+  --progress PATH  (sweep) append a JSONL heartbeat per finished run
+                   (done/failed/retried counts, elapsed, ETA) to
+                   PATH; watch live with `fairprep tail --file PATH`.
+                   Observability only: output and journals are
+                   byte-identical with or without it               [off]
   --trace PATH     write a JSON run manifest: stage spans with
                    wall/CPU time, counters, failures, and a
                    canonical (timing-free) projection that is
@@ -152,6 +169,7 @@ pub fn execute(raw: &[String]) -> Result<(), String> {
         "audit" => cmd_audit(&inv),
         "generate" => cmd_generate(&inv),
         "serve" => cmd_serve(&inv),
+        "tail" => crate::tail::cmd_tail(&inv),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -426,6 +444,18 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
     } else {
         fairprep_trace::Tracer::disabled()
     };
+    // Progress heartbeats are pure observability: the sink never enters
+    // the config fingerprint, the journal, or the manifest.
+    let progress = match inv.options.get("progress") {
+        Some(path) => Some(
+            fairprep_trace::telemetry::ProgressSink::create(
+                std::path::Path::new(path),
+                seeds.len() as u64,
+            )
+            .map_err(|e| format!("cannot open progress file {path}: {e}"))?,
+        ),
+        None => None,
+    };
     let plan = fairprep_core::sweep::SweepPlan {
         seeds: &seeds,
         threads: outer,
@@ -433,6 +463,7 @@ fn cmd_sweep(inv: &Invocation) -> Result<(), String> {
         journal: journal.as_ref(),
         faults,
         max_retries,
+        progress: progress.as_ref(),
     };
     let outcomes = fairprep_core::sweep::run_sweep(
         |seed| {
@@ -637,7 +668,12 @@ fn cmd_serve(inv: &Invocation) -> Result<(), String> {
              create some with `fairprep run --seal {registry_dir}`"
         ));
     }
-    let server = crate::serve::Server::bind(registry, port)?;
+    let mut server = crate::serve::Server::bind(registry, port)?;
+    if let Some(path) = inv.options.get("access-log") {
+        let sample_rate = inv.parse_or::<f64>("sample-rate", 1.0)?;
+        server = server.with_access_log(std::path::Path::new(path), sample_rate)?;
+        println!("access log      : {path} (sample rate {sample_rate})");
+    }
     println!(
         "serving {} sealed pipeline(s) on http://{}",
         server.registry().len(),
@@ -1138,6 +1174,29 @@ mod tests {
         execute(&argv(&sweep_cmd(&m3, true))).unwrap();
         assert_eq!(canonical_state(&m1), canonical_state(&m3));
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `sweep --progress PATH` writes a start line, one heartbeat per
+    /// seed, and a terminal done event — and `fairprep tail --once`
+    /// renders the stream without error.
+    #[test]
+    fn sweep_progress_heartbeats_render_with_tail() {
+        let dir = std::env::temp_dir().join("fairprep_cli_progress_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let progress = dir.join("progress.jsonl");
+        execute(&argv(&format!(
+            "sweep --dataset german --rows 150 --learner dt --seeds 2 --threads 2 --progress {}",
+            progress.display()
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&progress).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "start + 2 heartbeats + done: {text}");
+        assert!(lines[0].contains("\"event\":\"start\""), "{text}");
+        assert!(lines[3].contains("\"event\":\"done\""), "{text}");
+        assert!(text.contains("\"event\":\"heartbeat\""), "{text}");
+        execute(&argv(&format!("tail --file {} --once", progress.display()))).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

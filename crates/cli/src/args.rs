@@ -14,7 +14,7 @@ pub struct Invocation {
 /// Options that take no value: their presence alone is the signal.
 /// Everything else follows the strict `--key value` grammar, so a
 /// trailing `--key` without a value stays an error.
-pub const VALUELESS_FLAGS: &[&str] = &["profile", "trace-summary"];
+pub const VALUELESS_FLAGS: &[&str] = &["profile", "trace-summary", "once"];
 
 /// Parses raw arguments (without the program name), treating
 /// [`VALUELESS_FLAGS`] as presence-only switches.

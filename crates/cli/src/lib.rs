@@ -18,3 +18,4 @@ pub mod args;
 pub mod build;
 pub mod golden;
 pub mod serve;
+pub mod tail;

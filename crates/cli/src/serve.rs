@@ -14,125 +14,103 @@
 //!   histogram with p50/p99, decision rates by protected group, and
 //!   online PSI drift of the live traffic against the **sealed training
 //!   profile** (the same smoothing and binning the lifecycle profiler
-//!   uses, via [`psi_from_counts`]).
+//!   uses) — each reported for the pipeline's *lifetime* and for rolling
+//!   windows over the last 1k/10k observations, so a distribution shift
+//!   after a million healthy requests still moves a number somewhere.
+//!   The endpoint is content-negotiated: JSON by default, Prometheus
+//!   text exposition (format 0.0.4) when the `Accept` header asks for
+//!   `text/plain` or OpenMetrics.
+//!
+//! Telemetry is recorded through `fairprep_trace::telemetry`: per-worker
+//! **sharded** counters and histograms plus lock-free ring windows, so
+//! the request hot path performs only relaxed atomic arithmetic — no
+//! locks, no allocation (enforced by the `// audit: hot-path` lint
+//! markers). Shards merge at scrape time, and merges are commutative
+//! sums, so `/metrics` totals are exact at any worker count. PSI
+//! baselines are smoothed **once per pipeline at registry load** (see
+//! [`smoothed_fractions`]) rather than on every scrape.
+//!
+//! With `--access-log PATH` the server also appends one JSONL access
+//! record per (sampled) request — monotonic request id, worker index,
+//! status, and read/handle/write span timings — rendered live by
+//! `fairprep tail`.
 //!
 //! The server is dependency-free: `std::net` plus the repo's own
-//! [`scoped_workers`] pool. Everything shared across worker threads is
-//! behind a `Mutex` or an atomic; the request loop is marked
-//! `// audit: hot-path` where it must stay allocation-free.
+//! [`scoped_workers`] pool.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use fairprep_core::seal::{ScoredRow, SealedPipeline};
 use fairprep_data::column::{Column, ColumnKind};
 use fairprep_data::frame::DataFrame;
 use fairprep_data::parallel::scoped_workers;
-use fairprep_data::profile::{psi_from_counts, ColumnProfile, PSI_WARN_THRESHOLD, QUANTILE_POINTS};
+use fairprep_data::profile::{
+    psi_against_fractions, smoothed_fractions, ColumnProfile, PSI_WARN_THRESHOLD, QUANTILE_POINTS,
+};
 use fairprep_data::schema::Role;
+use fairprep_trace::exposition::{Exposition, TEXT_CONTENT_TYPE};
 use fairprep_trace::json::{obj, Value};
+use fairprep_trace::telemetry::{
+    percentile_of_sorted, HistogramSnapshot, RingWindow, ShardedCounter, ShardedHistogram,
+};
 
 /// Largest accepted request body. Requests beyond this are refused with
 /// `413` before any allocation proportional to the claimed length.
 pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
-/// Number of log₂ latency buckets; bucket `i` counts requests that took
-/// `[2^i, 2^(i+1))` microseconds, which spans 1 µs to ~18 minutes.
-const LATENCY_BUCKETS: usize = 31;
+/// Shards per sharded counter/histogram. Workers beyond this wrap
+/// around; 16 covers every thread budget the serve CLI accepts without
+/// paying unbounded per-pipeline memory.
+const METRIC_SHARDS: usize = 16;
 
-// ---------------------------------------------------------------------------
-// Latency histogram
-// ---------------------------------------------------------------------------
+/// The rolling windows `/metrics` reports alongside lifetime totals:
+/// (JSON key, Prometheus `window` label, capacity in observations).
+const WINDOW_SPECS: [(&str, &str, usize); 2] =
+    [("window_1k", "1k", 1_000), ("window_10k", "10k", 10_000)];
 
-/// Fixed-size log₂ histogram of request latencies in microseconds.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: [u64; LATENCY_BUCKETS],
-    count: u64,
-    max_us: u64,
-}
-
-impl LatencyHistogram {
-    fn new() -> Self {
-        LatencyHistogram {
-            buckets: [0; LATENCY_BUCKETS],
-            count: 0,
-            max_us: 0,
-        }
-    }
-
-    /// Records one request latency.
-    // audit: hot-path
-    fn record(&mut self, us: u64) {
-        let idx = (63 - u64::leading_zeros(us.max(1)) as usize).min(LATENCY_BUCKETS - 1);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Upper bucket edge (µs) below which at least `q` of the recorded
-    /// requests fall; 0 when nothing was recorded.
-    #[must_use]
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        #[allow(clippy::cast_sign_loss, clippy::cast_precision_loss)]
-        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b;
-            if seen >= target {
-                return (2u64 << i).min(self.max_us.max(1));
-            }
-        }
-        self.max_us
-    }
-
-    /// Total recorded requests.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-}
+/// `Content-Type` of every JSON response.
+const JSON_CONTENT_TYPE: &str = "application/json";
 
 // ---------------------------------------------------------------------------
 // Online drift tracking
 // ---------------------------------------------------------------------------
 
-/// Per-column drift state: the training baseline (from the sealed
-/// [`DatasetProfile`](fairprep_data::profile::DatasetProfile)) and the
-/// live traffic counts binned the same way.
-#[derive(Debug, Clone)]
-enum ColumnDrift {
+/// How one tracked column bins an observation.
+#[derive(Debug)]
+enum DriftBins {
     /// Numeric column binned by the training profile's interior decile
     /// edges (deduped by bit pattern, like the lifecycle profiler).
-    Numeric {
-        name: String,
-        edges: Vec<f64>,
-        base: Vec<u64>,
-        live: Vec<u64>,
-    },
+    Numeric { edges: Vec<f64> },
     /// Categorical column binned by the training profile's top-k
     /// categories plus one "other/unseen" bin.
-    Categorical {
-        name: String,
-        cats: Vec<String>,
-        base: Vec<u64>,
-        live: Vec<u64>,
-    },
+    Categorical { cats: Vec<String> },
 }
 
-impl ColumnDrift {
+/// Per-column drift state: cached smoothed baseline fractions (computed
+/// once at registry load), lifetime per-bin atomic counts, and one ring
+/// of recent bin indices per rolling window.
+#[derive(Debug)]
+struct DriftTrack {
+    name: String,
+    bins: DriftBins,
+    /// `smoothed_fractions` of the training baseline counts — fixed at
+    /// seal time, so smoothed exactly once instead of on every scrape.
+    base_fracs: Vec<f64>,
+    live: Vec<AtomicU64>,
+    rings: [RingWindow; WINDOW_SPECS.len()],
+}
+
+impl DriftTrack {
     /// Builds the baseline for one profiled column; `None` when the
     /// column carries no usable distribution (constant or empty).
-    fn from_profile(name: &str, profile: &ColumnProfile) -> Option<ColumnDrift> {
-        match profile {
+    fn from_profile(name: &str, profile: &ColumnProfile) -> Option<DriftTrack> {
+        let (bins, base) = match profile {
             ColumnProfile::Numeric {
                 count, quantiles, ..
             } => {
@@ -144,8 +122,7 @@ impl ColumnDrift {
                 if edges.is_empty() || *count == 0 {
                     return None;
                 }
-                let bins = edges.len() + 1;
-                let mut base = vec![0u64; bins];
+                let mut base = vec![0u64; edges.len() + 1];
                 // Each inter-decile segment of the training distribution
                 // holds one tenth of the observed mass; the remainder of
                 // the integer division lands in the top bin with the max.
@@ -157,12 +134,7 @@ impl ColumnDrift {
                 }
                 let top = edges.iter().filter(|e| quantiles[10] > **e).count();
                 base[top] += count % segments;
-                Some(ColumnDrift::Numeric {
-                    name: name.to_string(),
-                    edges,
-                    base,
-                    live: vec![0; bins],
-                })
+                (DriftBins::Numeric { edges }, base)
             }
             ColumnProfile::Categorical { count, top, .. } => {
                 if top.is_empty() || *count == 0 {
@@ -172,44 +144,60 @@ impl ColumnDrift {
                 let mut base: Vec<u64> = top.iter().map(|(_, n)| *n).collect();
                 let covered: u64 = base.iter().sum();
                 base.push(count.saturating_sub(covered));
-                let bins = base.len();
-                Some(ColumnDrift::Categorical {
-                    name: name.to_string(),
-                    cats,
-                    base,
-                    live: vec![0; bins],
-                })
+                (DriftBins::Categorical { cats }, base)
             }
-        }
+        };
+        let live = (0..base.len()).map(|_| AtomicU64::new(0)).collect();
+        Some(
+            DriftTrack {
+                name: name.to_string(),
+                bins: DriftBins::Numeric { edges: Vec::new() },
+                base_fracs: smoothed_fractions(&base),
+                live,
+                rings: WINDOW_SPECS.map(|(_, _, cap)| RingWindow::new(cap)),
+            }
+            .with_bins(bins),
+        )
     }
 
-    fn name(&self) -> &str {
-        match self {
-            ColumnDrift::Numeric { name, .. } | ColumnDrift::Categorical { name, .. } => name,
+    fn with_bins(mut self, bins: DriftBins) -> DriftTrack {
+        self.bins = bins;
+        self
+    }
+
+    /// Records one observation's bin: a lifetime atomic bump plus one
+    /// ring slot per window. Lock- and allocation-free.
+    // audit: hot-path
+    fn hit(&self, bin: usize) {
+        if let Some(cell) = self.live.get(bin) {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+        for ring in &self.rings {
+            ring.record(bin as u64);
         }
     }
 
     /// Folds the raw (pre-imputation) request column into the live
     /// counts; missing cells are skipped, exactly as the profiler skips
-    /// them when computing the baseline.
-    fn observe(&mut self, column: &Column) {
-        match (self, column) {
-            (ColumnDrift::Numeric { edges, live, .. }, Column::Numeric(vals)) => {
+    /// them when computing the baseline. Lock- and allocation-free.
+    // audit: hot-path
+    fn observe(&self, column: &Column) {
+        match (&self.bins, column) {
+            (DriftBins::Numeric { edges }, Column::Numeric(vals)) => {
                 for x in vals.iter().flatten() {
                     if x.is_nan() {
                         continue;
                     }
-                    let bin = edges.iter().filter(|e| *x > **e).count();
-                    live[bin] += 1;
+                    self.hit(edges.iter().filter(|e| *x > **e).count());
                 }
             }
-            (ColumnDrift::Categorical { cats, live, .. }, Column::Categorical(data)) => {
+            (DriftBins::Categorical { cats }, Column::Categorical(data)) => {
                 for code in data.codes().iter().flatten() {
                     let bin = data
                         .category_of(*code)
                         .and_then(|c| cats.iter().position(|k| k == c))
                         .unwrap_or(cats.len());
-                    live[bin] += 1;
+                    self.hit(bin);
                 }
             }
             // A request column whose physical type disagrees with the
@@ -219,41 +207,63 @@ impl ColumnDrift {
         }
     }
 
-    /// PSI of the live counts against the training baseline.
-    fn psi(&self) -> f64 {
-        match self {
-            ColumnDrift::Numeric { base, live, .. }
-            | ColumnDrift::Categorical { base, live, .. } => psi_from_counts(base, live),
-        }
-    }
-
-    fn observed(&self) -> u64 {
-        match self {
-            ColumnDrift::Numeric { live, .. } | ColumnDrift::Categorical { live, .. } => {
-                live.iter().sum()
+    /// Lifetime + per-window observed counts and PSI, merged at scrape.
+    fn snapshot(&self) -> DriftSnapshot {
+        let lifetime: Vec<u64> = self
+            .live
+            .iter()
+            .map(|cell| cell.load(Ordering::Relaxed))
+            .collect();
+        let windows = self.rings.each_ref().map(|ring| {
+            let mut counts = vec![0u64; self.live.len()];
+            for bin in ring.snapshot() {
+                if let Some(cell) = counts.get_mut(bin as usize) {
+                    *cell += 1;
+                }
             }
+            DriftWindow {
+                observed: counts.iter().sum(),
+                psi: psi_against_fractions(&self.base_fracs, &counts),
+            }
+        });
+        DriftSnapshot {
+            name: self.name.clone(),
+            observed: lifetime.iter().sum(),
+            psi: psi_against_fractions(&self.base_fracs, &lifetime),
+            windows,
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Per-pipeline metrics
+// Per-pipeline telemetry
 // ---------------------------------------------------------------------------
 
-/// Mutable serving statistics for one sealed pipeline.
+/// The rolling-window rings of one pipeline: latencies (µs) and decision
+/// codes (`privileged*2 + favorable`) over the last N observations.
 #[derive(Debug)]
-struct PipeMetrics {
-    requests: u64,
-    rows_scored: u64,
-    rows_dropped: u64,
-    errors: u64,
-    latency: LatencyHistogram,
-    /// `decisions[privileged as usize][favorable as usize]`.
-    decisions: [[u64; 2]; 2],
-    drift: Vec<ColumnDrift>,
+struct WindowRings {
+    latency: RingWindow,
+    decisions: RingWindow,
 }
 
-impl PipeMetrics {
+/// Sharded serving telemetry for one sealed pipeline. Every field is
+/// recorded with relaxed atomics only — the record path takes no lock
+/// and performs no allocation — and merged at scrape time.
+#[derive(Debug)]
+struct PipeTelemetry {
+    requests: ShardedCounter,
+    rows_scored: ShardedCounter,
+    rows_dropped: ShardedCounter,
+    errors: ShardedCounter,
+    latency: ShardedHistogram,
+    /// `decisions[privileged*2 + favorable]`.
+    decisions: [ShardedCounter; 4],
+    windows: [WindowRings; WINDOW_SPECS.len()],
+    drift: Vec<DriftTrack>,
+}
+
+impl PipeTelemetry {
     fn new(sealed: &SealedPipeline) -> Self {
         let label = sealed.schema().label_name().ok().map(ToString::to_string);
         let drift = sealed
@@ -261,74 +271,182 @@ impl PipeMetrics {
             .columns
             .iter()
             .filter(|(name, _)| label.as_deref() != Some(name.as_str()))
-            .filter_map(|(name, profile)| ColumnDrift::from_profile(name, profile))
+            .filter_map(|(name, profile)| DriftTrack::from_profile(name, profile))
             .collect();
-        PipeMetrics {
-            requests: 0,
-            rows_scored: 0,
-            rows_dropped: 0,
-            errors: 0,
-            latency: LatencyHistogram::new(),
-            decisions: [[0; 2]; 2],
+        PipeTelemetry {
+            requests: ShardedCounter::new(METRIC_SHARDS),
+            rows_scored: ShardedCounter::new(METRIC_SHARDS),
+            rows_dropped: ShardedCounter::new(METRIC_SHARDS),
+            errors: ShardedCounter::new(METRIC_SHARDS),
+            latency: ShardedHistogram::new(METRIC_SHARDS),
+            decisions: std::array::from_fn(|_| ShardedCounter::new(METRIC_SHARDS)),
+            windows: WINDOW_SPECS.map(|(_, _, cap)| WindowRings {
+                latency: RingWindow::new(cap),
+                decisions: RingWindow::new(cap),
+            }),
             drift,
         }
     }
 
-    /// Folds one scored batch into the counters.
+    /// Folds one scored batch into the counters, histogram, and rings.
+    /// Lock- and allocation-free: the caller's worker index routes every
+    /// increment onto a private shard.
     // audit: hot-path
-    fn record_batch(&mut self, scored: &[ScoredRow], elapsed_us: u64) {
-        self.requests += 1;
-        self.latency.record(elapsed_us);
+    fn record_batch(&self, worker: usize, scored: &[ScoredRow], elapsed_us: u64) {
+        self.requests.incr(worker);
+        self.latency.record(worker, elapsed_us);
+        for rings in &self.windows {
+            rings.latency.record(elapsed_us);
+        }
         for row in scored {
             if row.dropped() {
-                self.rows_dropped += 1;
+                self.rows_dropped.incr(worker);
                 continue;
             }
-            self.rows_scored += 1;
+            self.rows_scored.incr(worker);
             let favorable = row.decision.is_some_and(|d| d >= 0.5);
-            self.decisions[usize::from(row.privileged)][usize::from(favorable)] += 1;
+            let code = usize::from(row.privileged) * 2 + usize::from(favorable);
+            if let Some(counter) = self.decisions.get(code) {
+                counter.incr(worker);
+            }
+            for rings in &self.windows {
+                rings.decisions.record(code as u64);
+            }
         }
     }
 
-    /// Canonical `/metrics` fragment for this pipeline.
+    /// Merges every shard and ring into one plain snapshot.
+    fn snapshot(&self) -> PipeSnapshot {
+        let windows = self.windows.each_ref().map(|rings| {
+            let mut latencies = rings.latency.snapshot();
+            latencies.sort_unstable();
+            let mut decisions = [0u64; 4];
+            for code in rings.decisions.snapshot() {
+                if let Some(cell) = decisions.get_mut(code as usize) {
+                    *cell += 1;
+                }
+            }
+            WindowSnapshot {
+                requests: latencies.len() as u64,
+                p50_us: percentile_of_sorted(&latencies, 0.50),
+                p99_us: percentile_of_sorted(&latencies, 0.99),
+                decisions,
+            }
+        });
+        PipeSnapshot {
+            requests: self.requests.total(),
+            rows_scored: self.rows_scored.total(),
+            rows_dropped: self.rows_dropped.total(),
+            errors: self.errors.total(),
+            latency: self.latency.snapshot(),
+            decisions: self.decisions.each_ref().map(ShardedCounter::total),
+            windows,
+            drift: self.drift.iter().map(DriftTrack::snapshot).collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scrape-time snapshots and rendering
+// ---------------------------------------------------------------------------
+
+/// One rolling window's merged view.
+struct WindowSnapshot {
+    requests: u64,
+    p50_us: u64,
+    p99_us: u64,
+    /// `decisions[privileged*2 + favorable]`.
+    decisions: [u64; 4],
+}
+
+/// One column's drift inside one rolling window.
+struct DriftWindow {
+    observed: u64,
+    psi: f64,
+}
+
+/// One column's lifetime + windowed drift.
+struct DriftSnapshot {
+    name: String,
+    observed: u64,
+    psi: f64,
+    windows: [DriftWindow; WINDOW_SPECS.len()],
+}
+
+/// A plain, merged view of one pipeline's telemetry; both the JSON and
+/// the Prometheus renderer read from this, so the two views can never
+/// disagree about the numbers.
+struct PipeSnapshot {
+    requests: u64,
+    rows_scored: u64,
+    rows_dropped: u64,
+    errors: u64,
+    latency: HistogramSnapshot,
+    /// `decisions[privileged*2 + favorable]`.
+    decisions: [u64; 4],
+    windows: [WindowSnapshot; WINDOW_SPECS.len()],
+    drift: Vec<DriftSnapshot>,
+}
+
+/// Favorable rate of one group, `Null` when the group was never seen.
+#[allow(clippy::cast_precision_loss)]
+fn rate_value(favorable: u64, unfavorable: u64) -> Value {
+    let total = favorable + unfavorable;
+    if total == 0 {
+        Value::Null
+    } else {
+        Value::Num(favorable as f64 / total as f64)
+    }
+}
+
+/// Disparate impact of a 2×2 decision table (`Null` when undefined:
+/// either group unseen, or the privileged group has no favorable
+/// decisions to form the denominator rate).
+#[allow(clippy::cast_precision_loss)]
+fn disparate_impact_value(decisions: &[u64; 4]) -> Value {
+    let ut = decisions[0] + decisions[1];
+    let pt = decisions[2] + decisions[3];
+    if pt == 0 || ut == 0 || decisions[3] == 0 {
+        Value::Null
+    } else {
+        Value::Num((decisions[1] as f64 / ut as f64) / (decisions[3] as f64 / pt as f64))
+    }
+}
+
+/// The canonical decisions object for a 2×2 table (lifetime and
+/// windowed views share this shape).
+fn decisions_value(decisions: &[u64; 4]) -> Value {
+    obj(vec![
+        ("privileged_favorable", Value::from_u64(decisions[3])),
+        ("privileged_unfavorable", Value::from_u64(decisions[2])),
+        ("unprivileged_favorable", Value::from_u64(decisions[1])),
+        ("unprivileged_unfavorable", Value::from_u64(decisions[0])),
+        ("privileged_rate", rate_value(decisions[3], decisions[2])),
+        ("unprivileged_rate", rate_value(decisions[1], decisions[0])),
+        ("disparate_impact", disparate_impact_value(decisions)),
+    ])
+}
+
+impl PipeSnapshot {
+    /// Canonical JSON `/metrics` fragment for this pipeline.
     fn to_value(&self) -> Value {
-        let cell = |p: usize, f: usize| Value::from_u64(self.decisions[p][f]);
-        let group_total = |p: usize| self.decisions[p][0] + self.decisions[p][1];
-        #[allow(clippy::cast_precision_loss)]
-        let rate = |p: usize| {
-            let total = group_total(p);
-            if total == 0 {
-                Value::Null
-            } else {
-                Value::Num(self.decisions[p][1] as f64 / total as f64)
-            }
+        let drift = |pick: &dyn Fn(&DriftSnapshot) -> (u64, f64)| {
+            Value::Arr(
+                self.drift
+                    .iter()
+                    .map(|d| {
+                        let (observed, psi) = pick(d);
+                        obj(vec![
+                            ("column", Value::Str(d.name.clone())),
+                            ("observed", Value::from_u64(observed)),
+                            ("psi", Value::Num(psi)),
+                            ("warn", Value::Bool(psi >= PSI_WARN_THRESHOLD)),
+                        ])
+                    })
+                    .collect(),
+            )
         };
-        #[allow(clippy::cast_precision_loss)]
-        let disparate_impact = {
-            let (pt, ut) = (group_total(1), group_total(0));
-            if pt == 0 || ut == 0 || self.decisions[1][1] == 0 {
-                Value::Null
-            } else {
-                Value::Num(
-                    (self.decisions[0][1] as f64 / ut as f64)
-                        / (self.decisions[1][1] as f64 / pt as f64),
-                )
-            }
-        };
-        let drift = self
-            .drift
-            .iter()
-            .map(|d| {
-                let psi = d.psi();
-                obj(vec![
-                    ("column", Value::Str(d.name().to_string())),
-                    ("observed", Value::from_u64(d.observed())),
-                    ("psi", Value::Num(psi)),
-                    ("warn", Value::Bool(psi >= PSI_WARN_THRESHOLD)),
-                ])
-            })
-            .collect();
-        obj(vec![
+        let mut members = vec![
             ("requests", Value::from_u64(self.requests)),
             ("rows_scored", Value::from_u64(self.rows_scored)),
             ("rows_dropped", Value::from_u64(self.rows_dropped)),
@@ -336,27 +454,264 @@ impl PipeMetrics {
             (
                 "latency",
                 obj(vec![
-                    ("count", Value::from_u64(self.latency.count())),
-                    ("max_us", Value::from_u64(self.latency.max_us)),
-                    ("p50_us", Value::from_u64(self.latency.quantile_us(0.50))),
-                    ("p99_us", Value::from_u64(self.latency.quantile_us(0.99))),
+                    ("count", Value::from_u64(self.latency.count)),
+                    ("max_us", Value::from_u64(self.latency.max)),
+                    ("p50_us", Value::from_u64(self.latency.quantile(0.50))),
+                    ("p99_us", Value::from_u64(self.latency.quantile(0.99))),
                 ]),
             ),
-            (
-                "decisions",
+            ("decisions", decisions_value(&self.decisions)),
+            ("drift", drift(&|d| (d.observed, d.psi))),
+        ];
+        for (wi, (key, _, _)) in WINDOW_SPECS.iter().enumerate() {
+            let window = &self.windows[wi];
+            members.push((
+                key,
                 obj(vec![
-                    ("privileged_favorable", cell(1, 1)),
-                    ("privileged_unfavorable", cell(1, 0)),
-                    ("unprivileged_favorable", cell(0, 1)),
-                    ("unprivileged_unfavorable", cell(0, 0)),
-                    ("privileged_rate", rate(1)),
-                    ("unprivileged_rate", rate(0)),
-                    ("disparate_impact", disparate_impact),
+                    ("requests", Value::from_u64(window.requests)),
+                    (
+                        "latency",
+                        obj(vec![
+                            ("p50_us", Value::from_u64(window.p50_us)),
+                            ("p99_us", Value::from_u64(window.p99_us)),
+                        ]),
+                    ),
+                    ("decisions", decisions_value(&window.decisions)),
+                    (
+                        "drift",
+                        drift(&|d| (d.windows[wi].observed, d.windows[wi].psi)),
+                    ),
                 ]),
-            ),
-            ("drift", Value::Arr(drift)),
-        ])
+            ));
+        }
+        obj(members)
     }
+}
+
+/// Renders every pipeline snapshot as one Prometheus 0.0.4 page.
+/// Families group all pipelines' samples; undefined gauges (empty
+/// windows, unseen groups) are omitted rather than faked as zero.
+fn render_prometheus(snapshots: &[(&str, PipeSnapshot)]) -> String {
+    let group_of = |code: usize| {
+        if code >= 2 {
+            "privileged"
+        } else {
+            "unprivileged"
+        }
+    };
+    let decision_of = |code: usize| {
+        if code % 2 == 1 {
+            "favorable"
+        } else {
+            "unfavorable"
+        }
+    };
+    let mut exp = Exposition::new();
+    exp.family(
+        "fairprep_pipelines",
+        "gauge",
+        "Sealed pipelines loaded in the registry.",
+    );
+    exp.sample_u64("fairprep_pipelines", &[], snapshots.len() as u64);
+    for (name, help) in [
+        ("fairprep_requests_total", "Predict requests scored."),
+        ("fairprep_rows_scored_total", "Rows scored."),
+        (
+            "fairprep_rows_dropped_total",
+            "Rows dropped by the sealed missing-value handler.",
+        ),
+        ("fairprep_errors_total", "Predict requests refused."),
+    ] {
+        exp.family(name, "counter", help);
+        for (fp, snap) in snapshots {
+            let value = match name {
+                "fairprep_requests_total" => snap.requests,
+                "fairprep_rows_scored_total" => snap.rows_scored,
+                "fairprep_rows_dropped_total" => snap.rows_dropped,
+                _ => snap.errors,
+            };
+            exp.sample_u64(name, &[("pipeline", fp)], value);
+        }
+    }
+    exp.family(
+        "fairprep_latency_us",
+        "gauge",
+        "Request latency quantiles in microseconds (lifetime: log2 bucket edges; windows: exact).",
+    );
+    for (fp, snap) in snapshots {
+        if snap.latency.count > 0 {
+            for (q, v) in [
+                ("0.5", snap.latency.quantile(0.50)),
+                ("0.99", snap.latency.quantile(0.99)),
+            ] {
+                exp.sample_u64(
+                    "fairprep_latency_us",
+                    &[("pipeline", fp), ("window", "lifetime"), ("quantile", q)],
+                    v,
+                );
+            }
+        }
+        for (wi, (_, label, _)) in WINDOW_SPECS.iter().enumerate() {
+            let window = &snap.windows[wi];
+            if window.requests == 0 {
+                continue;
+            }
+            for (q, v) in [("0.5", window.p50_us), ("0.99", window.p99_us)] {
+                exp.sample_u64(
+                    "fairprep_latency_us",
+                    &[("pipeline", fp), ("window", label), ("quantile", q)],
+                    v,
+                );
+            }
+        }
+    }
+    exp.family(
+        "fairprep_latency_log2_bucket",
+        "counter",
+        "Lifetime latency histogram: requests with latency in [2^exp, 2^(exp+1)) microseconds.",
+    );
+    for (fp, snap) in snapshots {
+        for (i, count) in snap.latency.buckets.iter().enumerate() {
+            if *count > 0 {
+                let e = i.to_string();
+                exp.sample_u64(
+                    "fairprep_latency_log2_bucket",
+                    &[("pipeline", fp), ("exp", &e)],
+                    *count,
+                );
+            }
+        }
+    }
+    exp.family(
+        "fairprep_window_requests",
+        "gauge",
+        "Requests currently inside each rolling window.",
+    );
+    for (fp, snap) in snapshots {
+        for (wi, (_, label, _)) in WINDOW_SPECS.iter().enumerate() {
+            exp.sample_u64(
+                "fairprep_window_requests",
+                &[("pipeline", fp), ("window", label)],
+                snap.windows[wi].requests,
+            );
+        }
+    }
+    exp.family(
+        "fairprep_decisions_total",
+        "counter",
+        "Scored rows by protected group and decision.",
+    );
+    for (fp, snap) in snapshots {
+        for (code, count) in snap.decisions.iter().enumerate() {
+            exp.sample_u64(
+                "fairprep_decisions_total",
+                &[
+                    ("pipeline", fp),
+                    ("group", group_of(code)),
+                    ("decision", decision_of(code)),
+                ],
+                *count,
+            );
+        }
+    }
+    exp.family(
+        "fairprep_favorable_rate",
+        "gauge",
+        "Favorable-decision rate by protected group (omitted while a group is unseen).",
+    );
+    for (fp, snap) in snapshots {
+        for (label, decisions) in std::iter::once(("lifetime", &snap.decisions)).chain(
+            WINDOW_SPECS
+                .iter()
+                .enumerate()
+                .map(|(wi, (_, label, _))| (*label, &snap.windows[wi].decisions)),
+        ) {
+            for (group, favorable, unfavorable) in [
+                ("privileged", decisions[3], decisions[2]),
+                ("unprivileged", decisions[1], decisions[0]),
+            ] {
+                if let Value::Num(rate) = rate_value(favorable, unfavorable) {
+                    exp.sample_f64(
+                        "fairprep_favorable_rate",
+                        &[("pipeline", fp), ("group", group), ("window", label)],
+                        rate,
+                    );
+                }
+            }
+        }
+    }
+    exp.family(
+        "fairprep_disparate_impact",
+        "gauge",
+        "Unprivileged/privileged favorable-rate ratio (omitted while undefined).",
+    );
+    for (fp, snap) in snapshots {
+        for (label, decisions) in std::iter::once(("lifetime", &snap.decisions)).chain(
+            WINDOW_SPECS
+                .iter()
+                .enumerate()
+                .map(|(wi, (_, label, _))| (*label, &snap.windows[wi].decisions)),
+        ) {
+            if let Value::Num(di) = disparate_impact_value(decisions) {
+                exp.sample_f64(
+                    "fairprep_disparate_impact",
+                    &[("pipeline", fp), ("window", label)],
+                    di,
+                );
+            }
+        }
+    }
+    exp.family(
+        "fairprep_drift_psi",
+        "gauge",
+        "Population stability index of live traffic vs the sealed training profile.",
+    );
+    for (fp, snap) in snapshots {
+        for d in &snap.drift {
+            exp.sample_f64(
+                "fairprep_drift_psi",
+                &[
+                    ("pipeline", fp),
+                    ("column", &d.name),
+                    ("window", "lifetime"),
+                ],
+                d.psi,
+            );
+            for (wi, (_, label, _)) in WINDOW_SPECS.iter().enumerate() {
+                exp.sample_f64(
+                    "fairprep_drift_psi",
+                    &[("pipeline", fp), ("column", &d.name), ("window", label)],
+                    d.windows[wi].psi,
+                );
+            }
+        }
+    }
+    exp.family(
+        "fairprep_drift_warn",
+        "gauge",
+        "1 when a column's PSI crosses the warn threshold.",
+    );
+    for (fp, snap) in snapshots {
+        for d in &snap.drift {
+            exp.sample_u64(
+                "fairprep_drift_warn",
+                &[
+                    ("pipeline", fp),
+                    ("column", &d.name),
+                    ("window", "lifetime"),
+                ],
+                u64::from(d.psi >= PSI_WARN_THRESHOLD),
+            );
+            for (wi, (_, label, _)) in WINDOW_SPECS.iter().enumerate() {
+                exp.sample_u64(
+                    "fairprep_drift_warn",
+                    &[("pipeline", fp), ("column", &d.name), ("window", label)],
+                    u64::from(d.windows[wi].psi >= PSI_WARN_THRESHOLD),
+                );
+            }
+        }
+    }
+    exp.finish()
 }
 
 // ---------------------------------------------------------------------------
@@ -365,7 +720,7 @@ impl PipeMetrics {
 
 struct Entry {
     sealed: SealedPipeline,
-    metrics: Mutex<PipeMetrics>,
+    telemetry: PipeTelemetry,
 }
 
 /// All sealed pipelines the server answers for, keyed by the
@@ -373,6 +728,9 @@ struct Entry {
 /// spellings are accepted in request paths).
 pub struct Registry {
     entries: BTreeMap<String, Entry>,
+    next_request_id: AtomicU64,
+    recording: AtomicBool,
+    fixed_latency_us: AtomicU64,
 }
 
 /// `:` is not filesystem- or URL-friendly, so artifacts and request
@@ -388,6 +746,9 @@ impl Registry {
     pub fn new() -> Self {
         Registry {
             entries: BTreeMap::new(),
+            next_request_id: AtomicU64::new(0),
+            recording: AtomicBool::new(true),
+            fixed_latency_us: AtomicU64::new(0),
         }
     }
 
@@ -412,8 +773,8 @@ impl Registry {
     /// same fingerprint.
     pub fn insert(&mut self, sealed: SealedPipeline) {
         let key = normalize_fingerprint(&sealed.fingerprint);
-        let metrics = Mutex::new(PipeMetrics::new(&sealed));
-        self.entries.insert(key, Entry { sealed, metrics });
+        let telemetry = PipeTelemetry::new(&sealed);
+        self.entries.insert(key, Entry { sealed, telemetry });
     }
 
     /// Number of registered pipelines.
@@ -441,21 +802,48 @@ impl Registry {
         self.entries.get(&normalize_fingerprint(fingerprint))
     }
 
-    /// The full `/metrics` document.
+    /// Toggles telemetry recording (`true` by default). With recording
+    /// off, requests are scored but no counter, ring, or drift state is
+    /// touched — the knob `bench_telemetry` uses to measure instrumented
+    /// vs uninstrumented serve throughput on one fitted pipeline.
+    pub fn set_recording(&self, on: bool) {
+        self.recording.store(on, Ordering::Relaxed);
+    }
+
+    /// Forces every recorded request latency to `us` (0 restores real
+    /// timing). A determinism knob: the committed golden exposition
+    /// fixture replays with a fixed latency so the scrape is
+    /// byte-identical on any machine.
+    pub fn set_fixed_latency_us(&self, us: u64) {
+        self.fixed_latency_us.store(us, Ordering::Relaxed);
+    }
+
+    fn next_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn snapshots(&self) -> Vec<(&str, PipeSnapshot)> {
+        self.entries
+            .values()
+            .map(|e| (e.sealed.fingerprint.as_str(), e.telemetry.snapshot()))
+            .collect()
+    }
+
+    /// The full `/metrics` document (JSON view).
     #[must_use]
     pub fn metrics_value(&self) -> Value {
         let pipelines = self
-            .entries
-            .values()
-            .map(|e| {
-                let snapshot = e
-                    .metrics
-                    .lock()
-                    .map_or(Value::Null, |metrics| metrics.to_value());
-                (e.sealed.fingerprint.as_str(), snapshot)
-            })
+            .snapshots()
+            .iter()
+            .map(|(fp, snap)| (*fp, snap.to_value()))
             .collect();
         obj(vec![("pipelines", obj(pipelines))])
+    }
+
+    /// The full `/metrics` document (Prometheus text exposition).
+    #[must_use]
+    pub fn metrics_prometheus(&self) -> String {
+        render_prometheus(&self.snapshots())
     }
 }
 
@@ -549,8 +937,10 @@ fn response_value(fingerprint: &str, scored: &[ScoredRow]) -> Value {
     ])
 }
 
-/// Scores one predict request against `entry`, updating its metrics.
-fn predict(entry: &Entry, body: &str) -> Result<Value, String> {
+/// Scores one predict request against `entry`, updating its telemetry
+/// on the calling worker's shards.
+fn predict(registry: &Registry, entry: &Entry, worker: usize, body: &str) -> Result<Value, String> {
+    let recording = registry.recording.load(Ordering::Relaxed);
     let started = Instant::now();
     let outcome = (|| {
         let parsed = fairprep_trace::json::parse(body).map_err(|e| format!("bad JSON: {e}"))?;
@@ -559,9 +949,9 @@ fn predict(entry: &Entry, body: &str) -> Result<Value, String> {
         // Drift is observed on the *raw* request rows, before the sealed
         // imputer touches them: the sealed training profile was computed
         // on raw training rows, so the two sides bin the same thing.
-        if let Ok(mut metrics) = entry.metrics.lock() {
-            for drift in &mut metrics.drift {
-                if let Ok(column) = frame.column(drift.name()) {
+        if recording {
+            for drift in &entry.telemetry.drift {
+                if let Ok(column) = frame.column(&drift.name) {
                     drift.observe(column);
                 }
             }
@@ -569,17 +959,22 @@ fn predict(entry: &Entry, body: &str) -> Result<Value, String> {
         let scored = entry.sealed.score_frame(frame).map_err(|e| e.to_string())?;
         Ok(scored)
     })();
-    let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let fixed = registry.fixed_latency_us.load(Ordering::Relaxed);
+    let elapsed_us = if fixed > 0 {
+        fixed
+    } else {
+        u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    };
     match outcome {
         Ok(scored) => {
-            if let Ok(mut metrics) = entry.metrics.lock() {
-                metrics.record_batch(&scored, elapsed_us);
+            if recording {
+                entry.telemetry.record_batch(worker, &scored, elapsed_us);
             }
             Ok(response_value(&entry.sealed.fingerprint, &scored))
         }
         Err(message) => {
-            if let Ok(mut metrics) = entry.metrics.lock() {
-                metrics.errors += 1;
+            if recording {
+                entry.telemetry.errors.incr(worker);
             }
             Err(message)
         }
@@ -587,13 +982,87 @@ fn predict(entry: &Entry, body: &str) -> Result<Value, String> {
 }
 
 // ---------------------------------------------------------------------------
+// Access log
+// ---------------------------------------------------------------------------
+
+/// A flushed JSONL access log: one `access` event per sampled request
+/// carrying the monotonic request id, worker index, status, total
+/// latency, and read/handle/write span timings. Rendered live by
+/// `fairprep tail`.
+#[derive(Debug)]
+pub struct AccessLog {
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
+    /// Record requests whose id is a multiple of this (1 = every
+    /// request); derived from `--sample-rate`.
+    sample_every: u64,
+}
+
+impl AccessLog {
+    /// Creates (truncating) the log file. `sample_rate` must be in
+    /// `(0, 1]`: 1.0 records every request, 0.01 every hundredth.
+    pub fn create(path: &Path, sample_rate: f64) -> Result<AccessLog, String> {
+        if !(sample_rate > 0.0 && sample_rate <= 1.0) {
+            return Err(format!(
+                "--sample-rate must be in (0, 1], got {sample_rate}"
+            ));
+        }
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create access log {}: {e}", path.display()))?;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let sample_every = (1.0 / sample_rate).round().max(1.0) as u64;
+        Ok(AccessLog {
+            out: Mutex::new(std::io::BufWriter::new(file)),
+            sample_every,
+        })
+    }
+
+    /// Appends one access record if the request id is sampled.
+    #[allow(clippy::too_many_arguments)]
+    fn record(&self, span: &AccessSpan<'_>) {
+        if !span.id.is_multiple_of(self.sample_every) {
+            return;
+        }
+        let line = obj(vec![
+            ("event", Value::Str("access".to_string())),
+            ("id", Value::from_u64(span.id)),
+            ("worker", Value::from_u64(span.worker as u64)),
+            ("method", Value::Str(span.method.to_string())),
+            ("path", Value::Str(span.path.to_string())),
+            ("status", Value::from_u64(u64::from(span.status))),
+            ("latency_us", Value::from_u64(span.latency_us)),
+            ("read_us", Value::from_u64(span.read_us)),
+            ("handle_us", Value::from_u64(span.handle_us)),
+            ("write_us", Value::from_u64(span.write_us)),
+        ])
+        .to_json();
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+/// One request's access-log fields.
+struct AccessSpan<'a> {
+    id: u64,
+    worker: usize,
+    method: &'a str,
+    path: &'a str,
+    status: u16,
+    latency_us: u64,
+    read_us: u64,
+    handle_us: u64,
+    write_us: u64,
+}
+
+// ---------------------------------------------------------------------------
 // HTTP plumbing
 // ---------------------------------------------------------------------------
 
-/// One parsed HTTP request: method, path, body.
+/// One parsed HTTP request: method, path, `Accept` header, body.
 struct Request {
     method: String,
     path: String,
+    accept: String,
     body: String,
 }
 
@@ -628,6 +1097,7 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, (u16, String)> {
         .to_string();
 
     let mut content_length = 0usize;
+    let mut accept = String::new();
     loop {
         let mut header = String::new();
         let n = reader
@@ -642,6 +1112,8 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, (u16, String)> {
                     .trim()
                     .parse()
                     .map_err(|_| (400, "malformed Content-Length".to_string()))?;
+            } else if name.eq_ignore_ascii_case("accept") {
+                accept = value.trim().to_string();
             }
         }
     }
@@ -653,13 +1125,18 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, (u16, String)> {
         .read_exact(&mut raw)
         .map_err(|e| (400, format!("truncated body: {e}")))?;
     let body = String::from_utf8(raw).map_err(|_| (400, "body is not valid UTF-8".to_string()))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        accept,
+        body,
+    })
 }
 
-/// Writes one `Connection: close` JSON response.
-fn write_response(stream: &mut TcpStream, code: u16, body: &str) {
+/// Writes one `Connection: close` response with the given content type.
+fn write_response(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
     let head = format!(
-        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         status_text(code),
         body.len()
     );
@@ -674,23 +1151,79 @@ fn error_body(message: &str) -> String {
     obj(vec![("error", Value::Str(message.to_string()))]).to_json()
 }
 
-/// Routes one connection. Every outcome is answered; nothing panics.
-fn handle_connection(mut stream: TcpStream, registry: &Registry) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_nonblocking(false);
-    let request = match read_request(&mut stream) {
-        Ok(request) => request,
-        Err((code, message)) => {
-            write_response(&mut stream, code, &error_body(&message));
-            return;
-        }
-    };
-    let (code, body) = route(&request, registry);
-    write_response(&mut stream, code, &body);
+/// `true` when the `Accept` header asks for the Prometheus text
+/// exposition instead of the default JSON view.
+fn wants_prometheus(accept: &str) -> bool {
+    let accept = accept.to_ascii_lowercase();
+    if accept.contains("application/json") {
+        return false;
+    }
+    accept.contains("text/plain") || accept.contains("openmetrics")
 }
 
-/// Dispatches a parsed request to its endpoint.
-fn route(request: &Request, registry: &Registry) -> (u16, String) {
+fn micros_since(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Routes one connection. Every outcome is answered; nothing panics.
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: &Registry,
+    worker: usize,
+    access_log: Option<&AccessLog>,
+) {
+    let started = Instant::now();
+    let id = registry.next_id();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nonblocking(false);
+    let request = read_request(&mut stream);
+    let read_us = micros_since(started);
+    match request {
+        Ok(request) => {
+            let handle_started = Instant::now();
+            let (code, body, content_type) = route(&request, registry, worker);
+            let handle_us = micros_since(handle_started);
+            let write_started = Instant::now();
+            write_response(&mut stream, code, content_type, &body);
+            let write_us = micros_since(write_started);
+            if let Some(log) = access_log {
+                log.record(&AccessSpan {
+                    id,
+                    worker,
+                    method: &request.method,
+                    path: &request.path,
+                    status: code,
+                    latency_us: micros_since(started),
+                    read_us,
+                    handle_us,
+                    write_us,
+                });
+            }
+        }
+        Err((code, message)) => {
+            let write_started = Instant::now();
+            write_response(&mut stream, code, JSON_CONTENT_TYPE, &error_body(&message));
+            let write_us = micros_since(write_started);
+            if let Some(log) = access_log {
+                log.record(&AccessSpan {
+                    id,
+                    worker,
+                    method: "-",
+                    path: "-",
+                    status: code,
+                    latency_us: micros_since(started),
+                    read_us,
+                    handle_us: 0,
+                    write_us,
+                });
+            }
+        }
+    }
+}
+
+/// Dispatches a parsed request to its endpoint. Returns status, body,
+/// and the response content type.
+fn route(request: &Request, registry: &Registry, worker: usize) -> (u16, String, &'static str) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (
             200,
@@ -699,21 +1232,32 @@ fn route(request: &Request, registry: &Registry) -> (u16, String) {
                 ("pipelines", Value::from_u64(registry.len() as u64)),
             ])
             .to_json(),
+            JSON_CONTENT_TYPE,
         ),
-        ("GET", "/metrics") => (200, registry.metrics_value().to_json()),
+        ("GET", "/metrics") => {
+            if wants_prometheus(&request.accept) {
+                (200, registry.metrics_prometheus(), TEXT_CONTENT_TYPE)
+            } else {
+                (200, registry.metrics_value().to_json(), JSON_CONTENT_TYPE)
+            }
+        }
         (method, path) => {
             let Some(fingerprint) = path.strip_prefix("/predict/") else {
-                return (404, error_body("no such endpoint"));
+                return (404, error_body("no such endpoint"), JSON_CONTENT_TYPE);
             };
             if method != "POST" {
-                return (405, error_body("predict requires POST"));
+                return (405, error_body("predict requires POST"), JSON_CONTENT_TYPE);
             }
             let Some(entry) = registry.get(fingerprint) else {
-                return (404, error_body("unknown pipeline fingerprint"));
+                return (
+                    404,
+                    error_body("unknown pipeline fingerprint"),
+                    JSON_CONTENT_TYPE,
+                );
             };
-            match predict(entry, &request.body) {
-                Ok(value) => (200, value.to_json()),
-                Err(message) => (400, error_body(&message)),
+            match predict(registry, entry, worker, &request.body) {
+                Ok(value) => (200, value.to_json(), JSON_CONTENT_TYPE),
+                Err(message) => (400, error_body(&message), JSON_CONTENT_TYPE),
             }
         }
     }
@@ -730,6 +1274,7 @@ pub struct Server {
     listener: TcpListener,
     registry: Arc<Registry>,
     stop: Arc<AtomicBool>,
+    access_log: Option<AccessLog>,
 }
 
 impl Server {
@@ -741,7 +1286,15 @@ impl Server {
             listener,
             registry: Arc::new(registry),
             stop: Arc::new(AtomicBool::new(false)),
+            access_log: None,
         })
+    }
+
+    /// Attaches a JSONL access log (`--access-log PATH`), sampling
+    /// requests at `sample_rate` in `(0, 1]` (`--sample-rate`).
+    pub fn with_access_log(mut self, path: &Path, sample_rate: f64) -> Result<Server, String> {
+        self.access_log = Some(AccessLog::create(path, sample_rate)?);
+        Ok(self)
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -749,7 +1302,7 @@ impl Server {
         self.listener.local_addr().map_err(|e| e.to_string())
     }
 
-    /// The shared pipelines and their metrics.
+    /// The shared pipelines and their telemetry.
     #[must_use]
     pub fn registry(&self) -> &Registry {
         &self.registry
@@ -765,8 +1318,9 @@ impl Server {
     ///
     /// The listener is switched to non-blocking and shared by every
     /// worker (`TcpListener::accept` takes `&self`); the kernel hands
-    /// each incoming connection to exactly one of them. `WouldBlock`
-    /// backs off briefly so an idle server stays cheap.
+    /// each incoming connection to exactly one of them, and the worker's
+    /// index routes telemetry onto that worker's private metric shards.
+    /// `WouldBlock` backs off briefly so an idle server stays cheap.
     pub fn serve_blocking(&self, threads: usize) -> Result<(), String> {
         self.listener
             .set_nonblocking(true)
@@ -774,10 +1328,11 @@ impl Server {
         let registry = &self.registry;
         let stop = &self.stop;
         let listener = &self.listener;
-        scoped_workers(threads.max(1), |_worker| {
+        let access_log = self.access_log.as_ref();
+        scoped_workers(threads.max(1), |worker| {
             while !stop.load(Ordering::Relaxed) {
                 match listener.accept() {
-                    Ok((stream, _peer)) => handle_connection(stream, registry),
+                    Ok((stream, _peer)) => handle_connection(stream, registry, worker, access_log),
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
                     }
@@ -790,9 +1345,10 @@ impl Server {
 }
 
 /// A server running on a background thread; used by the golden replay
-/// tests, the concurrency tests, and `bench_serve`.
+/// tests, the concurrency tests, and the serve benches.
 pub struct ServerHandle {
     addr: SocketAddr,
+    registry: Arc<Registry>,
     stop: Arc<AtomicBool>,
     join: Option<std::thread::JoinHandle<()>>,
 }
@@ -800,14 +1356,30 @@ pub struct ServerHandle {
 impl ServerHandle {
     /// Binds an ephemeral (or fixed) port and serves in the background.
     pub fn spawn(registry: Registry, port: u16, threads: usize) -> Result<ServerHandle, String> {
-        let server = Server::bind(registry, port)?;
+        ServerHandle::spawn_configured(registry, port, threads, None, 1.0)
+    }
+
+    /// [`ServerHandle::spawn`] with an optional access log.
+    pub fn spawn_configured(
+        registry: Registry,
+        port: u16,
+        threads: usize,
+        access_log: Option<&Path>,
+        sample_rate: f64,
+    ) -> Result<ServerHandle, String> {
+        let mut server = Server::bind(registry, port)?;
+        if let Some(path) = access_log {
+            server = server.with_access_log(path, sample_rate)?;
+        }
         let addr = server.local_addr()?;
         let stop = server.stop_flag();
+        let registry = Arc::clone(&server.registry);
         let join = std::thread::spawn(move || {
             let _ = server.serve_blocking(threads);
         });
         Ok(ServerHandle {
             addr,
+            registry,
             stop,
             join: Some(join),
         })
@@ -817,6 +1389,12 @@ impl ServerHandle {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The served registry (live telemetry knobs included).
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Raises the stop flag and joins the serving thread.
@@ -846,13 +1424,26 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
+    http_request_accept(addr, method, path, body, None)
+}
+
+/// [`http_request`] with an explicit `Accept` header (e.g.
+/// `text/plain` to scrape the Prometheus exposition).
+pub fn http_request_accept(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    accept: Option<&str>,
+) -> Result<(u16, String), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .map_err(|e| e.to_string())?;
     let payload = body.unwrap_or("");
+    let accept_header = accept.map_or(String::new(), |a| format!("Accept: {a}\r\n"));
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n{accept_header}Content-Length: {}\r\nConnection: close\r\n\r\n",
         payload.len()
     );
     stream

@@ -1,0 +1,210 @@
+//! `fairprep tail` — live rendering of the telemetry JSONL streams.
+//!
+//! Both structured event logs the framework writes are line-oriented
+//! JSON: sweep progress heartbeats (`sweep --progress PATH`) and serve
+//! access records (`serve --access-log PATH`). `fairprep tail --file
+//! PATH` renders either stream human-readably, following the file as it
+//! grows (200ms polls) until the producer writes a terminal `done`
+//! event or the process is killed; `--once` renders what is currently
+//! in the file and exits, which is what scripts and CI use.
+//!
+//! Torn trailing lines — a producer killed mid-write — are never
+//! rendered: only newline-terminated lines are consumed, exactly like
+//! the sweep journal reader discards its torn tail.
+
+use crate::args::Invocation;
+use fairprep_trace::json::{parse, Value};
+
+/// Poll interval while following a growing file.
+const POLL_MS: u64 = 200;
+
+/// Renders one JSONL telemetry line for humans. Unknown events and
+/// non-JSON lines pass through untouched, so the command never hides
+/// information it does not understand.
+fn render_line(line: &str) -> String {
+    let Ok(value) = parse(line) else {
+        return line.to_string();
+    };
+    let u = |key: &str| value.get(key).and_then(Value::as_u64_any).unwrap_or(0);
+    let s = |key: &str| value.get(key).and_then(Value::as_str).unwrap_or("-");
+    let secs = |ms: u64| format!("{:.1}s", ms as f64 / 1000.0);
+    match value.get("event").and_then(Value::as_str) {
+        Some("start") => format!("sweep started: {} job(s)", u("total")),
+        Some("heartbeat") => {
+            let ok = value.get("ok").and_then(Value::as_bool).unwrap_or(false);
+            let mut line = format!(
+                "[{}/{}] seed {} {}",
+                u("done") + u("failed"),
+                u("total"),
+                u("seed"),
+                if ok { "ok" } else { "FAILED" }
+            );
+            if value.get("reused").and_then(Value::as_bool) == Some(true) {
+                line.push_str(" (reused)");
+            }
+            let retried = u("retried");
+            if retried > 0 {
+                line.push_str(&format!(" retried={retried}"));
+            }
+            line.push_str(&format!(" elapsed={}", secs(u("elapsed_ms"))));
+            if let Some(eta) = value.get("eta_ms").and_then(Value::as_u64_any) {
+                line.push_str(&format!(" eta={}", secs(eta)));
+            }
+            line
+        }
+        Some("done") => format!(
+            "sweep done: {} ok / {} failed / {} retried in {}",
+            u("done"),
+            u("failed"),
+            u("retried"),
+            secs(u("elapsed_ms"))
+        ),
+        Some("access") => format!(
+            "#{} [worker {}] {} {} -> {} in {}us (read {}us, handle {}us, write {}us)",
+            u("id"),
+            u("worker"),
+            s("method"),
+            s("path"),
+            u("status"),
+            u("latency_us"),
+            u("read_us"),
+            u("handle_us"),
+            u("write_us")
+        ),
+        _ => line.to_string(),
+    }
+}
+
+/// `true` when the line is a terminal event — following stops here.
+fn is_done_event(line: &str) -> bool {
+    parse(line)
+        .ok()
+        .and_then(|v| {
+            v.get("event")
+                .and_then(|e| e.as_str().map(ToString::to_string))
+        })
+        .as_deref()
+        == Some("done")
+}
+
+/// `fairprep tail --file PATH [--once]`.
+pub fn cmd_tail(inv: &Invocation) -> Result<(), String> {
+    use std::io::Write as _;
+    let path = std::path::PathBuf::from(inv.require("file")?);
+    let once = inv.flag("once");
+    let stdout = std::io::stdout();
+    let mut consumed = 0usize;
+    loop {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if once => return Err(format!("cannot read {}: {e}", path.display())),
+            // Following a file the producer has not created yet: wait.
+            Err(_) => {
+                std::thread::sleep(std::time::Duration::from_millis(POLL_MS));
+                continue;
+            }
+        };
+        let fresh = text.get(consumed..).unwrap_or("");
+        // Consume only newline-terminated lines; a torn tail stays in
+        // the file for the next poll.
+        let complete = fresh.rfind('\n').map_or(0, |i| i + 1);
+        let mut finished = false;
+        for line in fresh.get(..complete).unwrap_or("").lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // A closed downstream pipe (`fairprep tail | head`) is a
+            // normal way to stop following, not an error.
+            if writeln!(stdout.lock(), "{}", render_line(line)).is_err() {
+                return Ok(());
+            }
+            if is_done_event(line) {
+                finished = true;
+            }
+        }
+        consumed += complete;
+        if once || finished {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(POLL_MS));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_event_kind() {
+        let heartbeat = r#"{"event":"heartbeat","seed":"7","ok":true,"reused":true,"done":"2","failed":"0","retried":"1","total":"4","elapsed_ms":"1500","eta_ms":"1500"}"#;
+        let line = render_line(heartbeat);
+        assert!(line.contains("[2/4]"), "{line}");
+        assert!(line.contains("seed 7 ok (reused)"), "{line}");
+        assert!(line.contains("retried=1"), "{line}");
+        assert!(line.contains("elapsed=1.5s"), "{line}");
+        assert!(line.contains("eta=1.5s"), "{line}");
+
+        let start = render_line(r#"{"event":"start","total":"4"}"#);
+        assert_eq!(start, "sweep started: 4 job(s)");
+
+        let done = render_line(
+            r#"{"event":"done","done":"3","failed":"1","retried":"0","total":"4","elapsed_ms":"2000"}"#,
+        );
+        assert_eq!(done, "sweep done: 3 ok / 1 failed / 0 retried in 2.0s");
+
+        let access = render_line(
+            r#"{"event":"access","id":"12","worker":"3","method":"POST","path":"/predict/x","status":"200","latency_us":"850","read_us":"10","handle_us":"800","write_us":"40"}"#,
+        );
+        assert!(
+            access.contains("#12 [worker 3] POST /predict/x -> 200"),
+            "{access}"
+        );
+
+        // Non-JSON and unknown events pass through untouched.
+        assert_eq!(render_line("not json"), "not json");
+        assert_eq!(
+            render_line(r#"{"event":"custom"}"#),
+            r#"{"event":"custom"}"#
+        );
+    }
+
+    #[test]
+    fn done_event_is_terminal() {
+        assert!(is_done_event(r#"{"event":"done","done":"1"}"#));
+        assert!(!is_done_event(r#"{"event":"heartbeat"}"#));
+        assert!(!is_done_event("garbage"));
+    }
+
+    #[test]
+    fn once_mode_renders_current_content_and_skips_torn_tail() {
+        let dir = std::env::temp_dir().join("fairprep_tail_once_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("progress.jsonl");
+        std::fs::write(
+            &path,
+            "{\"event\":\"start\",\"total\":\"2\"}\n{\"event\":\"heartbeat\",\"seed\":\"1\",\"ok\":true,\"done\":\"1\",\"failed\":\"0\",\"retried\":\"0\",\"total\":\"2\",\"elapsed_ms\":\"10\"}\n{\"event\":\"torn",
+        )
+        .unwrap();
+        let inv = crate::args::parse(&[
+            "tail".to_string(),
+            "--file".to_string(),
+            path.display().to_string(),
+            "--once".to_string(),
+        ])
+        .unwrap();
+        cmd_tail(&inv).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn once_mode_requires_the_file() {
+        let inv = crate::args::parse(&[
+            "tail".to_string(),
+            "--file".to_string(),
+            "/nonexistent/fairprep-tail.jsonl".to_string(),
+            "--once".to_string(),
+        ])
+        .unwrap();
+        assert!(cmd_tail(&inv).is_err());
+    }
+}

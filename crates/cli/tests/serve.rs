@@ -252,6 +252,140 @@ fn metrics_report_decision_rates_and_psi_drift() {
     server.stop();
 }
 
+/// E12: the rolling-window monitors catch a mid-stream traffic shift
+/// that the cumulative metrics dilute into silence. After 7,600
+/// in-distribution rows, 400 rows of collapsed (row-0-only) traffic are
+/// 5% of lifetime — lifetime PSI stays under the warn threshold — but
+/// 40% of the last-1k window, which must warn.
+#[test]
+fn rolling_windows_catch_shift_that_lifetime_metrics_dilute() {
+    let (server, fingerprint) = spawn_german(2);
+    let path = format!("/predict/{fingerprint}");
+    let data = fairprep_cli::golden::golden_dataset("german").unwrap();
+    let n = data.n_rows();
+
+    // Phase 1: 76 batches x 100 in-distribution rows (cycling the
+    // training rows).
+    for batch in 0..76 {
+        let indices: Vec<usize> = (0..100).map(|i| (batch * 100 + i) % n).collect();
+        let (status, body) = http_request(
+            server.addr(),
+            "POST",
+            &path,
+            Some(&rows_body(&data, &indices)),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+    // Phase 2: the shift — 4 batches of 100 copies of row 0.
+    for _ in 0..4 {
+        let indices = vec![0usize; 100];
+        let (status, body) = http_request(
+            server.addr(),
+            "POST",
+            &path,
+            Some(&rows_body(&data, &indices)),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+
+    let (_, metrics) = http_request(server.addr(), "GET", "/metrics", None).unwrap();
+    let doc = parse(&metrics).unwrap();
+    let (_, pipe) = match doc.get("pipelines") {
+        Some(Value::Obj(members)) => members.first().unwrap().clone(),
+        other => panic!("no pipelines object: {other:?}"),
+    };
+    let warn_count = |scope: &Value| {
+        scope
+            .get("drift")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .filter(|d| d.get("warn") == Some(&Value::Bool(true)))
+            .count()
+    };
+    let max_psi = |scope: &Value| {
+        scope
+            .get("drift")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(|d| d.get("psi").and_then(Value::as_f64))
+            .fold(0.0f64, f64::max)
+    };
+
+    // Cumulative view: quiet. The 400 shifted rows are 5% of 8,000.
+    assert_eq!(warn_count(&pipe), 0, "lifetime must stay quiet: {metrics}");
+
+    // Rolling 1k window: 40% shifted traffic — the alarm fires.
+    let window_1k = pipe.get("window_1k").unwrap();
+    assert_eq!(
+        window_1k.get("requests").and_then(Value::as_u64_any),
+        Some(80),
+        "{metrics}"
+    );
+    assert!(
+        warn_count(window_1k) > 0,
+        "window_1k must warn on the shift: {metrics}"
+    );
+    assert!(max_psi(window_1k) > max_psi(&pipe), "{metrics}");
+
+    // Windowed latency and fairness numbers are live alongside.
+    assert!(
+        window_1k
+            .get("latency")
+            .and_then(|l| l.get("p50_us"))
+            .and_then(Value::as_u64_any)
+            .unwrap()
+            > 0
+    );
+    let w_decisions = window_1k.get("decisions").unwrap();
+    assert!(w_decisions.get("disparate_impact").is_some(), "{metrics}");
+    println!(
+        "E12 german: lifetime max PSI {:.4} ({} warns), window_1k max PSI {:.4} ({} warns)",
+        max_psi(&pipe),
+        warn_count(&pipe),
+        max_psi(window_1k),
+        warn_count(window_1k)
+    );
+    server.stop();
+}
+
+/// Renders dataset rows `indices` as one batched predict body.
+fn rows_body(data: &fairprep_data::dataset::BinaryLabelDataset, indices: &[usize]) -> String {
+    use fairprep_data::schema::Role;
+    use fairprep_trace::json::obj;
+    let rows: Vec<Value> = indices
+        .iter()
+        .map(|&i| {
+            let members = data
+                .schema()
+                .fields()
+                .iter()
+                .filter(|f| f.role != Role::Label)
+                .map(|f| {
+                    let cell =
+                        data.frame()
+                            .column(&f.name)
+                            .map_or(Value::Null, |col| match col.get(i) {
+                                fairprep_data::column::Value::Numeric(x) if !x.is_nan() => {
+                                    Value::Num(x)
+                                }
+                                fairprep_data::column::Value::Categorical(s) => {
+                                    Value::Str(s.to_string())
+                                }
+                                _ => Value::Null,
+                            });
+                    (f.name.as_str(), cell)
+                })
+                .collect();
+            obj(members)
+        })
+        .collect();
+    obj(vec![("rows", Value::Arr(rows))]).to_json()
+}
+
 /// Renders dataset row `i` as a single-row predict body (mirrors the
 /// golden module's private row renderer through the public schema).
 fn row_body(data: &fairprep_data::dataset::BinaryLabelDataset, i: usize) -> String {

@@ -49,6 +49,14 @@ pub struct SweepPlan<'a> {
     pub faults: Option<FaultPlan>,
     /// Retry budget per seed for transient failures (0 = no retries).
     pub max_retries: u32,
+    /// Live progress heartbeats (`sweep --progress PATH`): every finished
+    /// job — executed or journal-restored — appends one JSONL heartbeat
+    /// with running done/failed/retried tallies and an ETA, rendered live
+    /// by `fairprep tail`. `None` disables progress reporting. Heartbeats
+    /// are observability only: they never influence outcomes, journaling,
+    /// or the tracer, so the manifest stays byte-identical with and
+    /// without a sink attached.
+    pub progress: Option<&'a fairprep_trace::telemetry::ProgressSink>,
 }
 
 /// The terminal outcome of one seed's job.
@@ -116,6 +124,11 @@ pub fn run_sweep(
                 .map(SeedOutcome::from_entry)
         })
         .collect();
+    if let Some(progress) = plan.progress {
+        for restored in outcomes.iter().flatten() {
+            progress.job_finished(restored.seed, restored.ok, restored.retries, true);
+        }
+    }
     let pending: Vec<u64> = plan
         .seeds
         .iter()
@@ -156,6 +169,9 @@ pub fn run_sweep(
             tracer.incr(Counter::JobsFailed);
             tracer.record_failure(format!("job {i}: {}", outcome.error));
         }
+    }
+    if let Some(progress) = plan.progress {
+        progress.finish();
     }
     Ok(merged)
 }
@@ -206,6 +222,11 @@ fn run_one(
     let journal_error = plan
         .journal
         .and_then(|j| j.append(&outcome.to_entry(&plan.config)).err());
+    // Heartbeat after the checkpoint: a tailing observer never sees a job
+    // reported done that a kill right now would force to rerun.
+    if let Some(progress) = plan.progress {
+        progress.job_finished(seed, outcome.ok, outcome.retries, false);
+    }
     (outcome, journal_error)
 }
 
@@ -256,6 +277,7 @@ mod tests {
             journal,
             faults: None,
             max_retries: 2,
+            progress: None,
         }
     }
 
@@ -416,6 +438,74 @@ mod tests {
             tracer.counter(Counter::JobsFailed),
             tracer2.counter(Counter::JobsFailed)
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_sink_sees_every_job_and_restored_jobs_are_marked_reused() {
+        use fairprep_trace::json::{parse, Value};
+        use fairprep_trace::telemetry::ProgressSink;
+        let dir = std::env::temp_dir().join(format!("fairprep-sweepp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("sweep.journal.jsonl");
+        let _ = std::fs::remove_file(&journal_path);
+        let seeds = [1u64, 2, 3];
+
+        let events_of = |path: &std::path::Path| -> Vec<Value> {
+            std::fs::read_to_string(path)
+                .unwrap()
+                .lines()
+                .map(|l| parse(l).unwrap())
+                .collect()
+        };
+
+        // Fresh sweep: start, one heartbeat per seed (none reused), done.
+        let progress_path = dir.join("fresh.progress.jsonl");
+        {
+            let journal = SweepJournal::open(&journal_path).unwrap();
+            let sink = ProgressSink::create(&progress_path, seeds.len() as u64).unwrap();
+            let mut p = plan(&seeds, Some(&journal));
+            p.progress = Some(&sink);
+            run_sweep(build, &p, &Tracer::disabled()).unwrap();
+        }
+        let events = events_of(&progress_path);
+        assert_eq!(events.len(), 2 + seeds.len());
+        let beats: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("event").and_then(Value::as_str) == Some("heartbeat"))
+            .collect();
+        assert_eq!(beats.len(), seeds.len());
+        assert!(beats
+            .iter()
+            .all(|b| b.get("reused") == Some(&Value::Bool(false))));
+        let done = events.last().unwrap();
+        assert_eq!(done.get("event").and_then(Value::as_str), Some("done"));
+        assert_eq!(done.get("done").and_then(Value::as_u64_any), Some(3));
+        assert_eq!(done.get("failed").and_then(Value::as_u64_any), Some(0));
+
+        // Resumed sweep: every heartbeat is a journal restoration.
+        let progress_path = dir.join("resume.progress.jsonl");
+        {
+            let journal = SweepJournal::open(&journal_path).unwrap();
+            let sink = ProgressSink::create(&progress_path, seeds.len() as u64).unwrap();
+            let mut p = plan(&seeds, Some(&journal));
+            p.progress = Some(&sink);
+            run_sweep(
+                |_| -> Result<Experiment> { panic!("resume executed a journaled job") },
+                &p,
+                &Tracer::disabled(),
+            )
+            .unwrap();
+        }
+        let events = events_of(&progress_path);
+        let beats: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("event").and_then(Value::as_str) == Some("heartbeat"))
+            .collect();
+        assert_eq!(beats.len(), seeds.len());
+        assert!(beats
+            .iter()
+            .all(|b| b.get("reused") == Some(&Value::Bool(true))));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

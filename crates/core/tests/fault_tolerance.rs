@@ -45,6 +45,7 @@ fn sweep_manifest(
         journal,
         faults: Some(faults),
         max_retries: 2,
+        progress: None,
     };
     let outcomes = run_sweep(build, &plan, &tracer).expect("journal I/O");
     let digest: Vec<(String, f64)> = outcomes

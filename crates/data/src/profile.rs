@@ -719,21 +719,55 @@ fn column_psi(
 /// smoothing the lifecycle profiler uses.
 #[must_use]
 pub fn psi_from_counts(base: &[u64], cur: &[u64]) -> f64 {
-    let k = base.len();
+    psi_against_fractions(&smoothed_fractions(base), cur)
+}
+
+/// The Laplace-smoothed bin fractions `(n_i + 0.5) / (N + 0.5 k)` of a
+/// count vector, or an empty vector when there are fewer than two bins
+/// or no observations (the degenerate cases where PSI is defined as 0).
+///
+/// Baselines are fixed at seal time, so a consumer scoring live traffic
+/// against a sealed training profile computes this **once per pipeline
+/// at registry load** and hands the cached fractions to
+/// [`psi_against_fractions`] on every scrape, instead of re-smoothing
+/// the training histogram each time.
+#[must_use]
+pub fn smoothed_fractions(counts: &[u64]) -> Vec<f64> {
+    let k = counts.len();
     if k < 2 {
+        return Vec::new();
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    counts
+        .iter()
+        .map(|&n| (n as f64 + 0.5) / (total as f64 + 0.5 * k as f64))
+        .collect()
+}
+
+/// PSI of a live count vector against pre-smoothed baseline fractions
+/// (from [`smoothed_fractions`]). Returns 0 when the baseline is empty
+/// or degenerate, the bin counts disagree, or the live side has no
+/// observations. `psi_from_counts(base, cur)` is exactly
+/// `psi_against_fractions(&smoothed_fractions(base), cur)` — same
+/// smoothing, same operation order, bit-identical results.
+#[must_use]
+pub fn psi_against_fractions(base_fracs: &[f64], cur: &[u64]) -> f64 {
+    let k = base_fracs.len();
+    if k < 2 || cur.len() != k {
         return 0.0;
     }
-    let base_total: u64 = base.iter().sum();
     let cur_total: u64 = cur.iter().sum();
-    if base_total == 0 || cur_total == 0 {
+    if cur_total == 0 {
         return 0.0;
     }
-    let smooth = |n: u64, total: u64| (n as f64 + 0.5) / (total as f64 + 0.5 * k as f64);
-    base.iter()
+    base_fracs
+        .iter()
         .zip(cur)
-        .map(|(&b, &c)| {
-            let p = smooth(b, base_total);
-            let q = smooth(c, cur_total);
+        .map(|(&p, &c)| {
+            let q = (c as f64 + 0.5) / (cur_total as f64 + 0.5 * k as f64);
             (q - p) * (q / p).ln()
         })
         .sum()
@@ -982,5 +1016,28 @@ mod tests {
             .warnings("a", "b")
             .iter()
             .any(|w| w.contains("missingness")));
+    }
+
+    #[test]
+    fn cached_baseline_fractions_reproduce_psi_bit_exactly() {
+        let base = [40u64, 30, 20, 10, 0];
+        let fracs = smoothed_fractions(&base);
+        assert_eq!(fracs.len(), base.len());
+        for cur in [
+            [40u64, 30, 20, 10, 0],
+            [0, 0, 0, 0, 100],
+            [1, 1, 1, 1, 1],
+            [7, 0, 0, 93, 0],
+        ] {
+            let direct = psi_from_counts(&base, &cur);
+            let cached = psi_against_fractions(&fracs, &cur);
+            assert_eq!(direct.to_bits(), cached.to_bits(), "{cur:?}");
+        }
+        // Degenerate shapes stay defined as zero.
+        assert!(smoothed_fractions(&[5]).is_empty());
+        assert!(smoothed_fractions(&[0, 0]).is_empty());
+        assert_eq!(psi_against_fractions(&[], &[1, 2]), 0.0);
+        assert_eq!(psi_against_fractions(&fracs, &[1, 2]), 0.0);
+        assert_eq!(psi_against_fractions(&fracs, &[0, 0, 0, 0, 0]), 0.0);
     }
 }

@@ -1,0 +1,191 @@
+//! Prometheus text-exposition rendering (format version 0.0.4).
+//!
+//! A tiny, dependency-free builder for the plain-text scrape format:
+//! `# HELP` / `# TYPE` headers per metric family followed by
+//! `name{label="value"} 123` samples. The scoring service renders its
+//! `/metrics` snapshot through this module when the client's `Accept`
+//! header asks for `text/plain` (or OpenMetrics); the JSON view remains
+//! the default. Rendering is scrape-time-only code: it allocates freely
+//! and never runs on the request hot path.
+//!
+//! The output is deterministic — families and samples appear exactly in
+//! the order the caller emits them — which is what lets the committed
+//! golden fixture (`tests/golden_serve/german.metrics.prom`) be
+//! compared byte-for-byte against a live in-process server.
+
+/// The `Content-Type` a 0.0.4 text-exposition response must carry.
+pub const TEXT_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Escapes a HELP text: backslashes and newlines only, per the spec.
+#[must_use]
+pub fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslashes, double quotes, and newlines.
+#[must_use]
+pub fn escape_label_value(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// An incremental text-exposition writer. Emit families with
+/// [`Exposition::family`], then their samples; [`Exposition::finish`]
+/// returns the rendered page.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty page.
+    #[must_use]
+    pub fn new() -> Exposition {
+        Exposition { out: String::new() }
+    }
+
+    /// Starts a metric family: writes its `# HELP` and `# TYPE` lines.
+    /// `kind` is the Prometheus metric type (`counter`, `gauge`, ...).
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(&escape_help(help));
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    fn sample_prefix(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (key, value)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(key);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label_value(value));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+    }
+
+    /// Appends one integer-valued sample.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample_prefix(name, labels);
+        let mut buf = [0u8; 20];
+        self.out.push_str(format_u64(value, &mut buf));
+        self.out.push('\n');
+    }
+
+    /// Appends one float-valued sample. Non-finite values render as
+    /// `NaN` / `+Inf` / `-Inf`, which the exposition format permits.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.sample_prefix(name, labels);
+        if value.is_nan() {
+            self.out.push_str("NaN");
+        } else if value.is_infinite() {
+            self.out.push_str(if value > 0.0 { "+Inf" } else { "-Inf" });
+        } else {
+            let rendered = format!("{value:?}");
+            self.out.push_str(&rendered);
+        }
+        self.out.push('\n');
+    }
+
+    /// The rendered page.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Formats a u64 into a caller-provided buffer without heap allocation.
+fn format_u64(mut value: u64, buf: &mut [u8; 20]) -> &str {
+    let mut at = buf.len();
+    loop {
+        at -= 1;
+        if let Some(cell) = buf.get_mut(at) {
+            *cell = b'0' + (value % 10) as u8;
+        }
+        value /= 10;
+        if value == 0 || at == 0 {
+            break;
+        }
+    }
+    buf.get(at..)
+        .and_then(|digits| std::str::from_utf8(digits).ok())
+        .unwrap_or("0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_families_and_samples_in_emission_order() {
+        let mut exp = Exposition::new();
+        exp.family("fairprep_requests_total", "counter", "Requests served.");
+        exp.sample_u64(
+            "fairprep_requests_total",
+            &[("pipeline", "fnv1a64:abc")],
+            41,
+        );
+        exp.family("fairprep_disparate_impact", "gauge", "DI ratio.");
+        exp.sample_f64(
+            "fairprep_disparate_impact",
+            &[("pipeline", "fnv1a64:abc"), ("window", "lifetime")],
+            0.85,
+        );
+        let page = exp.finish();
+        assert_eq!(
+            page,
+            "# HELP fairprep_requests_total Requests served.\n\
+             # TYPE fairprep_requests_total counter\n\
+             fairprep_requests_total{pipeline=\"fnv1a64:abc\"} 41\n\
+             # HELP fairprep_disparate_impact DI ratio.\n\
+             # TYPE fairprep_disparate_impact gauge\n\
+             fairprep_disparate_impact{pipeline=\"fnv1a64:abc\",window=\"lifetime\"} 0.85\n"
+        );
+    }
+
+    #[test]
+    fn bare_samples_have_no_brace_block() {
+        let mut exp = Exposition::new();
+        exp.sample_u64("fairprep_pipelines", &[], 2);
+        assert_eq!(exp.finish(), "fairprep_pipelines 2\n");
+    }
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_newlines() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(escape_label_value("v\"w\\x\ny"), "v\\\"w\\\\x\\ny");
+    }
+
+    #[test]
+    fn u64_formatting_round_trips() {
+        let mut buf = [0u8; 20];
+        assert_eq!(format_u64(0, &mut buf), "0");
+        let mut buf = [0u8; 20];
+        assert_eq!(format_u64(1234567, &mut buf), "1234567");
+        let mut buf = [0u8; 20];
+        assert_eq!(format_u64(u64::MAX, &mut buf), "18446744073709551615");
+    }
+
+    #[test]
+    fn non_finite_floats_render_spec_tokens() {
+        let mut exp = Exposition::new();
+        exp.sample_f64("m", &[], f64::NAN);
+        exp.sample_f64("m", &[], f64::INFINITY);
+        exp.sample_f64("m", &[], f64::NEG_INFINITY);
+        assert_eq!(exp.finish(), "m NaN\nm +Inf\nm -Inf\n");
+    }
+}

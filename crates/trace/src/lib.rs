@@ -25,10 +25,12 @@
 //! the lifecycle, while parallel fold jobs touch atomic counters alone —
 //! which is why the canonical manifest cannot observe the thread budget.
 
+pub mod exposition;
 pub mod fault;
 pub mod json;
 pub mod manifest;
 pub mod profile;
+pub mod telemetry;
 
 pub use fault::{FaultArm, FaultKind, FaultPlan, INJECTED_PANIC, INJECTED_TRANSIENT};
 pub use manifest::{ManifestConfig, RunManifest, SpanNode};

@@ -1,0 +1,132 @@
+//! Property tests for the sharded telemetry primitives: merged shard
+//! totals must be exactly the sequential totals at every worker count —
+//! sharding is a performance layout, never an accuracy trade — and ring
+//! windows must retain exactly the last `capacity` observations under
+//! sequential load and exactly the right count under concurrent load.
+
+use fairprep_trace::telemetry::{
+    log2_bucket, RingWindow, ShardedCounter, ShardedHistogram, HISTOGRAM_BUCKETS,
+};
+
+/// Deterministic per-thread operation stream (an LCG; no external rand).
+fn lcg_next(state: u64) -> u64 {
+    state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+fn thread_stream(thread: usize, ops: usize) -> Vec<u64> {
+    let mut state = 0x9E3779B97F4A7C15u64.wrapping_add(thread as u64);
+    (0..ops)
+        .map(|_| {
+            state = lcg_next(state);
+            state
+        })
+        .collect()
+}
+
+/// The core shard-merge property: run the same deterministic operation
+/// streams on 1 thread and on 8 threads (each thread using its own
+/// worker index, i.e. its own shards) and demand the merged counter
+/// total and histogram snapshot equal the sequentially computed truth.
+#[test]
+fn shard_merged_totals_equal_sequential_totals_at_1_and_8_threads() {
+    const OPS: usize = 20_000;
+    for threads in [1usize, 8] {
+        let streams: Vec<Vec<u64>> = (0..threads).map(|t| thread_stream(t, OPS)).collect();
+
+        // Sequential ground truth.
+        let mut expected_total = 0u64;
+        let mut expected_buckets = [0u64; HISTOGRAM_BUCKETS];
+        let mut expected_max = 0u64;
+        for stream in &streams {
+            for &raw in stream {
+                let amount = raw % 7;
+                let latency = raw % 1_000_000;
+                expected_total += amount;
+                expected_buckets[log2_bucket(latency)] += 1;
+                expected_max = expected_max.max(latency);
+            }
+        }
+
+        // Concurrent run: one worker index per thread.
+        let counter = ShardedCounter::new(16);
+        let histogram = ShardedHistogram::new(16);
+        std::thread::scope(|scope| {
+            for (t, stream) in streams.iter().enumerate() {
+                let counter = &counter;
+                let histogram = &histogram;
+                scope.spawn(move || {
+                    for &raw in stream {
+                        counter.add(t, raw % 7);
+                        histogram.record(t, raw % 1_000_000);
+                    }
+                });
+            }
+        });
+
+        assert_eq!(counter.total(), expected_total, "threads={threads}");
+        let snap = histogram.snapshot();
+        assert_eq!(snap.count, (threads * OPS) as u64, "threads={threads}");
+        assert_eq!(snap.max, expected_max, "threads={threads}");
+        assert_eq!(snap.buckets, expected_buckets, "threads={threads}");
+    }
+}
+
+/// Worker indices beyond the shard count wrap around instead of
+/// dropping samples: 64 logical workers on 16 shards lose nothing.
+#[test]
+fn worker_indices_beyond_shard_count_wrap_without_loss() {
+    let counter = ShardedCounter::new(16);
+    std::thread::scope(|scope| {
+        for worker in 0..64usize {
+            let counter = &counter;
+            scope.spawn(move || {
+                for _ in 0..1_000 {
+                    counter.incr(worker);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.total(), 64_000);
+}
+
+/// Sequential ring recording keeps exactly the last `capacity` values
+/// (the rolling-window contract the fairness monitors depend on).
+#[test]
+fn ring_window_retains_exactly_the_last_capacity_values() {
+    let ring = RingWindow::new(100);
+    for v in 0..250u64 {
+        ring.record(v);
+    }
+    assert_eq!(ring.recorded(), 250);
+    let mut snapshot = ring.snapshot();
+    snapshot.sort_unstable();
+    let expected: Vec<u64> = (150..250).collect();
+    assert_eq!(snapshot, expected);
+}
+
+/// Concurrent ring recording never loses a slot: the lifetime sequence
+/// counter equals the number of records, and a full ring snapshot
+/// always returns `capacity` values drawn from the recorded set.
+#[test]
+fn ring_window_concurrent_records_fill_every_slot() {
+    let ring = RingWindow::new(256);
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let ring = &ring;
+            scope.spawn(move || {
+                for i in 0..5_000u64 {
+                    ring.record(t as u64 * 10_000 + i);
+                }
+            });
+        }
+    });
+    assert_eq!(ring.recorded(), 40_000);
+    let snapshot = ring.snapshot();
+    assert_eq!(snapshot.len(), 256);
+    for v in snapshot {
+        let (t, i) = (v / 10_000, v % 10_000);
+        assert!(t < 8 && i < 5_000, "impossible ring value {v}");
+    }
+}

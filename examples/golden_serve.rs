@@ -14,7 +14,7 @@
 //! byte of drift in the serving path fails the build.
 
 use fairprep_cli::golden::{golden_bodies, golden_pipeline, GOLDEN_DATASETS};
-use fairprep_cli::serve::{http_request, Registry, ServerHandle};
+use fairprep_cli::serve::{http_request, http_request_accept, Registry, ServerHandle};
 use fairprep_trace::json::{obj, Value};
 
 fn main() {
@@ -73,4 +73,35 @@ fn main() {
         std::fs::write(&path, &fixture).expect("cannot write fixture");
         println!("{} ({} bytes)", path.display(), fixture.len());
     }
+
+    // Golden Prometheus exposition: replay the german golden requests
+    // sequentially on one worker with a pinned fake latency, then scrape
+    // `/metrics` as Prometheus text. Everything else in the exposition —
+    // counters, rings, decision rates, PSI — is deterministic, so the
+    // committed bytes replay exactly on any machine.
+    let sealed = golden_pipeline("german").expect("golden pipeline");
+    let predict_path = format!("/predict/{}", sealed.fingerprint.replace(':', "-"));
+    let bodies = golden_bodies("german").expect("golden requests");
+    let mut registry = Registry::new();
+    registry.insert(sealed);
+    let server = ServerHandle::spawn(registry, 0, 1).expect("spawn server");
+    server.registry().set_fixed_latency_us(1000);
+    for body in &bodies {
+        let (status, _) =
+            http_request(server.addr(), "POST", &predict_path, Some(body)).expect("request");
+        assert_eq!(status, 200);
+    }
+    let (status, exposition) = http_request_accept(
+        server.addr(),
+        "GET",
+        "/metrics",
+        None,
+        Some("text/plain; version=0.0.4"),
+    )
+    .expect("scrape");
+    assert_eq!(status, 200);
+    server.stop();
+    let path = out_dir.join("german.metrics.prom");
+    std::fs::write(&path, &exposition).expect("cannot write exposition fixture");
+    println!("{} ({} bytes)", path.display(), exposition.len());
 }

@@ -1,0 +1,77 @@
+//! Golden Prometheus exposition of the scoring service.
+//!
+//! Replays the german golden requests sequentially on one worker with a
+//! pinned fake latency — the only nondeterministic input — and demands
+//! the `/metrics` Prometheus scrape match the committed fixture
+//! byte-for-byte. Any drift in metric names, label sets, number
+//! formatting, PSI arithmetic, or rolling-window bookkeeping fails the
+//! build. Regenerate with `cargo run --release --example golden_serve`
+//! when a change is intentional.
+//!
+//! The same run also pins the content-negotiation contract: `/metrics`
+//! answers JSON by default and Prometheus text only when asked.
+
+use fairprep_cli::golden::{golden_bodies, golden_pipeline};
+use fairprep_cli::serve::{http_request, http_request_accept, Registry, ServerHandle};
+use fairprep_trace::json::parse;
+
+#[test]
+fn golden_prometheus_exposition_replays_byte_identically() {
+    let expected = std::fs::read_to_string("tests/golden_serve/german.metrics.prom")
+        .expect("missing exposition fixture");
+
+    let sealed = golden_pipeline("german").unwrap();
+    let predict_path = format!("/predict/{}", sealed.fingerprint.replace(':', "-"));
+    let bodies = golden_bodies("german").unwrap();
+    let mut registry = Registry::new();
+    registry.insert(sealed);
+    let server = ServerHandle::spawn(registry, 0, 1).unwrap();
+    server.registry().set_fixed_latency_us(1000);
+    for body in &bodies {
+        let (status, response) =
+            http_request(server.addr(), "POST", &predict_path, Some(body)).unwrap();
+        assert_eq!(status, 200, "{response}");
+    }
+
+    // Default (no Accept header): the JSON document, as always.
+    let (status, json_body) = http_request(server.addr(), "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let doc = parse(&json_body).expect("default /metrics must stay JSON");
+    assert!(doc.get("pipelines").is_some());
+
+    // An explicit JSON Accept also gets JSON.
+    let (_, negotiated_json) = http_request_accept(
+        server.addr(),
+        "GET",
+        "/metrics",
+        None,
+        Some("application/json"),
+    )
+    .unwrap();
+    assert_eq!(negotiated_json, json_body);
+
+    // Prometheus text exposition on request — byte-identical to the
+    // committed fixture.
+    let (status, exposition) = http_request_accept(
+        server.addr(),
+        "GET",
+        "/metrics",
+        None,
+        Some("text/plain; version=0.0.4"),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        exposition, expected,
+        "Prometheus exposition drifted from the committed fixture"
+    );
+    // Minimal syntax sanity on top of the byte comparison.
+    assert!(exposition.starts_with("# HELP fairprep_pipelines "));
+    for line in exposition.lines() {
+        assert!(
+            line.starts_with("# HELP ") || line.starts_with("# TYPE ") || line.contains(' '),
+            "malformed exposition line: {line}"
+        );
+    }
+    server.stop();
+}
