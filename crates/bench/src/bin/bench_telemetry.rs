@@ -11,7 +11,9 @@
 //!    (counters, histogram, rings, per-column drift) is within 5% of
 //!    the same server with recording disabled (the
 //!    `Registry::set_recording(false)` knob scores requests but touches
-//!    no telemetry state).
+//!    no telemetry state) — and stays within the same 5% budget with a
+//!    representative alert set armed (disparate impact, p99 latency,
+//!    error rate, and one windowed PSI alert evaluated per request).
 //!
 //! Writes `results/BENCH_telemetry.json`; like every other harness, the
 //! JSON records `available_cores` and `build_profile` so provenance is
@@ -149,6 +151,50 @@ fn main() {
         "instrumented serving lost {overhead_pct:.2}% throughput (budget: 5%)"
     );
 
+    // ---- Phase 3: serving with a representative alert set armed ---------
+    eprintln!("phase 3: serve throughput with alerts armed (best of 3)...");
+    let sealed = golden_pipeline("german").expect("golden pipeline");
+    let mut registry = Registry::new();
+    registry.insert(sealed);
+    let psi_column = registry
+        .drift_columns()
+        .into_iter()
+        .next()
+        .expect("drift column");
+    let spec_text = format!(
+        r#"[{{"name": "di-floor", "metric": "disparate_impact", "window": "1k",
+             "trip": 0.05, "clear": 0.1, "for": 1000000}},
+           {{"name": "latency-p99", "metric": "p99_latency_us", "window": "1k",
+             "trip": 1e12, "for": 1000000}},
+           {{"name": "error-burst", "metric": "error_rate", "window": "1k",
+             "trip": 0.5, "clear": 0.25, "for": 1000000}},
+           {{"name": "drift", "metric": "psi", "column": "{psi_column}",
+             "window": "1k", "trip": 1e12, "for": 1000000}}]"#
+    );
+    let specs =
+        fairprep_trace::alert::parse_specs(&spec_text, &fairprep_cli::serve::WINDOW_LABELS)
+            .expect("alert specs");
+    registry.arm_alerts(&specs).expect("arm alerts");
+    let server = ServerHandle::spawn(registry, 0, cores.max(2)).expect("spawn server");
+    let addr = server.addr();
+    let _ = http_request(addr, "POST", &path, Some(&body)).expect("warmup");
+    let mut alerts_armed_rps = 0.0f64;
+    for round in 0..3 {
+        let rps = serve_rps(addr, &path, &body, clients, per_client);
+        eprintln!("  round {round}: alerts armed {rps:.0} req/s");
+        alerts_armed_rps = alerts_armed_rps.max(rps);
+    }
+    server.stop();
+    let alerts_overhead_pct = (uninstrumented_rps - alerts_armed_rps) / uninstrumented_rps * 100.0;
+    eprintln!(
+        "  best: alerts armed {alerts_armed_rps:.0} req/s vs uninstrumented \
+         {uninstrumented_rps:.0} req/s ({alerts_overhead_pct:+.2}% overhead)"
+    );
+    assert!(
+        alerts_overhead_pct < 5.0,
+        "alert-armed serving lost {alerts_overhead_pct:.2}% throughput (budget: 5%)"
+    );
+
     // ---- JSON ------------------------------------------------------------
     let mut json = String::new();
     let _ = write!(
@@ -164,7 +210,9 @@ fn main() {
          \"clients\": {clients},\n    \"requests_per_client\": {per_client},\n    \
          \"instrumented_rps\": {instrumented_rps:.1},\n    \
          \"uninstrumented_rps\": {uninstrumented_rps:.1},\n    \
-         \"overhead_pct\": {overhead_pct:.3},\n    \"budget_pct\": 5.0\n  }}\n}}\n",
+         \"overhead_pct\": {overhead_pct:.3},\n    \
+         \"alerts_armed_rps\": {alerts_armed_rps:.1},\n    \
+         \"alerts_overhead_pct\": {alerts_overhead_pct:.3},\n    \"budget_pct\": 5.0\n  }}\n}}\n",
         !args.full
     );
     std::fs::create_dir_all(&args.out_dir).expect("results dir");

@@ -42,6 +42,8 @@ USAGE:
                                               ingest experiments
   fairprep serve --registry DIR [--port P] [--threads N]
                  [--access-log PATH [--sample-rate R]]
+                 [--alerts SPECS.json] [--webhook URL]
+                 [--canary FP [--canary-sample R]]
                                               serve every sealed pipeline in DIR
                                               over HTTP: POST /predict/<fingerprint>
                                               scores JSON rows through the frozen
@@ -54,7 +56,16 @@ USAGE:
                                               Prometheus text exposition (send
                                               Accept: text/plain). --access-log
                                               appends one JSONL record per
-                                              (sampled) request
+                                              (sampled) request. --alerts arms
+                                              declarative thresholds (windowed
+                                              DI / PSI / rate gap / p99 / error
+                                              rate) with trip/clear hysteresis;
+                                              transitions emit `alert` JSONL
+                                              events and optionally POST to
+                                              --webhook. --canary shadow-scores
+                                              sampled traffic through a second
+                                              sealed pipeline and feeds the
+                                              canary_divergence alert metric
   fairprep tail --file PATH [--once]          render a telemetry JSONL stream
                                               (sweep --progress heartbeats or
                                               serve --access-log records) live;
@@ -661,12 +672,28 @@ fn cmd_serve(inv: &Invocation) -> Result<(), String> {
     let registry_dir = inv.require("registry")?;
     let port = inv.parse_or::<u16>("port", 8319)?;
     let threads = inv.parse_or::<usize>("threads", 4)?;
-    let registry = crate::serve::Registry::open(std::path::Path::new(registry_dir))?;
+    let mut registry = crate::serve::Registry::open(std::path::Path::new(registry_dir))?;
     if registry.is_empty() {
         return Err(format!(
             "no sealed pipelines (*.json) found in {registry_dir}; \
              create some with `fairprep run --seal {registry_dir}`"
         ));
+    }
+    if let Some(path) = inv.options.get("alerts") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read alerts file {path}: {e}"))?;
+        let specs = fairprep_trace::alert::parse_specs(&text, &crate::serve::WINDOW_LABELS)?;
+        registry.arm_alerts(&specs)?;
+        println!("alerts          : {} spec(s) from {path}", specs.len());
+    }
+    if let Some(url) = inv.options.get("webhook") {
+        registry.set_webhook(url)?;
+        println!("webhook         : {url}");
+    }
+    if let Some(fingerprint) = inv.options.get("canary") {
+        let sample_rate = inv.parse_or::<f64>("canary-sample", 0.1)?;
+        registry.arm_canary(fingerprint, sample_rate)?;
+        println!("canary          : {fingerprint} (sample rate {sample_rate})");
     }
     let mut server = crate::serve::Server::bind(registry, port)?;
     if let Some(path) = inv.options.get("access-log") {

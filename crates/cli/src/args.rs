@@ -143,4 +143,22 @@ mod tests {
     fn unknown_flags_still_require_values() {
         assert!(parse_with_flags(&argv("run --trace-summary"), &[]).is_err());
     }
+
+    #[test]
+    fn serve_alerting_options_parse() {
+        let inv = parse(&argv(
+            "serve --registry target/registry --alerts alerts.json \
+             --webhook http://127.0.0.1:9000/hook \
+             --canary fnv1a64:abc --canary-sample 0.25",
+        ))
+        .unwrap();
+        assert_eq!(inv.command, "serve");
+        assert_eq!(inv.require("alerts").unwrap(), "alerts.json");
+        assert_eq!(
+            inv.require("webhook").unwrap(),
+            "http://127.0.0.1:9000/hook"
+        );
+        assert_eq!(inv.require("canary").unwrap(), "fnv1a64:abc");
+        assert_eq!(inv.parse_or::<f64>("canary-sample", 0.1).unwrap(), 0.25);
+    }
 }

@@ -54,10 +54,14 @@ use fairprep_data::profile::{
     psi_against_fractions, smoothed_fractions, ColumnProfile, PSI_WARN_THRESHOLD, QUANTILE_POINTS,
 };
 use fairprep_data::schema::Role;
+use fairprep_trace::alert::{
+    is_firing, phase_name, AlertMetric, AlertSpec, AlertState, Transition,
+};
 use fairprep_trace::exposition::{Exposition, TEXT_CONTENT_TYPE};
 use fairprep_trace::json::{obj, Value};
 use fairprep_trace::telemetry::{
-    percentile_of_sorted, HistogramSnapshot, RingWindow, ShardedCounter, ShardedHistogram,
+    log2_bucket, percentile_of_sorted, HistogramSnapshot, RingWindow, ShardedCounter,
+    ShardedHistogram, HISTOGRAM_BUCKETS,
 };
 
 /// Largest accepted request body. Requests beyond this are refused with
@@ -74,12 +78,38 @@ const METRIC_SHARDS: usize = 16;
 const WINDOW_SPECS: [(&str, &str, usize); 2] =
     [("window_1k", "1k", 1_000), ("window_10k", "10k", 10_000)];
 
+/// The rolling-window labels alert specs may name (the first is the
+/// default window when a spec leaves it out).
+pub const WINDOW_LABELS: [&str; WINDOW_SPECS.len()] = [WINDOW_SPECS[0].1, WINDOW_SPECS[1].1];
+
+/// Upper bound on drift bins per tracked column: numeric columns use at
+/// most `QUANTILE_POINTS - 2` interior decile edges (+1 bin) and
+/// categorical columns top-k (+ other). A fixed stack buffer of this
+/// size lets the alert path compute windowed PSI without allocating.
+const MAX_ALERT_BINS: usize = 16;
+
+/// Webhook delivery attempts per alert transition before giving up.
+const WEBHOOK_ATTEMPTS: u32 = 3;
+
+/// Backoff between webhook retries (scaled by the attempt number).
+const WEBHOOK_BACKOFF_MS: u64 = 100;
+
 /// `Content-Type` of every JSON response.
 const JSON_CONTENT_TYPE: &str = "application/json";
 
 // ---------------------------------------------------------------------------
 // Online drift tracking
 // ---------------------------------------------------------------------------
+
+/// Decrements an aggregate cell without wrapping below zero. Eviction
+/// decrements can race their matching increments; a monitoring tally
+/// that is off by one beats one that wrapped to `u64::MAX`.
+// audit: hot-path
+fn saturating_decr(cell: &AtomicU64) {
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_sub(1))
+    });
+}
 
 /// How one tracked column bins an observation.
 #[derive(Debug)]
@@ -104,6 +134,10 @@ struct DriftTrack {
     base_fracs: Vec<f64>,
     live: Vec<AtomicU64>,
     rings: [RingWindow; WINDOW_SPECS.len()],
+    /// Incremental per-window bin counts, maintained by eviction at
+    /// record time so the alert path can read windowed PSI from plain
+    /// atomics instead of walking ring slots.
+    window_live: [Vec<AtomicU64>; WINDOW_SPECS.len()],
 }
 
 impl DriftTrack {
@@ -153,6 +187,9 @@ impl DriftTrack {
                 name: name.to_string(),
                 bins: DriftBins::Numeric { edges: Vec::new() },
                 base_fracs: smoothed_fractions(&base),
+                window_live: std::array::from_fn(|_| {
+                    (0..base.len()).map(|_| AtomicU64::new(0)).collect()
+                }),
                 live,
                 rings: WINDOW_SPECS.map(|(_, _, cap)| RingWindow::new(cap)),
             }
@@ -172,9 +209,34 @@ impl DriftTrack {
         if let Some(cell) = self.live.get(bin) {
             cell.fetch_add(1, Ordering::Relaxed);
         }
-        for ring in &self.rings {
-            ring.record(bin as u64);
+        for (ring, counts) in self.rings.iter().zip(&self.window_live) {
+            if let Some(cell) = counts.get(bin) {
+                cell.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(evicted) = ring.record_evicting(bin as u64) {
+                if let Some(cell) = counts.get(evicted as usize) {
+                    saturating_decr(cell);
+                }
+            }
         }
+    }
+
+    /// Windowed PSI from the incremental bin counts, evaluated on the
+    /// alert path. Lock- and allocation-free: the bin counts are copied
+    /// into a fixed stack buffer (`MAX_ALERT_BINS` bounds every profile
+    /// the registry can load).
+    // audit: hot-path
+    fn window_psi(&self, window_index: usize) -> Option<f64> {
+        let counts = self.window_live.get(window_index)?;
+        let mut buffer = [0u64; MAX_ALERT_BINS];
+        let filled = buffer.get_mut(..counts.len())?;
+        for (dst, src) in filled.iter_mut().zip(counts) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        if filled.iter().all(|&n| n == 0) {
+            return None;
+        }
+        Some(psi_against_fractions(&self.base_fracs, filled))
     }
 
     /// Folds the raw (pre-imputation) request column into the live
@@ -239,12 +301,136 @@ impl DriftTrack {
 // Per-pipeline telemetry
 // ---------------------------------------------------------------------------
 
-/// The rolling-window rings of one pipeline: latencies (µs) and decision
-/// codes (`privileged*2 + favorable`) over the last N observations.
+/// The rolling-window rings of one pipeline: latencies (µs), decision
+/// codes (`privileged*2 + favorable`), request outcomes (1 = refused),
+/// and canary divergence flags over the last N observations.
+///
+/// Alongside the rings, incremental aggregates (decision counts, a
+/// log₂ latency histogram, error and divergence tallies) are maintained
+/// by eviction at record time: the alert evaluation path reads them as
+/// plain atomics, so arming alerts adds no ring walks to the hot path.
 #[derive(Debug)]
 struct WindowRings {
     latency: RingWindow,
     decisions: RingWindow,
+    outcomes: RingWindow,
+    divergence: RingWindow,
+    /// `decision_counts[privileged*2 + favorable]` over the window.
+    decision_counts: [AtomicU64; 4],
+    /// Log₂ latency buckets over the window (bucket-edge quantiles).
+    latency_buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Refused requests currently inside the outcome window.
+    error_count: AtomicU64,
+    /// Diverging shadow-scored rows currently inside the window.
+    divergence_count: AtomicU64,
+}
+
+impl WindowRings {
+    fn new(capacity: usize) -> WindowRings {
+        WindowRings {
+            latency: RingWindow::new(capacity),
+            decisions: RingWindow::new(capacity),
+            outcomes: RingWindow::new(capacity),
+            divergence: RingWindow::new(capacity),
+            decision_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            error_count: AtomicU64::new(0),
+            divergence_count: AtomicU64::new(0),
+        }
+    }
+
+    // audit: hot-path
+    fn record_latency(&self, elapsed_us: u64) {
+        if let Some(bucket) = self.latency_buckets.get(log2_bucket(elapsed_us)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(evicted) = self.latency.record_evicting(elapsed_us) {
+            if let Some(bucket) = self.latency_buckets.get(log2_bucket(evicted)) {
+                saturating_decr(bucket);
+            }
+        }
+    }
+
+    // audit: hot-path
+    fn record_decision(&self, code: u64) {
+        if let Some(cell) = self.decision_counts.get(code as usize) {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(evicted) = self.decisions.record_evicting(code) {
+            if let Some(cell) = self.decision_counts.get(evicted as usize) {
+                saturating_decr(cell);
+            }
+        }
+    }
+
+    // audit: hot-path
+    fn record_outcome(&self, refused: bool) {
+        if refused {
+            self.error_count.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.outcomes.record_evicting(u64::from(refused)) == Some(1) {
+            saturating_decr(&self.error_count);
+        }
+    }
+
+    // audit: hot-path
+    fn record_divergence(&self, diverged: bool) {
+        if diverged {
+            self.divergence_count.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.divergence.record_evicting(u64::from(diverged)) == Some(1) {
+            saturating_decr(&self.divergence_count);
+        }
+    }
+
+    /// Loads the incremental decision counts.
+    // audit: hot-path
+    fn decision_counts(&self) -> [u64; 4] {
+        [
+            self.decision_counts[0].load(Ordering::Relaxed),
+            self.decision_counts[1].load(Ordering::Relaxed),
+            self.decision_counts[2].load(Ordering::Relaxed),
+            self.decision_counts[3].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Bucket-edge latency quantile over the window's incremental
+    /// histogram (`None` while the window is empty). Same bucket-edge
+    /// semantics as the lifetime histogram, minus the max clamp — the
+    /// window does not track its max.
+    // audit: hot-path
+    fn latency_quantile(&self, q: f64) -> Option<f64> {
+        let mut count = 0u64;
+        for bucket in &self.latency_buckets {
+            count += bucket.load(Ordering::Relaxed);
+        }
+        if count == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_precision_loss)]
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.latency_buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                #[allow(clippy::cast_precision_loss)]
+                return Some((2u64 << i) as f64);
+            }
+        }
+        None
+    }
+
+    /// The fraction of window observations in `numerator` over the
+    /// ring's current fill (`None` while empty).
+    // audit: hot-path
+    fn window_fraction(ring: &RingWindow, numerator: &AtomicU64) -> Option<f64> {
+        let filled = ring.recorded().min(ring.capacity() as u64);
+        if filled == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        Some(numerator.load(Ordering::Relaxed) as f64 / filled as f64)
+    }
 }
 
 /// Sharded serving telemetry for one sealed pipeline. Every field is
@@ -280,10 +466,7 @@ impl PipeTelemetry {
             errors: ShardedCounter::new(METRIC_SHARDS),
             latency: ShardedHistogram::new(METRIC_SHARDS),
             decisions: std::array::from_fn(|_| ShardedCounter::new(METRIC_SHARDS)),
-            windows: WINDOW_SPECS.map(|(_, _, cap)| WindowRings {
-                latency: RingWindow::new(cap),
-                decisions: RingWindow::new(cap),
-            }),
+            windows: WINDOW_SPECS.map(|(_, _, cap)| WindowRings::new(cap)),
             drift,
         }
     }
@@ -296,7 +479,8 @@ impl PipeTelemetry {
         self.requests.incr(worker);
         self.latency.record(worker, elapsed_us);
         for rings in &self.windows {
-            rings.latency.record(elapsed_us);
+            rings.record_latency(elapsed_us);
+            rings.record_outcome(false);
         }
         for row in scored {
             if row.dropped() {
@@ -310,8 +494,26 @@ impl PipeTelemetry {
                 counter.incr(worker);
             }
             for rings in &self.windows {
-                rings.decisions.record(code as u64);
+                rings.record_decision(code as u64);
             }
+        }
+    }
+
+    /// Folds one refused request into the lifetime error counter and
+    /// each window's outcome ring. Lock- and allocation-free.
+    // audit: hot-path
+    fn record_error(&self, worker: usize) {
+        self.errors.incr(worker);
+        for rings in &self.windows {
+            rings.record_outcome(true);
+        }
+    }
+
+    /// Folds one shadow-scored row's divergence flag into each window.
+    // audit: hot-path
+    fn record_divergence(&self, diverged: bool) {
+        for rings in &self.windows {
+            rings.record_divergence(diverged);
         }
     }
 
@@ -326,11 +528,22 @@ impl PipeTelemetry {
                     *cell += 1;
                 }
             }
+            // An empty window has no latency distribution: report
+            // `None` (JSON null, omitted Prometheus samples) instead of
+            // a fake zero indistinguishable from zero-latency traffic.
+            let percentile = |q: f64| {
+                (!latencies.is_empty()).then(|| percentile_of_sorted(&latencies, q))
+            };
             WindowSnapshot {
                 requests: latencies.len() as u64,
-                p50_us: percentile_of_sorted(&latencies, 0.50),
-                p99_us: percentile_of_sorted(&latencies, 0.99),
+                p50_us: percentile(0.50),
+                p99_us: percentile(0.99),
                 decisions,
+                canary_sampled: rings
+                    .divergence
+                    .recorded()
+                    .min(rings.divergence.capacity() as u64),
+                canary_divergent: rings.divergence_count.load(Ordering::Relaxed),
             }
         });
         PipeSnapshot {
@@ -342,6 +555,8 @@ impl PipeTelemetry {
             decisions: self.decisions.each_ref().map(ShardedCounter::total),
             windows,
             drift: self.drift.iter().map(DriftTrack::snapshot).collect(),
+            alerts: Vec::new(),
+            canary_armed: false,
         }
     }
 }
@@ -353,10 +568,15 @@ impl PipeTelemetry {
 /// One rolling window's merged view.
 struct WindowSnapshot {
     requests: u64,
-    p50_us: u64,
-    p99_us: u64,
+    /// `None` while the window is empty (latency is then undefined).
+    p50_us: Option<u64>,
+    p99_us: Option<u64>,
     /// `decisions[privileged*2 + favorable]`.
     decisions: [u64; 4],
+    /// Shadow-scored rows currently inside the window.
+    canary_sampled: u64,
+    /// How many of them diverged from the canary's decision.
+    canary_divergent: u64,
 }
 
 /// One column's drift inside one rolling window.
@@ -386,31 +606,66 @@ struct PipeSnapshot {
     decisions: [u64; 4],
     windows: [WindowSnapshot; WINDOW_SPECS.len()],
     drift: Vec<DriftSnapshot>,
+    /// Armed alerts and their current phases; empty without `--alerts`,
+    /// in which case the rendered views are byte-identical to a server
+    /// without the alerting engine.
+    alerts: Vec<AlertSnapshot>,
+    /// `true` when this pipeline's traffic is shadow-scored by a
+    /// canary; gates the `canary` sections of both views.
+    canary_armed: bool,
+}
+
+/// One armed alert's scrape-time view.
+struct AlertSnapshot {
+    name: String,
+    metric: &'static str,
+    column: Option<String>,
+    window: String,
+    phase: &'static str,
+    firing: bool,
+    /// The last evaluated metric value (`None` while undefined).
+    value: Option<f64>,
+    trip: f64,
+    clear: f64,
+    fired_total: u64,
+    cleared_total: u64,
+}
+
+/// Favorable rate of one group, `None` when the group was never seen.
+#[allow(clippy::cast_precision_loss)]
+// audit: hot-path
+fn rate_of(favorable: u64, unfavorable: u64) -> Option<f64> {
+    let total = favorable + unfavorable;
+    if total == 0 {
+        None
+    } else {
+        Some(favorable as f64 / total as f64)
+    }
+}
+
+/// Disparate impact of a 2×2 decision table (`None` when undefined).
+#[allow(clippy::cast_precision_loss)]
+// audit: hot-path
+fn disparate_impact_of(decisions: &[u64; 4]) -> Option<f64> {
+    let ut = decisions[0] + decisions[1];
+    let pt = decisions[2] + decisions[3];
+    if pt == 0 || ut == 0 || decisions[3] == 0 {
+        None
+    } else {
+        Some((decisions[1] as f64 / ut as f64) / (decisions[3] as f64 / pt as f64))
+    }
 }
 
 /// Favorable rate of one group, `Null` when the group was never seen.
-#[allow(clippy::cast_precision_loss)]
 fn rate_value(favorable: u64, unfavorable: u64) -> Value {
-    let total = favorable + unfavorable;
-    if total == 0 {
-        Value::Null
-    } else {
-        Value::Num(favorable as f64 / total as f64)
-    }
+    rate_of(favorable, unfavorable).map_or(Value::Null, Value::Num)
 }
 
 /// Disparate impact of a 2×2 decision table (`Null` when undefined:
 /// either group unseen, or the privileged group has no favorable
 /// decisions to form the denominator rate).
-#[allow(clippy::cast_precision_loss)]
 fn disparate_impact_value(decisions: &[u64; 4]) -> Value {
-    let ut = decisions[0] + decisions[1];
-    let pt = decisions[2] + decisions[3];
-    if pt == 0 || ut == 0 || decisions[3] == 0 {
-        Value::Null
-    } else {
-        Value::Num((decisions[1] as f64 / ut as f64) / (decisions[3] as f64 / pt as f64))
-    }
+    disparate_impact_of(decisions).map_or(Value::Null, Value::Num)
 }
 
 /// The canonical decisions object for a 2×2 table (lifetime and
@@ -465,25 +720,64 @@ impl PipeSnapshot {
         ];
         for (wi, (key, _, _)) in WINDOW_SPECS.iter().enumerate() {
             let window = &self.windows[wi];
+            let mut window_members = vec![
+                ("requests", Value::from_u64(window.requests)),
+                (
+                    "latency",
+                    obj(vec![
+                        ("p50_us", window.p50_us.map_or(Value::Null, Value::from_u64)),
+                        ("p99_us", window.p99_us.map_or(Value::Null, Value::from_u64)),
+                    ]),
+                ),
+                ("decisions", decisions_value(&window.decisions)),
+                (
+                    "drift",
+                    drift(&|d| (d.windows[wi].observed, d.windows[wi].psi)),
+                ),
+            ];
+            if self.canary_armed {
+                #[allow(clippy::cast_precision_loss)]
+                let rate = (window.canary_sampled > 0)
+                    .then(|| window.canary_divergent as f64 / window.canary_sampled as f64);
+                window_members.push((
+                    "canary",
+                    obj(vec![
+                        ("sampled", Value::from_u64(window.canary_sampled)),
+                        ("divergent", Value::from_u64(window.canary_divergent)),
+                        ("divergence", rate.map_or(Value::Null, Value::Num)),
+                    ]),
+                ));
+            }
+            members.push((key, obj(window_members)));
+        }
+        if !self.alerts.is_empty() {
             members.push((
-                key,
-                obj(vec![
-                    ("requests", Value::from_u64(window.requests)),
-                    (
-                        "latency",
-                        obj(vec![
-                            ("p50_us", Value::from_u64(window.p50_us)),
-                            ("p99_us", Value::from_u64(window.p99_us)),
-                        ]),
-                    ),
-                    ("decisions", decisions_value(&window.decisions)),
-                    (
-                        "drift",
-                        drift(&|d| (d.windows[wi].observed, d.windows[wi].psi)),
-                    ),
-                ]),
+                "alerts",
+                Value::Arr(self.alerts.iter().map(AlertSnapshot::to_value).collect()),
             ));
         }
+        obj(members)
+    }
+}
+
+impl AlertSnapshot {
+    fn to_value(&self) -> Value {
+        let mut members = vec![
+            ("name", Value::Str(self.name.clone())),
+            ("metric", Value::Str(self.metric.to_string())),
+        ];
+        if let Some(column) = &self.column {
+            members.push(("column", Value::Str(column.clone())));
+        }
+        members.extend([
+            ("window", Value::Str(self.window.clone())),
+            ("state", Value::Str(self.phase.to_string())),
+            ("value", self.value.map_or(Value::Null, Value::Num)),
+            ("trip", Value::Num(self.trip)),
+            ("clear", Value::Num(self.clear)),
+            ("fired_total", Value::from_u64(self.fired_total)),
+            ("cleared_total", Value::from_u64(self.cleared_total)),
+        ]);
         obj(members)
     }
 }
@@ -553,15 +847,16 @@ fn render_prometheus(snapshots: &[(&str, PipeSnapshot)]) -> String {
         }
         for (wi, (_, label, _)) in WINDOW_SPECS.iter().enumerate() {
             let window = &snap.windows[wi];
-            if window.requests == 0 {
-                continue;
-            }
+            // Empty windows have no latency distribution: omit the
+            // samples rather than faking zeros.
             for (q, v) in [("0.5", window.p50_us), ("0.99", window.p99_us)] {
-                exp.sample_u64(
-                    "fairprep_latency_us",
-                    &[("pipeline", fp), ("window", label), ("quantile", q)],
-                    v,
-                );
+                if let Some(v) = v {
+                    exp.sample_u64(
+                        "fairprep_latency_us",
+                        &[("pipeline", fp), ("window", label), ("quantile", q)],
+                        v,
+                    );
+                }
             }
         }
     }
@@ -711,6 +1006,73 @@ fn render_prometheus(snapshots: &[(&str, PipeSnapshot)]) -> String {
             }
         }
     }
+    // Alerting and canary families appear only when armed, so a server
+    // run without `--alerts`/`--canary` scrapes byte-identically to one
+    // that predates the alerting engine.
+    if snapshots.iter().any(|(_, snap)| !snap.alerts.is_empty()) {
+        exp.family(
+            "fairprep_alert_active",
+            "gauge",
+            "1 while an armed alert is in the firing phase.",
+        );
+        for (fp, snap) in snapshots {
+            for alert in &snap.alerts {
+                exp.sample_u64(
+                    "fairprep_alert_active",
+                    &[
+                        ("pipeline", fp),
+                        ("alert", &alert.name),
+                        ("metric", alert.metric),
+                        ("window", &alert.window),
+                    ],
+                    u64::from(alert.firing),
+                );
+            }
+        }
+        exp.family(
+            "fairprep_alert_transitions_total",
+            "counter",
+            "Alert transitions by edge (fired / cleared).",
+        );
+        for (fp, snap) in snapshots {
+            for alert in &snap.alerts {
+                for (edge, count) in [
+                    ("fired", alert.fired_total),
+                    ("cleared", alert.cleared_total),
+                ] {
+                    exp.sample_u64(
+                        "fairprep_alert_transitions_total",
+                        &[("pipeline", fp), ("alert", &alert.name), ("edge", edge)],
+                        count,
+                    );
+                }
+            }
+        }
+    }
+    if snapshots.iter().any(|(_, snap)| snap.canary_armed) {
+        exp.family(
+            "fairprep_canary_divergence",
+            "gauge",
+            "Decision-divergence rate of shadow-scored traffic vs the canary pipeline.",
+        );
+        for (fp, snap) in snapshots {
+            if !snap.canary_armed {
+                continue;
+            }
+            for (wi, (_, label, _)) in WINDOW_SPECS.iter().enumerate() {
+                let window = &snap.windows[wi];
+                if window.canary_sampled == 0 {
+                    continue;
+                }
+                #[allow(clippy::cast_precision_loss)]
+                exp.sample_f64(
+                    "fairprep_canary_divergence",
+                    &[("pipeline", fp), ("window", label)],
+                    window.canary_divergent as f64 / window.canary_sampled as f64,
+                );
+            }
+        }
+    }
     exp.finish()
 }
 
@@ -718,9 +1080,231 @@ fn render_prometheus(snapshots: &[(&str, PipeSnapshot)]) -> String {
 // Registry
 // ---------------------------------------------------------------------------
 
+/// One alert spec armed on one pipeline: the resolved window and drift
+/// indices, the concurrent hysteresis state, and scrape-time tallies.
+struct ArmedAlert {
+    spec: AlertSpec,
+    window_index: usize,
+    /// Index into `PipeTelemetry::drift` for PSI alerts.
+    drift_index: Option<usize>,
+    state: AlertState,
+    /// Bit pattern of the last evaluated value (`f64::NAN` bits while
+    /// the metric is undefined).
+    last_value_bits: AtomicU64,
+    fired_total: AtomicU64,
+    cleared_total: AtomicU64,
+}
+
+impl ArmedAlert {
+    fn snapshot(&self) -> AlertSnapshot {
+        let state = self.state.load();
+        let value = f64::from_bits(self.last_value_bits.load(Ordering::Relaxed));
+        AlertSnapshot {
+            name: self.spec.name.clone(),
+            metric: self.spec.metric.name(),
+            column: self.spec.metric.column().map(ToString::to_string),
+            window: self.spec.window.clone(),
+            phase: phase_name(state),
+            firing: is_firing(state),
+            value: value.is_finite().then_some(value),
+            trip: self.spec.trip,
+            clear: self.spec.clear,
+            fired_total: self.fired_total.load(Ordering::Relaxed),
+            cleared_total: self.cleared_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Evaluates one armed alert's metric from the incremental window
+/// aggregates. Lock- and allocation-free — this runs once per armed
+/// alert on every recorded request.
+// audit: hot-path
+fn alert_value(telemetry: &PipeTelemetry, armed: &ArmedAlert) -> Option<f64> {
+    let rings = telemetry.windows.get(armed.window_index)?;
+    match &armed.spec.metric {
+        AlertMetric::DisparateImpact => disparate_impact_of(&rings.decision_counts()),
+        AlertMetric::FavorableRateGap => {
+            let d = rings.decision_counts();
+            let privileged = rate_of(d[3], d[2])?;
+            let unprivileged = rate_of(d[1], d[0])?;
+            Some((privileged - unprivileged).abs())
+        }
+        AlertMetric::Psi { .. } => telemetry
+            .drift
+            .get(armed.drift_index?)?
+            .window_psi(armed.window_index),
+        AlertMetric::P99LatencyUs => rings.latency_quantile(0.99),
+        AlertMetric::ErrorRate => WindowRings::window_fraction(&rings.outcomes, &rings.error_count),
+        AlertMetric::CanaryDivergence => {
+            WindowRings::window_fraction(&rings.divergence, &rings.divergence_count)
+        }
+    }
+}
+
+/// The canonical JSONL `alert` event (also the webhook payload body).
+fn alert_event_value(fingerprint: &str, armed: &ArmedAlert, transition: Transition, value: Option<f64>) -> Value {
+    let mut members = vec![
+        ("event", Value::Str("alert".to_string())),
+        ("name", Value::Str(armed.spec.name.clone())),
+        ("pipeline", Value::Str(fingerprint.to_string())),
+        ("metric", Value::Str(armed.spec.metric.name().to_string())),
+    ];
+    if let Some(column) = armed.spec.metric.column() {
+        members.push(("column", Value::Str(column.to_string())));
+    }
+    members.extend([
+        ("window", Value::Str(armed.spec.window.clone())),
+        (
+            "state",
+            Value::Str(
+                match transition {
+                    Transition::Fired => "firing",
+                    Transition::Cleared => "cleared",
+                }
+                .to_string(),
+            ),
+        ),
+        ("value", value.map_or(Value::Null, Value::Num)),
+        ("trip", Value::Num(armed.spec.trip)),
+        ("clear", Value::Num(armed.spec.clear)),
+    ]);
+    obj(members)
+}
+
+/// Advances every armed alert of `entry` by one observation. The
+/// per-observation work (metric read + CAS advance) is lock- and
+/// allocation-free; only an actual transition — rare by construction —
+/// takes the slow path that renders and emits the event.
+fn evaluate_alerts(registry: &Registry, entry: &Entry, access_log: Option<&AccessLog>) {
+    for armed in &entry.alerts {
+        let value = alert_value(&entry.telemetry, armed);
+        armed
+            .last_value_bits
+            .store(value.unwrap_or(f64::NAN).to_bits(), Ordering::Relaxed);
+        let Some(transition) = armed.state.observe(&armed.spec, value) else {
+            continue;
+        };
+        match transition {
+            Transition::Fired => armed.fired_total.fetch_add(1, Ordering::Relaxed),
+            Transition::Cleared => armed.cleared_total.fetch_add(1, Ordering::Relaxed),
+        };
+        let event = alert_event_value(&entry.sealed.fingerprint, armed, transition, value);
+        if let Some(log) = access_log {
+            log.append_event(&event);
+        }
+        if let Some(webhook) = &registry.webhook {
+            webhook.send(event.to_json());
+        }
+    }
+}
+
 struct Entry {
     sealed: SealedPipeline,
     telemetry: PipeTelemetry,
+    /// Armed alerts; empty without `--alerts`.
+    alerts: Vec<ArmedAlert>,
+}
+
+/// Canary shadow-scoring configuration (`--canary FP --canary-sample R`).
+struct CanaryConfig {
+    /// Normalized fingerprint key of the shadow pipeline.
+    key: String,
+    /// Shadow-score every `sample_every`-th predict request.
+    sample_every: u64,
+    /// Running count of shadow-eligible requests (drives sampling).
+    counter: AtomicU64,
+}
+
+/// Background webhook delivery: transitions enqueue their canonical
+/// JSON payload on a channel drained by one sender thread, which POSTs
+/// with bounded retry. Delivery never blocks the scoring path.
+struct WebhookSender {
+    tx: Option<std::sync::mpsc::Sender<String>>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WebhookSender {
+    /// Validates `url` (plain `http://host:port/path` only — the server
+    /// itself is dependency-free HTTP) and starts the sender thread.
+    fn start(url: &str) -> Result<WebhookSender, String> {
+        let rest = url
+            .strip_prefix("http://")
+            .ok_or_else(|| format!("--webhook must be an http:// URL, got {url}"))?;
+        let (authority, path) = match rest.split_once('/') {
+            Some((authority, path)) => (authority, format!("/{path}")),
+            None => (rest, "/".to_string()),
+        };
+        if authority.is_empty() {
+            return Err(format!("--webhook URL carries no host: {url}"));
+        }
+        let authority = authority.to_string();
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+        let join = std::thread::spawn(move || {
+            for payload in rx {
+                for attempt in 0..WEBHOOK_ATTEMPTS {
+                    if post_webhook(&authority, &path, &payload).is_ok() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(
+                        WEBHOOK_BACKOFF_MS * u64::from(attempt + 1),
+                    ));
+                }
+            }
+        });
+        Ok(WebhookSender {
+            tx: Some(tx),
+            join: Some(join),
+        })
+    }
+
+    fn send(&self, payload: String) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(payload);
+        }
+    }
+}
+
+impl Drop for WebhookSender {
+    fn drop(&mut self) {
+        // Closing the channel ends the sender thread's loop; join so
+        // in-flight deliveries finish before the registry goes away.
+        drop(self.tx.take());
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// One bounded-timeout webhook POST. Any transport error or non-2xx
+/// status is an `Err` so the sender loop retries.
+fn post_webhook(authority: &str, path: &str, payload: &str) -> Result<(), String> {
+    let mut stream = TcpStream::connect(authority).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: {authority}\r\nContent-Type: {JSON_CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(|e| e.to_string())?;
+    stream
+        .write_all(payload.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "webhook endpoint sent no status line".to_string())?;
+    if (200..300).contains(&status) {
+        Ok(())
+    } else {
+        Err(format!("webhook endpoint answered {status}"))
+    }
 }
 
 /// All sealed pipelines the server answers for, keyed by the
@@ -731,6 +1315,8 @@ pub struct Registry {
     next_request_id: AtomicU64,
     recording: AtomicBool,
     fixed_latency_us: AtomicU64,
+    canary: Option<CanaryConfig>,
+    webhook: Option<WebhookSender>,
 }
 
 /// `:` is not filesystem- or URL-friendly, so artifacts and request
@@ -749,6 +1335,8 @@ impl Registry {
             next_request_id: AtomicU64::new(0),
             recording: AtomicBool::new(true),
             fixed_latency_us: AtomicU64::new(0),
+            canary: None,
+            webhook: None,
         }
     }
 
@@ -774,7 +1362,114 @@ impl Registry {
     pub fn insert(&mut self, sealed: SealedPipeline) {
         let key = normalize_fingerprint(&sealed.fingerprint);
         let telemetry = PipeTelemetry::new(&sealed);
-        self.entries.insert(key, Entry { sealed, telemetry });
+        self.entries.insert(
+            key,
+            Entry {
+                sealed,
+                telemetry,
+                alerts: Vec::new(),
+            },
+        );
+    }
+
+    /// Arms every spec on every registered pipeline, resolving window
+    /// labels and PSI columns up front so the hot path never fails.
+    pub fn arm_alerts(&mut self, specs: &[AlertSpec]) -> Result<(), String> {
+        for entry in self.entries.values_mut() {
+            let mut armed = Vec::with_capacity(specs.len());
+            for spec in specs {
+                let window_index = WINDOW_LABELS
+                    .iter()
+                    .position(|label| *label == spec.window)
+                    .ok_or_else(|| {
+                        format!("alert '{}': unknown window '{}'", spec.name, spec.window)
+                    })?;
+                let drift_index = match spec.metric.column() {
+                    None => None,
+                    Some(column) => Some(
+                        entry
+                            .telemetry
+                            .drift
+                            .iter()
+                            .position(|d| d.name == column)
+                            .ok_or_else(|| {
+                                let tracked: Vec<&str> = entry
+                                    .telemetry
+                                    .drift
+                                    .iter()
+                                    .map(|d| d.name.as_str())
+                                    .collect();
+                                format!(
+                                    "alert '{}': pipeline {} tracks no drift for column \
+                                     '{column}' (tracked: {})",
+                                    spec.name,
+                                    entry.sealed.fingerprint,
+                                    tracked.join(", ")
+                                )
+                            })?,
+                    ),
+                };
+                armed.push(ArmedAlert {
+                    spec: spec.clone(),
+                    window_index,
+                    drift_index,
+                    state: AlertState::new(),
+                    last_value_bits: AtomicU64::new(f64::NAN.to_bits()),
+                    fired_total: AtomicU64::new(0),
+                    cleared_total: AtomicU64::new(0),
+                });
+            }
+            entry.alerts = armed;
+        }
+        Ok(())
+    }
+
+    /// Arms canary shadow-scoring: every `1/sample_rate`-th predict
+    /// request against any *other* pipeline is also scored through the
+    /// pipeline with `fingerprint`, and per-row decision divergence is
+    /// recorded into the serving pipeline's rolling windows.
+    pub fn arm_canary(&mut self, fingerprint: &str, sample_rate: f64) -> Result<(), String> {
+        let key = normalize_fingerprint(fingerprint);
+        if !self.entries.contains_key(&key) {
+            return Err(format!(
+                "--canary: no pipeline with fingerprint {fingerprint} in the registry"
+            ));
+        }
+        if !(sample_rate > 0.0 && sample_rate <= 1.0) {
+            return Err(format!(
+                "--canary-sample must be in (0, 1], got {sample_rate}"
+            ));
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let sample_every = (1.0 / sample_rate).round().max(1.0) as u64;
+        self.canary = Some(CanaryConfig {
+            key,
+            sample_every,
+            counter: AtomicU64::new(0),
+        });
+        Ok(())
+    }
+
+    /// Attaches a webhook URL; alert transitions POST their canonical
+    /// JSON payload there with bounded retry, off the scoring path.
+    pub fn set_webhook(&mut self, url: &str) -> Result<(), String> {
+        self.webhook = Some(WebhookSender::start(url)?);
+        Ok(())
+    }
+
+    /// Columns with usable drift baselines, unioned across pipelines —
+    /// the names a PSI alert spec may reference.
+    #[must_use]
+    pub fn drift_columns(&self) -> Vec<String> {
+        let mut columns: Vec<String> = Vec::new();
+        for entry in self.entries.values() {
+            for track in &entry.telemetry.drift {
+                if !columns.contains(&track.name) {
+                    columns.push(track.name.clone());
+                }
+            }
+        }
+        columns
     }
 
     /// Number of registered pipelines.
@@ -825,7 +1520,17 @@ impl Registry {
     fn snapshots(&self) -> Vec<(&str, PipeSnapshot)> {
         self.entries
             .values()
-            .map(|e| (e.sealed.fingerprint.as_str(), e.telemetry.snapshot()))
+            .map(|e| {
+                let mut snap = e.telemetry.snapshot();
+                snap.alerts = e.alerts.iter().map(ArmedAlert::snapshot).collect();
+                // The canary itself receives no shadow traffic; its
+                // windows would only ever report zeros.
+                snap.canary_armed = self
+                    .canary
+                    .as_ref()
+                    .is_some_and(|c| c.key != normalize_fingerprint(&e.sealed.fingerprint));
+                (e.sealed.fingerprint.as_str(), snap)
+            })
             .collect()
     }
 
@@ -937,9 +1642,58 @@ fn response_value(fingerprint: &str, scored: &[ScoredRow]) -> Value {
     ])
 }
 
+/// Shadow-scores a sampled request through the canary pipeline and
+/// records per-row decision divergence into `entry`'s rolling windows.
+/// A canary that cannot score the traffic at all (schema mismatch,
+/// scoring error) counts every row as divergent — it demonstrably does
+/// not reproduce the serving pipeline's behavior.
+fn maybe_shadow_score(registry: &Registry, entry: &Entry, rows: &[&Value], scored: &[ScoredRow]) {
+    let Some(canary) = &registry.canary else {
+        return;
+    };
+    // The canary never shadows itself.
+    if canary.key == normalize_fingerprint(&entry.sealed.fingerprint) {
+        return;
+    }
+    if !canary
+        .counter
+        .fetch_add(1, Ordering::Relaxed)
+        .is_multiple_of(canary.sample_every)
+    {
+        return;
+    }
+    let Some(shadow) = registry.entries.get(&canary.key) else {
+        return;
+    };
+    let shadow_scored = frame_from_rows(&shadow.sealed, rows)
+        .and_then(|frame| shadow.sealed.score_frame(frame).map_err(|e| e.to_string()));
+    match shadow_scored {
+        Ok(shadow_scored) => {
+            for (primary, canary_row) in scored.iter().zip(&shadow_scored) {
+                let primary_decision = primary.decision.map(|d| d >= 0.5);
+                let canary_decision = canary_row.decision.map(|d| d >= 0.5);
+                entry
+                    .telemetry
+                    .record_divergence(primary_decision != canary_decision);
+            }
+        }
+        Err(_) => {
+            for _ in scored {
+                entry.telemetry.record_divergence(true);
+            }
+        }
+    }
+}
+
 /// Scores one predict request against `entry`, updating its telemetry
-/// on the calling worker's shards.
-fn predict(registry: &Registry, entry: &Entry, worker: usize, body: &str) -> Result<Value, String> {
+/// on the calling worker's shards and advancing any armed alerts.
+fn predict(
+    registry: &Registry,
+    entry: &Entry,
+    worker: usize,
+    body: &str,
+    access_log: Option<&AccessLog>,
+) -> Result<Value, String> {
     let recording = registry.recording.load(Ordering::Relaxed);
     let started = Instant::now();
     let outcome = (|| {
@@ -957,6 +1711,9 @@ fn predict(registry: &Registry, entry: &Entry, worker: usize, body: &str) -> Res
             }
         }
         let scored = entry.sealed.score_frame(frame).map_err(|e| e.to_string())?;
+        if recording {
+            maybe_shadow_score(registry, entry, &rows, &scored);
+        }
         Ok(scored)
     })();
     let fixed = registry.fixed_latency_us.load(Ordering::Relaxed);
@@ -965,7 +1722,7 @@ fn predict(registry: &Registry, entry: &Entry, worker: usize, body: &str) -> Res
     } else {
         u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
     };
-    match outcome {
+    let result = match outcome {
         Ok(scored) => {
             if recording {
                 entry.telemetry.record_batch(worker, &scored, elapsed_us);
@@ -974,11 +1731,15 @@ fn predict(registry: &Registry, entry: &Entry, worker: usize, body: &str) -> Res
         }
         Err(message) => {
             if recording {
-                entry.telemetry.errors.incr(worker);
+                entry.telemetry.record_error(worker);
             }
             Err(message)
         }
+    };
+    if recording {
+        evaluate_alerts(registry, entry, access_log);
     }
+    result
 }
 
 // ---------------------------------------------------------------------------
@@ -1035,6 +1796,15 @@ impl AccessLog {
             ("write_us", Value::from_u64(span.write_us)),
         ])
         .to_json();
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+
+    /// Appends one structured event line unconditionally — alert
+    /// transitions are never sampled away.
+    fn append_event(&self, event: &Value) {
+        let line = event.to_json();
         let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
         let _ = writeln!(out, "{line}");
         let _ = out.flush();
@@ -1181,7 +1951,7 @@ fn handle_connection(
     match request {
         Ok(request) => {
             let handle_started = Instant::now();
-            let (code, body, content_type) = route(&request, registry, worker);
+            let (code, body, content_type) = route(&request, registry, worker, access_log);
             let handle_us = micros_since(handle_started);
             let write_started = Instant::now();
             write_response(&mut stream, code, content_type, &body);
@@ -1223,7 +1993,12 @@ fn handle_connection(
 
 /// Dispatches a parsed request to its endpoint. Returns status, body,
 /// and the response content type.
-fn route(request: &Request, registry: &Registry, worker: usize) -> (u16, String, &'static str) {
+fn route(
+    request: &Request,
+    registry: &Registry,
+    worker: usize,
+    access_log: Option<&AccessLog>,
+) -> (u16, String, &'static str) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (
             200,
@@ -1255,7 +2030,7 @@ fn route(request: &Request, registry: &Registry, worker: usize) -> (u16, String,
                     JSON_CONTENT_TYPE,
                 );
             };
-            match predict(registry, entry, worker, &request.body) {
+            match predict(registry, entry, worker, &request.body, access_log) {
                 Ok(value) => (200, value.to_json(), JSON_CONTENT_TYPE),
                 Err(message) => (400, error_body(&message), JSON_CONTENT_TYPE),
             }

@@ -25,6 +25,7 @@
 //! the lifecycle, while parallel fold jobs touch atomic counters alone —
 //! which is why the canonical manifest cannot observe the thread budget.
 
+pub mod alert;
 pub mod exposition;
 pub mod fault;
 pub mod json;

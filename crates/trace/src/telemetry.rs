@@ -251,6 +251,20 @@ impl RingWindow {
         }
     }
 
+    /// Records one value like [`RingWindow::record`], additionally
+    /// returning the displaced value once the ring is full. This is
+    /// what lets callers maintain incremental aggregates (bucket
+    /// counts, tallies) over exactly the window contents without ever
+    /// walking the slots. Lock- and allocation-free.
+    // audit: hot-path
+    pub fn record_evicting(&self, value: u64) -> Option<u64> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let len = self.slots.len() as u64;
+        let slot = self.slots.get((seq % len) as usize)?;
+        let evicted = slot.swap(value, Ordering::Relaxed);
+        (seq >= len).then_some(evicted)
+    }
+
     /// Lifetime number of recorded values (not capped by capacity).
     #[must_use]
     pub fn recorded(&self) -> u64 {

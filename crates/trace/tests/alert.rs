@@ -1,0 +1,127 @@
+//! Property tests for the alert hysteresis state machine: determinism,
+//! alternation, quietness on never-violating streams, and agreement
+//! between the pure transition function and its atomic wrapper.
+
+use fairprep_trace::alert::{
+    is_firing, AlertMetric, AlertSpec, AlertState, Direction, Transition, STATE_NORMAL,
+};
+use proptest::prelude::*;
+
+/// Decodes one generated observation: values ≥ 100 model an undefined
+/// metric (empty window), the rest map onto [0, 1).
+fn decode(raw: u32) -> Option<f64> {
+    (raw < 100).then(|| f64::from(raw) / 100.0)
+}
+
+fn spec(trip_pct: u32, band_pct: u32, for_count: u32, min_hold: u32) -> AlertSpec {
+    let trip = f64::from(trip_pct.min(99)) / 100.0;
+    AlertSpec {
+        name: "prop".to_string(),
+        metric: AlertMetric::ErrorRate,
+        window: "1k".to_string(),
+        trip,
+        clear: (trip - f64::from(band_pct) / 100.0).max(0.0),
+        direction: Direction::Above,
+        for_count: for_count.max(1),
+        min_hold,
+    }
+}
+
+/// Replays a stream through the pure state machine, collecting the
+/// transitions with their observation indices.
+fn replay(spec: &AlertSpec, stream: &[u32]) -> Vec<(usize, Transition)> {
+    let mut state = STATE_NORMAL;
+    let mut out = Vec::new();
+    for (i, &raw) in stream.iter().enumerate() {
+        let (next, transition) = spec.advance(state, decode(raw));
+        state = next;
+        if let Some(t) = transition {
+            out.push((i, t));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The machine is a pure function of the stream: replaying the same
+    /// observations yields byte-identical transitions, and the
+    /// sequentially-driven atomic wrapper agrees with the pure replay.
+    #[test]
+    fn replay_is_deterministic_and_wrapper_agrees(
+        stream in prop::collection::vec(0u32..120, 1..250),
+        trip_pct in 0u32..100,
+        band_pct in 0u32..50,
+        for_count in 1u32..5,
+        min_hold in 0u32..10,
+    ) {
+        let spec = spec(trip_pct, band_pct, for_count, min_hold);
+        let first = replay(&spec, &stream);
+        prop_assert_eq!(&first, &replay(&spec, &stream));
+
+        let state = AlertState::new();
+        let mut observed = Vec::new();
+        for (i, &raw) in stream.iter().enumerate() {
+            if let Some(t) = state.observe(&spec, decode(raw)) {
+                observed.push((i, t));
+            }
+        }
+        prop_assert_eq!(first, observed);
+    }
+
+    /// Transitions strictly alternate Fired, Cleared, Fired, … and a
+    /// Cleared never lands fewer than `min_hold` observations after its
+    /// Fired — the minimum-hold half of the hysteresis contract.
+    #[test]
+    fn transitions_alternate_and_honor_min_hold(
+        stream in prop::collection::vec(0u32..120, 1..250),
+        trip_pct in 0u32..100,
+        band_pct in 0u32..50,
+        for_count in 1u32..5,
+        min_hold in 0u32..10,
+    ) {
+        let spec = spec(trip_pct, band_pct, for_count, min_hold);
+        let transitions = replay(&spec, &stream);
+        let mut fired_at = None;
+        for (i, t) in transitions {
+            match t {
+                Transition::Fired => {
+                    prop_assert!(fired_at.is_none(), "fired twice without clearing");
+                    fired_at = Some(i);
+                }
+                Transition::Cleared => {
+                    let at = fired_at.take();
+                    prop_assert!(at.is_some(), "cleared without firing");
+                    let held = i - at.unwrap_or(0);
+                    prop_assert!(
+                        held >= min_hold as usize,
+                        "cleared after {held} < min_hold {min_hold} observations"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A stream that never reaches the trip threshold never fires, no
+    /// matter the hysteresis parameters.
+    #[test]
+    fn never_violating_streams_never_fire(
+        stream in prop::collection::vec(0u32..120, 1..250),
+        trip_pct in 1u32..100,
+        band_pct in 0u32..50,
+        for_count in 1u32..5,
+        min_hold in 0u32..10,
+    ) {
+        let spec = spec(trip_pct, band_pct, for_count, min_hold);
+        let quiet: Vec<u32> = stream
+            .iter()
+            .map(|&raw| if decode(raw).is_some_and(|v| v >= spec.trip) { 120 } else { raw })
+            .collect();
+        let state = AlertState::new();
+        for &raw in &quiet {
+            prop_assert_eq!(state.observe(&spec, decode(raw)), None);
+            prop_assert!(!is_firing(state.load()));
+        }
+    }
+}

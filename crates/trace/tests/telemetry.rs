@@ -130,3 +130,100 @@ fn ring_window_concurrent_records_fill_every_slot() {
         assert!(t < 8 && i < 5_000, "impossible ring value {v}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Property tests (proptest shim)
+// ---------------------------------------------------------------------------
+
+use fairprep_trace::json::{parse, Value};
+use fairprep_trace::telemetry::ProgressSink;
+use proptest::prelude::*;
+
+/// A unique scratch file per property-test case.
+fn scratch_path(stem: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "fairprep_{stem}_{}_{}.jsonl",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Wrap-around: after `k > capacity` sequential records the window
+    /// holds exactly the last `capacity` values, no more, no less.
+    #[test]
+    fn ring_window_wraparound_keeps_exactly_the_last_capacity_values(
+        capacity in 1usize..96,
+        extra in 1usize..200,
+    ) {
+        let ring = RingWindow::new(capacity);
+        let k = capacity + extra;
+        for v in 0..k as u64 {
+            ring.record(v);
+        }
+        prop_assert_eq!(ring.recorded(), k as u64);
+        let mut snapshot = ring.snapshot();
+        snapshot.sort_unstable();
+        let expected: Vec<u64> = ((k - capacity) as u64..k as u64).collect();
+        prop_assert_eq!(snapshot, expected);
+    }
+
+    /// `record_evicting` reports exactly the displaced value: nothing
+    /// while the ring fills, then the value recorded `capacity` steps
+    /// earlier — the invariant the serve layer's incremental window
+    /// aggregates (bucket counts, error tallies) rest on.
+    #[test]
+    fn record_evicting_returns_exactly_the_displaced_values(
+        capacity in 1usize..64,
+        n in 1usize..200,
+    ) {
+        let ring = RingWindow::new(capacity);
+        for v in 0..n as u64 {
+            let evicted = ring.record_evicting(v);
+            if (v as usize) < capacity {
+                prop_assert_eq!(evicted, None);
+            } else {
+                prop_assert_eq!(evicted, Some(v - capacity as u64));
+            }
+        }
+    }
+
+    /// Tally consistency: every heartbeat satisfies
+    /// `failed <= done <= total`, and after all jobs finish the final
+    /// `done` equals `total` with `failed` equal to the number of
+    /// failing jobs — the contract `fairprep tail` renders from.
+    #[test]
+    fn progress_sink_tallies_are_consistent(
+        oks in prop::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let path = scratch_path("progress_prop");
+        let sink = ProgressSink::create(&path, oks.len() as u64).unwrap();
+        for (i, ok) in oks.iter().enumerate() {
+            sink.job_finished(i as u64, *ok, 0, false);
+        }
+        sink.finish();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let total = oks.len() as u64;
+        let expected_failed = oks.iter().filter(|ok| !**ok).count() as u64;
+        let mut last = None;
+        for line in text.lines() {
+            let event = parse(line).unwrap();
+            if event.get("event").and_then(Value::as_str) == Some("start") {
+                continue;
+            }
+            let field = |key: &str| event.get(key).and_then(Value::as_u64_any).unwrap_or(0);
+            let (done, failed) = (field("done"), field("failed"));
+            prop_assert!(failed <= done, "failed {failed} > done {done}: {line}");
+            prop_assert!(done <= total, "done {done} > total {total}: {line}");
+            prop_assert_eq!(field("total"), total);
+            last = Some((done, failed));
+        }
+        prop_assert_eq!(last, Some((total, expected_failed)));
+    }
+}
